@@ -1,0 +1,285 @@
+//! Lock-based flat-combining baseline (the Section-8 discussion).
+//!
+//! Each process announces its update in a per-process slot; whoever acquires the
+//! combiner lock applies *all* announced operations to the state, appends the whole
+//! batch to an NVM log with a **single persistent fence**, publishes the return
+//! values, and releases the lock. Superficially this "costs one fence per batch",
+//! but as the paper points out, every pending operation pays the price of that
+//! fence anyway — it must wait for the combiner to perform it before it can return —
+//! and the construction is blocking: if the combiner stalls, every announced
+//! operation stalls with it. The benchmarks use this baseline to illustrate that
+//! trade-off against ONLL's lock-free single fence.
+
+use crate::interface::DurableObject;
+use nvm_sim::{NvmPool, PAddr};
+use onll::{OpCodec, SequentialSpec};
+use parking_lot::Mutex;
+use persist_log::checksum64;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+struct AnnounceSlot<S: SequentialSpec> {
+    /// Operation waiting to be combined, tagged with a ticket.
+    pending: Mutex<Option<(u64, S::UpdateOp)>>,
+    /// Result of the most recently combined operation, tagged with its ticket.
+    result: Mutex<Option<(u64, S::Value)>>,
+}
+
+struct Combined<S: SequentialSpec> {
+    state: S,
+    /// Next NVM log slot.
+    next_entry: u64,
+    batches: u64,
+    combined_ops: u64,
+}
+
+struct Inner<S: SequentialSpec> {
+    slots: Vec<AnnounceSlot<S>>,
+    combiner: Mutex<Combined<S>>,
+    pool: NvmPool,
+    base: PAddr,
+    entry_size: usize,
+    capacity_entries: usize,
+    tickets: AtomicU64,
+}
+
+/// A blocking, flat-combining durable object: one persistent fence per combined
+/// batch.
+pub struct FlatCombiningDurable<S: SequentialSpec> {
+    inner: Arc<Inner<S>>,
+}
+
+impl<S: SequentialSpec> Clone for FlatCombiningDurable<S> {
+    fn clone(&self) -> Self {
+        FlatCombiningDurable {
+            inner: self.inner.clone(),
+        }
+    }
+}
+
+impl<S: SequentialSpec> FlatCombiningDurable<S> {
+    fn entry_size(max_processes: usize) -> usize {
+        // checksum u64 + seq u64 + count u32 + pad + ops
+        (24 + max_processes * (4 + S::UpdateOp::MAX_ENCODED_SIZE)).div_ceil(64) * 64
+    }
+
+    /// Creates the object for up to `max_processes` concurrent announcers, with a
+    /// batch log of `capacity_entries` entries.
+    pub fn create(pool: NvmPool, max_processes: usize, capacity_entries: usize) -> Self {
+        let entry_size = Self::entry_size(max_processes);
+        let base = pool
+            .alloc(capacity_entries * entry_size)
+            .expect("NVM pool too small for FlatCombiningDurable");
+        let slots = (0..max_processes)
+            .map(|_| AnnounceSlot {
+                pending: Mutex::new(None),
+                result: Mutex::new(None),
+            })
+            .collect();
+        FlatCombiningDurable {
+            inner: Arc::new(Inner {
+                slots,
+                combiner: Mutex::new(Combined {
+                    state: S::initialize(),
+                    next_entry: 0,
+                    batches: 0,
+                    combined_ops: 0,
+                }),
+                pool,
+                base,
+                entry_size,
+                capacity_entries,
+                tickets: AtomicU64::new(1),
+            }),
+        }
+    }
+
+    /// Creates a handle bound to announce slot `slot`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slot` is out of range.
+    pub fn handle(&self, slot: usize) -> FlatCombiningHandle<S> {
+        assert!(slot < self.inner.slots.len(), "announce slot out of range");
+        FlatCombiningHandle {
+            inner: self.inner.clone(),
+            slot,
+        }
+    }
+
+    /// Number of batches combined and number of operations they contained —
+    /// `(batches, operations)`. The average batch size is the amortization factor
+    /// of the single per-batch fence.
+    pub fn batch_stats(&self) -> (u64, u64) {
+        let c = self.inner.combiner.lock();
+        (c.batches, c.combined_ops)
+    }
+}
+
+/// Per-process handle on a [`FlatCombiningDurable`].
+pub struct FlatCombiningHandle<S: SequentialSpec> {
+    inner: Arc<Inner<S>>,
+    slot: usize,
+}
+
+impl<S: SequentialSpec> FlatCombiningHandle<S> {
+    /// Runs one combining pass: applies every announced operation, persists the
+    /// batch with one fence, and publishes results.
+    fn combine(&self, combined: &mut Combined<S>) {
+        let inner = &*self.inner;
+        let mut batch: Vec<(usize, u64, S::UpdateOp)> = Vec::new();
+        for (i, slot) in inner.slots.iter().enumerate() {
+            if let Some((ticket, op)) = slot.pending.lock().take() {
+                batch.push((i, ticket, op));
+            }
+        }
+        if batch.is_empty() {
+            return;
+        }
+        // Apply in announce-slot order (the linearization order of the batch).
+        let mut values = Vec::with_capacity(batch.len());
+        for (_, _, op) in &batch {
+            values.push(combined.state.apply(op));
+        }
+        // Persist the whole batch with a single fence.
+        let slot_idx = combined.next_entry % inner.capacity_entries as u64;
+        let addr = inner.base + slot_idx * inner.entry_size as u64;
+        let mut buf = vec![0u8; inner.entry_size];
+        buf[8..16].copy_from_slice(&(combined.next_entry + 1).to_le_bytes());
+        buf[16..20].copy_from_slice(&(batch.len() as u32).to_le_bytes());
+        let mut off = 24;
+        for (_, _, op) in &batch {
+            let encoded = op.encode_to_vec();
+            buf[off..off + 4].copy_from_slice(&(encoded.len() as u32).to_le_bytes());
+            buf[off + 4..off + 4 + encoded.len()].copy_from_slice(&encoded);
+            off += 4 + S::UpdateOp::MAX_ENCODED_SIZE;
+        }
+        let csum = checksum64(&buf[8..]);
+        buf[0..8].copy_from_slice(&csum.to_le_bytes());
+        inner.pool.write(addr, &buf);
+        inner.pool.flush(addr, buf.len());
+        inner.pool.fence();
+        combined.next_entry += 1;
+        combined.batches += 1;
+        combined.combined_ops += batch.len() as u64;
+        // Publish results.
+        for ((i, ticket, _), value) in batch.into_iter().zip(values) {
+            *inner.slots[i].result.lock() = Some((ticket, value));
+        }
+    }
+}
+
+impl<S: SequentialSpec> DurableObject<S> for FlatCombiningHandle<S> {
+    fn update(&mut self, op: S::UpdateOp) -> S::Value {
+        let inner = &*self.inner;
+        let ticket = inner.tickets.fetch_add(1, Ordering::Relaxed);
+        *inner.slots[self.slot].pending.lock() = Some((ticket, op));
+        loop {
+            // Did a combiner already serve us?
+            if let Some((t, v)) = inner.slots[self.slot].result.lock().take() {
+                if t == ticket {
+                    return v;
+                }
+            }
+            // Try to become the combiner.
+            if let Some(mut combined) = inner.combiner.try_lock() {
+                self.combine(&mut combined);
+                drop(combined);
+                if let Some((t, v)) = inner.slots[self.slot].result.lock().take() {
+                    if t == ticket {
+                        return v;
+                    }
+                }
+            }
+            std::thread::yield_now();
+        }
+    }
+
+    fn read(&mut self, op: &S::ReadOp) -> S::Value {
+        // Reads are served from the combined state under the lock (blocking, but no
+        // persistence cost).
+        self.inner.combiner.lock().state.read(op)
+    }
+
+    fn implementation_name(&self) -> &'static str {
+        "flat-combining"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use durable_objects::{CounterOp, CounterRead, CounterSpec};
+    use nvm_sim::PmemConfig;
+
+    fn pool() -> NvmPool {
+        NvmPool::new(PmemConfig::with_capacity(16 << 20))
+    }
+
+    #[test]
+    fn single_threaded_updates_cost_one_fence_each() {
+        // With no concurrency every batch has size 1, so flat combining degrades to
+        // one fence per update (plus blocking).
+        let p = pool();
+        let obj = FlatCombiningDurable::<CounterSpec>::create(p.clone(), 4, 1024);
+        let mut h = obj.handle(0);
+        for i in 1..=10 {
+            let w = p.stats().op_window();
+            assert_eq!(h.update(CounterOp::Increment), i);
+            assert_eq!(w.close().persistent_fences, 1);
+        }
+        let (batches, ops) = obj.batch_stats();
+        assert_eq!((batches, ops), (10, 10));
+    }
+
+    #[test]
+    fn reads_do_not_fence() {
+        let p = pool();
+        let obj = FlatCombiningDurable::<CounterSpec>::create(p.clone(), 2, 64);
+        let mut h = obj.handle(0);
+        h.update(CounterOp::Add(3));
+        let w = p.stats().op_window();
+        assert_eq!(h.read(&CounterRead::Get), 3);
+        assert_eq!(w.close().persistent_fences, 0);
+    }
+
+    #[test]
+    fn concurrent_updates_are_all_applied_and_batched() {
+        let p = pool();
+        let threads = 4;
+        let per_thread = 100;
+        let obj = FlatCombiningDurable::<CounterSpec>::create(p.clone(), threads, 4096);
+        let fences_after_setup = p.stats().persistent_fences();
+        let mut joins = Vec::new();
+        for t in 0..threads {
+            let obj = obj.clone();
+            joins.push(std::thread::spawn(move || {
+                let mut h = obj.handle(t);
+                for _ in 0..per_thread {
+                    h.update(CounterOp::Increment);
+                }
+            }));
+        }
+        for j in joins {
+            j.join().unwrap();
+        }
+        assert_eq!(
+            obj.handle(0).read(&CounterRead::Get),
+            (threads * per_thread) as i64
+        );
+        let (batches, ops) = obj.batch_stats();
+        assert_eq!(ops, (threads * per_thread) as u64);
+        assert!(batches <= ops, "batches combine one or more ops each");
+        // Total persistent fences (beyond setup) equals the number of batches (one
+        // per batch).
+        assert_eq!(p.stats().persistent_fences() - fences_after_setup, batches);
+    }
+
+    #[test]
+    #[should_panic(expected = "announce slot out of range")]
+    fn out_of_range_slot_panics() {
+        let p = pool();
+        let obj = FlatCombiningDurable::<CounterSpec>::create(p, 2, 64);
+        let _ = obj.handle(5);
+    }
+}

@@ -1,0 +1,35 @@
+//! The common interface the harness and benchmarks drive.
+
+use onll::SequentialSpec;
+
+/// A per-process handle on a durable (or deliberately non-durable, for the
+/// transient baseline) implementation of a sequential object.
+///
+/// The harness and benchmarks are written against this trait so the exact same
+/// workload can be executed by ONLL and by every baseline.
+pub trait DurableObject<S: SequentialSpec>: Send {
+    /// Performs an update operation and returns its value.
+    fn update(&mut self, op: S::UpdateOp) -> S::Value;
+
+    /// Performs a read-only operation and returns its value.
+    fn read(&mut self, op: &S::ReadOp) -> S::Value;
+
+    /// A short, stable name identifying the implementation (used in reports).
+    fn implementation_name(&self) -> &'static str;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::transient::TransientObject;
+    use durable_objects::{CounterOp, CounterRead, CounterSpec};
+
+    #[test]
+    fn trait_objects_are_usable() {
+        let obj = TransientObject::<CounterSpec>::new();
+        let mut h: Box<dyn DurableObject<CounterSpec>> = Box::new(obj.handle());
+        assert_eq!(h.update(CounterOp::Increment), 1);
+        assert_eq!(h.read(&CounterRead::Get), 1);
+        assert!(!h.implementation_name().is_empty());
+    }
+}

@@ -1,0 +1,38 @@
+//! # baselines — comparison implementations for the ONLL benchmarks
+//!
+//! The paper's claims are comparative: ONLL needs *one* persistent fence per update
+//! where natural alternatives need more (or give up lock-freedom). This crate
+//! provides those alternatives, all generic over the same [`onll::SequentialSpec`]
+//! so the benchmark harness can run identical workloads against each:
+//!
+//! | Implementation | Fences per update | Progress | Durable? |
+//! |---|---|---|---|
+//! | [`TransientObject`] | 0 | lock-free (trivially) | no — throughput ceiling |
+//! | [`NaiveDurable`] | 2 (state write-back + commit mark) | blocking (per-object lock) | yes |
+//! | [`WalDurable`] | 2 (log record + commit mark) | blocking (per-object lock) | yes |
+//! | [`FlatCombiningDurable`] | 1 per *batch*, but all waiters stall on it | blocking (combiner lock) | yes |
+//! | ONLL (crate `onll`) | **1** | **lock-free** | yes |
+//!
+//! `FlatCombiningDurable` implements the Section-8 discussion of lock-based
+//! implementations: a combiner applies all announced operations and issues a single
+//! persistent fence for the batch — but every pending operation pays the latency of
+//! that fence by waiting for the combiner, so the *per-operation* cost is not
+//! actually reduced, and the construction is blocking.
+//!
+//! All baselines implement the common [`DurableObject`] trait used by the
+//! harness and benchmarks (ONLL handles implement it too, via
+//! `harness::OnllAdapter`).
+
+#![warn(missing_docs)]
+
+mod flat_combining;
+mod interface;
+mod naive;
+mod transient;
+mod wal;
+
+pub use flat_combining::{FlatCombiningDurable, FlatCombiningHandle};
+pub use interface::DurableObject;
+pub use naive::{NaiveDurable, NaiveHandle};
+pub use transient::{TransientHandle, TransientObject};
+pub use wal::{WalDurable, WalHandle};

@@ -1,0 +1,99 @@
+//! Transient baseline: a concurrent but non-durable object.
+//!
+//! This is the throughput ceiling: no NVM writes, no flushes, no fences. Any
+//! durable implementation's cost relative to this baseline is the "cost of
+//! remembering"; the paper's result is that the unavoidable part of that cost is
+//! one persistent fence per update.
+
+use crate::interface::DurableObject;
+use onll::SequentialSpec;
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+/// A shared, in-DRAM (non-durable) object.
+pub struct TransientObject<S: SequentialSpec> {
+    state: Arc<Mutex<S>>,
+}
+
+impl<S: SequentialSpec> Clone for TransientObject<S> {
+    fn clone(&self) -> Self {
+        TransientObject {
+            state: self.state.clone(),
+        }
+    }
+}
+
+impl<S: SequentialSpec> Default for TransientObject<S> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<S: SequentialSpec> TransientObject<S> {
+    /// Creates the object in its initial state.
+    pub fn new() -> Self {
+        TransientObject {
+            state: Arc::new(Mutex::new(S::initialize())),
+        }
+    }
+
+    /// Creates a per-thread handle.
+    pub fn handle(&self) -> TransientHandle<S> {
+        TransientHandle {
+            state: self.state.clone(),
+        }
+    }
+}
+
+/// Per-thread handle on a [`TransientObject`].
+pub struct TransientHandle<S: SequentialSpec> {
+    state: Arc<Mutex<S>>,
+}
+
+impl<S: SequentialSpec> DurableObject<S> for TransientHandle<S> {
+    fn update(&mut self, op: S::UpdateOp) -> S::Value {
+        self.state.lock().apply(&op)
+    }
+
+    fn read(&mut self, op: &S::ReadOp) -> S::Value {
+        self.state.lock().read(op)
+    }
+
+    fn implementation_name(&self) -> &'static str {
+        "transient"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use durable_objects::{CounterOp, CounterRead, CounterSpec};
+
+    #[test]
+    fn sequential_behaviour_matches_spec() {
+        let obj = TransientObject::<CounterSpec>::new();
+        let mut h = obj.handle();
+        assert_eq!(h.update(CounterOp::Add(5)), 5);
+        assert_eq!(h.update(CounterOp::Add(-2)), 3);
+        assert_eq!(h.read(&CounterRead::Get), 3);
+    }
+
+    #[test]
+    fn concurrent_increments_are_not_lost() {
+        let obj = TransientObject::<CounterSpec>::new();
+        let mut joins = Vec::new();
+        for _ in 0..4 {
+            let obj = obj.clone();
+            joins.push(std::thread::spawn(move || {
+                let mut h = obj.handle();
+                for _ in 0..500 {
+                    h.update(CounterOp::Increment);
+                }
+            }));
+        }
+        for j in joins {
+            j.join().unwrap();
+        }
+        assert_eq!(obj.handle().read(&CounterRead::Get), 2000);
+    }
+}

@@ -1,0 +1,243 @@
+//! Write-ahead-log baseline: per-update redo logging with a separate commit mark.
+//!
+//! This is the classic transactional recipe (compare the paper's Section 7
+//! "Transactions"): append the operation to a redo log, fence it, then persist a
+//! commit mark for the entry, fence again. Cost per update: **two persistent
+//! fences** (one to order the record before its commit mark, one to make the commit
+//! mark durable), and the object is blocking. ONLL's contribution is precisely that
+//! the second fence is avoidable (by making entries self-validating and ordering
+//! operations before persisting them), while also being lock-free.
+
+use crate::interface::DurableObject;
+use nvm_sim::{NvmPool, PAddr};
+use onll::{OpCodec, SequentialSpec};
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+/// Per-entry layout: `[committed u64][len u32][pad u32][payload ...]`, rounded up to
+/// a whole number of cache lines.
+const ENTRY_HEADER: usize = 16;
+
+struct Inner<S: SequentialSpec> {
+    state: S,
+    pool: NvmPool,
+    base: PAddr,
+    entry_size: usize,
+    capacity_entries: usize,
+    next: u64,
+}
+
+/// A blocking durable object using per-update write-ahead logging.
+pub struct WalDurable<S: SequentialSpec> {
+    inner: Arc<Mutex<Inner<S>>>,
+}
+
+impl<S: SequentialSpec> Clone for WalDurable<S> {
+    fn clone(&self) -> Self {
+        WalDurable {
+            inner: self.inner.clone(),
+        }
+    }
+}
+
+impl<S: SequentialSpec> WalDurable<S> {
+    fn entry_size() -> usize {
+        (ENTRY_HEADER + S::UpdateOp::MAX_ENCODED_SIZE).div_ceil(64) * 64
+    }
+
+    /// Creates the object with a redo log of `capacity_entries` entries.
+    pub fn create(pool: NvmPool, capacity_entries: usize) -> Self {
+        let entry_size = Self::entry_size();
+        let base = pool
+            .alloc(capacity_entries * entry_size)
+            .expect("NVM pool too small for WalDurable");
+        WalDurable {
+            inner: Arc::new(Mutex::new(Inner {
+                state: S::initialize(),
+                pool,
+                base,
+                entry_size,
+                capacity_entries,
+                next: 0,
+            })),
+        }
+    }
+
+    /// Recovers the object by replaying every committed log entry in order.
+    ///
+    /// Only valid while the log has not wrapped (this baseline does not checkpoint;
+    /// its purpose is cost comparison, not production use).
+    pub fn recover(pool: NvmPool, base: PAddr, capacity_entries: usize) -> Self {
+        let entry_size = Self::entry_size();
+        let mut state = S::initialize();
+        let mut next = 0u64;
+        for slot in 0..capacity_entries as u64 {
+            let addr = base + slot * entry_size as u64;
+            let header = pool.read_vec(addr, ENTRY_HEADER);
+            let committed = u64::from_le_bytes(header[0..8].try_into().unwrap());
+            let len = u32::from_le_bytes(header[8..12].try_into().unwrap()) as usize;
+            if committed != slot + 1 || len > S::UpdateOp::MAX_ENCODED_SIZE {
+                break;
+            }
+            let payload = pool.read_vec(addr + ENTRY_HEADER as u64, len);
+            match S::UpdateOp::decode(&payload) {
+                Some(op) => {
+                    state.apply(&op);
+                    next = slot + 1;
+                }
+                None => break,
+            }
+        }
+        WalDurable {
+            inner: Arc::new(Mutex::new(Inner {
+                state,
+                pool,
+                base,
+                entry_size,
+                capacity_entries,
+                next,
+            })),
+        }
+    }
+
+    /// Base address of the redo log (needed for recovery).
+    pub fn base(&self) -> PAddr {
+        self.inner.lock().base
+    }
+
+    /// Number of updates applied so far.
+    pub fn len(&self) -> u64 {
+        self.inner.lock().next
+    }
+
+    /// True if no update has been applied.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Creates a per-thread handle.
+    pub fn handle(&self) -> WalHandle<S> {
+        WalHandle {
+            inner: self.inner.clone(),
+        }
+    }
+}
+
+/// Per-thread handle on a [`WalDurable`].
+pub struct WalHandle<S: SequentialSpec> {
+    inner: Arc<Mutex<Inner<S>>>,
+}
+
+impl<S: SequentialSpec> DurableObject<S> for WalHandle<S> {
+    fn update(&mut self, op: S::UpdateOp) -> S::Value {
+        let mut inner = self.inner.lock();
+        let slot = inner.next % inner.capacity_entries as u64;
+        let addr = inner.base + slot * inner.entry_size as u64;
+        let encoded = op.encode_to_vec();
+        // 1. Write the redo record and fence it (fence #1): the record must be
+        //    durable before its commit mark.
+        let mut record = vec![0u8; ENTRY_HEADER + encoded.len()];
+        record[8..12].copy_from_slice(&(encoded.len() as u32).to_le_bytes());
+        record[ENTRY_HEADER..].copy_from_slice(&encoded);
+        inner.pool.write(addr + 8, &record[8..]);
+        inner.pool.flush(addr + 8, record.len() - 8);
+        inner.pool.fence();
+        // 2. Persist the commit mark (fence #2).
+        let commit = inner.next + 1;
+        inner.pool.write(addr, &commit.to_le_bytes());
+        inner.pool.flush(addr, 8);
+        inner.pool.fence();
+        inner.next += 1;
+        inner.state.apply(&op)
+    }
+
+    fn read(&mut self, op: &S::ReadOp) -> S::Value {
+        self.inner.lock().state.read(op)
+    }
+
+    fn implementation_name(&self) -> &'static str {
+        "wal-2-fence"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use durable_objects::{CounterOp, CounterRead, CounterSpec, KvOp, KvRead, KvSpec, KvValue};
+    use nvm_sim::PmemConfig;
+
+    fn pool() -> NvmPool {
+        NvmPool::new(PmemConfig::with_capacity(16 << 20).apply_pending_at_crash(0.0))
+    }
+
+    #[test]
+    fn updates_cost_two_persistent_fences_reads_zero() {
+        let p = pool();
+        let obj = WalDurable::<CounterSpec>::create(p.clone(), 128);
+        let mut h = obj.handle();
+        for _ in 0..10 {
+            let w = p.stats().op_window();
+            h.update(CounterOp::Increment);
+            assert_eq!(w.close().persistent_fences, 2);
+        }
+        let w = p.stats().op_window();
+        h.read(&CounterRead::Get);
+        assert_eq!(w.close().persistent_fences, 0);
+    }
+
+    #[test]
+    fn committed_updates_survive_a_crash() {
+        let p = pool();
+        let obj = WalDurable::<KvSpec>::create(p.clone(), 128);
+        let base = obj.base();
+        let mut h = obj.handle();
+        h.update(KvOp::Put("a".into(), "1".into()));
+        h.update(KvOp::Put("b".into(), "2".into()));
+        h.update(KvOp::Delete("a".into()));
+        p.crash_and_restart();
+        let rec = WalDurable::<KvSpec>::recover(p, base, 128);
+        assert_eq!(rec.len(), 3);
+        let mut h = rec.handle();
+        assert_eq!(h.read(&KvRead::Get("a".into())), KvValue::Value(None));
+        assert_eq!(
+            h.read(&KvRead::Get("b".into())),
+            KvValue::Value(Some("2".into()))
+        );
+    }
+
+    #[test]
+    fn uncommitted_record_is_not_replayed() {
+        let p = pool();
+        let obj = WalDurable::<CounterSpec>::create(p.clone(), 64);
+        let base = obj.base();
+        let mut h = obj.handle();
+        h.update(CounterOp::Add(10));
+        // Crash after fence #1 of the second update (record durable, commit mark not).
+        p.arm_crash(nvm_sim::CrashTrigger::AfterFences(1));
+        h.update(CounterOp::Add(100));
+        p.crash_and_restart();
+        let rec = WalDurable::<CounterSpec>::recover(p, base, 64);
+        assert_eq!(rec.handle().read(&CounterRead::Get), 10);
+    }
+
+    #[test]
+    fn concurrent_updates_serialize() {
+        let p = pool();
+        let obj = WalDurable::<CounterSpec>::create(p.clone(), 1024);
+        let mut joins = Vec::new();
+        for _ in 0..4 {
+            let obj = obj.clone();
+            joins.push(std::thread::spawn(move || {
+                let mut h = obj.handle();
+                for _ in 0..100 {
+                    h.update(CounterOp::Increment);
+                }
+            }));
+        }
+        for j in joins {
+            j.join().unwrap();
+        }
+        assert_eq!(obj.handle().read(&CounterRead::Get), 400);
+        assert_eq!(obj.len(), 400);
+    }
+}

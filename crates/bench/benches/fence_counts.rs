@@ -1,0 +1,127 @@
+//! Experiment E3: persistent fences per operation, ONLL versus baselines
+//! (Theorem 5.1 audit), plus the latency of a single update under the fence-cost
+//! model.
+
+use baselines::{DurableObject, FlatCombiningDurable, NaiveDurable, TransientObject, WalDurable};
+use criterion::{criterion_group, criterion_main, Criterion};
+use durable_objects::{CounterOp, CounterSpec};
+use harness::{audit_fence_bounds, OnllAdapter, Table, Workload, WorkloadMix};
+use onll_bench::{bench_pool, bench_pool_with_latency, onll_counter};
+use std::time::Duration;
+
+const AUDIT_OPS: usize = 2_000;
+
+fn fence_table() {
+    let mut table = Table::new(
+        "E3 — persistent fences per operation (2,000-op single-process workloads)",
+        &["implementation", "update %", "fences/update", "fences/read", "meets ONLL bound"],
+    );
+    for percent in [10u32, 50, 100] {
+        let mix = WorkloadMix::with_update_percent(percent);
+
+        let pool = bench_pool();
+        let obj = onll_counter(&pool, "onll", 1, AUDIT_OPS);
+        let mut h = OnllAdapter::new(obj.register().unwrap());
+        let mut w = Workload::new(mix, 1);
+        let audit = audit_fence_bounds::<CounterSpec, _>(&mut h, pool.stats(), w.counter_ops(AUDIT_OPS));
+        table.row_display(&[
+            "onll".to_string(),
+            percent.to_string(),
+            format!("{:.2}", audit.fences_per_update()),
+            format!("{:.2}", audit.fences_per_read()),
+            audit.satisfies_onll_bounds().to_string(),
+        ]);
+
+        let pool = bench_pool();
+        let obj = TransientObject::<CounterSpec>::new();
+        let mut h = obj.handle();
+        let mut w = Workload::new(mix, 1);
+        let audit = audit_fence_bounds::<CounterSpec, _>(&mut h, pool.stats(), w.counter_ops(AUDIT_OPS));
+        table.row_display(&[
+            "transient".to_string(),
+            percent.to_string(),
+            format!("{:.2}", audit.fences_per_update()),
+            format!("{:.2}", audit.fences_per_read()),
+            "n/a (not durable)".to_string(),
+        ]);
+
+        let pool = bench_pool();
+        let obj = NaiveDurable::<CounterSpec>::create(pool.clone(), 64);
+        let mut h = obj.handle();
+        let mut w = Workload::new(mix, 1);
+        let audit = audit_fence_bounds::<CounterSpec, _>(&mut h, pool.stats(), w.counter_ops(AUDIT_OPS));
+        table.row_display(&[
+            "naive-full-state".to_string(),
+            percent.to_string(),
+            format!("{:.2}", audit.fences_per_update()),
+            format!("{:.2}", audit.fences_per_read()),
+            audit.satisfies_onll_bounds().to_string(),
+        ]);
+
+        let pool = bench_pool();
+        let obj = WalDurable::<CounterSpec>::create(pool.clone(), AUDIT_OPS + 8);
+        let mut h = obj.handle();
+        let mut w = Workload::new(mix, 1);
+        let audit = audit_fence_bounds::<CounterSpec, _>(&mut h, pool.stats(), w.counter_ops(AUDIT_OPS));
+        table.row_display(&[
+            "wal-2-fence".to_string(),
+            percent.to_string(),
+            format!("{:.2}", audit.fences_per_update()),
+            format!("{:.2}", audit.fences_per_read()),
+            audit.satisfies_onll_bounds().to_string(),
+        ]);
+
+        let pool = bench_pool();
+        let obj = FlatCombiningDurable::<CounterSpec>::create(pool.clone(), 2, AUDIT_OPS + 8);
+        let mut h = obj.handle(0);
+        let mut w = Workload::new(mix, 1);
+        let audit = audit_fence_bounds::<CounterSpec, _>(&mut h, pool.stats(), w.counter_ops(AUDIT_OPS));
+        table.row_display(&[
+            "flat-combining".to_string(),
+            percent.to_string(),
+            format!("{:.2}", audit.fences_per_update()),
+            format!("{:.2}", audit.fences_per_read()),
+            format!("{} (blocking)", audit.satisfies_onll_bounds()),
+        ]);
+    }
+    table.print();
+}
+
+fn bench_single_update_latency(c: &mut Criterion) {
+    fence_table();
+
+    let mut group = c.benchmark_group("E3/update-latency-with-fence-cost");
+    group.sample_size(10).measurement_time(Duration::from_millis(600)).warm_up_time(Duration::from_millis(150));
+
+    // ONLL: one fence per update (checkpointing keeps the log bounded for the
+    // unbounded iteration count; its amortized cost is 2 fences per 1024 updates).
+    let pool = bench_pool_with_latency();
+    let obj = onll_bench::onll_counter_checkpointed(&pool, "onll-lat", 1, 1024);
+    let mut h = obj.register().unwrap();
+    group.bench_function("onll", |b| {
+        b.iter(|| h.update_with_checkpoint(CounterOp::Increment).unwrap())
+    });
+    drop(h);
+
+    // WAL: two fences per update.
+    let pool = bench_pool_with_latency();
+    let obj = WalDurable::<CounterSpec>::create(pool.clone(), 1 << 20);
+    let mut h = obj.handle();
+    group.bench_function("wal-2-fence", |b| b.iter(|| h.update(CounterOp::Increment)));
+
+    // Naive: two fences plus full-state writes.
+    let pool = bench_pool_with_latency();
+    let obj = NaiveDurable::<CounterSpec>::create(pool.clone(), 64);
+    let mut h = obj.handle();
+    group.bench_function("naive-full-state", |b| b.iter(|| h.update(CounterOp::Increment)));
+
+    // Transient: no fences at all (lower envelope).
+    let obj = TransientObject::<CounterSpec>::new();
+    let mut h = obj.handle();
+    group.bench_function("transient", |b| b.iter(|| h.update(CounterOp::Increment)));
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_single_update_latency);
+criterion_main!(benches);

@@ -1,0 +1,109 @@
+//! Experiment E9: the single-fence persistent log building block (Cohen et al.),
+//! compared with a two-fence write-ahead append, across helped-operation counts.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use harness::Table;
+use nvm_sim::{NvmPool, PmemConfig};
+use persist_log::{LogConfig, PersistentLog};
+use std::time::Duration;
+
+fn pool() -> NvmPool {
+    NvmPool::new(PmemConfig::with_capacity(128 << 20).fence_penalty(Duration::from_nanos(500)))
+}
+
+fn fresh_log(pool: &NvmPool, helpers: usize) -> PersistentLog {
+    let cfg = LogConfig::for_processes(helpers.max(1))
+        .op_slot_size(64)
+        .capacity_entries(1 << 17);
+    let base = pool.alloc(PersistentLog::region_size(&cfg)).unwrap();
+    PersistentLog::create(pool.clone(), cfg, base)
+}
+
+/// A deliberately classic two-fence append (entry, fence, commit mark, fence) used
+/// as the comparison point for the single-fence design.
+fn two_fence_append(pool: &NvmPool, base: u64, slot: u64, payload: &[u8]) {
+    let addr = base + slot * 128;
+    pool.write(addr + 8, payload);
+    pool.flush(addr + 8, payload.len());
+    pool.fence();
+    pool.write_u64(addr, slot + 1);
+    pool.flush(addr, 8);
+    pool.fence();
+}
+
+fn fence_count_table() {
+    let mut table = Table::new(
+        "E9 — persistent fences per log append",
+        &["design", "ops per entry (helping)", "fences/append"],
+    );
+    for helpers in [1usize, 2, 4, 8] {
+        let p = pool();
+        let mut log = fresh_log(&p, helpers);
+        let ops: Vec<Vec<u8>> = (0..helpers).map(|i| vec![i as u8; 32]).collect();
+        let refs: Vec<&[u8]> = ops.iter().map(|o| o.as_slice()).collect();
+        let w = p.stats().op_window();
+        for i in 0..100u64 {
+            log.append(&refs, i * helpers as u64 + helpers as u64).unwrap();
+        }
+        let d = w.close();
+        table.row_display(&[
+            "single-fence (checksum-validated)".to_string(),
+            helpers.to_string(),
+            format!("{:.2}", d.persistent_fences as f64 / 100.0),
+        ]);
+    }
+    {
+        let p = pool();
+        let base = p.alloc(128 * 256).unwrap();
+        let w = p.stats().op_window();
+        for i in 0..100u64 {
+            two_fence_append(&p, base, i % 256, &[7u8; 32]);
+        }
+        let d = w.close();
+        table.row_display(&[
+            "two-fence (separate commit mark)".to_string(),
+            "1".to_string(),
+            format!("{:.2}", d.persistent_fences as f64 / 100.0),
+        ]);
+    }
+    table.print();
+}
+
+fn bench_append(c: &mut Criterion) {
+    fence_count_table();
+
+    let mut group = c.benchmark_group("E9/log-append");
+    group.sample_size(10).measurement_time(Duration::from_millis(500)).warm_up_time(Duration::from_millis(100));
+
+    for helpers in [1usize, 4, 8] {
+        let p = pool();
+        let mut log = fresh_log(&p, helpers);
+        let ops: Vec<Vec<u8>> = (0..helpers).map(|i| vec![i as u8; 32]).collect();
+        let mut idx = helpers as u64;
+        group.bench_function(BenchmarkId::new("single-fence", helpers), |b| {
+            b.iter(|| {
+                let refs: Vec<&[u8]> = ops.iter().map(|o| o.as_slice()).collect();
+                if log.free_slots() == 0 {
+                    log.truncate();
+                }
+                log.append(&refs, idx).unwrap();
+                idx += helpers as u64;
+            })
+        });
+    }
+    {
+        let p = pool();
+        let base = p.alloc(128 * 4096).unwrap();
+        let mut slot = 0u64;
+        group.bench_function(BenchmarkId::new("two-fence", 1), |b| {
+            b.iter(|| {
+                two_fence_append(&p, base, slot % 4096, &[7u8; 32]);
+                slot += 1;
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_append);
+criterion_main!(benches);

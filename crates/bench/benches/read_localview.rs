@@ -1,0 +1,82 @@
+//! Experiment E6 (Section 8 read-performance extension): read cost with and
+//! without per-process local views, as a function of history length.
+//!
+//! In the base construction a read replays the entire execution trace, so its cost
+//! grows linearly with the number of updates ever applied; with local views a read
+//! only replays the suffix since the process's last observation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use durable_objects::{CounterOp, CounterRead, CounterSpec};
+use harness::Table;
+use onll::{Durable, OnllConfig};
+use onll_bench::bench_pool;
+use std::time::{Duration, Instant};
+
+const HISTORY_LENGTHS: [usize; 3] = [100, 1_000, 10_000];
+
+fn build(history: usize, local_views: bool) -> (onll::ProcessHandle<CounterSpec>, Durable<CounterSpec>) {
+    let pool = bench_pool();
+    let name = format!("rl-{history}-{local_views}");
+    let obj = Durable::<CounterSpec>::create(
+        pool,
+        OnllConfig::named(&name)
+            .log_capacity(history + 64)
+            .local_views(local_views),
+    )
+    .unwrap();
+    let mut writer = obj.register().unwrap();
+    for _ in 0..history {
+        writer.update(CounterOp::Increment);
+    }
+    (writer, obj)
+}
+
+fn summary_table() {
+    let mut table = Table::new(
+        "E6 — read latency vs history length (single reader, already caught up)",
+        &["history length", "full-replay read (ns)", "local-view read (ns)", "speedup"],
+    );
+    for &history in &HISTORY_LENGTHS {
+        let time_read = |local_views: bool| {
+            let (mut handle, _obj) = build(history, local_views);
+            handle.read(&CounterRead::Get); // warm the local view
+            let iters = 2_000;
+            let start = Instant::now();
+            for _ in 0..iters {
+                handle.read(&CounterRead::Get);
+            }
+            start.elapsed().as_nanos() as f64 / iters as f64
+        };
+        let full = time_read(false);
+        let local = time_read(true);
+        table.row_display(&[
+            history.to_string(),
+            format!("{full:.0}"),
+            format!("{local:.0}"),
+            format!("{:.1}x", full / local),
+        ]);
+    }
+    table.print();
+}
+
+fn bench_reads(c: &mut Criterion) {
+    summary_table();
+
+    let mut group = c.benchmark_group("E6/read-latency");
+    group.sample_size(10).measurement_time(Duration::from_millis(500)).warm_up_time(Duration::from_millis(100));
+    for &history in &[1_000usize, 10_000] {
+        let (mut handle, _obj) = build(history, false);
+        group.bench_function(BenchmarkId::new("full-replay", history), |b| {
+            b.iter(|| handle.read(&CounterRead::Get))
+        });
+        let (mut handle, _obj) = build(history, true);
+        handle.read(&CounterRead::Get);
+        group.bench_function(BenchmarkId::new("local-view", history), |b| {
+            b.iter(|| handle.read(&CounterRead::Get))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_reads);
+criterion_main!(benches);

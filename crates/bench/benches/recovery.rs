@@ -1,0 +1,91 @@
+//! Experiments E7/E8: recovery time as a function of durable history length, and
+//! the effect of the Section-8 checkpointing extension (recovery replays only the
+//! suffix above the newest checkpoint; logs and the trace prefix are reclaimed).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use durable_objects::{CounterOp, CounterRead, CounterSpec};
+use harness::Table;
+use nvm_sim::{NvmPool, PmemConfig};
+use onll::{Durable, OnllConfig};
+use std::time::{Duration, Instant};
+
+fn pool() -> NvmPool {
+    NvmPool::new(PmemConfig::with_capacity(256 << 20))
+}
+
+fn build_history(history: usize, checkpoint_every: Option<u64>) -> (NvmPool, OnllConfig) {
+    let pool = pool();
+    let mut cfg = OnllConfig::named("rec").log_capacity(history + 64);
+    if let Some(every) = checkpoint_every {
+        cfg = cfg.checkpoint_every(every).checkpoint_slot_bytes(4096);
+    }
+    let obj = Durable::<CounterSpec>::create(pool.clone(), cfg.clone()).unwrap();
+    {
+        let mut h = obj.register().unwrap();
+        for _ in 0..history {
+            if checkpoint_every.is_some() {
+                h.update_with_checkpoint(CounterOp::Increment).unwrap();
+            } else {
+                h.update(CounterOp::Increment);
+            }
+        }
+    }
+    drop(obj);
+    pool.crash_and_restart();
+    (pool, cfg)
+}
+
+fn recover_once(pool: &NvmPool, cfg: &OnllConfig, with_checkpoints: bool, expected: i64) -> Duration {
+    let start = Instant::now();
+    let value = if with_checkpoints {
+        let (obj, _) =
+            Durable::<CounterSpec>::recover_with_checkpoints(pool.clone(), cfg.clone()).unwrap();
+        obj.register().unwrap().read(&CounterRead::Get)
+    } else {
+        let (obj, _) = Durable::<CounterSpec>::recover(pool.clone(), cfg.clone()).unwrap();
+        obj.read_latest(&CounterRead::Get)
+    };
+    let elapsed = start.elapsed();
+    assert_eq!(value, expected);
+    elapsed
+}
+
+fn summary_table() {
+    let mut table = Table::new(
+        "E7/E8 — recovery time vs durable history length",
+        &["updates before crash", "no checkpoints (us)", "checkpoint every 256 (us)"],
+    );
+    for &history in &[1_000usize, 5_000, 20_000] {
+        let (pool_plain, cfg_plain) = build_history(history, None);
+        let plain = recover_once(&pool_plain, &cfg_plain, false, history as i64);
+        let (pool_cp, cfg_cp) = build_history(history, Some(256));
+        let cp = recover_once(&pool_cp, &cfg_cp, true, history as i64);
+        table.row_display(&[
+            history.to_string(),
+            format!("{:.0}", plain.as_secs_f64() * 1e6),
+            format!("{:.0}", cp.as_secs_f64() * 1e6),
+        ]);
+    }
+    table.print();
+}
+
+fn bench_recovery(c: &mut Criterion) {
+    summary_table();
+
+    let mut group = c.benchmark_group("E7/recovery");
+    group.sample_size(10).measurement_time(Duration::from_millis(800)).warm_up_time(Duration::from_millis(100));
+    for &history in &[1_000usize, 5_000] {
+        let (pool_plain, cfg_plain) = build_history(history, None);
+        group.bench_function(BenchmarkId::new("full-log-replay", history), |b| {
+            b.iter(|| recover_once(&pool_plain, &cfg_plain, false, history as i64))
+        });
+        let (pool_cp, cfg_cp) = build_history(history, Some(256));
+        group.bench_function(BenchmarkId::new("from-checkpoint", history), |b| {
+            b.iter(|| recover_once(&pool_cp, &cfg_cp, true, history as i64))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_recovery);
+criterion_main!(benches);

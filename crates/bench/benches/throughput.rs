@@ -1,0 +1,202 @@
+//! Experiments E5 and E10: throughput of ONLL versus the baselines under the
+//! paper's cost model (a fixed latency per persistent fence), across thread counts
+//! and update ratios, plus the flat-combining batch statistics of the Section-8
+//! discussion.
+
+use baselines::{DurableObject, FlatCombiningDurable, TransientObject, WalDurable};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use durable_objects::{CounterOp, CounterSpec};
+use harness::{OnllAdapter, Table, Workload, WorkloadMix, WorkloadOp};
+use nvm_sim::NvmPool;
+use onll_bench::{bench_pool_with_latency, onll_counter_checkpointed, THREAD_COUNTS};
+use std::time::{Duration, Instant};
+
+const OPS_PER_THREAD: usize = 2_000;
+
+/// Runs `threads` workers, each executing `OPS_PER_THREAD` operations of the given
+/// mix against a handle produced by `make_handle`. Returns (elapsed, total ops,
+/// persistent fences).
+fn run_workload<F, D>(
+    pool: &NvmPool,
+    threads: usize,
+    update_percent: u32,
+    make_handle: F,
+) -> (Duration, u64, u64)
+where
+    D: DurableObject<CounterSpec> + Send + 'static,
+    F: Fn(usize) -> D,
+{
+    let fences_before = pool.stats().persistent_fences();
+    let handles: Vec<D> = (0..threads).map(&make_handle).collect();
+    let start = Instant::now();
+    let mut joins = Vec::new();
+    for (t, mut handle) in handles.into_iter().enumerate() {
+        joins.push(std::thread::spawn(move || {
+            let mut w = Workload::new(WorkloadMix::with_update_percent(update_percent), t as u64);
+            for op in w.counter_ops(OPS_PER_THREAD) {
+                match op {
+                    WorkloadOp::Update(u) => {
+                        handle.update(u);
+                    }
+                    WorkloadOp::Read(r) => {
+                        handle.read(&r);
+                    }
+                }
+            }
+        }));
+    }
+    for j in joins {
+        j.join().unwrap();
+    }
+    let elapsed = start.elapsed();
+    let fences = pool.stats().persistent_fences() - fences_before;
+    (elapsed, (threads * OPS_PER_THREAD) as u64, fences)
+}
+
+fn ops_per_sec(elapsed: Duration, ops: u64) -> f64 {
+    ops as f64 / elapsed.as_secs_f64()
+}
+
+fn throughput_table() {
+    let mut table = Table::new(
+        "E5 — throughput under the fence-cost model (500 ns per persistent fence)",
+        &["threads", "update %", "implementation", "ops/s", "fences/op"],
+    );
+    for &threads in &THREAD_COUNTS {
+        for &percent in &[10u32, 50, 100] {
+            // ONLL.
+            let pool = bench_pool_with_latency();
+            let obj = onll_counter_checkpointed(&pool, "onll-tp", threads, 1024);
+            let (elapsed, ops, fences) = run_workload(&pool, threads, percent, |_| {
+                OnllAdapter::new(obj.register().unwrap())
+            });
+            table.row_display(&[
+                threads.to_string(),
+                percent.to_string(),
+                "onll".to_string(),
+                format!("{:.0}", ops_per_sec(elapsed, ops)),
+                format!("{:.2}", fences as f64 / ops as f64),
+            ]);
+
+            // WAL (2 fences per update).
+            let pool = bench_pool_with_latency();
+            let obj = WalDurable::<CounterSpec>::create(pool.clone(), 1 << 18);
+            let (elapsed, ops, fences) =
+                run_workload(&pool, threads, percent, |_| obj.handle());
+            table.row_display(&[
+                threads.to_string(),
+                percent.to_string(),
+                "wal-2-fence".to_string(),
+                format!("{:.0}", ops_per_sec(elapsed, ops)),
+                format!("{:.2}", fences as f64 / ops as f64),
+            ]);
+
+            // Flat combining (1 fence per batch, blocking).
+            let pool = bench_pool_with_latency();
+            let obj = FlatCombiningDurable::<CounterSpec>::create(pool.clone(), threads, 1 << 18);
+            let (elapsed, ops, fences) =
+                run_workload(&pool, threads, percent, |slot| obj.handle(slot));
+            table.row_display(&[
+                threads.to_string(),
+                percent.to_string(),
+                "flat-combining".to_string(),
+                format!("{:.0}", ops_per_sec(elapsed, ops)),
+                format!("{:.2}", fences as f64 / ops as f64),
+            ]);
+
+            // Transient ceiling.
+            let pool = bench_pool_with_latency();
+            let obj = TransientObject::<CounterSpec>::new();
+            let (elapsed, ops, fences) =
+                run_workload(&pool, threads, percent, |_| obj.handle());
+            table.row_display(&[
+                threads.to_string(),
+                percent.to_string(),
+                "transient".to_string(),
+                format!("{:.0}", ops_per_sec(elapsed, ops)),
+                format!("{:.2}", fences as f64 / ops as f64),
+            ]);
+        }
+    }
+    table.print();
+}
+
+fn flat_combining_batches_table() {
+    let mut table = Table::new(
+        "E10 — flat combining: one fence per batch, but every waiter pays for it",
+        &["threads", "batches", "combined ops", "avg batch size", "fences"],
+    );
+    for &threads in &THREAD_COUNTS {
+        let pool = bench_pool_with_latency();
+        let obj = FlatCombiningDurable::<CounterSpec>::create(pool.clone(), threads, 1 << 18);
+        let fences_before = pool.stats().persistent_fences();
+        let mut joins = Vec::new();
+        for t in 0..threads {
+            let mut h = obj.handle(t);
+            joins.push(std::thread::spawn(move || {
+                for _ in 0..OPS_PER_THREAD {
+                    h.update(CounterOp::Increment);
+                }
+            }));
+        }
+        for j in joins {
+            j.join().unwrap();
+        }
+        let (batches, ops) = obj.batch_stats();
+        table.row_display(&[
+            threads.to_string(),
+            batches.to_string(),
+            ops.to_string(),
+            format!("{:.2}", ops as f64 / batches.max(1) as f64),
+            (pool.stats().persistent_fences() - fences_before).to_string(),
+        ]);
+    }
+    table.print();
+}
+
+fn bench_throughput(c: &mut Criterion) {
+    throughput_table();
+    flat_combining_batches_table();
+
+    // Criterion series: update-only batches of 100 operations, per implementation.
+    let mut group = c.benchmark_group("E5/update-batch-100");
+    group.sample_size(10).measurement_time(Duration::from_millis(600)).warm_up_time(Duration::from_millis(150));
+
+    let pool = bench_pool_with_latency();
+    let obj = onll_counter_checkpointed(&pool, "onll-crit", 1, 1024);
+    let mut h = obj.register().unwrap();
+    group.bench_function(BenchmarkId::new("onll", 1), |b| {
+        b.iter(|| {
+            for _ in 0..100 {
+                h.update_with_checkpoint(CounterOp::Increment).unwrap();
+            }
+        })
+    });
+    drop(h);
+
+    let pool = bench_pool_with_latency();
+    let obj = WalDurable::<CounterSpec>::create(pool.clone(), 1 << 18);
+    let mut h = obj.handle();
+    group.bench_function(BenchmarkId::new("wal-2-fence", 1), |b| {
+        b.iter(|| {
+            for _ in 0..100 {
+                h.update(CounterOp::Increment);
+            }
+        })
+    });
+
+    let obj = TransientObject::<CounterSpec>::new();
+    let mut h = obj.handle();
+    group.bench_function(BenchmarkId::new("transient", 1), |b| {
+        b.iter(|| {
+            for _ in 0..100 {
+                h.update(CounterOp::Increment);
+            }
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_throughput);
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! Micro-benchmarks of the transient execution trace (the order/linearize stages):
+//! insert + set-available cost and `latestAvailable` traversal cost as a function
+//! of the fuzzy-window size (bounded by the number of processes, Proposition 5.2).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use exec_trace::ExecutionTrace;
+use harness::Table;
+use std::time::Duration;
+
+fn traversal_table() {
+    let mut table = Table::new(
+        "execution trace: latestAvailable traversal length = fuzzy window size",
+        &["unavailable suffix (nodes)", "latest_available() steps observed"],
+    );
+    for &fuzzy in &[0usize, 2, 4, 8, 16] {
+        let trace = ExecutionTrace::new(0u64);
+        let avail = trace.insert(1);
+        trace.set_available(avail);
+        for i in 0..fuzzy {
+            trace.insert(i as u64 + 2);
+        }
+        // The traversal visits exactly the fuzzy suffix plus the available node.
+        table.row_display(&[fuzzy.to_string(), (trace.fuzzy_window_len() + 1).to_string()]);
+    }
+    table.print();
+}
+
+fn bench_trace(c: &mut Criterion) {
+    traversal_table();
+
+    let mut group = c.benchmark_group("trace");
+    group.sample_size(10).measurement_time(Duration::from_millis(400)).warm_up_time(Duration::from_millis(100));
+
+    group.bench_function("insert+set_available", |b| {
+        let trace = ExecutionTrace::new(0u64);
+        b.iter(|| {
+            let n = trace.insert(1);
+            trace.set_available(n);
+        })
+    });
+
+    for &fuzzy in &[1usize, 8] {
+        group.bench_function(BenchmarkId::new("latest_available", fuzzy), |b| {
+            let trace = ExecutionTrace::new(0u64);
+            let avail = trace.insert(1);
+            trace.set_available(avail);
+            for i in 0..fuzzy {
+                trace.insert(i as u64);
+            }
+            b.iter(|| trace.latest_available().idx())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_trace);
+criterion_main!(benches);

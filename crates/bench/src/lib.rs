@@ -1,0 +1,81 @@
+//! Shared helpers for the benchmark harness (crate `onll-bench`).
+//!
+//! Each bench target regenerates one experiment from `EXPERIMENTS.md`. Criterion
+//! reports wall-clock statistics; in addition every bench prints a plain-text table
+//! (via [`harness::Table`]) with the quantity the paper actually reasons about —
+//! persistent fences per operation — which is hardware-independent.
+
+#![warn(missing_docs)]
+
+use durable_objects::CounterSpec;
+use nvm_sim::{NvmPool, PmemConfig};
+use onll::{Durable, OnllConfig};
+use std::time::Duration;
+
+/// Update percentages used by the mixed-workload experiments.
+pub const UPDATE_PERCENTS: [u32; 4] = [10, 50, 90, 100];
+
+/// Thread counts used by the scaling experiments.
+pub const THREAD_COUNTS: [usize; 3] = [1, 2, 4];
+
+/// Artificial persistent-fence latency charged by throughput benches, reflecting
+/// the order of magnitude the paper cites for stalling on an NVM write-back.
+pub const FENCE_PENALTY: Duration = Duration::from_nanos(500);
+
+/// A pool sized for benchmark workloads, with no fence penalty (fence-counting
+/// benches) — durability guarantees are still the adversarial default.
+pub fn bench_pool() -> NvmPool {
+    NvmPool::new(PmemConfig::with_capacity(256 << 20))
+}
+
+/// A pool that charges [`FENCE_PENALTY`] per persistent fence (throughput benches).
+pub fn bench_pool_with_latency() -> NvmPool {
+    NvmPool::new(PmemConfig::with_capacity(256 << 20).fence_penalty(FENCE_PENALTY))
+}
+
+/// Creates an ONLL counter sized for `ops` updates without checkpointing.
+pub fn onll_counter(pool: &NvmPool, name: &str, processes: usize, ops: usize) -> Durable<CounterSpec> {
+    Durable::<CounterSpec>::create(
+        pool.clone(),
+        OnllConfig::named(name)
+            .max_processes(processes)
+            .log_capacity(ops + 64),
+    )
+    .expect("create bench counter")
+}
+
+/// Creates an ONLL counter with checkpointing enabled (bounded logs).
+pub fn onll_counter_checkpointed(
+    pool: &NvmPool,
+    name: &str,
+    processes: usize,
+    checkpoint_every: u64,
+) -> Durable<CounterSpec> {
+    Durable::<CounterSpec>::create(
+        pool.clone(),
+        OnllConfig::named(name)
+            .max_processes(processes)
+            .log_capacity(4 * checkpoint_every as usize + 64)
+            .checkpoint_every(checkpoint_every)
+            .checkpoint_slot_bytes(4096),
+    )
+    .expect("create checkpointed bench counter")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use durable_objects::CounterOp;
+
+    #[test]
+    fn helpers_produce_working_objects() {
+        let pool = bench_pool();
+        let obj = onll_counter(&pool, "t", 2, 128);
+        let mut h = obj.register().unwrap();
+        assert_eq!(h.update(CounterOp::Increment), 1);
+        let pool = bench_pool_with_latency();
+        let obj = onll_counter_checkpointed(&pool, "t2", 1, 16);
+        let mut h = obj.register().unwrap();
+        assert_eq!(h.update_with_checkpoint(CounterOp::Increment).unwrap(), 1);
+    }
+}

@@ -1,0 +1,192 @@
+//! Persistent checkpoints of the object state (Section 8 extension).
+//!
+//! A checkpoint is an object-specific, serialized representation of the state after
+//! the first `n` updates. Each process owns a small double-buffered checkpoint area
+//! in NVM; writing a checkpoint costs one persistent fence (it is an explicit
+//! maintenance operation, outside the per-update fence budget), after which the
+//! process may truncate its persistent log and the shared trace prefix may be
+//! reclaimed once every process's local view has advanced past `n`.
+//!
+//! Checkpoint slots are self-validating (checksummed), like log entries, so a torn
+//! checkpoint is simply ignored by recovery and the previous slot (or the empty
+//! state) is used instead — which is always a correct, if older, consistent cut.
+
+use nvm_sim::{NvmPool, PAddr, CACHE_LINE_SIZE};
+use persist_log::checksum64;
+
+/// Header bytes preceding the serialized state in one checkpoint slot.
+const SLOT_HEADER: usize = 24; // checksum u64 + execution_index u64 + state_len u32 + pad u32
+
+/// Size in bytes of one checkpoint slot for a configured state capacity.
+pub(crate) fn slot_size(state_capacity: usize) -> usize {
+    (SLOT_HEADER + state_capacity).div_ceil(CACHE_LINE_SIZE) * CACHE_LINE_SIZE
+}
+
+/// Size in bytes of one process's (double-buffered) checkpoint area.
+pub(crate) fn area_size(state_capacity: usize) -> usize {
+    2 * slot_size(state_capacity)
+}
+
+/// Writes a checkpoint of `state_bytes` reflecting execution index `execution_index`
+/// into slot `which` (0 or 1) of the area at `base`. Exactly one persistent fence.
+pub(crate) fn write_checkpoint(
+    pool: &NvmPool,
+    base: PAddr,
+    state_capacity: usize,
+    which: u64,
+    execution_index: u64,
+    state_bytes: &[u8],
+) -> Result<(), String> {
+    if state_bytes.len() > state_capacity {
+        return Err(format!(
+            "serialized state ({} bytes) exceeds the configured checkpoint slot capacity ({state_capacity} bytes)",
+            state_bytes.len()
+        ));
+    }
+    let slot = slot_size(state_capacity);
+    let addr = base + (which % 2) * slot as u64;
+    let mut buf = vec![0u8; SLOT_HEADER + state_bytes.len()];
+    buf[8..16].copy_from_slice(&execution_index.to_le_bytes());
+    buf[16..20].copy_from_slice(&(state_bytes.len() as u32).to_le_bytes());
+    buf[24..].copy_from_slice(state_bytes);
+    let csum = checksum64(&buf[8..]);
+    buf[0..8].copy_from_slice(&csum.to_le_bytes());
+    pool.write(addr, &buf);
+    pool.flush(addr, buf.len());
+    pool.fence();
+    Ok(())
+}
+
+/// Reads the newest valid checkpoint from one process's area. Returns
+/// `(execution_index, state_bytes)`.
+pub(crate) fn read_area(
+    pool: &NvmPool,
+    base: PAddr,
+    state_capacity: usize,
+) -> Option<(u64, Vec<u8>)> {
+    let slot = slot_size(state_capacity);
+    let mut best: Option<(u64, Vec<u8>)> = None;
+    for which in 0..2u64 {
+        let addr = base + which * slot as u64;
+        let header = pool.read_vec(addr, SLOT_HEADER);
+        let stored_csum = u64::from_le_bytes(header[0..8].try_into().unwrap());
+        let execution_index = u64::from_le_bytes(header[8..16].try_into().unwrap());
+        let state_len = u32::from_le_bytes(header[16..20].try_into().unwrap()) as usize;
+        if state_len > state_capacity {
+            continue;
+        }
+        let full = pool.read_vec(addr, SLOT_HEADER + state_len);
+        if checksum64(&full[8..]) != stored_csum {
+            continue;
+        }
+        let state = full[SLOT_HEADER..].to_vec();
+        if best.as_ref().map_or(true, |(idx, _)| execution_index > *idx) {
+            best = Some((execution_index, state));
+        }
+    }
+    best
+}
+
+/// Reads the newest valid checkpoint across all processes' areas.
+pub(crate) fn read_best(
+    pool: &NvmPool,
+    bases: &[PAddr],
+    state_capacity: usize,
+) -> Option<(u64, Vec<u8>)> {
+    bases
+        .iter()
+        .filter_map(|b| read_area(pool, *b, state_capacity))
+        .max_by_key(|(idx, _)| *idx)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nvm_sim::{CrashTrigger, PmemConfig};
+
+    fn pool() -> NvmPool {
+        NvmPool::new(PmemConfig::with_capacity(8 << 20).apply_pending_at_crash(0.0))
+    }
+
+    #[test]
+    fn slot_and_area_sizes_are_line_aligned() {
+        assert_eq!(slot_size(100) % CACHE_LINE_SIZE, 0);
+        assert_eq!(area_size(100), 2 * slot_size(100));
+    }
+
+    #[test]
+    fn roundtrip_single_checkpoint() {
+        let p = pool();
+        let base = p.alloc(area_size(256)).unwrap();
+        write_checkpoint(&p, base, 256, 0, 17, b"state-at-17").unwrap();
+        let (idx, state) = read_area(&p, base, 256).unwrap();
+        assert_eq!(idx, 17);
+        assert_eq!(state, b"state-at-17");
+    }
+
+    #[test]
+    fn newest_of_two_slots_wins() {
+        let p = pool();
+        let base = p.alloc(area_size(64)).unwrap();
+        write_checkpoint(&p, base, 64, 0, 10, b"old").unwrap();
+        write_checkpoint(&p, base, 64, 1, 20, b"new").unwrap();
+        assert_eq!(read_area(&p, base, 64).unwrap(), (20, b"new".to_vec()));
+        // Overwriting the older slot with an even newer checkpoint flips the winner.
+        write_checkpoint(&p, base, 64, 0, 30, b"newest").unwrap();
+        assert_eq!(read_area(&p, base, 64).unwrap(), (30, b"newest".to_vec()));
+    }
+
+    #[test]
+    fn checkpoint_survives_crash_and_costs_one_fence() {
+        let p = pool();
+        let base = p.alloc(area_size(64)).unwrap();
+        let w = p.stats().op_window();
+        write_checkpoint(&p, base, 64, 0, 5, b"abc").unwrap();
+        assert_eq!(w.close().persistent_fences, 1);
+        p.crash_and_restart();
+        assert_eq!(read_area(&p, base, 64).unwrap(), (5, b"abc".to_vec()));
+    }
+
+    #[test]
+    fn torn_checkpoint_falls_back_to_previous_slot() {
+        let p = pool();
+        let base = p.alloc(area_size(2048)).unwrap();
+        write_checkpoint(&p, base, 2048, 0, 5, &[1u8; 1500]).unwrap();
+        // Crash in the middle of the second checkpoint (before its fence).
+        p.arm_crash(CrashTrigger::AfterFlushes(1));
+        let _ = write_checkpoint(&p, base, 2048, 1, 9, &[2u8; 1500]);
+        p.crash_and_restart();
+        let (idx, state) = read_area(&p, base, 2048).unwrap();
+        assert_eq!(idx, 5);
+        assert_eq!(state, vec![1u8; 1500]);
+    }
+
+    #[test]
+    fn oversized_state_rejected() {
+        let p = pool();
+        let base = p.alloc(area_size(16)).unwrap();
+        assert!(write_checkpoint(&p, base, 16, 0, 1, &[0u8; 17]).is_err());
+    }
+
+    #[test]
+    fn best_across_processes_is_the_global_maximum() {
+        let p = pool();
+        let b1 = p.alloc(area_size(64)).unwrap();
+        let b2 = p.alloc(area_size(64)).unwrap();
+        let b3 = p.alloc(area_size(64)).unwrap();
+        write_checkpoint(&p, b1, 64, 0, 12, b"p1").unwrap();
+        write_checkpoint(&p, b2, 64, 0, 40, b"p2").unwrap();
+        // p3 never checkpointed.
+        let (idx, state) = read_best(&p, &[b1, b2, b3], 64).unwrap();
+        assert_eq!(idx, 40);
+        assert_eq!(state, b"p2");
+    }
+
+    #[test]
+    fn empty_area_yields_none() {
+        let p = pool();
+        let base = p.alloc(area_size(64)).unwrap();
+        assert!(read_area(&p, base, 64).is_none());
+        assert!(read_best(&p, &[base], 64).is_none());
+    }
+}

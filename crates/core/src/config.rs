@@ -1,0 +1,130 @@
+//! Construction configuration.
+
+/// Configuration of one ONLL-constructed durable object.
+#[derive(Debug, Clone)]
+pub struct OnllConfig {
+    /// Name of the object; used to derive the NVM root under which its metadata,
+    /// logs and checkpoint areas are registered, so several objects can share one
+    /// pool.
+    pub name: String,
+    /// Maximum number of processes (handles). Bounds the fuzzy window
+    /// (Proposition 5.2) and therefore the number of helped operations a log entry
+    /// must accommodate (`MAX_PROCESSES` in Listing 1).
+    pub max_processes: usize,
+    /// Capacity, in entries, of each per-process persistent log.
+    pub log_capacity_entries: usize,
+    /// If `true`, each handle maintains a materialized *local view* of the object
+    /// state and reads replay only the missing suffix of the execution trace
+    /// (Section 8 read-performance extension). If `false`, every read replays the
+    /// whole trace prefix, exactly as in the base construction.
+    pub use_local_views: bool,
+    /// Checkpoint every `n` updates per handle (requires the spec to implement
+    /// `CheckpointableSpec` and the handle to call `maybe_checkpoint`, or the
+    /// automatic variant `update_with_checkpoint`). `None` disables checkpointing;
+    /// the logs then retain the full history, as in the base construction.
+    pub checkpoint_interval: Option<u64>,
+    /// Size in bytes reserved for one serialized checkpoint of the object state.
+    pub checkpoint_slot_bytes: usize,
+    /// When prefix reclamation is enabled (checkpointing active), the trace prefix
+    /// below the minimum of all handles' local-view indices is unlinked whenever it
+    /// exceeds this many nodes.
+    pub reclaim_batch: u64,
+}
+
+impl Default for OnllConfig {
+    fn default() -> Self {
+        OnllConfig {
+            name: "onll-object".to_string(),
+            max_processes: 8,
+            log_capacity_entries: 4096,
+            use_local_views: true,
+            checkpoint_interval: None,
+            checkpoint_slot_bytes: 64 * 1024,
+            reclaim_batch: 1024,
+        }
+    }
+}
+
+impl OnllConfig {
+    /// Creates a configuration for an object named `name`.
+    pub fn named(name: &str) -> Self {
+        OnllConfig {
+            name: name.to_string(),
+            ..Default::default()
+        }
+    }
+
+    /// Sets the maximum number of processes.
+    pub fn max_processes(mut self, n: usize) -> Self {
+        assert!(n >= 1, "at least one process is required");
+        self.max_processes = n;
+        self
+    }
+
+    /// Sets the per-process log capacity in entries.
+    pub fn log_capacity(mut self, entries: usize) -> Self {
+        self.log_capacity_entries = entries;
+        self
+    }
+
+    /// Enables or disables local-view reads.
+    pub fn local_views(mut self, enabled: bool) -> Self {
+        self.use_local_views = enabled;
+        self
+    }
+
+    /// Enables checkpointing every `interval` updates per handle.
+    pub fn checkpoint_every(mut self, interval: u64) -> Self {
+        assert!(interval >= 1);
+        self.checkpoint_interval = Some(interval);
+        self
+    }
+
+    /// Sets the size reserved for one serialized checkpoint.
+    pub fn checkpoint_slot_bytes(mut self, bytes: usize) -> Self {
+        self.checkpoint_slot_bytes = bytes;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_is_sane() {
+        let c = OnllConfig::default();
+        assert!(c.max_processes >= 1);
+        assert!(c.log_capacity_entries > 0);
+        assert!(c.use_local_views);
+        assert!(c.checkpoint_interval.is_none());
+    }
+
+    #[test]
+    fn builders_compose() {
+        let c = OnllConfig::named("counter")
+            .max_processes(4)
+            .log_capacity(128)
+            .local_views(false)
+            .checkpoint_every(100)
+            .checkpoint_slot_bytes(1024);
+        assert_eq!(c.name, "counter");
+        assert_eq!(c.max_processes, 4);
+        assert_eq!(c.log_capacity_entries, 128);
+        assert!(!c.use_local_views);
+        assert_eq!(c.checkpoint_interval, Some(100));
+        assert_eq!(c.checkpoint_slot_bytes, 1024);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_processes_rejected() {
+        let _ = OnllConfig::default().max_processes(0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_checkpoint_interval_rejected() {
+        let _ = OnllConfig::default().checkpoint_every(0);
+    }
+}

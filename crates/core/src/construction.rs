@@ -1,0 +1,532 @@
+//! The ONLL universal construction: shared object state, creation and recovery.
+//!
+//! [`Durable<S>`] turns a deterministic sequential specification `S` into a
+//! lock-free, durably linearizable (indeed detectably executable) object:
+//!
+//! * [`Durable::create`] formats a fresh object inside an [`NvmPool`]: per-process
+//!   persistent logs, per-process checkpoint areas and a metadata block registered
+//!   under a named root so recovery can find everything again.
+//! * [`Durable::register`] / [`Durable::handle_for`] hand out per-process
+//!   [`ProcessHandle`](crate::ProcessHandle)s, which perform the actual `update`
+//!   and `read` operations (Listings 3 and 4).
+//! * [`Durable::recover`] (and [`Durable::recover_with_checkpoints`] for
+//!   checkpointable specs) rebuild the transient execution trace from the
+//!   persistent logs after a crash (Listing 5) and report which operations were
+//!   linearized before the crash (detectable execution).
+
+use crate::checkpoint;
+use crate::config::OnllConfig;
+use crate::error::OnllError;
+use crate::hooks::Hooks;
+use crate::op_id::{decode_record, record_slot_size, OpId, Record};
+use crate::spec::{CheckpointableSpec, SequentialSpec};
+use exec_trace::{check_fuzzy_invariant, ExecutionTrace};
+use nvm_sim::{FenceStats, NvmPool, PAddr, RootId};
+use parking_lot::Mutex;
+use persist_log::{reconstruct_history_from, LogConfig, PersistentLog};
+use std::collections::HashSet;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+const META_MAGIC: u64 = 0x4F4E4C_4C4D455441; // "ONLL" "META"
+
+/// Outcome of a recovery: what was found in NVM and reinstated.
+#[derive(Debug, Clone)]
+pub struct RecoveryReport {
+    /// Execution index of the checkpoint the recovery started from (0 if none).
+    pub checkpoint_index: u64,
+    /// Execution index of the last operation recovered from the logs (equals
+    /// `checkpoint_index` if the logs held nothing newer).
+    pub durable_index: u64,
+    /// Identities of the operations recovered from the logs, in linearization
+    /// order (operations covered by the checkpoint are not listed individually).
+    pub recovered_ops: Vec<(u64, OpId)>,
+}
+
+impl RecoveryReport {
+    /// Number of operations replayed from the logs.
+    pub fn replayed_ops(&self) -> usize {
+        self.recovered_ops.len()
+    }
+}
+
+pub(crate) struct Shared<S: SequentialSpec> {
+    pub(crate) trace: ExecutionTrace<Option<Record<S::UpdateOp>>>,
+    pub(crate) pool: NvmPool,
+    pub(crate) config: OnllConfig,
+    pub(crate) hooks: Hooks,
+    pub(crate) log_cfg: LogConfig,
+    pub(crate) log_bases: Vec<PAddr>,
+    pub(crate) cp_bases: Vec<PAddr>,
+    pub(crate) claimed: Vec<AtomicBool>,
+    /// Per-process local-view progress (execution index), used to decide how far
+    /// the trace prefix may be reclaimed.
+    pub(crate) progress: Vec<AtomicU64>,
+    /// Last operation sequence number used per process slot. Kept in the shared
+    /// state (not the handle) so operation identities stay unique when a slot is
+    /// released and re-claimed, and seeded from the logs on recovery so post-crash
+    /// operations never collide with pre-crash ones.
+    pub(crate) last_op_seq: Vec<AtomicU64>,
+    /// Execution index represented by the trace's sentinel (checkpoint index).
+    pub(crate) base_index: u64,
+    /// Builds the state corresponding to the sentinel (INITIALIZE or the decoded
+    /// checkpoint the recovery started from).
+    pub(crate) base_state: Box<dyn Fn() -> S + Send + Sync>,
+    /// Operations found in the logs by the most recent recovery (for
+    /// detectable-execution queries).
+    pub(crate) recovered: Mutex<HashSet<OpId>>,
+}
+
+impl<S: SequentialSpec> Shared<S> {
+    /// Minimum local-view progress over all currently claimed handles. Returns
+    /// `None` if no handle is claimed.
+    pub(crate) fn min_progress(&self) -> Option<u64> {
+        let mut min = None;
+        for (claimed, progress) in self.claimed.iter().zip(self.progress.iter()) {
+            if claimed.load(Ordering::Acquire) {
+                let p = progress.load(Ordering::Acquire);
+                min = Some(min.map_or(p, |m: u64| m.min(p)));
+            }
+        }
+        min
+    }
+}
+
+/// A durable, lock-free object produced by the ONLL universal construction.
+///
+/// Cloning is cheap (the object is an `Arc` internally); all clones refer to the
+/// same object. Per-process operation is performed through
+/// [`ProcessHandle`](crate::ProcessHandle)s obtained from [`Durable::register`].
+pub struct Durable<S: SequentialSpec> {
+    pub(crate) shared: Arc<Shared<S>>,
+}
+
+impl<S: SequentialSpec> Clone for Durable<S> {
+    fn clone(&self) -> Self {
+        Durable {
+            shared: self.shared.clone(),
+        }
+    }
+}
+
+fn meta_root(name: &str) -> RootId {
+    RootId::from_name(&format!("onll:{name}:meta"))
+}
+
+fn meta_size(max_processes: usize) -> usize {
+    32 + 16 * max_processes
+}
+
+impl<S: SequentialSpec> Durable<S> {
+    fn log_config(config: &OnllConfig) -> LogConfig {
+        LogConfig::for_processes(config.max_processes)
+            .op_slot_size(record_slot_size::<S::UpdateOp>())
+            .capacity_entries(config.log_capacity_entries)
+    }
+
+    /// Formats a fresh object in `pool` under `config.name` and returns it.
+    ///
+    /// Fails if an object with the same name already exists in the pool (use
+    /// [`Durable::recover`] for that) or if the pool is too small.
+    pub fn create(pool: NvmPool, config: OnllConfig) -> Result<Self, OnllError> {
+        Self::create_with_hooks(pool, config, Hooks::none())
+    }
+
+    /// Like [`Durable::create`], with execution hooks installed (used by tests, the
+    /// crash harness and the Figure-1 / lower-bound reproductions).
+    pub fn create_with_hooks(
+        pool: NvmPool,
+        config: OnllConfig,
+        hooks: Hooks,
+    ) -> Result<Self, OnllError> {
+        if config.checkpoint_interval.is_some() && !config.use_local_views {
+            return Err(OnllError::MetadataMismatch(
+                "checkpointing requires local views to be enabled".into(),
+            ));
+        }
+        let root = meta_root(&config.name);
+        if pool.get_root(root).is_some() {
+            return Err(OnllError::MetadataMismatch(format!(
+                "an object named '{}' already exists in this pool; use recover()",
+                config.name
+            )));
+        }
+        let log_cfg = Self::log_config(&config);
+        let mut log_bases = Vec::with_capacity(config.max_processes);
+        let mut cp_bases = Vec::with_capacity(config.max_processes);
+        for _ in 0..config.max_processes {
+            let log_base = pool.alloc(PersistentLog::region_size(&log_cfg))?;
+            // Format the log header now so that recovery finds a consistent header
+            // even for processes that never perform an update.
+            drop(PersistentLog::create(pool.clone(), log_cfg.clone(), log_base));
+            let cp_base = pool.alloc(checkpoint::area_size(config.checkpoint_slot_bytes))?;
+            log_bases.push(log_base);
+            cp_bases.push(cp_base);
+        }
+        // Persist the metadata block and register it under the named root.
+        let meta_addr = pool.alloc(meta_size(config.max_processes))?;
+        let mut meta = vec![0u8; meta_size(config.max_processes)];
+        meta[0..8].copy_from_slice(&META_MAGIC.to_le_bytes());
+        meta[8..12].copy_from_slice(&(config.max_processes as u32).to_le_bytes());
+        meta[12..16].copy_from_slice(&(config.log_capacity_entries as u32).to_le_bytes());
+        meta[16..20].copy_from_slice(&(log_cfg.op_slot_size as u32).to_le_bytes());
+        meta[20..24].copy_from_slice(&(config.checkpoint_slot_bytes as u32).to_le_bytes());
+        for i in 0..config.max_processes {
+            let off = 32 + i * 16;
+            meta[off..off + 8].copy_from_slice(&log_bases[i].to_le_bytes());
+            meta[off + 8..off + 16].copy_from_slice(&cp_bases[i].to_le_bytes());
+        }
+        pool.persist(meta_addr, &meta);
+        pool.set_root(root, meta_addr, meta.len() as u64)?;
+
+        let shared = Shared {
+            trace: ExecutionTrace::new(None),
+            pool,
+            claimed: (0..config.max_processes).map(|_| AtomicBool::new(false)).collect(),
+            progress: (0..config.max_processes).map(|_| AtomicU64::new(0)).collect(),
+            last_op_seq: (0..config.max_processes).map(|_| AtomicU64::new(0)).collect(),
+            base_index: 0,
+            base_state: Box::new(S::initialize),
+            recovered: Mutex::new(HashSet::new()),
+            hooks,
+            log_cfg,
+            log_bases,
+            cp_bases,
+            config,
+        };
+        Ok(Durable {
+            shared: Arc::new(shared),
+        })
+    }
+
+    fn read_meta(
+        pool: &NvmPool,
+        config: &OnllConfig,
+    ) -> Result<(usize, LogConfig, usize, Vec<PAddr>, Vec<PAddr>), OnllError> {
+        let root = meta_root(&config.name);
+        let (meta_addr, meta_len) = pool
+            .get_root(root)
+            .ok_or_else(|| OnllError::MetadataMissing(config.name.clone()))?;
+        let meta = pool.read_vec(meta_addr, meta_len as usize);
+        if meta.len() < 32 || u64::from_le_bytes(meta[0..8].try_into().unwrap()) != META_MAGIC {
+            return Err(OnllError::MetadataMismatch("bad metadata magic".into()));
+        }
+        let max_processes = u32::from_le_bytes(meta[8..12].try_into().unwrap()) as usize;
+        let log_capacity = u32::from_le_bytes(meta[12..16].try_into().unwrap()) as usize;
+        let op_slot_size = u32::from_le_bytes(meta[16..20].try_into().unwrap()) as usize;
+        let cp_slot_bytes = u32::from_le_bytes(meta[20..24].try_into().unwrap()) as usize;
+        if op_slot_size != record_slot_size::<S::UpdateOp>() {
+            return Err(OnllError::MetadataMismatch(format!(
+                "operation slot size mismatch: persisted {} vs expected {} — was the object created with a different spec?",
+                op_slot_size,
+                record_slot_size::<S::UpdateOp>()
+            )));
+        }
+        if meta.len() < 32 + 16 * max_processes {
+            return Err(OnllError::MetadataMismatch("truncated metadata block".into()));
+        }
+        let mut log_bases = Vec::with_capacity(max_processes);
+        let mut cp_bases = Vec::with_capacity(max_processes);
+        for i in 0..max_processes {
+            let off = 32 + i * 16;
+            log_bases.push(u64::from_le_bytes(meta[off..off + 8].try_into().unwrap()));
+            cp_bases.push(u64::from_le_bytes(
+                meta[off + 8..off + 16].try_into().unwrap(),
+            ));
+        }
+        let log_cfg = LogConfig::for_processes(max_processes)
+            .op_slot_size(op_slot_size)
+            .capacity_entries(log_capacity);
+        Ok((max_processes, log_cfg, cp_slot_bytes, log_bases, cp_bases))
+    }
+
+    /// Recovers an object (Listing 5) that does **not** use checkpoints: the
+    /// execution trace is rebuilt from the persistent logs alone.
+    ///
+    /// Returns the recovered object and a [`RecoveryReport`] describing what was
+    /// found (the basis of detectable execution). Fails if a checkpoint exists in
+    /// the pool — use [`Durable::recover_with_checkpoints`] in that case.
+    pub fn recover(pool: NvmPool, config: OnllConfig) -> Result<(Self, RecoveryReport), OnllError> {
+        Self::recover_with_hooks(pool, config, Hooks::none())
+    }
+
+    /// Like [`Durable::recover`], with execution hooks installed.
+    pub fn recover_with_hooks(
+        pool: NvmPool,
+        config: OnllConfig,
+        hooks: Hooks,
+    ) -> Result<(Self, RecoveryReport), OnllError> {
+        let (max_processes, log_cfg, cp_slot_bytes, log_bases, cp_bases) =
+            Self::read_meta(&pool, &config)?;
+        if checkpoint::read_best(&pool, &cp_bases, cp_slot_bytes).is_some() {
+            return Err(OnllError::MetadataMismatch(
+                "a checkpoint exists; recover_with_checkpoints must be used".into(),
+            ));
+        }
+        Self::finish_recovery(
+            pool,
+            config,
+            hooks,
+            max_processes,
+            log_cfg,
+            cp_slot_bytes,
+            log_bases,
+            cp_bases,
+            0,
+            Box::new(S::initialize),
+        )
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn finish_recovery(
+        pool: NvmPool,
+        mut config: OnllConfig,
+        hooks: Hooks,
+        max_processes: usize,
+        log_cfg: LogConfig,
+        cp_slot_bytes: usize,
+        log_bases: Vec<PAddr>,
+        cp_bases: Vec<PAddr>,
+        base_index: u64,
+        base_state: Box<dyn Fn() -> S + Send + Sync>,
+    ) -> Result<(Self, RecoveryReport), OnllError> {
+        config.max_processes = max_processes;
+        config.log_capacity_entries = log_cfg.capacity_entries;
+        config.checkpoint_slot_bytes = cp_slot_bytes;
+
+        // Gather every process's valid log entries.
+        let mut per_process_entries = Vec::with_capacity(max_processes);
+        for base in &log_bases {
+            let (_log, entries) = PersistentLog::open(pool.clone(), log_cfg.clone(), *base);
+            per_process_entries.push(entries);
+        }
+        // Reconstruct the durable history above the checkpoint (Listing 5).
+        let recovered_raw = reconstruct_history_from(&per_process_entries, base_index + 1);
+
+        let trace: ExecutionTrace<Option<Record<S::UpdateOp>>> =
+            ExecutionTrace::with_base(None, base_index);
+        let mut recovered_ops = Vec::with_capacity(recovered_raw.len());
+        let mut recovered_set = HashSet::with_capacity(recovered_raw.len());
+        for raw in &recovered_raw {
+            let record: Record<S::UpdateOp> =
+                decode_record(&raw.encoded_op).ok_or(OnllError::CorruptOperation {
+                    execution_index: raw.execution_index,
+                })?;
+            recovered_ops.push((raw.execution_index, record.op_id));
+            recovered_set.insert(record.op_id);
+            let node = trace.insert(Some(record));
+            debug_assert_eq!(node.idx(), raw.execution_index);
+            trace.set_available(node);
+        }
+        let durable_index = recovered_ops
+            .last()
+            .map(|(idx, _)| *idx)
+            .unwrap_or(base_index);
+        // Seed per-slot operation sequence numbers past everything recovered so new
+        // invocations never reuse a pre-crash identity.
+        let mut last_op_seq: Vec<u64> = vec![0; max_processes];
+        for (_, op_id) in &recovered_ops {
+            if (op_id.pid as usize) < max_processes {
+                last_op_seq[op_id.pid as usize] = last_op_seq[op_id.pid as usize].max(op_id.seq);
+            }
+        }
+
+        let shared = Shared {
+            trace,
+            pool,
+            claimed: (0..max_processes).map(|_| AtomicBool::new(false)).collect(),
+            progress: (0..max_processes).map(|_| AtomicU64::new(base_index)).collect(),
+            last_op_seq: last_op_seq.into_iter().map(AtomicU64::new).collect(),
+            base_index,
+            base_state,
+            recovered: Mutex::new(recovered_set),
+            hooks,
+            log_cfg,
+            log_bases,
+            cp_bases,
+            config,
+        };
+        let report = RecoveryReport {
+            checkpoint_index: base_index,
+            durable_index,
+            recovered_ops,
+        };
+        Ok((
+            Durable {
+                shared: Arc::new(shared),
+            },
+            report,
+        ))
+    }
+
+    /// The object's configuration (possibly adjusted to the persisted metadata
+    /// after a recovery).
+    pub fn config(&self) -> &OnllConfig {
+        &self.shared.config
+    }
+
+    /// The pool this object lives in.
+    pub fn pool(&self) -> &NvmPool {
+        &self.shared.pool
+    }
+
+    /// Persistence statistics of the underlying pool.
+    pub fn stats(&self) -> &FenceStats {
+        self.shared.pool.stats()
+    }
+
+    /// Execution index of the youngest *ordered* operation (whether or not it has
+    /// been linearized yet).
+    pub fn ordered_index(&self) -> u64 {
+        self.shared.trace.tail_idx()
+    }
+
+    /// Execution index of the youngest *linearized* operation (the latest node with
+    /// a set available flag).
+    pub fn linearized_index(&self) -> u64 {
+        self.shared.trace.latest_available().idx()
+    }
+
+    /// Current size of the fuzzy window (operations ordered but not yet covered by
+    /// an available flag). Bounded by `max_processes` (Proposition 5.2).
+    pub fn fuzzy_window_len(&self) -> usize {
+        self.shared.trace.fuzzy_window_len()
+    }
+
+    /// Checks Proposition 5.2 over the whole trace. Returns a human-readable error
+    /// if violated (which would indicate a bug in the construction).
+    pub fn check_invariants(&self) -> Result<(), String> {
+        check_fuzzy_invariant(&self.shared.trace, self.shared.config.max_processes)
+            .map_err(|v| format!("fuzzy-window bound violated: {v:?}"))
+    }
+
+    /// Detectable execution: true if the update identified by `op_id` has been
+    /// linearized — i.e. it appears in the execution trace (either inserted during
+    /// this incarnation or recovered from the logs after a crash).
+    ///
+    /// After a checkpoint-based recovery, operations already covered by the
+    /// checkpoint are no longer individually identifiable; this method only answers
+    /// for operations at execution indices above the checkpoint.
+    pub fn was_linearized(&self, op_id: OpId) -> bool {
+        if self.shared.recovered.lock().contains(&op_id) {
+            return true;
+        }
+        // Only linearized operations count: walk from the latest available node.
+        let latest = self.shared.trace.latest_available();
+        self.shared
+            .trace
+            .iter_from(latest)
+            .any(|n| n.op().as_ref().is_some_and(|r| r.op_id == op_id))
+    }
+
+    /// Claims the lowest free process slot and returns a handle for it.
+    pub fn register(&self) -> Result<crate::ProcessHandle<S>, OnllError> {
+        for pid in 0..self.shared.config.max_processes {
+            if self.try_claim(pid) {
+                return crate::handle::new_handle(self.shared.clone(), pid);
+            }
+        }
+        Err(OnllError::NoFreeProcessSlot)
+    }
+
+    /// Claims a specific process slot and returns a handle for it.
+    pub fn handle_for(&self, pid: usize) -> Result<crate::ProcessHandle<S>, OnllError> {
+        if pid >= self.shared.config.max_processes || !self.try_claim(pid) {
+            return Err(OnllError::ProcessSlotUnavailable(pid));
+        }
+        crate::handle::new_handle(self.shared.clone(), pid)
+    }
+
+    fn try_claim(&self, pid: usize) -> bool {
+        self.shared.claimed[pid]
+            .compare_exchange(false, true, Ordering::AcqRel, Ordering::Acquire)
+            .is_ok()
+    }
+
+    /// Reads the object without a process handle by replaying the trace prefix up
+    /// to the latest available node. Exactly the base construction's read: no NVM
+    /// access, no persistent fences. Intended for tests, examples and one-off
+    /// inspection; per-process handles with local views are faster.
+    ///
+    /// # Panics
+    ///
+    /// Panics if trace-prefix reclamation has discarded part of the history this
+    /// read would need (only possible when checkpointing is enabled); use a
+    /// registered handle in that case.
+    pub fn read_latest(&self, op: &S::ReadOp) -> S::Value {
+        assert!(
+            self.shared.trace.reclaim_floor() <= self.shared.base_index + 1,
+            "anonymous reads are unavailable after trace reclamation; use a ProcessHandle"
+        );
+        let latest = self.shared.trace.latest_available();
+        let mut state = (self.shared.base_state)();
+        for node in self.shared.trace.nodes_between(self.shared.base_index, latest) {
+            if let Some(record) = node.op() {
+                state.apply(&record.op);
+            }
+        }
+        state.read(op)
+    }
+}
+
+impl<S: CheckpointableSpec> Durable<S> {
+    /// Recovers an object that may have checkpoints: the newest valid checkpoint
+    /// across all processes seeds the state, and only log entries above it are
+    /// replayed (Section 8 extension).
+    pub fn recover_with_checkpoints(
+        pool: NvmPool,
+        config: OnllConfig,
+    ) -> Result<(Self, RecoveryReport), OnllError> {
+        Self::recover_with_checkpoints_and_hooks(pool, config, Hooks::none())
+    }
+
+    /// Like [`Durable::recover_with_checkpoints`], with execution hooks installed.
+    pub fn recover_with_checkpoints_and_hooks(
+        pool: NvmPool,
+        config: OnllConfig,
+        hooks: Hooks,
+    ) -> Result<(Self, RecoveryReport), OnllError> {
+        let (max_processes, log_cfg, cp_slot_bytes, log_bases, cp_bases) =
+            Self::read_meta(&pool, &config)?;
+        let best = checkpoint::read_best(&pool, &cp_bases, cp_slot_bytes);
+        let (base_index, base_state): (u64, Box<dyn Fn() -> S + Send + Sync>) = match best {
+            Some((idx, bytes)) => {
+                // Validate eagerly so recovery fails loudly on a corrupt-but-
+                // checksum-valid state (should not happen; defensive).
+                if S::decode_state(&bytes).is_none() {
+                    return Err(OnllError::MetadataMismatch(
+                        "checkpoint state failed to decode".into(),
+                    ));
+                }
+                (
+                    idx,
+                    Box::new(move || S::decode_state(&bytes).expect("validated above")),
+                )
+            }
+            None => (0, Box::new(S::initialize)),
+        };
+        Self::finish_recovery(
+            pool,
+            config,
+            hooks,
+            max_processes,
+            log_cfg,
+            cp_slot_bytes,
+            log_bases,
+            cp_bases,
+            base_index,
+            base_state,
+        )
+    }
+}
+
+impl<S: SequentialSpec> std::fmt::Debug for Durable<S> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Durable")
+            .field("name", &self.shared.config.name)
+            .field("max_processes", &self.shared.config.max_processes)
+            .field("ordered_index", &self.ordered_index())
+            .field("linearized_index", &self.linearized_index())
+            .finish()
+    }
+}

@@ -1,0 +1,328 @@
+//! Per-process handles: `update` (Listing 3), `read` (Listing 4) and the Section-8
+//! checkpointing / reclamation extension.
+
+use crate::checkpoint;
+use crate::construction::Shared;
+use crate::error::OnllError;
+use crate::hooks::Phase;
+use crate::local_view::LocalView;
+use crate::op_id::{encode_record, OpId, Record};
+use crate::spec::{CheckpointableSpec, SequentialSpec};
+use exec_trace::TraceNode;
+use persist_log::{LogError, PersistentLog};
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+
+enum ReadStrategy<S: SequentialSpec> {
+    /// Base construction: every value computation replays the trace prefix from the
+    /// sentinel ("readers traverse the entire execution trace").
+    FullReplay,
+    /// Section-8 extension: a per-process materialized state that replays only the
+    /// missing suffix.
+    LocalView(LocalView<S>),
+}
+
+/// A per-process handle on a [`crate::Durable`] object.
+///
+/// Exactly one handle exists per process slot at a time (handles are not `Clone`;
+/// dropping a handle releases its slot). The `&mut self` receivers encode the
+/// paper's model in which a process has at most one operation in flight.
+pub struct ProcessHandle<S: SequentialSpec> {
+    shared: Arc<Shared<S>>,
+    pid: usize,
+    log: PersistentLog,
+    strategy: ReadStrategy<S>,
+    /// Own updates since the last checkpoint (for `update_with_checkpoint`).
+    updates_since_checkpoint: u64,
+    /// Which checkpoint slot to write next (double buffering).
+    checkpoint_toggle: u64,
+    /// Identity of the most recent update invoked through this handle.
+    last_op_id: Option<OpId>,
+}
+
+pub(crate) fn new_handle<S: SequentialSpec>(
+    shared: Arc<Shared<S>>,
+    pid: usize,
+) -> Result<ProcessHandle<S>, OnllError> {
+    let (log, _existing) = PersistentLog::open(
+        shared.pool.clone(),
+        shared.log_cfg.clone(),
+        shared.log_bases[pid],
+    );
+    let strategy = if shared.config.use_local_views {
+        ReadStrategy::LocalView(LocalView::new((shared.base_state)(), shared.base_index))
+    } else {
+        ReadStrategy::FullReplay
+    };
+    shared.progress[pid].store(shared.base_index, Ordering::Release);
+    Ok(ProcessHandle {
+        shared,
+        pid,
+        log,
+        strategy,
+        updates_since_checkpoint: 0,
+        checkpoint_toggle: 0,
+        last_op_id: None,
+    })
+}
+
+impl<S: SequentialSpec> ProcessHandle<S> {
+    /// This handle's process identifier (`0 .. max_processes`).
+    pub fn pid(&self) -> usize {
+        self.pid
+    }
+
+    /// Identity assigned to the most recent update invoked through this handle.
+    /// Useful for detectable-execution queries after a crash.
+    pub fn last_op_id(&self) -> Option<OpId> {
+        self.last_op_id
+    }
+
+    /// Identity that will be assigned to the *next* update invoked through this
+    /// handle. Test harnesses record it before invoking an operation so that even
+    /// operations interrupted by a crash can be matched against the recovery's
+    /// detectable-execution report.
+    pub fn peek_next_op_id(&self) -> OpId {
+        OpId::new(
+            self.pid as u32,
+            self.shared.last_op_seq[self.pid].load(Ordering::Acquire) + 1,
+        )
+    }
+
+    /// Execution index this handle's local view reflects (0 / the checkpoint index
+    /// if no operation has been observed yet). With local views disabled this is
+    /// the index of the last operation whose effect this handle computed.
+    pub fn view_index(&self) -> u64 {
+        match &self.strategy {
+            ReadStrategy::LocalView(v) => v.idx(),
+            ReadStrategy::FullReplay => self.shared.progress[self.pid].load(Ordering::Acquire),
+        }
+    }
+
+    /// Number of live entries in this process's persistent log.
+    pub fn log_len(&self) -> usize {
+        self.log.live_len()
+    }
+
+    /// Performs an update operation (Listing 3): order, persist, linearize.
+    ///
+    /// Cost in the paper's model: **exactly one persistent fence** (the log
+    /// append's), regardless of how many other processes' operations were helped.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the persistent log is full (see [`ProcessHandle::try_update`] for
+    /// the non-panicking variant).
+    pub fn update(&mut self, op: S::UpdateOp) -> S::Value {
+        self.try_update(op).expect("ONLL update failed")
+    }
+
+    /// Fallible variant of [`ProcessHandle::update`].
+    pub fn try_update(&mut self, op: S::UpdateOp) -> Result<S::Value, OnllError> {
+        let pid = self.pid as u32;
+        // Work through a local clone of the shared Arc so references into the trace
+        // do not pin `self` immutably across the `&mut self` calls below.
+        let shared = self.shared.clone();
+        let hooks = shared.hooks.clone();
+        hooks.fire(Phase::BeforeOrder, pid);
+
+        // Refuse before touching shared state if the log cannot take another entry;
+        // otherwise we would order an operation we cannot persist.
+        if self.log.free_slots() == 0 {
+            return Err(OnllError::LogFull);
+        }
+
+        // --- Order: fix the linearization order by appending to the trace. ---
+        let seq = shared.last_op_seq[self.pid].fetch_add(1, Ordering::AcqRel) + 1;
+        let op_id = OpId::new(pid, seq);
+        self.last_op_id = Some(op_id);
+        let node = shared.trace.insert(Some(Record::new(op_id, op)));
+        hooks.fire(Phase::AfterOrder, pid);
+
+        // --- Persist: append the fuzzy window (own op + unpersisted predecessors)
+        //     to the private persistent log. One persistent fence. ---
+        let fuzzy = shared.trace.fuzzy_nodes_from(node);
+        debug_assert!(!fuzzy.is_empty() && std::ptr::eq(fuzzy[0], node));
+        debug_assert!(
+            fuzzy.len() <= shared.config.max_processes,
+            "fuzzy window exceeded MAX_PROCESSES (Proposition 5.2 violated)"
+        );
+        let encoded: Vec<Vec<u8>> = fuzzy
+            .iter()
+            .map(|n| {
+                encode_record(
+                    n.op()
+                        .as_ref()
+                        .expect("fuzzy-window nodes always carry an operation record"),
+                )
+            })
+            .collect();
+        let refs: Vec<&[u8]> = encoded.iter().map(|v| v.as_slice()).collect();
+        hooks.fire(Phase::BeforePersist, pid);
+        self.log.append(&refs, node.idx()).map_err(|e| match e {
+            LogError::Full => OnllError::LogFull,
+            LogError::EntryTooLarge(msg) => OnllError::Nvm(msg),
+        })?;
+        hooks.fire(Phase::AfterPersist, pid);
+
+        // --- Linearize: make the operation visible to readers. ---
+        hooks.fire(Phase::BeforeLinearize, pid);
+        shared.trace.set_available(node);
+        hooks.fire(Phase::AfterLinearize, pid);
+
+        // Return value: computed on the object state immediately after this update,
+        // according to the order fixed in the order stage.
+        let value = self.value_after(node);
+        self.publish_progress();
+        self.updates_since_checkpoint += 1;
+        hooks.fire(Phase::BeforeResponse, pid);
+        Ok(value)
+    }
+
+    /// Performs a read-only operation (Listing 4).
+    ///
+    /// Cost in the paper's model: **zero persistent fences** — the read touches
+    /// neither NVM nor shared mutable memory; it only traverses the transient trace
+    /// (or, with local views, replays the missing suffix into process-private
+    /// state).
+    pub fn read(&mut self, op: &S::ReadOp) -> S::Value {
+        let pid = self.pid as u32;
+        let hooks = self.shared.hooks.clone();
+        hooks.fire(Phase::BeforeReadSnapshot, pid);
+        let node = self.shared.trace.latest_available();
+        let value = match &mut self.strategy {
+            ReadStrategy::LocalView(view) => {
+                view.advance_to(&self.shared.trace, node);
+                view.state().read(op)
+            }
+            ReadStrategy::FullReplay => {
+                let state = self.replay_to(node);
+                state.read(op)
+            }
+        };
+        self.publish_progress();
+        hooks.fire(Phase::BeforeReadResponse, pid);
+        value
+    }
+
+    /// Computes the return value of the update recorded at `node`.
+    fn value_after(&mut self, node: &TraceNode<Option<Record<S::UpdateOp>>>) -> S::Value {
+        match &mut self.strategy {
+            ReadStrategy::LocalView(view) => view
+                .advance_to(&self.shared.trace, node)
+                .expect("the handle's own new operation is always ahead of its view"),
+            ReadStrategy::FullReplay => {
+                let mut state = (self.shared.base_state)();
+                let mut last = None;
+                for n in self
+                    .shared
+                    .trace
+                    .nodes_between(self.shared.base_index, node)
+                {
+                    if let Some(record) = n.op() {
+                        last = Some(state.apply(&record.op));
+                    }
+                }
+                last.expect("at least this handle's own operation is replayed")
+            }
+        }
+    }
+
+    /// Replays the trace prefix ending at `node` from the base state.
+    fn replay_to(&self, node: &TraceNode<Option<Record<S::UpdateOp>>>) -> S {
+        let mut state = (self.shared.base_state)();
+        for n in self
+            .shared
+            .trace
+            .nodes_between(self.shared.base_index, node)
+        {
+            if let Some(record) = n.op() {
+                state.apply(&record.op);
+            }
+        }
+        state
+    }
+
+    fn publish_progress(&self) {
+        if let ReadStrategy::LocalView(view) = &self.strategy {
+            self.shared.progress[self.pid].store(view.idx(), Ordering::Release);
+        }
+    }
+}
+
+impl<S: CheckpointableSpec> ProcessHandle<S> {
+    /// Persists a checkpoint of this handle's local view, truncates this process's
+    /// persistent log, and reclaims the shared trace prefix that every registered
+    /// process has already incorporated into its local view (Section 8 extension).
+    ///
+    /// Cost: two persistent fences (checkpoint write + log-header truncation) —
+    /// explicit maintenance, amortized over `checkpoint_interval` updates; the
+    /// per-update bound of Theorem 5.1 is unaffected.
+    ///
+    /// Returns the execution index the checkpoint covers.
+    pub fn checkpoint(&mut self) -> Result<u64, OnllError> {
+        if self.shared.config.checkpoint_interval.is_none() {
+            return Err(OnllError::CheckpointingDisabled);
+        }
+        let ReadStrategy::LocalView(view) = &self.strategy else {
+            return Err(OnllError::CheckpointingDisabled);
+        };
+        let idx = view.idx();
+        let mut bytes = Vec::new();
+        view.state().encode_state(&mut bytes);
+        checkpoint::write_checkpoint(
+            &self.shared.pool,
+            self.shared.cp_bases[self.pid],
+            self.shared.config.checkpoint_slot_bytes,
+            self.checkpoint_toggle,
+            idx,
+            &bytes,
+        )
+        .map_err(OnllError::Nvm)?;
+        self.checkpoint_toggle = self.checkpoint_toggle.wrapping_add(1);
+        // All of this process's log entries carry execution indices <= idx (its own
+        // updates are already reflected in its local view), so the whole log is now
+        // redundant with the checkpoint.
+        self.log.truncate();
+        self.updates_since_checkpoint = 0;
+
+        // Reclaim the shared trace prefix below the slowest registered process.
+        if let Some(min) = self.shared.min_progress() {
+            let floor = self.shared.trace.reclaim_floor();
+            if min > floor && min - floor >= self.shared.config.reclaim_batch {
+                self.shared.trace.reclaim_prefix(min);
+            }
+        }
+        Ok(idx)
+    }
+
+    /// [`ProcessHandle::try_update`] followed by an automatic [`ProcessHandle::checkpoint`]
+    /// every `checkpoint_interval` updates.
+    pub fn update_with_checkpoint(&mut self, op: S::UpdateOp) -> Result<S::Value, OnllError> {
+        let value = self.try_update(op)?;
+        if let Some(interval) = self.shared.config.checkpoint_interval {
+            if self.updates_since_checkpoint >= interval {
+                self.checkpoint()?;
+            }
+        }
+        Ok(value)
+    }
+}
+
+impl<S: SequentialSpec> Drop for ProcessHandle<S> {
+    fn drop(&mut self) {
+        // Release the slot so the process identifier can be claimed again (e.g.
+        // after recovery or when worker threads are re-spawned).
+        self.shared.claimed[self.pid].store(false, Ordering::Release);
+    }
+}
+
+impl<S: SequentialSpec> std::fmt::Debug for ProcessHandle<S> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ProcessHandle")
+            .field("pid", &self.pid)
+            .field("view_index", &self.view_index())
+            .field("log_len", &self.log_len())
+            .finish()
+    }
+}

@@ -1,0 +1,157 @@
+//! Execution hooks: controlled pause/crash points inside operations.
+//!
+//! The paper's arguments repeatedly construct *specific* executions: Figure 1 pauses
+//! a process right after it appended to its persistent log; the lower-bound proof
+//! (Theorem 6.3) runs a process solo and preempts it "just before the response" or
+//! "just before its first persistent fence". Reproducing those executions requires a
+//! way to stop a process at a precise point inside `update` without changing the
+//! algorithm. [`Hooks`] provides that: a callback invoked at each [`Phase`] of an
+//! update or read, which the harness uses to park threads, inject crashes, or record
+//! schedules. Production users simply leave it empty (the default), in which case
+//! the hook is a no-op.
+
+use std::sync::Arc;
+
+/// The points inside ONLL operations at which the hook fires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Phase {
+    /// Start of an update, before the execution-trace insert (the *order* stage).
+    BeforeOrder,
+    /// After the node was inserted into the execution trace (ordered, not yet
+    /// persistent, not yet linearized).
+    AfterOrder,
+    /// After the fuzzy window was computed, immediately before the persistent-log
+    /// append (i.e. before the update's single persistent fence).
+    BeforePersist,
+    /// After the persistent-log append returned (the operation and its helped
+    /// operations are durable).
+    AfterPersist,
+    /// Immediately before the node's available flag is set (before the
+    /// linearization point).
+    BeforeLinearize,
+    /// Immediately after the available flag was set (the operation is linearized).
+    AfterLinearize,
+    /// After the return value was computed, immediately before `update` returns.
+    BeforeResponse,
+    /// Start of a read-only operation, before locating the latest available node.
+    BeforeReadSnapshot,
+    /// End of a read-only operation, immediately before it returns.
+    BeforeReadResponse,
+}
+
+impl Phase {
+    /// All phases, in the order they occur within an update followed by the read
+    /// phases. Useful for exhaustive crash-point sweeps.
+    pub const ALL: [Phase; 9] = [
+        Phase::BeforeOrder,
+        Phase::AfterOrder,
+        Phase::BeforePersist,
+        Phase::AfterPersist,
+        Phase::BeforeLinearize,
+        Phase::AfterLinearize,
+        Phase::BeforeResponse,
+        Phase::BeforeReadSnapshot,
+        Phase::BeforeReadResponse,
+    ];
+
+    /// The update-only phases, in execution order.
+    pub const UPDATE_PHASES: [Phase; 7] = [
+        Phase::BeforeOrder,
+        Phase::AfterOrder,
+        Phase::BeforePersist,
+        Phase::AfterPersist,
+        Phase::BeforeLinearize,
+        Phase::AfterLinearize,
+        Phase::BeforeResponse,
+    ];
+}
+
+/// A shareable hook invoked at every [`Phase`] of every operation, with the
+/// invoking process id.
+#[derive(Clone, Default)]
+pub struct Hooks {
+    callback: Option<Arc<dyn Fn(Phase, u32) + Send + Sync>>,
+}
+
+impl Hooks {
+    /// No-op hooks (the default).
+    pub fn none() -> Self {
+        Hooks { callback: None }
+    }
+
+    /// Hooks invoking `f(phase, pid)` at every phase.
+    pub fn new(f: impl Fn(Phase, u32) + Send + Sync + 'static) -> Self {
+        Hooks {
+            callback: Some(Arc::new(f)),
+        }
+    }
+
+    /// True if a callback is installed.
+    pub fn is_active(&self) -> bool {
+        self.callback.is_some()
+    }
+
+    /// Fires the hook (no-op when none is installed).
+    #[inline]
+    pub fn fire(&self, phase: Phase, pid: u32) {
+        if let Some(cb) = &self.callback {
+            cb(phase, pid);
+        }
+    }
+}
+
+impl std::fmt::Debug for Hooks {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Hooks(active={})", self.is_active())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Mutex;
+
+    #[test]
+    fn default_hooks_are_inactive_and_cheap() {
+        let h = Hooks::default();
+        assert!(!h.is_active());
+        h.fire(Phase::AfterPersist, 0); // must not panic
+    }
+
+    #[test]
+    fn installed_hook_receives_phase_and_pid() {
+        let seen = Arc::new(Mutex::new(Vec::new()));
+        let seen2 = seen.clone();
+        let h = Hooks::new(move |phase, pid| seen2.lock().unwrap().push((phase, pid)));
+        assert!(h.is_active());
+        h.fire(Phase::BeforeOrder, 3);
+        h.fire(Phase::BeforeResponse, 5);
+        assert_eq!(
+            *seen.lock().unwrap(),
+            vec![(Phase::BeforeOrder, 3), (Phase::BeforeResponse, 5)]
+        );
+    }
+
+    #[test]
+    fn hooks_are_cloneable_and_share_the_callback() {
+        let count = Arc::new(AtomicUsize::new(0));
+        let c = count.clone();
+        let h = Hooks::new(move |_, _| {
+            c.fetch_add(1, Ordering::Relaxed);
+        });
+        let h2 = h.clone();
+        h.fire(Phase::AfterOrder, 0);
+        h2.fire(Phase::AfterOrder, 1);
+        assert_eq!(count.load(Ordering::Relaxed), 2);
+    }
+
+    #[test]
+    fn phase_lists_are_consistent() {
+        assert_eq!(Phase::ALL.len(), 9);
+        assert_eq!(Phase::UPDATE_PHASES.len(), 7);
+        for p in Phase::UPDATE_PHASES {
+            assert!(Phase::ALL.contains(&p));
+        }
+    }
+}

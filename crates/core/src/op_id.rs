@@ -1,0 +1,144 @@
+//! Operation identities and the records stored in the execution trace and logs.
+//!
+//! ONLL provides *detectable execution* (stronger than durable linearizability):
+//! after recovery a process can determine whether a given operation was linearized
+//! before the crash. To support this, every update is tagged with an [`OpId`] —
+//! (process id, per-process sequence number) — and the tag is persisted together
+//! with the operation in the log entries, so recovery can answer
+//! "was my operation linearized?" exactly.
+
+use crate::spec::OpCodec;
+
+/// Identity of an update operation: the invoking process and its per-process
+/// invocation sequence number.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct OpId {
+    /// Process (handle) identifier, `0 .. max_processes`.
+    pub pid: u32,
+    /// Per-process invocation counter, starting at 1.
+    pub seq: u64,
+}
+
+impl OpId {
+    /// Creates an operation id.
+    pub fn new(pid: u32, seq: u64) -> Self {
+        OpId { pid, seq }
+    }
+}
+
+impl std::fmt::Display for OpId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "p{}#{}", self.pid, self.seq)
+    }
+}
+
+/// An update operation tagged with its identity; this is the payload of execution
+/// trace nodes and (encoded) of persistent log slots.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Record<U> {
+    /// Identity of the invocation.
+    pub op_id: OpId,
+    /// The update operation itself.
+    pub op: U,
+}
+
+impl<U> Record<U> {
+    /// Creates a record.
+    pub fn new(op_id: OpId, op: U) -> Self {
+        Record { op_id, op }
+    }
+}
+
+/// Encoded size of a record with operations of type `U`.
+pub(crate) fn record_slot_size<U: OpCodec>() -> usize {
+    // pid (4) + seq (8) + op length prefix (2) + op payload.
+    14 + U::MAX_ENCODED_SIZE
+}
+
+/// Encodes a record for storage in a log entry slot.
+pub(crate) fn encode_record<U: OpCodec>(record: &Record<U>) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(record_slot_size::<U>());
+    buf.extend_from_slice(&record.op_id.pid.to_le_bytes());
+    buf.extend_from_slice(&record.op_id.seq.to_le_bytes());
+    let mut op_buf = Vec::with_capacity(U::MAX_ENCODED_SIZE);
+    record.op.encode(&mut op_buf);
+    assert!(
+        op_buf.len() <= U::MAX_ENCODED_SIZE,
+        "operation encoding exceeds its declared MAX_ENCODED_SIZE"
+    );
+    buf.extend_from_slice(&(op_buf.len() as u16).to_le_bytes());
+    buf.extend_from_slice(&op_buf);
+    buf
+}
+
+/// Decodes a record previously encoded by [`encode_record`]. Returns `None` on
+/// malformed input.
+pub(crate) fn decode_record<U: OpCodec>(bytes: &[u8]) -> Option<Record<U>> {
+    if bytes.len() < 14 {
+        return None;
+    }
+    let pid = u32::from_le_bytes(bytes[0..4].try_into().ok()?);
+    let seq = u64::from_le_bytes(bytes[4..12].try_into().ok()?);
+    let op_len = u16::from_le_bytes(bytes[12..14].try_into().ok()?) as usize;
+    if bytes.len() < 14 + op_len {
+        return None;
+    }
+    let op = U::decode(&bytes[14..14 + op_len])?;
+    Some(Record {
+        op_id: OpId::new(pid, seq),
+        op,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Debug, Clone, PartialEq)]
+    struct TinyOp(u32);
+
+    impl OpCodec for TinyOp {
+        const MAX_ENCODED_SIZE: usize = 4;
+        fn encode(&self, buf: &mut Vec<u8>) {
+            buf.extend_from_slice(&self.0.to_le_bytes());
+        }
+        fn decode(bytes: &[u8]) -> Option<Self> {
+            Some(TinyOp(u32::from_le_bytes(bytes.try_into().ok()?)))
+        }
+    }
+
+    #[test]
+    fn op_id_display_and_ordering() {
+        let a = OpId::new(1, 5);
+        let b = OpId::new(1, 6);
+        let c = OpId::new(2, 1);
+        assert!(a < b && b < c);
+        assert_eq!(a.to_string(), "p1#5");
+    }
+
+    #[test]
+    fn record_roundtrip() {
+        let r = Record::new(OpId::new(3, 42), TinyOp(0xDEAD));
+        let bytes = encode_record(&r);
+        assert!(bytes.len() <= record_slot_size::<TinyOp>());
+        let back: Record<TinyOp> = decode_record(&bytes).unwrap();
+        assert_eq!(back, r);
+    }
+
+    #[test]
+    fn record_decode_rejects_truncation() {
+        let r = Record::new(OpId::new(0, 1), TinyOp(7));
+        let bytes = encode_record(&r);
+        for cut in 0..bytes.len() {
+            assert!(
+                decode_record::<TinyOp>(&bytes[..cut]).is_none(),
+                "truncated to {cut} bytes still decoded"
+            );
+        }
+    }
+
+    #[test]
+    fn slot_size_covers_worst_case() {
+        assert!(record_slot_size::<TinyOp>() >= 14 + TinyOp::MAX_ENCODED_SIZE);
+    }
+}

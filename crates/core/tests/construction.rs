@@ -1,0 +1,529 @@
+//! Integration tests of the ONLL universal construction: fence bounds
+//! (Theorem 5.1), concurrency, crash recovery (durable linearizability),
+//! detectable execution, local views and checkpointing.
+
+mod common;
+
+use common::{Append, CounterOp, CounterSpec, ListSpec};
+use nvm_sim::{NvmPool, PmemConfig, WritebackPolicy};
+use onll::{Durable, Hooks, OnllConfig, OnllError, OpId, Phase};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+fn pool() -> NvmPool {
+    NvmPool::new(PmemConfig::with_capacity(32 << 20).apply_pending_at_crash(0.0))
+}
+
+fn counter(pool: &NvmPool, name: &str) -> Durable<CounterSpec> {
+    Durable::create(pool.clone(), OnllConfig::named(name)).unwrap()
+}
+
+#[test]
+fn sequential_updates_and_reads() {
+    let p = pool();
+    let c = counter(&p, "ctr");
+    let mut h = c.register().unwrap();
+    assert_eq!(h.update(CounterOp::Add(1)), 1);
+    assert_eq!(h.update(CounterOp::Add(2)), 3);
+    assert_eq!(h.read(&()), 3);
+    assert_eq!(c.read_latest(&()), 3);
+    assert_eq!(c.ordered_index(), 2);
+    assert_eq!(c.linearized_index(), 2);
+    c.check_invariants().unwrap();
+}
+
+#[test]
+fn update_costs_exactly_one_persistent_fence_and_read_zero() {
+    let p = pool();
+    let c = counter(&p, "ctr");
+    let mut h = c.register().unwrap();
+    for i in 0..100 {
+        let w = p.stats().op_window();
+        h.update(CounterOp::Add(i));
+        let d = w.close();
+        assert_eq!(d.persistent_fences, 1, "update #{i}");
+        let w = p.stats().op_window();
+        h.read(&());
+        let d = w.close();
+        assert_eq!(d.persistent_fences, 0, "read #{i} must not fence");
+        assert_eq!(d.fences, 0, "read #{i} must not even issue a plain fence");
+        assert_eq!(d.flushes, 0, "read #{i} must not flush");
+        assert_eq!(d.stores, 0, "read #{i} must not store to NVM");
+    }
+}
+
+#[test]
+fn full_replay_mode_matches_local_view_mode() {
+    let p = pool();
+    let c_lv = Durable::<CounterSpec>::create(p.clone(), OnllConfig::named("lv")).unwrap();
+    let c_fr = Durable::<CounterSpec>::create(
+        p.clone(),
+        OnllConfig::named("fr").local_views(false),
+    )
+    .unwrap();
+    let mut h_lv = c_lv.register().unwrap();
+    let mut h_fr = c_fr.register().unwrap();
+    for i in -20i64..20 {
+        assert_eq!(
+            h_lv.update(CounterOp::Add(i)),
+            h_fr.update(CounterOp::Add(i))
+        );
+        assert_eq!(h_lv.read(&()), h_fr.read(&()));
+    }
+}
+
+#[test]
+fn updates_visible_to_other_handles_only_after_linearization() {
+    let p = pool();
+    let c = counter(&p, "ctr");
+    let mut h0 = c.register().unwrap();
+    let mut h1 = c.register().unwrap();
+    h0.update(CounterOp::Add(5));
+    assert_eq!(h1.read(&()), 5, "reader sees linearized update");
+}
+
+#[test]
+fn concurrent_updates_sum_correctly() {
+    let p = pool();
+    let c = Durable::<CounterSpec>::create(
+        p.clone(),
+        OnllConfig::named("ctr").max_processes(4).log_capacity(1024),
+    )
+    .unwrap();
+    let threads = 4;
+    let per_thread = 200;
+    let mut join = Vec::new();
+    for _ in 0..threads {
+        let c = c.clone();
+        join.push(std::thread::spawn(move || {
+            let mut h = c.register().unwrap();
+            for _ in 0..per_thread {
+                h.update(CounterOp::Add(1));
+            }
+        }));
+    }
+    for j in join {
+        j.join().unwrap();
+    }
+    assert_eq!(c.read_latest(&()), (threads * per_thread) as i64);
+    assert_eq!(c.ordered_index(), (threads * per_thread) as u64);
+    c.check_invariants().unwrap();
+}
+
+#[test]
+fn concurrent_total_fences_at_most_one_per_update() {
+    let p = pool();
+    let c = Durable::<CounterSpec>::create(
+        p.clone(),
+        OnllConfig::named("ctr").max_processes(4).log_capacity(2048),
+    )
+    .unwrap();
+    let before = p.stats().persistent_fences();
+    let threads = 4;
+    let per_thread = 150;
+    let mut join = Vec::new();
+    for _ in 0..threads {
+        let c = c.clone();
+        join.push(std::thread::spawn(move || {
+            let mut h = c.register().unwrap();
+            for _ in 0..per_thread {
+                h.update(CounterOp::Add(1));
+                h.read(&());
+            }
+        }));
+    }
+    for j in join {
+        j.join().unwrap();
+    }
+    let total = p.stats().persistent_fences() - before;
+    assert!(
+        total <= (threads * per_thread) as u64,
+        "{total} persistent fences for {} updates",
+        threads * per_thread
+    );
+}
+
+#[test]
+fn linearization_order_is_a_single_total_order() {
+    // Appends from multiple threads must be observed in the same total order by
+    // every reader, and that order must equal the execution-index order.
+    let p = pool();
+    let c = Durable::<ListSpec>::create(
+        p.clone(),
+        OnllConfig::named("list").max_processes(4).log_capacity(1024),
+    )
+    .unwrap();
+    let threads = 4;
+    let per_thread = 100u32;
+    let mut join = Vec::new();
+    for t in 0..threads {
+        let c = c.clone();
+        join.push(std::thread::spawn(move || {
+            let mut h = c.register().unwrap();
+            for i in 0..per_thread {
+                h.update(Append(t * 1000 + i));
+            }
+        }));
+    }
+    for j in join {
+        j.join().unwrap();
+    }
+    let items = c.read_latest(&());
+    assert_eq!(items.len(), (threads * per_thread) as usize);
+    // Per-thread subsequences appear in program order.
+    for t in 0..threads {
+        let mine: Vec<u32> = items.iter().copied().filter(|v| v / 1000 == t).collect();
+        let expected: Vec<u32> = (0..per_thread).map(|i| t * 1000 + i).collect();
+        assert_eq!(mine, expected, "thread {t} program order violated");
+    }
+}
+
+#[test]
+fn recovery_restores_all_completed_updates() {
+    let p = pool();
+    let name = "ctr";
+    {
+        let c = counter(&p, name);
+        let mut h = c.register().unwrap();
+        for _ in 0..25 {
+            h.update(CounterOp::Add(2));
+        }
+        assert_eq!(h.read(&()), 50);
+    }
+    p.crash_and_restart();
+    let (c, report) = Durable::<CounterSpec>::recover(p.clone(), OnllConfig::named(name)).unwrap();
+    assert_eq!(report.durable_index, 25);
+    assert_eq!(report.replayed_ops(), 25);
+    assert_eq!(c.read_latest(&()), 50);
+    // The object keeps working after recovery.
+    let mut h = c.register().unwrap();
+    assert_eq!(h.update(CounterOp::Add(1)), 51);
+}
+
+#[test]
+fn recovery_of_empty_object() {
+    let p = pool();
+    {
+        let _c = counter(&p, "ctr");
+    }
+    p.crash_and_restart();
+    let (c, report) = Durable::<CounterSpec>::recover(p.clone(), OnllConfig::named("ctr")).unwrap();
+    assert_eq!(report.durable_index, 0);
+    assert_eq!(c.read_latest(&()), 0);
+}
+
+#[test]
+fn recovery_without_explicit_crash_is_also_consistent() {
+    // Even without a crash (clean shutdown), recovery from NVM alone must
+    // reconstruct everything, because all updates were persisted before returning.
+    let p = pool();
+    {
+        let c = counter(&p, "ctr");
+        let mut h = c.register().unwrap();
+        for _ in 0..10 {
+            h.update(CounterOp::Add(3));
+        }
+    }
+    let (c, _) = Durable::<CounterSpec>::recover(p.clone(), OnllConfig::named("ctr")).unwrap();
+    assert_eq!(c.read_latest(&()), 30);
+}
+
+#[test]
+fn crash_during_update_preserves_prefix() {
+    // Crash after the trace insert but before the log append: the in-flight update
+    // must not be reflected after recovery, while all completed ones must be.
+    let p = pool();
+    let crashed = Arc::new(AtomicU64::new(0));
+    let crashed2 = crashed.clone();
+    let p2 = p.clone();
+    let hooks = Hooks::new(move |phase, _pid| {
+        if phase == Phase::BeforePersist && crashed2.fetch_add(1, Ordering::SeqCst) == 10 {
+            let _ = p2.crash();
+        }
+    });
+    let c = Durable::<CounterSpec>::create_with_hooks(
+        p.clone(),
+        OnllConfig::named("ctr"),
+        hooks,
+    )
+    .unwrap();
+    let mut h = c.register().unwrap();
+    let mut completed = 0i64;
+    for _ in 0..20 {
+        if p.is_frozen() {
+            break;
+        }
+        match h.try_update(CounterOp::Add(1)) {
+            Ok(_) if !p.is_frozen() => completed += 1,
+            _ => break,
+        }
+    }
+    assert!(p.is_frozen(), "the armed hook should have crashed the pool");
+    p.crash_and_restart();
+    let (c, report) =
+        Durable::<CounterSpec>::recover(p.clone(), OnllConfig::named("ctr")).unwrap();
+    // All updates that completed before the crash are present; the one in flight is
+    // not (it never reached the log).
+    assert_eq!(report.durable_index as i64, completed);
+    assert_eq!(c.read_latest(&()), completed);
+}
+
+#[test]
+fn detectable_execution_reports_linearized_ops() {
+    let p = pool();
+    let name = "ctr";
+    let mut last_op: Option<OpId> = None;
+    {
+        let c = counter(&p, name);
+        let mut h = c.register().unwrap();
+        for _ in 0..5 {
+            h.update(CounterOp::Add(1));
+            last_op = h.last_op_id();
+        }
+        assert!(c.was_linearized(last_op.unwrap()));
+        assert!(!c.was_linearized(OpId::new(7, 99)));
+    }
+    p.crash_and_restart();
+    let (c, _) = Durable::<CounterSpec>::recover(p.clone(), OnllConfig::named(name)).unwrap();
+    assert!(
+        c.was_linearized(last_op.unwrap()),
+        "completed op must be detected as linearized after recovery"
+    );
+    assert!(!c.was_linearized(OpId::new(0, 6)), "never-invoked op not reported");
+}
+
+#[test]
+fn hook_phases_fire_in_algorithm_order() {
+    let p = pool();
+    let order = Arc::new(parking_lot::Mutex::new(Vec::new()));
+    let order2 = order.clone();
+    let hooks = Hooks::new(move |phase, _| order2.lock().push(phase));
+    let c = Durable::<CounterSpec>::create_with_hooks(p, OnllConfig::named("ctr"), hooks).unwrap();
+    let mut h = c.register().unwrap();
+    h.update(CounterOp::Add(1));
+    h.read(&());
+    let seen = order.lock().clone();
+    assert_eq!(
+        seen,
+        vec![
+            Phase::BeforeOrder,
+            Phase::AfterOrder,
+            Phase::BeforePersist,
+            Phase::AfterPersist,
+            Phase::BeforeLinearize,
+            Phase::AfterLinearize,
+            Phase::BeforeResponse,
+            Phase::BeforeReadSnapshot,
+            Phase::BeforeReadResponse,
+        ]
+    );
+}
+
+#[test]
+fn register_assigns_distinct_pids_and_releases_on_drop() {
+    let p = pool();
+    let c = Durable::<CounterSpec>::create(p, OnllConfig::named("ctr").max_processes(2)).unwrap();
+    let h0 = c.register().unwrap();
+    let h1 = c.register().unwrap();
+    assert_ne!(h0.pid(), h1.pid());
+    assert!(matches!(c.register(), Err(OnllError::NoFreeProcessSlot)));
+    drop(h0);
+    let h2 = c.register().unwrap();
+    assert_eq!(h2.pid(), 0, "released slot is reused");
+    assert!(matches!(
+        c.handle_for(1),
+        Err(OnllError::ProcessSlotUnavailable(1))
+    ));
+    drop(h1);
+    assert!(c.handle_for(1).is_ok());
+}
+
+#[test]
+fn create_twice_with_same_name_fails() {
+    let p = pool();
+    let _c = counter(&p, "ctr");
+    assert!(matches!(
+        Durable::<CounterSpec>::create(p.clone(), OnllConfig::named("ctr")),
+        Err(OnllError::MetadataMismatch(_))
+    ));
+}
+
+#[test]
+fn recover_missing_object_fails() {
+    let p = pool();
+    assert!(matches!(
+        Durable::<CounterSpec>::recover(p, OnllConfig::named("nope")),
+        Err(OnllError::MetadataMissing(_))
+    ));
+}
+
+#[test]
+fn two_objects_share_a_pool_independently() {
+    let p = pool();
+    let a = counter(&p, "a");
+    let b = counter(&p, "b");
+    let mut ha = a.register().unwrap();
+    let mut hb = b.register().unwrap();
+    ha.update(CounterOp::Add(7));
+    hb.update(CounterOp::Add(100));
+    assert_eq!(a.read_latest(&()), 7);
+    assert_eq!(b.read_latest(&()), 100);
+    p.crash_and_restart();
+    let (a, _) = Durable::<CounterSpec>::recover(p.clone(), OnllConfig::named("a")).unwrap();
+    let (b, _) = Durable::<CounterSpec>::recover(p.clone(), OnllConfig::named("b")).unwrap();
+    assert_eq!(a.read_latest(&()), 7);
+    assert_eq!(b.read_latest(&()), 100);
+}
+
+#[test]
+fn log_full_is_reported_and_nothing_is_ordered() {
+    let p = pool();
+    let c = Durable::<CounterSpec>::create(
+        p,
+        OnllConfig::named("ctr").log_capacity(4),
+    )
+    .unwrap();
+    let mut h = c.register().unwrap();
+    for _ in 0..4 {
+        h.update(CounterOp::Add(1));
+    }
+    let before = c.ordered_index();
+    assert!(matches!(
+        h.try_update(CounterOp::Add(1)),
+        Err(OnllError::LogFull)
+    ));
+    assert_eq!(c.ordered_index(), before, "rejected update must not be ordered");
+    assert_eq!(c.read_latest(&()), 4);
+}
+
+#[test]
+fn checkpointing_truncates_logs_and_recovery_uses_the_checkpoint() {
+    let p = pool();
+    let cfg = OnllConfig::named("ctr")
+        .log_capacity(64)
+        .checkpoint_every(10)
+        .checkpoint_slot_bytes(256);
+    let c = Durable::<CounterSpec>::create(p.clone(), cfg.clone()).unwrap();
+    {
+        let mut h = c.register().unwrap();
+        for _ in 0..200 {
+            h.update_with_checkpoint(CounterOp::Add(1)).unwrap();
+        }
+        assert!(
+            h.log_len() < 64,
+            "log must have been truncated by checkpoints (len={})",
+            h.log_len()
+        );
+    }
+    p.crash_and_restart();
+    let (c, report) =
+        Durable::<CounterSpec>::recover_with_checkpoints(p.clone(), cfg.clone()).unwrap();
+    assert!(report.checkpoint_index > 0, "recovery started from a checkpoint");
+    assert_eq!(report.durable_index, 200);
+    let mut h = c.register().unwrap();
+    assert_eq!(h.read(&()), 200);
+    assert_eq!(h.update(CounterOp::Add(5)), 205);
+}
+
+#[test]
+fn plain_recover_refuses_when_checkpoints_exist() {
+    let p = pool();
+    let cfg = OnllConfig::named("ctr").checkpoint_every(5);
+    let c = Durable::<CounterSpec>::create(p.clone(), cfg.clone()).unwrap();
+    {
+        let mut h = c.register().unwrap();
+        for _ in 0..20 {
+            h.update_with_checkpoint(CounterOp::Add(1)).unwrap();
+        }
+    }
+    p.crash_and_restart();
+    assert!(matches!(
+        Durable::<CounterSpec>::recover(p.clone(), cfg.clone()),
+        Err(OnllError::MetadataMismatch(_))
+    ));
+    let (c, _) = Durable::<CounterSpec>::recover_with_checkpoints(p, cfg).unwrap();
+    assert_eq!(c.read_latest(&()), 20);
+}
+
+#[test]
+fn checkpoint_requires_local_views() {
+    let p = pool();
+    assert!(matches!(
+        Durable::<CounterSpec>::create(
+            p,
+            OnllConfig::named("ctr").local_views(false).checkpoint_every(5)
+        ),
+        Err(OnllError::MetadataMismatch(_))
+    ));
+}
+
+#[test]
+fn trace_prefix_reclamation_keeps_results_correct() {
+    let p = pool();
+    let cfg = OnllConfig::named("ctr")
+        .checkpoint_every(8)
+        .log_capacity(64)
+        .checkpoint_slot_bytes(128);
+    let c = Durable::<CounterSpec>::create(p.clone(), cfg).unwrap();
+    let mut h = c.register().unwrap();
+    // reclaim_batch default is 1024; lower the bar by doing enough updates.
+    for _ in 0..2000 {
+        h.update_with_checkpoint(CounterOp::Add(1)).unwrap();
+    }
+    assert_eq!(h.read(&()), 2000);
+    c.check_invariants().unwrap();
+}
+
+#[test]
+fn works_under_eager_and_random_eviction_policies() {
+    for policy in [
+        WritebackPolicy::EagerOnFlush,
+        WritebackPolicy::RandomEviction {
+            probability: 0.3,
+            seed: 7,
+        },
+    ] {
+        let p = NvmPool::new(
+            PmemConfig::with_capacity(32 << 20)
+                .policy(policy)
+                .apply_pending_at_crash(1.0),
+        );
+        let c = Durable::<CounterSpec>::create(p.clone(), OnllConfig::named("ctr")).unwrap();
+        {
+            let mut h = c.register().unwrap();
+            for _ in 0..30 {
+                h.update(CounterOp::Add(1));
+            }
+        }
+        drop(c);
+        p.crash_and_restart();
+        let (c, _) =
+            Durable::<CounterSpec>::recover(p.clone(), OnllConfig::named("ctr")).unwrap();
+        assert_eq!(c.read_latest(&()), 30, "policy {policy:?}");
+    }
+}
+
+#[test]
+fn repeated_crash_recover_cycles_accumulate_state() {
+    let p = pool();
+    {
+        let c = counter(&p, "ctr");
+        let mut h = c.register().unwrap();
+        for _ in 0..5 {
+            h.update(CounterOp::Add(1));
+        }
+    }
+    let mut expected = 5i64;
+    for round in 0..5 {
+        p.crash_and_restart();
+        let (c, report) =
+            Durable::<CounterSpec>::recover(p.clone(), OnllConfig::named("ctr")).unwrap();
+        assert_eq!(c.read_latest(&()), expected, "round {round}");
+        assert_eq!(report.durable_index, expected as u64);
+        let mut h = c.register().unwrap();
+        for _ in 0..3 {
+            h.update(CounterOp::Add(1));
+        }
+        expected += 3;
+    }
+}

@@ -1,0 +1,281 @@
+//! Fuzzy-window invariants (Figure 2 and Proposition 5.2 of the paper).
+//!
+//! The execution trace is partitioned into a *non-fuzzy prefix* (operations whose
+//! linearization point has passed and whose persistence is guaranteed) and a *fuzzy
+//! window* postfix (currently executing operations). The fuzzy window spans from
+//! the tail back to — but not including — the youngest node with a set available
+//! flag. Proposition 5.2: at any time, among any `MAX_PROCESSES + 1` consecutive
+//! nodes at least one is available, because a process must set its previous node's
+//! flag before invoking a new operation; hence the fuzzy window holds at most
+//! `MAX_PROCESSES` nodes.
+
+use crate::node::TraceNode;
+use crate::trace::ExecutionTrace;
+
+/// A violation of the fuzzy-window bound, reported by [`check_fuzzy_invariant`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FuzzyViolation {
+    /// Execution index of the youngest node of the offending run.
+    pub start_idx: u64,
+    /// Length of the run of consecutive unavailable nodes.
+    pub run_len: usize,
+    /// The bound that was exceeded.
+    pub bound: usize,
+}
+
+/// Checks Proposition 5.2 over the whole trace: every run of consecutive
+/// unavailable nodes has length at most `max_processes`.
+///
+/// Note this checks *runs anywhere in the trace*, which is stronger than only
+/// checking the window at the tail; the proposition as stated covers any
+/// `MAX_PROCESSES + 1` consecutive nodes.
+pub fn check_fuzzy_invariant<T>(
+    trace: &ExecutionTrace<T>,
+    max_processes: usize,
+) -> Result<(), FuzzyViolation> {
+    let mut run_len = 0usize;
+    let mut run_start: u64 = 0;
+    for node in trace.iter() {
+        if node.is_available() {
+            run_len = 0;
+        } else {
+            if run_len == 0 {
+                run_start = node.idx();
+            }
+            run_len += 1;
+            if run_len > max_processes {
+                return Err(FuzzyViolation {
+                    start_idx: run_start,
+                    run_len,
+                    bound: max_processes,
+                });
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Returns the execution indices of the nodes currently in the fuzzy window
+/// (youngest first). Convenience for diagnostics and the Figure 2 example.
+pub fn fuzzy_window_indices<T>(trace: &ExecutionTrace<T>) -> Vec<u64> {
+    trace
+        .fuzzy_nodes_from(trace.tail())
+        .iter()
+        .map(|n| n.idx())
+        .collect()
+}
+
+/// Splits the trace into `(non_fuzzy_indices, fuzzy_indices)`, both youngest first.
+/// A node is non-fuzzy iff some node with an index `>=` its own is available.
+pub fn partition_indices<T>(trace: &ExecutionTrace<T>) -> (Vec<u64>, Vec<u64>) {
+    let mut fuzzy = Vec::new();
+    let mut non_fuzzy = Vec::new();
+    let mut seen_available = false;
+    for node in trace.iter() {
+        if node.is_available() {
+            seen_available = true;
+        }
+        if seen_available {
+            non_fuzzy.push(node.idx());
+        } else {
+            fuzzy.push(node.idx());
+        }
+    }
+    (non_fuzzy, fuzzy)
+}
+
+#[allow(dead_code)]
+fn is_fuzzy<T>(trace: &ExecutionTrace<T>, node: &TraceNode<T>) -> bool {
+    fuzzy_window_indices(trace).contains(&node.idx())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Builds the exact trace of Figure 2: INIT (available), op1 (unset), op2 (set),
+    /// op3 (unset), op4 (unset).
+    fn figure2_trace() -> ExecutionTrace<&'static str> {
+        let t = ExecutionTrace::new("INIT");
+        let _op1 = t.insert("op1");
+        let op2 = t.insert("op2");
+        let _op3 = t.insert("op3");
+        let _op4 = t.insert("op4");
+        t.set_available(op2);
+        t
+    }
+
+    #[test]
+    fn figure2_partition_matches_the_paper() {
+        let t = figure2_trace();
+        let (non_fuzzy, fuzzy) = partition_indices(&t);
+        // Fuzzy window: op4 and op3. Non-fuzzy: op2, op1 (flag unset but an
+        // operation after it is available), INIT.
+        assert_eq!(fuzzy, vec![4, 3]);
+        assert_eq!(non_fuzzy, vec![2, 1, 0]);
+        assert_eq!(fuzzy_window_indices(&t), vec![4, 3]);
+    }
+
+    #[test]
+    fn figure2_satisfies_prop52_for_two_processes() {
+        let t = figure2_trace();
+        assert!(check_fuzzy_invariant(&t, 2).is_ok());
+    }
+
+    #[test]
+    fn long_unavailable_run_is_reported() {
+        let t = ExecutionTrace::new(());
+        for _ in 0..5 {
+            t.insert(());
+        }
+        let violation = check_fuzzy_invariant(&t, 3).unwrap_err();
+        assert_eq!(violation.bound, 3);
+        assert_eq!(violation.run_len, 4);
+    }
+
+    #[test]
+    fn empty_trace_trivially_satisfies_the_invariant() {
+        let t: ExecutionTrace<u8> = ExecutionTrace::new(0);
+        assert!(check_fuzzy_invariant(&t, 1).is_ok());
+        assert_eq!(fuzzy_window_indices(&t), Vec::<u64>::new());
+    }
+
+    #[test]
+    fn fully_available_trace_has_empty_fuzzy_window() {
+        let t = ExecutionTrace::new(0u32);
+        for i in 1..=10 {
+            let n = t.insert(i);
+            t.set_available(n);
+        }
+        assert!(fuzzy_window_indices(&t).is_empty());
+        let (non_fuzzy, fuzzy) = partition_indices(&t);
+        assert_eq!(non_fuzzy.len(), 11);
+        assert!(fuzzy.is_empty());
+        assert!(check_fuzzy_invariant(&t, 1).is_ok());
+    }
+
+    #[test]
+    fn interior_gap_counts_against_the_bound() {
+        // available, unset, unset, available: max run is 2.
+        let t = ExecutionTrace::new(());
+        let a = t.insert(());
+        t.set_available(a);
+        let _b = t.insert(());
+        let _c = t.insert(());
+        let d = t.insert(());
+        t.set_available(d);
+        assert!(check_fuzzy_invariant(&t, 2).is_ok());
+        assert!(check_fuzzy_invariant(&t, 1).is_err());
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// Simulates `n_procs` processes each performing `ops_per_proc` updates where
+    /// "perform" means insert-then-set-available in program order per process, with
+    /// an arbitrary interleaving of the two steps across processes. Proposition 5.2
+    /// must hold at every intermediate point.
+    fn simulate(interleaving: Vec<usize>, n_procs: usize) -> bool {
+        #[derive(Clone, Copy, PartialEq)]
+        enum Phase {
+            Idle,
+            Inserted,
+        }
+        let trace = ExecutionTrace::new(0usize);
+        let mut phases = vec![Phase::Idle; n_procs];
+        let mut pending: Vec<Option<u64>> = vec![None; n_procs];
+        for step in interleaving {
+            let p = step % n_procs;
+            match phases[p] {
+                Phase::Idle => {
+                    let node = trace.insert(p);
+                    pending[p] = Some(node.idx());
+                    phases[p] = Phase::Inserted;
+                }
+                Phase::Inserted => {
+                    // Find the node again (indices are unique) and set it available.
+                    let idx = pending[p].take().unwrap();
+                    let node = trace.iter().find(|n| n.idx() == idx).unwrap();
+                    trace.set_available(node);
+                    phases[p] = Phase::Idle;
+                }
+            }
+            if check_fuzzy_invariant(&trace, n_procs).is_err() {
+                return false;
+            }
+        }
+        true
+    }
+
+    proptest! {
+        #[test]
+        fn prop52_holds_for_arbitrary_interleavings(
+            interleaving in proptest::collection::vec(0usize..8, 0..200),
+            n_procs in 1usize..8,
+        ) {
+            prop_assert!(simulate(interleaving, n_procs));
+        }
+
+        #[test]
+        fn fuzzy_window_never_exceeds_process_count(
+            interleaving in proptest::collection::vec(0usize..6, 0..150),
+            n_procs in 1usize..6,
+        ) {
+            // Re-simulate and check the tail window length directly.
+            #[derive(Clone, Copy, PartialEq)]
+            enum Phase { Idle, Inserted }
+            let trace = ExecutionTrace::new(0usize);
+            let mut phases = vec![Phase::Idle; n_procs];
+            let mut pending: Vec<Option<u64>> = vec![None; n_procs];
+            for step in interleaving {
+                let p = step % n_procs;
+                match phases[p] {
+                    Phase::Idle => {
+                        let node = trace.insert(p);
+                        pending[p] = Some(node.idx());
+                        phases[p] = Phase::Inserted;
+                    }
+                    Phase::Inserted => {
+                        let idx = pending[p].take().unwrap();
+                        let node = trace.iter().find(|n| n.idx() == idx).unwrap();
+                        trace.set_available(node);
+                        phases[p] = Phase::Idle;
+                    }
+                }
+                prop_assert!(trace.fuzzy_window_len() <= n_procs);
+            }
+        }
+
+        #[test]
+        fn partition_is_a_partition(
+            avail_mask in proptest::collection::vec(any::<bool>(), 0..64),
+        ) {
+            // Build a trace with arbitrary available flags and check that partition
+            // indices cover every node exactly once and respect the boundary rule.
+            let t = ExecutionTrace::new(0usize);
+            for (i, &avail) in avail_mask.iter().enumerate() {
+                let n = t.insert(i);
+                if avail {
+                    t.set_available(n);
+                }
+            }
+            let (non_fuzzy, fuzzy) = partition_indices(&t);
+            let total = non_fuzzy.len() + fuzzy.len();
+            prop_assert_eq!(total as u64, t.len() + 1);
+            // Every fuzzy node is younger than every non-fuzzy node.
+            if let (Some(min_fuzzy), Some(max_non_fuzzy)) =
+                (fuzzy.iter().min(), non_fuzzy.iter().max())
+            {
+                prop_assert!(min_fuzzy > max_non_fuzzy);
+            }
+            // No fuzzy node is available.
+            for idx in &fuzzy {
+                let node = t.iter().find(|n| n.idx() == *idx).unwrap();
+                prop_assert!(!node.is_available());
+            }
+        }
+    }
+}

@@ -1,0 +1,46 @@
+//! # exec-trace — the transient lock-free execution trace
+//!
+//! ONLL keeps the state of a durable object as the sequence of update operations
+//! applied to it. That sequence lives in a *transient* (DRAM) lock-free execution
+//! trace (Listing 2 of the paper): a prepend-only list of nodes, each carrying an
+//! operation, its execution index, and an `available` flag.
+//!
+//! * **Insert** ("order" stage): a CAS loop on the tail assigns the node the next
+//!   execution index and links it to the previous tail. The `available` flag starts
+//!   unset, so the node is not yet visible to readers.
+//! * **Fuzzy window**: the maximal suffix of nodes with no later available node.
+//!   These are operations whose persistence and linearization are not yet
+//!   guaranteed. Proposition 5.2: among any `MAX_PROCESSES + 1` consecutive nodes at
+//!   least one is available, so the fuzzy window never exceeds `MAX_PROCESSES`
+//!   nodes (this crate exposes the invariant as a checkable property).
+//! * **`latest_available`** ("linearize later"): readers walk back from the tail to
+//!   the first available node and compute their return value from the prefix ending
+//!   there. Setting a node's available flag is the linearization point of its
+//!   operation (and, transitively, of every unavailable operation ordered before
+//!   it).
+//!
+//! The trace also implements the Section-8 extension: prefix reclamation driven by
+//! per-process progress, so long-lived objects do not hold their entire history in
+//! memory once every process's local view has advanced past a prefix.
+//!
+//! ```
+//! use exec_trace::ExecutionTrace;
+//!
+//! let trace: ExecutionTrace<&'static str> = ExecutionTrace::new("INIT");
+//! let n1 = trace.insert("increment");
+//! assert_eq!(n1.idx(), 1);
+//! // Not yet linearized: readers still see the sentinel.
+//! assert_eq!(trace.latest_available().idx(), 0);
+//! trace.set_available(n1);
+//! assert_eq!(trace.latest_available().idx(), 1);
+//! ```
+
+#![warn(missing_docs)]
+
+mod fuzzy;
+mod node;
+mod trace;
+
+pub use fuzzy::{check_fuzzy_invariant, fuzzy_window_indices, partition_indices, FuzzyViolation};
+pub use node::TraceNode;
+pub use trace::{ExecutionTrace, TraceIter};

@@ -1,0 +1,121 @@
+//! Execution-trace nodes.
+
+use std::sync::atomic::{AtomicBool, AtomicPtr, AtomicU64, Ordering};
+
+/// One node of the execution trace (`queueNode` in Listing 2).
+///
+/// A node records one update operation, its execution index (the number of update
+/// operations ordered before it, plus one), an `available` flag whose setting is the
+/// operation's linearization point, and a link to the node ordered immediately
+/// before it (towards the sentinel).
+pub struct TraceNode<T> {
+    op: T,
+    /// Atomic only because the inserting thread (re)writes it inside the CAS retry
+    /// loop before the node is published; it is immutable once the node is linked.
+    idx: AtomicU64,
+    available: AtomicBool,
+    /// Pointer towards the *older* neighbour (the tail at insertion time). Atomic
+    /// because prefix reclamation may re-link it to the sentinel.
+    next: AtomicPtr<TraceNode<T>>,
+}
+
+impl<T> TraceNode<T> {
+    pub(crate) fn new(op: T, idx: u64, available: bool) -> Self {
+        TraceNode {
+            op,
+            idx: AtomicU64::new(idx),
+            available: AtomicBool::new(available),
+            next: AtomicPtr::new(std::ptr::null_mut()),
+        }
+    }
+
+    /// The operation recorded by this node.
+    pub fn op(&self) -> &T {
+        &self.op
+    }
+
+    /// The node's execution index. The sentinel (INITIALIZE) has index 0.
+    pub fn idx(&self) -> u64 {
+        self.idx.load(Ordering::Acquire)
+    }
+
+    pub(crate) fn set_idx(&self, idx: u64) {
+        self.idx.store(idx, Ordering::Release);
+    }
+
+    /// Whether the node's operation has been linearized (its available flag set).
+    pub fn is_available(&self) -> bool {
+        self.available.load(Ordering::Acquire)
+    }
+
+    /// Sets the available flag. A set flag is never cleared (paper §4.1.2).
+    pub(crate) fn set_available(&self) {
+        self.available.store(true, Ordering::SeqCst);
+    }
+
+    pub(crate) fn next_ptr(&self) -> *mut TraceNode<T> {
+        self.next.load(Ordering::Acquire)
+    }
+
+    pub(crate) fn set_next(&self, next: *mut TraceNode<T>) {
+        self.next.store(next, Ordering::Release);
+    }
+
+    /// The node ordered immediately before this one, if any (the sentinel has none).
+    ///
+    /// # Safety contract (internal)
+    ///
+    /// The returned reference is valid because nodes are only deallocated when the
+    /// trace is dropped or after they have been unlinked *and* all processes have
+    /// advanced past them (see `ExecutionTrace::reclaim_prefix`).
+    pub fn prev(&self) -> Option<&TraceNode<T>> {
+        let p = self.next_ptr();
+        if p.is_null() {
+            None
+        } else {
+            Some(unsafe { &*p })
+        }
+    }
+}
+
+impl<T: std::fmt::Debug> std::fmt::Debug for TraceNode<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TraceNode")
+            .field("idx", &self.idx)
+            .field("available", &self.is_available())
+            .field("op", &self.op)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_node_fields() {
+        let n = TraceNode::new("op", 3, false);
+        assert_eq!(*n.op(), "op");
+        assert_eq!(n.idx(), 3);
+        assert!(!n.is_available());
+        assert!(n.prev().is_none());
+    }
+
+    #[test]
+    fn set_available_is_sticky() {
+        let n = TraceNode::new((), 1, false);
+        n.set_available();
+        assert!(n.is_available());
+        // There is deliberately no API to clear it.
+        n.set_available();
+        assert!(n.is_available());
+    }
+
+    #[test]
+    fn debug_shows_index_and_flag() {
+        let n = TraceNode::new(7u32, 2, true);
+        let s = format!("{n:?}");
+        assert!(s.contains("idx: 2"));
+        assert!(s.contains("available: true"));
+    }
+}

@@ -1,0 +1,525 @@
+//! The lock-free execution trace (Listing 2 of the paper).
+
+use crate::node::TraceNode;
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicPtr, AtomicU64, Ordering};
+
+/// A lock-free, prepend-only execution trace.
+///
+/// The trace owns its nodes: they are allocated on insert and deallocated when the
+/// trace is dropped (or, for the Section-8 reclamation extension, when
+/// [`ExecutionTrace::free_retired`] is invoked at a quiescent point after
+/// [`ExecutionTrace::reclaim_prefix`]).
+pub struct ExecutionTrace<T> {
+    /// Latest inserted node (the youngest); traversals go from here towards the
+    /// sentinel via `next` pointers.
+    tail: AtomicPtr<TraceNode<T>>,
+    /// The sentinel INITIALIZE node (execution index 0, always available).
+    sentinel: *mut TraceNode<T>,
+    /// Oldest index that has NOT been reclaimed (sentinel excluded). Everything
+    /// strictly below this (except the sentinel) has been unlinked.
+    reclaim_floor: AtomicU64,
+    /// Unlinked nodes awaiting deallocation at a quiescent point.
+    retired: Mutex<Vec<*mut TraceNode<T>>>,
+}
+
+// SAFETY: the raw pointers are only ever dereferenced while the trace is alive, and
+// nodes are only deallocated under the reclamation contract documented on
+// `reclaim_prefix` / `free_retired`.
+unsafe impl<T: Send + Sync> Send for ExecutionTrace<T> {}
+unsafe impl<T: Send + Sync> Sync for ExecutionTrace<T> {}
+
+impl<T> ExecutionTrace<T> {
+    /// Creates a trace containing only the INITIALIZE sentinel (index 0,
+    /// available), mirroring the constructor in Listing 2.
+    pub fn new(initialize_op: T) -> Self {
+        Self::with_base(initialize_op, 0)
+    }
+
+    /// Creates a trace whose sentinel carries execution index `base_idx`.
+    ///
+    /// Used when recovering from a checkpoint (Section 8): the sentinel then stands
+    /// for "the object state after the first `base_idx` updates", and newly inserted
+    /// nodes continue the original execution-index sequence, so persistent log
+    /// entries written before and after the crash remain mutually consistent.
+    pub fn with_base(initialize_op: T, base_idx: u64) -> Self {
+        let sentinel = Box::into_raw(Box::new(TraceNode::new(initialize_op, base_idx, true)));
+        ExecutionTrace {
+            tail: AtomicPtr::new(sentinel),
+            sentinel,
+            reclaim_floor: AtomicU64::new(base_idx + 1),
+            retired: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Execution index of the sentinel (0 for a fresh object, the checkpoint index
+    /// after a checkpoint-based recovery).
+    pub fn base_idx(&self) -> u64 {
+        self.sentinel().idx()
+    }
+
+    /// The sentinel (INITIALIZE) node.
+    pub fn sentinel(&self) -> &TraceNode<T> {
+        unsafe { &*self.sentinel }
+    }
+
+    /// The youngest node in the trace (the sentinel if no operation was inserted).
+    pub fn tail(&self) -> &TraceNode<T> {
+        unsafe { &*self.tail.load(Ordering::Acquire) }
+    }
+
+    /// Execution index of the youngest node (0 if only the sentinel exists).
+    pub fn tail_idx(&self) -> u64 {
+        self.tail().idx()
+    }
+
+    /// Number of update operations ever inserted (excludes the sentinel; with a
+    /// non-zero base index, counts only operations inserted into *this* trace).
+    pub fn len(&self) -> u64 {
+        self.tail_idx() - self.base_idx()
+    }
+
+    /// True if no update operation has been inserted yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Inserts a new node carrying `op` at the tail and returns it. This is the
+    /// *order* stage of an ONLL update: the node's execution index fixes the
+    /// operation's position in the linearization order, but the node is not yet
+    /// available (not yet linearized, not yet visible to readers).
+    ///
+    /// Lock-free: a CAS loop on the tail pointer (Listing 2, `insert`).
+    pub fn insert(&self, op: T) -> &TraceNode<T> {
+        let node = Box::into_raw(Box::new(TraceNode::new(op, 0, false)));
+        loop {
+            let ltail = self.tail.load(Ordering::Acquire);
+            // SAFETY: ltail is either the sentinel or a node owned by this trace, and
+            // `node` is unpublished, so writing its idx/next fields is race-free.
+            unsafe {
+                let ltail_idx = (*ltail).idx();
+                (*node).set_idx(ltail_idx + 1);
+                (*node).set_next(ltail);
+            }
+            if self
+                .tail
+                .compare_exchange_weak(ltail, node, Ordering::AcqRel, Ordering::Acquire)
+                .is_ok()
+            {
+                return unsafe { &*node };
+            }
+        }
+    }
+
+    /// Sets the node's available flag. This is the *linearize* stage: the operation
+    /// (and all unavailable operations ordered before it) become visible to readers
+    /// and are considered linearized.
+    pub fn set_available(&self, node: &TraceNode<T>) {
+        node.set_available();
+    }
+
+    /// Returns the youngest node with a set available flag, walking back from the
+    /// tail (Listing 2, `latestAvailable`). Wait-free: terminates within
+    /// MAX_PROCESSES steps by Proposition 5.2 (and at the sentinel in any case).
+    pub fn latest_available(&self) -> &TraceNode<T> {
+        let mut cur = self.tail();
+        loop {
+            if cur.is_available() {
+                return cur;
+            }
+            match cur.prev() {
+                Some(prev) => cur = prev,
+                None => return cur, // the sentinel is always available; defensive
+            }
+        }
+    }
+
+    /// Collects the fuzzy-window operations starting at `node`: `node`'s own
+    /// operation followed by the operations of consecutively older nodes whose
+    /// available flag is unset, stopping (exclusive) at the first available node
+    /// (Listing 2, `getFuzzyOps`). `node` itself is included regardless of its flag
+    /// state only if its flag is unset — in ONLL it is always unset at this point.
+    pub fn fuzzy_nodes_from<'a>(&'a self, node: &'a TraceNode<T>) -> Vec<&'a TraceNode<T>> {
+        let mut out = Vec::new();
+        let mut cur = node;
+        while !cur.is_available() {
+            out.push(cur);
+            match cur.prev() {
+                Some(prev) => cur = prev,
+                None => break,
+            }
+        }
+        out
+    }
+
+    /// Iterates from `node` towards the sentinel (inclusive of both ends).
+    pub fn iter_from<'a>(&'a self, node: &'a TraceNode<T>) -> TraceIter<'a, T> {
+        TraceIter {
+            cur: Some(node),
+            _trace: self,
+        }
+    }
+
+    /// Iterates from the current tail towards the sentinel.
+    pub fn iter(&self) -> TraceIter<'_, T> {
+        self.iter_from(self.tail())
+    }
+
+    /// Returns the nodes with execution index in `(after_idx, node.idx()]`, oldest
+    /// first. Used by local views to replay only the missing suffix.
+    pub fn nodes_between<'a>(
+        &'a self,
+        after_idx: u64,
+        node: &'a TraceNode<T>,
+    ) -> Vec<&'a TraceNode<T>> {
+        let mut out: Vec<&TraceNode<T>> = self
+            .iter_from(node)
+            .take_while(|n| n.idx() > after_idx)
+            .collect();
+        out.reverse();
+        out
+    }
+
+    /// Oldest non-reclaimed execution index (1 if nothing was reclaimed).
+    pub fn reclaim_floor(&self) -> u64 {
+        self.reclaim_floor.load(Ordering::Acquire)
+    }
+
+    /// Number of nodes retired by [`ExecutionTrace::reclaim_prefix`] and not yet
+    /// freed.
+    pub fn retired_count(&self) -> usize {
+        self.retired.lock().len()
+    }
+
+    /// Unlinks every node with execution index strictly below `min_idx` (the
+    /// sentinel always stays), re-pointing the oldest surviving node at the
+    /// sentinel. This is the Section-8 memory-reclamation extension: it is safe to
+    /// call once every process's local view has advanced to at least `min_idx`,
+    /// because such processes never traverse below their own view again.
+    ///
+    /// The unlinked nodes are *retired*, not freed — concurrent traversals that
+    /// started before the unlink may still be walking them. Call
+    /// [`ExecutionTrace::free_retired`] from a quiescent point to release the
+    /// memory. Returns the number of nodes retired by this call.
+    pub fn reclaim_prefix(&self, min_idx: u64) -> usize {
+        let floor = self.reclaim_floor.load(Ordering::Acquire);
+        if min_idx <= floor {
+            return 0;
+        }
+        // Find the oldest surviving node (idx >= min_idx) by walking from the tail.
+        // Everything strictly older gets unlinked.
+        let tail = self.tail();
+        if tail.idx() < min_idx {
+            // Nothing old enough is linked after the cut point; nothing to do (we
+            // never reclaim the tail itself to keep the structure simple).
+            return 0;
+        }
+        let mut cut = tail;
+        while cut.idx() > min_idx {
+            match cut.prev() {
+                Some(prev) if prev.idx() >= min_idx => cut = prev,
+                _ => break,
+            }
+        }
+        // `cut` is now the oldest surviving node. Retire everything between it and
+        // the sentinel.
+        let mut retired = Vec::new();
+        let mut cur = cut.next_ptr();
+        while !cur.is_null() && cur != self.sentinel {
+            retired.push(cur);
+            cur = unsafe { (*cur).next_ptr() };
+        }
+        cut.set_next(self.sentinel);
+        let count = retired.len();
+        self.retired.lock().extend(retired);
+        self.reclaim_floor.store(min_idx, Ordering::Release);
+        count
+    }
+
+    /// Frees nodes retired by [`ExecutionTrace::reclaim_prefix`].
+    ///
+    /// # Safety
+    ///
+    /// The caller must guarantee that no thread still holds references to retired
+    /// nodes (i.e. every traversal that could have observed them has completed).
+    pub unsafe fn free_retired(&self) -> usize {
+        let mut retired = self.retired.lock();
+        let n = retired.len();
+        for ptr in retired.drain(..) {
+            drop(unsafe { Box::from_raw(ptr) });
+        }
+        n
+    }
+
+    /// Length of the longest run of consecutive unavailable nodes ending at the
+    /// tail (the fuzzy window size). Proposition 5.2 bounds this by the number of
+    /// processes.
+    pub fn fuzzy_window_len(&self) -> usize {
+        self.fuzzy_nodes_from(self.tail()).len()
+    }
+}
+
+impl<T> Drop for ExecutionTrace<T> {
+    fn drop(&mut self) {
+        // Free the retired nodes.
+        for ptr in self.retired.get_mut().drain(..) {
+            drop(unsafe { Box::from_raw(ptr) });
+        }
+        // Free the linked chain from tail to sentinel (inclusive).
+        let mut cur = *self.tail.get_mut();
+        while !cur.is_null() {
+            let next = unsafe { (*cur).next_ptr() };
+            drop(unsafe { Box::from_raw(cur) });
+            cur = next;
+        }
+    }
+}
+
+/// Iterator over trace nodes from a starting node towards the sentinel.
+pub struct TraceIter<'a, T> {
+    cur: Option<&'a TraceNode<T>>,
+    _trace: &'a ExecutionTrace<T>,
+}
+
+impl<'a, T> Iterator for TraceIter<'a, T> {
+    type Item = &'a TraceNode<T>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        let cur = self.cur?;
+        self.cur = cur.prev();
+        Some(cur)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn new_trace_contains_only_the_sentinel() {
+        let t: ExecutionTrace<u32> = ExecutionTrace::new(0);
+        assert!(t.is_empty());
+        assert_eq!(t.len(), 0);
+        assert_eq!(t.tail_idx(), 0);
+        assert!(t.sentinel().is_available());
+        assert_eq!(t.latest_available().idx(), 0);
+    }
+
+    #[test]
+    fn insert_assigns_consecutive_indices() {
+        let t = ExecutionTrace::new("init");
+        let a = t.insert("a");
+        let b = t.insert("b");
+        let c = t.insert("c");
+        assert_eq!((a.idx(), b.idx(), c.idx()), (1, 2, 3));
+        assert_eq!(t.len(), 3);
+        assert_eq!(*t.tail().op(), "c");
+    }
+
+    #[test]
+    fn latest_available_skips_unavailable_suffix() {
+        let t = ExecutionTrace::new(0u32);
+        let n1 = t.insert(1);
+        t.set_available(n1);
+        let _n2 = t.insert(2);
+        let _n3 = t.insert(3);
+        assert_eq!(t.latest_available().idx(), 1);
+        assert_eq!(t.fuzzy_window_len(), 2);
+    }
+
+    #[test]
+    fn setting_later_available_flag_shrinks_the_fuzzy_window() {
+        // Figure 2: op2 available makes op1 non-fuzzy even though op1's flag is unset.
+        let t = ExecutionTrace::new(());
+        let _op1 = t.insert(());
+        let op2 = t.insert(());
+        let _op3 = t.insert(());
+        let _op4 = t.insert(());
+        t.set_available(op2);
+        assert_eq!(t.latest_available().idx(), 2);
+        assert_eq!(t.fuzzy_window_len(), 2); // op3 and op4
+    }
+
+    #[test]
+    fn fuzzy_nodes_from_collects_own_then_older_unavailable() {
+        let t = ExecutionTrace::new("init");
+        let a = t.insert("a");
+        t.set_available(a);
+        let b = t.insert("b");
+        let c = t.insert("c");
+        let fuzzy = t.fuzzy_nodes_from(c);
+        let ops: Vec<&str> = fuzzy.iter().map(|n| *n.op()).collect();
+        assert_eq!(ops, vec!["c", "b"]);
+        assert_eq!(fuzzy[0].idx(), 3);
+        assert_eq!(fuzzy[1].idx(), 2);
+        let _ = b;
+    }
+
+    #[test]
+    fn fuzzy_nodes_from_available_node_is_empty() {
+        let t = ExecutionTrace::new(());
+        let a = t.insert(());
+        t.set_available(a);
+        assert!(t.fuzzy_nodes_from(a).is_empty());
+    }
+
+    #[test]
+    fn iter_walks_back_to_the_sentinel() {
+        let t = ExecutionTrace::new(0u32);
+        for i in 1..=4 {
+            t.insert(i);
+        }
+        let idxs: Vec<u64> = t.iter().map(|n| n.idx()).collect();
+        assert_eq!(idxs, vec![4, 3, 2, 1, 0]);
+    }
+
+    #[test]
+    fn nodes_between_returns_suffix_oldest_first() {
+        let t = ExecutionTrace::new(0u32);
+        for i in 1..=5 {
+            t.insert(i * 10);
+        }
+        let tail = t.tail();
+        let between = t.nodes_between(2, tail);
+        let idxs: Vec<u64> = between.iter().map(|n| n.idx()).collect();
+        assert_eq!(idxs, vec![3, 4, 5]);
+        let empty = t.nodes_between(5, tail);
+        assert!(empty.is_empty());
+    }
+
+    #[test]
+    fn concurrent_inserts_get_unique_indices() {
+        let t = Arc::new(ExecutionTrace::new(0u64));
+        let threads = 4;
+        let per_thread = 200;
+        let mut handles = Vec::new();
+        for tid in 0..threads {
+            let t = t.clone();
+            handles.push(std::thread::spawn(move || {
+                let mut idxs = Vec::new();
+                for i in 0..per_thread {
+                    let n = t.insert((tid * per_thread + i) as u64);
+                    idxs.push(n.idx());
+                    t.set_available(n);
+                }
+                idxs
+            }));
+        }
+        let mut all: Vec<u64> = handles
+            .into_iter()
+            .flat_map(|h| h.join().unwrap())
+            .collect();
+        all.sort_unstable();
+        let expected: Vec<u64> = (1..=(threads * per_thread) as u64).collect();
+        assert_eq!(all, expected, "every index assigned exactly once");
+        assert_eq!(t.len(), (threads * per_thread) as u64);
+        // Chain is intact: walking from the tail reaches the sentinel in len steps.
+        assert_eq!(t.iter().count() as u64, t.len() + 1);
+    }
+
+    #[test]
+    fn concurrent_inserts_preserve_prefix_ordering() {
+        // Each node's prev must have exactly idx-1: the chain encodes the total
+        // insertion order.
+        let t = Arc::new(ExecutionTrace::new(0u64));
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let t = t.clone();
+            handles.push(std::thread::spawn(move || {
+                for i in 0..100 {
+                    let n = t.insert(i);
+                    t.set_available(n);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        for node in t.iter() {
+            if let Some(prev) = node.prev() {
+                assert_eq!(prev.idx() + 1, node.idx());
+            }
+        }
+    }
+
+    #[test]
+    fn reclaim_prefix_unlinks_old_nodes_but_keeps_sentinel() {
+        let t = ExecutionTrace::new(0u32);
+        let mut nodes = Vec::new();
+        for i in 1..=10 {
+            let n = t.insert(i);
+            t.set_available(n);
+            nodes.push(n);
+        }
+        let retired = t.reclaim_prefix(6);
+        assert_eq!(retired, 5, "indices 1..=5 retired");
+        assert_eq!(t.retired_count(), 5);
+        assert_eq!(t.reclaim_floor(), 6);
+        // Walking from the tail now reaches the sentinel after the surviving nodes.
+        let idxs: Vec<u64> = t.iter().map(|n| n.idx()).collect();
+        assert_eq!(idxs, vec![10, 9, 8, 7, 6, 0]);
+        // Reclaiming again with the same floor is a no-op.
+        assert_eq!(t.reclaim_prefix(6), 0);
+        // Freeing retired nodes at a quiescent point.
+        assert_eq!(unsafe { t.free_retired() }, 5);
+        assert_eq!(t.retired_count(), 0);
+    }
+
+    #[test]
+    fn reclaim_prefix_does_not_cut_beyond_the_tail() {
+        let t = ExecutionTrace::new(0u32);
+        let n = t.insert(1);
+        t.set_available(n);
+        assert_eq!(t.reclaim_prefix(100), 0);
+        assert_eq!(t.iter().count(), 2);
+    }
+
+    #[test]
+    fn latest_available_still_works_after_reclamation() {
+        let t = ExecutionTrace::new(0u32);
+        for i in 1..=5 {
+            let n = t.insert(i);
+            t.set_available(n);
+        }
+        t.reclaim_prefix(4);
+        let _unavail = t.insert(6);
+        assert_eq!(t.latest_available().idx(), 5);
+    }
+
+    #[test]
+    fn drop_frees_all_nodes_without_leaking_or_crashing() {
+        // Smoke test: a large trace with retired nodes dropped cleanly.
+        let t = ExecutionTrace::new(0u64);
+        for i in 1..=1000 {
+            let n = t.insert(i);
+            t.set_available(n);
+        }
+        t.reclaim_prefix(500);
+        drop(t);
+    }
+
+    #[test]
+    fn with_base_continues_the_index_sequence() {
+        let t = ExecutionTrace::with_base("checkpoint", 41);
+        assert_eq!(t.base_idx(), 41);
+        assert_eq!(t.tail_idx(), 41);
+        assert!(t.is_empty());
+        assert_eq!(t.len(), 0);
+        let n = t.insert("next");
+        assert_eq!(n.idx(), 42);
+        assert_eq!(t.latest_available().idx(), 41);
+        t.set_available(n);
+        assert_eq!(t.latest_available().idx(), 42);
+    }
+
+    #[test]
+    fn insert_preserves_op_payloads() {
+        let t = ExecutionTrace::new(String::from("init"));
+        let a = t.insert(String::from("hello"));
+        let b = t.insert(String::from("world"));
+        assert_eq!(a.op(), "hello");
+        assert_eq!(b.op(), "world");
+        assert_eq!(t.sentinel().op(), "init");
+    }
+}

@@ -1,0 +1,65 @@
+//! Adapters presenting ONLL handles through the common [`DurableObject`] interface.
+
+use baselines::DurableObject;
+use onll::{ProcessHandle, SequentialSpec};
+
+/// Wraps an ONLL [`ProcessHandle`] so workloads written against
+/// [`baselines::DurableObject`] can drive the ONLL implementation unchanged.
+pub struct OnllAdapter<S: SequentialSpec> {
+    handle: ProcessHandle<S>,
+}
+
+impl<S: SequentialSpec> OnllAdapter<S> {
+    /// Wraps a handle.
+    pub fn new(handle: ProcessHandle<S>) -> Self {
+        OnllAdapter { handle }
+    }
+
+    /// The wrapped handle.
+    pub fn handle(&self) -> &ProcessHandle<S> {
+        &self.handle
+    }
+
+    /// Mutable access to the wrapped handle (e.g. for checkpoint calls).
+    pub fn handle_mut(&mut self) -> &mut ProcessHandle<S> {
+        &mut self.handle
+    }
+
+    /// Unwraps back into the handle.
+    pub fn into_handle(self) -> ProcessHandle<S> {
+        self.handle
+    }
+}
+
+impl<S: SequentialSpec> DurableObject<S> for OnllAdapter<S> {
+    fn update(&mut self, op: S::UpdateOp) -> S::Value {
+        self.handle.update(op)
+    }
+
+    fn read(&mut self, op: &S::ReadOp) -> S::Value {
+        self.handle.read(op)
+    }
+
+    fn implementation_name(&self) -> &'static str {
+        "onll"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use durable_objects::{CounterOp, CounterRead, CounterSpec};
+    use nvm_sim::{NvmPool, PmemConfig};
+    use onll::{Durable, OnllConfig};
+
+    #[test]
+    fn adapter_drives_the_onll_object() {
+        let pool = NvmPool::new(PmemConfig::default());
+        let obj = Durable::<CounterSpec>::create(pool, OnllConfig::named("ctr")).unwrap();
+        let mut adapter = OnllAdapter::new(obj.register().unwrap());
+        assert_eq!(adapter.update(CounterOp::Add(4)), 4);
+        assert_eq!(adapter.read(&CounterRead::Get), 4);
+        assert_eq!(adapter.implementation_name(), "onll");
+        assert_eq!(adapter.handle().pid(), 0);
+    }
+}

@@ -1,0 +1,157 @@
+//! Per-operation persistent-fence auditing (Theorem 5.1).
+//!
+//! The audit drives an arbitrary workload against any [`DurableObject`]
+//! implementation while counting, per operation, the persistent fences issued by
+//! the executing thread. For ONLL the result must satisfy: at most one persistent
+//! fence per update, zero per read.
+
+use crate::workload::WorkloadOp;
+use baselines::DurableObject;
+use nvm_sim::FenceStats;
+use onll::SequentialSpec;
+
+/// Aggregated per-operation fence counts for one workload run.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FenceAudit {
+    /// Number of update operations executed.
+    pub updates: u64,
+    /// Number of read-only operations executed.
+    pub reads: u64,
+    /// Total persistent fences issued during updates.
+    pub update_fences: u64,
+    /// Total persistent fences issued during reads.
+    pub read_fences: u64,
+    /// Maximum persistent fences observed in a single update.
+    pub max_fences_per_update: u64,
+    /// Maximum persistent fences observed in a single read.
+    pub max_fences_per_read: u64,
+    /// Total flush instructions issued during reads (must be zero for ONLL).
+    pub read_flushes: u64,
+    /// Total NVM store instructions issued during reads (must be zero for ONLL).
+    pub read_stores: u64,
+}
+
+impl FenceAudit {
+    /// True if the run satisfies the ONLL bounds of Theorem 5.1: at most one
+    /// persistent fence per update and none per read (and reads touch NVM not at
+    /// all).
+    pub fn satisfies_onll_bounds(&self) -> bool {
+        self.max_fences_per_update <= 1
+            && self.read_fences == 0
+            && self.read_flushes == 0
+            && self.read_stores == 0
+    }
+
+    /// Average persistent fences per update.
+    pub fn fences_per_update(&self) -> f64 {
+        if self.updates == 0 {
+            0.0
+        } else {
+            self.update_fences as f64 / self.updates as f64
+        }
+    }
+
+    /// Average persistent fences per read.
+    pub fn fences_per_read(&self) -> f64 {
+        if self.reads == 0 {
+            0.0
+        } else {
+            self.read_fences as f64 / self.reads as f64
+        }
+    }
+}
+
+/// Executes `ops` against `object`, auditing the calling thread's persistence
+/// events per operation via `stats` (the pool's statistics).
+pub fn audit_fence_bounds<S, D>(
+    object: &mut D,
+    stats: &FenceStats,
+    ops: impl IntoIterator<Item = WorkloadOp<S::UpdateOp, S::ReadOp>>,
+) -> FenceAudit
+where
+    S: SequentialSpec,
+    D: DurableObject<S> + ?Sized,
+{
+    let mut audit = FenceAudit::default();
+    for op in ops {
+        let window = stats.op_window();
+        match op {
+            WorkloadOp::Update(u) => {
+                object.update(u);
+                let d = window.close();
+                audit.updates += 1;
+                audit.update_fences += d.persistent_fences;
+                audit.max_fences_per_update = audit.max_fences_per_update.max(d.persistent_fences);
+            }
+            WorkloadOp::Read(r) => {
+                object.read(&r);
+                let d = window.close();
+                audit.reads += 1;
+                audit.read_fences += d.persistent_fences;
+                audit.max_fences_per_read = audit.max_fences_per_read.max(d.persistent_fences);
+                audit.read_flushes += d.flushes;
+                audit.read_stores += d.stores;
+            }
+        }
+    }
+    audit
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::adapter::OnllAdapter;
+    use crate::workload::{Workload, WorkloadMix};
+    use baselines::{NaiveDurable, WalDurable};
+    use durable_objects::CounterSpec;
+    use nvm_sim::{NvmPool, PmemConfig};
+    use onll::{Durable, OnllConfig};
+
+    fn pool() -> NvmPool {
+        NvmPool::new(PmemConfig::with_capacity(32 << 20))
+    }
+
+    #[test]
+    fn onll_satisfies_the_theorem_bounds() {
+        let p = pool();
+        let obj = Durable::<CounterSpec>::create(p.clone(), OnllConfig::named("c")).unwrap();
+        let mut adapter = OnllAdapter::new(obj.register().unwrap());
+        let mut w = Workload::new(WorkloadMix::with_update_percent(50), 9);
+        let audit = audit_fence_bounds::<CounterSpec, _>(&mut adapter, p.stats(), w.counter_ops(400));
+        assert!(audit.satisfies_onll_bounds(), "{audit:?}");
+        assert_eq!(audit.max_fences_per_update, 1);
+        assert_eq!(audit.fences_per_update(), 1.0);
+        assert_eq!(audit.fences_per_read(), 0.0);
+        assert_eq!(audit.updates + audit.reads, 400);
+    }
+
+    #[test]
+    fn wal_baseline_exceeds_the_bound() {
+        let p = pool();
+        let obj = WalDurable::<CounterSpec>::create(p.clone(), 4096);
+        let mut h = obj.handle();
+        let mut w = Workload::new(WorkloadMix::update_only(), 9);
+        let audit = audit_fence_bounds::<CounterSpec, _>(&mut h, p.stats(), w.counter_ops(100));
+        assert!(!audit.satisfies_onll_bounds());
+        assert_eq!(audit.max_fences_per_update, 2);
+        assert_eq!(audit.fences_per_update(), 2.0);
+    }
+
+    #[test]
+    fn naive_baseline_exceeds_the_bound() {
+        let p = pool();
+        let obj = NaiveDurable::<CounterSpec>::create(p.clone(), 64);
+        let mut h = obj.handle();
+        let mut w = Workload::new(WorkloadMix::update_only(), 9);
+        let audit = audit_fence_bounds::<CounterSpec, _>(&mut h, p.stats(), w.counter_ops(50));
+        assert_eq!(audit.max_fences_per_update, 2);
+    }
+
+    #[test]
+    fn empty_workload_yields_zero_audit() {
+        let audit = FenceAudit::default();
+        assert_eq!(audit.fences_per_update(), 0.0);
+        assert_eq!(audit.fences_per_read(), 0.0);
+        assert!(audit.satisfies_onll_bounds());
+    }
+}

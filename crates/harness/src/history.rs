@@ -1,0 +1,247 @@
+//! Concurrent history recording.
+//!
+//! A *history* (Section 5.2.1 of the paper) is a sequence of invocation and
+//! response events. The harness records histories while workloads run so the
+//! linearizability and durable-linearizability checkers can verify them offline.
+//! Timestamps are logical: a single global atomic counter incremented at every
+//! event, which yields a total order consistent with real time (an event that
+//! happens-before another gets a smaller stamp).
+
+use onll::OpId;
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// What kind of operation an event pair describes.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EventKind<U, R, V> {
+    /// An update operation with its argument and (once responded) return value.
+    Update {
+        /// The update operation.
+        op: U,
+        /// Return value, present once the operation responded.
+        value: Option<V>,
+    },
+    /// A read-only operation with its argument and (once responded) return value.
+    Read {
+        /// The read operation.
+        op: R,
+        /// Return value, present once the operation responded.
+        value: Option<V>,
+    },
+}
+
+/// One recorded operation: invocation stamp, optional response stamp, process, and
+/// the operation itself.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OpRecord<U, R, V> {
+    /// Identity of the invoking process (slot index used by the workload driver).
+    pub pid: u32,
+    /// Identity of the update operation (None for reads).
+    pub op_id: Option<OpId>,
+    /// Logical invocation timestamp.
+    pub invoked_at: u64,
+    /// Logical response timestamp (`None` if the operation never responded, e.g.
+    /// because the system crashed).
+    pub responded_at: Option<u64>,
+    /// The operation and its return value.
+    pub kind: EventKind<U, R, V>,
+}
+
+impl<U, R, V> OpRecord<U, R, V> {
+    /// True if this record describes an update.
+    pub fn is_update(&self) -> bool {
+        matches!(self.kind, EventKind::Update { .. })
+    }
+
+    /// True if the operation completed (has a response).
+    pub fn is_complete(&self) -> bool {
+        self.responded_at.is_some()
+    }
+
+    /// Real-time precedence: `self` precedes `other` iff `self` responded before
+    /// `other` was invoked.
+    pub fn precedes(&self, other: &Self) -> bool {
+        match self.responded_at {
+            Some(r) => r < other.invoked_at,
+            None => false,
+        }
+    }
+}
+
+/// One raw event (used internally and exposed for debugging output).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Event {
+    /// An invocation with its logical stamp.
+    Invoke(u64),
+    /// A response with its logical stamp.
+    Respond(u64),
+}
+
+/// A shared, append-only history recorder.
+pub struct History<U, R, V> {
+    clock: Arc<AtomicU64>,
+    records: Arc<Mutex<Vec<OpRecord<U, R, V>>>>,
+}
+
+impl<U, R, V> Clone for History<U, R, V> {
+    fn clone(&self) -> Self {
+        History {
+            clock: self.clock.clone(),
+            records: self.records.clone(),
+        }
+    }
+}
+
+impl<U, R, V> Default for History<U, R, V> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// A token identifying an invocation, to be closed by [`History::respond`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PendingOp(usize);
+
+impl<U, R, V> History<U, R, V> {
+    /// Creates an empty history.
+    pub fn new() -> Self {
+        History {
+            clock: Arc::new(AtomicU64::new(1)),
+            records: Arc::new(Mutex::new(Vec::new())),
+        }
+    }
+
+    fn tick(&self) -> u64 {
+        self.clock.fetch_add(1, Ordering::SeqCst)
+    }
+
+    /// Records the invocation of an update.
+    pub fn invoke_update(&self, pid: u32, op_id: Option<OpId>, op: U) -> PendingOp {
+        let stamp = self.tick();
+        let mut records = self.records.lock();
+        records.push(OpRecord {
+            pid,
+            op_id,
+            invoked_at: stamp,
+            responded_at: None,
+            kind: EventKind::Update { op, value: None },
+        });
+        PendingOp(records.len() - 1)
+    }
+
+    /// Records the invocation of a read.
+    pub fn invoke_read(&self, pid: u32, op: R) -> PendingOp {
+        let stamp = self.tick();
+        let mut records = self.records.lock();
+        records.push(OpRecord {
+            pid,
+            op_id: None,
+            invoked_at: stamp,
+            responded_at: None,
+            kind: EventKind::Read { op, value: None },
+        });
+        PendingOp(records.len() - 1)
+    }
+
+    /// Records the response of a previously invoked operation, with its value.
+    pub fn respond(&self, pending: PendingOp, value: V) {
+        let stamp = self.tick();
+        let mut records = self.records.lock();
+        let record = &mut records[pending.0];
+        record.responded_at = Some(stamp);
+        match &mut record.kind {
+            EventKind::Update { value: v, .. } => *v = Some(value),
+            EventKind::Read { value: v, .. } => *v = Some(value),
+        }
+    }
+
+    /// Updates the op-id of a pending update (assigned by the implementation only
+    /// after the invocation was recorded).
+    pub fn set_op_id(&self, pending: PendingOp, op_id: OpId) {
+        self.records.lock()[pending.0].op_id = Some(op_id);
+    }
+
+    /// Returns a snapshot of all records.
+    pub fn snapshot(&self) -> Vec<OpRecord<U, R, V>>
+    where
+        U: Clone,
+        R: Clone,
+        V: Clone,
+    {
+        self.records.lock().clone()
+    }
+
+    /// Number of recorded operations (complete or not).
+    pub fn len(&self) -> usize {
+        self.records.lock().len()
+    }
+
+    /// True if nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    type H = History<&'static str, &'static str, i64>;
+
+    #[test]
+    fn invocation_and_response_are_ordered() {
+        let h: H = History::new();
+        let a = h.invoke_update(0, None, "add");
+        h.respond(a, 1);
+        let b = h.invoke_read(1, "get");
+        h.respond(b, 1);
+        let snap = h.snapshot();
+        assert_eq!(snap.len(), 2);
+        assert!(snap[0].is_update());
+        assert!(!snap[1].is_update());
+        assert!(snap[0].is_complete() && snap[1].is_complete());
+        assert!(snap[0].precedes(&snap[1]));
+        assert!(!snap[1].precedes(&snap[0]));
+    }
+
+    #[test]
+    fn pending_operation_has_no_response() {
+        let h: H = History::new();
+        let _a = h.invoke_update(0, None, "add");
+        let snap = h.snapshot();
+        assert!(!snap[0].is_complete());
+        assert!(!snap[0].precedes(&snap[0]));
+    }
+
+    #[test]
+    fn concurrent_operations_do_not_precede_each_other() {
+        let h: H = History::new();
+        let a = h.invoke_update(0, None, "a");
+        let b = h.invoke_update(1, None, "b");
+        h.respond(a, 1);
+        h.respond(b, 2);
+        let snap = h.snapshot();
+        assert!(!snap[0].precedes(&snap[1]));
+        assert!(!snap[1].precedes(&snap[0]));
+    }
+
+    #[test]
+    fn op_id_can_be_attached_after_invocation() {
+        let h: H = History::new();
+        let a = h.invoke_update(3, None, "a");
+        h.set_op_id(a, OpId::new(3, 1));
+        assert_eq!(h.snapshot()[0].op_id, Some(OpId::new(3, 1)));
+    }
+
+    #[test]
+    fn clones_share_the_same_history() {
+        let h: H = History::new();
+        let h2 = h.clone();
+        let a = h.invoke_update(0, None, "x");
+        h2.respond(a, 9);
+        assert_eq!(h.snapshot()[0].is_complete(), true);
+        assert_eq!(h.len(), 1);
+        assert!(!h.is_empty());
+    }
+}

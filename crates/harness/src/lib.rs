@@ -1,0 +1,45 @@
+//! # harness — experiment infrastructure for the SPAA 2018 reproduction
+//!
+//! This crate contains everything needed to *exercise and check* the ONLL
+//! construction and its baselines:
+//!
+//! * [`adapter`] — adapters presenting ONLL process handles through the common
+//!   [`baselines::DurableObject`] interface, so identical workloads drive every
+//!   implementation.
+//! * [`workload`] — deterministic workload generators (update/read mixes, key
+//!   distributions) used by benchmarks and stress tests.
+//! * [`history`] — concurrent history recording (invocations, responses, values,
+//!   per-process order).
+//! * [`linearizability`] — a Wing&Gong-style linearizability checker for small
+//!   histories against any [`onll::SequentialSpec`], plus the durable-
+//!   linearizability (consistent-cut) checks of Definition 5.6.
+//! * [`crash`] — crash-injection orchestration: run a concurrent workload, stop the
+//!   world at an adversarially chosen persistence event, recover, and verify.
+//! * [`lower_bound`] — the Theorem 6.3 adversarial schedule: every process runs an
+//!   update solo and is preempted just before its response (or first fence), and
+//!   each must be observed to issue at least one persistent fence.
+//! * [`fence_audit`] — helpers asserting the Theorem 5.1 per-operation fence bounds
+//!   over arbitrary workloads.
+//! * [`report`] — plain-text table rendering for benchmark and example output.
+
+#![warn(missing_docs)]
+
+pub mod adapter;
+pub mod crash;
+pub mod fence_audit;
+pub mod history;
+pub mod linearizability;
+pub mod lower_bound;
+pub mod report;
+pub mod workload;
+
+pub use adapter::OnllAdapter;
+pub use crash::{quick_crash_sweep, CrashExperiment, CrashOutcome};
+pub use fence_audit::{audit_fence_bounds, FenceAudit};
+pub use history::{Event, EventKind, History, OpRecord};
+pub use linearizability::{
+    check_durable_linearizability, check_linearizability, DurabilityViolation,
+};
+pub use lower_bound::{run_lower_bound_experiment, LowerBoundReport};
+pub use report::Table;
+pub use workload::{Workload, WorkloadMix, WorkloadOp};

@@ -1,0 +1,211 @@
+//! Deterministic workload generation.
+//!
+//! Benchmarks and stress tests need reproducible streams of operations with a
+//! controlled update/read mix — the main knob in the paper's cost model, since only
+//! updates pay a persistent fence. [`Workload`] produces such streams from a seed.
+
+use durable_objects::{CounterOp, CounterRead, KvOp, KvRead, QueueOp, QueueRead, SetOp, SetRead};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// An operation drawn from a workload: either an update or a read of the target
+/// object type.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WorkloadOp<U, R> {
+    /// An update operation.
+    Update(U),
+    /// A read-only operation.
+    Read(R),
+}
+
+impl<U, R> WorkloadOp<U, R> {
+    /// True if this is an update.
+    pub fn is_update(&self) -> bool {
+        matches!(self, WorkloadOp::Update(_))
+    }
+}
+
+/// The update/read mix and key-space parameters of a workload.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WorkloadMix {
+    /// Fraction of operations that are updates, in `[0, 1]`.
+    pub update_ratio: f64,
+    /// Number of distinct keys touched (for keyed objects).
+    pub key_space: u64,
+}
+
+impl Default for WorkloadMix {
+    fn default() -> Self {
+        WorkloadMix {
+            update_ratio: 0.5,
+            key_space: 1024,
+        }
+    }
+}
+
+impl WorkloadMix {
+    /// A workload of only updates.
+    pub fn update_only() -> Self {
+        WorkloadMix {
+            update_ratio: 1.0,
+            ..Default::default()
+        }
+    }
+
+    /// A workload of only reads.
+    pub fn read_only() -> Self {
+        WorkloadMix {
+            update_ratio: 0.0,
+            ..Default::default()
+        }
+    }
+
+    /// A workload with the given update percentage (0–100).
+    pub fn with_update_percent(percent: u32) -> Self {
+        WorkloadMix {
+            update_ratio: f64::from(percent.min(100)) / 100.0,
+            ..Default::default()
+        }
+    }
+}
+
+/// A seeded, deterministic operation generator.
+pub struct Workload {
+    rng: StdRng,
+    mix: WorkloadMix,
+}
+
+impl Workload {
+    /// Creates a workload with the given mix and seed.
+    pub fn new(mix: WorkloadMix, seed: u64) -> Self {
+        Workload {
+            rng: StdRng::seed_from_u64(seed),
+            mix,
+        }
+    }
+
+    /// The configured mix.
+    pub fn mix(&self) -> WorkloadMix {
+        self.mix
+    }
+
+    fn is_update(&mut self) -> bool {
+        self.rng.gen_bool(self.mix.update_ratio.clamp(0.0, 1.0))
+    }
+
+    /// Next counter operation.
+    pub fn next_counter_op(&mut self) -> WorkloadOp<CounterOp, CounterRead> {
+        if self.is_update() {
+            WorkloadOp::Update(CounterOp::Add(self.rng.gen_range(-10..=10)))
+        } else {
+            WorkloadOp::Read(CounterRead::Get)
+        }
+    }
+
+    /// Next key-value operation.
+    pub fn next_kv_op(&mut self) -> WorkloadOp<KvOp, KvRead> {
+        let key = format!("key-{}", self.rng.gen_range(0..self.mix.key_space));
+        if self.is_update() {
+            if self.rng.gen_bool(0.8) {
+                let value = format!("value-{}", self.rng.gen_range(0..1_000_000u64));
+                WorkloadOp::Update(KvOp::Put(key, value))
+            } else {
+                WorkloadOp::Update(KvOp::Delete(key))
+            }
+        } else {
+            WorkloadOp::Read(KvRead::Get(key))
+        }
+    }
+
+    /// Next set operation.
+    pub fn next_set_op(&mut self) -> WorkloadOp<SetOp, SetRead> {
+        let key = self.rng.gen_range(0..self.mix.key_space);
+        if self.is_update() {
+            if self.rng.gen_bool(0.5) {
+                WorkloadOp::Update(SetOp::Add(key))
+            } else {
+                WorkloadOp::Update(SetOp::Remove(key))
+            }
+        } else {
+            WorkloadOp::Read(SetRead::Contains(key))
+        }
+    }
+
+    /// Next queue operation.
+    pub fn next_queue_op(&mut self) -> WorkloadOp<QueueOp, QueueRead> {
+        if self.is_update() {
+            if self.rng.gen_bool(0.5) {
+                WorkloadOp::Update(QueueOp::Enqueue(self.rng.gen()))
+            } else {
+                WorkloadOp::Update(QueueOp::Dequeue)
+            }
+        } else {
+            WorkloadOp::Read(QueueRead::Front)
+        }
+    }
+
+    /// Generates a vector of `n` counter operations.
+    pub fn counter_ops(&mut self, n: usize) -> Vec<WorkloadOp<CounterOp, CounterRead>> {
+        (0..n).map(|_| self.next_counter_op()).collect()
+    }
+
+    /// Generates a vector of `n` key-value operations.
+    pub fn kv_ops(&mut self, n: usize) -> Vec<WorkloadOp<KvOp, KvRead>> {
+        (0..n).map(|_| self.next_kv_op()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = Workload::new(WorkloadMix::default(), 7);
+        let mut b = Workload::new(WorkloadMix::default(), 7);
+        assert_eq!(a.counter_ops(50), b.counter_ops(50));
+        assert_eq!(a.kv_ops(50), b.kv_ops(50));
+    }
+
+    #[test]
+    fn different_seed_different_stream() {
+        let mut a = Workload::new(WorkloadMix::default(), 1);
+        let mut b = Workload::new(WorkloadMix::default(), 2);
+        assert_ne!(a.counter_ops(50), b.counter_ops(50));
+    }
+
+    #[test]
+    fn update_only_and_read_only_mixes() {
+        let mut w = Workload::new(WorkloadMix::update_only(), 3);
+        assert!(w.counter_ops(100).iter().all(|op| op.is_update()));
+        let mut w = Workload::new(WorkloadMix::read_only(), 3);
+        assert!(w.counter_ops(100).iter().all(|op| !op.is_update()));
+    }
+
+    #[test]
+    fn update_percent_is_roughly_respected() {
+        let mut w = Workload::new(WorkloadMix::with_update_percent(20), 11);
+        let ops = w.counter_ops(2000);
+        let updates = ops.iter().filter(|o| o.is_update()).count();
+        assert!((300..500).contains(&updates), "updates = {updates}");
+    }
+
+    #[test]
+    fn kv_keys_stay_in_the_key_space() {
+        let mix = WorkloadMix {
+            update_ratio: 1.0,
+            key_space: 4,
+        };
+        let mut w = Workload::new(mix, 5);
+        for op in w.kv_ops(100) {
+            let key = match op {
+                WorkloadOp::Update(KvOp::Put(k, _)) => k,
+                WorkloadOp::Update(KvOp::Delete(k)) => k,
+                WorkloadOp::Read(KvRead::Get(k)) => k,
+                _ => continue,
+            };
+            let n: u64 = key.strip_prefix("key-").unwrap().parse().unwrap();
+            assert!(n < 4);
+        }
+    }
+}

@@ -1,0 +1,273 @@
+//! The simulated cache hierarchy and durable backing store.
+//!
+//! Both the volatile cache and the durable ("on-NVM") contents are kept at
+//! cache-line granularity in a sharded map. Stores always land in the cache;
+//! whether and when a line's contents reach the durable map is decided by the
+//! [`crate::WritebackPolicy`] and by fences (see [`crate::NvmRegion`]).
+
+use crate::layout::CACHE_LINE_SIZE;
+use parking_lot::RwLock;
+use std::collections::HashMap;
+
+/// Contents of one 64-byte line.
+pub(crate) type Line = [u8; CACHE_LINE_SIZE];
+
+pub(crate) const N_SHARDS: usize = 64;
+
+/// One shard of the line maps. Cache and durable contents for a line always live in
+/// the same shard, so a single lock acquisition covers a coherent view of the line.
+#[derive(Default)]
+pub(crate) struct Shard {
+    /// Volatile cache contents: the most recent stored value of each line.
+    pub cache: HashMap<u64, Box<Line>>,
+    /// Durable contents: what would survive a crash right now.
+    pub durable: HashMap<u64, Box<Line>>,
+}
+
+pub(crate) struct ShardedMemory {
+    shards: Box<[RwLock<Shard>]>,
+}
+
+impl ShardedMemory {
+    pub fn new() -> Self {
+        let shards = (0..N_SHARDS)
+            .map(|_| RwLock::new(Shard::default()))
+            .collect::<Vec<_>>()
+            .into_boxed_slice();
+        ShardedMemory { shards }
+    }
+
+    #[inline]
+    pub fn shard_for(&self, line: u64) -> &RwLock<Shard> {
+        &self.shards[(line as usize) % N_SHARDS]
+    }
+
+    /// Iterates over all shards, locking each one for writing in turn.
+    pub fn for_each_shard_mut(&self, mut f: impl FnMut(&mut Shard)) {
+        for shard in self.shards.iter() {
+            f(&mut shard.write());
+        }
+    }
+
+    /// Reads `buf.len()` bytes starting at `addr`, preferring cache contents and
+    /// falling back to durable contents, then zeros.
+    pub fn read(&self, addr: u64, buf: &mut [u8]) {
+        let mut written = 0usize;
+        let mut cur = addr;
+        while written < buf.len() {
+            let line = cur / CACHE_LINE_SIZE as u64;
+            let off = (cur % CACHE_LINE_SIZE as u64) as usize;
+            let take = (CACHE_LINE_SIZE - off).min(buf.len() - written);
+            let shard = self.shard_for(line).read();
+            let src: Option<&Box<Line>> = shard.cache.get(&line).or_else(|| shard.durable.get(&line));
+            match src {
+                Some(data) => buf[written..written + take].copy_from_slice(&data[off..off + take]),
+                None => buf[written..written + take].fill(0),
+            }
+            drop(shard);
+            written += take;
+            cur += take as u64;
+        }
+    }
+
+    /// Reads from the durable contents only (what a crash right now would preserve).
+    pub fn read_durable(&self, addr: u64, buf: &mut [u8]) {
+        let mut written = 0usize;
+        let mut cur = addr;
+        while written < buf.len() {
+            let line = cur / CACHE_LINE_SIZE as u64;
+            let off = (cur % CACHE_LINE_SIZE as u64) as usize;
+            let take = (CACHE_LINE_SIZE - off).min(buf.len() - written);
+            let shard = self.shard_for(line).read();
+            match shard.durable.get(&line) {
+                Some(data) => buf[written..written + take].copy_from_slice(&data[off..off + take]),
+                None => buf[written..written + take].fill(0),
+            }
+            drop(shard);
+            written += take;
+            cur += take as u64;
+        }
+    }
+
+    /// Writes `data` starting at `addr` into the cache. Returns the list of touched
+    /// line indices (used by the caller to apply eviction policies).
+    pub fn store(&self, addr: u64, data: &[u8]) -> Vec<u64> {
+        let mut touched = Vec::with_capacity(1 + data.len() / CACHE_LINE_SIZE);
+        let mut consumed = 0usize;
+        let mut cur = addr;
+        while consumed < data.len() {
+            let line = cur / CACHE_LINE_SIZE as u64;
+            let off = (cur % CACHE_LINE_SIZE as u64) as usize;
+            let take = (CACHE_LINE_SIZE - off).min(data.len() - consumed);
+            let mut shard = self.shard_for(line).write();
+            // Get-or-initialize the cache line. A line absent from the cache is
+            // initialized from the durable contents (a "cache miss fill"), so that a
+            // partial-line store does not zero the rest of the line.
+            let durable_copy = shard.durable.get(&line).cloned();
+            let entry = shard
+                .cache
+                .entry(line)
+                .or_insert_with(|| durable_copy.unwrap_or_else(|| Box::new([0u8; CACHE_LINE_SIZE])));
+            entry[off..off + take].copy_from_slice(&data[consumed..consumed + take]);
+            drop(shard);
+            touched.push(line);
+            consumed += take;
+            cur += take as u64;
+        }
+        touched
+    }
+
+    /// Snapshots the current contents of `line` as seen by the cache hierarchy
+    /// (cache first, then durable, then zeros). Used to capture the value a flush
+    /// instruction would write back.
+    pub fn snapshot_line(&self, line: u64) -> Box<Line> {
+        let shard = self.shard_for(line).read();
+        if let Some(l) = shard.cache.get(&line) {
+            l.clone()
+        } else if let Some(l) = shard.durable.get(&line) {
+            l.clone()
+        } else {
+            Box::new([0u8; CACHE_LINE_SIZE])
+        }
+    }
+
+    /// Makes `contents` the durable value of `line`.
+    pub fn write_back(&self, line: u64, contents: &Line) {
+        let mut shard = self.shard_for(line).write();
+        shard.durable.insert(line, Box::new(*contents));
+    }
+
+    /// Writes back the *current cached* value of `line` (no-op if the line is not
+    /// cached). Used by the eager / random-eviction policies.
+    pub fn write_back_cached(&self, line: u64) -> bool {
+        let mut shard = self.shard_for(line).write();
+        if let Some(contents) = shard.cache.get(&line).cloned() {
+            shard.durable.insert(line, contents);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Discards all cached (volatile) contents.
+    pub fn drop_cache(&self) {
+        self.for_each_shard_mut(|s| s.cache.clear());
+    }
+
+    /// Number of lines currently resident in the cache. For tests and diagnostics.
+    pub fn cached_lines(&self) -> usize {
+        self.shards.iter().map(|s| s.read().cache.len()).sum()
+    }
+
+    /// Number of lines currently present in the durable store.
+    pub fn durable_lines(&self) -> usize {
+        self.shards.iter().map(|s| s.read().durable.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn read_of_untouched_memory_is_zero() {
+        let m = ShardedMemory::new();
+        let mut buf = [0xAAu8; 16];
+        m.read(1000, &mut buf);
+        assert_eq!(buf, [0u8; 16]);
+    }
+
+    #[test]
+    fn store_then_read_roundtrips_through_cache() {
+        let m = ShardedMemory::new();
+        m.store(10, &[1, 2, 3, 4]);
+        let mut buf = [0u8; 4];
+        m.read(10, &mut buf);
+        assert_eq!(buf, [1, 2, 3, 4]);
+        // But nothing is durable yet.
+        let mut dbuf = [9u8; 4];
+        m.read_durable(10, &mut dbuf);
+        assert_eq!(dbuf, [0u8; 4]);
+    }
+
+    #[test]
+    fn store_spanning_lines_touches_both() {
+        let m = ShardedMemory::new();
+        let touched = m.store(60, &[7u8; 10]);
+        assert_eq!(touched, vec![0, 1]);
+        let mut buf = [0u8; 10];
+        m.read(60, &mut buf);
+        assert_eq!(buf, [7u8; 10]);
+    }
+
+    #[test]
+    fn write_back_makes_snapshot_durable() {
+        let m = ShardedMemory::new();
+        m.store(0, &[5u8; 8]);
+        let snap = m.snapshot_line(0);
+        m.write_back(0, &snap);
+        m.drop_cache();
+        let mut buf = [0u8; 8];
+        m.read(0, &mut buf);
+        assert_eq!(buf, [5u8; 8]);
+    }
+
+    #[test]
+    fn drop_cache_loses_unwritten_data() {
+        let m = ShardedMemory::new();
+        m.store(0, &[5u8; 8]);
+        m.drop_cache();
+        let mut buf = [1u8; 8];
+        m.read(0, &mut buf);
+        assert_eq!(buf, [0u8; 8]);
+    }
+
+    #[test]
+    fn partial_line_store_preserves_durable_rest_of_line() {
+        let m = ShardedMemory::new();
+        // Make the whole line durable with 0xFF.
+        m.store(0, &[0xFFu8; 64]);
+        let snap = m.snapshot_line(0);
+        m.write_back(0, &snap);
+        m.drop_cache();
+        // Now store only 4 bytes; the cache fill must come from durable contents.
+        m.store(4, &[0u8; 4]);
+        let mut buf = [0u8; 64];
+        m.read(0, &mut buf);
+        assert_eq!(&buf[0..4], &[0xFF; 4]);
+        assert_eq!(&buf[4..8], &[0; 4]);
+        assert_eq!(&buf[8..64], &[0xFF; 56]);
+    }
+
+    #[test]
+    fn write_back_cached_is_noop_for_uncached_line() {
+        let m = ShardedMemory::new();
+        assert!(!m.write_back_cached(42));
+        m.store(42 * 64, &[1]);
+        assert!(m.write_back_cached(42));
+    }
+
+    #[test]
+    fn cached_and_durable_line_counts() {
+        let m = ShardedMemory::new();
+        assert_eq!(m.cached_lines(), 0);
+        m.store(0, &[1u8; 64]);
+        m.store(64, &[2u8; 64]);
+        assert_eq!(m.cached_lines(), 2);
+        assert_eq!(m.durable_lines(), 0);
+        let snap = m.snapshot_line(0);
+        m.write_back(0, &snap);
+        assert_eq!(m.durable_lines(), 1);
+    }
+
+    #[test]
+    fn snapshot_falls_back_to_durable_then_zero() {
+        let m = ShardedMemory::new();
+        assert_eq!(*m.snapshot_line(3), [0u8; 64]);
+        m.store(3 * 64, &[9u8; 64]);
+        let s = m.snapshot_line(3);
+        m.write_back(3, &s);
+        m.drop_cache();
+        assert_eq!(*m.snapshot_line(3), [9u8; 64]);
+    }
+}

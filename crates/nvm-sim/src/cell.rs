@@ -1,0 +1,221 @@
+//! Typed views over persistent memory.
+//!
+//! These are thin conveniences over raw [`crate::NvmPool`] accesses for code that
+//! manipulates individual persistent words or byte ranges (log headers, sequence
+//! numbers, checkpoint descriptors).
+
+use crate::layout::PAddr;
+use crate::pool::NvmPool;
+
+/// A persistent little-endian `u64` at a fixed address.
+#[derive(Clone)]
+pub struct PU64 {
+    pool: NvmPool,
+    addr: PAddr,
+}
+
+impl PU64 {
+    /// Creates a view of the `u64` stored at `addr`.
+    pub fn new(pool: NvmPool, addr: PAddr) -> Self {
+        PU64 { pool, addr }
+    }
+
+    /// The address this cell refers to.
+    pub fn addr(&self) -> PAddr {
+        self.addr
+    }
+
+    /// Loads the current (cached) value.
+    pub fn load(&self) -> u64 {
+        self.pool.read_u64(self.addr)
+    }
+
+    /// Stores a value into the cache (not yet durable).
+    pub fn store(&self, value: u64) {
+        self.pool.write_u64(self.addr, value);
+    }
+
+    /// Flushes the cell's line (asynchronous write-back; free).
+    pub fn flush(&self) {
+        self.pool.flush(self.addr, 8);
+    }
+
+    /// Stores, flushes and fences: exactly one persistent fence.
+    pub fn persist(&self, value: u64) {
+        self.store(value);
+        self.flush();
+        self.pool.fence();
+    }
+}
+
+/// A persistent little-endian `u32` at a fixed address.
+#[derive(Clone)]
+pub struct PU32 {
+    pool: NvmPool,
+    addr: PAddr,
+}
+
+impl PU32 {
+    /// Creates a view of the `u32` stored at `addr`.
+    pub fn new(pool: NvmPool, addr: PAddr) -> Self {
+        PU32 { pool, addr }
+    }
+
+    /// Loads the current (cached) value.
+    pub fn load(&self) -> u32 {
+        self.pool.read_u32(self.addr)
+    }
+
+    /// Stores a value into the cache (not yet durable).
+    pub fn store(&self, value: u32) {
+        self.pool.write_u32(self.addr, value);
+    }
+
+    /// Flushes the cell's line (asynchronous write-back; free).
+    pub fn flush(&self) {
+        self.pool.flush(self.addr, 4);
+    }
+
+    /// Stores, flushes and fences: exactly one persistent fence.
+    pub fn persist(&self, value: u32) {
+        self.store(value);
+        self.flush();
+        self.pool.fence();
+    }
+}
+
+/// A persistent byte range `[addr, addr + len)`.
+#[derive(Clone)]
+pub struct PBytes {
+    pool: NvmPool,
+    addr: PAddr,
+    len: usize,
+}
+
+impl PBytes {
+    /// Creates a view of `len` bytes at `addr`.
+    pub fn new(pool: NvmPool, addr: PAddr, len: usize) -> Self {
+        PBytes { pool, addr, len }
+    }
+
+    /// Starting address of the range.
+    pub fn addr(&self) -> PAddr {
+        self.addr
+    }
+
+    /// Length of the range in bytes.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if the range is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Reads the whole range.
+    pub fn load(&self) -> Vec<u8> {
+        self.pool.read_vec(self.addr, self.len)
+    }
+
+    /// Writes `data` at the start of the range (must fit).
+    pub fn store(&self, data: &[u8]) {
+        assert!(data.len() <= self.len, "PBytes::store overflows the range");
+        self.pool.write(self.addr, data);
+    }
+
+    /// Flushes the whole range.
+    pub fn flush(&self) {
+        self.pool.flush(self.addr, self.len);
+    }
+
+    /// Writes, flushes and fences `data`: exactly one persistent fence.
+    pub fn persist(&self, data: &[u8]) {
+        self.store(data);
+        self.pool.flush(self.addr, data.len());
+        self.pool.fence();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::PmemConfig;
+
+    fn pool() -> NvmPool {
+        NvmPool::new(PmemConfig::with_capacity(1 << 20))
+    }
+
+    #[test]
+    fn pu64_store_is_volatile_until_persist() {
+        let p = pool();
+        let a = p.alloc(64).unwrap();
+        let cell = PU64::new(p.clone(), a);
+        cell.store(42);
+        assert_eq!(cell.load(), 42);
+        p.crash_and_restart();
+        assert_eq!(cell.load(), 0);
+        cell.persist(43);
+        p.crash_and_restart();
+        assert_eq!(cell.load(), 43);
+    }
+
+    #[test]
+    fn pu64_persist_is_one_fence() {
+        let p = pool();
+        let a = p.alloc(64).unwrap();
+        let cell = PU64::new(p.clone(), a);
+        let w = p.stats().op_window();
+        cell.persist(7);
+        assert_eq!(w.close().persistent_fences, 1);
+    }
+
+    #[test]
+    fn pu32_roundtrip_and_persist() {
+        let p = pool();
+        let a = p.alloc(64).unwrap();
+        let cell = PU32::new(p.clone(), a);
+        cell.persist(0xDEAD);
+        p.crash_and_restart();
+        assert_eq!(cell.load(), 0xDEAD);
+    }
+
+    #[test]
+    fn pbytes_roundtrip() {
+        let p = pool();
+        let a = p.alloc(128).unwrap();
+        let bytes = PBytes::new(p.clone(), a, 128);
+        assert_eq!(bytes.len(), 128);
+        assert!(!bytes.is_empty());
+        bytes.persist(b"hello persistent world");
+        p.crash_and_restart();
+        assert_eq!(&bytes.load()[..22], b"hello persistent world");
+    }
+
+    #[test]
+    #[should_panic(expected = "overflows")]
+    fn pbytes_store_overflow_panics() {
+        let p = pool();
+        let a = p.alloc(64).unwrap();
+        let bytes = PBytes::new(p, a, 4);
+        bytes.store(&[0u8; 8]);
+    }
+
+    #[test]
+    fn flush_without_fence_is_not_durable_by_itself() {
+        let p = pool();
+        let a = p.alloc(64).unwrap();
+        let cell = PU64::new(p.clone(), a);
+        cell.store(5);
+        cell.flush();
+        // No fence; default policy drops pending flushes with probability 0.5 — use
+        // a pool configured to never apply them for determinism.
+        let p2 = NvmPool::new(PmemConfig::with_capacity(1 << 20).apply_pending_at_crash(0.0));
+        let a2 = p2.alloc(64).unwrap();
+        let cell2 = PU64::new(p2.clone(), a2);
+        cell2.store(5);
+        cell2.flush();
+        p2.crash_and_restart();
+        assert_eq!(cell2.load(), 0);
+    }
+}

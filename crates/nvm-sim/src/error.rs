@@ -1,0 +1,92 @@
+//! Error type for the simulated persistent memory.
+
+use std::fmt;
+
+/// Errors produced by the simulated NVM.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NvmError {
+    /// An access touched bytes outside the region's capacity.
+    OutOfBounds {
+        /// Requested address.
+        addr: u64,
+        /// Requested length.
+        len: usize,
+        /// Region capacity.
+        capacity: u64,
+    },
+    /// The persistent allocator ran out of space.
+    OutOfMemory {
+        /// Requested allocation size.
+        requested: usize,
+        /// Remaining bytes.
+        remaining: u64,
+    },
+    /// The named-root table is full.
+    RootTableFull,
+    /// A named root was not found during recovery.
+    RootNotFound(u64),
+    /// The region header was corrupt (bad magic) when re-opening after a crash.
+    CorruptHeader,
+    /// The operation was interrupted by an injected crash.
+    Crashed,
+}
+
+impl fmt::Display for NvmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NvmError::OutOfBounds {
+                addr,
+                len,
+                capacity,
+            } => write!(
+                f,
+                "NVM access out of bounds: addr={addr:#x} len={len} capacity={capacity:#x}"
+            ),
+            NvmError::OutOfMemory {
+                requested,
+                remaining,
+            } => write!(
+                f,
+                "NVM allocator out of memory: requested {requested} bytes, {remaining} remaining"
+            ),
+            NvmError::RootTableFull => write!(f, "NVM root table is full"),
+            NvmError::RootNotFound(id) => write!(f, "NVM root {id:#x} not found"),
+            NvmError::CorruptHeader => write!(f, "NVM region header is corrupt"),
+            NvmError::Crashed => write!(f, "operation interrupted by injected crash"),
+        }
+    }
+}
+
+impl std::error::Error for NvmError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_out_of_bounds() {
+        let e = NvmError::OutOfBounds {
+            addr: 0x100,
+            len: 8,
+            capacity: 0x80,
+        };
+        let s = e.to_string();
+        assert!(s.contains("out of bounds"));
+        assert!(s.contains("0x100"));
+    }
+
+    #[test]
+    fn display_oom() {
+        let e = NvmError::OutOfMemory {
+            requested: 1024,
+            remaining: 8,
+        };
+        assert!(e.to_string().contains("1024"));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        let e: Box<dyn std::error::Error> = Box::new(NvmError::RootTableFull);
+        assert!(e.to_string().contains("root table"));
+    }
+}

@@ -1,0 +1,62 @@
+//! # nvm-sim — simulated persistent memory
+//!
+//! This crate provides the persistent-memory substrate used by the reproduction of
+//! *The Inherent Cost of Remembering Consistently* (SPAA 2018). The paper's cost
+//! model (Section 2.1) is:
+//!
+//! * Stores are satisfied in the (volatile) CPU cache; they are **not** durable.
+//! * `flush` (`clwb`/`clflushopt`) initiates an asynchronous write-back of a cache
+//!   line. Its cost is considered **zero** because it does not stall the CPU.
+//! * `fence` stalls until all of the calling thread's pending asynchronous
+//!   write-backs complete. A fence executed while at least one flush is pending is
+//!   a **persistent fence** — the expensive operation whose count the paper bounds.
+//! * On a full-system crash the contents of caches and registers are lost; only
+//!   data that reached the NVM survives.
+//!
+//! The simulator implements exactly this model in software so that
+//!
+//! 1. persistent fences are *countable* per thread and per operation
+//!    ([`FenceStats`], [`OpWindow`]), which is what Theorems 5.1 and 6.3 are about;
+//! 2. crashes are *injectable* at adversarially chosen points
+//!    ([`NvmRegion::crash`], [`CrashToken`]) so durable linearizability can be
+//!    tested deterministically, which real hardware does not allow;
+//! 3. the guarantees an algorithm relies on can be made *minimal* via
+//!    [`WritebackPolicy`] — e.g. under [`WritebackPolicy::OnlyOnFence`] nothing is
+//!    durable unless it was explicitly flushed *and* fenced.
+//!
+//! The main entry points are [`NvmPool`] (a region plus a persistent allocator and
+//! named roots that survive crashes) and [`NvmRegion`] (raw load/store/flush/fence).
+//!
+//! ```
+//! use nvm_sim::{NvmPool, PmemConfig};
+//!
+//! let pool = NvmPool::new(PmemConfig::default());
+//! let addr = pool.alloc(64).unwrap();
+//! pool.write_u64(addr, 42);
+//! pool.flush(addr, 8);
+//! pool.fence();
+//! pool.crash(); // lose the cache, keep durable contents
+//! assert_eq!(pool.read_u64(addr), 42);
+//! assert!(pool.stats().persistent_fences() >= 1);
+//! ```
+
+#![warn(missing_docs)]
+
+mod cache;
+mod cell;
+mod error;
+mod layout;
+mod policy;
+mod pool;
+mod region;
+mod stats;
+mod thread_slot;
+
+pub use cell::{PBytes, PU32, PU64};
+pub use error::NvmError;
+pub use layout::{line_index, line_offset, line_range, PAddr, CACHE_LINE_SIZE};
+pub use policy::{PmemConfig, WritebackPolicy};
+pub use pool::{NvmPool, RootId, MAX_ROOTS};
+pub use region::{CrashToken, CrashTrigger, NvmRegion};
+pub use stats::{FenceStats, OpWindow, StatsSnapshot, ThreadStatsSnapshot};
+pub use thread_slot::{current_thread_slot, MAX_THREAD_SLOTS};

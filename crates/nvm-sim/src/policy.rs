@@ -1,0 +1,164 @@
+//! Write-back policies and simulator configuration.
+
+use std::time::Duration;
+
+/// Governs when dirty or flush-pending cache lines reach the durable backing store.
+///
+/// The choice of policy changes *what survives a crash*, which is exactly the degree
+/// of freedom real hardware has. Algorithms must be correct under every policy; the
+/// most adversarial one for finding missing flushes/fences is
+/// [`WritebackPolicy::OnlyOnFence`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum WritebackPolicy {
+    /// A line becomes durable only when it has been flushed **and** a subsequent
+    /// fence by the flushing thread has drained it. Dirty-but-unflushed lines and
+    /// flushed-but-unfenced lines are lost on crash.
+    ///
+    /// This is the minimal guarantee of the paper's model and the default.
+    OnlyOnFence,
+    /// A flush immediately writes the line back (as if the asynchronous write-back
+    /// completed instantly). Fences still count, but a crash between flush and fence
+    /// loses nothing. Useful to check that algorithms do not *depend* on data being
+    /// delayed.
+    EagerOnFlush,
+    /// Like [`WritebackPolicy::OnlyOnFence`], but in addition every store may, with
+    /// the given probability, be immediately written back to the durable store —
+    /// modelling arbitrary cache eviction. Algorithms must tolerate *early*
+    /// persistence of any written line.
+    RandomEviction {
+        /// Probability in `[0, 1]` that a stored line is immediately evicted to NVM.
+        probability: f64,
+        /// Seed for the deterministic eviction RNG.
+        seed: u64,
+    },
+}
+
+impl WritebackPolicy {
+    /// True if stores may spontaneously become durable before a fence.
+    pub fn allows_spontaneous_writeback(&self) -> bool {
+        matches!(
+            self,
+            WritebackPolicy::EagerOnFlush | WritebackPolicy::RandomEviction { .. }
+        )
+    }
+}
+
+impl Default for WritebackPolicy {
+    fn default() -> Self {
+        WritebackPolicy::OnlyOnFence
+    }
+}
+
+/// Configuration of a simulated persistent-memory region / pool.
+#[derive(Debug, Clone)]
+pub struct PmemConfig {
+    /// Capacity of the region in bytes. The allocator refuses to go beyond this.
+    pub capacity: u64,
+    /// Write-back policy (what survives a crash).
+    pub policy: WritebackPolicy,
+    /// Probability in `[0, 1]` that a flush which was *pending* (issued but not yet
+    /// fenced) at crash time is nevertheless applied to the durable store. Real
+    /// hardware may or may not have completed an asynchronous write-back when power
+    /// fails; crash tests exercise both outcomes.
+    pub apply_pending_at_crash_probability: f64,
+    /// Seed for the crash-time RNG deciding the fate of pending flushes.
+    pub crash_seed: u64,
+    /// Artificial latency charged (by spinning) for every *persistent* fence.
+    ///
+    /// The simulator itself has no NVM latency, so throughput benchmarks charge a
+    /// configurable penalty per persistent fence to reflect the paper's cost model
+    /// (fences stall the CPU for the duration of an NVM write-back). Zero by
+    /// default so unit tests stay fast.
+    pub fence_penalty: Duration,
+    /// Artificial latency charged for every flush instruction. The paper's model
+    /// treats flushes as free; this knob exists only for sensitivity analysis and
+    /// defaults to zero.
+    pub flush_penalty: Duration,
+}
+
+impl Default for PmemConfig {
+    fn default() -> Self {
+        PmemConfig {
+            capacity: 64 << 20, // 64 MiB
+            policy: WritebackPolicy::OnlyOnFence,
+            apply_pending_at_crash_probability: 0.5,
+            crash_seed: 0xC0FFEE,
+            fence_penalty: Duration::ZERO,
+            flush_penalty: Duration::ZERO,
+        }
+    }
+}
+
+impl PmemConfig {
+    /// Convenience constructor with an explicit capacity and defaults elsewhere.
+    pub fn with_capacity(capacity: u64) -> Self {
+        PmemConfig {
+            capacity,
+            ..Default::default()
+        }
+    }
+
+    /// Sets the write-back policy.
+    pub fn policy(mut self, policy: WritebackPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Sets the persistent-fence latency penalty used by throughput benchmarks.
+    pub fn fence_penalty(mut self, penalty: Duration) -> Self {
+        self.fence_penalty = penalty;
+        self
+    }
+
+    /// Sets the probability that a pending flush is applied at crash time.
+    pub fn apply_pending_at_crash(mut self, probability: f64) -> Self {
+        self.apply_pending_at_crash_probability = probability;
+        self
+    }
+
+    /// Sets the seed used for crash-time and eviction randomness.
+    pub fn crash_seed(mut self, seed: u64) -> Self {
+        self.crash_seed = seed;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_policy_is_only_on_fence() {
+        assert_eq!(WritebackPolicy::default(), WritebackPolicy::OnlyOnFence);
+        assert!(!WritebackPolicy::OnlyOnFence.allows_spontaneous_writeback());
+    }
+
+    #[test]
+    fn eager_and_random_allow_spontaneous_writeback() {
+        assert!(WritebackPolicy::EagerOnFlush.allows_spontaneous_writeback());
+        assert!(WritebackPolicy::RandomEviction {
+            probability: 0.1,
+            seed: 1
+        }
+        .allows_spontaneous_writeback());
+    }
+
+    #[test]
+    fn builder_methods_compose() {
+        let cfg = PmemConfig::with_capacity(1024)
+            .policy(WritebackPolicy::EagerOnFlush)
+            .fence_penalty(Duration::from_nanos(500))
+            .apply_pending_at_crash(1.0)
+            .crash_seed(7);
+        assert_eq!(cfg.capacity, 1024);
+        assert_eq!(cfg.policy, WritebackPolicy::EagerOnFlush);
+        assert_eq!(cfg.fence_penalty, Duration::from_nanos(500));
+        assert_eq!(cfg.apply_pending_at_crash_probability, 1.0);
+        assert_eq!(cfg.crash_seed, 7);
+    }
+
+    #[test]
+    fn default_capacity_is_nonzero() {
+        assert!(PmemConfig::default().capacity > 0);
+    }
+}

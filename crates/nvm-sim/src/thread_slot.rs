@@ -1,0 +1,66 @@
+//! Small per-thread slot identifiers.
+//!
+//! The simulator tracks pending flushes and statistics per thread. Rather than
+//! using `std::thread::ThreadId` (opaque, not index-friendly), every thread that
+//! touches the simulator is lazily assigned a small slot index. Slots are never
+//! reused; the bound [`MAX_THREAD_SLOTS`] is generous for the workloads in this
+//! repository (tests and benches use at most a few dozen threads).
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Maximum number of distinct threads that may touch the simulator during the
+/// lifetime of the process.
+pub const MAX_THREAD_SLOTS: usize = 256;
+
+static NEXT_SLOT: AtomicUsize = AtomicUsize::new(0);
+
+thread_local! {
+    static SLOT: usize = NEXT_SLOT.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Returns the calling thread's slot index (assigned on first use).
+///
+/// # Panics
+///
+/// Panics if more than [`MAX_THREAD_SLOTS`] threads have used the simulator.
+pub fn current_thread_slot() -> usize {
+    SLOT.with(|s| {
+        let slot = *s;
+        assert!(
+            slot < MAX_THREAD_SLOTS,
+            "too many threads touched nvm-sim (max {MAX_THREAD_SLOTS})"
+        );
+        slot
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slot_is_stable_within_a_thread() {
+        let a = current_thread_slot();
+        let b = current_thread_slot();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn slots_differ_across_threads() {
+        let main = current_thread_slot();
+        let other = std::thread::spawn(current_thread_slot).join().unwrap();
+        assert_ne!(main, other);
+    }
+
+    #[test]
+    fn many_threads_get_distinct_slots() {
+        let mut handles = Vec::new();
+        for _ in 0..8 {
+            handles.push(std::thread::spawn(current_thread_slot));
+        }
+        let mut slots: Vec<usize> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        slots.sort_unstable();
+        slots.dedup();
+        assert_eq!(slots.len(), 8);
+    }
+}

@@ -1,0 +1,157 @@
+//! An append-only log object returning sequence numbers.
+//!
+//! Unlike the persistent log substrate (`persist-log`), this is an *application
+//! level* object implemented through the universal construction; it is used by the
+//! benchmarks as an update-only workload with a growing state.
+
+use crate::codec_util::{put_bytes, take_bytes};
+use onll::{CheckpointableSpec, OpCodec, SequentialSpec};
+
+/// Maximum length of one appended payload.
+pub const MAX_PAYLOAD: usize = 40;
+
+/// State of the append-only log.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct AppendLogSpec {
+    entries: Vec<Vec<u8>>,
+}
+
+impl AppendLogSpec {
+    /// Number of appended entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if nothing has been appended.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+/// Update operations on the log.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AppendLogOp {
+    /// Append a payload; returns its sequence number (1-based).
+    Append(Vec<u8>),
+}
+
+/// Read-only operations on the log.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AppendLogRead {
+    /// Return the payload at a 1-based sequence number (empty vec if out of range).
+    Get(u64),
+    /// Return the number of entries.
+    Len,
+}
+
+impl OpCodec for AppendLogOp {
+    const MAX_ENCODED_SIZE: usize = 2 + MAX_PAYLOAD;
+
+    fn encode(&self, buf: &mut Vec<u8>) {
+        match self {
+            AppendLogOp::Append(payload) => put_bytes(buf, payload),
+        }
+    }
+
+    fn decode(bytes: &[u8]) -> Option<Self> {
+        let (payload, rest) = take_bytes(bytes)?;
+        rest.is_empty().then(|| AppendLogOp::Append(payload.to_vec()))
+    }
+}
+
+impl SequentialSpec for AppendLogSpec {
+    type UpdateOp = AppendLogOp;
+    type ReadOp = AppendLogRead;
+    type Value = Vec<u8>;
+
+    fn initialize() -> Self {
+        AppendLogSpec::default()
+    }
+
+    fn apply(&mut self, op: &AppendLogOp) -> Vec<u8> {
+        match op {
+            AppendLogOp::Append(payload) => {
+                assert!(payload.len() <= MAX_PAYLOAD, "payload exceeds MAX_PAYLOAD");
+                self.entries.push(payload.clone());
+                (self.entries.len() as u64).to_le_bytes().to_vec()
+            }
+        }
+    }
+
+    fn read(&self, op: &AppendLogRead) -> Vec<u8> {
+        match op {
+            AppendLogRead::Get(seq) => {
+                if *seq == 0 {
+                    return Vec::new();
+                }
+                self.entries
+                    .get(*seq as usize - 1)
+                    .cloned()
+                    .unwrap_or_default()
+            }
+            AppendLogRead::Len => (self.entries.len() as u64).to_le_bytes().to_vec(),
+        }
+    }
+}
+
+impl CheckpointableSpec for AppendLogSpec {
+    fn encode_state(&self, buf: &mut Vec<u8>) {
+        buf.extend_from_slice(&(self.entries.len() as u32).to_le_bytes());
+        for e in &self.entries {
+            put_bytes(buf, e);
+        }
+    }
+
+    fn decode_state(bytes: &[u8]) -> Option<Self> {
+        if bytes.len() < 4 {
+            return None;
+        }
+        let n = u32::from_le_bytes(bytes[0..4].try_into().ok()?) as usize;
+        let mut rest = &bytes[4..];
+        let mut entries = Vec::with_capacity(n);
+        for _ in 0..n {
+            let (e, r) = take_bytes(rest)?;
+            entries.push(e.to_vec());
+            rest = r;
+        }
+        rest.is_empty().then_some(AppendLogSpec { entries })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn append_returns_sequence_numbers() {
+        let mut log = AppendLogSpec::initialize();
+        assert_eq!(log.apply(&AppendLogOp::Append(b"a".to_vec())), 1u64.to_le_bytes());
+        assert_eq!(log.apply(&AppendLogOp::Append(b"b".to_vec())), 2u64.to_le_bytes());
+        assert_eq!(log.read(&AppendLogRead::Get(1)), b"a".to_vec());
+        assert_eq!(log.read(&AppendLogRead::Get(2)), b"b".to_vec());
+        assert_eq!(log.read(&AppendLogRead::Get(0)), Vec::<u8>::new());
+        assert_eq!(log.read(&AppendLogRead::Get(3)), Vec::<u8>::new());
+        assert_eq!(log.read(&AppendLogRead::Len), 2u64.to_le_bytes());
+        assert_eq!(log.len(), 2);
+    }
+
+    #[test]
+    fn codec_roundtrip() {
+        let op = AppendLogOp::Append(vec![1, 2, 3, 4]);
+        assert_eq!(AppendLogOp::decode(&op.encode_to_vec()), Some(op));
+        let empty = AppendLogOp::Append(Vec::new());
+        assert_eq!(AppendLogOp::decode(&empty.encode_to_vec()), Some(empty));
+        assert_eq!(AppendLogOp::decode(&[5]), None);
+    }
+
+    #[test]
+    fn state_codec_roundtrip() {
+        let mut log = AppendLogSpec::initialize();
+        for i in 0..10u8 {
+            log.apply(&AppendLogOp::Append(vec![i; (i as usize) % 5]));
+        }
+        let mut buf = Vec::new();
+        log.encode_state(&mut buf);
+        assert_eq!(AppendLogSpec::decode_state(&buf), Some(log));
+    }
+}

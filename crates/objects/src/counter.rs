@@ -1,0 +1,138 @@
+//! The shared counter of Section 3.3 / Figure 1.
+
+use onll::{CheckpointableSpec, OpCodec, SequentialSpec};
+
+/// State of the counter: a single signed integer.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct CounterSpec {
+    value: i64,
+}
+
+impl CounterSpec {
+    /// The counter's current value (for direct use of the sequential spec).
+    pub fn value(&self) -> i64 {
+        self.value
+    }
+}
+
+/// Update operations on the counter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CounterOp {
+    /// Increment by one and return the new value (the paper's `increment`).
+    Increment,
+    /// Add a signed amount and return the new value.
+    Add(i64),
+    /// Reset to zero and return zero.
+    Reset,
+}
+
+/// Read-only operations on the counter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CounterRead {
+    /// Return the current value (the paper's `read`).
+    Get,
+}
+
+impl OpCodec for CounterOp {
+    const MAX_ENCODED_SIZE: usize = 9;
+
+    fn encode(&self, buf: &mut Vec<u8>) {
+        match self {
+            CounterOp::Increment => buf.push(0),
+            CounterOp::Add(k) => {
+                buf.push(1);
+                buf.extend_from_slice(&k.to_le_bytes());
+            }
+            CounterOp::Reset => buf.push(2),
+        }
+    }
+
+    fn decode(bytes: &[u8]) -> Option<Self> {
+        match bytes {
+            [0] => Some(CounterOp::Increment),
+            [2] => Some(CounterOp::Reset),
+            b if b.len() == 9 && b[0] == 1 => {
+                Some(CounterOp::Add(i64::from_le_bytes(b[1..].try_into().ok()?)))
+            }
+            _ => None,
+        }
+    }
+}
+
+impl SequentialSpec for CounterSpec {
+    type UpdateOp = CounterOp;
+    type ReadOp = CounterRead;
+    type Value = i64;
+
+    fn initialize() -> Self {
+        CounterSpec::default()
+    }
+
+    fn apply(&mut self, op: &CounterOp) -> i64 {
+        match op {
+            CounterOp::Increment => self.value += 1,
+            CounterOp::Add(k) => self.value += k,
+            CounterOp::Reset => self.value = 0,
+        }
+        self.value
+    }
+
+    fn read(&self, CounterRead::Get: &CounterRead) -> i64 {
+        self.value
+    }
+}
+
+impl CheckpointableSpec for CounterSpec {
+    fn encode_state(&self, buf: &mut Vec<u8>) {
+        buf.extend_from_slice(&self.value.to_le_bytes());
+    }
+
+    fn decode_state(bytes: &[u8]) -> Option<Self> {
+        Some(CounterSpec {
+            value: i64::from_le_bytes(bytes.try_into().ok()?),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use onll::replay;
+
+    #[test]
+    fn sequential_semantics() {
+        let mut c = CounterSpec::initialize();
+        assert_eq!(c.apply(&CounterOp::Increment), 1);
+        assert_eq!(c.apply(&CounterOp::Add(10)), 11);
+        assert_eq!(c.apply(&CounterOp::Add(-5)), 6);
+        assert_eq!(c.apply(&CounterOp::Reset), 0);
+        assert_eq!(c.read(&CounterRead::Get), 0);
+    }
+
+    #[test]
+    fn codec_roundtrip_all_variants() {
+        for op in [CounterOp::Increment, CounterOp::Add(-42), CounterOp::Reset] {
+            let bytes = op.encode_to_vec();
+            assert!(bytes.len() <= CounterOp::MAX_ENCODED_SIZE);
+            assert_eq!(CounterOp::decode(&bytes), Some(op));
+        }
+        assert_eq!(CounterOp::decode(&[3]), None);
+        assert_eq!(CounterOp::decode(&[]), None);
+    }
+
+    #[test]
+    fn state_codec_roundtrip() {
+        let c = CounterSpec { value: -987 };
+        let mut buf = Vec::new();
+        c.encode_state(&mut buf);
+        assert_eq!(CounterSpec::decode_state(&buf), Some(c));
+        assert_eq!(CounterSpec::decode_state(&[1, 2]), None);
+    }
+
+    #[test]
+    fn replay_matches_direct_application() {
+        let ops = vec![CounterOp::Increment, CounterOp::Add(5), CounterOp::Increment];
+        let state: CounterSpec = replay::<CounterSpec>(ops.iter());
+        assert_eq!(state.value(), 7);
+    }
+}

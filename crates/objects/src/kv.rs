@@ -1,0 +1,218 @@
+//! A small key-value map with string keys and values.
+//!
+//! This is the kind of object the paper's introduction motivates: a persistent
+//! application-level structure whose durability cost is dominated by persistent
+//! fences. Keys and values are bounded-length strings so operations fit in fixed
+//! log slots.
+
+use crate::codec_util::{put_bytes, take_string};
+use onll::{CheckpointableSpec, OpCodec, SequentialSpec};
+use std::collections::BTreeMap;
+
+/// Maximum length, in bytes, of a key or value.
+pub const MAX_KV_STRING: usize = 48;
+
+/// State of the key-value map.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct KvSpec {
+    map: BTreeMap<String, String>,
+}
+
+impl KvSpec {
+    /// Number of key-value pairs.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True if the map is empty.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+}
+
+/// Update operations on the map.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum KvOp {
+    /// Insert or overwrite a key; returns the previous value if any.
+    Put(String, String),
+    /// Remove a key; returns the removed value if any.
+    Delete(String),
+}
+
+/// Read-only operations on the map.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum KvRead {
+    /// Look up a key.
+    Get(String),
+    /// Number of pairs.
+    Len,
+}
+
+/// Values returned by map operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum KvValue {
+    /// A value (previous value for `Put`, removed value for `Delete`, found value
+    /// for `Get`).
+    Value(Option<String>),
+    /// Number of pairs.
+    Len(usize),
+}
+
+impl OpCodec for KvOp {
+    const MAX_ENCODED_SIZE: usize = 1 + 2 * (2 + MAX_KV_STRING);
+
+    fn encode(&self, buf: &mut Vec<u8>) {
+        match self {
+            KvOp::Put(k, v) => {
+                buf.push(0);
+                put_bytes(buf, k.as_bytes());
+                put_bytes(buf, v.as_bytes());
+            }
+            KvOp::Delete(k) => {
+                buf.push(1);
+                put_bytes(buf, k.as_bytes());
+            }
+        }
+    }
+
+    fn decode(bytes: &[u8]) -> Option<Self> {
+        match bytes.first()? {
+            0 => {
+                let (k, rest) = take_string(&bytes[1..])?;
+                let (v, rest) = take_string(rest)?;
+                rest.is_empty().then_some(KvOp::Put(k, v))
+            }
+            1 => {
+                let (k, rest) = take_string(&bytes[1..])?;
+                rest.is_empty().then_some(KvOp::Delete(k))
+            }
+            _ => None,
+        }
+    }
+}
+
+impl SequentialSpec for KvSpec {
+    type UpdateOp = KvOp;
+    type ReadOp = KvRead;
+    type Value = KvValue;
+
+    fn initialize() -> Self {
+        KvSpec::default()
+    }
+
+    fn apply(&mut self, op: &KvOp) -> KvValue {
+        match op {
+            KvOp::Put(k, v) => {
+                assert!(
+                    k.len() <= MAX_KV_STRING && v.len() <= MAX_KV_STRING,
+                    "key/value longer than MAX_KV_STRING"
+                );
+                KvValue::Value(self.map.insert(k.clone(), v.clone()))
+            }
+            KvOp::Delete(k) => KvValue::Value(self.map.remove(k)),
+        }
+    }
+
+    fn read(&self, op: &KvRead) -> KvValue {
+        match op {
+            KvRead::Get(k) => KvValue::Value(self.map.get(k).cloned()),
+            KvRead::Len => KvValue::Len(self.map.len()),
+        }
+    }
+}
+
+impl CheckpointableSpec for KvSpec {
+    fn encode_state(&self, buf: &mut Vec<u8>) {
+        buf.extend_from_slice(&(self.map.len() as u32).to_le_bytes());
+        for (k, v) in &self.map {
+            put_bytes(buf, k.as_bytes());
+            put_bytes(buf, v.as_bytes());
+        }
+    }
+
+    fn decode_state(bytes: &[u8]) -> Option<Self> {
+        if bytes.len() < 4 {
+            return None;
+        }
+        let n = u32::from_le_bytes(bytes[0..4].try_into().ok()?) as usize;
+        let mut rest = &bytes[4..];
+        let mut map = BTreeMap::new();
+        for _ in 0..n {
+            let (k, r) = take_string(rest)?;
+            let (v, r) = take_string(r)?;
+            rest = r;
+            map.insert(k, v);
+        }
+        rest.is_empty().then_some(KvSpec { map })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn put_get_delete_semantics() {
+        let mut kv = KvSpec::initialize();
+        assert_eq!(
+            kv.apply(&KvOp::Put("user:1".into(), "ada".into())),
+            KvValue::Value(None)
+        );
+        assert_eq!(
+            kv.apply(&KvOp::Put("user:1".into(), "grace".into())),
+            KvValue::Value(Some("ada".into()))
+        );
+        assert_eq!(
+            kv.read(&KvRead::Get("user:1".into())),
+            KvValue::Value(Some("grace".into()))
+        );
+        assert_eq!(kv.read(&KvRead::Get("user:2".into())), KvValue::Value(None));
+        assert_eq!(
+            kv.apply(&KvOp::Delete("user:1".into())),
+            KvValue::Value(Some("grace".into()))
+        );
+        assert_eq!(kv.read(&KvRead::Len), KvValue::Len(0));
+    }
+
+    #[test]
+    fn codec_roundtrip() {
+        for op in [
+            KvOp::Put("k".into(), "v".into()),
+            KvOp::Put(String::new(), String::new()),
+            KvOp::Delete("some-key".into()),
+        ] {
+            let bytes = op.encode_to_vec();
+            assert!(bytes.len() <= KvOp::MAX_ENCODED_SIZE);
+            assert_eq!(KvOp::decode(&bytes), Some(op));
+        }
+        assert_eq!(KvOp::decode(&[7]), None);
+        assert_eq!(KvOp::decode(&[]), None);
+    }
+
+    #[test]
+    fn decode_rejects_trailing_garbage() {
+        let mut bytes = KvOp::Put("a".into(), "b".into()).encode_to_vec();
+        bytes.push(0);
+        assert_eq!(KvOp::decode(&bytes), None);
+    }
+
+    #[test]
+    fn state_codec_roundtrip() {
+        let mut kv = KvSpec::initialize();
+        for i in 0..20 {
+            kv.apply(&KvOp::Put(format!("key-{i}"), format!("value-{i}")));
+        }
+        kv.apply(&KvOp::Delete("key-7".into()));
+        let mut buf = Vec::new();
+        kv.encode_state(&mut buf);
+        assert_eq!(KvSpec::decode_state(&buf), Some(kv));
+        assert_eq!(KvSpec::decode_state(&buf[..buf.len() - 1]), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "MAX_KV_STRING")]
+    fn oversized_key_panics() {
+        let mut kv = KvSpec::initialize();
+        kv.apply(&KvOp::Put("x".repeat(MAX_KV_STRING + 1), "v".into()));
+    }
+}

@@ -1,0 +1,112 @@
+//! # durable-objects — objects derived from the ONLL universal construction
+//!
+//! The paper's construction is *universal*: any deterministic sequential object can
+//! be made durably linearizable with one persistent fence per update. This crate
+//! provides a set of ready-to-use sequential specifications (and convenience type
+//! aliases) exercised by the examples, tests and benchmarks:
+//!
+//! * [`CounterSpec`] — the paper's running example (Section 3.3, Figure 1).
+//! * [`RegisterSpec`] — a read/write/compare-and-swap register.
+//! * [`StackSpec`] — LIFO push/pop.
+//! * [`QueueSpec`] — FIFO enqueue/dequeue (the object class of Friedman et al.,
+//!   PPoPP 2018, which the related-work section compares against).
+//! * [`SetSpec`] — add/remove/contains over `u64` keys.
+//! * [`KvSpec`] — a small key-value map with string keys and values.
+//! * [`AppendLogSpec`] — an append-only log returning sequence numbers.
+//!
+//! Every spec implements [`onll::SequentialSpec`] (and, where a compact state
+//! representation exists, [`onll::CheckpointableSpec`] for the Section-8
+//! checkpointing extension).
+
+#![warn(missing_docs)]
+
+mod append_log;
+mod counter;
+mod kv;
+mod queue;
+mod register;
+mod set;
+mod stack;
+
+pub use append_log::{AppendLogOp, AppendLogRead, AppendLogSpec};
+pub use counter::{CounterOp, CounterRead, CounterSpec};
+pub use kv::{KvOp, KvRead, KvSpec, KvValue};
+pub use queue::{QueueOp, QueueRead, QueueSpec, QueueValue};
+pub use register::{RegisterOp, RegisterRead, RegisterSpec, RegisterValue};
+pub use set::{SetOp, SetRead, SetSpec, SetValue};
+pub use stack::{StackOp, StackRead, StackSpec, StackValue};
+
+/// A durable counter produced by the ONLL construction.
+pub type DurableCounter = onll::Durable<CounterSpec>;
+/// A durable register produced by the ONLL construction.
+pub type DurableRegister = onll::Durable<RegisterSpec>;
+/// A durable stack produced by the ONLL construction.
+pub type DurableStack = onll::Durable<StackSpec>;
+/// A durable FIFO queue produced by the ONLL construction.
+pub type DurableQueue = onll::Durable<QueueSpec>;
+/// A durable set produced by the ONLL construction.
+pub type DurableSet = onll::Durable<SetSpec>;
+/// A durable key-value map produced by the ONLL construction.
+pub type DurableKv = onll::Durable<KvSpec>;
+/// A durable append-only log produced by the ONLL construction.
+pub type DurableAppendLog = onll::Durable<AppendLogSpec>;
+
+/// Helpers shared by the operation codecs in this crate.
+pub(crate) mod codec_util {
+    /// Encodes a length-prefixed byte string (u16 length).
+    pub fn put_bytes(buf: &mut Vec<u8>, bytes: &[u8]) {
+        debug_assert!(bytes.len() <= u16::MAX as usize);
+        buf.extend_from_slice(&(bytes.len() as u16).to_le_bytes());
+        buf.extend_from_slice(bytes);
+    }
+
+    /// Decodes a length-prefixed byte string, returning it and the remaining input.
+    pub fn take_bytes(bytes: &[u8]) -> Option<(&[u8], &[u8])> {
+        if bytes.len() < 2 {
+            return None;
+        }
+        let len = u16::from_le_bytes(bytes[0..2].try_into().ok()?) as usize;
+        if bytes.len() < 2 + len {
+            return None;
+        }
+        Some((&bytes[2..2 + len], &bytes[2 + len..]))
+    }
+
+    /// Decodes a UTF-8 string from a length-prefixed byte string.
+    pub fn take_string(bytes: &[u8]) -> Option<(String, &[u8])> {
+        let (raw, rest) = take_bytes(bytes)?;
+        Some((String::from_utf8(raw.to_vec()).ok()?, rest))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::codec_util::*;
+
+    #[test]
+    fn bytes_roundtrip() {
+        let mut buf = Vec::new();
+        put_bytes(&mut buf, b"hello");
+        put_bytes(&mut buf, b"");
+        let (a, rest) = take_bytes(&buf).unwrap();
+        assert_eq!(a, b"hello");
+        let (b, rest) = take_bytes(rest).unwrap();
+        assert_eq!(b, b"");
+        assert!(rest.is_empty());
+    }
+
+    #[test]
+    fn take_bytes_rejects_truncation() {
+        let mut buf = Vec::new();
+        put_bytes(&mut buf, b"hello");
+        assert!(take_bytes(&buf[..3]).is_none());
+        assert!(take_bytes(&[]).is_none());
+    }
+
+    #[test]
+    fn take_string_rejects_invalid_utf8() {
+        let mut buf = Vec::new();
+        put_bytes(&mut buf, &[0xFF, 0xFE]);
+        assert!(take_string(&buf).is_none());
+    }
+}

@@ -1,0 +1,173 @@
+//! A FIFO queue of 64-bit values.
+//!
+//! The durable queue is the object class studied by Friedman et al. (PPoPP 2018),
+//! which the paper cites as a hand-crafted alternative to a universal construction;
+//! this spec lets the benchmarks compare the ONLL-derived queue against the
+//! baselines on the same workloads.
+
+use onll::{CheckpointableSpec, OpCodec, SequentialSpec};
+use std::collections::VecDeque;
+
+/// State of the queue.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct QueueSpec {
+    items: VecDeque<u64>,
+}
+
+impl QueueSpec {
+    /// Number of queued items.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// True if nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+}
+
+/// Update operations on the queue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QueueOp {
+    /// Enqueue a value at the back; returns the new length.
+    Enqueue(u64),
+    /// Dequeue the front value; returns it (or `Empty`).
+    Dequeue,
+}
+
+/// Read-only operations on the queue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QueueRead {
+    /// Return the front value without removing it.
+    Front,
+    /// Return the number of queued items.
+    Len,
+}
+
+/// Values returned by queue operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QueueValue {
+    /// A dequeued or fronted element.
+    Item(u64),
+    /// The queue was empty.
+    Empty,
+    /// A length (returned by `Enqueue` and `Len`).
+    Len(usize),
+}
+
+impl OpCodec for QueueOp {
+    const MAX_ENCODED_SIZE: usize = 9;
+
+    fn encode(&self, buf: &mut Vec<u8>) {
+        match self {
+            QueueOp::Enqueue(v) => {
+                buf.push(0);
+                buf.extend_from_slice(&v.to_le_bytes());
+            }
+            QueueOp::Dequeue => buf.push(1),
+        }
+    }
+
+    fn decode(bytes: &[u8]) -> Option<Self> {
+        match bytes {
+            [1] => Some(QueueOp::Dequeue),
+            b if b.len() == 9 && b[0] == 0 => {
+                Some(QueueOp::Enqueue(u64::from_le_bytes(b[1..].try_into().ok()?)))
+            }
+            _ => None,
+        }
+    }
+}
+
+impl SequentialSpec for QueueSpec {
+    type UpdateOp = QueueOp;
+    type ReadOp = QueueRead;
+    type Value = QueueValue;
+
+    fn initialize() -> Self {
+        QueueSpec::default()
+    }
+
+    fn apply(&mut self, op: &QueueOp) -> QueueValue {
+        match op {
+            QueueOp::Enqueue(v) => {
+                self.items.push_back(*v);
+                QueueValue::Len(self.items.len())
+            }
+            QueueOp::Dequeue => match self.items.pop_front() {
+                Some(v) => QueueValue::Item(v),
+                None => QueueValue::Empty,
+            },
+        }
+    }
+
+    fn read(&self, op: &QueueRead) -> QueueValue {
+        match op {
+            QueueRead::Front => match self.items.front() {
+                Some(v) => QueueValue::Item(*v),
+                None => QueueValue::Empty,
+            },
+            QueueRead::Len => QueueValue::Len(self.items.len()),
+        }
+    }
+}
+
+impl CheckpointableSpec for QueueSpec {
+    fn encode_state(&self, buf: &mut Vec<u8>) {
+        buf.extend_from_slice(&(self.items.len() as u32).to_le_bytes());
+        for v in &self.items {
+            buf.extend_from_slice(&v.to_le_bytes());
+        }
+    }
+
+    fn decode_state(bytes: &[u8]) -> Option<Self> {
+        if bytes.len() < 4 {
+            return None;
+        }
+        let n = u32::from_le_bytes(bytes[0..4].try_into().ok()?) as usize;
+        if bytes.len() != 4 + 8 * n {
+            return None;
+        }
+        let items = (0..n)
+            .map(|i| u64::from_le_bytes(bytes[4 + i * 8..12 + i * 8].try_into().unwrap()))
+            .collect();
+        Some(QueueSpec { items })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_order() {
+        let mut q = QueueSpec::initialize();
+        assert_eq!(q.apply(&QueueOp::Enqueue(10)), QueueValue::Len(1));
+        assert_eq!(q.apply(&QueueOp::Enqueue(20)), QueueValue::Len(2));
+        assert_eq!(q.read(&QueueRead::Front), QueueValue::Item(10));
+        assert_eq!(q.apply(&QueueOp::Dequeue), QueueValue::Item(10));
+        assert_eq!(q.apply(&QueueOp::Dequeue), QueueValue::Item(20));
+        assert_eq!(q.apply(&QueueOp::Dequeue), QueueValue::Empty);
+        assert_eq!(q.read(&QueueRead::Len), QueueValue::Len(0));
+    }
+
+    #[test]
+    fn codec_roundtrip() {
+        for op in [QueueOp::Enqueue(7), QueueOp::Dequeue] {
+            assert_eq!(QueueOp::decode(&op.encode_to_vec()), Some(op));
+        }
+        assert_eq!(QueueOp::decode(&[0, 1, 2]), None);
+    }
+
+    #[test]
+    fn state_codec_roundtrip() {
+        let mut q = QueueSpec::initialize();
+        for i in 0..10 {
+            q.apply(&QueueOp::Enqueue(i));
+        }
+        q.apply(&QueueOp::Dequeue);
+        let mut buf = Vec::new();
+        q.encode_state(&mut buf);
+        assert_eq!(QueueSpec::decode_state(&buf), Some(q));
+    }
+}

@@ -1,0 +1,167 @@
+//! A read/write/compare-and-swap register.
+
+use onll::{CheckpointableSpec, OpCodec, SequentialSpec};
+
+/// State of the register: a single 64-bit word.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct RegisterSpec {
+    value: u64,
+}
+
+/// Update operations on the register.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RegisterOp {
+    /// Overwrite the value.
+    Write(u64),
+    /// Compare-and-swap: if the current value equals `expected`, store `new`.
+    Cas {
+        /// Value the register must currently hold for the swap to happen.
+        expected: u64,
+        /// Value stored on success.
+        new: u64,
+    },
+}
+
+/// Read-only operations on the register.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RegisterRead {
+    /// Return the current value.
+    Get,
+}
+
+/// Values returned by register operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RegisterValue {
+    /// The register's value (returned by `Write`, `Get`).
+    Value(u64),
+    /// Outcome of a CAS: whether it succeeded, and the value observed.
+    CasResult {
+        /// True if the swap took place.
+        success: bool,
+        /// The value the register held when the CAS was applied.
+        observed: u64,
+    },
+}
+
+impl OpCodec for RegisterOp {
+    const MAX_ENCODED_SIZE: usize = 17;
+
+    fn encode(&self, buf: &mut Vec<u8>) {
+        match self {
+            RegisterOp::Write(v) => {
+                buf.push(0);
+                buf.extend_from_slice(&v.to_le_bytes());
+            }
+            RegisterOp::Cas { expected, new } => {
+                buf.push(1);
+                buf.extend_from_slice(&expected.to_le_bytes());
+                buf.extend_from_slice(&new.to_le_bytes());
+            }
+        }
+    }
+
+    fn decode(bytes: &[u8]) -> Option<Self> {
+        match bytes.first()? {
+            0 if bytes.len() == 9 => Some(RegisterOp::Write(u64::from_le_bytes(
+                bytes[1..9].try_into().ok()?,
+            ))),
+            1 if bytes.len() == 17 => Some(RegisterOp::Cas {
+                expected: u64::from_le_bytes(bytes[1..9].try_into().ok()?),
+                new: u64::from_le_bytes(bytes[9..17].try_into().ok()?),
+            }),
+            _ => None,
+        }
+    }
+}
+
+impl SequentialSpec for RegisterSpec {
+    type UpdateOp = RegisterOp;
+    type ReadOp = RegisterRead;
+    type Value = RegisterValue;
+
+    fn initialize() -> Self {
+        RegisterSpec::default()
+    }
+
+    fn apply(&mut self, op: &RegisterOp) -> RegisterValue {
+        match op {
+            RegisterOp::Write(v) => {
+                self.value = *v;
+                RegisterValue::Value(self.value)
+            }
+            RegisterOp::Cas { expected, new } => {
+                let observed = self.value;
+                let success = observed == *expected;
+                if success {
+                    self.value = *new;
+                }
+                RegisterValue::CasResult { success, observed }
+            }
+        }
+    }
+
+    fn read(&self, RegisterRead::Get: &RegisterRead) -> RegisterValue {
+        RegisterValue::Value(self.value)
+    }
+}
+
+impl CheckpointableSpec for RegisterSpec {
+    fn encode_state(&self, buf: &mut Vec<u8>) {
+        buf.extend_from_slice(&self.value.to_le_bytes());
+    }
+
+    fn decode_state(bytes: &[u8]) -> Option<Self> {
+        Some(RegisterSpec {
+            value: u64::from_le_bytes(bytes.try_into().ok()?),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn write_then_cas_semantics() {
+        let mut r = RegisterSpec::initialize();
+        assert_eq!(r.apply(&RegisterOp::Write(5)), RegisterValue::Value(5));
+        assert_eq!(
+            r.apply(&RegisterOp::Cas { expected: 5, new: 9 }),
+            RegisterValue::CasResult {
+                success: true,
+                observed: 5
+            }
+        );
+        assert_eq!(
+            r.apply(&RegisterOp::Cas { expected: 5, new: 1 }),
+            RegisterValue::CasResult {
+                success: false,
+                observed: 9
+            }
+        );
+        assert_eq!(r.read(&RegisterRead::Get), RegisterValue::Value(9));
+    }
+
+    #[test]
+    fn codec_roundtrip() {
+        for op in [
+            RegisterOp::Write(u64::MAX),
+            RegisterOp::Cas {
+                expected: 1,
+                new: 2,
+            },
+        ] {
+            assert_eq!(RegisterOp::decode(&op.encode_to_vec()), Some(op));
+        }
+        assert_eq!(RegisterOp::decode(&[0, 1]), None);
+        assert_eq!(RegisterOp::decode(&[9; 17]), None);
+    }
+
+    #[test]
+    fn state_codec_roundtrip() {
+        let r = RegisterSpec { value: 0xF00D };
+        let mut buf = Vec::new();
+        r.encode_state(&mut buf);
+        assert_eq!(RegisterSpec::decode_state(&buf), Some(r));
+    }
+}

@@ -1,0 +1,162 @@
+//! A set of 64-bit keys.
+
+use onll::{CheckpointableSpec, OpCodec, SequentialSpec};
+use std::collections::BTreeSet;
+
+/// State of the set.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct SetSpec {
+    items: BTreeSet<u64>,
+}
+
+impl SetSpec {
+    /// Number of elements in the set.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// True if the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+}
+
+/// Update operations on the set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SetOp {
+    /// Insert a key; returns whether it was newly inserted.
+    Add(u64),
+    /// Remove a key; returns whether it was present.
+    Remove(u64),
+}
+
+/// Read-only operations on the set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SetRead {
+    /// Membership test.
+    Contains(u64),
+    /// Number of elements.
+    Len,
+}
+
+/// Values returned by set operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SetValue {
+    /// Outcome of `Add` / `Remove` / `Contains`.
+    Bool(bool),
+    /// Outcome of `Len`.
+    Len(usize),
+}
+
+impl OpCodec for SetOp {
+    const MAX_ENCODED_SIZE: usize = 9;
+
+    fn encode(&self, buf: &mut Vec<u8>) {
+        match self {
+            SetOp::Add(k) => {
+                buf.push(0);
+                buf.extend_from_slice(&k.to_le_bytes());
+            }
+            SetOp::Remove(k) => {
+                buf.push(1);
+                buf.extend_from_slice(&k.to_le_bytes());
+            }
+        }
+    }
+
+    fn decode(bytes: &[u8]) -> Option<Self> {
+        if bytes.len() != 9 {
+            return None;
+        }
+        let k = u64::from_le_bytes(bytes[1..].try_into().ok()?);
+        match bytes[0] {
+            0 => Some(SetOp::Add(k)),
+            1 => Some(SetOp::Remove(k)),
+            _ => None,
+        }
+    }
+}
+
+impl SequentialSpec for SetSpec {
+    type UpdateOp = SetOp;
+    type ReadOp = SetRead;
+    type Value = SetValue;
+
+    fn initialize() -> Self {
+        SetSpec::default()
+    }
+
+    fn apply(&mut self, op: &SetOp) -> SetValue {
+        match op {
+            SetOp::Add(k) => SetValue::Bool(self.items.insert(*k)),
+            SetOp::Remove(k) => SetValue::Bool(self.items.remove(k)),
+        }
+    }
+
+    fn read(&self, op: &SetRead) -> SetValue {
+        match op {
+            SetRead::Contains(k) => SetValue::Bool(self.items.contains(k)),
+            SetRead::Len => SetValue::Len(self.items.len()),
+        }
+    }
+}
+
+impl CheckpointableSpec for SetSpec {
+    fn encode_state(&self, buf: &mut Vec<u8>) {
+        buf.extend_from_slice(&(self.items.len() as u32).to_le_bytes());
+        for k in &self.items {
+            buf.extend_from_slice(&k.to_le_bytes());
+        }
+    }
+
+    fn decode_state(bytes: &[u8]) -> Option<Self> {
+        if bytes.len() < 4 {
+            return None;
+        }
+        let n = u32::from_le_bytes(bytes[0..4].try_into().ok()?) as usize;
+        if bytes.len() != 4 + 8 * n {
+            return None;
+        }
+        let items = (0..n)
+            .map(|i| u64::from_le_bytes(bytes[4 + i * 8..12 + i * 8].try_into().unwrap()))
+            .collect();
+        Some(SetSpec { items })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_remove_contains() {
+        let mut s = SetSpec::initialize();
+        assert_eq!(s.apply(&SetOp::Add(5)), SetValue::Bool(true));
+        assert_eq!(s.apply(&SetOp::Add(5)), SetValue::Bool(false));
+        assert_eq!(s.read(&SetRead::Contains(5)), SetValue::Bool(true));
+        assert_eq!(s.read(&SetRead::Contains(6)), SetValue::Bool(false));
+        assert_eq!(s.apply(&SetOp::Remove(5)), SetValue::Bool(true));
+        assert_eq!(s.apply(&SetOp::Remove(5)), SetValue::Bool(false));
+        assert_eq!(s.read(&SetRead::Len), SetValue::Len(0));
+    }
+
+    #[test]
+    fn codec_roundtrip() {
+        for op in [SetOp::Add(123), SetOp::Remove(u64::MAX)] {
+            assert_eq!(SetOp::decode(&op.encode_to_vec()), Some(op));
+        }
+        assert_eq!(SetOp::decode(&[2; 9]), None);
+        assert_eq!(SetOp::decode(&[0]), None);
+    }
+
+    #[test]
+    fn state_codec_roundtrip() {
+        let mut s = SetSpec::initialize();
+        for k in [9, 1, 5, 1000] {
+            s.apply(&SetOp::Add(k));
+        }
+        let mut buf = Vec::new();
+        s.encode_state(&mut buf);
+        assert_eq!(SetSpec::decode_state(&buf), Some(s));
+    }
+}

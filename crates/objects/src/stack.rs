@@ -1,0 +1,167 @@
+//! A LIFO stack of 64-bit values.
+
+use onll::{CheckpointableSpec, OpCodec, SequentialSpec};
+
+/// State of the stack.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct StackSpec {
+    items: Vec<u64>,
+}
+
+impl StackSpec {
+    /// Current depth of the stack.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// True if the stack holds no items.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+}
+
+/// Update operations on the stack.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StackOp {
+    /// Push a value; returns the new depth.
+    Push(u64),
+    /// Pop the top value; returns it (or `Empty`).
+    Pop,
+}
+
+/// Read-only operations on the stack.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StackRead {
+    /// Return the top value without removing it.
+    Peek,
+    /// Return the current depth.
+    Len,
+}
+
+/// Values returned by stack operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StackValue {
+    /// A popped or peeked element.
+    Item(u64),
+    /// The stack was empty.
+    Empty,
+    /// A depth (returned by `Push` and `Len`).
+    Depth(usize),
+}
+
+impl OpCodec for StackOp {
+    const MAX_ENCODED_SIZE: usize = 9;
+
+    fn encode(&self, buf: &mut Vec<u8>) {
+        match self {
+            StackOp::Push(v) => {
+                buf.push(0);
+                buf.extend_from_slice(&v.to_le_bytes());
+            }
+            StackOp::Pop => buf.push(1),
+        }
+    }
+
+    fn decode(bytes: &[u8]) -> Option<Self> {
+        match bytes {
+            [1] => Some(StackOp::Pop),
+            b if b.len() == 9 && b[0] == 0 => {
+                Some(StackOp::Push(u64::from_le_bytes(b[1..].try_into().ok()?)))
+            }
+            _ => None,
+        }
+    }
+}
+
+impl SequentialSpec for StackSpec {
+    type UpdateOp = StackOp;
+    type ReadOp = StackRead;
+    type Value = StackValue;
+
+    fn initialize() -> Self {
+        StackSpec::default()
+    }
+
+    fn apply(&mut self, op: &StackOp) -> StackValue {
+        match op {
+            StackOp::Push(v) => {
+                self.items.push(*v);
+                StackValue::Depth(self.items.len())
+            }
+            StackOp::Pop => match self.items.pop() {
+                Some(v) => StackValue::Item(v),
+                None => StackValue::Empty,
+            },
+        }
+    }
+
+    fn read(&self, op: &StackRead) -> StackValue {
+        match op {
+            StackRead::Peek => match self.items.last() {
+                Some(v) => StackValue::Item(*v),
+                None => StackValue::Empty,
+            },
+            StackRead::Len => StackValue::Depth(self.items.len()),
+        }
+    }
+}
+
+impl CheckpointableSpec for StackSpec {
+    fn encode_state(&self, buf: &mut Vec<u8>) {
+        buf.extend_from_slice(&(self.items.len() as u32).to_le_bytes());
+        for v in &self.items {
+            buf.extend_from_slice(&v.to_le_bytes());
+        }
+    }
+
+    fn decode_state(bytes: &[u8]) -> Option<Self> {
+        if bytes.len() < 4 {
+            return None;
+        }
+        let n = u32::from_le_bytes(bytes[0..4].try_into().ok()?) as usize;
+        if bytes.len() != 4 + 8 * n {
+            return None;
+        }
+        let items = (0..n)
+            .map(|i| u64::from_le_bytes(bytes[4 + i * 8..12 + i * 8].try_into().unwrap()))
+            .collect();
+        Some(StackSpec { items })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lifo_order() {
+        let mut s = StackSpec::initialize();
+        assert_eq!(s.apply(&StackOp::Push(1)), StackValue::Depth(1));
+        assert_eq!(s.apply(&StackOp::Push(2)), StackValue::Depth(2));
+        assert_eq!(s.read(&StackRead::Peek), StackValue::Item(2));
+        assert_eq!(s.apply(&StackOp::Pop), StackValue::Item(2));
+        assert_eq!(s.apply(&StackOp::Pop), StackValue::Item(1));
+        assert_eq!(s.apply(&StackOp::Pop), StackValue::Empty);
+        assert_eq!(s.read(&StackRead::Len), StackValue::Depth(0));
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn codec_roundtrip() {
+        for op in [StackOp::Push(u64::MAX), StackOp::Pop] {
+            assert_eq!(StackOp::decode(&op.encode_to_vec()), Some(op));
+        }
+        assert_eq!(StackOp::decode(&[2]), None);
+    }
+
+    #[test]
+    fn state_codec_roundtrip() {
+        let s = StackSpec {
+            items: vec![3, 1, 4, 1, 5],
+        };
+        let mut buf = Vec::new();
+        s.encode_state(&mut buf);
+        assert_eq!(StackSpec::decode_state(&buf), Some(s));
+        assert_eq!(StackSpec::decode_state(&buf[..6]), None);
+    }
+}

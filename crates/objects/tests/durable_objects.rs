@@ -1,0 +1,257 @@
+//! Integration tests: every object spec run through the ONLL construction, with
+//! fence-bound checks and crash/recovery, plus property tests comparing the durable
+//! object against its plain sequential specification.
+
+use durable_objects::*;
+use nvm_sim::{NvmPool, PmemConfig};
+use onll::{OnllConfig, SequentialSpec};
+use proptest::prelude::*;
+
+fn pool() -> NvmPool {
+    NvmPool::new(PmemConfig::with_capacity(64 << 20).apply_pending_at_crash(0.0))
+}
+
+#[test]
+fn durable_counter_figure1_style_usage() {
+    let p = pool();
+    let ctr = DurableCounter::create(p.clone(), OnllConfig::named("ctr")).unwrap();
+    let mut h = ctr.register().unwrap();
+    assert_eq!(h.update(CounterOp::Increment), 1);
+    assert_eq!(h.read(&CounterRead::Get), 1);
+    assert_eq!(h.update(CounterOp::Add(41)), 42);
+    drop(h);
+    drop(ctr);
+    p.crash_and_restart();
+    let (ctr, report) = DurableCounter::recover(p, OnllConfig::named("ctr")).unwrap();
+    assert_eq!(report.durable_index, 2);
+    assert_eq!(ctr.read_latest(&CounterRead::Get), 42);
+}
+
+#[test]
+fn durable_register_cas_sequence() {
+    let p = pool();
+    let reg = DurableRegister::create(p.clone(), OnllConfig::named("reg")).unwrap();
+    let mut h = reg.register().unwrap();
+    h.update(RegisterOp::Write(10));
+    assert_eq!(
+        h.update(RegisterOp::Cas { expected: 10, new: 20 }),
+        RegisterValue::CasResult { success: true, observed: 10 }
+    );
+    assert_eq!(
+        h.update(RegisterOp::Cas { expected: 10, new: 30 }),
+        RegisterValue::CasResult { success: false, observed: 20 }
+    );
+    assert_eq!(h.read(&RegisterRead::Get), RegisterValue::Value(20));
+}
+
+#[test]
+fn durable_stack_and_queue_orders_survive_crash() {
+    let p = pool();
+    let stack = DurableStack::create(p.clone(), OnllConfig::named("stack")).unwrap();
+    let queue = DurableQueue::create(p.clone(), OnllConfig::named("queue")).unwrap();
+    {
+        let mut hs = stack.register().unwrap();
+        let mut hq = queue.register().unwrap();
+        for i in 1..=5u64 {
+            hs.update(StackOp::Push(i));
+            hq.update(QueueOp::Enqueue(i));
+        }
+    }
+    drop(stack);
+    drop(queue);
+    p.crash_and_restart();
+    let (stack, _) = DurableStack::recover(p.clone(), OnllConfig::named("stack")).unwrap();
+    let (queue, _) = DurableQueue::recover(p.clone(), OnllConfig::named("queue")).unwrap();
+    let mut hs = stack.register().unwrap();
+    let mut hq = queue.register().unwrap();
+    // LIFO vs FIFO after recovery.
+    assert_eq!(hs.update(StackOp::Pop), StackValue::Item(5));
+    assert_eq!(hq.update(QueueOp::Dequeue), QueueValue::Item(1));
+}
+
+#[test]
+fn durable_kv_store_end_to_end() {
+    let p = pool();
+    let kv = DurableKv::create(p.clone(), OnllConfig::named("kv")).unwrap();
+    {
+        let mut h = kv.register().unwrap();
+        h.update(KvOp::Put("alice".into(), "engineer".into()));
+        h.update(KvOp::Put("bob".into(), "scientist".into()));
+        h.update(KvOp::Delete("alice".into()));
+        assert_eq!(
+            h.read(&KvRead::Get("bob".into())),
+            KvValue::Value(Some("scientist".into()))
+        );
+    }
+    drop(kv);
+    p.crash_and_restart();
+    let (kv, _) = DurableKv::recover(p, OnllConfig::named("kv")).unwrap();
+    assert_eq!(kv.read_latest(&KvRead::Get("alice".into())), KvValue::Value(None));
+    assert_eq!(
+        kv.read_latest(&KvRead::Get("bob".into())),
+        KvValue::Value(Some("scientist".into()))
+    );
+    assert_eq!(kv.read_latest(&KvRead::Len), KvValue::Len(1));
+}
+
+#[test]
+fn durable_set_concurrent_membership() {
+    let p = pool();
+    let set = DurableSet::create(
+        p.clone(),
+        OnllConfig::named("set").max_processes(4).log_capacity(1024),
+    )
+    .unwrap();
+    let mut joins = Vec::new();
+    for t in 0..4u64 {
+        let set = set.clone();
+        joins.push(std::thread::spawn(move || {
+            let mut h = set.register().unwrap();
+            for i in 0..50 {
+                h.update(SetOp::Add(t * 1000 + i));
+            }
+        }));
+    }
+    for j in joins {
+        j.join().unwrap();
+    }
+    assert_eq!(set.read_latest(&SetRead::Len), SetValue::Len(200));
+    assert_eq!(set.read_latest(&SetRead::Contains(2049)), SetValue::Bool(true));
+    assert_eq!(set.read_latest(&SetRead::Contains(999)), SetValue::Bool(false));
+}
+
+#[test]
+fn durable_append_log_sequence_numbers_are_dense() {
+    let p = pool();
+    let log = DurableAppendLog::create(
+        p.clone(),
+        OnllConfig::named("alog").max_processes(2).log_capacity(512),
+    )
+    .unwrap();
+    let mut joins = Vec::new();
+    for t in 0..2u8 {
+        let log = log.clone();
+        joins.push(std::thread::spawn(move || {
+            let mut h = log.register().unwrap();
+            for i in 0..100u8 {
+                h.update(AppendLogOp::Append(vec![t, i]));
+            }
+        }));
+    }
+    for j in joins {
+        j.join().unwrap();
+    }
+    let len_bytes = log.read_latest(&AppendLogRead::Len);
+    assert_eq!(u64::from_le_bytes(len_bytes.try_into().unwrap()), 200);
+}
+
+#[test]
+fn every_object_respects_the_fence_bounds() {
+    // One persistent fence per update, zero per read, across all object types.
+    let p = pool();
+
+    let ctr = DurableCounter::create(p.clone(), OnllConfig::named("c")).unwrap();
+    let mut h = ctr.register().unwrap();
+    let w = p.stats().op_window();
+    h.update(CounterOp::Increment);
+    assert_eq!(w.close().persistent_fences, 1);
+    let w = p.stats().op_window();
+    h.read(&CounterRead::Get);
+    assert_eq!(w.close().persistent_fences, 0);
+
+    let kv = DurableKv::create(p.clone(), OnllConfig::named("k")).unwrap();
+    let mut h = kv.register().unwrap();
+    let w = p.stats().op_window();
+    h.update(KvOp::Put("key".into(), "value".into()));
+    assert_eq!(w.close().persistent_fences, 1);
+    let w = p.stats().op_window();
+    h.read(&KvRead::Get("key".into()));
+    assert_eq!(w.close().persistent_fences, 0);
+
+    let q = DurableQueue::create(p.clone(), OnllConfig::named("q")).unwrap();
+    let mut h = q.register().unwrap();
+    let w = p.stats().op_window();
+    h.update(QueueOp::Enqueue(1));
+    assert_eq!(w.close().persistent_fences, 1);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The durable counter agrees with the plain sequential spec on any op sequence,
+    /// including across a crash/recover in the middle.
+    #[test]
+    fn durable_counter_equals_sequential_spec(
+        ops in proptest::collection::vec(-100i64..100, 1..60),
+        crash_at in 0usize..60,
+    ) {
+        let p = pool();
+        let cfg = OnllConfig::named("ctr").log_capacity(256);
+        let ctr = DurableCounter::create(p.clone(), cfg.clone()).unwrap();
+        let mut reference = CounterSpec::initialize();
+        let mut h = ctr.register().unwrap();
+        let crash_at = crash_at.min(ops.len());
+        for v in &ops[..crash_at] {
+            let expected = reference.apply(&CounterOp::Add(*v));
+            prop_assert_eq!(h.update(CounterOp::Add(*v)), expected);
+        }
+        drop(h);
+        drop(ctr);
+        p.crash_and_restart();
+        let (ctr, report) = DurableCounter::recover(p.clone(), cfg).unwrap();
+        prop_assert_eq!(report.durable_index as usize, crash_at);
+        prop_assert_eq!(ctr.read_latest(&CounterRead::Get), reference.read(&CounterRead::Get));
+        let mut h = ctr.register().unwrap();
+        for v in &ops[crash_at..] {
+            let expected = reference.apply(&CounterOp::Add(*v));
+            prop_assert_eq!(h.update(CounterOp::Add(*v)), expected);
+        }
+        prop_assert_eq!(h.read(&CounterRead::Get), reference.read(&CounterRead::Get));
+    }
+
+    /// The durable KV map agrees with the plain sequential spec on any op sequence.
+    #[test]
+    fn durable_kv_equals_sequential_spec(
+        ops in proptest::collection::vec((0u8..8, 0u8..4, any::<bool>()), 1..40),
+    ) {
+        let p = pool();
+        let kv = DurableKv::create(p.clone(), OnllConfig::named("kv").log_capacity(256)).unwrap();
+        let mut reference = KvSpec::initialize();
+        let mut h = kv.register().unwrap();
+        for (k, v, is_put) in &ops {
+            let op = if *is_put {
+                KvOp::Put(format!("key-{k}"), format!("val-{v}"))
+            } else {
+                KvOp::Delete(format!("key-{k}"))
+            };
+            let expected = reference.apply(&op);
+            prop_assert_eq!(h.update(op), expected);
+        }
+        for k in 0u8..8 {
+            let read = KvRead::Get(format!("key-{k}"));
+            prop_assert_eq!(h.read(&read), reference.read(&read));
+        }
+    }
+
+    /// The durable queue preserves FIFO semantics equal to the sequential spec even
+    /// with interleaved enqueues/dequeues.
+    #[test]
+    fn durable_queue_equals_sequential_spec(
+        ops in proptest::collection::vec(proptest::option::of(0u64..1000), 1..60),
+    ) {
+        let p = pool();
+        let q = DurableQueue::create(p.clone(), OnllConfig::named("q").log_capacity(256)).unwrap();
+        let mut reference = QueueSpec::initialize();
+        let mut h = q.register().unwrap();
+        for op in &ops {
+            let op = match op {
+                Some(v) => QueueOp::Enqueue(*v),
+                None => QueueOp::Dequeue,
+            };
+            let expected = reference.apply(&op);
+            prop_assert_eq!(h.update(op), expected);
+        }
+        prop_assert_eq!(h.read(&QueueRead::Len), reference.read(&QueueRead::Len));
+        prop_assert_eq!(h.read(&QueueRead::Front), reference.read(&QueueRead::Front));
+    }
+}

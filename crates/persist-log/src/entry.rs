@@ -1,0 +1,270 @@
+//! On-NVM entry layout and (de)serialization.
+//!
+//! Entry layout (see [`LogConfig::entry_size`](crate::LogConfig::entry_size)):
+//!
+//! ```text
+//! offset 0   checksum          u64   FNV-1a over the rest of the entry
+//! offset 8   execution_index   u64   index of ops[0] in the execution trace
+//! offset 16  seq               u64   per-log monotone append sequence number
+//! offset 24  num_ops           u32   1 ..= max_ops_per_entry
+//! offset 28  pad               u32
+//! offset 32  slots             num_ops × (len: u32, bytes: [u8; op_slot_size])
+//! ```
+//!
+//! The entry is valid iff the checksum matches; a torn write (only some cache lines
+//! of the entry reached NVM before a crash) is detected and the entry ignored.
+
+use crate::config::LogConfig;
+
+/// A decoded, validated log entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LogEntry {
+    /// Execution index of `ops[0]`; `ops[k]` has execution index `execution_index - k`.
+    pub execution_index: u64,
+    /// Per-log monotone sequence number assigned at append time.
+    pub seq: u64,
+    /// The recorded operations: `ops[0]` is the appender's own operation, the rest
+    /// are helped fuzzy-window operations (most recent first).
+    pub ops: Vec<Vec<u8>>,
+}
+
+impl LogEntry {
+    /// Execution index of `ops[k]`.
+    pub fn index_of(&self, k: usize) -> u64 {
+        self.execution_index - k as u64
+    }
+
+    /// Lowest execution index covered by this entry.
+    pub fn lowest_index(&self) -> u64 {
+        self.execution_index + 1 - self.ops.len() as u64
+    }
+
+    /// Returns the encoded operation with execution index `idx`, if covered.
+    pub fn op_with_index(&self, idx: u64) -> Option<&[u8]> {
+        if idx > self.execution_index || idx < self.lowest_index() {
+            return None;
+        }
+        let k = (self.execution_index - idx) as usize;
+        Some(&self.ops[k])
+    }
+}
+
+/// FNV-1a 64-bit checksum, offset by a non-zero constant so that an all-zero buffer
+/// never checksums to zero (an all-zero slot must read as invalid).
+pub fn checksum64(data: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for b in data {
+        h ^= *b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h ^ 0xA5A5_5A5A_DEAD_BEEF
+}
+
+/// Encodes an entry into `buf` (which must be exactly `cfg.entry_size()` bytes).
+///
+/// `ops` are the encoded operations, own operation first. Returns `Err` if an op is
+/// larger than the configured slot size or there are too many ops.
+pub(crate) fn encode_entry(
+    cfg: &LogConfig,
+    buf: &mut [u8],
+    ops: &[&[u8]],
+    execution_index: u64,
+    seq: u64,
+) -> Result<(), String> {
+    assert_eq!(buf.len(), cfg.entry_size());
+    if ops.is_empty() {
+        return Err("an entry must record at least one operation".into());
+    }
+    if ops.len() > cfg.max_ops_per_entry {
+        return Err(format!(
+            "too many ops for one entry: {} > {}",
+            ops.len(),
+            cfg.max_ops_per_entry
+        ));
+    }
+    for (i, op) in ops.iter().enumerate() {
+        if op.len() > cfg.op_slot_size {
+            return Err(format!(
+                "op {i} too large: {} > {} bytes",
+                op.len(),
+                cfg.op_slot_size
+            ));
+        }
+    }
+    buf.fill(0);
+    buf[8..16].copy_from_slice(&execution_index.to_le_bytes());
+    buf[16..24].copy_from_slice(&seq.to_le_bytes());
+    buf[24..28].copy_from_slice(&(ops.len() as u32).to_le_bytes());
+    let mut off = cfg.entry_header_size();
+    for op in ops {
+        buf[off..off + 4].copy_from_slice(&(op.len() as u32).to_le_bytes());
+        buf[off + 4..off + 4 + op.len()].copy_from_slice(op);
+        off += 4 + cfg.op_slot_size;
+    }
+    let csum = checksum64(&buf[8..]);
+    buf[0..8].copy_from_slice(&csum.to_le_bytes());
+    Ok(())
+}
+
+/// Decodes and validates an entry from `buf`. Returns `None` if the entry is torn,
+/// empty or otherwise invalid.
+pub(crate) fn decode_entry(cfg: &LogConfig, buf: &[u8]) -> Option<LogEntry> {
+    if buf.len() != cfg.entry_size() {
+        return None;
+    }
+    let stored_csum = u64::from_le_bytes(buf[0..8].try_into().unwrap());
+    if stored_csum != checksum64(&buf[8..]) {
+        return None;
+    }
+    let execution_index = u64::from_le_bytes(buf[8..16].try_into().unwrap());
+    let seq = u64::from_le_bytes(buf[16..24].try_into().unwrap());
+    let num_ops = u32::from_le_bytes(buf[24..28].try_into().unwrap()) as usize;
+    if num_ops == 0 || num_ops > cfg.max_ops_per_entry {
+        return None;
+    }
+    // Entries record ops[k] with execution index execution_index - k >= 1.
+    if execution_index == 0 || (execution_index as u128) < num_ops as u128 {
+        return None;
+    }
+    let mut ops = Vec::with_capacity(num_ops);
+    let mut off = cfg.entry_header_size();
+    for _ in 0..num_ops {
+        let len = u32::from_le_bytes(buf[off..off + 4].try_into().unwrap()) as usize;
+        if len > cfg.op_slot_size {
+            return None;
+        }
+        ops.push(buf[off + 4..off + 4 + len].to_vec());
+        off += 4 + cfg.op_slot_size;
+    }
+    Some(LogEntry {
+        execution_index,
+        seq,
+        ops,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> LogConfig {
+        LogConfig::default()
+    }
+
+    #[test]
+    fn encode_decode_roundtrip_single_op() {
+        let cfg = cfg();
+        let mut buf = vec![0u8; cfg.entry_size()];
+        encode_entry(&cfg, &mut buf, &[b"op-payload"], 7, 3).unwrap();
+        let e = decode_entry(&cfg, &buf).unwrap();
+        assert_eq!(e.execution_index, 7);
+        assert_eq!(e.seq, 3);
+        assert_eq!(e.ops, vec![b"op-payload".to_vec()]);
+    }
+
+    #[test]
+    fn encode_decode_roundtrip_multiple_ops() {
+        let cfg = cfg();
+        let mut buf = vec![0u8; cfg.entry_size()];
+        let ops: Vec<&[u8]> = vec![b"own", b"helped-1", b"helped-2"];
+        encode_entry(&cfg, &mut buf, &ops, 10, 1).unwrap();
+        let e = decode_entry(&cfg, &buf).unwrap();
+        assert_eq!(e.ops.len(), 3);
+        assert_eq!(e.index_of(0), 10);
+        assert_eq!(e.index_of(2), 8);
+        assert_eq!(e.lowest_index(), 8);
+        assert_eq!(e.op_with_index(9).unwrap(), b"helped-1");
+        assert_eq!(e.op_with_index(11), None);
+        assert_eq!(e.op_with_index(7), None);
+    }
+
+    #[test]
+    fn empty_op_is_representable() {
+        let cfg = cfg();
+        let mut buf = vec![0u8; cfg.entry_size()];
+        encode_entry(&cfg, &mut buf, &[b""], 1, 0).unwrap();
+        let e = decode_entry(&cfg, &buf).unwrap();
+        assert_eq!(e.ops, vec![Vec::<u8>::new()]);
+    }
+
+    #[test]
+    fn all_zero_slot_is_invalid() {
+        let cfg = cfg();
+        let buf = vec![0u8; cfg.entry_size()];
+        assert!(decode_entry(&cfg, &buf).is_none());
+    }
+
+    #[test]
+    fn corrupting_any_byte_invalidates_the_entry() {
+        let cfg = cfg();
+        let mut buf = vec![0u8; cfg.entry_size()];
+        encode_entry(&cfg, &mut buf, &[b"abcdef", b"ghi"], 5, 9).unwrap();
+        for victim in [0usize, 9, 17, 25, 40, cfg.entry_size() - 1] {
+            let mut torn = buf.clone();
+            torn[victim] ^= 0xFF;
+            assert!(
+                decode_entry(&cfg, &torn).is_none(),
+                "corruption at byte {victim} went undetected"
+            );
+        }
+    }
+
+    #[test]
+    fn torn_line_is_detected() {
+        // Simulate a crash where only the first cache line of the entry reached NVM.
+        let cfg = cfg();
+        let mut buf = vec![0u8; cfg.entry_size()];
+        encode_entry(&cfg, &mut buf, &[b"a".repeat(40).as_slice(), b"bbbb"], 6, 2).unwrap();
+        let mut torn = vec![0u8; cfg.entry_size()];
+        torn[..64].copy_from_slice(&buf[..64]);
+        assert!(decode_entry(&cfg, &torn).is_none());
+    }
+
+    #[test]
+    fn oversized_op_rejected() {
+        let cfg = cfg();
+        let mut buf = vec![0u8; cfg.entry_size()];
+        let big = vec![1u8; cfg.op_slot_size + 1];
+        assert!(encode_entry(&cfg, &mut buf, &[&big], 1, 0).is_err());
+    }
+
+    #[test]
+    fn too_many_ops_rejected() {
+        let cfg = LogConfig::for_processes(2);
+        let mut buf = vec![0u8; cfg.entry_size()];
+        let ops: Vec<&[u8]> = vec![b"a", b"b", b"c"];
+        assert!(encode_entry(&cfg, &mut buf, &ops, 3, 0).is_err());
+    }
+
+    #[test]
+    fn zero_ops_rejected() {
+        let cfg = cfg();
+        let mut buf = vec![0u8; cfg.entry_size()];
+        assert!(encode_entry(&cfg, &mut buf, &[], 1, 0).is_err());
+    }
+
+    #[test]
+    fn execution_index_smaller_than_num_ops_is_invalid() {
+        // ops[k] would have index <= 0, which cannot happen in a real execution; a
+        // decoded entry claiming it is treated as corrupt.
+        let cfg = cfg();
+        let mut buf = vec![0u8; cfg.entry_size()];
+        encode_entry(&cfg, &mut buf, &[b"a", b"b"], 1, 0).unwrap();
+        assert!(decode_entry(&cfg, &buf).is_none());
+    }
+
+    #[test]
+    fn checksum_is_never_zero_for_zero_buffer() {
+        assert_ne!(checksum64(&[0u8; 128]), 0);
+    }
+
+    #[test]
+    fn max_size_op_fits_exactly() {
+        let cfg = cfg();
+        let mut buf = vec![0u8; cfg.entry_size()];
+        let op = vec![0xABu8; cfg.op_slot_size];
+        encode_entry(&cfg, &mut buf, &[&op], 2, 0).unwrap();
+        let e = decode_entry(&cfg, &buf).unwrap();
+        assert_eq!(e.ops[0], op);
+    }
+}

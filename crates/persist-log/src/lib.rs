@@ -1,0 +1,59 @@
+//! # persist-log — a single-persistent-fence per-process append-only log
+//!
+//! ONLL's persist stage relies on a per-process persistent log whose `append`
+//! operation costs **exactly one persistent fence** (Section 4.1.1 of the paper,
+//! building on Cohen, Friedman and Larus, OOPSLA 2017). Each append records:
+//!
+//! * the update operation being executed by the owning process, and
+//! * up to `MAX_PROCESSES - 1` *helped* operations — the fuzzy-window operations of
+//!   other processes that are not yet guaranteed durable (Listing 1), and
+//! * the execution index of the first operation (the helped operation with offset
+//!   `k` in the array has execution index `executionIndex - k`).
+//!
+//! ## How one fence suffices
+//!
+//! The hardware gives no ordering between the entry's payload lines reaching NVM
+//! and a separate "valid" flag reaching NVM, unless two fences are used. Instead,
+//! an entry is *self-validating*: its header carries a checksum over the whole
+//! entry, and recovery treats an entry as present iff the checksum matches (and the
+//! per-log sequence number is the expected one). A torn entry — some lines written
+//! back, others not — fails validation and is ignored, which is exactly the
+//! "operation not persisted" outcome the paper's recovery handles. Appending is
+//! therefore: write the entry (stores), flush its lines (free), one fence.
+//!
+//! The log is circular. A persistent *start mark* (slot + sequence number) written
+//! only by explicit [`PersistentLog::truncate`] calls supports the checkpointing /
+//! memory-reclamation extension of Section 8.
+//!
+//! ```
+//! use nvm_sim::{NvmPool, PmemConfig};
+//! use persist_log::{LogConfig, PersistentLog};
+//!
+//! let pool = NvmPool::new(PmemConfig::default());
+//! let cfg = LogConfig::default();
+//! let base = pool.alloc(PersistentLog::region_size(&cfg)).unwrap();
+//! let mut log = PersistentLog::create(pool.clone(), cfg.clone(), base);
+//!
+//! let w = pool.stats().op_window();
+//! log.append(&[b"increment"], 1).unwrap();
+//! assert_eq!(w.close().persistent_fences, 1); // exactly one fence per append
+//!
+//! pool.crash_and_restart();
+//! let (recovered, entries) = PersistentLog::open(pool.clone(), cfg, base);
+//! assert_eq!(entries.len(), 1);
+//! assert_eq!(entries[0].execution_index, 1);
+//! assert_eq!(entries[0].ops[0], b"increment");
+//! # drop(recovered);
+//! ```
+
+#![warn(missing_docs)]
+
+mod config;
+mod entry;
+mod log;
+mod recovery;
+
+pub use config::LogConfig;
+pub use entry::{checksum64, LogEntry};
+pub use log::{LogError, PersistentLog};
+pub use recovery::{reconstruct_history, reconstruct_history_from, RecoveredOp};

@@ -1,0 +1,414 @@
+//! The per-process persistent log.
+
+use crate::config::LogConfig;
+use crate::entry::{decode_entry, encode_entry, LogEntry};
+use nvm_sim::{NvmPool, PAddr};
+use std::fmt;
+
+/// Errors returned by [`PersistentLog`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LogError {
+    /// The circular log has no free slot (truncate before appending more).
+    Full,
+    /// The operations passed to `append` do not fit the configured entry geometry.
+    EntryTooLarge(String),
+}
+
+impl fmt::Display for LogError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LogError::Full => write!(f, "persistent log is full"),
+            LogError::EntryTooLarge(msg) => write!(f, "log entry does not fit: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for LogError {}
+
+/// Layout of the log header (one cache line at the base address):
+/// ```text
+/// offset 0   start_slot  u64   first live slot of the circular log
+/// offset 8   start_seq   u64   sequence number expected at start_slot
+/// offset 16  truncations u64   number of truncate calls (diagnostics)
+/// ```
+const HDR_START_SLOT: u64 = 0;
+const HDR_START_SEQ: u64 = 8;
+const HDR_TRUNCATIONS: u64 = 16;
+
+/// A per-process, single-writer, append-only persistent log with exactly one
+/// persistent fence per append.
+///
+/// The log is *owned* by one process (the `&mut self` receiver on
+/// [`PersistentLog::append`] encodes single-writer-ness); other processes never
+/// write to it, matching the paper's per-process logs.
+pub struct PersistentLog {
+    pool: NvmPool,
+    cfg: LogConfig,
+    base: PAddr,
+    /// Next slot to append into (volatile; recomputed by recovery).
+    next_slot: u64,
+    /// Sequence number to assign to the next append (volatile; recomputed).
+    next_seq: u64,
+    /// First live slot (cached copy of the persistent header).
+    start_slot: u64,
+    /// Sequence number of the first live slot.
+    start_seq: u64,
+}
+
+impl PersistentLog {
+    /// Bytes of NVM needed for a log with configuration `cfg`.
+    pub fn region_size(cfg: &LogConfig) -> usize {
+        cfg.region_size()
+    }
+
+    /// Formats a fresh, empty log at `base` (which must point at
+    /// [`PersistentLog::region_size`] bytes of allocated NVM).
+    pub fn create(pool: NvmPool, cfg: LogConfig, base: PAddr) -> Self {
+        // Zero the header and persist it. Entry slots are lazily overwritten; their
+        // validity is determined by checksum + sequence number, so stale bytes from
+        // a previous life of this region are harmless only if they can't collide
+        // with (slot, seq) pairs we will produce. A fresh create zeroes the first
+        // entry of each slot's header line to be safe.
+        let header = vec![0u8; cfg.log_header_size()];
+        pool.write(base, &header);
+        pool.flush(base, header.len());
+        pool.fence();
+        PersistentLog {
+            pool,
+            cfg,
+            base,
+            next_slot: 0,
+            next_seq: 1,
+            start_slot: 0,
+            start_seq: 1,
+        }
+    }
+
+    /// Opens a log after a crash: scans the live window, returns the log (ready for
+    /// further appends) and the valid entries in append order.
+    pub fn open(pool: NvmPool, cfg: LogConfig, base: PAddr) -> (Self, Vec<LogEntry>) {
+        let start_slot = read_u64(&pool, base + HDR_START_SLOT);
+        let start_seq = read_u64(&pool, base + HDR_START_SEQ).max(1);
+        let mut log = PersistentLog {
+            pool,
+            cfg,
+            base,
+            next_slot: start_slot,
+            next_seq: start_seq,
+            start_slot,
+            start_seq,
+        };
+        let entries = log.scan_live();
+        // Continue appending after the last valid entry.
+        if let Some(last) = entries.last() {
+            log.next_seq = last.seq + 1;
+            log.next_slot = (start_slot + entries.len() as u64) % log.cfg.capacity_entries as u64;
+        }
+        (log, entries)
+    }
+
+    fn entry_addr(&self, slot: u64) -> PAddr {
+        self.base + self.cfg.log_header_size() as u64 + slot * self.cfg.entry_size() as u64
+    }
+
+    /// Number of live (appended and not truncated) entries.
+    pub fn live_len(&self) -> usize {
+        (self.next_seq - self.start_seq) as usize
+    }
+
+    /// True if no live entries exist.
+    pub fn is_empty(&self) -> bool {
+        self.live_len() == 0
+    }
+
+    /// Remaining free slots before the circular log refuses appends.
+    pub fn free_slots(&self) -> usize {
+        self.cfg.capacity_entries - self.live_len()
+    }
+
+    /// The log's geometry.
+    pub fn config(&self) -> &LogConfig {
+        &self.cfg
+    }
+
+    /// Base address of the log region in its pool.
+    pub fn base(&self) -> PAddr {
+        self.base
+    }
+
+    /// Appends an entry recording `ops` (own operation first, then helped ones) with
+    /// the given execution index for `ops[0]`.
+    ///
+    /// Cost: stores + flushes (free in the paper's model) + **exactly one persistent
+    /// fence**.
+    pub fn append(&mut self, ops: &[&[u8]], execution_index: u64) -> Result<(), LogError> {
+        if self.live_len() >= self.cfg.capacity_entries {
+            return Err(LogError::Full);
+        }
+        let mut buf = vec![0u8; self.cfg.entry_size()];
+        encode_entry(&self.cfg, &mut buf, ops, execution_index, self.next_seq)
+            .map_err(LogError::EntryTooLarge)?;
+        let addr = self.entry_addr(self.next_slot);
+        self.pool.write(addr, &buf);
+        self.pool.flush(addr, buf.len());
+        self.pool.fence();
+        self.next_seq += 1;
+        self.next_slot = (self.next_slot + 1) % self.cfg.capacity_entries as u64;
+        Ok(())
+    }
+
+    /// Drops all live entries: the next recovery will start from the current append
+    /// position. Used by the Section-8 checkpointing extension after the object
+    /// state has been persisted elsewhere.
+    ///
+    /// Cost: one persistent fence (it is an explicit maintenance operation, not part
+    /// of the per-update fence budget).
+    pub fn truncate(&mut self) {
+        self.start_slot = self.next_slot;
+        self.start_seq = self.next_seq;
+        let mut hdr = vec![0u8; self.cfg.log_header_size()];
+        hdr[HDR_START_SLOT as usize..8].copy_from_slice(&self.start_slot.to_le_bytes());
+        hdr[HDR_START_SEQ as usize..16].copy_from_slice(&self.start_seq.to_le_bytes());
+        let truncations = read_u64(&self.pool, self.base + HDR_TRUNCATIONS) + 1;
+        hdr[HDR_TRUNCATIONS as usize..24].copy_from_slice(&truncations.to_le_bytes());
+        self.pool.write(self.base, &hdr);
+        self.pool.flush(self.base, hdr.len());
+        self.pool.fence();
+    }
+
+    /// Number of truncations performed over the log's lifetime (diagnostics).
+    pub fn truncations(&self) -> u64 {
+        read_u64(&self.pool, self.base + HDR_TRUNCATIONS)
+    }
+
+    /// Scans the live window and returns all valid entries in append order.
+    ///
+    /// Validation stops at the first slot whose entry is missing, torn, or carries
+    /// an unexpected sequence number — appends are sequential, so valid entries
+    /// always form a prefix of the live window.
+    pub fn scan_live(&self) -> Vec<LogEntry> {
+        let mut entries = Vec::new();
+        let mut slot = self.start_slot;
+        let mut expect_seq = self.start_seq;
+        for _ in 0..self.cfg.capacity_entries {
+            let addr = self.entry_addr(slot);
+            let buf = self.pool.read_vec(addr, self.cfg.entry_size());
+            match decode_entry(&self.cfg, &buf) {
+                Some(e) if e.seq == expect_seq => {
+                    entries.push(e);
+                    expect_seq += 1;
+                    slot = (slot + 1) % self.cfg.capacity_entries as u64;
+                }
+                _ => break,
+            }
+        }
+        entries
+    }
+}
+
+impl fmt::Debug for PersistentLog {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("PersistentLog")
+            .field("base", &self.base)
+            .field("live_len", &self.live_len())
+            .field("capacity", &self.cfg.capacity_entries)
+            .finish()
+    }
+}
+
+fn read_u64(pool: &NvmPool, addr: PAddr) -> u64 {
+    pool.read_u64(addr)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nvm_sim::{CrashTrigger, PmemConfig};
+
+    fn setup(cfg: LogConfig) -> (NvmPool, PersistentLog) {
+        let pool = NvmPool::new(PmemConfig::with_capacity(16 << 20).apply_pending_at_crash(0.0));
+        let base = pool.alloc(PersistentLog::region_size(&cfg)).unwrap();
+        let log = PersistentLog::create(pool.clone(), cfg, base);
+        (pool, log)
+    }
+
+    #[test]
+    fn append_costs_exactly_one_persistent_fence() {
+        let (pool, mut log) = setup(LogConfig::default());
+        for i in 1..=10u64 {
+            let w = pool.stats().op_window();
+            log.append(&[b"op", b"helped"], i).unwrap();
+            let d = w.close();
+            assert_eq!(d.persistent_fences, 1, "append #{i} used more than one fence");
+            assert_eq!(d.fences, 1);
+        }
+    }
+
+    #[test]
+    fn entries_survive_crash_and_reopen_in_order() {
+        let cfg = LogConfig::default();
+        let (pool, mut log) = setup(cfg.clone());
+        let base = log.base();
+        for i in 1..=5u64 {
+            log.append(&[format!("op{i}").as_bytes()], i).unwrap();
+        }
+        pool.crash_and_restart();
+        let (reopened, entries) = PersistentLog::open(pool, cfg, base);
+        assert_eq!(entries.len(), 5);
+        for (i, e) in entries.iter().enumerate() {
+            assert_eq!(e.execution_index, i as u64 + 1);
+            assert_eq!(e.ops[0], format!("op{}", i + 1).into_bytes());
+        }
+        assert_eq!(reopened.live_len(), 5);
+    }
+
+    #[test]
+    fn unfenced_append_is_lost_but_earlier_ones_survive() {
+        let cfg = LogConfig::default();
+        let (pool, mut log) = setup(cfg.clone());
+        let base = log.base();
+        log.append(&[b"first"], 1).unwrap();
+        // Crash in the middle of the second append: after its stores but before its
+        // fence. AfterFlushes(1) fires on the append's flush, i.e. pre-fence.
+        pool.arm_crash(CrashTrigger::AfterFlushes(1));
+        let _ = log.append(&[b"second"], 2);
+        assert!(pool.is_frozen());
+        pool.crash_and_restart();
+        let (_, entries) = PersistentLog::open(pool, cfg, base);
+        assert_eq!(entries.len(), 1);
+        assert_eq!(entries[0].ops[0], b"first");
+    }
+
+    #[test]
+    fn torn_append_mid_stores_is_ignored() {
+        let cfg = LogConfig::default();
+        let (pool, mut log) = setup(cfg.clone());
+        let base = log.base();
+        log.append(&[b"first"], 1).unwrap();
+        // Crash after only a couple of stores of the next entry.
+        pool.arm_crash(CrashTrigger::AfterStores(1));
+        let _ = log.append(&[b"second"], 2);
+        pool.crash_and_restart();
+        let (_, entries) = PersistentLog::open(pool, cfg, base);
+        assert_eq!(entries.len(), 1);
+    }
+
+    #[test]
+    fn appends_continue_after_recovery() {
+        let cfg = LogConfig::default();
+        let (pool, mut log) = setup(cfg.clone());
+        let base = log.base();
+        log.append(&[b"a"], 1).unwrap();
+        log.append(&[b"b"], 2).unwrap();
+        pool.crash_and_restart();
+        let (mut reopened, entries) = PersistentLog::open(pool.clone(), cfg.clone(), base);
+        assert_eq!(entries.len(), 2);
+        reopened.append(&[b"c"], 3).unwrap();
+        pool.crash_and_restart();
+        let (_, entries) = PersistentLog::open(pool, cfg, base);
+        assert_eq!(
+            entries.iter().map(|e| e.ops[0].clone()).collect::<Vec<_>>(),
+            vec![b"a".to_vec(), b"b".to_vec(), b"c".to_vec()]
+        );
+    }
+
+    #[test]
+    fn log_reports_full_when_capacity_exhausted() {
+        let cfg = LogConfig::default().capacity_entries(4);
+        let (_pool, mut log) = setup(cfg);
+        for i in 1..=4u64 {
+            log.append(&[b"x"], i).unwrap();
+        }
+        assert_eq!(log.free_slots(), 0);
+        assert_eq!(log.append(&[b"x"], 5), Err(LogError::Full));
+    }
+
+    #[test]
+    fn truncate_frees_slots_and_survives_crash() {
+        let cfg = LogConfig::default().capacity_entries(4);
+        let (pool, mut log) = setup(cfg.clone());
+        let base = log.base();
+        for i in 1..=4u64 {
+            log.append(&[b"x"], i).unwrap();
+        }
+        log.truncate();
+        assert!(log.is_empty());
+        assert_eq!(log.truncations(), 1);
+        // Wrap around: four more appends fit.
+        for i in 5..=8u64 {
+            log.append(&[format!("y{i}").as_bytes()], i).unwrap();
+        }
+        pool.crash_and_restart();
+        let (_, entries) = PersistentLog::open(pool, cfg, base);
+        assert_eq!(entries.len(), 4);
+        assert_eq!(entries[0].execution_index, 5);
+        assert_eq!(entries[3].ops[0], b"y8");
+    }
+
+    #[test]
+    fn stale_pre_truncation_entries_are_not_resurrected() {
+        let cfg = LogConfig::default().capacity_entries(8);
+        let (pool, mut log) = setup(cfg.clone());
+        let base = log.base();
+        for i in 1..=3u64 {
+            log.append(&[b"old"], i).unwrap();
+        }
+        log.truncate();
+        log.append(&[b"new"], 4).unwrap();
+        pool.crash_and_restart();
+        let (_, entries) = PersistentLog::open(pool, cfg, base);
+        assert_eq!(entries.len(), 1);
+        assert_eq!(entries[0].ops[0], b"new");
+    }
+
+    #[test]
+    fn oversized_ops_are_rejected_without_touching_the_log() {
+        let cfg = LogConfig::default().op_slot_size(8);
+        let (_pool, mut log) = setup(cfg);
+        let big = vec![0u8; 16];
+        assert!(matches!(
+            log.append(&[&big], 1),
+            Err(LogError::EntryTooLarge(_))
+        ));
+        assert!(log.is_empty());
+    }
+
+    #[test]
+    fn helped_ops_recoverable_with_correct_indices() {
+        let cfg = LogConfig::default();
+        let (pool, mut log) = setup(cfg.clone());
+        let base = log.base();
+        // Entry records own op (index 5) and two helped ops (indices 4 and 3).
+        log.append(&[b"own", b"helped4", b"helped3"], 5).unwrap();
+        pool.crash_and_restart();
+        let (_, entries) = PersistentLog::open(pool, cfg, base);
+        let e = &entries[0];
+        assert_eq!(e.op_with_index(5).unwrap(), b"own");
+        assert_eq!(e.op_with_index(4).unwrap(), b"helped4");
+        assert_eq!(e.op_with_index(3).unwrap(), b"helped3");
+        assert_eq!(e.op_with_index(2), None);
+    }
+
+    #[test]
+    fn two_logs_in_one_pool_do_not_interfere() {
+        let cfg = LogConfig::default().capacity_entries(16);
+        let pool = NvmPool::new(PmemConfig::with_capacity(16 << 20));
+        let base1 = pool.alloc(PersistentLog::region_size(&cfg)).unwrap();
+        let base2 = pool.alloc(PersistentLog::region_size(&cfg)).unwrap();
+        let mut l1 = PersistentLog::create(pool.clone(), cfg.clone(), base1);
+        let mut l2 = PersistentLog::create(pool.clone(), cfg.clone(), base2);
+        l1.append(&[b"l1-op"], 1).unwrap();
+        l2.append(&[b"l2-op"], 2).unwrap();
+        pool.crash_and_restart();
+        let (_, e1) = PersistentLog::open(pool.clone(), cfg.clone(), base1);
+        let (_, e2) = PersistentLog::open(pool, cfg, base2);
+        assert_eq!(e1[0].ops[0], b"l1-op");
+        assert_eq!(e2[0].ops[0], b"l2-op");
+    }
+
+    #[test]
+    fn debug_output_mentions_len() {
+        let (_p, log) = setup(LogConfig::default());
+        assert!(format!("{log:?}").contains("live_len"));
+    }
+}

@@ -1,0 +1,53 @@
+//! Crash-injection sweep with durable-linearizability checking (experiment E7).
+//!
+//! Runs concurrent counter workloads, injects full-system crashes at a sweep of
+//! adversarially chosen persistence events, recovers, and verifies Definition 5.6:
+//! every completed operation survives, the recovered set is a consistent cut,
+//! recovered order respects real time, and replayed values match observed ones.
+//!
+//! ```text
+//! cargo run --example crash_recovery
+//! ```
+
+use remembering_consistently::harness::{CrashExperiment, Table};
+
+fn main() {
+    let experiment = CrashExperiment {
+        threads: 3,
+        ops_per_thread: 15,
+        check_linearizability_limit: 0, // concurrent histories: skip the exponential checker
+        ..Default::default()
+    };
+    let crash_points: Vec<u64> = (0..12).map(|i| 10 + 23 * i).collect();
+
+    let mut table = Table::new(
+        "crash sweep: durable linearizability after recovery",
+        &[
+            "crash after N events",
+            "crashed mid-run",
+            "completed updates",
+            "recovered updates",
+            "recovered value",
+            "durably linearizable",
+        ],
+    );
+
+    let outcomes = experiment.sweep(crash_points.iter().copied());
+    let mut all_ok = true;
+    for (point, outcome) in crash_points.iter().zip(&outcomes) {
+        all_ok &= outcome.is_consistent();
+        table.row_display(&[
+            point.to_string(),
+            outcome.crashed.to_string(),
+            outcome.completed_updates.to_string(),
+            outcome.recovered_updates.to_string(),
+            outcome.recovered_value.to_string(),
+            outcome.durability.is_ok().to_string(),
+        ]);
+    }
+    table.print();
+    assert!(all_ok, "a crash point violated durable linearizability");
+    println!();
+    println!("all {} crash points satisfied Definition 5.6 (durable linearizability)", outcomes.len());
+    println!("crash_recovery OK");
+}

@@ -1,0 +1,92 @@
+//! Audits the Theorem 5.1 fence bounds across implementations (experiment E3/E5).
+//!
+//! Runs the same mixed workload against ONLL and every baseline, printing the
+//! average and maximum persistent fences per update and per read. ONLL must show
+//! at most one per update and zero per read; the baselines show why that is not
+//! free to achieve naively.
+//!
+//! ```text
+//! cargo run --example fence_audit
+//! ```
+
+use remembering_consistently::baselines::{
+    DurableObject, FlatCombiningDurable, NaiveDurable, TransientObject, WalDurable,
+};
+use remembering_consistently::harness::{audit_fence_bounds, OnllAdapter, Table, Workload, WorkloadMix};
+use remembering_consistently::nvm::{NvmPool, PmemConfig};
+use remembering_consistently::objects::CounterSpec;
+use remembering_consistently::onll::{Durable, OnllConfig};
+
+const OPS: usize = 2_000;
+
+fn audit_one<D: DurableObject<CounterSpec> + ?Sized>(
+    name: &str,
+    pool: &NvmPool,
+    object: &mut D,
+    update_percent: u32,
+    table: &mut Table,
+) {
+    let mut workload = Workload::new(WorkloadMix::with_update_percent(update_percent), 0xFE11CE);
+    let audit = audit_fence_bounds::<CounterSpec, _>(object, pool.stats(), workload.counter_ops(OPS));
+    table.row_display(&[
+        name.to_string(),
+        format!("{update_percent}%"),
+        format!("{:.2}", audit.fences_per_update()),
+        audit.max_fences_per_update.to_string(),
+        format!("{:.2}", audit.fences_per_read()),
+        audit.max_fences_per_read.to_string(),
+        audit.satisfies_onll_bounds().to_string(),
+    ]);
+}
+
+fn main() {
+    let mut table = Table::new(
+        "persistent fences per operation (2,000-op workloads)",
+        &[
+            "implementation",
+            "updates",
+            "avg fences/update",
+            "max",
+            "avg fences/read",
+            "max",
+            "within ONLL bound",
+        ],
+    );
+
+    for update_percent in [10, 50, 100] {
+        // ONLL.
+        let pool = NvmPool::new(PmemConfig::with_capacity(64 << 20));
+        let onll = Durable::<CounterSpec>::create(
+            pool.clone(),
+            OnllConfig::named("audit").log_capacity(OPS + 8),
+        )
+        .unwrap();
+        let mut adapter = OnllAdapter::new(onll.register().unwrap());
+        audit_one("onll", &pool, &mut adapter, update_percent, &mut table);
+
+        // Transient (no persistence at all).
+        let pool = NvmPool::new(PmemConfig::with_capacity(16 << 20));
+        let transient = TransientObject::<CounterSpec>::new();
+        audit_one("transient", &pool, &mut transient.handle(), update_percent, &mut table);
+
+        // Naive full-state persistence.
+        let pool = NvmPool::new(PmemConfig::with_capacity(16 << 20));
+        let naive = NaiveDurable::<CounterSpec>::create(pool.clone(), 64);
+        audit_one("naive-full-state", &pool, &mut naive.handle(), update_percent, &mut table);
+
+        // Classic write-ahead logging.
+        let pool = NvmPool::new(PmemConfig::with_capacity(64 << 20));
+        let wal = WalDurable::<CounterSpec>::create(pool.clone(), OPS + 8);
+        audit_one("wal-2-fence", &pool, &mut wal.handle(), update_percent, &mut table);
+
+        // Lock-based flat combining (single-threaded here: batch size 1).
+        let pool = NvmPool::new(PmemConfig::with_capacity(64 << 20));
+        let fc = FlatCombiningDurable::<CounterSpec>::create(pool.clone(), 4, OPS + 8);
+        audit_one("flat-combining", &pool, &mut fc.handle(0), update_percent, &mut table);
+    }
+
+    table.print();
+    println!();
+    println!("ONLL meets the Theorem 5.1 bound (<=1 fence per update, 0 per read);");
+    println!("the durable baselines need 2 fences per update or give up lock-freedom.");
+}

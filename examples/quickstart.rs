@@ -1,0 +1,64 @@
+//! Quickstart: a durable counter with one persistent fence per update.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use remembering_consistently::nvm::{NvmPool, PmemConfig};
+use remembering_consistently::objects::{CounterOp, CounterRead, DurableCounter};
+use remembering_consistently::onll::OnllConfig;
+
+fn main() {
+    // 1. Create a simulated persistent-memory pool (64 MiB, adversarial policy:
+    //    nothing is durable unless flushed and fenced).
+    let pool = NvmPool::new(PmemConfig::default());
+
+    // 2. Build a durable counter through the ONLL universal construction.
+    let counter = DurableCounter::create(pool.clone(), OnllConfig::named("quickstart-counter"))
+        .expect("create counter");
+
+    // 3. Register a process handle and run some operations while counting fences.
+    {
+        let mut handle = counter.register().expect("register");
+        let window = pool.stats().op_window();
+        for _ in 0..10 {
+            handle.update(CounterOp::Increment);
+        }
+        let delta = window.close();
+        println!(
+            "10 updates -> value {}, persistent fences {}",
+            handle.read(&CounterRead::Get),
+            delta.persistent_fences
+        );
+        assert_eq!(delta.persistent_fences, 10, "exactly one fence per update");
+
+        let window = pool.stats().op_window();
+        for _ in 0..10 {
+            handle.read(&CounterRead::Get);
+        }
+        assert_eq!(
+            window.close().persistent_fences,
+            0,
+            "reads never issue persistent fences"
+        );
+    }
+
+    // 4. Crash the machine (caches are lost, NVM survives) and recover.
+    drop(counter);
+    pool.crash_and_restart();
+    let (counter, report) =
+        DurableCounter::recover(pool.clone(), OnllConfig::named("quickstart-counter"))
+            .expect("recover");
+    println!(
+        "after crash: recovered {} operations, counter = {}",
+        report.replayed_ops(),
+        counter.read_latest(&CounterRead::Get)
+    );
+    assert_eq!(counter.read_latest(&CounterRead::Get), 10);
+
+    // 5. Keep going — recovery returns a fully functional object.
+    let mut handle = counter.register().expect("register after recovery");
+    assert_eq!(handle.update(CounterOp::Add(5)), 15);
+    println!("post-recovery update -> {}", handle.read(&CounterRead::Get));
+    println!("quickstart OK");
+}

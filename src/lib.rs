@@ -1,0 +1,40 @@
+//! # remembering-consistently
+//!
+//! Umbrella crate for the reproduction of *The Inherent Cost of Remembering
+//! Consistently* (Cohen, Guerraoui, Zablotchi — SPAA 2018).
+//!
+//! This crate re-exports the workspace members so examples and integration tests
+//! can use a single dependency. The pieces are:
+//!
+//! * [`nvm`] — simulated persistent memory (cache-line model, flush/fence,
+//!   write-back policies, crash injection, fence statistics).
+//! * [`plog`] — the single-persistent-fence per-process append-only log
+//!   (Cohen et al., OOPSLA 2017) the construction relies on.
+//! * [`trace`] — the transient lock-free execution trace with available flags and
+//!   fuzzy window (Listing 2 of the paper).
+//! * [`onll`] — the ONLL universal construction itself (Listings 3–5), including
+//!   detectable execution, local-view reads, checkpoint/reclamation and the
+//!   wait-free variant.
+//! * [`objects`] — durable objects derived from the construction (counter,
+//!   register, stack, queue, set, key-value map, append-log).
+//! * [`baselines`] — comparison implementations (transient, naive flush-per-write,
+//!   write-ahead log, lock-based flat combining).
+//! * [`harness`] — workloads, history recording, (durable-)linearizability
+//!   checking, crash-injection orchestration and the Theorem 6.3 adversarial
+//!   scheduler.
+//!
+//! See `README.md` for a quickstart and `DESIGN.md`/`EXPERIMENTS.md` for the
+//! experiment inventory.
+
+pub use baselines;
+pub use durable_objects as objects;
+pub use exec_trace as trace;
+pub use harness;
+pub use nvm_sim as nvm;
+pub use onll;
+pub use persist_log as plog;
+
+/// Convenience prelude pulling in the types most examples need.
+pub mod prelude {
+    pub use crate::nvm::{FenceStats, NvmPool, PmemConfig, WritebackPolicy};
+}

@@ -1,0 +1,93 @@
+//! Experiment E7: durable linearizability (Definition 5.6) and detectable execution
+//! under randomized and exhaustive crash injection.
+
+use remembering_consistently::harness::{CrashExperiment, quick_crash_sweep};
+use remembering_consistently::nvm::{NvmPool, PmemConfig, CrashTrigger};
+use remembering_consistently::objects::{CounterOp, CounterRead, DurableCounter};
+use remembering_consistently::onll::{OnllConfig, OpId};
+
+#[test]
+fn randomized_crash_sweep_is_durably_linearizable() {
+    for (i, outcome) in quick_crash_sweep(8).iter().enumerate() {
+        assert!(outcome.is_consistent(), "sweep point {i}: {outcome:?}");
+        assert!(
+            outcome.recovered_updates >= outcome.completed_updates,
+            "sweep point {i} lost completed updates: {outcome:?}"
+        );
+    }
+}
+
+#[test]
+fn crashes_with_pending_flush_uncertainty_are_handled() {
+    // An asynchronous write-back pending at crash time may or may not have reached
+    // NVM; both outcomes must be consistent.
+    for probability in [0.0, 0.3, 0.7, 1.0] {
+        let outcome = CrashExperiment {
+            threads: 2,
+            ops_per_thread: 12,
+            crash_after_events: 60,
+            apply_pending_probability: probability,
+            seed: 7,
+            check_linearizability_limit: 0,
+        }
+        .run();
+        assert!(outcome.is_consistent(), "probability {probability}: {outcome:?}");
+    }
+}
+
+#[test]
+fn exhaustive_crash_points_on_a_short_run_are_all_consistent() {
+    // Sweep every persistence event index of a short single-process run: whichever
+    // instruction the crash lands after, recovery must yield a consistent prefix.
+    let outcomes = CrashExperiment {
+        threads: 1,
+        ops_per_thread: 6,
+        apply_pending_probability: 0.0,
+        seed: 11,
+        check_linearizability_limit: 14,
+        crash_after_events: 1, // overridden by the sweep
+    }
+    .sweep(1..=20);
+    for (i, outcome) in outcomes.iter().enumerate() {
+        assert!(outcome.is_consistent(), "crash after event {}: {outcome:?}", i + 1);
+    }
+}
+
+#[test]
+fn detectable_execution_across_a_mid_update_crash() {
+    // Crash in the middle of an update whose log append has not completed: after
+    // recovery, was_linearized() must answer false for it and true for all earlier
+    // updates (the detectable-execution property).
+    let pool = NvmPool::new(PmemConfig::with_capacity(32 << 20).apply_pending_at_crash(0.0));
+    let cfg = OnllConfig::named("detect").max_processes(1).log_capacity(64);
+    let object = DurableCounter::create(pool.clone(), cfg.clone()).unwrap();
+    let mut completed_ids: Vec<OpId> = Vec::new();
+    let mut interrupted: Option<OpId> = None;
+    {
+        let mut handle = object.register().unwrap();
+        for i in 0..10 {
+            let id = handle.peek_next_op_id();
+            if i == 7 {
+                // Crash before this update's single fence completes.
+                pool.arm_crash(CrashTrigger::AfterFlushes(1));
+                let _ = handle.try_update(CounterOp::Increment);
+                interrupted = Some(id);
+                break;
+            }
+            handle.update(CounterOp::Increment);
+            completed_ids.push(id);
+        }
+    }
+    drop(object);
+    pool.crash_and_restart();
+    let (object, report) = DurableCounter::recover(pool, cfg).unwrap();
+    assert_eq!(report.durable_index, 7);
+    for id in &completed_ids {
+        assert!(object.was_linearized(*id), "completed {id} must be detected");
+    }
+    assert!(
+        !object.was_linearized(interrupted.unwrap()),
+        "the interrupted, unpersisted update must be detected as not linearized"
+    );
+    assert_eq!(object.read_latest(&CounterRead::Get), 7);
+}

@@ -1,0 +1,112 @@
+//! Experiment E3 (Theorem 5.1): at most one persistent fence per update and zero
+//! per read-only operation, across object types, workload mixes and thread counts —
+//! and the baselines do not meet the bound.
+
+use remembering_consistently::baselines::{NaiveDurable, WalDurable};
+use remembering_consistently::harness::{audit_fence_bounds, OnllAdapter, Workload, WorkloadMix};
+use remembering_consistently::nvm::{NvmPool, PmemConfig};
+use remembering_consistently::objects::{CounterSpec, KvSpec, SetSpec};
+use remembering_consistently::onll::{Durable, OnllConfig};
+
+fn pool() -> NvmPool {
+    NvmPool::new(PmemConfig::with_capacity(128 << 20))
+}
+
+#[test]
+fn onll_counter_meets_bounds_across_mixes() {
+    for percent in [0, 10, 50, 90, 100] {
+        let p = pool();
+        let obj = Durable::<CounterSpec>::create(
+            p.clone(),
+            OnllConfig::named("ctr").log_capacity(2048),
+        )
+        .unwrap();
+        let mut adapter = OnllAdapter::new(obj.register().unwrap());
+        let mut w = Workload::new(WorkloadMix::with_update_percent(percent), percent as u64);
+        let audit =
+            audit_fence_bounds::<CounterSpec, _>(&mut adapter, p.stats(), w.counter_ops(1000));
+        assert!(
+            audit.satisfies_onll_bounds(),
+            "mix {percent}% updates violated the bound: {audit:?}"
+        );
+        if percent > 0 {
+            assert_eq!(audit.max_fences_per_update, 1);
+        }
+    }
+}
+
+#[test]
+fn onll_kv_and_set_meet_bounds() {
+    let p = pool();
+    let kv = Durable::<KvSpec>::create(p.clone(), OnllConfig::named("kv").log_capacity(2048))
+        .unwrap();
+    let mut adapter = OnllAdapter::new(kv.register().unwrap());
+    let mut w = Workload::new(WorkloadMix::default(), 3);
+    let audit = audit_fence_bounds::<KvSpec, _>(&mut adapter, p.stats(), w.kv_ops(1000));
+    assert!(audit.satisfies_onll_bounds(), "{audit:?}");
+
+    let set = Durable::<SetSpec>::create(p.clone(), OnllConfig::named("set").log_capacity(2048))
+        .unwrap();
+    let mut handle = set.register().unwrap();
+    let mut w = Workload::new(WorkloadMix::default(), 4);
+    let ops: Vec<_> = (0..1000).map(|_| w.next_set_op()).collect();
+    let mut adapter = OnllAdapter::new(std::mem::replace(
+        &mut handle,
+        set.register().unwrap(),
+    ));
+    let audit = audit_fence_bounds::<SetSpec, _>(&mut adapter, p.stats(), ops);
+    assert!(audit.satisfies_onll_bounds(), "{audit:?}");
+}
+
+#[test]
+fn onll_bound_holds_under_concurrency() {
+    // With several processes helping each other, the *global* fence count stays at
+    // most one per update, and per-thread audits still never exceed one per update.
+    let p = pool();
+    let obj = Durable::<CounterSpec>::create(
+        p.clone(),
+        OnllConfig::named("ctr").max_processes(4).log_capacity(4096),
+    )
+    .unwrap();
+    let fences_before = p.stats().persistent_fences();
+    let threads = 4;
+    let per_thread = 300;
+    let mut joins = Vec::new();
+    for t in 0..threads {
+        let obj = obj.clone();
+        let p = p.clone();
+        joins.push(std::thread::spawn(move || {
+            let mut adapter = OnllAdapter::new(obj.register().unwrap());
+            let mut w = Workload::new(WorkloadMix::with_update_percent(80), t as u64);
+            audit_fence_bounds::<CounterSpec, _>(&mut adapter, p.stats(), w.counter_ops(per_thread))
+        }));
+    }
+    let mut total_updates = 0;
+    for j in joins {
+        let audit = j.join().unwrap();
+        assert!(audit.satisfies_onll_bounds(), "{audit:?}");
+        total_updates += audit.updates;
+    }
+    let total_fences = p.stats().persistent_fences() - fences_before;
+    assert!(
+        total_fences <= total_updates,
+        "{total_fences} fences for {total_updates} updates"
+    );
+}
+
+#[test]
+fn baselines_do_not_meet_the_bound() {
+    let p = pool();
+    let naive = NaiveDurable::<CounterSpec>::create(p.clone(), 64);
+    let mut w = Workload::new(WorkloadMix::update_only(), 1);
+    let audit =
+        audit_fence_bounds::<CounterSpec, _>(&mut naive.handle(), p.stats(), w.counter_ops(100));
+    assert_eq!(audit.max_fences_per_update, 2);
+
+    let p = pool();
+    let wal = WalDurable::<CounterSpec>::create(p.clone(), 256);
+    let mut w = Workload::new(WorkloadMix::update_only(), 2);
+    let audit =
+        audit_fence_bounds::<CounterSpec, _>(&mut wal.handle(), p.stats(), w.counter_ops(100));
+    assert_eq!(audit.max_fences_per_update, 2);
+}

@@ -1,0 +1,141 @@
+//! Experiment E1: the four Figure-1 executions as assertions (the runnable,
+//! narrated version is `examples/figure1_executions.rs`).
+
+use remembering_consistently::nvm::{NvmPool, PmemConfig};
+use remembering_consistently::objects::{CounterOp, CounterRead, CounterSpec, DurableCounter};
+use remembering_consistently::onll::{Durable, Hooks, OnllConfig, Phase};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// One-shot gate parking a given process at a given phase until opened.
+struct Gate {
+    pid: u32,
+    phase: Phase,
+    reached: AtomicBool,
+    open: AtomicBool,
+    armed: AtomicBool,
+}
+
+impl Gate {
+    fn new(pid: u32, phase: Phase) -> Arc<Self> {
+        Arc::new(Gate {
+            pid,
+            phase,
+            reached: AtomicBool::new(false),
+            open: AtomicBool::new(false),
+            armed: AtomicBool::new(true),
+        })
+    }
+    fn hook(gates: Vec<Arc<Gate>>) -> Hooks {
+        Hooks::new(move |phase, pid| {
+            for g in &gates {
+                if phase == g.phase && pid == g.pid && g.armed.swap(false, Ordering::SeqCst) {
+                    g.reached.store(true, Ordering::SeqCst);
+                    while !g.open.load(Ordering::Acquire) {
+                        std::thread::yield_now();
+                    }
+                }
+            }
+        })
+    }
+    fn wait(&self) {
+        while !self.reached.load(Ordering::Acquire) {
+            std::thread::yield_now();
+        }
+    }
+    fn open(&self) {
+        self.open.store(true, Ordering::Release);
+    }
+}
+
+#[test]
+fn execution_1_sequential_update_and_read() {
+    let pool = NvmPool::new(PmemConfig::default());
+    let counter = DurableCounter::create(pool, OnllConfig::named("e1")).unwrap();
+    let mut p1 = counter.register().unwrap();
+    assert_eq!(p1.update(CounterOp::Increment), 1);
+    assert_eq!(p1.read(&CounterRead::Get), 1);
+}
+
+#[test]
+fn execution_2_update_concurrent_with_reads() {
+    let pool = NvmPool::new(PmemConfig::default());
+    let gate = Gate::new(0, Phase::BeforeLinearize);
+    let counter = Durable::<CounterSpec>::create_with_hooks(
+        pool,
+        OnllConfig::named("e2").max_processes(3),
+        Gate::hook(vec![gate.clone()]),
+    )
+    .unwrap();
+    counter.handle_for(2).unwrap().update(CounterOp::Increment); // state = 1
+    let c = counter.clone();
+    let p1 = std::thread::spawn(move || c.handle_for(0).unwrap().update(CounterOp::Increment));
+    gate.wait();
+    let mut reader = counter.handle_for(1).unwrap();
+    assert_eq!(reader.read(&CounterRead::Get), 1, "r1 sees the old state");
+    gate.open();
+    assert_eq!(p1.join().unwrap(), 2);
+    assert_eq!(reader.read(&CounterRead::Get), 2, "r2 sees the new state");
+}
+
+#[test]
+fn execution_3_update_helping_another_update() {
+    let pool = NvmPool::new(PmemConfig::default());
+    let gate = Gate::new(0, Phase::BeforePersist);
+    let counter = Durable::<CounterSpec>::create_with_hooks(
+        pool.clone(),
+        OnllConfig::named("e3").max_processes(3),
+        Gate::hook(vec![gate.clone()]),
+    )
+    .unwrap();
+    counter.handle_for(2).unwrap().update(CounterOp::Increment); // state = 1
+    let c = counter.clone();
+    let p1 = std::thread::spawn(move || c.handle_for(0).unwrap().update(CounterOp::Increment));
+    gate.wait();
+    let before = pool.stats().persistent_fences();
+    let mut p2 = counter.handle_for(1).unwrap();
+    assert_eq!(p2.update(CounterOp::Increment), 3, "p2 helps p1 and returns 3");
+    assert_eq!(pool.stats().persistent_fences() - before, 1);
+    assert_eq!(p2.read(&CounterRead::Get), 3);
+    gate.open();
+    assert_eq!(p1.join().unwrap(), 2);
+}
+
+#[test]
+fn execution_4_crash_concurrent_with_updates() {
+    let pool = NvmPool::new(PmemConfig::with_capacity(64 << 20).apply_pending_at_crash(0.0));
+    let g1 = Gate::new(0, Phase::BeforePersist);
+    let g2 = Gate::new(1, Phase::BeforeLinearize);
+    let g3 = Gate::new(2, Phase::BeforePersist);
+    let cfg = OnllConfig::named("e4").max_processes(3);
+    let counter = Durable::<CounterSpec>::create_with_hooks(
+        pool.clone(),
+        cfg.clone(),
+        Gate::hook(vec![g1.clone(), g2.clone(), g3.clone()]),
+    )
+    .unwrap();
+    let spawn = |pid: usize, c: Durable<CounterSpec>| {
+        std::thread::spawn(move || {
+            let _ = c.handle_for(pid).unwrap().try_update(CounterOp::Increment);
+        })
+    };
+    let t1 = spawn(0, counter.clone());
+    g1.wait();
+    let t2 = spawn(1, counter.clone());
+    g2.wait();
+    let t3 = spawn(2, counter.clone());
+    g3.wait();
+    assert_eq!(counter.read_latest(&CounterRead::Get), 0, "no flag set yet");
+    let token = pool.crash();
+    for g in [&g1, &g2, &g3] {
+        g.open();
+    }
+    for t in [t1, t2, t3] {
+        t.join().unwrap();
+    }
+    pool.restart(token);
+    drop(counter);
+    let (recovered, report) = DurableCounter::recover(pool, cfg).unwrap();
+    assert_eq!(report.replayed_ops(), 2, "p1 and p2 recovered via p2's log entry");
+    assert_eq!(recovered.read_latest(&CounterRead::Get), 2);
+}

@@ -1,0 +1,43 @@
+//! Experiment E4 (Theorem 6.3): in the adversarial schedule, every process issues
+//! at least one persistent fence per update before it can respond — and with ONLL
+//! exactly one, demonstrating that the bound is tight.
+
+use remembering_consistently::harness::lower_bound::demonstrate_fence_necessity;
+use remembering_consistently::harness::run_lower_bound_experiment;
+
+#[test]
+fn every_process_pays_at_least_one_fence() {
+    for n in [1, 2, 3, 5, 8] {
+        let report = run_lower_bound_experiment(n);
+        assert_eq!(report.fences_before_response.len(), n);
+        assert!(
+            report.lower_bound_holds(),
+            "n={n}: some process responded without a persistent fence: {report:?}"
+        );
+    }
+}
+
+#[test]
+fn the_bound_is_tight_for_onll() {
+    for n in [1, 2, 4] {
+        let report = run_lower_bound_experiment(n);
+        assert!(report.upper_bound_holds(), "n={n}: {report:?}");
+        assert!(
+            report
+                .fences_before_response
+                .iter()
+                .all(|&f| f == 1),
+            "n={n}: ONLL should issue exactly one fence per update: {report:?}"
+        );
+    }
+}
+
+#[test]
+fn dropping_the_fence_violates_durable_linearizability() {
+    let (with_fence, without_fence) = demonstrate_fence_necessity();
+    assert_eq!(with_fence, 1, "the fenced update must survive the crash");
+    assert_eq!(
+        without_fence, 0,
+        "the unfenced update is lost — the contradiction used in the proof"
+    );
+}
