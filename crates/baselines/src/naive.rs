@@ -74,7 +74,7 @@ impl<S: CheckpointableSpec> NaiveDurable<S> {
                 continue;
             }
             if let Some(state) = S::decode_state(&full[SLOT_HEADER..]) {
-                if best.as_ref().map_or(true, |(v, _)| version > *v) {
+                if best.as_ref().is_none_or(|(v, _)| version > *v) {
                     best = Some((version, state));
                 }
             }

@@ -14,7 +14,13 @@ const AUDIT_OPS: usize = 2_000;
 fn fence_table() {
     let mut table = Table::new(
         "E3 — persistent fences per operation (2,000-op single-process workloads)",
-        &["implementation", "update %", "fences/update", "fences/read", "meets ONLL bound"],
+        &[
+            "implementation",
+            "update %",
+            "fences/update",
+            "fences/read",
+            "meets ONLL bound",
+        ],
     );
     for percent in [10u32, 50, 100] {
         let mix = WorkloadMix::with_update_percent(percent);
@@ -23,7 +29,8 @@ fn fence_table() {
         let obj = onll_counter(&pool, "onll", 1, AUDIT_OPS);
         let mut h = OnllAdapter::new(obj.register().unwrap());
         let mut w = Workload::new(mix, 1);
-        let audit = audit_fence_bounds::<CounterSpec, _>(&mut h, pool.stats(), w.counter_ops(AUDIT_OPS));
+        let audit =
+            audit_fence_bounds::<CounterSpec, _>(&mut h, pool.stats(), w.counter_ops(AUDIT_OPS));
         table.row_display(&[
             "onll".to_string(),
             percent.to_string(),
@@ -36,7 +43,8 @@ fn fence_table() {
         let obj = TransientObject::<CounterSpec>::new();
         let mut h = obj.handle();
         let mut w = Workload::new(mix, 1);
-        let audit = audit_fence_bounds::<CounterSpec, _>(&mut h, pool.stats(), w.counter_ops(AUDIT_OPS));
+        let audit =
+            audit_fence_bounds::<CounterSpec, _>(&mut h, pool.stats(), w.counter_ops(AUDIT_OPS));
         table.row_display(&[
             "transient".to_string(),
             percent.to_string(),
@@ -49,7 +57,8 @@ fn fence_table() {
         let obj = NaiveDurable::<CounterSpec>::create(pool.clone(), 64);
         let mut h = obj.handle();
         let mut w = Workload::new(mix, 1);
-        let audit = audit_fence_bounds::<CounterSpec, _>(&mut h, pool.stats(), w.counter_ops(AUDIT_OPS));
+        let audit =
+            audit_fence_bounds::<CounterSpec, _>(&mut h, pool.stats(), w.counter_ops(AUDIT_OPS));
         table.row_display(&[
             "naive-full-state".to_string(),
             percent.to_string(),
@@ -62,7 +71,8 @@ fn fence_table() {
         let obj = WalDurable::<CounterSpec>::create(pool.clone(), AUDIT_OPS + 8);
         let mut h = obj.handle();
         let mut w = Workload::new(mix, 1);
-        let audit = audit_fence_bounds::<CounterSpec, _>(&mut h, pool.stats(), w.counter_ops(AUDIT_OPS));
+        let audit =
+            audit_fence_bounds::<CounterSpec, _>(&mut h, pool.stats(), w.counter_ops(AUDIT_OPS));
         table.row_display(&[
             "wal-2-fence".to_string(),
             percent.to_string(),
@@ -75,7 +85,8 @@ fn fence_table() {
         let obj = FlatCombiningDurable::<CounterSpec>::create(pool.clone(), 2, AUDIT_OPS + 8);
         let mut h = obj.handle(0);
         let mut w = Workload::new(mix, 1);
-        let audit = audit_fence_bounds::<CounterSpec, _>(&mut h, pool.stats(), w.counter_ops(AUDIT_OPS));
+        let audit =
+            audit_fence_bounds::<CounterSpec, _>(&mut h, pool.stats(), w.counter_ops(AUDIT_OPS));
         table.row_display(&[
             "flat-combining".to_string(),
             percent.to_string(),
@@ -91,7 +102,10 @@ fn bench_single_update_latency(c: &mut Criterion) {
     fence_table();
 
     let mut group = c.benchmark_group("E3/update-latency-with-fence-cost");
-    group.sample_size(10).measurement_time(Duration::from_millis(600)).warm_up_time(Duration::from_millis(150));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_millis(600))
+        .warm_up_time(Duration::from_millis(150));
 
     // ONLL: one fence per update (checkpointing keeps the log bounded for the
     // unbounded iteration count; its amortized cost is 2 fences per 1024 updates).
@@ -113,7 +127,9 @@ fn bench_single_update_latency(c: &mut Criterion) {
     let pool = bench_pool_with_latency();
     let obj = NaiveDurable::<CounterSpec>::create(pool.clone(), 64);
     let mut h = obj.handle();
-    group.bench_function("naive-full-state", |b| b.iter(|| h.update(CounterOp::Increment)));
+    group.bench_function("naive-full-state", |b| {
+        b.iter(|| h.update(CounterOp::Increment))
+    });
 
     // Transient: no fences at all (lower envelope).
     let obj = TransientObject::<CounterSpec>::new();

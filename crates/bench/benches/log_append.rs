@@ -43,7 +43,8 @@ fn fence_count_table() {
         let refs: Vec<&[u8]> = ops.iter().map(|o| o.as_slice()).collect();
         let w = p.stats().op_window();
         for i in 0..100u64 {
-            log.append(&refs, i * helpers as u64 + helpers as u64).unwrap();
+            log.append(&refs, i * helpers as u64 + helpers as u64)
+                .unwrap();
         }
         let d = w.close();
         table.row_display(&[
@@ -73,7 +74,10 @@ fn bench_append(c: &mut Criterion) {
     fence_count_table();
 
     let mut group = c.benchmark_group("E9/log-append");
-    group.sample_size(10).measurement_time(Duration::from_millis(500)).warm_up_time(Duration::from_millis(100));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_millis(500))
+        .warm_up_time(Duration::from_millis(100));
 
     for helpers in [1usize, 4, 8] {
         let p = pool();

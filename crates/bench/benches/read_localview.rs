@@ -14,7 +14,10 @@ use std::time::{Duration, Instant};
 
 const HISTORY_LENGTHS: [usize; 3] = [100, 1_000, 10_000];
 
-fn build(history: usize, local_views: bool) -> (onll::ProcessHandle<CounterSpec>, Durable<CounterSpec>) {
+fn build(
+    history: usize,
+    local_views: bool,
+) -> (onll::ProcessHandle<CounterSpec>, Durable<CounterSpec>) {
     let pool = bench_pool();
     let name = format!("rl-{history}-{local_views}");
     let obj = Durable::<CounterSpec>::create(
@@ -34,7 +37,12 @@ fn build(history: usize, local_views: bool) -> (onll::ProcessHandle<CounterSpec>
 fn summary_table() {
     let mut table = Table::new(
         "E6 — read latency vs history length (single reader, already caught up)",
-        &["history length", "full-replay read (ns)", "local-view read (ns)", "speedup"],
+        &[
+            "history length",
+            "full-replay read (ns)",
+            "local-view read (ns)",
+            "speedup",
+        ],
     );
     for &history in &HISTORY_LENGTHS {
         let time_read = |local_views: bool| {
@@ -63,7 +71,10 @@ fn bench_reads(c: &mut Criterion) {
     summary_table();
 
     let mut group = c.benchmark_group("E6/read-latency");
-    group.sample_size(10).measurement_time(Duration::from_millis(500)).warm_up_time(Duration::from_millis(100));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_millis(500))
+        .warm_up_time(Duration::from_millis(100));
     for &history in &[1_000usize, 10_000] {
         let (mut handle, _obj) = build(history, false);
         group.bench_function(BenchmarkId::new("full-replay", history), |b| {

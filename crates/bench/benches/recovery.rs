@@ -35,7 +35,12 @@ fn build_history(history: usize, checkpoint_every: Option<u64>) -> (NvmPool, Onl
     (pool, cfg)
 }
 
-fn recover_once(pool: &NvmPool, cfg: &OnllConfig, with_checkpoints: bool, expected: i64) -> Duration {
+fn recover_once(
+    pool: &NvmPool,
+    cfg: &OnllConfig,
+    with_checkpoints: bool,
+    expected: i64,
+) -> Duration {
     let start = Instant::now();
     let value = if with_checkpoints {
         let (obj, _) =
@@ -53,7 +58,11 @@ fn recover_once(pool: &NvmPool, cfg: &OnllConfig, with_checkpoints: bool, expect
 fn summary_table() {
     let mut table = Table::new(
         "E7/E8 — recovery time vs durable history length",
-        &["updates before crash", "no checkpoints (us)", "checkpoint every 256 (us)"],
+        &[
+            "updates before crash",
+            "no checkpoints (us)",
+            "checkpoint every 256 (us)",
+        ],
     );
     for &history in &[1_000usize, 5_000, 20_000] {
         let (pool_plain, cfg_plain) = build_history(history, None);
@@ -73,7 +82,10 @@ fn bench_recovery(c: &mut Criterion) {
     summary_table();
 
     let mut group = c.benchmark_group("E7/recovery");
-    group.sample_size(10).measurement_time(Duration::from_millis(800)).warm_up_time(Duration::from_millis(100));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_millis(800))
+        .warm_up_time(Duration::from_millis(100));
     for &history in &[1_000usize, 5_000] {
         let (pool_plain, cfg_plain) = build_history(history, None);
         group.bench_function(BenchmarkId::new("full-log-replay", history), |b| {

@@ -1,0 +1,126 @@
+//! Sharded scaling bench: aggregate throughput and fences per update at
+//! N ∈ {1, 2, 4, 8} shards, for individual (1 fence/update) and grouped
+//! (fence-amortized) submission.
+//!
+//! In addition to the stdout table, writes a `BENCH_sharded.json` artifact at
+//! the workspace root so successive PRs can track the perf trajectory:
+//!
+//! ```text
+//! cargo bench -p onll-bench --bench sharded_throughput
+//! ```
+
+use durable_objects::KvSpec;
+use harness::{run_sharded_kv_workload, SubmitMode, Table, WorkloadMix};
+use nvm_sim::PmemConfig;
+use onll::OnllConfig;
+use onll_shard::{HashRouter, ShardConfig, ShardedDurable};
+use std::sync::Arc;
+use std::time::Duration;
+
+const SHARD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+const WORKERS: usize = 4;
+const OPS_PER_WORKER: usize = 4_000;
+const GROUP: usize = 16;
+/// Persistent-fence stall, the cost the paper's model says dominates updates.
+const FENCE_PENALTY: Duration = Duration::from_nanos(500);
+
+struct Measurement {
+    shards: usize,
+    mode: &'static str,
+    ops_per_sec: f64,
+    fences_per_update: f64,
+    updates: u64,
+    reads: u64,
+}
+
+fn bench_one(shards: usize, mode: SubmitMode) -> Measurement {
+    let config = ShardConfig::named("bench-kv")
+        .shards(shards)
+        .base(
+            OnllConfig::default()
+                .max_processes(WORKERS)
+                .log_capacity(4 * WORKERS * OPS_PER_WORKER / shards.max(1) + 1024)
+                .group_persist(GROUP),
+        )
+        .pmem(PmemConfig::with_capacity(4 << 30).fence_penalty(FENCE_PENALTY));
+    let object = ShardedDurable::<KvSpec>::create(config, Arc::new(HashRouter::new(shards)))
+        .expect("create bench object");
+    let summary = run_sharded_kv_workload(
+        &object,
+        WORKERS,
+        OPS_PER_WORKER,
+        WorkloadMix {
+            update_ratio: 0.5,
+            key_space: 8192,
+        },
+        0xBE7C4,
+        mode,
+    );
+    object.check_invariants().expect("invariants");
+    Measurement {
+        shards,
+        mode: match mode {
+            SubmitMode::Individual => "individual",
+            SubmitMode::Grouped => "grouped",
+        },
+        ops_per_sec: summary.ops_per_sec(),
+        fences_per_update: summary.fences_per_update(),
+        updates: summary.updates,
+        reads: summary.reads,
+    }
+}
+
+fn write_artifact(measurements: &[Measurement]) -> std::io::Result<std::path::PathBuf> {
+    let mut json = String::from("{\n  \"bench\": \"sharded_throughput\",\n");
+    json.push_str(&format!(
+        "  \"workers\": {WORKERS},\n  \"ops_per_worker\": {OPS_PER_WORKER},\n  \"group_size\": {GROUP},\n  \"fence_penalty_ns\": {},\n",
+        FENCE_PENALTY.as_nanos()
+    ));
+    json.push_str("  \"results\": [\n");
+    for (i, m) in measurements.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"shards\": {}, \"mode\": \"{}\", \"ops_per_sec\": {:.1}, \"fences_per_update\": {:.4}, \"updates\": {}, \"reads\": {}}}{}\n",
+            m.shards,
+            m.mode,
+            m.ops_per_sec,
+            m.fences_per_update,
+            m.updates,
+            m.reads,
+            if i + 1 == measurements.len() { "" } else { "," }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    // The artifact lives at the workspace root regardless of the cwd cargo
+    // bench uses (the package directory).
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()?
+        .join("BENCH_sharded.json");
+    std::fs::write(&path, json)?;
+    Ok(path)
+}
+
+fn main() {
+    let mut measurements = Vec::new();
+    let mut table = Table::new(
+        "sharded throughput (4 workers, 50% updates, fence penalty 500ns)",
+        &["shards", "mode", "ops/s", "fences/update"],
+    );
+    for shards in SHARD_COUNTS {
+        for mode in [SubmitMode::Individual, SubmitMode::Grouped] {
+            let m = bench_one(shards, mode);
+            table.row(&[
+                m.shards.to_string(),
+                m.mode.to_string(),
+                format!("{:.0}", m.ops_per_sec),
+                format!("{:.4}", m.fences_per_update),
+            ]);
+            measurements.push(m);
+        }
+    }
+    table.print();
+    match write_artifact(&measurements) {
+        Ok(path) => println!("\nwrote {}", path.display()),
+        Err(e) => eprintln!("\nfailed to write BENCH_sharded.json: {e}"),
+    }
+}

@@ -60,7 +60,13 @@ fn ops_per_sec(elapsed: Duration, ops: u64) -> f64 {
 fn throughput_table() {
     let mut table = Table::new(
         "E5 — throughput under the fence-cost model (500 ns per persistent fence)",
-        &["threads", "update %", "implementation", "ops/s", "fences/op"],
+        &[
+            "threads",
+            "update %",
+            "implementation",
+            "ops/s",
+            "fences/op",
+        ],
     );
     for &threads in &THREAD_COUNTS {
         for &percent in &[10u32, 50, 100] {
@@ -81,8 +87,7 @@ fn throughput_table() {
             // WAL (2 fences per update).
             let pool = bench_pool_with_latency();
             let obj = WalDurable::<CounterSpec>::create(pool.clone(), 1 << 18);
-            let (elapsed, ops, fences) =
-                run_workload(&pool, threads, percent, |_| obj.handle());
+            let (elapsed, ops, fences) = run_workload(&pool, threads, percent, |_| obj.handle());
             table.row_display(&[
                 threads.to_string(),
                 percent.to_string(),
@@ -107,8 +112,7 @@ fn throughput_table() {
             // Transient ceiling.
             let pool = bench_pool_with_latency();
             let obj = TransientObject::<CounterSpec>::new();
-            let (elapsed, ops, fences) =
-                run_workload(&pool, threads, percent, |_| obj.handle());
+            let (elapsed, ops, fences) = run_workload(&pool, threads, percent, |_| obj.handle());
             table.row_display(&[
                 threads.to_string(),
                 percent.to_string(),
@@ -124,7 +128,13 @@ fn throughput_table() {
 fn flat_combining_batches_table() {
     let mut table = Table::new(
         "E10 — flat combining: one fence per batch, but every waiter pays for it",
-        &["threads", "batches", "combined ops", "avg batch size", "fences"],
+        &[
+            "threads",
+            "batches",
+            "combined ops",
+            "avg batch size",
+            "fences",
+        ],
     );
     for &threads in &THREAD_COUNTS {
         let pool = bench_pool_with_latency();
@@ -160,7 +170,10 @@ fn bench_throughput(c: &mut Criterion) {
 
     // Criterion series: update-only batches of 100 operations, per implementation.
     let mut group = c.benchmark_group("E5/update-batch-100");
-    group.sample_size(10).measurement_time(Duration::from_millis(600)).warm_up_time(Duration::from_millis(150));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_millis(600))
+        .warm_up_time(Duration::from_millis(150));
 
     let pool = bench_pool_with_latency();
     let obj = onll_counter_checkpointed(&pool, "onll-crit", 1, 1024);

@@ -10,7 +10,10 @@ use std::time::Duration;
 fn traversal_table() {
     let mut table = Table::new(
         "execution trace: latestAvailable traversal length = fuzzy window size",
-        &["unavailable suffix (nodes)", "latest_available() steps observed"],
+        &[
+            "unavailable suffix (nodes)",
+            "latest_available() steps observed",
+        ],
     );
     for &fuzzy in &[0usize, 2, 4, 8, 16] {
         let trace = ExecutionTrace::new(0u64);
@@ -20,7 +23,10 @@ fn traversal_table() {
             trace.insert(i as u64 + 2);
         }
         // The traversal visits exactly the fuzzy suffix plus the available node.
-        table.row_display(&[fuzzy.to_string(), (trace.fuzzy_window_len() + 1).to_string()]);
+        table.row_display(&[
+            fuzzy.to_string(),
+            (trace.fuzzy_window_len() + 1).to_string(),
+        ]);
     }
     table.print();
 }
@@ -29,7 +35,10 @@ fn bench_trace(c: &mut Criterion) {
     traversal_table();
 
     let mut group = c.benchmark_group("trace");
-    group.sample_size(10).measurement_time(Duration::from_millis(400)).warm_up_time(Duration::from_millis(100));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_millis(400))
+        .warm_up_time(Duration::from_millis(100));
 
     group.bench_function("insert+set_available", |b| {
         let trace = ExecutionTrace::new(0u64);

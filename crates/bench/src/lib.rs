@@ -34,7 +34,12 @@ pub fn bench_pool_with_latency() -> NvmPool {
 }
 
 /// Creates an ONLL counter sized for `ops` updates without checkpointing.
-pub fn onll_counter(pool: &NvmPool, name: &str, processes: usize, ops: usize) -> Durable<CounterSpec> {
+pub fn onll_counter(
+    pool: &NvmPool,
+    name: &str,
+    processes: usize,
+    ops: usize,
+) -> Durable<CounterSpec> {
     Durable::<CounterSpec>::create(
         pool.clone(),
         OnllConfig::named(name)

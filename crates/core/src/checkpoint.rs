@@ -80,7 +80,7 @@ pub(crate) fn read_area(
             continue;
         }
         let state = full[SLOT_HEADER..].to_vec();
-        if best.as_ref().map_or(true, |(idx, _)| execution_index > *idx) {
+        if best.as_ref().is_none_or(|(idx, _)| execution_index > *idx) {
             best = Some((execution_index, state));
         }
     }

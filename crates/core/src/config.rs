@@ -29,6 +29,16 @@ pub struct OnllConfig {
     /// below the minimum of all handles' local-view indices is unlinked whenever it
     /// exceeds this many nodes.
     pub reclaim_batch: u64,
+    /// Maximum number of own operations a handle may persist in one *group*
+    /// (`ProcessHandle::update_group`): the whole group is appended as a single
+    /// log entry and covered by **one** persistent fence. Sizes the log's entry
+    /// slots — with groups, *every* process may have up to this many unpersisted
+    /// operations in the fuzzy window, so entries hold
+    /// `max_processes * max_group_ops` operations. Fixed at creation and
+    /// persisted in the object metadata.
+    ///
+    /// `1` (the default) reproduces the paper's base construction exactly.
+    pub max_group_ops: usize,
 }
 
 impl Default for OnllConfig {
@@ -41,6 +51,7 @@ impl Default for OnllConfig {
             checkpoint_interval: None,
             checkpoint_slot_bytes: 64 * 1024,
             reclaim_batch: 1024,
+            max_group_ops: 1,
         }
     }
 }
@@ -85,6 +96,22 @@ impl OnllConfig {
         self.checkpoint_slot_bytes = bytes;
         self
     }
+
+    /// Allows up to `n` operations per fence-amortized group persist
+    /// (`ProcessHandle::update_group`). Grows each log entry to hold the group
+    /// plus helped operations.
+    pub fn group_persist(mut self, n: usize) -> Self {
+        assert!(n >= 1, "a group holds at least one operation");
+        self.max_group_ops = n;
+        self
+    }
+
+    /// Maximum operations one log entry must hold: the generalized Proposition
+    /// 5.2 bound on the fuzzy window — every process may have a full group
+    /// (up to `max_group_ops` operations) ordered but not yet persisted.
+    pub(crate) fn ops_per_entry(&self) -> usize {
+        self.max_processes * self.max_group_ops
+    }
 }
 
 #[cfg(test)]
@@ -114,6 +141,22 @@ mod tests {
         assert!(!c.use_local_views);
         assert_eq!(c.checkpoint_interval, Some(100));
         assert_eq!(c.checkpoint_slot_bytes, 1024);
+    }
+
+    #[test]
+    fn group_persist_sizes_log_entries() {
+        let c = OnllConfig::default();
+        assert_eq!(c.max_group_ops, 1);
+        assert_eq!(c.ops_per_entry(), c.max_processes);
+        let c = OnllConfig::named("g").max_processes(4).group_persist(16);
+        assert_eq!(c.max_group_ops, 16);
+        assert_eq!(c.ops_per_entry(), 64);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_group_rejected() {
+        let _ = OnllConfig::default().group_persist(0);
     }
 
     #[test]

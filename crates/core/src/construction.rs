@@ -109,6 +109,10 @@ impl<S: SequentialSpec> Clone for Durable<S> {
     }
 }
 
+/// Decoded metadata block: `(max_processes, log geometry, checkpoint slot
+/// bytes, per-process log bases, per-process checkpoint bases)`.
+type DecodedMeta = (usize, LogConfig, usize, Vec<PAddr>, Vec<PAddr>);
+
 fn meta_root(name: &str) -> RootId {
     RootId::from_name(&format!("onll:{name}:meta"))
 }
@@ -119,7 +123,9 @@ fn meta_size(max_processes: usize) -> usize {
 
 impl<S: SequentialSpec> Durable<S> {
     fn log_config(config: &OnllConfig) -> LogConfig {
-        LogConfig::for_processes(config.max_processes)
+        // Entries hold the worst-case fuzzy window: every process with a full
+        // group in flight (max_processes * max_group_ops operations).
+        LogConfig::for_processes(config.ops_per_entry())
             .op_slot_size(record_slot_size::<S::UpdateOp>())
             .capacity_entries(config.log_capacity_entries)
     }
@@ -158,7 +164,11 @@ impl<S: SequentialSpec> Durable<S> {
             let log_base = pool.alloc(PersistentLog::region_size(&log_cfg))?;
             // Format the log header now so that recovery finds a consistent header
             // even for processes that never perform an update.
-            drop(PersistentLog::create(pool.clone(), log_cfg.clone(), log_base));
+            drop(PersistentLog::create(
+                pool.clone(),
+                log_cfg.clone(),
+                log_base,
+            ));
             let cp_base = pool.alloc(checkpoint::area_size(config.checkpoint_slot_bytes))?;
             log_bases.push(log_base);
             cp_bases.push(cp_base);
@@ -171,6 +181,10 @@ impl<S: SequentialSpec> Durable<S> {
         meta[12..16].copy_from_slice(&(config.log_capacity_entries as u32).to_le_bytes());
         meta[16..20].copy_from_slice(&(log_cfg.op_slot_size as u32).to_le_bytes());
         meta[20..24].copy_from_slice(&(config.checkpoint_slot_bytes as u32).to_le_bytes());
+        // Log-entry width (operations per entry). Recovery must reconstruct the
+        // exact log geometry, which depends on max_group_ops, not just
+        // max_processes. Zero (pre-group-persist metadata) means max_processes.
+        meta[24..28].copy_from_slice(&(log_cfg.max_ops_per_entry as u32).to_le_bytes());
         for i in 0..config.max_processes {
             let off = 32 + i * 16;
             meta[off..off + 8].copy_from_slice(&log_bases[i].to_le_bytes());
@@ -182,9 +196,15 @@ impl<S: SequentialSpec> Durable<S> {
         let shared = Shared {
             trace: ExecutionTrace::new(None),
             pool,
-            claimed: (0..config.max_processes).map(|_| AtomicBool::new(false)).collect(),
-            progress: (0..config.max_processes).map(|_| AtomicU64::new(0)).collect(),
-            last_op_seq: (0..config.max_processes).map(|_| AtomicU64::new(0)).collect(),
+            claimed: (0..config.max_processes)
+                .map(|_| AtomicBool::new(false))
+                .collect(),
+            progress: (0..config.max_processes)
+                .map(|_| AtomicU64::new(0))
+                .collect(),
+            last_op_seq: (0..config.max_processes)
+                .map(|_| AtomicU64::new(0))
+                .collect(),
             base_index: 0,
             base_state: Box::new(S::initialize),
             recovered: Mutex::new(HashSet::new()),
@@ -199,10 +219,7 @@ impl<S: SequentialSpec> Durable<S> {
         })
     }
 
-    fn read_meta(
-        pool: &NvmPool,
-        config: &OnllConfig,
-    ) -> Result<(usize, LogConfig, usize, Vec<PAddr>, Vec<PAddr>), OnllError> {
+    fn read_meta(pool: &NvmPool, config: &OnllConfig) -> Result<DecodedMeta, OnllError> {
         let root = meta_root(&config.name);
         let (meta_addr, meta_len) = pool
             .get_root(root)
@@ -215,6 +232,15 @@ impl<S: SequentialSpec> Durable<S> {
         let log_capacity = u32::from_le_bytes(meta[12..16].try_into().unwrap()) as usize;
         let op_slot_size = u32::from_le_bytes(meta[16..20].try_into().unwrap()) as usize;
         let cp_slot_bytes = u32::from_le_bytes(meta[20..24].try_into().unwrap()) as usize;
+        let mut ops_per_entry = u32::from_le_bytes(meta[24..28].try_into().unwrap()) as usize;
+        if ops_per_entry == 0 {
+            ops_per_entry = max_processes; // metadata written before group persist existed
+        }
+        if ops_per_entry < max_processes {
+            return Err(OnllError::MetadataMismatch(format!(
+                "log entries hold {ops_per_entry} operations but {max_processes} processes may help"
+            )));
+        }
         if op_slot_size != record_slot_size::<S::UpdateOp>() {
             return Err(OnllError::MetadataMismatch(format!(
                 "operation slot size mismatch: persisted {} vs expected {} — was the object created with a different spec?",
@@ -223,7 +249,9 @@ impl<S: SequentialSpec> Durable<S> {
             )));
         }
         if meta.len() < 32 + 16 * max_processes {
-            return Err(OnllError::MetadataMismatch("truncated metadata block".into()));
+            return Err(OnllError::MetadataMismatch(
+                "truncated metadata block".into(),
+            ));
         }
         let mut log_bases = Vec::with_capacity(max_processes);
         let mut cp_bases = Vec::with_capacity(max_processes);
@@ -234,7 +262,7 @@ impl<S: SequentialSpec> Durable<S> {
                 meta[off + 8..off + 16].try_into().unwrap(),
             ));
         }
-        let log_cfg = LogConfig::for_processes(max_processes)
+        let log_cfg = LogConfig::for_processes(ops_per_entry)
             .op_slot_size(op_slot_size)
             .capacity_entries(log_capacity);
         Ok((max_processes, log_cfg, cp_slot_bytes, log_bases, cp_bases))
@@ -293,6 +321,7 @@ impl<S: SequentialSpec> Durable<S> {
         config.max_processes = max_processes;
         config.log_capacity_entries = log_cfg.capacity_entries;
         config.checkpoint_slot_bytes = cp_slot_bytes;
+        config.max_group_ops = (log_cfg.max_ops_per_entry / max_processes).max(1);
 
         // Gather every process's valid log entries.
         let mut per_process_entries = Vec::with_capacity(max_processes);
@@ -335,7 +364,9 @@ impl<S: SequentialSpec> Durable<S> {
             trace,
             pool,
             claimed: (0..max_processes).map(|_| AtomicBool::new(false)).collect(),
-            progress: (0..max_processes).map(|_| AtomicU64::new(base_index)).collect(),
+            progress: (0..max_processes)
+                .map(|_| AtomicU64::new(base_index))
+                .collect(),
             last_op_seq: last_op_seq.into_iter().map(AtomicU64::new).collect(),
             base_index,
             base_state,
@@ -388,15 +419,18 @@ impl<S: SequentialSpec> Durable<S> {
     }
 
     /// Current size of the fuzzy window (operations ordered but not yet covered by
-    /// an available flag). Bounded by `max_processes` (Proposition 5.2).
+    /// an available flag). Bounded by `max_processes` (Proposition 5.2), extended
+    /// to `max_processes * max_group_ops` when group persist is enabled (*every*
+    /// process may have a whole group ordered but not yet persisted).
     pub fn fuzzy_window_len(&self) -> usize {
         self.shared.trace.fuzzy_window_len()
     }
 
-    /// Checks Proposition 5.2 over the whole trace. Returns a human-readable error
-    /// if violated (which would indicate a bug in the construction).
+    /// Checks Proposition 5.2 (generalized to group persist) over the whole trace.
+    /// Returns a human-readable error if violated (which would indicate a bug in
+    /// the construction).
     pub fn check_invariants(&self) -> Result<(), String> {
-        check_fuzzy_invariant(&self.shared.trace, self.shared.config.max_processes)
+        check_fuzzy_invariant(&self.shared.trace, self.shared.config.ops_per_entry())
             .map_err(|v| format!("fuzzy-window bound violated: {v:?}"))
     }
 
@@ -460,7 +494,11 @@ impl<S: SequentialSpec> Durable<S> {
         );
         let latest = self.shared.trace.latest_available();
         let mut state = (self.shared.base_state)();
-        for node in self.shared.trace.nodes_between(self.shared.base_index, latest) {
+        for node in self
+            .shared
+            .trace
+            .nodes_between(self.shared.base_index, latest)
+        {
             if let Some(record) = node.op() {
                 state.apply(&record.op);
             }

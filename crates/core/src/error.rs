@@ -25,6 +25,14 @@ pub enum OnllError {
     MetadataMismatch(String),
     /// Checkpointing was requested but is not configured.
     CheckpointingDisabled,
+    /// A group persist was asked to cover more operations than
+    /// `OnllConfig::max_group_ops` allows (the log entries are not sized for it).
+    GroupTooLarge {
+        /// Number of operations in the rejected group.
+        len: usize,
+        /// Configured maximum (`OnllConfig::max_group_ops`).
+        max: usize,
+    },
 }
 
 impl fmt::Display for OnllError {
@@ -49,6 +57,10 @@ impl fmt::Display for OnllError {
             OnllError::CheckpointingDisabled => {
                 write!(f, "checkpointing is not enabled in the configuration")
             }
+            OnllError::GroupTooLarge { len, max } => write!(
+                f,
+                "group of {len} operations exceeds max_group_ops = {max}; raise OnllConfig::group_persist"
+            ),
         }
     }
 }
@@ -68,7 +80,9 @@ mod tests {
     #[test]
     fn display_messages_are_informative() {
         assert!(OnllError::LogFull.to_string().contains("checkpoint"));
-        assert!(OnllError::MetadataMissing("kv".into()).to_string().contains("kv"));
+        assert!(OnllError::MetadataMissing("kv".into())
+            .to_string()
+            .contains("kv"));
         assert!(OnllError::CorruptOperation { execution_index: 7 }
             .to_string()
             .contains('7'));

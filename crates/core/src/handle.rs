@@ -144,8 +144,8 @@ impl<S: SequentialSpec> ProcessHandle<S> {
         let fuzzy = shared.trace.fuzzy_nodes_from(node);
         debug_assert!(!fuzzy.is_empty() && std::ptr::eq(fuzzy[0], node));
         debug_assert!(
-            fuzzy.len() <= shared.config.max_processes,
-            "fuzzy window exceeded MAX_PROCESSES (Proposition 5.2 violated)"
+            fuzzy.len() <= shared.config.ops_per_entry(),
+            "fuzzy window exceeded the group-extended bound (Proposition 5.2 generalization violated)"
         );
         let encoded: Vec<Vec<u8>> = fuzzy
             .iter()
@@ -177,6 +177,112 @@ impl<S: SequentialSpec> ProcessHandle<S> {
         self.updates_since_checkpoint += 1;
         hooks.fire(Phase::BeforeResponse, pid);
         Ok(value)
+    }
+
+    /// Persists a *group* of update operations with **one** persistent fence
+    /// (fence-amortized group persist, the batching layer under `onll-shard`).
+    ///
+    /// All operations are ordered consecutively-as-a-unit is *not* guaranteed —
+    /// other processes' operations may interleave between them in the
+    /// linearization order — but they are persisted together: a single log entry
+    /// whose fuzzy window covers the whole group plus any unpersisted
+    /// predecessors, followed by a single linearization sweep. Return values are
+    /// computed per operation on the state immediately after it, exactly as for
+    /// individual updates.
+    ///
+    /// Durability is all-or-nothing at the group's single fence: a crash before
+    /// it may lose the whole group (each operation individually reports as
+    /// not-linearized via detectable execution); a crash after it loses nothing.
+    ///
+    /// Cost: **one persistent fence for the whole group**, i.e. `1/len` fences
+    /// per update — the Theorem 5.1 per-update bound of one fence is preserved
+    /// (and beaten) as long as `len <= OnllConfig::max_group_ops`.
+    pub fn try_update_group(
+        &mut self,
+        ops: impl IntoIterator<Item = S::UpdateOp>,
+    ) -> Result<Vec<S::Value>, OnllError> {
+        let ops: Vec<S::UpdateOp> = ops.into_iter().collect();
+        if ops.is_empty() {
+            return Ok(Vec::new());
+        }
+        let max = self.shared.config.max_group_ops;
+        if ops.len() > max {
+            return Err(OnllError::GroupTooLarge {
+                len: ops.len(),
+                max,
+            });
+        }
+        let pid = self.pid as u32;
+        let group_len = ops.len();
+        let shared = self.shared.clone();
+        let hooks = shared.hooks.clone();
+        hooks.fire(Phase::BeforeOrder, pid);
+
+        // The whole group lands in one log entry; refuse before ordering
+        // anything we could not persist.
+        if self.log.free_slots() == 0 {
+            return Err(OnllError::LogFull);
+        }
+
+        // --- Order: append every operation of the group to the trace. ---
+        let nodes: Vec<_> = ops
+            .into_iter()
+            .map(|op| {
+                let seq = shared.last_op_seq[self.pid].fetch_add(1, Ordering::AcqRel) + 1;
+                let op_id = OpId::new(pid, seq);
+                self.last_op_id = Some(op_id);
+                shared.trace.insert(Some(Record::new(op_id, op)))
+            })
+            .collect();
+        hooks.fire(Phase::AfterOrder, pid);
+
+        // --- Persist: one log entry covering the group's fuzzy window (the whole
+        //     group plus unpersisted predecessors). One persistent fence. ---
+        let newest = *nodes.last().expect("group is non-empty");
+        let fuzzy = shared.trace.fuzzy_nodes_from(newest);
+        debug_assert!(!fuzzy.is_empty() && std::ptr::eq(fuzzy[0], newest));
+        debug_assert!(
+            fuzzy.len() <= shared.config.ops_per_entry(),
+            "fuzzy window exceeded the group-extended bound (Proposition 5.2 generalization)"
+        );
+        let encoded: Vec<Vec<u8>> = fuzzy
+            .iter()
+            .map(|n| {
+                encode_record(
+                    n.op()
+                        .as_ref()
+                        .expect("fuzzy-window nodes always carry an operation record"),
+                )
+            })
+            .collect();
+        let refs: Vec<&[u8]> = encoded.iter().map(|v| v.as_slice()).collect();
+        hooks.fire(Phase::BeforePersist, pid);
+        self.log.append(&refs, newest.idx()).map_err(|e| match e {
+            LogError::Full => OnllError::LogFull,
+            LogError::EntryTooLarge(msg) => OnllError::Nvm(msg),
+        })?;
+        hooks.fire(Phase::AfterPersist, pid);
+
+        // --- Linearize: sweep the group's available flags oldest to newest, so
+        //     linearized prefixes are always contiguous. ---
+        hooks.fire(Phase::BeforeLinearize, pid);
+        for node in &nodes {
+            shared.trace.set_available(node);
+        }
+        hooks.fire(Phase::AfterLinearize, pid);
+
+        // Return values: one per operation, computed on the state right after it.
+        let values = nodes.iter().map(|node| self.value_after(node)).collect();
+        self.publish_progress();
+        self.updates_since_checkpoint += group_len as u64;
+        hooks.fire(Phase::BeforeResponse, pid);
+        Ok(values)
+    }
+
+    /// Panicking variant of [`ProcessHandle::try_update_group`].
+    pub fn update_group(&mut self, ops: impl IntoIterator<Item = S::UpdateOp>) -> Vec<S::Value> {
+        self.try_update_group(ops)
+            .expect("ONLL group update failed")
     }
 
     /// Performs a read-only operation (Listing 4).

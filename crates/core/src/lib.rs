@@ -86,4 +86,4 @@ pub use handle::ProcessHandle;
 pub use hooks::{Hooks, Phase};
 pub use local_view::LocalView;
 pub use op_id::{OpId, Record};
-pub use spec::{replay, CheckpointableSpec, OpCodec, SequentialSpec};
+pub use spec::{replay, CheckpointableSpec, KeyedSpec, OpCodec, SequentialSpec};

@@ -65,6 +65,36 @@ pub trait SequentialSpec: Send + Sync + 'static {
     fn read(&self, op: &Self::ReadOp) -> Self::Value;
 }
 
+/// Specifications whose operations address disjoint per-key state, enabling
+/// horizontal partitioning across independent ONLL instances (the `onll-shard`
+/// crate).
+///
+/// The paper's lower bound (Theorem 6.3) is *per object*: every durably
+/// linearizable object costs at least one persistent fence per update. Sharding
+/// does not evade the bound — it multiplies throughput by running N independent
+/// objects, each still paying exactly one fence per update. A spec qualifies when
+/// every update touches state identified by a single key, and every read either
+/// addresses a single key or can be answered by combining independent per-shard
+/// answers (e.g. a length is the sum of per-shard lengths).
+pub trait KeyedSpec: SequentialSpec {
+    /// The routing key. Hashable (for hash routing) and ordered (for range
+    /// routing).
+    type Key: std::hash::Hash + Ord + Clone + std::fmt::Debug + Send + Sync + 'static;
+
+    /// The key whose state an update operation touches.
+    fn update_key(op: &Self::UpdateOp) -> Self::Key;
+
+    /// The key a read-only operation addresses, or `None` for a *global* read
+    /// that must be answered by combining every shard's answer via
+    /// [`KeyedSpec::merge_reads`].
+    fn read_key(op: &Self::ReadOp) -> Option<Self::Key>;
+
+    /// Combines per-shard answers to a global read (one answer per shard, in
+    /// shard order). Only invoked for operations whose
+    /// [`KeyedSpec::read_key`] is `None`.
+    fn merge_reads(op: &Self::ReadOp, shard_values: Vec<Self::Value>) -> Self::Value;
+}
+
 /// Specifications whose state has a compact object-specific representation that can
 /// be persisted wholesale (Section 8: "compressing the execution trace").
 ///
@@ -84,7 +114,9 @@ pub trait CheckpointableSpec: SequentialSpec {
 /// Replays a sequence of update operations from the initial state, returning the
 /// resulting state. This is the paper's "the state of the object is the sequence of
 /// update operations applied to the object".
-pub fn replay<S: SequentialSpec>(ops: impl IntoIterator<Item = impl std::borrow::Borrow<S::UpdateOp>>) -> S {
+pub fn replay<S: SequentialSpec>(
+    ops: impl IntoIterator<Item = impl std::borrow::Borrow<S::UpdateOp>>,
+) -> S {
     let mut state = S::initialize();
     for op in ops {
         state.apply(op.borrow());
@@ -177,7 +209,12 @@ mod tests {
 
     #[test]
     fn replay_is_deterministic() {
-        let ops = vec![AdderOp::Add(3), AdderOp::Add(4), AdderOp::Set(10), AdderOp::Add(1)];
+        let ops = [
+            AdderOp::Add(3),
+            AdderOp::Add(4),
+            AdderOp::Set(10),
+            AdderOp::Add(1),
+        ];
         let a: Adder = replay::<Adder>(ops.iter());
         let b: Adder = replay::<Adder>(ops.iter());
         assert_eq!(a, b);

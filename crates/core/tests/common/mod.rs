@@ -27,7 +27,9 @@ impl OpCodec for CounterOp {
 
     fn decode(bytes: &[u8]) -> Option<Self> {
         if bytes.len() == 9 && bytes[0] == 1 {
-            Some(CounterOp::Add(i64::from_le_bytes(bytes[1..].try_into().ok()?)))
+            Some(CounterOp::Add(i64::from_le_bytes(
+                bytes[1..].try_into().ok()?,
+            )))
         } else {
             None
         }

@@ -56,11 +56,9 @@ fn update_costs_exactly_one_persistent_fence_and_read_zero() {
 fn full_replay_mode_matches_local_view_mode() {
     let p = pool();
     let c_lv = Durable::<CounterSpec>::create(p.clone(), OnllConfig::named("lv")).unwrap();
-    let c_fr = Durable::<CounterSpec>::create(
-        p.clone(),
-        OnllConfig::named("fr").local_views(false),
-    )
-    .unwrap();
+    let c_fr =
+        Durable::<CounterSpec>::create(p.clone(), OnllConfig::named("fr").local_views(false))
+            .unwrap();
     let mut h_lv = c_lv.register().unwrap();
     let mut h_fr = c_fr.register().unwrap();
     for i in -20i64..20 {
@@ -150,7 +148,9 @@ fn linearization_order_is_a_single_total_order() {
     let p = pool();
     let c = Durable::<ListSpec>::create(
         p.clone(),
-        OnllConfig::named("list").max_processes(4).log_capacity(1024),
+        OnllConfig::named("list")
+            .max_processes(4)
+            .log_capacity(1024),
     )
     .unwrap();
     let threads = 4;
@@ -241,12 +241,8 @@ fn crash_during_update_preserves_prefix() {
             let _ = p2.crash();
         }
     });
-    let c = Durable::<CounterSpec>::create_with_hooks(
-        p.clone(),
-        OnllConfig::named("ctr"),
-        hooks,
-    )
-    .unwrap();
+    let c = Durable::<CounterSpec>::create_with_hooks(p.clone(), OnllConfig::named("ctr"), hooks)
+        .unwrap();
     let mut h = c.register().unwrap();
     let mut completed = 0i64;
     for _ in 0..20 {
@@ -260,8 +256,7 @@ fn crash_during_update_preserves_prefix() {
     }
     assert!(p.is_frozen(), "the armed hook should have crashed the pool");
     p.crash_and_restart();
-    let (c, report) =
-        Durable::<CounterSpec>::recover(p.clone(), OnllConfig::named("ctr")).unwrap();
+    let (c, report) = Durable::<CounterSpec>::recover(p.clone(), OnllConfig::named("ctr")).unwrap();
     // All updates that completed before the crash are present; the one in flight is
     // not (it never reached the log).
     assert_eq!(report.durable_index as i64, completed);
@@ -289,7 +284,10 @@ fn detectable_execution_reports_linearized_ops() {
         c.was_linearized(last_op.unwrap()),
         "completed op must be detected as linearized after recovery"
     );
-    assert!(!c.was_linearized(OpId::new(0, 6)), "never-invoked op not reported");
+    assert!(
+        !c.was_linearized(OpId::new(0, 6)),
+        "never-invoked op not reported"
+    );
 }
 
 #[test]
@@ -378,11 +376,7 @@ fn two_objects_share_a_pool_independently() {
 #[test]
 fn log_full_is_reported_and_nothing_is_ordered() {
     let p = pool();
-    let c = Durable::<CounterSpec>::create(
-        p,
-        OnllConfig::named("ctr").log_capacity(4),
-    )
-    .unwrap();
+    let c = Durable::<CounterSpec>::create(p, OnllConfig::named("ctr").log_capacity(4)).unwrap();
     let mut h = c.register().unwrap();
     for _ in 0..4 {
         h.update(CounterOp::Add(1));
@@ -392,7 +386,11 @@ fn log_full_is_reported_and_nothing_is_ordered() {
         h.try_update(CounterOp::Add(1)),
         Err(OnllError::LogFull)
     ));
-    assert_eq!(c.ordered_index(), before, "rejected update must not be ordered");
+    assert_eq!(
+        c.ordered_index(),
+        before,
+        "rejected update must not be ordered"
+    );
     assert_eq!(c.read_latest(&()), 4);
 }
 
@@ -418,7 +416,10 @@ fn checkpointing_truncates_logs_and_recovery_uses_the_checkpoint() {
     p.crash_and_restart();
     let (c, report) =
         Durable::<CounterSpec>::recover_with_checkpoints(p.clone(), cfg.clone()).unwrap();
-    assert!(report.checkpoint_index > 0, "recovery started from a checkpoint");
+    assert!(
+        report.checkpoint_index > 0,
+        "recovery started from a checkpoint"
+    );
     assert_eq!(report.durable_index, 200);
     let mut h = c.register().unwrap();
     assert_eq!(h.read(&()), 200);
@@ -451,7 +452,9 @@ fn checkpoint_requires_local_views() {
     assert!(matches!(
         Durable::<CounterSpec>::create(
             p,
-            OnllConfig::named("ctr").local_views(false).checkpoint_every(5)
+            OnllConfig::named("ctr")
+                .local_views(false)
+                .checkpoint_every(5)
         ),
         Err(OnllError::MetadataMismatch(_))
     ));
@@ -497,8 +500,7 @@ fn works_under_eager_and_random_eviction_policies() {
         }
         drop(c);
         p.crash_and_restart();
-        let (c, _) =
-            Durable::<CounterSpec>::recover(p.clone(), OnllConfig::named("ctr")).unwrap();
+        let (c, _) = Durable::<CounterSpec>::recover(p.clone(), OnllConfig::named("ctr")).unwrap();
         assert_eq!(c.read_latest(&()), 30, "policy {policy:?}");
     }
 }

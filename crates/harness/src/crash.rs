@@ -73,11 +73,7 @@ impl CrashOutcome {
     /// True if no violation of durable linearizability (or linearizability) was
     /// found.
     pub fn is_consistent(&self) -> bool {
-        self.durability.is_ok()
-            && self
-                .linearizability
-                .as_ref()
-                .map_or(true, |r| r.is_ok())
+        self.durability.is_ok() && self.linearizability.as_ref().is_none_or(|r| r.is_ok())
     }
 }
 

@@ -117,7 +117,8 @@ mod tests {
         let obj = Durable::<CounterSpec>::create(p.clone(), OnllConfig::named("c")).unwrap();
         let mut adapter = OnllAdapter::new(obj.register().unwrap());
         let mut w = Workload::new(WorkloadMix::with_update_percent(50), 9);
-        let audit = audit_fence_bounds::<CounterSpec, _>(&mut adapter, p.stats(), w.counter_ops(400));
+        let audit =
+            audit_fence_bounds::<CounterSpec, _>(&mut adapter, p.stats(), w.counter_ops(400));
         assert!(audit.satisfies_onll_bounds(), "{audit:?}");
         assert_eq!(audit.max_fences_per_update, 1);
         assert_eq!(audit.fences_per_update(), 1.0);

@@ -240,7 +240,7 @@ mod tests {
         let h2 = h.clone();
         let a = h.invoke_update(0, None, "x");
         h2.respond(a, 9);
-        assert_eq!(h.snapshot()[0].is_complete(), true);
+        assert!(h.snapshot()[0].is_complete());
         assert_eq!(h.len(), 1);
         assert!(!h.is_empty());
     }

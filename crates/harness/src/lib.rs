@@ -20,6 +20,9 @@
 //!   each must be observed to issue at least one persistent fence.
 //! * [`fence_audit`] — helpers asserting the Theorem 5.1 per-operation fence bounds
 //!   over arbitrary workloads.
+//! * [`sharded`] — multi-threaded drivers and aggregate fence audits for
+//!   [`onll_shard::ShardedDurable`] objects (the bounds must hold across all
+//!   shard pools at once).
 //! * [`report`] — plain-text table rendering for benchmark and example output.
 
 #![warn(missing_docs)]
@@ -31,6 +34,7 @@ pub mod history;
 pub mod linearizability;
 pub mod lower_bound;
 pub mod report;
+pub mod sharded;
 pub mod workload;
 
 pub use adapter::OnllAdapter;
@@ -42,4 +46,7 @@ pub use linearizability::{
 };
 pub use lower_bound::{run_lower_bound_experiment, LowerBoundReport};
 pub use report::Table;
+pub use sharded::{
+    audit_sharded_fence_bounds, run_sharded_kv_workload, ShardedRunSummary, SubmitMode,
+};
 pub use workload::{Workload, WorkloadMix, WorkloadOp};

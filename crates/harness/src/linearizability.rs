@@ -25,7 +25,9 @@ pub fn check_linearizability<S>(
 where
     S: SequentialSpec,
 {
-    let completed: Vec<usize> = (0..records.len()).filter(|&i| records[i].is_complete()).collect();
+    let completed: Vec<usize> = (0..records.len())
+        .filter(|&i| records[i].is_complete())
+        .collect();
     let pending_updates: Vec<usize> = (0..records.len())
         .filter(|&i| !records[i].is_complete() && records[i].is_update())
         .collect();
@@ -41,17 +43,8 @@ where
     }
 
     impl<S: SequentialSpec> Search<'_, S> {
-        fn run(
-            &self,
-            state: &mut S,
-            linearized: &mut HashSet<usize>,
-            applied_ops: &mut Vec<S::UpdateOp>,
-        ) -> bool {
-            if self
-                .completed
-                .iter()
-                .all(|i| linearized.contains(i))
-            {
+        fn run(&self, linearized: &mut HashSet<usize>, applied_ops: &[S::UpdateOp]) -> bool {
+            if self.completed.iter().all(|i| linearized.contains(i)) {
                 return true;
             }
             // Candidates: completed ops all of whose completed predecessors are
@@ -84,7 +77,7 @@ where
                             Some(expected) => &v == expected,
                             None => true,
                         };
-                        let mut next = applied_ops.clone();
+                        let mut next = applied_ops.to_vec();
                         next.push(op.clone());
                         (ok, Some(next))
                     }
@@ -105,8 +98,8 @@ where
                     continue;
                 }
                 linearized.insert(i);
-                let mut ops_for_recursion = next_ops.unwrap_or_else(|| applied_ops.clone());
-                if self.run(state, linearized, &mut ops_for_recursion) {
+                let ops_for_recursion = next_ops.unwrap_or_else(|| applied_ops.to_vec());
+                if self.run(linearized, &ops_for_recursion) {
                     return true;
                 }
                 linearized.remove(&i);
@@ -120,10 +113,8 @@ where
         completed: &completed,
         pending_updates: &pending_updates,
     };
-    let mut state = S::initialize();
     let mut linearized = HashSet::new();
-    let mut applied = Vec::new();
-    if search.run(&mut state, &mut linearized, &mut applied) {
+    if search.run(&mut linearized, &[]) {
         Ok(())
     } else {
         Err(format!(
@@ -364,8 +355,9 @@ mod tests {
     #[test]
     fn phantom_op_is_a_violation() {
         let pre = vec![record(0, 1, 1, 1, Some(2), Some(1))];
-        let err = check_durable_linearizability::<CounterSpec>(&pre, &[OpId::new(0, 1), OpId::new(5, 5)])
-            .unwrap_err();
+        let err =
+            check_durable_linearizability::<CounterSpec>(&pre, &[OpId::new(0, 1), OpId::new(5, 5)])
+                .unwrap_err();
         assert_eq!(err, DurabilityViolation::PhantomOp(OpId::new(5, 5)));
     }
 
@@ -395,11 +387,9 @@ mod tests {
             record(1, 1, 2, 5, Some(6), Some(3)),
         ];
         // Recovery reports them in the wrong order.
-        let err = check_durable_linearizability::<CounterSpec>(
-            &pre,
-            &[OpId::new(1, 1), OpId::new(0, 1)],
-        )
-        .unwrap_err();
+        let err =
+            check_durable_linearizability::<CounterSpec>(&pre, &[OpId::new(1, 1), OpId::new(0, 1)])
+                .unwrap_err();
         assert_eq!(
             err,
             DurabilityViolation::OrderViolation {
@@ -416,6 +406,11 @@ mod tests {
         let pre = vec![record(0, 1, 1, 1, Some(2), Some(5))];
         let err =
             check_durable_linearizability::<CounterSpec>(&pre, &[OpId::new(0, 1)]).unwrap_err();
-        assert_eq!(err, DurabilityViolation::ValueMismatch { op_id: OpId::new(0, 1) });
+        assert_eq!(
+            err,
+            DurabilityViolation::ValueMismatch {
+                op_id: OpId::new(0, 1)
+            }
+        );
     }
 }

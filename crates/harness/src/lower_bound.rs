@@ -157,7 +157,9 @@ pub fn demonstrate_fence_necessity() -> (i64, i64) {
 
     // With the fence: the update survives.
     let pool = NvmPool::new(PmemConfig::with_capacity(8 << 20).apply_pending_at_crash(0.0));
-    let cfg = OnllConfig::named("with-fence").max_processes(1).log_capacity(64);
+    let cfg = OnllConfig::named("with-fence")
+        .max_processes(1)
+        .log_capacity(64);
     let obj = Durable::<CounterSpec>::create(pool.clone(), cfg.clone()).unwrap();
     {
         let mut h = obj.register().unwrap();
@@ -172,7 +174,9 @@ pub fn demonstrate_fence_necessity() -> (i64, i64) {
     // (so the log append never became durable). The operation would have responded
     // next; recovery then misses it — exactly the contradiction in the proof.
     let pool = NvmPool::new(PmemConfig::with_capacity(8 << 20).apply_pending_at_crash(0.0));
-    let cfg = OnllConfig::named("without-fence").max_processes(1).log_capacity(64);
+    let cfg = OnllConfig::named("without-fence")
+        .max_processes(1)
+        .log_capacity(64);
     let pool2 = pool.clone();
     let hooks = Hooks::new(move |phase, _pid| {
         if phase == Phase::BeforePersist {
@@ -181,8 +185,7 @@ pub fn demonstrate_fence_necessity() -> (i64, i64) {
             pool2.arm_crash(nvm_sim::CrashTrigger::AfterFlushes(1));
         }
     });
-    let obj =
-        Durable::<CounterSpec>::create_with_hooks(pool.clone(), cfg.clone(), hooks).unwrap();
+    let obj = Durable::<CounterSpec>::create_with_hooks(pool.clone(), cfg.clone(), hooks).unwrap();
     {
         let mut h = obj.register().unwrap();
         let _ = h.try_update(CounterOp::Increment);

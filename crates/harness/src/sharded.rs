@@ -1,0 +1,237 @@
+//! Sharded workload driving and aggregate fence auditing.
+//!
+//! The Theorem 5.1 bounds are per *object*; a sharded object must satisfy them
+//! in aggregate: every update costs at most one persistent fence across **all**
+//! shard pools (exactly one on the owning shard, zero elsewhere), and reads
+//! cost zero everywhere. [`audit_sharded_fence_bounds`] asserts this with an
+//! [`AggregateWindow`] per operation, and [`run_sharded_kv_workload`] is the
+//! multi-threaded throughput driver used by the scaling benchmarks.
+
+use crate::fence_audit::FenceAudit;
+use crate::workload::{Workload, WorkloadMix, WorkloadOp};
+use durable_objects::KvSpec;
+use onll::KeyedSpec;
+use onll_shard::{AggregateWindow, ShardedDurable, ShardedHandle};
+use std::time::{Duration, Instant};
+
+/// Executes `ops` against a sharded handle, auditing the calling thread's
+/// persistence events per operation across **all** shard pools.
+pub fn audit_sharded_fence_bounds<S: KeyedSpec>(
+    handle: &mut ShardedHandle<S>,
+    pools: &[nvm_sim::NvmPool],
+    ops: impl IntoIterator<Item = WorkloadOp<S::UpdateOp, S::ReadOp>>,
+) -> FenceAudit {
+    let mut audit = FenceAudit::default();
+    for op in ops {
+        let window = AggregateWindow::open(pools);
+        match op {
+            WorkloadOp::Update(u) => {
+                handle.update(u);
+                let d = window.close();
+                audit.updates += 1;
+                audit.update_fences += d.persistent_fences;
+                audit.max_fences_per_update = audit.max_fences_per_update.max(d.persistent_fences);
+            }
+            WorkloadOp::Read(r) => {
+                handle.read(&r);
+                let d = window.close();
+                audit.reads += 1;
+                audit.read_fences += d.persistent_fences;
+                audit.max_fences_per_read = audit.max_fences_per_read.max(d.persistent_fences);
+                audit.read_flushes += d.flushes;
+                audit.read_stores += d.stores;
+            }
+        }
+    }
+    audit
+}
+
+/// How updates are submitted by the workload driver.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SubmitMode {
+    /// One synchronous update per operation (one fence each).
+    Individual,
+    /// Fence-amortized group persist: buffer updates per shard and flush in
+    /// groups of the object's configured `max_group_ops`.
+    Grouped,
+}
+
+/// Outcome of one multi-threaded sharded workload run.
+#[derive(Debug, Clone)]
+pub struct ShardedRunSummary {
+    /// Worker threads driven.
+    pub threads: usize,
+    /// Total operations executed (updates + reads).
+    pub total_ops: u64,
+    /// Updates executed.
+    pub updates: u64,
+    /// Reads executed.
+    pub reads: u64,
+    /// Wall-clock duration of the run.
+    pub elapsed: Duration,
+    /// Persistent fences issued during the run, summed over all shard pools.
+    pub persistent_fences: u64,
+}
+
+impl ShardedRunSummary {
+    /// Aggregate operations per second.
+    pub fn ops_per_sec(&self) -> f64 {
+        self.total_ops as f64 / self.elapsed.as_secs_f64().max(1e-9)
+    }
+
+    /// Persistent fences per update (1.0 for individual submission, ~1/group
+    /// for grouped submission).
+    pub fn fences_per_update(&self) -> f64 {
+        if self.updates == 0 {
+            0.0
+        } else {
+            self.persistent_fences as f64 / self.updates as f64
+        }
+    }
+}
+
+/// Drives `threads` worker threads, each executing `ops_per_thread` seeded
+/// key-value operations through its own [`ShardedHandle`], and reports
+/// aggregate throughput and fence counts.
+///
+/// The object's per-shard `max_processes` must be at least `threads`.
+pub fn run_sharded_kv_workload(
+    object: &ShardedDurable<KvSpec>,
+    threads: usize,
+    ops_per_thread: usize,
+    mix: WorkloadMix,
+    seed: u64,
+    mode: SubmitMode,
+) -> ShardedRunSummary {
+    let before = onll_shard::merged_global_stats(object.pools());
+    let start = Instant::now();
+    let (updates, reads) = std::thread::scope(|scope| {
+        let workers: Vec<_> = (0..threads)
+            .map(|t| {
+                let object = object.clone();
+                scope.spawn(move || {
+                    let mut handle = object.register().expect("a free slot per worker");
+                    let mut workload =
+                        Workload::new(mix, seed.wrapping_add(t as u64).wrapping_mul(2654435761));
+                    let mut updates = 0u64;
+                    let mut reads = 0u64;
+                    for op in workload.kv_ops(ops_per_thread) {
+                        match op {
+                            WorkloadOp::Update(u) => {
+                                updates += 1;
+                                match mode {
+                                    SubmitMode::Individual => {
+                                        handle.update(u);
+                                    }
+                                    SubmitMode::Grouped => {
+                                        handle.buffer_update(u).expect("buffered update");
+                                    }
+                                }
+                            }
+                            WorkloadOp::Read(r) => {
+                                reads += 1;
+                                handle.read(&r);
+                            }
+                        }
+                    }
+                    if mode == SubmitMode::Grouped {
+                        handle.flush().expect("final flush");
+                    }
+                    (updates, reads)
+                })
+            })
+            .collect();
+        workers
+            .into_iter()
+            .map(|w| w.join().expect("worker thread panicked"))
+            .fold((0, 0), |(u, r), (wu, wr)| (u + wu, r + wr))
+    });
+    let elapsed = start.elapsed();
+    let after = onll_shard::merged_global_stats(object.pools());
+    ShardedRunSummary {
+        threads,
+        total_ops: updates + reads,
+        updates,
+        reads,
+        elapsed,
+        persistent_fences: after.delta(&before).persistent_fences,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nvm_sim::PmemConfig;
+    use onll::OnllConfig;
+    use onll_shard::{HashRouter, ShardConfig};
+    use std::sync::Arc;
+
+    fn sharded_kv(shards: usize, processes: usize, group: usize) -> ShardedDurable<KvSpec> {
+        let config = ShardConfig::named("kv")
+            .shards(shards)
+            .base(
+                OnllConfig::default()
+                    .max_processes(processes)
+                    .log_capacity(4096)
+                    .group_persist(group),
+            )
+            .pmem(PmemConfig::with_capacity(256 << 20).apply_pending_at_crash(0.0));
+        ShardedDurable::<KvSpec>::create(config, Arc::new(HashRouter::new(shards)))
+            .expect("create sharded kv")
+    }
+
+    #[test]
+    fn sharded_updates_satisfy_theorem_bounds_in_aggregate() {
+        let object = sharded_kv(4, 1, 1);
+        let mut handle = object.register().unwrap();
+        let mut workload = Workload::new(WorkloadMix::with_update_percent(50), 17);
+        let audit =
+            audit_sharded_fence_bounds::<KvSpec>(&mut handle, object.pools(), workload.kv_ops(400));
+        assert!(audit.satisfies_onll_bounds(), "{audit:?}");
+        assert_eq!(audit.max_fences_per_update, 1);
+        assert_eq!(audit.fences_per_update(), 1.0);
+        assert_eq!(audit.updates + audit.reads, 400);
+        object.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn multi_threaded_driver_counts_every_operation() {
+        let object = sharded_kv(2, 3, 1);
+        let summary = run_sharded_kv_workload(
+            &object,
+            3,
+            200,
+            WorkloadMix::with_update_percent(50),
+            7,
+            SubmitMode::Individual,
+        );
+        assert_eq!(summary.threads, 3);
+        assert_eq!(summary.total_ops, 600);
+        assert_eq!(summary.updates + summary.reads, 600);
+        // Individual submission: exactly one fence per update.
+        assert_eq!(summary.persistent_fences, summary.updates);
+        object.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn grouped_submission_amortizes_fences() {
+        let object = sharded_kv(2, 2, 8);
+        let summary = run_sharded_kv_workload(
+            &object,
+            2,
+            400,
+            WorkloadMix::update_only(),
+            23,
+            SubmitMode::Grouped,
+        );
+        assert_eq!(summary.updates, 800);
+        assert!(
+            summary.persistent_fences < summary.updates / 2,
+            "grouping should amortize fences: {} fences for {} updates",
+            summary.persistent_fences,
+            summary.updates
+        );
+        assert!(summary.fences_per_update() < 0.5);
+        object.check_invariants().unwrap();
+    }
+}

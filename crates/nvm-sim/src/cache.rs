@@ -59,7 +59,8 @@ impl ShardedMemory {
             let off = (cur % CACHE_LINE_SIZE as u64) as usize;
             let take = (CACHE_LINE_SIZE - off).min(buf.len() - written);
             let shard = self.shard_for(line).read();
-            let src: Option<&Box<Line>> = shard.cache.get(&line).or_else(|| shard.durable.get(&line));
+            let src: Option<&Box<Line>> =
+                shard.cache.get(&line).or_else(|| shard.durable.get(&line));
             match src {
                 Some(data) => buf[written..written + take].copy_from_slice(&data[off..off + take]),
                 None => buf[written..written + take].fill(0),
@@ -104,10 +105,9 @@ impl ShardedMemory {
             // initialized from the durable contents (a "cache miss fill"), so that a
             // partial-line store does not zero the rest of the line.
             let durable_copy = shard.durable.get(&line).cloned();
-            let entry = shard
-                .cache
-                .entry(line)
-                .or_insert_with(|| durable_copy.unwrap_or_else(|| Box::new([0u8; CACHE_LINE_SIZE])));
+            let entry = shard.cache.entry(line).or_insert_with(|| {
+                durable_copy.unwrap_or_else(|| Box::new([0u8; CACHE_LINE_SIZE]))
+            });
             entry[off..off + take].copy_from_slice(&data[consumed..consumed + take]);
             drop(shard);
             touched.push(line);

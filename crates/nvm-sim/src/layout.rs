@@ -25,6 +25,7 @@ pub fn line_offset(addr: PAddr) -> usize {
 ///
 /// Returns an empty range when `len == 0`.
 #[inline]
+#[allow(clippy::reversed_empty_ranges)] // the empty range is the intended result
 pub fn line_range(addr: PAddr, len: usize) -> std::ops::RangeInclusive<u64> {
     if len == 0 {
         // An empty RangeInclusive: start > end.

@@ -8,13 +8,14 @@ use std::time::Duration;
 /// of freedom real hardware has. Algorithms must be correct under every policy; the
 /// most adversarial one for finding missing flushes/fences is
 /// [`WritebackPolicy::OnlyOnFence`].
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub enum WritebackPolicy {
     /// A line becomes durable only when it has been flushed **and** a subsequent
     /// fence by the flushing thread has drained it. Dirty-but-unflushed lines and
     /// flushed-but-unfenced lines are lost on crash.
     ///
     /// This is the minimal guarantee of the paper's model and the default.
+    #[default]
     OnlyOnFence,
     /// A flush immediately writes the line back (as if the asynchronous write-back
     /// completed instantly). Fences still count, but a crash between flush and fence
@@ -40,12 +41,6 @@ impl WritebackPolicy {
             self,
             WritebackPolicy::EagerOnFlush | WritebackPolicy::RandomEviction { .. }
         )
-    }
-}
-
-impl Default for WritebackPolicy {
-    fn default() -> Self {
-        WritebackPolicy::OnlyOnFence
     }
 }
 
@@ -116,6 +111,30 @@ impl PmemConfig {
         self
     }
 
+    /// Splits this configuration into `n` per-shard configurations: each gets an
+    /// equal slice of the capacity and a distinct derived crash seed, so the
+    /// shards of a sharded object fail independently under crash injection.
+    pub fn partition(&self, n: usize) -> Vec<PmemConfig> {
+        assert!(n >= 1, "at least one partition is required");
+        let per_shard = (self.capacity / n as u64).max(1);
+        (0..n as u64)
+            .map(|i| {
+                let mut cfg = self.clone();
+                cfg.capacity = per_shard;
+                cfg.crash_seed = self
+                    .crash_seed
+                    .wrapping_add(i.wrapping_mul(0x9E3779B97F4A7C15));
+                if let WritebackPolicy::RandomEviction { probability, seed } = self.policy {
+                    cfg.policy = WritebackPolicy::RandomEviction {
+                        probability,
+                        seed: seed.wrapping_add(i.wrapping_mul(0x517CC1B727220A95)),
+                    };
+                }
+                cfg
+            })
+            .collect()
+    }
+
     /// Sets the seed used for crash-time and eviction randomness.
     pub fn crash_seed(mut self, seed: u64) -> Self {
         self.crash_seed = seed;
@@ -160,5 +179,34 @@ mod tests {
     #[test]
     fn default_capacity_is_nonzero() {
         assert!(PmemConfig::default().capacity > 0);
+    }
+
+    #[test]
+    fn partition_divides_capacity_and_derives_seeds() {
+        let cfg = PmemConfig::with_capacity(64 << 20).crash_seed(11);
+        let parts = cfg.partition(4);
+        assert_eq!(parts.len(), 4);
+        for p in &parts {
+            assert_eq!(p.capacity, 16 << 20);
+            assert_eq!(p.policy, cfg.policy);
+        }
+        let seeds: std::collections::HashSet<u64> = parts.iter().map(|p| p.crash_seed).collect();
+        assert_eq!(seeds.len(), 4, "crash seeds must differ per shard");
+        assert_eq!(parts[0].crash_seed, 11);
+    }
+
+    #[test]
+    fn partition_of_one_is_identity_shaped() {
+        let cfg = PmemConfig::with_capacity(1 << 20);
+        let parts = cfg.partition(1);
+        assert_eq!(parts.len(), 1);
+        assert_eq!(parts[0].capacity, cfg.capacity);
+        assert_eq!(parts[0].crash_seed, cfg.crash_seed);
+    }
+
+    #[test]
+    #[should_panic]
+    fn partition_zero_rejected() {
+        let _ = PmemConfig::default().partition(0);
     }
 }

@@ -41,6 +41,9 @@ enum ArmedKind {
     Events,
 }
 
+/// One thread's pending flushes: line index -> contents captured at flush time.
+type PendingFlushes = Mutex<HashMap<u64, Box<Line>>>;
+
 /// A simulated byte-addressable persistent-memory region.
 ///
 /// All accesses follow the paper's model (Section 2.1):
@@ -57,7 +60,7 @@ pub struct NvmRegion {
     memory: ShardedMemory,
     stats: FenceStats,
     /// Per-thread pending flushes: line -> contents captured at flush time.
-    pending: Box<[Mutex<HashMap<u64, Box<Line>>>]>,
+    pending: Box<[PendingFlushes]>,
     /// When true, the machine has "lost power": all subsequent persistence
     /// operations are ignored (the issuing instructions never happened).
     frozen: AtomicBool,
@@ -117,7 +120,8 @@ impl NvmRegion {
 
     fn check_bounds(&self, addr: PAddr, len: usize) {
         assert!(
-            addr.checked_add(len as u64).map_or(false, |end| end <= self.cfg.capacity),
+            addr.checked_add(len as u64)
+                .is_some_and(|end| end <= self.cfg.capacity),
             "NVM access out of bounds: addr={addr:#x} len={len} capacity={:#x}",
             self.cfg.capacity
         );
@@ -172,10 +176,10 @@ impl NvmRegion {
             WritebackPolicy::RandomEviction { probability, .. } => {
                 let mut rng = self.eviction_rng.lock();
                 for line in touched {
-                    if rng.gen_bool(probability.clamp(0.0, 1.0)) {
-                        if self.memory.write_back_cached(line) {
-                            self.stats.record_writeback(1);
-                        }
+                    if rng.gen_bool(probability.clamp(0.0, 1.0))
+                        && self.memory.write_back_cached(line)
+                    {
+                        self.stats.record_writeback(1);
                     }
                 }
             }

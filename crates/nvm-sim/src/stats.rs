@@ -63,6 +63,32 @@ pub struct ThreadStatsSnapshot {
 }
 
 impl ThreadStatsSnapshot {
+    /// Component-wise sum `self + other`. Used to aggregate deltas across the
+    /// per-shard pools of a sharded object (the `onll-shard` crate), where one
+    /// logical operation touches exactly one pool but audits span all of them.
+    pub fn merge(&self, other: &ThreadStatsSnapshot) -> ThreadStatsSnapshot {
+        ThreadStatsSnapshot {
+            stores: self.stores + other.stores,
+            stored_bytes: self.stored_bytes + other.stored_bytes,
+            loads: self.loads + other.loads,
+            flushes: self.flushes + other.flushes,
+            flushed_lines: self.flushed_lines + other.flushed_lines,
+            fences: self.fences + other.fences,
+            persistent_fences: self.persistent_fences + other.persistent_fences,
+            writebacks: self.writebacks + other.writebacks,
+            crashes: self.crashes + other.crashes,
+        }
+    }
+
+    /// Merges an iterator of snapshots (identity: the zero snapshot).
+    pub fn merge_all<'a>(
+        snaps: impl IntoIterator<Item = &'a ThreadStatsSnapshot>,
+    ) -> ThreadStatsSnapshot {
+        snaps
+            .into_iter()
+            .fold(ThreadStatsSnapshot::default(), |acc, s| acc.merge(s))
+    }
+
     /// Component-wise difference `self - earlier`. Saturates at zero.
     pub fn delta(&self, earlier: &ThreadStatsSnapshot) -> ThreadStatsSnapshot {
         ThreadStatsSnapshot {
@@ -174,7 +200,9 @@ impl FenceStats {
         let me = self.me();
         me.fences.fetch_add(1, Ordering::Relaxed);
         if persistent {
-            self.global.persistent_fences.fetch_add(1, Ordering::Relaxed);
+            self.global
+                .persistent_fences
+                .fetch_add(1, Ordering::Relaxed);
             me.persistent_fences.fetch_add(1, Ordering::Relaxed);
         }
         if lines_drained > 0 {
@@ -362,6 +390,35 @@ mod tests {
         assert_eq!(w.peek().flushes, 1);
         s.record_flush(1);
         assert_eq!(w.close().flushes, 2);
+    }
+
+    #[test]
+    fn merge_sums_componentwise() {
+        let a = ThreadStatsSnapshot {
+            stores: 1,
+            fences: 2,
+            persistent_fences: 1,
+            ..Default::default()
+        };
+        let b = ThreadStatsSnapshot {
+            stores: 10,
+            flushes: 5,
+            persistent_fences: 3,
+            ..Default::default()
+        };
+        let m = a.merge(&b);
+        assert_eq!(m.stores, 11);
+        assert_eq!(m.fences, 2);
+        assert_eq!(m.flushes, 5);
+        assert_eq!(m.persistent_fences, 4);
+        assert_eq!(
+            ThreadStatsSnapshot::merge_all([&a, &b, &m]).persistent_fences,
+            8
+        );
+        assert_eq!(
+            ThreadStatsSnapshot::merge_all(std::iter::empty()),
+            ThreadStatsSnapshot::default()
+        );
     }
 
     #[test]

@@ -55,7 +55,8 @@ impl OpCodec for AppendLogOp {
 
     fn decode(bytes: &[u8]) -> Option<Self> {
         let (payload, rest) = take_bytes(bytes)?;
-        rest.is_empty().then(|| AppendLogOp::Append(payload.to_vec()))
+        rest.is_empty()
+            .then(|| AppendLogOp::Append(payload.to_vec()))
     }
 }
 
@@ -125,8 +126,14 @@ mod tests {
     #[test]
     fn append_returns_sequence_numbers() {
         let mut log = AppendLogSpec::initialize();
-        assert_eq!(log.apply(&AppendLogOp::Append(b"a".to_vec())), 1u64.to_le_bytes());
-        assert_eq!(log.apply(&AppendLogOp::Append(b"b".to_vec())), 2u64.to_le_bytes());
+        assert_eq!(
+            log.apply(&AppendLogOp::Append(b"a".to_vec())),
+            1u64.to_le_bytes()
+        );
+        assert_eq!(
+            log.apply(&AppendLogOp::Append(b"b".to_vec())),
+            2u64.to_le_bytes()
+        );
         assert_eq!(log.read(&AppendLogRead::Get(1)), b"a".to_vec());
         assert_eq!(log.read(&AppendLogRead::Get(2)), b"b".to_vec());
         assert_eq!(log.read(&AppendLogRead::Get(0)), Vec::<u8>::new());

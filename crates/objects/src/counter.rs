@@ -131,7 +131,11 @@ mod tests {
 
     #[test]
     fn replay_matches_direct_application() {
-        let ops = vec![CounterOp::Increment, CounterOp::Add(5), CounterOp::Increment];
+        let ops = [
+            CounterOp::Increment,
+            CounterOp::Add(5),
+            CounterOp::Increment,
+        ];
         let state: CounterSpec = replay::<CounterSpec>(ops.iter());
         assert_eq!(state.value(), 7);
     }

@@ -6,7 +6,7 @@
 //! log slots.
 
 use crate::codec_util::{put_bytes, take_string};
-use onll::{CheckpointableSpec, OpCodec, SequentialSpec};
+use onll::{CheckpointableSpec, KeyedSpec, OpCodec, SequentialSpec};
 use std::collections::BTreeMap;
 
 /// Maximum length, in bytes, of a key or value.
@@ -117,6 +117,43 @@ impl SequentialSpec for KvSpec {
         match op {
             KvRead::Get(k) => KvValue::Value(self.map.get(k).cloned()),
             KvRead::Len => KvValue::Len(self.map.len()),
+        }
+    }
+}
+
+impl KeyedSpec for KvSpec {
+    type Key = String;
+
+    fn update_key(op: &KvOp) -> String {
+        match op {
+            KvOp::Put(k, _) | KvOp::Delete(k) => k.clone(),
+        }
+    }
+
+    fn read_key(op: &KvRead) -> Option<String> {
+        match op {
+            KvRead::Get(k) => Some(k.clone()),
+            KvRead::Len => None,
+        }
+    }
+
+    fn merge_reads(op: &KvRead, shard_values: Vec<KvValue>) -> KvValue {
+        match op {
+            // Shards hold disjoint key sets, so the global length is the sum.
+            KvRead::Len => KvValue::Len(
+                shard_values
+                    .iter()
+                    .map(|v| match v {
+                        KvValue::Len(n) => *n,
+                        KvValue::Value(_) => 0,
+                    })
+                    .sum(),
+            ),
+            // Keyed reads are routed, never merged; answer defensively anyway.
+            KvRead::Get(_) => shard_values
+                .into_iter()
+                .find(|v| matches!(v, KvValue::Value(Some(_))))
+                .unwrap_or(KvValue::Value(None)),
         }
     }
 }

@@ -71,9 +71,9 @@ impl OpCodec for QueueOp {
     fn decode(bytes: &[u8]) -> Option<Self> {
         match bytes {
             [1] => Some(QueueOp::Dequeue),
-            b if b.len() == 9 && b[0] == 0 => {
-                Some(QueueOp::Enqueue(u64::from_le_bytes(b[1..].try_into().ok()?)))
-            }
+            b if b.len() == 9 && b[0] == 0 => Some(QueueOp::Enqueue(u64::from_le_bytes(
+                b[1..].try_into().ok()?,
+            ))),
             _ => None,
         }
     }

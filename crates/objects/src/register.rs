@@ -126,14 +126,20 @@ mod tests {
         let mut r = RegisterSpec::initialize();
         assert_eq!(r.apply(&RegisterOp::Write(5)), RegisterValue::Value(5));
         assert_eq!(
-            r.apply(&RegisterOp::Cas { expected: 5, new: 9 }),
+            r.apply(&RegisterOp::Cas {
+                expected: 5,
+                new: 9
+            }),
             RegisterValue::CasResult {
                 success: true,
                 observed: 5
             }
         );
         assert_eq!(
-            r.apply(&RegisterOp::Cas { expected: 5, new: 1 }),
+            r.apply(&RegisterOp::Cas {
+                expected: 5,
+                new: 1
+            }),
             RegisterValue::CasResult {
                 success: false,
                 observed: 9

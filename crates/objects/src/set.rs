@@ -1,6 +1,6 @@
 //! A set of 64-bit keys.
 
-use onll::{CheckpointableSpec, OpCodec, SequentialSpec};
+use onll::{CheckpointableSpec, KeyedSpec, OpCodec, SequentialSpec};
 use std::collections::BTreeSet;
 
 /// State of the set.
@@ -97,6 +97,44 @@ impl SequentialSpec for SetSpec {
         match op {
             SetRead::Contains(k) => SetValue::Bool(self.items.contains(k)),
             SetRead::Len => SetValue::Len(self.items.len()),
+        }
+    }
+}
+
+impl KeyedSpec for SetSpec {
+    type Key = u64;
+
+    fn update_key(op: &SetOp) -> u64 {
+        match op {
+            SetOp::Add(k) | SetOp::Remove(k) => *k,
+        }
+    }
+
+    fn read_key(op: &SetRead) -> Option<u64> {
+        match op {
+            SetRead::Contains(k) => Some(*k),
+            SetRead::Len => None,
+        }
+    }
+
+    fn merge_reads(op: &SetRead, shard_values: Vec<SetValue>) -> SetValue {
+        match op {
+            // Shards hold disjoint keys, so the global length is the sum.
+            SetRead::Len => SetValue::Len(
+                shard_values
+                    .iter()
+                    .map(|v| match v {
+                        SetValue::Len(n) => *n,
+                        SetValue::Bool(_) => 0,
+                    })
+                    .sum(),
+            ),
+            // Keyed reads are routed, never merged; answer defensively anyway.
+            SetRead::Contains(_) => SetValue::Bool(
+                shard_values
+                    .iter()
+                    .any(|v| matches!(v, SetValue::Bool(true))),
+            ),
         }
     }
 }

@@ -34,12 +34,24 @@ fn durable_register_cas_sequence() {
     let mut h = reg.register().unwrap();
     h.update(RegisterOp::Write(10));
     assert_eq!(
-        h.update(RegisterOp::Cas { expected: 10, new: 20 }),
-        RegisterValue::CasResult { success: true, observed: 10 }
+        h.update(RegisterOp::Cas {
+            expected: 10,
+            new: 20
+        }),
+        RegisterValue::CasResult {
+            success: true,
+            observed: 10
+        }
     );
     assert_eq!(
-        h.update(RegisterOp::Cas { expected: 10, new: 30 }),
-        RegisterValue::CasResult { success: false, observed: 20 }
+        h.update(RegisterOp::Cas {
+            expected: 10,
+            new: 30
+        }),
+        RegisterValue::CasResult {
+            success: false,
+            observed: 20
+        }
     );
     assert_eq!(h.read(&RegisterRead::Get), RegisterValue::Value(20));
 }
@@ -86,7 +98,10 @@ fn durable_kv_store_end_to_end() {
     drop(kv);
     p.crash_and_restart();
     let (kv, _) = DurableKv::recover(p, OnllConfig::named("kv")).unwrap();
-    assert_eq!(kv.read_latest(&KvRead::Get("alice".into())), KvValue::Value(None));
+    assert_eq!(
+        kv.read_latest(&KvRead::Get("alice".into())),
+        KvValue::Value(None)
+    );
     assert_eq!(
         kv.read_latest(&KvRead::Get("bob".into())),
         KvValue::Value(Some("scientist".into()))
@@ -116,8 +131,14 @@ fn durable_set_concurrent_membership() {
         j.join().unwrap();
     }
     assert_eq!(set.read_latest(&SetRead::Len), SetValue::Len(200));
-    assert_eq!(set.read_latest(&SetRead::Contains(2049)), SetValue::Bool(true));
-    assert_eq!(set.read_latest(&SetRead::Contains(999)), SetValue::Bool(false));
+    assert_eq!(
+        set.read_latest(&SetRead::Contains(2049)),
+        SetValue::Bool(true)
+    );
+    assert_eq!(
+        set.read_latest(&SetRead::Contains(999)),
+        SetValue::Bool(false)
+    );
 }
 
 #[test]

@@ -239,7 +239,10 @@ mod tests {
             let w = pool.stats().op_window();
             log.append(&[b"op", b"helped"], i).unwrap();
             let d = w.close();
-            assert_eq!(d.persistent_fences, 1, "append #{i} used more than one fence");
+            assert_eq!(
+                d.persistent_fences, 1,
+                "append #{i} used more than one fence"
+            );
             assert_eq!(d.fences, 1);
         }
     }

@@ -44,10 +44,7 @@ pub fn reconstruct_history_from(logs: &[Vec<LogEntry>], first_index: u64) -> Vec
     let mut i: u64 = first_index.max(1);
     loop {
         // Find the entry with the lowest execution index j >= i.
-        let candidate = all
-            .iter()
-            .find(|e| e.execution_index >= i)
-            .copied();
+        let candidate = all.iter().find(|e| e.execution_index >= i).copied();
         let Some(entry) = candidate else { break };
         match entry.op_with_index(i) {
             Some(op) => {
@@ -207,7 +204,7 @@ mod tests {
     fn reconstruction_from_zero_behaves_like_from_one() {
         let p1 = vec![entry(1, &["u1"]), entry(2, &["u2"])];
         assert_eq!(
-            reconstruct_history_from(&[p1.clone()], 0),
+            reconstruct_history_from(std::slice::from_ref(&p1), 0),
             reconstruct_history_from(&[p1], 1)
         );
     }

@@ -1,0 +1,101 @@
+//! Sharded-object configuration.
+
+use nvm_sim::PmemConfig;
+use onll::OnllConfig;
+
+/// Configuration of a [`crate::ShardedDurable`] object.
+///
+/// Each shard is a full, independent ONLL instance living in its own NVM pool
+/// partition; `base` is the per-shard template (its `name` is suffixed with the
+/// shard index) and `pmem` is partitioned into one equal slice per shard.
+#[derive(Debug, Clone)]
+pub struct ShardConfig {
+    /// Logical name of the sharded object; shard `i`'s ONLL instance is named
+    /// `"{name}/shard{i}"` inside its pool.
+    pub name: String,
+    /// Number of shards (independent ONLL instances).
+    pub shards: usize,
+    /// Per-shard ONLL configuration template.
+    pub base: OnllConfig,
+    /// NVM configuration partitioned across the shards.
+    pub pmem: PmemConfig,
+}
+
+impl ShardConfig {
+    /// A configuration named `name` with defaults: 4 shards, default per-shard
+    /// ONLL config, 64 MiB of simulated NVM split across the shards.
+    pub fn named(name: &str) -> Self {
+        ShardConfig {
+            name: name.to_string(),
+            shards: 4,
+            base: OnllConfig::default(),
+            pmem: PmemConfig::default(),
+        }
+    }
+
+    /// Sets the number of shards.
+    pub fn shards(mut self, n: usize) -> Self {
+        assert!(n >= 1, "at least one shard is required");
+        self.shards = n;
+        self
+    }
+
+    /// Sets the per-shard ONLL configuration template (its `name` is ignored;
+    /// shards derive theirs from the shard config's name).
+    pub fn base(mut self, base: OnllConfig) -> Self {
+        self.base = base;
+        self
+    }
+
+    /// Sets the NVM configuration to partition across the shards.
+    pub fn pmem(mut self, pmem: PmemConfig) -> Self {
+        self.pmem = pmem;
+        self
+    }
+
+    /// Convenience: enables fence-amortized group persist with groups of up to
+    /// `n` operations per shard (see `OnllConfig::group_persist`).
+    pub fn group_persist(mut self, n: usize) -> Self {
+        self.base = self.base.group_persist(n);
+        self
+    }
+
+    /// The ONLL configuration of shard `index`.
+    pub(crate) fn shard_onll_config(&self, index: usize) -> OnllConfig {
+        let mut cfg = self.base.clone();
+        cfg.name = format!("{}/shard{index}", self.name);
+        cfg
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builders_compose() {
+        let cfg = ShardConfig::named("kv")
+            .shards(8)
+            .base(OnllConfig::default().max_processes(2))
+            .group_persist(4)
+            .pmem(PmemConfig::with_capacity(128 << 20));
+        assert_eq!(cfg.name, "kv");
+        assert_eq!(cfg.shards, 8);
+        assert_eq!(cfg.base.max_processes, 2);
+        assert_eq!(cfg.base.max_group_ops, 4);
+        assert_eq!(cfg.pmem.capacity, 128 << 20);
+    }
+
+    #[test]
+    fn shard_names_are_distinct_and_derived() {
+        let cfg = ShardConfig::named("kv").shards(3);
+        assert_eq!(cfg.shard_onll_config(0).name, "kv/shard0");
+        assert_eq!(cfg.shard_onll_config(2).name, "kv/shard2");
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_shards_rejected() {
+        let _ = ShardConfig::named("x").shards(0);
+    }
+}

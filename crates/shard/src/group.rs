@@ -1,0 +1,124 @@
+//! The group-persist buffering layer.
+//!
+//! Persistent fences are the dominant cost of durable updates (the paper's
+//! whole subject), and its lower bound says one fence per update is inherent
+//! for *synchronous* durability. [`GroupPersist`] trades linearization latency
+//! for fence amortization, the same lever lifecycle-aware persistence uses to
+//! amortize retention costs: updates are buffered per shard and persisted as a
+//! *group* via `ProcessHandle::update_group` — one log entry, **one persistent
+//! fence for the whole group**.
+//!
+//! Semantics: a buffered update is not ordered, not durable and not visible
+//! until its shard is flushed (explicitly via [`crate::ShardedHandle::flush`],
+//! or automatically when the shard's buffer reaches the configured group size).
+//! Flushing linearizes the group at a single point and makes it durable with
+//! one fence, so a crash either keeps the whole group or loses it entirely —
+//! each operation remains individually reported by detectable execution.
+
+/// Per-shard buffers of not-yet-persisted update operations.
+#[derive(Debug)]
+pub struct GroupPersist<Op> {
+    buffers: Vec<Vec<Op>>,
+    /// Flush a shard automatically once its buffer holds this many operations.
+    group_size: usize,
+}
+
+impl<Op> GroupPersist<Op> {
+    /// Buffers for `shards` shards, auto-flushing at `group_size` operations
+    /// (which must not exceed the shards' `OnllConfig::max_group_ops`).
+    pub fn new(shards: usize, group_size: usize) -> Self {
+        assert!(group_size >= 1, "group size must be at least 1");
+        GroupPersist {
+            buffers: (0..shards)
+                .map(|_| Vec::with_capacity(group_size))
+                .collect(),
+            group_size,
+        }
+    }
+
+    /// The configured auto-flush group size.
+    pub fn group_size(&self) -> usize {
+        self.group_size
+    }
+
+    /// Buffers `op` on `shard`. Returns `true` if the shard's buffer is now
+    /// full and must be flushed.
+    pub fn push(&mut self, shard: usize, op: Op) -> bool {
+        let buf = &mut self.buffers[shard];
+        buf.push(op);
+        buf.len() >= self.group_size
+    }
+
+    /// Takes all buffered operations of `shard` (possibly empty).
+    pub fn drain(&mut self, shard: usize) -> Vec<Op> {
+        std::mem::take(&mut self.buffers[shard])
+    }
+
+    /// Puts drained operations back at the *front* of `shard`'s buffer (their
+    /// original order ahead of anything buffered since). Used to undo a drain
+    /// when the group persist failed before ordering anything, so the caller
+    /// can retry after resolving the error (e.g. checkpointing a full log).
+    pub fn restore(&mut self, shard: usize, mut ops: Vec<Op>) {
+        let buffered_since = std::mem::take(&mut self.buffers[shard]);
+        ops.extend(buffered_since);
+        self.buffers[shard] = ops;
+    }
+
+    /// Number of operations buffered on `shard`.
+    pub fn shard_len(&self, shard: usize) -> usize {
+        self.buffers[shard].len()
+    }
+
+    /// Total buffered operations across all shards.
+    pub fn len(&self) -> usize {
+        self.buffers.iter().map(Vec::len).sum()
+    }
+
+    /// True if nothing is buffered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Shards with at least one buffered operation, in shard order.
+    pub fn dirty_shards(&self) -> Vec<usize> {
+        (0..self.buffers.len())
+            .filter(|&s| !self.buffers[s].is_empty())
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_signals_full_at_group_size() {
+        let mut g: GroupPersist<u32> = GroupPersist::new(2, 3);
+        assert!(!g.push(0, 1));
+        assert!(!g.push(0, 2));
+        assert!(g.push(0, 3), "third push reaches the group size");
+        assert_eq!(g.shard_len(0), 3);
+        assert_eq!(g.shard_len(1), 0);
+    }
+
+    #[test]
+    fn drain_empties_only_the_target_shard() {
+        let mut g: GroupPersist<u32> = GroupPersist::new(3, 8);
+        g.push(0, 1);
+        g.push(2, 2);
+        g.push(2, 3);
+        assert_eq!(g.dirty_shards(), vec![0, 2]);
+        assert_eq!(g.drain(2), vec![2, 3]);
+        assert_eq!(g.len(), 1);
+        assert_eq!(g.drain(2), Vec::<u32>::new());
+        assert!(!g.is_empty());
+        assert_eq!(g.drain(0), vec![1]);
+        assert!(g.is_empty());
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_group_size_rejected() {
+        let _ = GroupPersist::<u32>::new(1, 0);
+    }
+}

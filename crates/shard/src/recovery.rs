@@ -1,0 +1,64 @@
+//! Merged recovery reporting for sharded objects.
+
+use onll::RecoveryReport;
+
+/// Outcome of a parallel sharded recovery: one [`RecoveryReport`] per shard, in
+/// shard order, plus merged convenience accessors.
+#[derive(Debug, Clone)]
+pub struct ShardRecoveryReport {
+    /// Per-shard reports, indexed by shard.
+    pub per_shard: Vec<RecoveryReport>,
+}
+
+impl ShardRecoveryReport {
+    /// Number of shards recovered.
+    pub fn shards(&self) -> usize {
+        self.per_shard.len()
+    }
+
+    /// Total operations replayed from logs across all shards.
+    pub fn total_replayed(&self) -> usize {
+        self.per_shard.iter().map(|r| r.replayed_ops()).sum()
+    }
+
+    /// Each shard's durable execution index, in shard order.
+    pub fn durable_indices(&self) -> Vec<u64> {
+        self.per_shard.iter().map(|r| r.durable_index).collect()
+    }
+
+    /// Total durable operations across all shards (sum of per-shard durable
+    /// indices above their checkpoints).
+    pub fn total_durable(&self) -> u64 {
+        self.per_shard
+            .iter()
+            .map(|r| r.durable_index - r.checkpoint_index)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use onll::OpId;
+
+    fn report(checkpoint: u64, durable: u64, replayed: usize) -> RecoveryReport {
+        RecoveryReport {
+            checkpoint_index: checkpoint,
+            durable_index: durable,
+            recovered_ops: (0..replayed)
+                .map(|i| (checkpoint + 1 + i as u64, OpId::new(0, i as u64 + 1)))
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn merged_accessors_aggregate_per_shard_reports() {
+        let merged = ShardRecoveryReport {
+            per_shard: vec![report(0, 5, 5), report(0, 0, 0), report(10, 13, 3)],
+        };
+        assert_eq!(merged.shards(), 3);
+        assert_eq!(merged.total_replayed(), 8);
+        assert_eq!(merged.durable_indices(), vec![5, 0, 13]);
+        assert_eq!(merged.total_durable(), 8);
+    }
+}

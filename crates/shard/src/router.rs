@@ -1,0 +1,160 @@
+//! Pluggable shard routing.
+//!
+//! A [`ShardRouter`] maps every routing key to exactly one shard index in
+//! `0..shards()`. Routing must be **total** (no key without a shard) and
+//! **stable** (the same key always maps to the same shard for a given router
+//! configuration) — recovery depends on it: after a crash, a key's operations
+//! are found in the shard its router picked before the crash.
+
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+
+/// Maps routing keys to shard indices.
+pub trait ShardRouter<K: ?Sized>: Send + Sync + 'static {
+    /// Number of shards this router distributes over.
+    fn shards(&self) -> usize;
+
+    /// The shard owning `key`. Must return a value in `0..self.shards()` for
+    /// every key, deterministically.
+    fn route(&self, key: &K) -> usize;
+}
+
+/// Hash routing: `shard = H(key) mod N` with a fixed-seed hasher.
+///
+/// Spreads arbitrary key distributions evenly; the right default when keys have
+/// no exploitable order.
+#[derive(Debug, Clone)]
+pub struct HashRouter {
+    shards: usize,
+}
+
+impl HashRouter {
+    /// A router hashing over `shards` shards.
+    pub fn new(shards: usize) -> Self {
+        assert!(shards >= 1, "at least one shard is required");
+        HashRouter { shards }
+    }
+}
+
+impl<K: Hash + ?Sized> ShardRouter<K> for HashRouter {
+    fn shards(&self) -> usize {
+        self.shards
+    }
+
+    fn route(&self, key: &K) -> usize {
+        // DefaultHasher::new() uses fixed keys, so routing is deterministic
+        // across processes — a recovery requirement.
+        let mut h = DefaultHasher::new();
+        key.hash(&mut h);
+        (h.finish() % self.shards as u64) as usize
+    }
+}
+
+/// Range routing: shard `i` owns keys in `[boundaries[i-1], boundaries[i])`,
+/// with the first shard owning everything below `boundaries[0]` and the last
+/// shard everything from `boundaries[N-2]` up.
+///
+/// Preserves key locality (range scans stay within few shards) at the price of
+/// needing boundaries matched to the key distribution.
+#[derive(Debug, Clone)]
+pub struct RangeRouter<K> {
+    /// Strictly increasing upper bounds; `boundaries.len() + 1` shards.
+    boundaries: Vec<K>,
+}
+
+impl<K: Ord> RangeRouter<K> {
+    /// A router with the given strictly increasing split points. `n` boundaries
+    /// define `n + 1` shards.
+    pub fn new(boundaries: Vec<K>) -> Self {
+        assert!(
+            boundaries.windows(2).all(|w| w[0] < w[1]),
+            "range boundaries must be strictly increasing"
+        );
+        RangeRouter { boundaries }
+    }
+}
+
+impl<K> ShardRouter<K> for RangeRouter<K>
+where
+    K: Ord + Send + Sync + 'static,
+{
+    fn shards(&self) -> usize {
+        self.boundaries.len() + 1
+    }
+
+    fn route(&self, key: &K) -> usize {
+        // Number of boundaries <= key == index of the first range containing it.
+        self.boundaries.partition_point(|b| b <= key)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hash_router_is_total_and_stable() {
+        let r = HashRouter::new(5);
+        for key in 0u64..1000 {
+            let s = r.route(&key);
+            assert!(s < 5);
+            assert_eq!(s, r.route(&key), "same key, same shard");
+            assert_eq!(s, HashRouter::new(5).route(&key), "same config, same shard");
+        }
+    }
+
+    #[test]
+    fn hash_router_spreads_keys() {
+        let r = HashRouter::new(4);
+        let mut counts = [0usize; 4];
+        for key in 0u64..4000 {
+            counts[ShardRouter::<u64>::route(&r, &key)] += 1;
+        }
+        for c in counts {
+            assert!(c > 500, "severely unbalanced hash routing: {counts:?}");
+        }
+    }
+
+    #[test]
+    fn hash_router_routes_strings() {
+        let r = HashRouter::new(3);
+        let s = ShardRouter::<str>::route(&r, "user:42");
+        assert!(s < 3);
+        assert_eq!(ShardRouter::<String>::route(&r, &"user:42".to_string()), {
+            // &str and String hash identically, so both key forms agree.
+            s
+        });
+    }
+
+    #[test]
+    fn range_router_respects_boundaries() {
+        // Shards: [..10), [10..20), [20..).
+        let r = RangeRouter::new(vec![10u64, 20]);
+        assert_eq!(r.shards(), 3);
+        assert_eq!(r.route(&0), 0);
+        assert_eq!(r.route(&9), 0);
+        assert_eq!(r.route(&10), 1);
+        assert_eq!(r.route(&19), 1);
+        assert_eq!(r.route(&20), 2);
+        assert_eq!(r.route(&u64::MAX), 2);
+    }
+
+    #[test]
+    fn range_router_single_shard_takes_everything() {
+        let r = RangeRouter::<u64>::new(vec![]);
+        assert_eq!(r.shards(), 1);
+        assert_eq!(r.route(&123), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn range_router_rejects_unsorted_boundaries() {
+        let _ = RangeRouter::new(vec![5u64, 5]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn hash_router_rejects_zero_shards() {
+        let _ = HashRouter::new(0);
+    }
+}

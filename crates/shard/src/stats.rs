@@ -1,0 +1,112 @@
+//! Aggregated persistence statistics across shard pools.
+//!
+//! A sharded object spreads its state over N independent NVM pools, but the
+//! quantities the paper reasons about (persistent fences per operation) are
+//! properties of the *logical* object. [`AggregateWindow`] opens one per-thread
+//! [`OpWindow`] per pool and closes them into a single merged delta, so fence
+//! audits can assert the Theorem 5.1 bounds across all shards at once.
+
+use nvm_sim::{NvmPool, OpWindow, ThreadStatsSnapshot};
+
+/// A scoped window over the calling thread's persistence counters on *every*
+/// pool of a sharded object.
+pub struct AggregateWindow<'a> {
+    windows: Vec<OpWindow<'a>>,
+}
+
+impl<'a> AggregateWindow<'a> {
+    /// Opens a window on each pool.
+    pub fn open(pools: &'a [NvmPool]) -> Self {
+        AggregateWindow {
+            windows: pools.iter().map(|p| p.stats().op_window()).collect(),
+        }
+    }
+
+    /// Closes all windows and returns the merged per-thread delta.
+    pub fn close(self) -> ThreadStatsSnapshot {
+        self.windows
+            .into_iter()
+            .map(|w| w.close())
+            .fold(ThreadStatsSnapshot::default(), |acc, d| acc.merge(&d))
+    }
+
+    /// Peeks at the merged delta without consuming the window.
+    pub fn peek(&self) -> ThreadStatsSnapshot {
+        let deltas: Vec<ThreadStatsSnapshot> = self.windows.iter().map(|w| w.peek()).collect();
+        ThreadStatsSnapshot::merge_all(deltas.iter())
+    }
+}
+
+/// Merged global counters (all threads) across a set of pools.
+pub fn merged_global_stats(pools: &[NvmPool]) -> ThreadStatsSnapshot {
+    let globals: Vec<ThreadStatsSnapshot> =
+        pools.iter().map(|p| p.stats().snapshot().global).collect();
+    ThreadStatsSnapshot::merge_all(globals.iter())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nvm_sim::PmemConfig;
+
+    fn pools(n: usize) -> Vec<NvmPool> {
+        PmemConfig::with_capacity(1 << 20)
+            .partition(n)
+            .into_iter()
+            .map(NvmPool::new)
+            .collect()
+    }
+
+    #[test]
+    fn aggregate_window_sums_across_pools() {
+        let pools = pools(3);
+        // Allocation persists allocator metadata (its own fences); keep it
+        // outside the window so the window sees exactly our persists.
+        let addrs: Vec<_> = pools.iter().map(|p| p.alloc(64).unwrap()).collect();
+        let w = AggregateWindow::open(&pools);
+        for (i, (p, addr)) in pools.iter().zip(&addrs).enumerate() {
+            p.write_u64(*addr, i as u64);
+            p.flush(*addr, 8);
+            p.fence();
+        }
+        let d = w.close();
+        assert_eq!(d.persistent_fences, 3);
+        assert_eq!(d.flushes, 3);
+    }
+
+    #[test]
+    fn aggregate_window_peek_does_not_consume() {
+        let pools = pools(2);
+        let addr = pools[0].alloc(64).unwrap();
+        let w = AggregateWindow::open(&pools);
+        pools[0].write_u64(addr, 1);
+        pools[0].flush(addr, 8);
+        pools[0].fence();
+        assert_eq!(w.peek().persistent_fences, 1);
+        pools[1].fence(); // no pending flush: not persistent
+        let d = w.close();
+        assert_eq!(d.persistent_fences, 1);
+        assert_eq!(d.fences, 2);
+    }
+
+    #[test]
+    fn merged_global_stats_cover_all_threads() {
+        let pools = pools(2);
+        let addr0 = pools[0].alloc(64).unwrap();
+        let addr1 = pools[1].alloc(64).unwrap();
+        let before = merged_global_stats(&pools);
+        let p1 = pools[1].clone();
+        std::thread::spawn(move || {
+            p1.write_u64(addr1, 7);
+            p1.flush(addr1, 8);
+            p1.fence();
+        })
+        .join()
+        .unwrap();
+        pools[0].write_u64(addr0, 9);
+        pools[0].flush(addr0, 8);
+        pools[0].fence();
+        let merged = merged_global_stats(&pools);
+        assert_eq!(merged.delta(&before).persistent_fences, 2);
+    }
+}

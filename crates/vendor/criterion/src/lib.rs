@@ -1,0 +1,273 @@
+//! Minimal shim for the subset of `criterion` this workspace uses.
+//!
+//! The build environment has no access to crates.io, so the workspace vendors a
+//! small wall-clock benchmark harness behind the `criterion` names it calls:
+//! [`Criterion`], benchmark groups with `sample_size` / `measurement_time` /
+//! `warm_up_time`, [`BenchmarkId`], and the [`criterion_group!`] /
+//! [`criterion_main!`] macros.
+//!
+//! Instead of criterion's statistical analysis, each benchmark reports the mean
+//! and minimum time per iteration over `sample_size` samples on stdout, one
+//! line per benchmark:
+//!
+//! ```text
+//! bench: E9/log-append/onll            mean     812 ns/iter   min     790 ns/iter   (10 samples)
+//! ```
+
+pub use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Identifier combining a function name and a parameter (shim of
+/// `criterion::BenchmarkId`).
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// Creates an id rendering as `name/parameter`.
+    pub fn new(name: impl std::fmt::Display, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            label: format!("{name}/{parameter}"),
+        }
+    }
+
+    /// Creates an id from a parameter alone.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+/// Types usable as a benchmark identifier.
+pub trait IntoBenchmarkLabel {
+    /// Renders the identifier.
+    fn into_label(self) -> String;
+}
+
+impl IntoBenchmarkLabel for BenchmarkId {
+    fn into_label(self) -> String {
+        self.label
+    }
+}
+
+impl IntoBenchmarkLabel for &str {
+    fn into_label(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkLabel for String {
+    fn into_label(self) -> String {
+        self
+    }
+}
+
+/// Timing loop handle passed to benchmark closures (shim of
+/// `criterion::Bencher`).
+pub struct Bencher<'a> {
+    samples: &'a mut Vec<Duration>,
+    iters_per_sample: u64,
+}
+
+impl Bencher<'_> {
+    /// Times `routine`, recording one sample of `iters_per_sample` iterations.
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        let start = Instant::now();
+        for _ in 0..self.iters_per_sample {
+            black_box(routine());
+        }
+        self.samples.push(start.elapsed());
+    }
+}
+
+#[derive(Clone)]
+struct GroupConfig {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Default for GroupConfig {
+    fn default() -> Self {
+        GroupConfig {
+            sample_size: 20,
+            measurement_time: Duration::from_millis(500),
+            warm_up_time: Duration::from_millis(100),
+        }
+    }
+}
+
+/// Benchmark driver (shim of `criterion::Criterion`).
+#[derive(Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.into(),
+            config: GroupConfig::default(),
+        }
+    }
+
+    /// Runs a standalone benchmark (its own single-member group).
+    pub fn bench_function(
+        &mut self,
+        id: impl IntoBenchmarkLabel,
+        f: impl FnMut(&mut Bencher<'_>),
+    ) -> &mut Self {
+        let label = id.into_label();
+        run_benchmark(&label, &GroupConfig::default(), f);
+        self
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and timing configuration.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    config: GroupConfig,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.config.sample_size = n.max(1);
+        self
+    }
+
+    /// Sets the total time budget for the timed samples.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.config.measurement_time = d;
+        self
+    }
+
+    /// Sets the warm-up time before sampling starts.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.config.warm_up_time = d;
+        self
+    }
+
+    /// Runs one benchmark within the group.
+    pub fn bench_function(
+        &mut self,
+        id: impl IntoBenchmarkLabel,
+        f: impl FnMut(&mut Bencher<'_>),
+    ) -> &mut Self {
+        let label = format!("{}/{}", self.name, id.into_label());
+        run_benchmark(&label, &self.config, f);
+        self
+    }
+
+    /// Ends the group (output is flushed per benchmark; provided for API
+    /// compatibility).
+    pub fn finish(&mut self) {}
+}
+
+fn run_benchmark(label: &str, config: &GroupConfig, mut f: impl FnMut(&mut Bencher<'_>)) {
+    // Warm-up: run single iterations until the warm-up budget is spent, and use
+    // the observed speed to size the measurement samples.
+    let warm_start = Instant::now();
+    let mut warm_iters: u64 = 0;
+    let mut scratch = Vec::new();
+    while warm_start.elapsed() < config.warm_up_time {
+        scratch.clear();
+        let mut b = Bencher {
+            samples: &mut scratch,
+            iters_per_sample: 1,
+        };
+        f(&mut b);
+        warm_iters += 1;
+    }
+    let per_iter = warm_start.elapsed().as_nanos() / u128::from(warm_iters.max(1));
+    let budget_ns = config.measurement_time.as_nanos() / config.sample_size as u128;
+    let iters_per_sample = (budget_ns / per_iter.max(1)).clamp(1, 1_000_000) as u64;
+
+    let mut samples: Vec<Duration> = Vec::with_capacity(config.sample_size);
+    while samples.len() < config.sample_size {
+        let mut b = Bencher {
+            samples: &mut samples,
+            iters_per_sample,
+        };
+        f(&mut b);
+    }
+
+    let per_iter_ns: Vec<f64> = samples
+        .iter()
+        .map(|d| d.as_nanos() as f64 / iters_per_sample as f64)
+        .collect();
+    let mean = per_iter_ns.iter().sum::<f64>() / per_iter_ns.len() as f64;
+    let min = per_iter_ns.iter().cloned().fold(f64::INFINITY, f64::min);
+    println!(
+        "bench: {label:<44} mean {mean:>10.0} ns/iter   min {min:>10.0} ns/iter   ({} samples x {} iters)",
+        samples.len(),
+        iters_per_sample
+    );
+}
+
+/// Declares a benchmark entry point collecting the given functions (shim of
+/// `criterion::criterion_group!`).
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` running the given benchmark groups (shim of
+/// `criterion::criterion_main!`).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_ids_render_as_expected() {
+        assert_eq!(BenchmarkId::new("onll", 4).into_label(), "onll/4");
+        assert_eq!(BenchmarkId::from_parameter(7).into_label(), "7");
+        assert_eq!("plain".into_label(), "plain");
+    }
+
+    #[test]
+    fn run_benchmark_completes_quickly_and_samples() {
+        let config = GroupConfig {
+            sample_size: 3,
+            measurement_time: Duration::from_millis(5),
+            warm_up_time: Duration::from_millis(1),
+        };
+        let mut count = 0u64;
+        run_benchmark("test/increment", &config, |b| {
+            b.iter(|| {
+                count = count.wrapping_add(1);
+                count
+            })
+        });
+        assert!(count > 0);
+    }
+
+    #[test]
+    fn groups_chain_configuration() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("g");
+        g.sample_size(2)
+            .measurement_time(Duration::from_millis(2))
+            .warm_up_time(Duration::from_millis(1));
+        g.bench_function("noop", |b| b.iter(|| 1 + 1));
+        g.finish();
+    }
+}

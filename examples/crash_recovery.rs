@@ -48,6 +48,9 @@ fn main() {
     table.print();
     assert!(all_ok, "a crash point violated durable linearizability");
     println!();
-    println!("all {} crash points satisfied Definition 5.6 (durable linearizability)", outcomes.len());
+    println!(
+        "all {} crash points satisfied Definition 5.6 (durable linearizability)",
+        outcomes.len()
+    );
     println!("crash_recovery OK");
 }

@@ -12,7 +12,9 @@
 use remembering_consistently::baselines::{
     DurableObject, FlatCombiningDurable, NaiveDurable, TransientObject, WalDurable,
 };
-use remembering_consistently::harness::{audit_fence_bounds, OnllAdapter, Table, Workload, WorkloadMix};
+use remembering_consistently::harness::{
+    audit_fence_bounds, OnllAdapter, Table, Workload, WorkloadMix,
+};
 use remembering_consistently::nvm::{NvmPool, PmemConfig};
 use remembering_consistently::objects::CounterSpec;
 use remembering_consistently::onll::{Durable, OnllConfig};
@@ -27,7 +29,8 @@ fn audit_one<D: DurableObject<CounterSpec> + ?Sized>(
     table: &mut Table,
 ) {
     let mut workload = Workload::new(WorkloadMix::with_update_percent(update_percent), 0xFE11CE);
-    let audit = audit_fence_bounds::<CounterSpec, _>(object, pool.stats(), workload.counter_ops(OPS));
+    let audit =
+        audit_fence_bounds::<CounterSpec, _>(object, pool.stats(), workload.counter_ops(OPS));
     table.row_display(&[
         name.to_string(),
         format!("{update_percent}%"),
@@ -67,22 +70,46 @@ fn main() {
         // Transient (no persistence at all).
         let pool = NvmPool::new(PmemConfig::with_capacity(16 << 20));
         let transient = TransientObject::<CounterSpec>::new();
-        audit_one("transient", &pool, &mut transient.handle(), update_percent, &mut table);
+        audit_one(
+            "transient",
+            &pool,
+            &mut transient.handle(),
+            update_percent,
+            &mut table,
+        );
 
         // Naive full-state persistence.
         let pool = NvmPool::new(PmemConfig::with_capacity(16 << 20));
         let naive = NaiveDurable::<CounterSpec>::create(pool.clone(), 64);
-        audit_one("naive-full-state", &pool, &mut naive.handle(), update_percent, &mut table);
+        audit_one(
+            "naive-full-state",
+            &pool,
+            &mut naive.handle(),
+            update_percent,
+            &mut table,
+        );
 
         // Classic write-ahead logging.
         let pool = NvmPool::new(PmemConfig::with_capacity(64 << 20));
         let wal = WalDurable::<CounterSpec>::create(pool.clone(), OPS + 8);
-        audit_one("wal-2-fence", &pool, &mut wal.handle(), update_percent, &mut table);
+        audit_one(
+            "wal-2-fence",
+            &pool,
+            &mut wal.handle(),
+            update_percent,
+            &mut table,
+        );
 
         // Lock-based flat combining (single-threaded here: batch size 1).
         let pool = NvmPool::new(PmemConfig::with_capacity(64 << 20));
         let fc = FlatCombiningDurable::<CounterSpec>::create(pool.clone(), 4, OPS + 8);
-        audit_one("flat-combining", &pool, &mut fc.handle(0), update_percent, &mut table);
+        audit_one(
+            "flat-combining",
+            &pool,
+            &mut fc.handle(0),
+            update_percent,
+            &mut table,
+        );
     }
 
     table.print();

@@ -165,7 +165,10 @@ fn execution_3() {
     gate.open();
     let p1_value = p1.join().unwrap();
     println!("   p1 eventually returns {p1_value}");
-    assert_eq!(p1_value, 2, "p1's return value reflects the state after its own op");
+    assert_eq!(
+        p1_value, 2,
+        "p1's return value reflects the state after its own op"
+    );
 }
 
 fn execution_4() {

@@ -44,6 +44,9 @@ fn main() {
 
     // Readers linearize at the latest available node: op2.
     assert_eq!(trace.latest_available().idx(), 2);
-    println!("latest available node: idx {}", trace.latest_available().idx());
+    println!(
+        "latest available node: idx {}",
+        trace.latest_available().idx()
+    );
     println!("fuzzy_window OK");
 }

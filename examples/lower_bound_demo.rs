@@ -20,12 +20,27 @@ use remembering_consistently::harness::Table;
 fn main() {
     let mut table = Table::new(
         "Theorem 6.3 schedule: per-process persistent fences before the response",
-        &["processes", "fences per process (min..max)", "lower bound >=1", "upper bound <=1"],
+        &[
+            "processes",
+            "fences per process (min..max)",
+            "lower bound >=1",
+            "upper bound <=1",
+        ],
     );
     for n in [1, 2, 4, 8] {
         let report = run_lower_bound_experiment(n);
-        let min = report.fences_before_response.iter().min().copied().unwrap_or(0);
-        let max = report.fences_before_response.iter().max().copied().unwrap_or(0);
+        let min = report
+            .fences_before_response
+            .iter()
+            .min()
+            .copied()
+            .unwrap_or(0);
+        let max = report
+            .fences_before_response
+            .iter()
+            .max()
+            .copied()
+            .unwrap_or(0);
         table.row_display(&[
             n.to_string(),
             format!("{min}..{max}"),

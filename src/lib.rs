@@ -22,6 +22,9 @@
 //! * [`harness`] — workloads, history recording, (durable-)linearizability
 //!   checking, crash-injection orchestration and the Theorem 6.3 adversarial
 //!   scheduler.
+//! * [`shard`] — horizontally partitioned durable objects: keyed routing over
+//!   N independent ONLL instances, fence-amortized group persist, parallel
+//!   recovery.
 //!
 //! See `README.md` for a quickstart and `DESIGN.md`/`EXPERIMENTS.md` for the
 //! experiment inventory.
@@ -32,6 +35,7 @@ pub use exec_trace as trace;
 pub use harness;
 pub use nvm_sim as nvm;
 pub use onll;
+pub use onll_shard as shard;
 pub use persist_log as plog;
 
 /// Convenience prelude pulling in the types most examples need.

@@ -1,8 +1,8 @@
 //! Experiment E7: durable linearizability (Definition 5.6) and detectable execution
 //! under randomized and exhaustive crash injection.
 
-use remembering_consistently::harness::{CrashExperiment, quick_crash_sweep};
-use remembering_consistently::nvm::{NvmPool, PmemConfig, CrashTrigger};
+use remembering_consistently::harness::{quick_crash_sweep, CrashExperiment};
+use remembering_consistently::nvm::{CrashTrigger, NvmPool, PmemConfig};
 use remembering_consistently::objects::{CounterOp, CounterRead, DurableCounter};
 use remembering_consistently::onll::{OnllConfig, OpId};
 
@@ -31,7 +31,10 @@ fn crashes_with_pending_flush_uncertainty_are_handled() {
             check_linearizability_limit: 0,
         }
         .run();
-        assert!(outcome.is_consistent(), "probability {probability}: {outcome:?}");
+        assert!(
+            outcome.is_consistent(),
+            "probability {probability}: {outcome:?}"
+        );
     }
 }
 
@@ -49,7 +52,11 @@ fn exhaustive_crash_points_on_a_short_run_are_all_consistent() {
     }
     .sweep(1..=20);
     for (i, outcome) in outcomes.iter().enumerate() {
-        assert!(outcome.is_consistent(), "crash after event {}: {outcome:?}", i + 1);
+        assert!(
+            outcome.is_consistent(),
+            "crash after event {}: {outcome:?}",
+            i + 1
+        );
     }
 }
 
@@ -59,7 +66,9 @@ fn detectable_execution_across_a_mid_update_crash() {
     // recovery, was_linearized() must answer false for it and true for all earlier
     // updates (the detectable-execution property).
     let pool = NvmPool::new(PmemConfig::with_capacity(32 << 20).apply_pending_at_crash(0.0));
-    let cfg = OnllConfig::named("detect").max_processes(1).log_capacity(64);
+    let cfg = OnllConfig::named("detect")
+        .max_processes(1)
+        .log_capacity(64);
     let object = DurableCounter::create(pool.clone(), cfg.clone()).unwrap();
     let mut completed_ids: Vec<OpId> = Vec::new();
     let mut interrupted: Option<OpId> = None;
@@ -83,7 +92,10 @@ fn detectable_execution_across_a_mid_update_crash() {
     let (object, report) = DurableCounter::recover(pool, cfg).unwrap();
     assert_eq!(report.durable_index, 7);
     for id in &completed_ids {
-        assert!(object.was_linearized(*id), "completed {id} must be detected");
+        assert!(
+            object.was_linearized(*id),
+            "completed {id} must be detected"
+        );
     }
     assert!(
         !object.was_linearized(interrupted.unwrap()),

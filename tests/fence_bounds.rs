@@ -16,11 +16,9 @@ fn pool() -> NvmPool {
 fn onll_counter_meets_bounds_across_mixes() {
     for percent in [0, 10, 50, 90, 100] {
         let p = pool();
-        let obj = Durable::<CounterSpec>::create(
-            p.clone(),
-            OnllConfig::named("ctr").log_capacity(2048),
-        )
-        .unwrap();
+        let obj =
+            Durable::<CounterSpec>::create(p.clone(), OnllConfig::named("ctr").log_capacity(2048))
+                .unwrap();
         let mut adapter = OnllAdapter::new(obj.register().unwrap());
         let mut w = Workload::new(WorkloadMix::with_update_percent(percent), percent as u64);
         let audit =
@@ -38,22 +36,19 @@ fn onll_counter_meets_bounds_across_mixes() {
 #[test]
 fn onll_kv_and_set_meet_bounds() {
     let p = pool();
-    let kv = Durable::<KvSpec>::create(p.clone(), OnllConfig::named("kv").log_capacity(2048))
-        .unwrap();
+    let kv =
+        Durable::<KvSpec>::create(p.clone(), OnllConfig::named("kv").log_capacity(2048)).unwrap();
     let mut adapter = OnllAdapter::new(kv.register().unwrap());
     let mut w = Workload::new(WorkloadMix::default(), 3);
     let audit = audit_fence_bounds::<KvSpec, _>(&mut adapter, p.stats(), w.kv_ops(1000));
     assert!(audit.satisfies_onll_bounds(), "{audit:?}");
 
-    let set = Durable::<SetSpec>::create(p.clone(), OnllConfig::named("set").log_capacity(2048))
-        .unwrap();
+    let set =
+        Durable::<SetSpec>::create(p.clone(), OnllConfig::named("set").log_capacity(2048)).unwrap();
     let mut handle = set.register().unwrap();
     let mut w = Workload::new(WorkloadMix::default(), 4);
     let ops: Vec<_> = (0..1000).map(|_| w.next_set_op()).collect();
-    let mut adapter = OnllAdapter::new(std::mem::replace(
-        &mut handle,
-        set.register().unwrap(),
-    ));
+    let mut adapter = OnllAdapter::new(std::mem::replace(&mut handle, set.register().unwrap()));
     let audit = audit_fence_bounds::<SetSpec, _>(&mut adapter, p.stats(), ops);
     assert!(audit.satisfies_onll_bounds(), "{audit:?}");
 }

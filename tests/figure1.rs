@@ -94,7 +94,11 @@ fn execution_3_update_helping_another_update() {
     gate.wait();
     let before = pool.stats().persistent_fences();
     let mut p2 = counter.handle_for(1).unwrap();
-    assert_eq!(p2.update(CounterOp::Increment), 3, "p2 helps p1 and returns 3");
+    assert_eq!(
+        p2.update(CounterOp::Increment),
+        3,
+        "p2 helps p1 and returns 3"
+    );
     assert_eq!(pool.stats().persistent_fences() - before, 1);
     assert_eq!(p2.read(&CounterRead::Get), 3);
     gate.open();
@@ -136,6 +140,10 @@ fn execution_4_crash_concurrent_with_updates() {
     pool.restart(token);
     drop(counter);
     let (recovered, report) = DurableCounter::recover(pool, cfg).unwrap();
-    assert_eq!(report.replayed_ops(), 2, "p1 and p2 recovered via p2's log entry");
+    assert_eq!(
+        report.replayed_ops(),
+        2,
+        "p1 and p2 recovered via p2's log entry"
+    );
     assert_eq!(recovered.read_latest(&CounterRead::Get), 2);
 }

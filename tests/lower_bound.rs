@@ -23,10 +23,7 @@ fn the_bound_is_tight_for_onll() {
         let report = run_lower_bound_experiment(n);
         assert!(report.upper_bound_holds(), "n={n}: {report:?}");
         assert!(
-            report
-                .fences_before_response
-                .iter()
-                .all(|&f| f == 1),
+            report.fences_before_response.iter().all(|&f| f == 1),
             "n={n}: ONLL should issue exactly one fence per update: {report:?}"
         );
     }
