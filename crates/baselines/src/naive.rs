@@ -9,7 +9,7 @@
 
 use crate::interface::DurableObject;
 use nvm_sim::{NvmPool, PAddr};
-use onll::{CheckpointableSpec, SequentialSpec};
+use onll::{SequentialSpec, SnapshotSpec};
 use parking_lot::Mutex;
 use persist_log::checksum64;
 use std::sync::Arc;
@@ -38,7 +38,7 @@ impl<S: SequentialSpec> Clone for NaiveDurable<S> {
 /// Layout: two alternating slots, each `[checksum u64][version u64][len u32][pad][state...]`.
 const SLOT_HEADER: usize = 24;
 
-impl<S: CheckpointableSpec> NaiveDurable<S> {
+impl<S: SnapshotSpec> NaiveDurable<S> {
     /// Creates the object, reserving `state_capacity` bytes per state slot in `pool`.
     pub fn create(pool: NvmPool, state_capacity: usize) -> Self {
         let slot = SLOT_HEADER + state_capacity;
@@ -109,7 +109,7 @@ pub struct NaiveHandle<S: SequentialSpec> {
     inner: Arc<Mutex<Inner<S>>>,
 }
 
-impl<S: CheckpointableSpec> DurableObject<S> for NaiveHandle<S> {
+impl<S: SnapshotSpec> DurableObject<S> for NaiveHandle<S> {
     fn update(&mut self, op: S::UpdateOp) -> S::Value {
         let mut inner = self.inner.lock();
         let value = inner.state.apply(&op);

@@ -1,0 +1,184 @@
+//! Bounded-recovery bench: recovery latency for full log replay vs
+//! checkpoint+tail at growing log lengths (1k / 10k / 100k updates before the
+//! crash). With checkpointing, recovery cost is O(updates since the last
+//! checkpoint) instead of O(full history), so the gap widens with history
+//! length.
+//!
+//! In addition to the stdout table, writes a `BENCH_recovery.json` artifact at
+//! the workspace root (uploaded by CI alongside `BENCH_sharded.json`):
+//!
+//! ```text
+//! cargo bench -p onll-bench --bench recovery_checkpoint
+//! ```
+
+use durable_objects::{CounterOp, CounterRead, CounterSpec};
+use harness::Table;
+use nvm_sim::{NvmPool, PmemConfig};
+use onll::{Durable, OnllConfig};
+use std::time::{Duration, Instant};
+
+const HISTORY_LENGTHS: [usize; 3] = [1_000, 10_000, 100_000];
+const CHECKPOINT_EVERY: u64 = 256;
+const REPS: usize = 3;
+
+fn config(history: usize, with_checkpoints: bool) -> OnllConfig {
+    let mut cfg = OnllConfig::named("rec")
+        .max_processes(1)
+        .log_capacity(history + 64);
+    if with_checkpoints {
+        cfg = cfg
+            .checkpoint_every(CHECKPOINT_EVERY)
+            .checkpoint_slot_bytes(4096);
+    }
+    cfg
+}
+
+/// Builds a durable history of `history` counter increments and power-cycles.
+fn build_history(history: usize, with_checkpoints: bool) -> (NvmPool, OnllConfig) {
+    let pool = NvmPool::new(PmemConfig::with_capacity(256 << 20));
+    let cfg = config(history, with_checkpoints);
+    let obj = Durable::<CounterSpec>::create(pool.clone(), cfg.clone()).unwrap();
+    {
+        let mut h = obj.register().unwrap();
+        for _ in 0..history {
+            if with_checkpoints {
+                h.update_with_checkpoint(CounterOp::Increment).unwrap();
+            } else {
+                h.update(CounterOp::Increment);
+            }
+        }
+    }
+    drop(obj);
+    pool.crash_and_restart();
+    (pool, cfg)
+}
+
+/// One timed recovery; returns the latency and the number of replayed log ops.
+fn recover_once(
+    pool: &NvmPool,
+    cfg: &OnllConfig,
+    with_checkpoints: bool,
+    expected: i64,
+) -> (Duration, usize) {
+    let start = Instant::now();
+    let (value, replayed) = if with_checkpoints {
+        let (obj, report) =
+            Durable::<CounterSpec>::recover_with_checkpoints(pool.clone(), cfg.clone()).unwrap();
+        (
+            obj.register().unwrap().read(&CounterRead::Get),
+            report.replayed_ops(),
+        )
+    } else {
+        let (obj, report) = Durable::<CounterSpec>::recover(pool.clone(), cfg.clone()).unwrap();
+        (obj.read_latest(&CounterRead::Get), report.replayed_ops())
+    };
+    let elapsed = start.elapsed();
+    assert_eq!(value, expected, "recovery lost state");
+    (elapsed, replayed)
+}
+
+struct Measurement {
+    history: usize,
+    full_replay_us: f64,
+    full_replayed_ops: usize,
+    checkpoint_tail_us: f64,
+    tail_replayed_ops: usize,
+}
+
+impl Measurement {
+    fn speedup(&self) -> f64 {
+        self.full_replay_us / self.checkpoint_tail_us.max(f64::MIN_POSITIVE)
+    }
+}
+
+fn bench_one(history: usize) -> Measurement {
+    let (pool_plain, cfg_plain) = build_history(history, false);
+    let (pool_cp, cfg_cp) = build_history(history, true);
+    let mut full = (Duration::MAX, 0);
+    let mut tail = (Duration::MAX, 0);
+    for _ in 0..REPS {
+        let r = recover_once(&pool_plain, &cfg_plain, false, history as i64);
+        if r.0 < full.0 {
+            full = r;
+        }
+        let r = recover_once(&pool_cp, &cfg_cp, true, history as i64);
+        if r.0 < tail.0 {
+            tail = r;
+        }
+    }
+    Measurement {
+        history,
+        full_replay_us: full.0.as_secs_f64() * 1e6,
+        full_replayed_ops: full.1,
+        checkpoint_tail_us: tail.0.as_secs_f64() * 1e6,
+        tail_replayed_ops: tail.1,
+    }
+}
+
+fn write_artifact(measurements: &[Measurement]) -> std::io::Result<std::path::PathBuf> {
+    let mut json = String::from("{\n  \"bench\": \"recovery_checkpoint\",\n");
+    json.push_str(&format!(
+        "  \"checkpoint_every\": {CHECKPOINT_EVERY},\n  \"reps\": {REPS},\n"
+    ));
+    json.push_str("  \"results\": [\n");
+    for (i, m) in measurements.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"history\": {}, \"full_replay_us\": {:.1}, \"full_replayed_ops\": {}, \"checkpoint_tail_us\": {:.1}, \"tail_replayed_ops\": {}, \"speedup\": {:.1}}}{}\n",
+            m.history,
+            m.full_replay_us,
+            m.full_replayed_ops,
+            m.checkpoint_tail_us,
+            m.tail_replayed_ops,
+            m.speedup(),
+            if i + 1 == measurements.len() { "" } else { "," }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()?
+        .join("BENCH_recovery.json");
+    std::fs::write(&path, json)?;
+    Ok(path)
+}
+
+fn main() {
+    let mut table = Table::new(
+        &format!("recovery latency: full replay vs checkpoint+tail (checkpoint every {CHECKPOINT_EVERY})"),
+        &[
+            "history",
+            "full replay (us)",
+            "replayed",
+            "checkpoint+tail (us)",
+            "replayed",
+            "speedup",
+        ],
+    );
+    let mut measurements = Vec::new();
+    for history in HISTORY_LENGTHS {
+        let m = bench_one(history);
+        table.row(&[
+            m.history.to_string(),
+            format!("{:.0}", m.full_replay_us),
+            m.full_replayed_ops.to_string(),
+            format!("{:.0}", m.checkpoint_tail_us),
+            m.tail_replayed_ops.to_string(),
+            format!("{:.1}x", m.speedup()),
+        ]);
+        measurements.push(m);
+    }
+    table.print();
+    let at_100k = measurements
+        .iter()
+        .find(|m| m.history == 100_000)
+        .expect("100k run present");
+    assert!(
+        at_100k.speedup() >= 5.0,
+        "checkpoint+tail recovery must be at least 5x faster than full replay at 100k ops (got {:.1}x)",
+        at_100k.speedup()
+    );
+    match write_artifact(&measurements) {
+        Ok(path) => println!("\nwrote {}", path.display()),
+        Err(e) => eprintln!("\nfailed to write BENCH_recovery.json: {e}"),
+    }
+}

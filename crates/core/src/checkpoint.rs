@@ -1,21 +1,60 @@
-//! Persistent checkpoints of the object state (Section 8 extension).
+//! Epoch-based persistent checkpoints of the object state (Section 8 extension).
 //!
 //! A checkpoint is an object-specific, serialized representation of the state after
-//! the first `n` updates. Each process owns a small double-buffered checkpoint area
-//! in NVM; writing a checkpoint costs one persistent fence (it is an explicit
-//! maintenance operation, outside the per-update fence budget), after which the
-//! process may truncate its persistent log and the shared trace prefix may be
-//! reclaimed once every process's local view has advanced past `n`.
+//! the first `n` updates, stamped with a monotonically increasing *epoch* and the
+//! execution-index *watermark* `n`. Each process owns a small double-buffered
+//! checkpoint area in NVM managed by a [`Checkpointer`]; writing a checkpoint is
+//! split into two steps so crash-injection harnesses can stop between them:
 //!
-//! Checkpoint slots are self-validating (checksummed), like log entries, so a torn
-//! checkpoint is simply ignored by recovery and the previous slot (or the empty
-//! state) is used instead — which is always a correct, if older, consistent cut.
+//! 1. **stage** — the serialized state is written into the inactive slot and its
+//!    cache lines flushed (no fence). Staging overwrites the *older* of the two
+//!    slots, so the newest published checkpoint is never at risk.
+//! 2. **publish** — the slot header (checksum, epoch, watermark, length) is
+//!    written, flushed, and made durable with **one persistent fence**. The
+//!    checksum covers the header fields and the state bytes, so the slot is
+//!    self-validating: a crash anywhere before the publish fence leaves a slot
+//!    that fails validation and is simply ignored by recovery.
+//!
+//! ## Truncation safety (why truncate-after-publish is crash-safe)
+//!
+//! Log truncation below a watermark `n` is only performed *after* the checkpoint
+//! covering `n` has been published. Consider any crash:
+//!
+//! * **Before the publish fence** — the staged slot may be torn or unfenced, so
+//!   recovery may not see it. But no truncation has happened yet, so the previous
+//!   checkpoint (or the empty state) plus the *complete* log tail reconstructs
+//!   everything. Staging only ever overwrites the older slot, so the newest
+//!   published checkpoint always survives staging crashes intact.
+//! * **After the publish fence, before (or during) truncation** — recovery finds
+//!   the new checkpoint valid and replays only entries above `n`; whether the
+//!   truncation's start-mark update reached NVM is irrelevant, because entries
+//!   below `n` are skipped either way.
+//! * **After truncation** — entries below `n` are gone, and recovery starts from
+//!   the checkpoint at `n`, which the publish fence made durable *before* the
+//!   truncation was allowed to run.
+//!
+//! In every case the recovered state covers exactly the acknowledged history: no
+//! acknowledged update is lost, and no truncated operation can be resurrected
+//! (recovery never replays indices at or below the checkpoint watermark it starts
+//! from).
 
 use nvm_sim::{NvmPool, PAddr, CACHE_LINE_SIZE};
 use persist_log::checksum64;
 
-/// Header bytes preceding the serialized state in one checkpoint slot.
-const SLOT_HEADER: usize = 24; // checksum u64 + execution_index u64 + state_len u32 + pad u32
+/// Header bytes preceding the serialized state in one checkpoint slot:
+/// checksum u64 + epoch u64 + execution_index u64 + state_len u32 + pad u32.
+const SLOT_HEADER: usize = 32;
+
+/// Identity of a published checkpoint: which epoch it belongs to and the
+/// execution-index watermark it covers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct CheckpointStamp {
+    /// Execution index of the newest update the checkpoint covers (compared
+    /// first: across processes, the furthest-ahead checkpoint wins).
+    pub execution_index: u64,
+    /// Monotone per-area checkpoint counter (tie-breaker within one area).
+    pub epoch: u64,
+}
 
 /// Size in bytes of one checkpoint slot for a configured state capacity.
 pub(crate) fn slot_size(state_capacity: usize) -> usize {
@@ -27,64 +66,187 @@ pub(crate) fn area_size(state_capacity: usize) -> usize {
     2 * slot_size(state_capacity)
 }
 
-/// Writes a checkpoint of `state_bytes` reflecting execution index `execution_index`
-/// into slot `which` (0 or 1) of the area at `base`. Exactly one persistent fence.
-pub(crate) fn write_checkpoint(
+/// Checksum over a slot's validated content: epoch, watermark, length and state.
+fn slot_checksum(epoch: u64, execution_index: u64, state: &[u8]) -> u64 {
+    let mut buf = Vec::with_capacity(24 + state.len());
+    buf.extend_from_slice(&epoch.to_le_bytes());
+    buf.extend_from_slice(&execution_index.to_le_bytes());
+    buf.extend_from_slice(&(state.len() as u32).to_le_bytes());
+    buf.extend_from_slice(&[0u8; 4]);
+    buf.extend_from_slice(state);
+    checksum64(&buf)
+}
+
+/// A staged-but-unpublished checkpoint (volatile bookkeeping only).
+struct Staged {
+    epoch: u64,
+    execution_index: u64,
+    state_len: usize,
+    checksum: u64,
+}
+
+/// Writes epoch-stamped checkpoints into one process's double-buffered NVM area
+/// and reads them back after a crash.
+///
+/// The two-step [`Checkpointer::stage`] / [`Checkpointer::publish`] protocol
+/// costs exactly **one persistent fence per checkpoint** (the publish fence);
+/// see the module documentation for the crash-safety argument.
+pub(crate) struct Checkpointer {
+    pool: NvmPool,
+    base: PAddr,
+    state_capacity: usize,
+    /// Slot (0 or 1) the next checkpoint will be staged into — always the one
+    /// *not* holding the newest valid checkpoint.
+    next_slot: u64,
+    /// Epoch to stamp on the next checkpoint.
+    next_epoch: u64,
+    staged: Option<Staged>,
+}
+
+impl Checkpointer {
+    /// Opens the checkpoint area at `base`, resuming after whatever the area
+    /// already holds: the next checkpoint gets a fresh (higher) epoch and is
+    /// staged into the slot not holding the newest valid checkpoint, so the
+    /// newest published checkpoint is never overwritten before a newer one is
+    /// durable.
+    pub(crate) fn resume(pool: NvmPool, base: PAddr, state_capacity: usize) -> Self {
+        let mut newest: Option<(u64, CheckpointStamp)> = None;
+        let mut max_epoch = 0u64;
+        for which in 0..2u64 {
+            if let Some((stamp, _)) = read_slot(&pool, base, state_capacity, which) {
+                max_epoch = max_epoch.max(stamp.epoch);
+                if newest.is_none_or(|(_, best)| stamp > best) {
+                    newest = Some((which, stamp));
+                }
+            }
+        }
+        let next_slot = match newest {
+            Some((slot, _)) => 1 - slot,
+            None => 0,
+        };
+        Checkpointer {
+            pool,
+            base,
+            state_capacity,
+            next_slot,
+            next_epoch: max_epoch + 1,
+            staged: None,
+        }
+    }
+
+    /// Stage a checkpoint of `state_bytes` covering execution index
+    /// `execution_index`: write the state into the inactive slot and flush it.
+    /// No fence; the slot stays invalid until [`Checkpointer::publish`].
+    pub(crate) fn stage(&mut self, execution_index: u64, state_bytes: &[u8]) -> Result<(), String> {
+        if state_bytes.len() > self.state_capacity {
+            return Err(format!(
+                "serialized state ({} bytes) exceeds the configured checkpoint slot capacity ({} bytes); raise OnllConfig::checkpoint_slot_bytes",
+                state_bytes.len(),
+                self.state_capacity
+            ));
+        }
+        let addr = self.slot_addr(self.next_slot);
+        self.pool.write(addr + SLOT_HEADER as u64, state_bytes);
+        self.pool
+            .flush(addr + SLOT_HEADER as u64, state_bytes.len());
+        self.staged = Some(Staged {
+            epoch: self.next_epoch,
+            execution_index,
+            state_len: state_bytes.len(),
+            checksum: slot_checksum(self.next_epoch, execution_index, state_bytes),
+        });
+        Ok(())
+    }
+
+    /// Publish the staged checkpoint: write the self-validating slot header and
+    /// make it durable with **one persistent fence**. Returns the published
+    /// stamp.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no checkpoint is staged.
+    pub(crate) fn publish(&mut self) -> CheckpointStamp {
+        let staged = self
+            .staged
+            .take()
+            .expect("publish without a staged checkpoint");
+        let addr = self.slot_addr(self.next_slot);
+        let mut header = [0u8; SLOT_HEADER];
+        header[0..8].copy_from_slice(&staged.checksum.to_le_bytes());
+        header[8..16].copy_from_slice(&staged.epoch.to_le_bytes());
+        header[16..24].copy_from_slice(&staged.execution_index.to_le_bytes());
+        header[24..28].copy_from_slice(&(staged.state_len as u32).to_le_bytes());
+        self.pool.write(addr, &header);
+        self.pool.flush(addr, header.len());
+        self.pool.fence();
+        self.next_slot = 1 - self.next_slot;
+        self.next_epoch = staged.epoch + 1;
+        CheckpointStamp {
+            execution_index: staged.execution_index,
+            epoch: staged.epoch,
+        }
+    }
+
+    fn slot_addr(&self, which: u64) -> PAddr {
+        self.base + (which % 2) * slot_size(self.state_capacity) as u64
+    }
+}
+
+/// Reads and validates one slot of an area. Returns the stamp and state bytes.
+fn read_slot(
     pool: &NvmPool,
     base: PAddr,
     state_capacity: usize,
     which: u64,
-    execution_index: u64,
-    state_bytes: &[u8],
-) -> Result<(), String> {
-    if state_bytes.len() > state_capacity {
-        return Err(format!(
-            "serialized state ({} bytes) exceeds the configured checkpoint slot capacity ({state_capacity} bytes)",
-            state_bytes.len()
-        ));
+) -> Option<(CheckpointStamp, Vec<u8>)> {
+    let addr = base + (which % 2) * slot_size(state_capacity) as u64;
+    let header = pool.read_vec(addr, SLOT_HEADER);
+    let stored_csum = u64::from_le_bytes(header[0..8].try_into().unwrap());
+    let epoch = u64::from_le_bytes(header[8..16].try_into().unwrap());
+    let execution_index = u64::from_le_bytes(header[16..24].try_into().unwrap());
+    let state_len = u32::from_le_bytes(header[24..28].try_into().unwrap()) as usize;
+    if state_len > state_capacity {
+        return None;
     }
-    let slot = slot_size(state_capacity);
-    let addr = base + (which % 2) * slot as u64;
-    let mut buf = vec![0u8; SLOT_HEADER + state_bytes.len()];
-    buf[8..16].copy_from_slice(&execution_index.to_le_bytes());
-    buf[16..20].copy_from_slice(&(state_bytes.len() as u32).to_le_bytes());
-    buf[24..].copy_from_slice(state_bytes);
-    let csum = checksum64(&buf[8..]);
-    buf[0..8].copy_from_slice(&csum.to_le_bytes());
-    pool.write(addr, &buf);
-    pool.flush(addr, buf.len());
-    pool.fence();
-    Ok(())
+    let state = pool.read_vec(addr + SLOT_HEADER as u64, state_len);
+    if slot_checksum(epoch, execution_index, &state) != stored_csum {
+        return None;
+    }
+    Some((
+        CheckpointStamp {
+            execution_index,
+            epoch,
+        },
+        state,
+    ))
 }
 
-/// Reads the newest valid checkpoint from one process's area. Returns
-/// `(execution_index, state_bytes)`.
+/// Reads the newest valid checkpoint from one process's area.
 pub(crate) fn read_area(
     pool: &NvmPool,
     base: PAddr,
     state_capacity: usize,
-) -> Option<(u64, Vec<u8>)> {
-    let slot = slot_size(state_capacity);
-    let mut best: Option<(u64, Vec<u8>)> = None;
-    for which in 0..2u64 {
-        let addr = base + which * slot as u64;
-        let header = pool.read_vec(addr, SLOT_HEADER);
-        let stored_csum = u64::from_le_bytes(header[0..8].try_into().unwrap());
-        let execution_index = u64::from_le_bytes(header[8..16].try_into().unwrap());
-        let state_len = u32::from_le_bytes(header[16..20].try_into().unwrap()) as usize;
-        if state_len > state_capacity {
-            continue;
-        }
-        let full = pool.read_vec(addr, SLOT_HEADER + state_len);
-        if checksum64(&full[8..]) != stored_csum {
-            continue;
-        }
-        let state = full[SLOT_HEADER..].to_vec();
-        if best.as_ref().is_none_or(|(idx, _)| execution_index > *idx) {
-            best = Some((execution_index, state));
-        }
-    }
-    best
+) -> Option<(CheckpointStamp, Vec<u8>)> {
+    (0..2u64)
+        .filter_map(|which| read_slot(pool, base, state_capacity, which))
+        .max_by_key(|(stamp, _)| *stamp)
+}
+
+/// Reads **all** valid checkpoints across all processes' areas, newest first
+/// (by watermark, then epoch). Recovery walks this list: the first entry whose
+/// state decodes wins; later entries are the torn-write / decode-failure
+/// fallback chain, and an empty list means full log replay.
+pub(crate) fn read_all_valid(
+    pool: &NvmPool,
+    bases: &[PAddr],
+    state_capacity: usize,
+) -> Vec<(CheckpointStamp, Vec<u8>)> {
+    let mut all: Vec<(CheckpointStamp, Vec<u8>)> = bases
+        .iter()
+        .flat_map(|b| (0..2u64).filter_map(|which| read_slot(pool, *b, state_capacity, which)))
+        .collect();
+    all.sort_by_key(|(stamp, _)| std::cmp::Reverse(*stamp));
+    all
 }
 
 /// Reads the newest valid checkpoint across all processes' areas.
@@ -92,11 +254,11 @@ pub(crate) fn read_best(
     pool: &NvmPool,
     bases: &[PAddr],
     state_capacity: usize,
-) -> Option<(u64, Vec<u8>)> {
+) -> Option<(CheckpointStamp, Vec<u8>)> {
     bases
         .iter()
         .filter_map(|b| read_area(pool, *b, state_capacity))
-        .max_by_key(|(idx, _)| *idx)
+        .max_by_key(|(stamp, _)| *stamp)
 }
 
 #[cfg(test)]
@@ -106,6 +268,11 @@ mod tests {
 
     fn pool() -> NvmPool {
         NvmPool::new(PmemConfig::with_capacity(8 << 20).apply_pending_at_crash(0.0))
+    }
+
+    fn write(cp: &mut Checkpointer, idx: u64, state: &[u8]) -> CheckpointStamp {
+        cp.stage(idx, state).unwrap();
+        cp.publish()
     }
 
     #[test]
@@ -118,54 +285,101 @@ mod tests {
     fn roundtrip_single_checkpoint() {
         let p = pool();
         let base = p.alloc(area_size(256)).unwrap();
-        write_checkpoint(&p, base, 256, 0, 17, b"state-at-17").unwrap();
-        let (idx, state) = read_area(&p, base, 256).unwrap();
-        assert_eq!(idx, 17);
+        let mut cp = Checkpointer::resume(p.clone(), base, 256);
+        let stamp = write(&mut cp, 17, b"state-at-17");
+        assert_eq!(stamp.execution_index, 17);
+        assert_eq!(stamp.epoch, 1);
+        let (found, state) = read_area(&p, base, 256).unwrap();
+        assert_eq!(found, stamp);
         assert_eq!(state, b"state-at-17");
     }
 
     #[test]
-    fn newest_of_two_slots_wins() {
+    fn newest_of_two_slots_wins_and_epochs_advance() {
         let p = pool();
         let base = p.alloc(area_size(64)).unwrap();
-        write_checkpoint(&p, base, 64, 0, 10, b"old").unwrap();
-        write_checkpoint(&p, base, 64, 1, 20, b"new").unwrap();
-        assert_eq!(read_area(&p, base, 64).unwrap(), (20, b"new".to_vec()));
-        // Overwriting the older slot with an even newer checkpoint flips the winner.
-        write_checkpoint(&p, base, 64, 0, 30, b"newest").unwrap();
-        assert_eq!(read_area(&p, base, 64).unwrap(), (30, b"newest".to_vec()));
+        let mut cp = Checkpointer::resume(p.clone(), base, 64);
+        write(&mut cp, 10, b"old");
+        write(&mut cp, 20, b"new");
+        let (stamp, state) = read_area(&p, base, 64).unwrap();
+        assert_eq!((stamp.execution_index, stamp.epoch), (20, 2));
+        assert_eq!(state, b"new");
+        // A third checkpoint overwrites the older slot and flips the winner.
+        write(&mut cp, 30, b"newest");
+        let (stamp, state) = read_area(&p, base, 64).unwrap();
+        assert_eq!((stamp.execution_index, stamp.epoch), (30, 3));
+        assert_eq!(state, b"newest");
     }
 
     #[test]
     fn checkpoint_survives_crash_and_costs_one_fence() {
         let p = pool();
         let base = p.alloc(area_size(64)).unwrap();
+        let mut cp = Checkpointer::resume(p.clone(), base, 64);
         let w = p.stats().op_window();
-        write_checkpoint(&p, base, 64, 0, 5, b"abc").unwrap();
+        write(&mut cp, 5, b"abc");
         assert_eq!(w.close().persistent_fences, 1);
         p.crash_and_restart();
-        assert_eq!(read_area(&p, base, 64).unwrap(), (5, b"abc".to_vec()));
+        let (stamp, state) = read_area(&p, base, 64).unwrap();
+        assert_eq!(stamp.execution_index, 5);
+        assert_eq!(state, b"abc");
     }
 
     #[test]
-    fn torn_checkpoint_falls_back_to_previous_slot() {
+    fn crash_between_stage_and_publish_preserves_previous_checkpoint() {
         let p = pool();
         let base = p.alloc(area_size(2048)).unwrap();
-        write_checkpoint(&p, base, 2048, 0, 5, &[1u8; 1500]).unwrap();
-        // Crash in the middle of the second checkpoint (before its fence).
-        p.arm_crash(CrashTrigger::AfterFlushes(1));
-        let _ = write_checkpoint(&p, base, 2048, 1, 9, &[2u8; 1500]);
+        let mut cp = Checkpointer::resume(p.clone(), base, 2048);
+        write(&mut cp, 5, &[1u8; 1500]);
+        // Stage the next checkpoint but crash before its publish fence.
+        cp.stage(9, &[2u8; 1500]).unwrap();
         p.crash_and_restart();
-        let (idx, state) = read_area(&p, base, 2048).unwrap();
-        assert_eq!(idx, 5);
+        let (stamp, state) = read_area(&p, base, 2048).unwrap();
+        assert_eq!(stamp.execution_index, 5);
         assert_eq!(state, vec![1u8; 1500]);
+    }
+
+    #[test]
+    fn torn_publish_falls_back_to_previous_slot() {
+        let p = pool();
+        let base = p.alloc(area_size(2048)).unwrap();
+        let mut cp = Checkpointer::resume(p.clone(), base, 2048);
+        write(&mut cp, 5, &[1u8; 1500]);
+        // Crash in the middle of the second checkpoint's publish (header flushed
+        // but never fenced; the pending line is dropped at the crash).
+        cp.stage(9, &[2u8; 1500]).unwrap();
+        p.arm_crash(CrashTrigger::AfterFlushes(1));
+        let _ = cp.publish();
+        assert!(p.is_frozen());
+        p.crash_and_restart();
+        let (stamp, state) = read_area(&p, base, 2048).unwrap();
+        assert_eq!(stamp.execution_index, 5);
+        assert_eq!(state, vec![1u8; 1500]);
+    }
+
+    #[test]
+    fn resume_continues_epochs_and_spares_the_newest_slot() {
+        let p = pool();
+        let base = p.alloc(area_size(64)).unwrap();
+        let mut cp = Checkpointer::resume(p.clone(), base, 64);
+        write(&mut cp, 10, b"a");
+        write(&mut cp, 20, b"b");
+        p.crash_and_restart();
+        let mut cp = Checkpointer::resume(p.clone(), base, 64);
+        // Staging after resume must not touch the newest checkpoint (idx 20).
+        cp.stage(30, b"c").unwrap();
+        let (stamp, _) = read_area(&p, base, 64).unwrap();
+        assert_eq!(stamp.execution_index, 20);
+        let stamp = cp.publish();
+        assert_eq!((stamp.execution_index, stamp.epoch), (30, 3));
     }
 
     #[test]
     fn oversized_state_rejected() {
         let p = pool();
         let base = p.alloc(area_size(16)).unwrap();
-        assert!(write_checkpoint(&p, base, 16, 0, 1, &[0u8; 17]).is_err());
+        let mut cp = Checkpointer::resume(p.clone(), base, 16);
+        assert!(cp.stage(1, &[0u8; 17]).is_err());
     }
 
     #[test]
@@ -174,12 +388,26 @@ mod tests {
         let b1 = p.alloc(area_size(64)).unwrap();
         let b2 = p.alloc(area_size(64)).unwrap();
         let b3 = p.alloc(area_size(64)).unwrap();
-        write_checkpoint(&p, b1, 64, 0, 12, b"p1").unwrap();
-        write_checkpoint(&p, b2, 64, 0, 40, b"p2").unwrap();
+        write(&mut Checkpointer::resume(p.clone(), b1, 64), 12, b"p1");
+        write(&mut Checkpointer::resume(p.clone(), b2, 64), 40, b"p2");
         // p3 never checkpointed.
-        let (idx, state) = read_best(&p, &[b1, b2, b3], 64).unwrap();
-        assert_eq!(idx, 40);
+        let (stamp, state) = read_best(&p, &[b1, b2, b3], 64).unwrap();
+        assert_eq!(stamp.execution_index, 40);
         assert_eq!(state, b"p2");
+    }
+
+    #[test]
+    fn read_all_valid_is_newest_first() {
+        let p = pool();
+        let b1 = p.alloc(area_size(64)).unwrap();
+        let b2 = p.alloc(area_size(64)).unwrap();
+        let mut cp1 = Checkpointer::resume(p.clone(), b1, 64);
+        write(&mut cp1, 12, b"old");
+        write(&mut cp1, 25, b"mid");
+        write(&mut Checkpointer::resume(p.clone(), b2, 64), 40, b"new");
+        let all = read_all_valid(&p, &[b1, b2], 64);
+        let indices: Vec<u64> = all.iter().map(|(s, _)| s.execution_index).collect();
+        assert_eq!(indices, vec![40, 25, 12]);
     }
 
     #[test]
@@ -188,5 +416,6 @@ mod tests {
         let base = p.alloc(area_size(64)).unwrap();
         assert!(read_area(&p, base, 64).is_none());
         assert!(read_best(&p, &[base], 64).is_none());
+        assert!(read_all_valid(&p, &[base], 64).is_empty());
     }
 }

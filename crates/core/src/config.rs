@@ -18,11 +18,20 @@ pub struct OnllConfig {
     /// (Section 8 read-performance extension). If `false`, every read replays the
     /// whole trace prefix, exactly as in the base construction.
     pub use_local_views: bool,
-    /// Checkpoint every `n` updates per handle (requires the spec to implement
-    /// `CheckpointableSpec` and the handle to call `maybe_checkpoint`, or the
-    /// automatic variant `update_with_checkpoint`). `None` disables checkpointing;
-    /// the logs then retain the full history, as in the base construction.
+    /// Ops-count checkpoint trigger: checkpoint whenever at least this many
+    /// updates have been linearized past the newest published checkpoint
+    /// watermark (requires the spec to implement `SnapshotSpec`; the trigger is
+    /// evaluated by `ProcessHandle::maybe_checkpoint`, the automatic variant
+    /// `update_with_checkpoint`, or a background checkpointer). `None` disables
+    /// the ops-count trigger; if the log-bytes trigger is also `None`, the logs
+    /// retain the full history, as in the base construction.
     pub checkpoint_interval: Option<u64>,
+    /// Log-bytes checkpoint trigger: a handle checkpoints whenever **its own**
+    /// persistent log holds at least this many bytes of live entries (logs are
+    /// single-writer, so only the owner's checkpoint can truncate its log
+    /// immediately — the trigger is self-correcting per process). Bounds the
+    /// NVM footprint independently of the update rate. `None` disables it.
+    pub checkpoint_log_bytes: Option<u64>,
     /// Size in bytes reserved for one serialized checkpoint of the object state.
     pub checkpoint_slot_bytes: usize,
     /// When prefix reclamation is enabled (checkpointing active), the trace prefix
@@ -49,6 +58,7 @@ impl Default for OnllConfig {
             log_capacity_entries: 4096,
             use_local_views: true,
             checkpoint_interval: None,
+            checkpoint_log_bytes: None,
             checkpoint_slot_bytes: 64 * 1024,
             reclaim_batch: 1024,
             max_group_ops: 1,
@@ -84,11 +94,25 @@ impl OnllConfig {
         self
     }
 
-    /// Enables checkpointing every `interval` updates per handle.
+    /// Enables the ops-count checkpoint trigger: checkpoint every `interval`
+    /// linearized updates past the newest published watermark.
     pub fn checkpoint_every(mut self, interval: u64) -> Self {
         assert!(interval >= 1);
         self.checkpoint_interval = Some(interval);
         self
+    }
+
+    /// Enables the log-bytes checkpoint trigger: a handle checkpoints whenever
+    /// its own log holds at least `bytes` of live entries.
+    pub fn checkpoint_when_log_exceeds(mut self, bytes: u64) -> Self {
+        assert!(bytes >= 1);
+        self.checkpoint_log_bytes = Some(bytes);
+        self
+    }
+
+    /// True if any checkpoint trigger is configured.
+    pub fn checkpointing_enabled(&self) -> bool {
+        self.checkpoint_interval.is_some() || self.checkpoint_log_bytes.is_some()
     }
 
     /// Sets the size reserved for one serialized checkpoint.
@@ -125,6 +149,23 @@ mod tests {
         assert!(c.log_capacity_entries > 0);
         assert!(c.use_local_views);
         assert!(c.checkpoint_interval.is_none());
+        assert!(c.checkpoint_log_bytes.is_none());
+        assert!(!c.checkpointing_enabled());
+    }
+
+    #[test]
+    fn either_trigger_enables_checkpointing() {
+        assert!(OnllConfig::default()
+            .checkpoint_every(10)
+            .checkpointing_enabled());
+        assert!(OnllConfig::default()
+            .checkpoint_when_log_exceeds(1 << 20)
+            .checkpointing_enabled());
+        let both = OnllConfig::default()
+            .checkpoint_every(10)
+            .checkpoint_when_log_exceeds(4096);
+        assert_eq!(both.checkpoint_interval, Some(10));
+        assert_eq!(both.checkpoint_log_bytes, Some(4096));
     }
 
     #[test]

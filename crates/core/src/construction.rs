@@ -19,10 +19,10 @@ use crate::config::OnllConfig;
 use crate::error::OnllError;
 use crate::hooks::Hooks;
 use crate::op_id::{decode_record, record_slot_size, OpId, Record};
-use crate::spec::{CheckpointableSpec, SequentialSpec};
+use crate::spec::{SequentialSpec, SnapshotSpec};
 use exec_trace::{check_fuzzy_invariant, ExecutionTrace};
 use nvm_sim::{FenceStats, NvmPool, PAddr, RootId};
-use parking_lot::Mutex;
+use parking_lot::{Mutex, RwLock};
 use persist_log::{reconstruct_history_from, LogConfig, PersistentLog};
 use std::collections::HashSet;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -35,6 +35,10 @@ const META_MAGIC: u64 = 0x4F4E4C_4C4D455441; // "ONLL" "META"
 pub struct RecoveryReport {
     /// Execution index of the checkpoint the recovery started from (0 if none).
     pub checkpoint_index: u64,
+    /// Epoch of the checkpoint the recovery started from (0 if none). Epochs are
+    /// per checkpoint-area counters; sharded recovery surfaces them per shard so
+    /// operators can see how far each shard's compaction had progressed.
+    pub checkpoint_epoch: u64,
     /// Execution index of the last operation recovered from the logs (equals
     /// `checkpoint_index` if the logs held nothing newer).
     pub durable_index: u64,
@@ -48,6 +52,15 @@ impl RecoveryReport {
     pub fn replayed_ops(&self) -> usize {
         self.recovered_ops.len()
     }
+}
+
+/// Seed for fresh local views and anonymous replays: the newest *published*
+/// checkpoint's watermark and a factory decoding its state. Without it, a
+/// handle registered after trace-prefix reclamation would start from the base
+/// state and silently miss the reclaimed history.
+pub(crate) struct SnapshotSeed<S> {
+    pub(crate) idx: u64,
+    pub(crate) make: Arc<dyn Fn() -> S + Send + Sync>,
 }
 
 pub(crate) struct Shared<S: SequentialSpec> {
@@ -67,11 +80,24 @@ pub(crate) struct Shared<S: SequentialSpec> {
     /// released and re-claimed, and seeded from the logs on recovery so post-crash
     /// operations never collide with pre-crash ones.
     pub(crate) last_op_seq: Vec<AtomicU64>,
+    /// Execution index of the newest *published* checkpoint. Updated by whichever
+    /// handle publishes; every log owner truncates its own log prefix below this
+    /// watermark opportunistically (single-writer logs — owners never truncate
+    /// each other's logs).
+    pub(crate) checkpoint_watermark: AtomicU64,
+    /// Live-entry count of each process's persistent log, maintained by the log's
+    /// owner on append/truncate. Drives the log-bytes checkpoint trigger without
+    /// scanning other processes' logs.
+    pub(crate) log_live_entries: Vec<AtomicU64>,
     /// Execution index represented by the trace's sentinel (checkpoint index).
     pub(crate) base_index: u64,
     /// Builds the state corresponding to the sentinel (INITIALIZE or the decoded
     /// checkpoint the recovery started from).
     pub(crate) base_state: Box<dyn Fn() -> S + Send + Sync>,
+    /// Newest published checkpoint of this incarnation, seeding views created
+    /// after trace reclamation. Reclamation never passes the stored `idx`, so a
+    /// seeded view's missing suffix is always still linked.
+    pub(crate) snapshot: RwLock<Option<SnapshotSeed<S>>>,
     /// Operations found in the logs by the most recent recovery (for
     /// detectable-execution queries).
     pub(crate) recovered: Mutex<HashSet<OpId>>,
@@ -89,6 +115,25 @@ impl<S: SequentialSpec> Shared<S> {
             }
         }
         min
+    }
+
+    /// Seed for a fresh view or anonymous replay: the newest published snapshot
+    /// if any, else the recovery/creation base. Validated against the reclaim
+    /// floor and retried, because a concurrent checkpoint may publish a newer
+    /// snapshot and reclaim the trace past a just-read older seed.
+    pub(crate) fn view_seed(&self) -> (u64, S) {
+        loop {
+            let (idx, state) = match self.snapshot.read().as_ref() {
+                Some(seed) => (seed.idx, (seed.make)()),
+                None => (self.base_index, (self.base_state)()),
+            };
+            // Reclamation is clamped at the stored snapshot index, so once the
+            // floor is visible the snapshot covering it is too — the retry
+            // always converges.
+            if self.trace.reclaim_floor() <= idx + 1 {
+                return (idx, state);
+            }
+        }
     }
 }
 
@@ -145,7 +190,7 @@ impl<S: SequentialSpec> Durable<S> {
         config: OnllConfig,
         hooks: Hooks,
     ) -> Result<Self, OnllError> {
-        if config.checkpoint_interval.is_some() && !config.use_local_views {
+        if config.checkpointing_enabled() && !config.use_local_views {
             return Err(OnllError::MetadataMismatch(
                 "checkpointing requires local views to be enabled".into(),
             ));
@@ -205,8 +250,13 @@ impl<S: SequentialSpec> Durable<S> {
             last_op_seq: (0..config.max_processes)
                 .map(|_| AtomicU64::new(0))
                 .collect(),
+            checkpoint_watermark: AtomicU64::new(0),
+            log_live_entries: (0..config.max_processes)
+                .map(|_| AtomicU64::new(0))
+                .collect(),
             base_index: 0,
             base_state: Box::new(S::initialize),
+            snapshot: RwLock::new(None),
             recovered: Mutex::new(HashSet::new()),
             hooks,
             log_cfg,
@@ -301,6 +351,7 @@ impl<S: SequentialSpec> Durable<S> {
             log_bases,
             cp_bases,
             0,
+            0,
             Box::new(S::initialize),
         )
     }
@@ -316,6 +367,7 @@ impl<S: SequentialSpec> Durable<S> {
         log_bases: Vec<PAddr>,
         cp_bases: Vec<PAddr>,
         base_index: u64,
+        base_epoch: u64,
         base_state: Box<dyn Fn() -> S + Send + Sync>,
     ) -> Result<(Self, RecoveryReport), OnllError> {
         config.max_processes = max_processes;
@@ -325,8 +377,10 @@ impl<S: SequentialSpec> Durable<S> {
 
         // Gather every process's valid log entries.
         let mut per_process_entries = Vec::with_capacity(max_processes);
+        let mut per_process_live = Vec::with_capacity(max_processes);
         for base in &log_bases {
-            let (_log, entries) = PersistentLog::open(pool.clone(), log_cfg.clone(), *base);
+            let (log, entries) = PersistentLog::open(pool.clone(), log_cfg.clone(), *base);
+            per_process_live.push(log.live_len() as u64);
             per_process_entries.push(entries);
         }
         // Reconstruct the durable history above the checkpoint (Listing 5).
@@ -368,8 +422,11 @@ impl<S: SequentialSpec> Durable<S> {
                 .map(|_| AtomicU64::new(base_index))
                 .collect(),
             last_op_seq: last_op_seq.into_iter().map(AtomicU64::new).collect(),
+            checkpoint_watermark: AtomicU64::new(base_index),
+            log_live_entries: per_process_live.into_iter().map(AtomicU64::new).collect(),
             base_index,
             base_state,
+            snapshot: RwLock::new(None),
             recovered: Mutex::new(recovered_set),
             hooks,
             log_cfg,
@@ -379,6 +436,7 @@ impl<S: SequentialSpec> Durable<S> {
         };
         let report = RecoveryReport {
             checkpoint_index: base_index,
+            checkpoint_epoch: base_epoch,
             durable_index,
             recovered_ops,
         };
@@ -472,45 +530,86 @@ impl<S: SequentialSpec> Durable<S> {
     }
 
     fn try_claim(&self, pid: usize) -> bool {
+        // Progress of an unclaimed slot is always at the conservative
+        // `base_index` floor (initialized there; lowered again by the previous
+        // owner's Drop before it released the claim), so the new handle's
+        // fresh view can never be outrun by trace reclamation between this
+        // claim and the handle publishing its seed. Only a slot's owner ever
+        // writes its progress.
         self.shared.claimed[pid]
             .compare_exchange(false, true, Ordering::AcqRel, Ordering::Acquire)
             .is_ok()
     }
 
-    /// Reads the object without a process handle by replaying the trace prefix up
-    /// to the latest available node. Exactly the base construction's read: no NVM
-    /// access, no persistent fences. Intended for tests, examples and one-off
-    /// inspection; per-process handles with local views are faster.
-    ///
-    /// # Panics
-    ///
-    /// Panics if trace-prefix reclamation has discarded part of the history this
-    /// read would need (only possible when checkpointing is enabled); use a
-    /// registered handle in that case.
+    /// Reads the object without a process handle by replaying the suffix above
+    /// the newest published snapshot (or the whole trace prefix if none) up to
+    /// the latest available node. No NVM access, no persistent fences. Intended
+    /// for tests, examples and one-off inspection; per-process handles with
+    /// local views are faster.
     pub fn read_latest(&self, op: &S::ReadOp) -> S::Value {
-        assert!(
-            self.shared.trace.reclaim_floor() <= self.shared.base_index + 1,
-            "anonymous reads are unavailable after trace reclamation; use a ProcessHandle"
-        );
-        let latest = self.shared.trace.latest_available();
-        let mut state = (self.shared.base_state)();
-        for node in self
-            .shared
-            .trace
-            .nodes_between(self.shared.base_index, latest)
-        {
-            if let Some(record) = node.op() {
-                state.apply(&record.op);
+        self.materialize().read(op)
+    }
+
+    /// Materializes the full object state at the latest linearized operation by
+    /// replaying the trace suffix above the current view seed (the newest
+    /// published snapshot, or the recovery/creation base). Used by tests and
+    /// the checkpoint-equivalence property suite to compare recovered states
+    /// against full replays; per-process handles with local views are faster
+    /// for serving reads.
+    pub fn materialize(&self) -> S {
+        loop {
+            let (seed_idx, mut state) = self.shared.view_seed();
+            let latest = self.shared.trace.latest_available();
+            for node in self.shared.trace.nodes_between(seed_idx, latest) {
+                if let Some(record) = node.op() {
+                    state.apply(&record.op);
+                }
+            }
+            // A concurrent checkpoint may have reclaimed part of the suffix
+            // mid-walk, silently shortening it (retired nodes stay allocated,
+            // so the walk itself is always safe — only completeness must be
+            // re-checked). Retry from the then-newer snapshot if so.
+            if self.shared.trace.reclaim_floor() <= seed_idx + 1 {
+                return state;
             }
         }
-        state.read(op)
+    }
+
+    /// Execution index of the newest *published* checkpoint (0 if none). Log
+    /// owners may truncate their log prefixes below this watermark at any time.
+    pub fn checkpoint_watermark(&self) -> u64 {
+        self.shared.checkpoint_watermark.load(Ordering::Acquire)
+    }
+
+    /// Bytes of live entries in the largest per-process persistent log — the
+    /// log-bytes checkpoint trigger's input, maintained by log owners without
+    /// scanning NVM.
+    pub fn max_log_live_bytes(&self) -> u64 {
+        let max_entries = self
+            .shared
+            .log_live_entries
+            .iter()
+            .map(|e| e.load(Ordering::Acquire))
+            .max()
+            .unwrap_or(0);
+        max_entries * self.shared.log_cfg.entry_size() as u64
     }
 }
 
-impl<S: CheckpointableSpec> Durable<S> {
+impl<S: SnapshotSpec> Durable<S> {
     /// Recovers an object that may have checkpoints: the newest valid checkpoint
-    /// across all processes seeds the state, and only log entries above it are
-    /// replayed (Section 8 extension).
+    /// across all processes seeds the state, and only log entries above its
+    /// watermark are replayed (Section 8 extension).
+    ///
+    /// Validity is checksum-based (torn checkpoint writes are detected and
+    /// skipped) plus a defensive decode: if the newest checksum-valid slot fails
+    /// to decode, recovery falls back to the next-newest valid checkpoint, and
+    /// finally to a full log replay when no checkpoint is usable. Falling back is
+    /// always safe because logs are only truncated *after* a checkpoint publishes
+    /// (the truncate-after-publish safety argument, documented on
+    /// [`SnapshotSpec`] and in the `checkpoint` module) — any watermark whose
+    /// truncation may have run is durable and, short of NVM corruption beyond
+    /// what checksums catch, decodable.
     pub fn recover_with_checkpoints(
         pool: NvmPool,
         config: OnllConfig,
@@ -526,23 +625,24 @@ impl<S: CheckpointableSpec> Durable<S> {
     ) -> Result<(Self, RecoveryReport), OnllError> {
         let (max_processes, log_cfg, cp_slot_bytes, log_bases, cp_bases) =
             Self::read_meta(&pool, &config)?;
-        let best = checkpoint::read_best(&pool, &cp_bases, cp_slot_bytes);
-        let (base_index, base_state): (u64, Box<dyn Fn() -> S + Send + Sync>) = match best {
-            Some((idx, bytes)) => {
-                // Validate eagerly so recovery fails loudly on a corrupt-but-
-                // checksum-valid state (should not happen; defensive).
-                if S::decode_state(&bytes).is_none() {
-                    return Err(OnllError::MetadataMismatch(
-                        "checkpoint state failed to decode".into(),
-                    ));
-                }
-                (
-                    idx,
-                    Box::new(move || S::decode_state(&bytes).expect("validated above")),
-                )
+        // Newest-first fallback chain: first checksum-valid checkpoint whose
+        // state also decodes wins; an empty chain means full replay.
+        let mut chosen: Option<(u64, u64, Vec<u8>)> = None;
+        for (stamp, bytes) in checkpoint::read_all_valid(&pool, &cp_bases, cp_slot_bytes) {
+            if S::decode_state(&bytes).is_some() {
+                chosen = Some((stamp.execution_index, stamp.epoch, bytes));
+                break;
             }
-            None => (0, Box::new(S::initialize)),
-        };
+        }
+        let (base_index, base_epoch, base_state): (u64, u64, Box<dyn Fn() -> S + Send + Sync>) =
+            match chosen {
+                Some((idx, epoch, bytes)) => (
+                    idx,
+                    epoch,
+                    Box::new(move || S::decode_state(&bytes).expect("validated above")),
+                ),
+                None => (0, 0, Box::new(S::initialize)),
+            };
         Self::finish_recovery(
             pool,
             config,
@@ -553,6 +653,7 @@ impl<S: CheckpointableSpec> Durable<S> {
             log_bases,
             cp_bases,
             base_index,
+            base_epoch,
             base_state,
         )
     }

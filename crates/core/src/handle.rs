@@ -1,13 +1,13 @@
 //! Per-process handles: `update` (Listing 3), `read` (Listing 4) and the Section-8
 //! checkpointing / reclamation extension.
 
-use crate::checkpoint;
+use crate::checkpoint::Checkpointer;
 use crate::construction::Shared;
 use crate::error::OnllError;
 use crate::hooks::Phase;
 use crate::local_view::LocalView;
 use crate::op_id::{encode_record, OpId, Record};
-use crate::spec::{CheckpointableSpec, SequentialSpec};
+use crate::spec::{SequentialSpec, SnapshotSpec};
 use exec_trace::TraceNode;
 use persist_log::{LogError, PersistentLog};
 use std::sync::atomic::Ordering;
@@ -32,10 +32,11 @@ pub struct ProcessHandle<S: SequentialSpec> {
     pid: usize,
     log: PersistentLog,
     strategy: ReadStrategy<S>,
-    /// Own updates since the last checkpoint (for `update_with_checkpoint`).
-    updates_since_checkpoint: u64,
-    /// Which checkpoint slot to write next (double buffering).
-    checkpoint_toggle: u64,
+    /// Epoch-stamped writer for this process's double-buffered checkpoint area.
+    checkpointer: Checkpointer,
+    /// Watermark this handle last compacted its own log below (volatile cache of
+    /// the shared watermark, so the compaction check is one atomic load).
+    truncated_below: u64,
     /// Identity of the most recent update invoked through this handle.
     last_op_id: Option<OpId>,
 }
@@ -49,19 +50,38 @@ pub(crate) fn new_handle<S: SequentialSpec>(
         shared.log_cfg.clone(),
         shared.log_bases[pid],
     );
+    shared.log_live_entries[pid].store(log.live_len() as u64, Ordering::Release);
     let strategy = if shared.config.use_local_views {
-        ReadStrategy::LocalView(LocalView::new((shared.base_state)(), shared.base_index))
+        // Seed the fresh view from the newest published snapshot, not the
+        // base: after trace-prefix reclamation the history below the snapshot
+        // is unlinked, and a base-seeded view would silently miss it. The
+        // conservative progress floor published by `try_claim` keeps
+        // reclamation from advancing past the seed until this store.
+        let (seed_idx, seed_state) = shared.view_seed();
+        shared.progress[pid].store(seed_idx, Ordering::Release);
+        ReadStrategy::LocalView(LocalView::new(seed_state, seed_idx))
     } else {
         ReadStrategy::FullReplay
     };
-    shared.progress[pid].store(shared.base_index, Ordering::Release);
+    let checkpointer = Checkpointer::resume(
+        shared.pool.clone(),
+        shared.cp_bases[pid],
+        shared.config.checkpoint_slot_bytes,
+    );
+    let truncated_below = shared.checkpoint_watermark.load(Ordering::Acquire).min(
+        // A freshly opened log may still hold entries below the watermark (the
+        // owner crashed before compacting); start at 0 so the first update
+        // compacts them.
+        log.first_live_index()
+            .map_or(u64::MAX, |i| i.saturating_sub(1)),
+    );
     Ok(ProcessHandle {
         shared,
         pid,
         log,
         strategy,
-        updates_since_checkpoint: 0,
-        checkpoint_toggle: 0,
+        checkpointer,
+        truncated_below,
         last_op_id: None,
     })
 }
@@ -126,8 +146,10 @@ impl<S: SequentialSpec> ProcessHandle<S> {
         let hooks = shared.hooks.clone();
         hooks.fire(Phase::BeforeOrder, pid);
 
-        // Refuse before touching shared state if the log cannot take another entry;
+        // Reclaim ring slots covered by a newly published checkpoint, then refuse
+        // before touching shared state if the log still cannot take another entry;
         // otherwise we would order an operation we cannot persist.
+        self.compact_log_below_watermark();
         if self.log.free_slots() == 0 {
             return Err(OnllError::LogFull);
         }
@@ -163,6 +185,7 @@ impl<S: SequentialSpec> ProcessHandle<S> {
             LogError::Full => OnllError::LogFull,
             LogError::EntryTooLarge(msg) => OnllError::Nvm(msg),
         })?;
+        shared.log_live_entries[self.pid].store(self.log.live_len() as u64, Ordering::Release);
         hooks.fire(Phase::AfterPersist, pid);
 
         // --- Linearize: make the operation visible to readers. ---
@@ -174,7 +197,6 @@ impl<S: SequentialSpec> ProcessHandle<S> {
         // according to the order fixed in the order stage.
         let value = self.value_after(node);
         self.publish_progress();
-        self.updates_since_checkpoint += 1;
         hooks.fire(Phase::BeforeResponse, pid);
         Ok(value)
     }
@@ -213,13 +235,13 @@ impl<S: SequentialSpec> ProcessHandle<S> {
             });
         }
         let pid = self.pid as u32;
-        let group_len = ops.len();
         let shared = self.shared.clone();
         let hooks = shared.hooks.clone();
         hooks.fire(Phase::BeforeOrder, pid);
 
-        // The whole group lands in one log entry; refuse before ordering
-        // anything we could not persist.
+        // The whole group lands in one log entry; reclaim checkpoint-covered
+        // slots, then refuse before ordering anything we could not persist.
+        self.compact_log_below_watermark();
         if self.log.free_slots() == 0 {
             return Err(OnllError::LogFull);
         }
@@ -261,6 +283,7 @@ impl<S: SequentialSpec> ProcessHandle<S> {
             LogError::Full => OnllError::LogFull,
             LogError::EntryTooLarge(msg) => OnllError::Nvm(msg),
         })?;
+        shared.log_live_entries[self.pid].store(self.log.live_len() as u64, Ordering::Release);
         hooks.fire(Phase::AfterPersist, pid);
 
         // --- Linearize: sweep the group's available flags oldest to newest, so
@@ -274,7 +297,6 @@ impl<S: SequentialSpec> ProcessHandle<S> {
         // Return values: one per operation, computed on the state right after it.
         let values = nodes.iter().map(|node| self.value_after(node)).collect();
         self.publish_progress();
-        self.updates_since_checkpoint += group_len as u64;
         hooks.fire(Phase::BeforeResponse, pid);
         Ok(values)
     }
@@ -354,20 +376,59 @@ impl<S: SequentialSpec> ProcessHandle<S> {
             self.shared.progress[self.pid].store(view.idx(), Ordering::Release);
         }
     }
+
+    /// Advances this handle's local view to the latest linearized operation
+    /// without performing a read operation, and returns the view's new execution
+    /// index. Background checkpointers use this to materialize fresh state to
+    /// snapshot; for full-replay handles it only publishes progress.
+    pub fn sync(&mut self) -> u64 {
+        let node = self.shared.trace.latest_available();
+        if let ReadStrategy::LocalView(view) = &mut self.strategy {
+            view.advance_to(&self.shared.trace, node);
+        }
+        self.publish_progress();
+        self.view_index()
+    }
+
+    /// Truncates this handle's own log prefix below the newest *published*
+    /// checkpoint watermark (single-writer: each owner compacts only its own
+    /// log). Called opportunistically before appends so every process's log
+    /// shrinks after any process (or a background checkpointer) publishes.
+    ///
+    /// Cost: zero fences when the watermark has not advanced or nothing is
+    /// droppable; one maintenance fence otherwise (bucketed separately from the
+    /// per-update inherent fence).
+    fn compact_log_below_watermark(&mut self) {
+        let watermark = self.shared.checkpoint_watermark.load(Ordering::Acquire);
+        if watermark <= self.truncated_below {
+            return;
+        }
+        self.truncated_below = watermark;
+        if self.log.first_live_index().is_some_and(|i| i <= watermark) {
+            let _maintenance = self.shared.pool.stats().maintenance_scope();
+            self.log.truncate_below(watermark);
+            self.shared.log_live_entries[self.pid]
+                .store(self.log.live_len() as u64, Ordering::Release);
+        }
+    }
 }
 
-impl<S: CheckpointableSpec> ProcessHandle<S> {
-    /// Persists a checkpoint of this handle's local view, truncates this process's
-    /// persistent log, and reclaims the shared trace prefix that every registered
-    /// process has already incorporated into its local view (Section 8 extension).
+impl<S: SnapshotSpec> ProcessHandle<S> {
+    /// Persists an epoch-stamped checkpoint of this handle's local view (stage,
+    /// then publish), advances the shared checkpoint watermark, truncates this
+    /// process's persistent log below it, and reclaims the shared trace prefix
+    /// that every registered process has already incorporated into its local
+    /// view (Section 8 extension).
     ///
-    /// Cost: two persistent fences (checkpoint write + log-header truncation) —
-    /// explicit maintenance, amortized over `checkpoint_interval` updates; the
-    /// per-update bound of Theorem 5.1 is unaffected.
+    /// Cost: two persistent fences (checkpoint publish + log-truncation start
+    /// mark), both counted in the **maintenance** bucket — explicit maintenance
+    /// amortized over the checkpoint interval; the per-update bound of Theorem
+    /// 5.1 is unaffected. Other processes' logs are compacted by their owners on
+    /// their next update (single-writer logs), one more maintenance fence each.
     ///
-    /// Returns the execution index the checkpoint covers.
+    /// Returns the execution index (watermark) the checkpoint covers.
     pub fn checkpoint(&mut self) -> Result<u64, OnllError> {
-        if self.shared.config.checkpoint_interval.is_none() {
+        if !self.shared.config.checkpointing_enabled() {
             return Err(OnllError::CheckpointingDisabled);
         }
         let ReadStrategy::LocalView(view) = &self.strategy else {
@@ -376,47 +437,133 @@ impl<S: CheckpointableSpec> ProcessHandle<S> {
         let idx = view.idx();
         let mut bytes = Vec::new();
         view.state().encode_state(&mut bytes);
-        checkpoint::write_checkpoint(
-            &self.shared.pool,
-            self.shared.cp_bases[self.pid],
-            self.shared.config.checkpoint_slot_bytes,
-            self.checkpoint_toggle,
-            idx,
-            &bytes,
-        )
-        .map_err(OnllError::Nvm)?;
-        self.checkpoint_toggle = self.checkpoint_toggle.wrapping_add(1);
-        // All of this process's log entries carry execution indices <= idx (its own
-        // updates are already reflected in its local view), so the whole log is now
-        // redundant with the checkpoint.
-        self.log.truncate();
-        self.updates_since_checkpoint = 0;
+        let pid = self.pid as u32;
+        let hooks = self.shared.hooks.clone();
+        let _maintenance = self.shared.pool.stats().maintenance_scope();
 
-        // Reclaim the shared trace prefix below the slowest registered process.
+        // Stage: state bytes into the inactive slot (flushed, not yet valid).
+        hooks.fire(Phase::BeforeCheckpointStage, pid);
+        self.checkpointer
+            .stage(idx, &bytes)
+            .map_err(OnllError::Nvm)?;
+        hooks.fire(Phase::AfterCheckpointStage, pid);
+
+        // Publish: one fence makes the checksummed slot durable and valid.
+        hooks.fire(Phase::BeforeCheckpointPublish, pid);
+        self.checkpointer.publish();
+        hooks.fire(Phase::AfterCheckpointPublish, pid);
+        self.shared
+            .checkpoint_watermark
+            .fetch_max(idx, Ordering::AcqRel);
+
+        // Truncate-after-publish: all of this process's log entries carry
+        // execution indices <= idx (its own updates are already reflected in its
+        // local view), so the whole live window is redundant with the published
+        // checkpoint. Crash-safe in every interleaving — see the truncation
+        // safety argument in the `checkpoint` module.
+        hooks.fire(Phase::BeforeLogTruncate, pid);
+        self.log.truncate_below(idx);
+        self.shared.log_live_entries[self.pid].store(self.log.live_len() as u64, Ordering::Release);
+        self.truncated_below = self.truncated_below.max(idx);
+        hooks.fire(Phase::AfterLogTruncate, pid);
+
+        // Publish the snapshot as the seed for views registered (and anonymous
+        // replays performed) after reclamation — they must not start from the
+        // base state once the prefix below the watermark is unlinked.
+        {
+            let mut snapshot = self.shared.snapshot.write();
+            if snapshot.as_ref().is_none_or(|s| s.idx < idx) {
+                let state_bytes = bytes.clone();
+                *snapshot = Some(crate::construction::SnapshotSeed {
+                    idx,
+                    make: Arc::new(move || {
+                        S::decode_state(&state_bytes)
+                            .expect("a published checkpoint's state always decodes")
+                    }),
+                });
+            }
+        }
+
+        // Reclaim the shared trace prefix below both the slowest registered
+        // process *and* the stored snapshot (fresh views seed from the latter,
+        // so nodes above it must stay linked).
+        let snapshot_floor = self
+            .shared
+            .snapshot
+            .read()
+            .as_ref()
+            .map_or(self.shared.base_index, |s| s.idx);
         if let Some(min) = self.shared.min_progress() {
+            let reclaim_to = min.min(snapshot_floor);
             let floor = self.shared.trace.reclaim_floor();
-            if min > floor && min - floor >= self.shared.config.reclaim_batch {
-                self.shared.trace.reclaim_prefix(min);
+            if reclaim_to > floor && reclaim_to - floor >= self.shared.config.reclaim_batch {
+                self.shared.trace.reclaim_prefix(reclaim_to);
             }
         }
         Ok(idx)
     }
 
-    /// [`ProcessHandle::try_update`] followed by an automatic [`ProcessHandle::checkpoint`]
-    /// every `checkpoint_interval` updates.
-    pub fn update_with_checkpoint(&mut self, op: S::UpdateOp) -> Result<S::Value, OnllError> {
-        let value = self.try_update(op)?;
-        if let Some(interval) = self.shared.config.checkpoint_interval {
-            if self.updates_since_checkpoint >= interval {
-                self.checkpoint()?;
+    /// True if a configured checkpoint trigger currently fires: the ops-count
+    /// trigger (at least `checkpoint_interval` linearized updates past the
+    /// newest published watermark, as seen by this handle's view) or the
+    /// log-bytes trigger (**this handle's own** log at or above
+    /// `checkpoint_log_bytes`).
+    ///
+    /// The log-bytes trigger is deliberately per-owner: a checkpoint truncates
+    /// only the checkpointing process's log immediately (logs are
+    /// single-writer), so measuring another process's log would keep the
+    /// trigger armed on state this handle cannot compact — checkpointing once
+    /// per update without ever clearing the condition. Own-log measurement is
+    /// self-correcting: the checkpoint that fires empties the log that fired
+    /// it.
+    pub fn should_checkpoint(&self) -> bool {
+        let cfg = &self.shared.config;
+        if !matches!(self.strategy, ReadStrategy::LocalView(_)) {
+            return false;
+        }
+        let watermark = self.shared.checkpoint_watermark.load(Ordering::Acquire);
+        if let Some(interval) = cfg.checkpoint_interval {
+            if self.view_index().saturating_sub(watermark) >= interval {
+                return true;
             }
         }
+        if let Some(limit) = cfg.checkpoint_log_bytes {
+            if self.log.live_bytes() >= limit {
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Checkpoints if a trigger fires (see [`ProcessHandle::should_checkpoint`]);
+    /// returns the covered watermark when a checkpoint was written.
+    pub fn maybe_checkpoint(&mut self) -> Result<Option<u64>, OnllError> {
+        if self.should_checkpoint() {
+            self.checkpoint().map(Some)
+        } else {
+            Ok(None)
+        }
+    }
+
+    /// [`ProcessHandle::try_update`] followed by an automatic
+    /// [`ProcessHandle::maybe_checkpoint`].
+    pub fn update_with_checkpoint(&mut self, op: S::UpdateOp) -> Result<S::Value, OnllError> {
+        let value = self.try_update(op)?;
+        self.maybe_checkpoint()?;
         Ok(value)
     }
 }
 
 impl<S: SequentialSpec> Drop for ProcessHandle<S> {
     fn drop(&mut self) {
+        // Lower the slot's progress back to the conservative floor *before*
+        // releasing the claim: the next claimer's fresh view seeds from the
+        // newest snapshot, and trace reclamation must never observe a claimed
+        // slot still carrying this handle's (higher) progress while the new
+        // owner is still building its view. The release of `claimed`
+        // synchronizes with the claimer's acquire CAS, making the reset
+        // visible to it.
+        self.shared.progress[self.pid].store(self.shared.base_index, Ordering::Release);
         // Release the slot so the process identifier can be claimed again (e.g.
         // after recovery or when worker threads are re-spawned).
         self.shared.claimed[self.pid].store(false, Ordering::Release);

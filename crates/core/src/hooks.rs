@@ -37,12 +37,26 @@ pub enum Phase {
     BeforeReadSnapshot,
     /// End of a read-only operation, immediately before it returns.
     BeforeReadResponse,
+    /// Start of a checkpoint, before the state is staged into the inactive slot.
+    BeforeCheckpointStage,
+    /// After the checkpoint state was staged (written + flushed, not yet valid).
+    AfterCheckpointStage,
+    /// Immediately before the checkpoint's publish fence (the watermark is about
+    /// to become durable).
+    BeforeCheckpointPublish,
+    /// After the publish fence: the checkpoint is durable and recovery-visible.
+    AfterCheckpointPublish,
+    /// Immediately before the persistent log's prefix below the published
+    /// watermark is truncated.
+    BeforeLogTruncate,
+    /// After the log truncation's start mark was persisted.
+    AfterLogTruncate,
 }
 
 impl Phase {
     /// All phases, in the order they occur within an update followed by the read
-    /// phases. Useful for exhaustive crash-point sweeps.
-    pub const ALL: [Phase; 9] = [
+    /// phases and the checkpoint phases. Useful for exhaustive crash-point sweeps.
+    pub const ALL: [Phase; 15] = [
         Phase::BeforeOrder,
         Phase::AfterOrder,
         Phase::BeforePersist,
@@ -52,6 +66,24 @@ impl Phase {
         Phase::BeforeResponse,
         Phase::BeforeReadSnapshot,
         Phase::BeforeReadResponse,
+        Phase::BeforeCheckpointStage,
+        Phase::AfterCheckpointStage,
+        Phase::BeforeCheckpointPublish,
+        Phase::AfterCheckpointPublish,
+        Phase::BeforeLogTruncate,
+        Phase::AfterLogTruncate,
+    ];
+
+    /// The checkpoint/compaction phases, in the order they occur within one
+    /// `ProcessHandle::checkpoint` call. The crash-matrix suite injects a crash
+    /// at every one of these points (plus mid-write crashes between them).
+    pub const CHECKPOINT_PHASES: [Phase; 6] = [
+        Phase::BeforeCheckpointStage,
+        Phase::AfterCheckpointStage,
+        Phase::BeforeCheckpointPublish,
+        Phase::AfterCheckpointPublish,
+        Phase::BeforeLogTruncate,
+        Phase::AfterLogTruncate,
     ];
 
     /// The update-only phases, in execution order.
@@ -148,10 +180,15 @@ mod tests {
 
     #[test]
     fn phase_lists_are_consistent() {
-        assert_eq!(Phase::ALL.len(), 9);
+        assert_eq!(Phase::ALL.len(), 15);
         assert_eq!(Phase::UPDATE_PHASES.len(), 7);
+        assert_eq!(Phase::CHECKPOINT_PHASES.len(), 6);
         for p in Phase::UPDATE_PHASES {
             assert!(Phase::ALL.contains(&p));
+        }
+        for p in Phase::CHECKPOINT_PHASES {
+            assert!(Phase::ALL.contains(&p));
+            assert!(!Phase::UPDATE_PHASES.contains(&p));
         }
     }
 }

@@ -98,14 +98,31 @@ pub trait KeyedSpec: SequentialSpec {
 /// Specifications whose state has a compact object-specific representation that can
 /// be persisted wholesale (Section 8: "compressing the execution trace").
 ///
-/// Implementing this enables checkpointing: a process periodically persists its
-/// materialized state, allowing persistent-log truncation and execution-trace
-/// prefix reclamation.
-pub trait CheckpointableSpec: SequentialSpec {
+/// Implementing this enables **checkpointing**: the state materialized after the
+/// first `n` updates is serialized into a dedicated pmem region, stamped with an
+/// epoch and the execution-index watermark `n`, and published with a single
+/// persistent fence. Once published, every persistent-log entry whose operations
+/// all have execution indices `<= n` is redundant with the checkpoint and may be
+/// truncated (`persist_log::PersistentLog::truncate_below`), bounding both the NVM
+/// footprint and the recovery cost at O(updates since the last checkpoint).
+///
+/// ## Contract
+///
+/// `decode_state(encode_state(s)) == Some(s)` must hold for every state reachable
+/// by applying update operations from [`SequentialSpec::initialize`], and
+/// `decode_state` must return `None` (never panic, never return a wrong state) on
+/// any other input — recovery feeds it bytes that passed a checksum, but defends
+/// in depth against checksum collisions by re-validating through decoding.
+///
+/// Snapshots also must be *complete*: replaying any suffix of updates on a decoded
+/// snapshot must yield the same state as replaying the full history from the
+/// initial state. The property-test suite (`checkpoint_equivalence`) checks this
+/// for every object shipped in `durable-objects`.
+pub trait SnapshotSpec: SequentialSpec {
     /// Serializes the state into `buf`.
     fn encode_state(&self, buf: &mut Vec<u8>);
 
-    /// Reconstructs a state serialized by [`CheckpointableSpec::encode_state`].
+    /// Reconstructs a state serialized by [`SnapshotSpec::encode_state`].
     fn decode_state(bytes: &[u8]) -> Option<Self>
     where
         Self: Sized;

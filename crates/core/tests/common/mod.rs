@@ -1,6 +1,6 @@
 //! Shared test specifications for the `onll` integration tests.
 
-use onll::{CheckpointableSpec, OpCodec, SequentialSpec};
+use onll::{OpCodec, SequentialSpec, SnapshotSpec};
 
 /// A counter supporting `Add(k)` updates and a read returning the current value.
 #[derive(Debug, Clone, PartialEq)]
@@ -57,7 +57,7 @@ impl SequentialSpec for CounterSpec {
     }
 }
 
-impl CheckpointableSpec for CounterSpec {
+impl SnapshotSpec for CounterSpec {
     fn encode_state(&self, buf: &mut Vec<u8>) {
         buf.extend_from_slice(&self.value.to_le_bytes());
     }

@@ -478,6 +478,32 @@ fn trace_prefix_reclamation_keeps_results_correct() {
 }
 
 #[test]
+fn handle_registered_after_reclamation_seeds_from_the_snapshot() {
+    // Regression: a handle registered after trace-prefix reclamation used to
+    // seed its local view from the base state and silently miss the reclaimed
+    // history. Fresh views (and anonymous replays) must seed from the newest
+    // published checkpoint instead.
+    let p = pool();
+    let cfg = OnllConfig::named("ctr")
+        .checkpoint_every(8)
+        .log_capacity(4096)
+        .checkpoint_slot_bytes(128);
+    let c = Durable::<CounterSpec>::create(p.clone(), cfg).unwrap();
+    {
+        let mut h = c.register().unwrap();
+        // Well past reclaim_batch (default 1024) so reclamation fires.
+        for _ in 0..2000 {
+            h.update_with_checkpoint(CounterOp::Add(1)).unwrap();
+        }
+    }
+    let mut late = c.register().unwrap();
+    assert_eq!(late.read(&()), 2000);
+    assert_eq!(c.read_latest(&()), 2000);
+    assert_eq!(late.update(CounterOp::Add(5)), 2005);
+    c.check_invariants().unwrap();
+}
+
+#[test]
 fn works_under_eager_and_random_eviction_policies() {
     for policy in [
         WritebackPolicy::EagerOnFlush,

@@ -1,7 +1,7 @@
 //! Adapters presenting ONLL handles through the common [`DurableObject`] interface.
 
 use baselines::DurableObject;
-use onll::{ProcessHandle, SequentialSpec};
+use onll::{ProcessHandle, SequentialSpec, SnapshotSpec};
 
 /// Wraps an ONLL [`ProcessHandle`] so workloads written against
 /// [`baselines::DurableObject`] can drive the ONLL implementation unchanged.
@@ -42,6 +42,42 @@ impl<S: SequentialSpec> DurableObject<S> for OnllAdapter<S> {
 
     fn implementation_name(&self) -> &'static str {
         "onll"
+    }
+}
+
+/// Like [`OnllAdapter`], but every update runs the automatic checkpoint check
+/// (`ProcessHandle::update_with_checkpoint`), so fence audits can verify that
+/// the per-update inherent bound survives checkpoint maintenance (whose fences
+/// land in the separate maintenance bucket).
+pub struct CheckpointingOnllAdapter<S: SnapshotSpec> {
+    handle: ProcessHandle<S>,
+}
+
+impl<S: SnapshotSpec> CheckpointingOnllAdapter<S> {
+    /// Wraps a handle on a checkpoint-enabled object.
+    pub fn new(handle: ProcessHandle<S>) -> Self {
+        CheckpointingOnllAdapter { handle }
+    }
+
+    /// The wrapped handle.
+    pub fn handle(&self) -> &ProcessHandle<S> {
+        &self.handle
+    }
+}
+
+impl<S: SnapshotSpec> DurableObject<S> for CheckpointingOnllAdapter<S> {
+    fn update(&mut self, op: S::UpdateOp) -> S::Value {
+        self.handle
+            .update_with_checkpoint(op)
+            .expect("update with automatic checkpoint failed")
+    }
+
+    fn read(&mut self, op: &S::ReadOp) -> S::Value {
+        self.handle.read(op)
+    }
+
+    fn implementation_name(&self) -> &'static str {
+        "onll+checkpoint"
     }
 }
 

@@ -37,7 +37,7 @@ pub mod report;
 pub mod sharded;
 pub mod workload;
 
-pub use adapter::OnllAdapter;
+pub use adapter::{CheckpointingOnllAdapter, OnllAdapter};
 pub use crash::{quick_crash_sweep, CrashExperiment, CrashOutcome};
 pub use fence_audit::{audit_fence_bounds, FenceAudit};
 pub use history::{Event, EventKind, History, OpRecord};

@@ -16,12 +16,17 @@ pub(crate) const N_SHARDS: usize = 64;
 
 /// One shard of the line maps. Cache and durable contents for a line always live in
 /// the same shard, so a single lock acquisition covers a coherent view of the line.
+///
+/// Lines are stored *inline* in the maps (no per-line `Box`): a line is 64 POD
+/// bytes, so boxing would only add an allocation per line — and, worse, make
+/// `drop_cache` at crash time free hundreds of thousands of small chunks, which
+/// stalls the allocator exactly when recovery is about to be measured.
 #[derive(Default)]
 pub(crate) struct Shard {
     /// Volatile cache contents: the most recent stored value of each line.
-    pub cache: HashMap<u64, Box<Line>>,
+    pub cache: HashMap<u64, Line>,
     /// Durable contents: what would survive a crash right now.
-    pub durable: HashMap<u64, Box<Line>>,
+    pub durable: HashMap<u64, Line>,
 }
 
 pub(crate) struct ShardedMemory {
@@ -59,8 +64,7 @@ impl ShardedMemory {
             let off = (cur % CACHE_LINE_SIZE as u64) as usize;
             let take = (CACHE_LINE_SIZE - off).min(buf.len() - written);
             let shard = self.shard_for(line).read();
-            let src: Option<&Box<Line>> =
-                shard.cache.get(&line).or_else(|| shard.durable.get(&line));
+            let src: Option<&Line> = shard.cache.get(&line).or_else(|| shard.durable.get(&line));
             match src {
                 Some(data) => buf[written..written + take].copy_from_slice(&data[off..off + take]),
                 None => buf[written..written + take].fill(0),
@@ -104,10 +108,11 @@ impl ShardedMemory {
             // Get-or-initialize the cache line. A line absent from the cache is
             // initialized from the durable contents (a "cache miss fill"), so that a
             // partial-line store does not zero the rest of the line.
-            let durable_copy = shard.durable.get(&line).cloned();
-            let entry = shard.cache.entry(line).or_insert_with(|| {
-                durable_copy.unwrap_or_else(|| Box::new([0u8; CACHE_LINE_SIZE]))
-            });
+            let durable_copy = shard.durable.get(&line).copied();
+            let entry = shard
+                .cache
+                .entry(line)
+                .or_insert_with(|| durable_copy.unwrap_or([0u8; CACHE_LINE_SIZE]));
             entry[off..off + take].copy_from_slice(&data[consumed..consumed + take]);
             drop(shard);
             touched.push(line);
@@ -120,28 +125,28 @@ impl ShardedMemory {
     /// Snapshots the current contents of `line` as seen by the cache hierarchy
     /// (cache first, then durable, then zeros). Used to capture the value a flush
     /// instruction would write back.
-    pub fn snapshot_line(&self, line: u64) -> Box<Line> {
+    pub fn snapshot_line(&self, line: u64) -> Line {
         let shard = self.shard_for(line).read();
         if let Some(l) = shard.cache.get(&line) {
-            l.clone()
+            *l
         } else if let Some(l) = shard.durable.get(&line) {
-            l.clone()
+            *l
         } else {
-            Box::new([0u8; CACHE_LINE_SIZE])
+            [0u8; CACHE_LINE_SIZE]
         }
     }
 
     /// Makes `contents` the durable value of `line`.
     pub fn write_back(&self, line: u64, contents: &Line) {
         let mut shard = self.shard_for(line).write();
-        shard.durable.insert(line, Box::new(*contents));
+        shard.durable.insert(line, *contents);
     }
 
     /// Writes back the *current cached* value of `line` (no-op if the line is not
     /// cached). Used by the eager / random-eviction policies.
     pub fn write_back_cached(&self, line: u64) -> bool {
         let mut shard = self.shard_for(line).write();
-        if let Some(contents) = shard.cache.get(&line).cloned() {
+        if let Some(contents) = shard.cache.get(&line).copied() {
             shard.durable.insert(line, contents);
             true
         } else {
@@ -263,11 +268,11 @@ mod tests {
     #[test]
     fn snapshot_falls_back_to_durable_then_zero() {
         let m = ShardedMemory::new();
-        assert_eq!(*m.snapshot_line(3), [0u8; 64]);
+        assert_eq!(m.snapshot_line(3), [0u8; 64]);
         m.store(3 * 64, &[9u8; 64]);
         let s = m.snapshot_line(3);
         m.write_back(3, &s);
         m.drop_cache();
-        assert_eq!(*m.snapshot_line(3), [9u8; 64]);
+        assert_eq!(m.snapshot_line(3), [9u8; 64]);
     }
 }

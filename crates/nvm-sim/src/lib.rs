@@ -58,5 +58,5 @@ pub use layout::{line_index, line_offset, line_range, PAddr, CACHE_LINE_SIZE};
 pub use policy::{PmemConfig, WritebackPolicy};
 pub use pool::{NvmPool, RootId, MAX_ROOTS};
 pub use region::{CrashToken, CrashTrigger, NvmRegion};
-pub use stats::{FenceStats, OpWindow, StatsSnapshot, ThreadStatsSnapshot};
+pub use stats::{FenceStats, MaintenanceScope, OpWindow, StatsSnapshot, ThreadStatsSnapshot};
 pub use thread_slot::{current_thread_slot, MAX_THREAD_SLOTS};

@@ -42,7 +42,7 @@ enum ArmedKind {
 }
 
 /// One thread's pending flushes: line index -> contents captured at flush time.
-type PendingFlushes = Mutex<HashMap<u64, Box<Line>>>;
+type PendingFlushes = Mutex<HashMap<u64, Line>>;
 
 /// A simulated byte-addressable persistent-memory region.
 ///
@@ -261,7 +261,7 @@ impl NvmRegion {
             return false;
         }
         let slot = current_thread_slot();
-        let drained: Vec<(u64, Box<Line>)> = {
+        let drained: Vec<(u64, Line)> = {
             let mut pending = self.pending[slot].lock();
             pending.drain().collect()
         };

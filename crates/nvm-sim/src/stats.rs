@@ -19,6 +19,7 @@ struct Counters {
     flushed_lines: AtomicU64,
     fences: AtomicU64,
     persistent_fences: AtomicU64,
+    maintenance_fences: AtomicU64,
     writebacks: AtomicU64,
     crashes: AtomicU64,
 }
@@ -33,10 +34,19 @@ impl Counters {
             flushed_lines: self.flushed_lines.load(Ordering::Relaxed),
             fences: self.fences.load(Ordering::Relaxed),
             persistent_fences: self.persistent_fences.load(Ordering::Relaxed),
+            maintenance_fences: self.maintenance_fences.load(Ordering::Relaxed),
             writebacks: self.writebacks.load(Ordering::Relaxed),
             crashes: self.crashes.load(Ordering::Relaxed),
         }
     }
+}
+
+thread_local! {
+    /// Nesting depth of [`MaintenanceScope`]s on this thread. Persistent fences
+    /// issued while the depth is non-zero are *additionally* counted in the
+    /// `maintenance_fences` bucket, so audits can separate explicit maintenance
+    /// (checkpoint writes, log truncation) from the per-update inherent fence.
+    static MAINTENANCE_DEPTH: std::cell::Cell<u32> = const { std::cell::Cell::new(0) };
 }
 
 /// Counters for a single thread (or the global totals), frozen at a point in time.
@@ -56,6 +66,10 @@ pub struct ThreadStatsSnapshot {
     pub fences: u64,
     /// Number of **persistent** fences: fences issued while flushes were pending.
     pub persistent_fences: u64,
+    /// Subset of `persistent_fences` issued inside a [`MaintenanceScope`]
+    /// (checkpoint writes, log truncation — explicit maintenance outside the
+    /// paper's per-update fence budget).
+    pub maintenance_fences: u64,
     /// Number of cache lines written back to the durable store.
     pub writebacks: u64,
     /// Number of simulated crashes observed.
@@ -75,6 +89,7 @@ impl ThreadStatsSnapshot {
             flushed_lines: self.flushed_lines + other.flushed_lines,
             fences: self.fences + other.fences,
             persistent_fences: self.persistent_fences + other.persistent_fences,
+            maintenance_fences: self.maintenance_fences + other.maintenance_fences,
             writebacks: self.writebacks + other.writebacks,
             crashes: self.crashes + other.crashes,
         }
@@ -89,6 +104,13 @@ impl ThreadStatsSnapshot {
             .fold(ThreadStatsSnapshot::default(), |acc, s| acc.merge(s))
     }
 
+    /// Persistent fences *outside* maintenance scopes — the fences the paper's
+    /// per-update lower bound (Theorem 6.3) charges to operations.
+    pub fn inherent_fences(&self) -> u64 {
+        self.persistent_fences
+            .saturating_sub(self.maintenance_fences)
+    }
+
     /// Component-wise difference `self - earlier`. Saturates at zero.
     pub fn delta(&self, earlier: &ThreadStatsSnapshot) -> ThreadStatsSnapshot {
         ThreadStatsSnapshot {
@@ -101,6 +123,9 @@ impl ThreadStatsSnapshot {
             persistent_fences: self
                 .persistent_fences
                 .saturating_sub(earlier.persistent_fences),
+            maintenance_fences: self
+                .maintenance_fences
+                .saturating_sub(earlier.maintenance_fences),
             writebacks: self.writebacks.saturating_sub(earlier.writebacks),
             crashes: self.crashes.saturating_sub(earlier.crashes),
         }
@@ -204,6 +229,12 @@ impl FenceStats {
                 .persistent_fences
                 .fetch_add(1, Ordering::Relaxed);
             me.persistent_fences.fetch_add(1, Ordering::Relaxed);
+            if MAINTENANCE_DEPTH.with(|d| d.get()) > 0 {
+                self.global
+                    .maintenance_fences
+                    .fetch_add(1, Ordering::Relaxed);
+                me.maintenance_fences.fetch_add(1, Ordering::Relaxed);
+            }
         }
         if lines_drained > 0 {
             self.global
@@ -226,6 +257,22 @@ impl FenceStats {
     /// Total number of persistent fences across all threads.
     pub fn persistent_fences(&self) -> u64 {
         self.global.persistent_fences.load(Ordering::Relaxed)
+    }
+
+    /// Total number of maintenance-scoped persistent fences across all threads.
+    pub fn maintenance_fences(&self) -> u64 {
+        self.global.maintenance_fences.load(Ordering::Relaxed)
+    }
+
+    /// Marks the calling thread as performing explicit maintenance (checkpoint
+    /// write, log truncation) until the returned guard is dropped. Persistent
+    /// fences issued inside the scope are counted in the separate
+    /// `maintenance_fences` bucket in addition to the ordinary counters, so
+    /// per-operation audits can verify the paper's inherent one-fence-per-update
+    /// bound independently of amortized maintenance cost. Scopes nest.
+    pub fn maintenance_scope(&self) -> MaintenanceScope {
+        MAINTENANCE_DEPTH.with(|d| d.set(d.get() + 1));
+        MaintenanceScope { _private: () }
     }
 
     /// Total number of fences (persistent or not) across all threads.
@@ -289,6 +336,21 @@ impl FenceStats {
             slot: current_thread_slot(),
             start: self.per_thread[current_thread_slot()].snapshot(),
         }
+    }
+}
+
+/// RAII guard marking the calling thread as inside explicit maintenance; see
+/// [`FenceStats::maintenance_scope`]. The depth is thread-local, so a scope
+/// opened on one [`FenceStats`] classifies fences on *any* pool the thread
+/// touches while it is open — which is exactly what a sharded checkpointer
+/// (one pool per shard) needs.
+pub struct MaintenanceScope {
+    _private: (),
+}
+
+impl Drop for MaintenanceScope {
+    fn drop(&mut self) {
+        MAINTENANCE_DEPTH.with(|d| d.set(d.get().saturating_sub(1)));
     }
 }
 
@@ -448,6 +510,40 @@ mod tests {
         .unwrap();
         assert_eq!(s.persistent_fences(), 3);
         assert_eq!(s.my_persistent_fences(), 1);
+    }
+
+    #[test]
+    fn maintenance_scope_buckets_fences_separately() {
+        let s = FenceStats::new();
+        s.record_fence(true, 0);
+        {
+            let _scope = s.maintenance_scope();
+            s.record_fence(true, 0);
+            {
+                let _nested = s.maintenance_scope();
+                s.record_fence(true, 0);
+            }
+            // Non-persistent fences are never maintenance fences.
+            s.record_fence(false, 0);
+        }
+        s.record_fence(true, 0);
+        assert_eq!(s.persistent_fences(), 4);
+        assert_eq!(s.maintenance_fences(), 2);
+        let snap = s.snapshot().global;
+        assert_eq!(snap.maintenance_fences, 2);
+        assert_eq!(snap.inherent_fences(), 2);
+    }
+
+    #[test]
+    fn maintenance_scope_is_thread_local() {
+        let s = std::sync::Arc::new(FenceStats::new());
+        let _scope = s.maintenance_scope();
+        let s2 = s.clone();
+        std::thread::spawn(move || s2.record_fence(true, 0))
+            .join()
+            .unwrap();
+        assert_eq!(s.persistent_fences(), 1);
+        assert_eq!(s.maintenance_fences(), 0);
     }
 
     #[test]

@@ -5,7 +5,7 @@
 //! benchmarks as an update-only workload with a growing state.
 
 use crate::codec_util::{put_bytes, take_bytes};
-use onll::{CheckpointableSpec, OpCodec, SequentialSpec};
+use onll::{OpCodec, SequentialSpec, SnapshotSpec};
 
 /// Maximum length of one appended payload.
 pub const MAX_PAYLOAD: usize = 40;
@@ -95,7 +95,7 @@ impl SequentialSpec for AppendLogSpec {
     }
 }
 
-impl CheckpointableSpec for AppendLogSpec {
+impl SnapshotSpec for AppendLogSpec {
     fn encode_state(&self, buf: &mut Vec<u8>) {
         buf.extend_from_slice(&(self.entries.len() as u32).to_le_bytes());
         for e in &self.entries {

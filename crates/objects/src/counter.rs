@@ -1,6 +1,6 @@
 //! The shared counter of Section 3.3 / Figure 1.
 
-use onll::{CheckpointableSpec, OpCodec, SequentialSpec};
+use onll::{OpCodec, SequentialSpec, SnapshotSpec};
 
 /// State of the counter: a single signed integer.
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
@@ -82,7 +82,7 @@ impl SequentialSpec for CounterSpec {
     }
 }
 
-impl CheckpointableSpec for CounterSpec {
+impl SnapshotSpec for CounterSpec {
     fn encode_state(&self, buf: &mut Vec<u8>) {
         buf.extend_from_slice(&self.value.to_le_bytes());
     }

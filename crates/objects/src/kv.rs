@@ -6,7 +6,7 @@
 //! log slots.
 
 use crate::codec_util::{put_bytes, take_string};
-use onll::{CheckpointableSpec, KeyedSpec, OpCodec, SequentialSpec};
+use onll::{KeyedSpec, OpCodec, SequentialSpec, SnapshotSpec};
 use std::collections::BTreeMap;
 
 /// Maximum length, in bytes, of a key or value.
@@ -158,7 +158,7 @@ impl KeyedSpec for KvSpec {
     }
 }
 
-impl CheckpointableSpec for KvSpec {
+impl SnapshotSpec for KvSpec {
     fn encode_state(&self, buf: &mut Vec<u8>) {
         buf.extend_from_slice(&(self.map.len() as u32).to_le_bytes());
         for (k, v) in &self.map {

@@ -15,7 +15,7 @@
 //! * [`AppendLogSpec`] — an append-only log returning sequence numbers.
 //!
 //! Every spec implements [`onll::SequentialSpec`] (and, where a compact state
-//! representation exists, [`onll::CheckpointableSpec`] for the Section-8
+//! representation exists, [`onll::SnapshotSpec`] for the Section-8
 //! checkpointing extension).
 
 #![warn(missing_docs)]

@@ -5,7 +5,7 @@
 //! this spec lets the benchmarks compare the ONLL-derived queue against the
 //! baselines on the same workloads.
 
-use onll::{CheckpointableSpec, OpCodec, SequentialSpec};
+use onll::{OpCodec, SequentialSpec, SnapshotSpec};
 use std::collections::VecDeque;
 
 /// State of the queue.
@@ -112,7 +112,7 @@ impl SequentialSpec for QueueSpec {
     }
 }
 
-impl CheckpointableSpec for QueueSpec {
+impl SnapshotSpec for QueueSpec {
     fn encode_state(&self, buf: &mut Vec<u8>) {
         buf.extend_from_slice(&(self.items.len() as u32).to_le_bytes());
         for v in &self.items {

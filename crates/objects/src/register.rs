@@ -1,6 +1,6 @@
 //! A read/write/compare-and-swap register.
 
-use onll::{CheckpointableSpec, OpCodec, SequentialSpec};
+use onll::{OpCodec, SequentialSpec, SnapshotSpec};
 
 /// State of the register: a single 64-bit word.
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
@@ -105,7 +105,7 @@ impl SequentialSpec for RegisterSpec {
     }
 }
 
-impl CheckpointableSpec for RegisterSpec {
+impl SnapshotSpec for RegisterSpec {
     fn encode_state(&self, buf: &mut Vec<u8>) {
         buf.extend_from_slice(&self.value.to_le_bytes());
     }

@@ -1,6 +1,6 @@
 //! A set of 64-bit keys.
 
-use onll::{CheckpointableSpec, KeyedSpec, OpCodec, SequentialSpec};
+use onll::{KeyedSpec, OpCodec, SequentialSpec, SnapshotSpec};
 use std::collections::BTreeSet;
 
 /// State of the set.
@@ -139,7 +139,7 @@ impl KeyedSpec for SetSpec {
     }
 }
 
-impl CheckpointableSpec for SetSpec {
+impl SnapshotSpec for SetSpec {
     fn encode_state(&self, buf: &mut Vec<u8>) {
         buf.extend_from_slice(&(self.items.len() as u32).to_le_bytes());
         for k in &self.items {

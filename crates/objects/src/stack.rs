@@ -1,6 +1,6 @@
 //! A LIFO stack of 64-bit values.
 
-use onll::{CheckpointableSpec, OpCodec, SequentialSpec};
+use onll::{OpCodec, SequentialSpec, SnapshotSpec};
 
 /// State of the stack.
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
@@ -106,7 +106,7 @@ impl SequentialSpec for StackSpec {
     }
 }
 
-impl CheckpointableSpec for StackSpec {
+impl SnapshotSpec for StackSpec {
     fn encode_state(&self, buf: &mut Vec<u8>) {
         buf.extend_from_slice(&(self.items.len() as u32).to_le_bytes());
         for v in &self.items {

@@ -1,0 +1,194 @@
+//! Property tests: for arbitrary operation sequences and arbitrary checkpoint
+//! points, the state recovered from checkpoint+tail equals both the state
+//! recovered by a full log replay and the plain sequential replay — for every
+//! object specification in this crate.
+
+use durable_objects::{
+    AppendLogOp, AppendLogSpec, CounterOp, CounterSpec, KvOp, KvSpec, QueueOp, QueueSpec,
+    RegisterOp, RegisterSpec, SetOp, SetSpec, StackOp, StackSpec,
+};
+use nvm_sim::{NvmPool, PmemConfig};
+use onll::{replay, Durable, OnllConfig, SnapshotSpec};
+use proptest::prelude::*;
+
+fn pool() -> NvmPool {
+    NvmPool::new(PmemConfig::with_capacity(64 << 20).apply_pending_at_crash(0.0))
+}
+
+/// Runs `ops` with explicit checkpoints after the (0-based) positions in
+/// `cp_points`, crashes, recovers from checkpoint+tail, and checks the
+/// materialized state against a checkpoint-free full-replay recovery and the
+/// sequential replay.
+fn assert_equivalence<S>(ops: &[S::UpdateOp], cp_points: &[usize])
+where
+    S: SnapshotSpec + PartialEq + std::fmt::Debug,
+{
+    let expected: S = replay::<S>(ops.iter());
+
+    // Path A: checkpoints at the given points, recovery from checkpoint+tail.
+    let pool_a = pool();
+    let cfg_a = OnllConfig::named("eq-cp")
+        .log_capacity(ops.len() + 8)
+        // Enable checkpointing but leave the automatic triggers out of reach:
+        // the property drives explicit checkpoint() calls at arbitrary points.
+        .checkpoint_every(u64::MAX / 2)
+        .checkpoint_slot_bytes(256 * 1024);
+    let obj = Durable::<S>::create(pool_a.clone(), cfg_a.clone()).unwrap();
+    {
+        let mut h = obj.register().unwrap();
+        for (i, op) in ops.iter().enumerate() {
+            h.try_update(op.clone()).unwrap();
+            if cp_points.contains(&i) {
+                h.checkpoint().unwrap();
+            }
+        }
+    }
+    drop(obj);
+    pool_a.crash_and_restart();
+    let (recovered_a, report_a) = Durable::<S>::recover_with_checkpoints(pool_a, cfg_a).unwrap();
+    assert_eq!(report_a.durable_index as usize, ops.len());
+    if !cp_points.is_empty() {
+        assert!(report_a.checkpoint_index > 0, "a checkpoint must be found");
+        assert!(report_a.checkpoint_epoch > 0);
+        assert!(report_a.replayed_ops() <= ops.len());
+    }
+    let from_checkpoint = recovered_a.materialize();
+
+    // Path B: no checkpoints, full log replay.
+    let pool_b = pool();
+    let cfg_b = OnllConfig::named("eq-full").log_capacity(ops.len() + 8);
+    let obj = Durable::<S>::create(pool_b.clone(), cfg_b.clone()).unwrap();
+    {
+        let mut h = obj.register().unwrap();
+        for op in ops {
+            h.try_update(op.clone()).unwrap();
+        }
+    }
+    drop(obj);
+    pool_b.crash_and_restart();
+    let (recovered_b, report_b) = Durable::<S>::recover(pool_b, cfg_b).unwrap();
+    assert_eq!(report_b.durable_index as usize, ops.len());
+    let from_full_replay = recovered_b.materialize();
+
+    assert_eq!(
+        from_checkpoint, expected,
+        "checkpoint+tail diverged from replay"
+    );
+    assert_eq!(
+        from_full_replay, expected,
+        "full replay diverged from replay"
+    );
+    assert_eq!(from_checkpoint, from_full_replay);
+}
+
+/// Maps raw checkpoint-point samples into valid (0-based) op positions.
+fn to_cp_points(raw: &[u16], len: usize) -> Vec<usize> {
+    if len == 0 {
+        return Vec::new();
+    }
+    let mut points: Vec<usize> = raw.iter().map(|r| *r as usize % len).collect();
+    points.sort_unstable();
+    points.dedup();
+    points
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn counter_checkpoint_tail_equals_full_replay(
+        raw_ops in proptest::collection::vec((0u8..3, -50i64..50), 1..100),
+        raw_cps in proptest::collection::vec(proptest::strategy::any::<u16>(), 0..4),
+    ) {
+        let ops: Vec<CounterOp> = raw_ops
+            .iter()
+            .map(|(tag, amount)| match tag {
+                0 => CounterOp::Increment,
+                1 => CounterOp::Add(*amount),
+                _ => CounterOp::Reset,
+            })
+            .collect();
+        assert_equivalence::<CounterSpec>(&ops, &to_cp_points(&raw_cps, ops.len()));
+    }
+
+    #[test]
+    fn register_checkpoint_tail_equals_full_replay(
+        raw_ops in proptest::collection::vec((0u8..2, 0u64..8, 0u64..8), 1..100),
+        raw_cps in proptest::collection::vec(proptest::strategy::any::<u16>(), 0..4),
+    ) {
+        let ops: Vec<RegisterOp> = raw_ops
+            .iter()
+            .map(|(tag, a, b)| match tag {
+                0 => RegisterOp::Write(*a),
+                _ => RegisterOp::Cas { expected: *a, new: *b },
+            })
+            .collect();
+        assert_equivalence::<RegisterSpec>(&ops, &to_cp_points(&raw_cps, ops.len()));
+    }
+
+    #[test]
+    fn stack_checkpoint_tail_equals_full_replay(
+        raw_ops in proptest::collection::vec((0u8..2, 0u64..100), 1..100),
+        raw_cps in proptest::collection::vec(proptest::strategy::any::<u16>(), 0..4),
+    ) {
+        let ops: Vec<StackOp> = raw_ops
+            .iter()
+            .map(|(tag, v)| if *tag == 0 { StackOp::Push(*v) } else { StackOp::Pop })
+            .collect();
+        assert_equivalence::<StackSpec>(&ops, &to_cp_points(&raw_cps, ops.len()));
+    }
+
+    #[test]
+    fn queue_checkpoint_tail_equals_full_replay(
+        raw_ops in proptest::collection::vec((0u8..2, 0u64..100), 1..100),
+        raw_cps in proptest::collection::vec(proptest::strategy::any::<u16>(), 0..4),
+    ) {
+        let ops: Vec<QueueOp> = raw_ops
+            .iter()
+            .map(|(tag, v)| if *tag == 0 { QueueOp::Enqueue(*v) } else { QueueOp::Dequeue })
+            .collect();
+        assert_equivalence::<QueueSpec>(&ops, &to_cp_points(&raw_cps, ops.len()));
+    }
+
+    #[test]
+    fn set_checkpoint_tail_equals_full_replay(
+        raw_ops in proptest::collection::vec((0u8..2, 0u64..16), 1..100),
+        raw_cps in proptest::collection::vec(proptest::strategy::any::<u16>(), 0..4),
+    ) {
+        let ops: Vec<SetOp> = raw_ops
+            .iter()
+            .map(|(tag, k)| if *tag == 0 { SetOp::Add(*k) } else { SetOp::Remove(*k) })
+            .collect();
+        assert_equivalence::<SetSpec>(&ops, &to_cp_points(&raw_cps, ops.len()));
+    }
+
+    #[test]
+    fn kv_checkpoint_tail_equals_full_replay(
+        raw_ops in proptest::collection::vec((0u8..2, 0u8..8, 0u8..8), 1..80),
+        raw_cps in proptest::collection::vec(proptest::strategy::any::<u16>(), 0..4),
+    ) {
+        let ops: Vec<KvOp> = raw_ops
+            .iter()
+            .map(|(tag, k, v)| {
+                if *tag == 0 {
+                    KvOp::Put(format!("key-{k}"), format!("value-{v}"))
+                } else {
+                    KvOp::Delete(format!("key-{k}"))
+                }
+            })
+            .collect();
+        assert_equivalence::<KvSpec>(&ops, &to_cp_points(&raw_cps, ops.len()));
+    }
+
+    #[test]
+    fn append_log_checkpoint_tail_equals_full_replay(
+        raw_ops in proptest::collection::vec((1u8..20, proptest::strategy::any::<u8>()), 1..60),
+        raw_cps in proptest::collection::vec(proptest::strategy::any::<u16>(), 0..4),
+    ) {
+        let ops: Vec<AppendLogOp> = raw_ops
+            .iter()
+            .map(|(len, byte)| AppendLogOp::Append(vec![*byte; *len as usize]))
+            .collect();
+        assert_equivalence::<AppendLogSpec>(&ops, &to_cp_points(&raw_cps, ops.len()));
+    }
+}

@@ -164,8 +164,66 @@ impl PersistentLog {
     /// Cost: one persistent fence (it is an explicit maintenance operation, not part
     /// of the per-update fence budget).
     pub fn truncate(&mut self) {
-        self.start_slot = self.next_slot;
-        self.start_seq = self.next_seq;
+        self.publish_start(self.next_slot, self.next_seq);
+    }
+
+    /// Drops the live prefix of entries whose `execution_index` is at most
+    /// `watermark`, freeing their ring slots for reuse by subsequent appends.
+    /// Returns the number of entries dropped.
+    ///
+    /// A log's entries carry strictly increasing execution indices (each append
+    /// records the appender's newest operation), so the droppable entries always
+    /// form a prefix of the live window. Callers use this after a checkpoint
+    /// covering indices `<= watermark` has been *published*: every dropped entry
+    /// is then redundant with the checkpoint, which is the truncation safety
+    /// argument (see `onll::Checkpointer`).
+    ///
+    /// Cost: **zero** fences when nothing is droppable, one persistent fence
+    /// otherwise (the start-mark publish). Maintenance, not per-update budget.
+    pub fn truncate_below(&mut self, watermark: u64) -> usize {
+        let mut dropped = 0u64;
+        let mut slot = self.start_slot;
+        let mut seq = self.start_seq;
+        while seq < self.next_seq {
+            let addr = self.entry_addr(slot);
+            let buf = self.pool.read_vec(addr, self.cfg.entry_size());
+            match decode_entry(&self.cfg, &buf) {
+                Some(e) if e.seq == seq && e.execution_index <= watermark => {
+                    dropped += 1;
+                    seq += 1;
+                    slot = (slot + 1) % self.cfg.capacity_entries as u64;
+                }
+                _ => break,
+            }
+        }
+        if dropped > 0 {
+            self.publish_start(slot, seq);
+        }
+        dropped as usize
+    }
+
+    /// Execution index of the oldest live entry, if any. A cheap pre-check for
+    /// [`PersistentLog::truncate_below`]: if the oldest entry is already above
+    /// the watermark, truncation would be a no-op.
+    pub fn first_live_index(&self) -> Option<u64> {
+        if self.is_empty() {
+            return None;
+        }
+        let addr = self.entry_addr(self.start_slot);
+        let buf = self.pool.read_vec(addr, self.cfg.entry_size());
+        decode_entry(&self.cfg, &buf).map(|e| e.execution_index)
+    }
+
+    /// Bytes of NVM occupied by live entries (the log-bytes checkpoint-trigger
+    /// input).
+    pub fn live_bytes(&self) -> u64 {
+        self.live_len() as u64 * self.cfg.entry_size() as u64
+    }
+
+    /// Persists a new start mark (one persistent fence).
+    fn publish_start(&mut self, slot: u64, seq: u64) {
+        self.start_slot = slot;
+        self.start_seq = seq;
         let mut hdr = vec![0u8; self.cfg.log_header_size()];
         hdr[HDR_START_SLOT as usize..8].copy_from_slice(&self.start_slot.to_le_bytes());
         hdr[HDR_START_SEQ as usize..16].copy_from_slice(&self.start_seq.to_le_bytes());
@@ -346,6 +404,74 @@ mod tests {
         assert_eq!(entries.len(), 4);
         assert_eq!(entries[0].execution_index, 5);
         assert_eq!(entries[3].ops[0], b"y8");
+    }
+
+    #[test]
+    fn truncate_below_drops_only_the_covered_prefix() {
+        let cfg = LogConfig::default().capacity_entries(8);
+        let (pool, mut log) = setup(cfg.clone());
+        let base = log.base();
+        for i in 1..=6u64 {
+            log.append(&[format!("op{i}").as_bytes()], i).unwrap();
+        }
+        // Checkpoint covered indices <= 4: four entries become droppable.
+        assert_eq!(log.truncate_below(4), 4);
+        assert_eq!(log.live_len(), 2);
+        assert_eq!(log.first_live_index(), Some(5));
+        // Idempotent: nothing below the watermark remains, and no fence is paid.
+        let w = pool.stats().op_window();
+        assert_eq!(log.truncate_below(4), 0);
+        assert_eq!(w.close().persistent_fences, 0);
+        // The freed ring slots are reusable: capacity 8, 2 live, 6 free.
+        assert_eq!(log.free_slots(), 6);
+        for i in 7..=12u64 {
+            log.append(&[format!("op{i}").as_bytes()], i).unwrap();
+        }
+        pool.crash_and_restart();
+        let (_, entries) = PersistentLog::open(pool, cfg, base);
+        assert_eq!(entries.len(), 8);
+        assert_eq!(entries[0].execution_index, 5);
+        assert_eq!(entries[7].execution_index, 12);
+    }
+
+    #[test]
+    fn truncate_below_survives_crash() {
+        let cfg = LogConfig::default().capacity_entries(8);
+        let (pool, mut log) = setup(cfg.clone());
+        let base = log.base();
+        for i in 1..=5u64 {
+            log.append(&[b"x"], i).unwrap();
+        }
+        assert_eq!(log.truncate_below(3), 3);
+        pool.crash_and_restart();
+        let (reopened, entries) = PersistentLog::open(pool, cfg, base);
+        assert_eq!(entries.len(), 2);
+        assert_eq!(entries[0].execution_index, 4);
+        assert_eq!(reopened.first_live_index(), Some(4));
+    }
+
+    #[test]
+    fn truncate_below_whole_log_behaves_like_truncate() {
+        let cfg = LogConfig::default().capacity_entries(4);
+        let (_pool, mut log) = setup(cfg);
+        for i in 1..=4u64 {
+            log.append(&[b"x"], i).unwrap();
+        }
+        assert_eq!(log.truncate_below(u64::MAX), 4);
+        assert!(log.is_empty());
+        assert_eq!(log.first_live_index(), None);
+        assert_eq!(log.live_bytes(), 0);
+    }
+
+    #[test]
+    fn live_bytes_tracks_entry_geometry() {
+        let cfg = LogConfig::default();
+        let entry = cfg.entry_size() as u64;
+        let (_pool, mut log) = setup(cfg);
+        assert_eq!(log.live_bytes(), 0);
+        log.append(&[b"a"], 1).unwrap();
+        log.append(&[b"b"], 2).unwrap();
+        assert_eq!(log.live_bytes(), 2 * entry);
     }
 
     #[test]

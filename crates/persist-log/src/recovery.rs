@@ -36,16 +36,21 @@ pub fn reconstruct_history(logs: &[Vec<LogEntry>]) -> Vec<RecoveredOp> {
 pub fn reconstruct_history_from(logs: &[Vec<LogEntry>], first_index: u64) -> Vec<RecoveredOp> {
     // Flatten all entries; recovery per the paper scans all processes' logs.
     let mut all: Vec<&LogEntry> = logs.iter().flatten().collect();
-    // Sorting by execution index makes "lowest execution index j >= i" a simple
-    // forward scan.
+    // Sorting by execution index makes "lowest execution index j >= i" a cursor
+    // that only moves forward: as `i` increases, entries it passed can never
+    // become candidates again, so the whole reconstruction is a single O(n)
+    // sweep instead of re-scanning the entry list per recovered index.
     all.sort_by_key(|e| e.execution_index);
 
     let mut result = Vec::new();
     let mut i: u64 = first_index.max(1);
+    let mut cursor = 0usize;
     loop {
-        // Find the entry with the lowest execution index j >= i.
-        let candidate = all.iter().find(|e| e.execution_index >= i).copied();
-        let Some(entry) = candidate else { break };
+        // Advance to the entry with the lowest execution index j >= i.
+        while cursor < all.len() && all[cursor].execution_index < i {
+            cursor += 1;
+        }
+        let Some(entry) = all.get(cursor) else { break };
         match entry.op_with_index(i) {
             Some(op) => {
                 result.push(RecoveredOp {

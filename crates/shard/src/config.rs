@@ -60,6 +60,29 @@ impl ShardConfig {
         self
     }
 
+    /// Convenience: enables the per-shard ops-count checkpoint trigger
+    /// (see `OnllConfig::checkpoint_every`). Evaluated by the background
+    /// checkpointer spawned with `ShardedDurable::spawn_checkpointer` (or by
+    /// handles using `update_with_checkpoint`).
+    pub fn checkpoint_every(mut self, interval: u64) -> Self {
+        self.base = self.base.checkpoint_every(interval);
+        self
+    }
+
+    /// Convenience: enables the per-shard log-bytes checkpoint trigger
+    /// (see `OnllConfig::checkpoint_when_log_exceeds`).
+    pub fn checkpoint_when_log_exceeds(mut self, bytes: u64) -> Self {
+        self.base = self.base.checkpoint_when_log_exceeds(bytes);
+        self
+    }
+
+    /// Convenience: sets the per-shard checkpoint slot capacity
+    /// (see `OnllConfig::checkpoint_slot_bytes`).
+    pub fn checkpoint_slot_bytes(mut self, bytes: usize) -> Self {
+        self.base = self.base.checkpoint_slot_bytes(bytes);
+        self
+    }
+
     /// The ONLL configuration of shard `index`.
     pub(crate) fn shard_onll_config(&self, index: usize) -> OnllConfig {
         let mut cfg = self.base.clone();

@@ -71,5 +71,5 @@ pub use group::GroupPersist;
 pub use handle::{FlushedGroups, ShardedHandle};
 pub use recovery::ShardRecoveryReport;
 pub use router::{HashRouter, RangeRouter, ShardRouter};
-pub use sharded::ShardedDurable;
+pub use sharded::{CheckpointDaemon, ShardedDurable};
 pub use stats::{merged_global_stats, AggregateWindow};

@@ -4,6 +4,14 @@ use onll::RecoveryReport;
 
 /// Outcome of a parallel sharded recovery: one [`RecoveryReport`] per shard, in
 /// shard order, plus merged convenience accessors.
+///
+/// Shards compact independently, so their checkpoint watermarks and epochs
+/// generally differ; [`ShardRecoveryReport::checkpoint_indices`] and
+/// [`ShardRecoveryReport::checkpoint_epochs`] surface the per-shard progress so
+/// operators can see how far each shard's compaction had advanced before the
+/// crash. Recovery itself validates that every shard's persisted geometry
+/// matches the facade's template and fails loudly on a mismatch instead of
+/// silently replaying against the wrong layout.
 #[derive(Debug, Clone)]
 pub struct ShardRecoveryReport {
     /// Per-shard reports, indexed by shard.
@@ -26,6 +34,18 @@ impl ShardRecoveryReport {
         self.per_shard.iter().map(|r| r.durable_index).collect()
     }
 
+    /// Each shard's checkpoint watermark (0 if the shard recovered without a
+    /// checkpoint), in shard order.
+    pub fn checkpoint_indices(&self) -> Vec<u64> {
+        self.per_shard.iter().map(|r| r.checkpoint_index).collect()
+    }
+
+    /// Each shard's checkpoint epoch (0 if the shard recovered without a
+    /// checkpoint), in shard order.
+    pub fn checkpoint_epochs(&self) -> Vec<u64> {
+        self.per_shard.iter().map(|r| r.checkpoint_epoch).collect()
+    }
+
     /// Total durable operations across all shards (sum of per-shard durable
     /// indices above their checkpoints).
     pub fn total_durable(&self) -> u64 {
@@ -34,6 +54,21 @@ impl ShardRecoveryReport {
             .map(|r| r.durable_index - r.checkpoint_index)
             .sum()
     }
+
+    /// Per-shard internal consistency: a shard whose durable index is below its
+    /// own checkpoint watermark would mean the logs were truncated above the
+    /// durable tail — state loss that must not be reported as a successful
+    /// recovery. Returns the offending `(shard, checkpoint_index,
+    /// durable_index)` if any.
+    pub fn watermark_violation(&self) -> Option<(usize, u64, u64)> {
+        self.per_shard.iter().enumerate().find_map(|(i, r)| {
+            (r.durable_index < r.checkpoint_index).then_some((
+                i,
+                r.checkpoint_index,
+                r.durable_index,
+            ))
+        })
+    }
 }
 
 #[cfg(test)]
@@ -41,9 +76,10 @@ mod tests {
     use super::*;
     use onll::OpId;
 
-    fn report(checkpoint: u64, durable: u64, replayed: usize) -> RecoveryReport {
+    fn report(checkpoint: u64, epoch: u64, durable: u64, replayed: usize) -> RecoveryReport {
         RecoveryReport {
             checkpoint_index: checkpoint,
+            checkpoint_epoch: epoch,
             durable_index: durable,
             recovered_ops: (0..replayed)
                 .map(|i| (checkpoint + 1 + i as u64, OpId::new(0, i as u64 + 1)))
@@ -54,11 +90,24 @@ mod tests {
     #[test]
     fn merged_accessors_aggregate_per_shard_reports() {
         let merged = ShardRecoveryReport {
-            per_shard: vec![report(0, 5, 5), report(0, 0, 0), report(10, 13, 3)],
+            per_shard: vec![report(0, 0, 5, 5), report(0, 0, 0, 0), report(10, 3, 13, 3)],
         };
         assert_eq!(merged.shards(), 3);
         assert_eq!(merged.total_replayed(), 8);
         assert_eq!(merged.durable_indices(), vec![5, 0, 13]);
+        assert_eq!(merged.checkpoint_indices(), vec![0, 0, 10]);
+        assert_eq!(merged.checkpoint_epochs(), vec![0, 0, 3]);
         assert_eq!(merged.total_durable(), 8);
+        assert!(merged.watermark_violation().is_none());
+    }
+
+    #[test]
+    fn watermark_violation_is_detected_per_shard() {
+        let mut bad = report(10, 2, 13, 3);
+        bad.durable_index = 7; // logs truncated above the durable tail
+        let merged = ShardRecoveryReport {
+            per_shard: vec![report(0, 0, 5, 5), bad],
+        };
+        assert_eq!(merged.watermark_violation(), Some((1, 10, 7)));
     }
 }

@@ -6,8 +6,10 @@ use crate::recovery::ShardRecoveryReport;
 use crate::router::ShardRouter;
 use crate::stats::{merged_global_stats, AggregateWindow};
 use nvm_sim::{NvmPool, ThreadStatsSnapshot};
-use onll::{Durable, Hooks, KeyedSpec, OnllError};
-use std::sync::Arc;
+use onll::{Durable, Hooks, KeyedSpec, OnllConfig, OnllError, RecoveryReport, SnapshotSpec};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
 
 /// A keyed sequential specification partitioned across N independent
 /// [`Durable`] instances.
@@ -115,14 +117,31 @@ impl<S: KeyedSpec> ShardedDurable<S> {
     /// Recovery work is proportional to the surviving history, so parallelism
     /// across shards cuts restart latency by up to the shard count — the
     /// recovery-side payoff of partitioning.
+    ///
+    /// Fails loudly (no silent replay) if any shard exists but was created with
+    /// a different geometry than the others — see
+    /// [`ShardedDurable::recover_with_checkpoints`] for the checks. Use that
+    /// method instead when checkpointing was (or may have been) enabled.
     pub fn recover(
         pools: Vec<NvmPool>,
         config: ShardConfig,
         router: Arc<dyn ShardRouter<S::Key>>,
     ) -> Result<(Self, ShardRecoveryReport), OnllError> {
+        Self::recover_inner(pools, config, router, Durable::<S>::recover)
+    }
+
+    fn recover_inner(
+        pools: Vec<NvmPool>,
+        config: ShardConfig,
+        router: Arc<dyn ShardRouter<S::Key>>,
+        recover_shard: impl Fn(NvmPool, OnllConfig) -> Result<(Durable<S>, RecoveryReport), OnllError>
+            + Send
+            + Sync,
+    ) -> Result<(Self, ShardRecoveryReport), OnllError> {
         Self::check_router(&config, router.as_ref())?;
         Self::check_pools(&config, &pools)?;
-        let results: Vec<Result<(Durable<S>, onll::RecoveryReport), OnllError>> =
+        let recover_shard = &recover_shard;
+        let results: Vec<Result<(Durable<S>, RecoveryReport), OnllError>> =
             std::thread::scope(|scope| {
                 let handles: Vec<_> = pools
                     .iter()
@@ -130,7 +149,7 @@ impl<S: KeyedSpec> ShardedDurable<S> {
                     .map(|(i, pool)| {
                         let cfg = config.shard_onll_config(i);
                         let pool = pool.clone();
-                        scope.spawn(move || Durable::<S>::recover(pool, cfg))
+                        scope.spawn(move || recover_shard(pool, cfg))
                     })
                     .collect();
                 handles
@@ -145,6 +164,8 @@ impl<S: KeyedSpec> ShardedDurable<S> {
             shards.push(durable);
             per_shard.push(report);
         }
+        let report = ShardRecoveryReport { per_shard };
+        Self::check_recovered_geometry(&shards, &report)?;
         Ok((
             ShardedDurable {
                 inner: Arc::new(Inner {
@@ -154,8 +175,55 @@ impl<S: KeyedSpec> ShardedDurable<S> {
                     config,
                 }),
             },
-            ShardRecoveryReport { per_shard },
+            report,
         ))
+    }
+
+    /// Every shard adopts its *persisted* geometry during recovery (the facade's
+    /// template is only a hint). If the pools handed to recovery belong to
+    /// objects with differing geometry — wrong pool order, pools from another
+    /// object, or shards created under different configs — replaying against
+    /// the template would silently mis-shape logs and checkpoint areas. Fail
+    /// loudly instead, naming the offending shard and field, and reject any
+    /// shard whose logs were truncated above its durable tail (watermark
+    /// violation: acknowledged state would be missing).
+    fn check_recovered_geometry(
+        shards: &[Durable<S>],
+        report: &ShardRecoveryReport,
+    ) -> Result<(), OnllError> {
+        if let Some((shard, checkpoint, durable)) = report.watermark_violation() {
+            return Err(OnllError::MetadataMismatch(format!(
+                "shard {shard}: durable index {durable} is below its checkpoint watermark {checkpoint} — logs were truncated above the durable tail"
+            )));
+        }
+        let Some(first) = shards.first() else {
+            return Ok(());
+        };
+        let reference = first.config();
+        for (i, shard) in shards.iter().enumerate().skip(1) {
+            let cfg = shard.config();
+            for (field, got, want) in [
+                ("max_processes", cfg.max_processes, reference.max_processes),
+                (
+                    "log_capacity_entries",
+                    cfg.log_capacity_entries,
+                    reference.log_capacity_entries,
+                ),
+                ("max_group_ops", cfg.max_group_ops, reference.max_group_ops),
+                (
+                    "checkpoint_slot_bytes",
+                    cfg.checkpoint_slot_bytes,
+                    reference.checkpoint_slot_bytes,
+                ),
+            ] {
+                if got != want {
+                    return Err(OnllError::MetadataMismatch(format!(
+                        "shard {i} was created with {field} = {got} but shard 0 has {want}; refusing to recover a geometry-mismatched shard set"
+                    )));
+                }
+            }
+        }
+        Ok(())
     }
 
     fn check_router(
@@ -281,6 +349,157 @@ impl<S: KeyedSpec> ShardedDurable<S> {
                 .map_err(|e| format!("shard {i}: {e}"))?;
         }
         Ok(())
+    }
+}
+
+impl<S: KeyedSpec + SnapshotSpec> ShardedDurable<S> {
+    /// Like [`ShardedDurable::recover`], but each shard loads its newest valid
+    /// checkpoint (checksum + torn-write detection with fallback to the
+    /// previous slot or full replay) and replays only the log tail above the
+    /// watermark. Shards checkpoint independently, so per-shard watermarks and
+    /// epochs differ; the merged report surfaces them
+    /// ([`ShardRecoveryReport::checkpoint_epochs`]) and the same loud
+    /// geometry/watermark validation as plain recovery applies.
+    pub fn recover_with_checkpoints(
+        pools: Vec<NvmPool>,
+        config: ShardConfig,
+        router: Arc<dyn ShardRouter<S::Key>>,
+    ) -> Result<(Self, ShardRecoveryReport), OnllError> {
+        Self::recover_inner(
+            pools,
+            config,
+            router,
+            Durable::<S>::recover_with_checkpoints,
+        )
+    }
+
+    /// Spawns one background checkpoint thread per shard, so shards compact
+    /// independently without blocking updates.
+    ///
+    /// Each thread claims a process slot on its shard (size `max_processes`
+    /// accordingly: workers + 1), then periodically syncs its local view and
+    /// checkpoints whenever a configured trigger fires — the ops-count trigger
+    /// (`OnllConfig::checkpoint_every`) or the log-bytes trigger
+    /// (`OnllConfig::checkpoint_when_log_exceeds`), both settable through
+    /// [`crate::ShardConfig`]. Checkpoint fences are maintenance fences: they
+    /// are counted in the separate maintenance bucket and never charge the
+    /// paper's per-update budget. Worker handles truncate their own logs below
+    /// the published watermark on their next update (logs are single-writer).
+    ///
+    /// The daemon stops (and joins its threads) on [`CheckpointDaemon::stop`]
+    /// or drop.
+    pub fn spawn_checkpointer(&self, poll: Duration) -> Result<CheckpointDaemon, OnllError> {
+        if !self.inner.config.base.checkpointing_enabled() {
+            return Err(OnllError::CheckpointingDisabled);
+        }
+        // Register every shard's handle *before* spawning any thread: a
+        // register failure on a later shard (e.g. no free process slot) must
+        // not leave earlier shards' threads running detached with no daemon
+        // handle to stop them.
+        let handles = (0..self.num_shards())
+            .map(|i| self.shard(i).register())
+            .collect::<Result<Vec<_>, _>>()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let checkpoints: Arc<Vec<AtomicU64>> =
+            Arc::new((0..self.num_shards()).map(|_| AtomicU64::new(0)).collect());
+        let errors: Arc<Vec<Mutex<Option<OnllError>>>> =
+            Arc::new((0..self.num_shards()).map(|_| Mutex::new(None)).collect());
+        let mut joins = Vec::with_capacity(self.num_shards());
+        for (i, mut handle) in handles.into_iter().enumerate() {
+            let stop = stop.clone();
+            let checkpoints = checkpoints.clone();
+            let errors = errors.clone();
+            joins.push(std::thread::spawn(move || loop {
+                let stopping = stop.load(Ordering::Acquire);
+                handle.sync();
+                if handle.should_checkpoint() {
+                    match handle.checkpoint() {
+                        Ok(_) => {
+                            checkpoints[i].fetch_add(1, Ordering::Relaxed);
+                        }
+                        // A persistent failure (e.g. serialized state outgrew
+                        // checkpoint_slot_bytes) would otherwise silently stop
+                        // all compaction for this shard; keep the latest error
+                        // inspectable through the daemon handle.
+                        Err(e) => *errors[i].lock().unwrap() = Some(e),
+                    }
+                }
+                if stopping {
+                    break;
+                }
+                std::thread::park_timeout(poll);
+            }));
+        }
+        Ok(CheckpointDaemon {
+            stop,
+            checkpoints,
+            errors,
+            joins,
+        })
+    }
+}
+
+/// Handle on the per-shard background checkpoint threads spawned by
+/// [`ShardedDurable::spawn_checkpointer`]. Dropping it stops and joins the
+/// threads; [`CheckpointDaemon::stop`] does the same and additionally returns
+/// the number of checkpoints each shard's thread wrote.
+pub struct CheckpointDaemon {
+    stop: Arc<AtomicBool>,
+    checkpoints: Arc<Vec<AtomicU64>>,
+    errors: Arc<Vec<Mutex<Option<OnllError>>>>,
+    joins: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl CheckpointDaemon {
+    /// The most recent checkpoint error per shard (`None` = no failure so
+    /// far). A persistently failing shard (e.g. its serialized state outgrew
+    /// `checkpoint_slot_bytes`) keeps serving updates but stops compacting;
+    /// operators should poll this alongside the checkpoint counts.
+    pub fn last_errors(&self) -> Vec<Option<OnllError>> {
+        self.errors
+            .iter()
+            .map(|e| e.lock().unwrap().clone())
+            .collect()
+    }
+
+    /// Checkpoints written so far, per shard (readable while running).
+    pub fn checkpoints_per_shard(&self) -> Vec<u64> {
+        self.checkpoints
+            .iter()
+            .map(|c| c.load(Ordering::Relaxed))
+            .collect()
+    }
+
+    /// Stops the daemon: each thread performs one final sync-and-maybe-checkpoint
+    /// pass, then exits. Returns the per-shard checkpoint counts.
+    pub fn stop(mut self) -> Vec<u64> {
+        self.shutdown();
+        self.checkpoints_per_shard()
+    }
+
+    fn shutdown(&mut self) {
+        self.stop.store(true, Ordering::Release);
+        for join in &self.joins {
+            join.thread().unpark();
+        }
+        for join in self.joins.drain(..) {
+            let _ = join.join();
+        }
+    }
+}
+
+impl Drop for CheckpointDaemon {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+impl std::fmt::Debug for CheckpointDaemon {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CheckpointDaemon")
+            .field("shards", &self.checkpoints.len())
+            .field("stopped", &self.stop.load(Ordering::Relaxed))
+            .finish()
     }
 }
 

@@ -1,0 +1,263 @@
+//! Crash-matrix suite for the checkpoint/compaction subsystem: a deterministic
+//! crash is injected at every phase of the checkpoint sequence
+//! (stage → publish → truncate) and *inside* each phase's NVM writes (store- and
+//! flush-granularity triggers), across checkpoint generations and pending-
+//! write-back policies. After every crash, recovery must produce a state
+//! linearizable with the acknowledged history:
+//!
+//! * no acknowledged update is lost (`durable_index >= acked`),
+//! * nothing is resurrected (`durable_index <= attempted`, and no recovered
+//!   operation lies at or below the checkpoint watermark recovery started from),
+//! * the recovered value equals the replayed history exactly.
+
+use remembering_consistently::nvm::{CrashTrigger, NvmPool, PmemConfig};
+use remembering_consistently::objects::{CounterOp, CounterRead, CounterSpec};
+use remembering_consistently::onll::{Durable, Hooks, OnllConfig, Phase};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// How the crash lands relative to the targeted checkpoint phase.
+#[derive(Debug, Clone, Copy)]
+enum CrashMode {
+    /// Freeze the machine exactly at the phase hook (between the phases).
+    AtPhase,
+    /// Arm a store-granularity trigger at the hook: the crash fires inside the
+    /// next NVM store burst (e.g. mid state write, mid header write).
+    MidStore,
+    /// Arm a flush-granularity trigger at the hook: the crash fires at the next
+    /// flush, leaving its line pending (dropped or applied per pool policy).
+    MidFlush,
+}
+
+struct Outcome {
+    acked: u64,
+    attempted: u64,
+    durable_index: u64,
+    checkpoint_index: u64,
+    min_recovered_index: Option<u64>,
+    recovered_value: i64,
+    crashed: bool,
+}
+
+/// Runs updates with automatic checkpointing every `CP_EVERY` updates and
+/// crashes at occurrence `nth` of `phase` (1-based), in the given mode.
+fn run_scenario(phase: Phase, mode: CrashMode, nth: u64, apply_pending: f64) -> Outcome {
+    const CP_EVERY: u64 = 20;
+    const TOTAL_OPS: u64 = 70;
+
+    let pool = NvmPool::new(
+        PmemConfig::with_capacity(32 << 20)
+            .apply_pending_at_crash(apply_pending)
+            .crash_seed(0xC0FFEE ^ nth),
+    );
+    let cfg = OnllConfig::named("cp-crash")
+        .log_capacity(TOTAL_OPS as usize + 8)
+        .checkpoint_every(CP_EVERY)
+        .checkpoint_slot_bytes(256);
+    let seen = Arc::new(AtomicU64::new(0));
+    let hooks = {
+        let pool = pool.clone();
+        let seen = seen.clone();
+        Hooks::new(move |p, _pid| {
+            if p == phase && seen.fetch_add(1, Ordering::SeqCst) + 1 == nth {
+                match mode {
+                    CrashMode::AtPhase => {
+                        let _ = pool.crash();
+                    }
+                    CrashMode::MidStore => pool.arm_crash(CrashTrigger::AfterStores(1)),
+                    CrashMode::MidFlush => pool.arm_crash(CrashTrigger::AfterFlushes(1)),
+                }
+            }
+        })
+    };
+    let object =
+        Durable::<CounterSpec>::create_with_hooks(pool.clone(), cfg.clone(), hooks).unwrap();
+    let mut acked = 0u64;
+    let mut attempted = 0u64;
+    {
+        let mut handle = object.register().unwrap();
+        for _ in 0..TOTAL_OPS {
+            if pool.is_frozen() {
+                break;
+            }
+            attempted += 1;
+            let value = handle.update_with_checkpoint(CounterOp::Add(1));
+            if pool.is_frozen() {
+                break;
+            }
+            let value = value.unwrap();
+            acked += 1;
+            assert_eq!(value, acked as i64, "pre-crash return values are exact");
+        }
+    }
+    let crashed = pool.is_frozen();
+    let token = pool.crash();
+    pool.disarm_crash();
+    pool.restart(token);
+    drop(object);
+
+    let (recovered, report) = Durable::<CounterSpec>::recover_with_checkpoints(pool, cfg).unwrap();
+    Outcome {
+        acked,
+        attempted,
+        durable_index: report.durable_index,
+        checkpoint_index: report.checkpoint_index,
+        min_recovered_index: report.recovered_ops.iter().map(|(idx, _)| *idx).min(),
+        recovered_value: recovered.read_latest(&CounterRead::Get),
+        crashed,
+    }
+}
+
+fn assert_consistent(o: &Outcome, label: &str) {
+    assert!(
+        o.durable_index >= o.acked,
+        "{label}: lost acknowledged updates (acked {} > durable {})",
+        o.acked,
+        o.durable_index
+    );
+    assert!(
+        o.durable_index <= o.attempted,
+        "{label}: resurrected updates that were never attempted (durable {} > attempted {})",
+        o.durable_index,
+        o.attempted
+    );
+    assert_eq!(
+        o.recovered_value, o.durable_index as i64,
+        "{label}: recovered value does not replay the durable history"
+    );
+    if let Some(min) = o.min_recovered_index {
+        assert!(
+            min > o.checkpoint_index,
+            "{label}: replayed an operation ({min}) at or below the checkpoint watermark ({}) — a truncated op was resurrected",
+            o.checkpoint_index
+        );
+    }
+}
+
+#[test]
+fn crash_matrix_over_every_checkpoint_phase() {
+    for &phase in &Phase::CHECKPOINT_PHASES {
+        for mode in [CrashMode::AtPhase, CrashMode::MidStore, CrashMode::MidFlush] {
+            // nth = 1: crash at the very first checkpoint (no older checkpoint to
+            // fall back to). nth = 2: crash at the second (fallback must recover
+            // the first checkpoint plus the tail; the first's truncation already
+            // happened).
+            for nth in [1u64, 2] {
+                for apply_pending in [0.0, 1.0] {
+                    let label = format!(
+                        "phase {phase:?}, mode {mode:?}, checkpoint #{nth}, apply={apply_pending}"
+                    );
+                    let o = run_scenario(phase, mode, nth, apply_pending);
+                    assert!(o.crashed, "{label}: the armed crash never fired");
+                    assert_consistent(&o, &label);
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn crash_after_publish_recovers_from_the_new_checkpoint() {
+    // Crashing right after the publish fence (before truncation) must recover
+    // from the *new* watermark: the second checkpoint covers 40 updates.
+    let o = run_scenario(Phase::AfterCheckpointPublish, CrashMode::AtPhase, 2, 0.0);
+    assert_consistent(&o, "after-publish");
+    assert_eq!(o.checkpoint_index, 40);
+    assert_eq!(o.durable_index, 40);
+}
+
+#[test]
+fn crash_before_publish_falls_back_to_the_previous_checkpoint() {
+    // Crashing between stage and publish of checkpoint #2 leaves its slot
+    // invalid; recovery must fall back to checkpoint #1 (watermark 20) and
+    // replay the complete tail — nothing was truncated above 20.
+    let o = run_scenario(Phase::BeforeCheckpointPublish, CrashMode::AtPhase, 2, 0.0);
+    assert_consistent(&o, "before-publish");
+    assert_eq!(o.checkpoint_index, 20);
+    // The 40th update's own persist fence completed before its piggybacked
+    // checkpoint began, so the full tail (21..=40) is replayed from the logs.
+    assert_eq!(o.durable_index, 40);
+}
+
+#[test]
+fn no_crash_control_run_checkpoints_and_recovers_cleanly() {
+    // nth beyond the number of checkpoints: the crash never fires during the
+    // workload; the final power cycle exercises plain recovery with checkpoints.
+    let o = run_scenario(Phase::AfterLogTruncate, CrashMode::AtPhase, 100, 0.0);
+    assert!(!o.crashed);
+    assert_eq!(o.acked, 70);
+    assert_eq!(o.durable_index, 70);
+    assert_eq!(o.recovered_value, 70);
+    assert_eq!(o.checkpoint_index, 60);
+}
+
+#[test]
+fn lazy_compaction_of_other_processes_logs_survives_crashes() {
+    // Process 0 checkpoints; process 1 only updates. After the checkpoint
+    // publishes, process 1's next update compacts its own log below the
+    // watermark. A crash at any point of that interleaving must stay
+    // consistent and must never resurrect compacted operations.
+    for crash_events in [0u64, 3, 7, 12, 20, 35, 60, 120] {
+        let pool = NvmPool::new(
+            PmemConfig::with_capacity(32 << 20)
+                .apply_pending_at_crash(0.0)
+                .crash_seed(crash_events),
+        );
+        let cfg = OnllConfig::named("cp-multi")
+            .max_processes(2)
+            .log_capacity(256)
+            .checkpoint_every(8)
+            .checkpoint_slot_bytes(256);
+        let object = Durable::<CounterSpec>::create(pool.clone(), cfg.clone()).unwrap();
+        let mut acked = 0u64;
+        let mut attempted = 0u64;
+        {
+            let mut h0 = object.register().unwrap();
+            let mut h1 = object.register().unwrap();
+            // Interleave: h1 updates, h0 updates-with-checkpoints.
+            if crash_events > 0 {
+                pool.arm_crash(CrashTrigger::AfterEvents(crash_events));
+            }
+            for _ in 0..30 {
+                if pool.is_frozen() {
+                    break;
+                }
+                attempted += 1;
+                let r = h1.try_update(CounterOp::Add(1));
+                if pool.is_frozen() {
+                    break;
+                }
+                r.unwrap();
+                acked += 1;
+
+                if pool.is_frozen() {
+                    break;
+                }
+                attempted += 1;
+                let r = h0.update_with_checkpoint(CounterOp::Add(1));
+                if pool.is_frozen() {
+                    break;
+                }
+                r.unwrap();
+                acked += 1;
+            }
+        }
+        let token = pool.crash();
+        pool.disarm_crash();
+        pool.restart(token);
+        drop(object);
+        let (recovered, report) =
+            Durable::<CounterSpec>::recover_with_checkpoints(pool, cfg).unwrap();
+        let label = format!("crash after {crash_events} events");
+        let o = Outcome {
+            acked,
+            attempted,
+            durable_index: report.durable_index,
+            checkpoint_index: report.checkpoint_index,
+            min_recovered_index: report.recovered_ops.iter().map(|(idx, _)| *idx).min(),
+            recovered_value: recovered.read_latest(&CounterRead::Get),
+            crashed: true,
+        };
+        assert_consistent(&o, &label);
+    }
+}

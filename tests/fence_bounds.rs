@@ -3,7 +3,9 @@
 //! and the baselines do not meet the bound.
 
 use remembering_consistently::baselines::{NaiveDurable, WalDurable};
-use remembering_consistently::harness::{audit_fence_bounds, OnllAdapter, Workload, WorkloadMix};
+use remembering_consistently::harness::{
+    audit_fence_bounds, CheckpointingOnllAdapter, OnllAdapter, Workload, WorkloadMix,
+};
 use remembering_consistently::nvm::{NvmPool, PmemConfig};
 use remembering_consistently::objects::{CounterSpec, KvSpec, SetSpec};
 use remembering_consistently::onll::{Durable, OnllConfig};
@@ -87,6 +89,51 @@ fn onll_bound_holds_under_concurrency() {
         total_fences <= total_updates,
         "{total_fences} fences for {total_updates} updates"
     );
+}
+
+#[test]
+fn checkpointing_preserves_the_per_update_bound() {
+    // With both checkpoint triggers armed (ops-count and log-bytes), the paper's
+    // inherent bound must still hold per update: checkpoint publish and log
+    // truncation fences land in the separate maintenance bucket, never in the
+    // per-update count.
+    for percent in [50, 100] {
+        let p = pool();
+        let cfg = OnllConfig::named("ckpt")
+            .log_capacity(2048)
+            .checkpoint_every(64)
+            .checkpoint_when_log_exceeds(64 * 1024)
+            .checkpoint_slot_bytes(4096);
+        let obj = Durable::<CounterSpec>::create(p.clone(), cfg).unwrap();
+        let mut adapter = CheckpointingOnllAdapter::new(obj.register().unwrap());
+        let before_persistent = p.stats().persistent_fences();
+        let before_maintenance = p.stats().maintenance_fences();
+        let mut w = Workload::new(WorkloadMix::with_update_percent(percent), percent as u64);
+        let audit =
+            audit_fence_bounds::<CounterSpec, _>(&mut adapter, p.stats(), w.counter_ops(1000));
+        assert!(
+            audit.satisfies_onll_bounds(),
+            "mix {percent}% updates violated the inherent bound with checkpointing on: {audit:?}"
+        );
+        assert_eq!(audit.max_fences_per_update, 1);
+        assert_eq!(audit.fences_per_update(), 1.0, "{audit:?}");
+        // Checkpoints happened (so the separation was actually exercised)...
+        assert!(audit.checkpoint_fences > 0, "{audit:?}");
+        // ...at 2 fences per checkpoint, amortized over the 64-update interval.
+        assert!(
+            audit.checkpoint_fences <= 2 * (audit.updates / 64 + 1),
+            "{audit:?}"
+        );
+        // Cross-check against the pool's global maintenance bucket.
+        let maintenance = p.stats().maintenance_fences() - before_maintenance;
+        let persistent = p.stats().persistent_fences() - before_persistent;
+        assert_eq!(maintenance, audit.checkpoint_fences);
+        assert_eq!(
+            persistent - maintenance,
+            audit.updates,
+            "inherent fences must equal the update count exactly"
+        );
+    }
 }
 
 #[test]
