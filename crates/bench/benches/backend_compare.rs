@@ -1,0 +1,155 @@
+//! Backend comparison bench: the same sharded KV workload on the simulator
+//! and on the file backend, plus a direct fence-latency probe (a fence on the
+//! file backend is a real `pwrite` + `fsync`).
+//!
+//! Writes `BENCH_backends.json` at the workspace root next to the other bench
+//! artifacts:
+//!
+//! ```text
+//! cargo bench -p onll-bench --bench backend_compare
+//! ```
+//!
+//! `ONLL_FILE_TEST_DIR` selects where the file-backed pools live (CI runs the
+//! bench once against a tmpfs and once against a real disk).
+
+use durable_objects::KvSpec;
+use harness::{run_sharded_kv_workload, SubmitMode, Table, WorkloadMix};
+use nvm_sim::{scratch_dir, BackendSpec, NvmPool, PmemConfig};
+use onll::OnllConfig;
+use onll_shard::{HashRouter, ShardConfig, ShardedDurable};
+use std::sync::Arc;
+use std::time::Instant;
+
+const SHARDS: usize = 4;
+const WORKERS: usize = 4;
+const FENCE_PROBE_ROUNDS: u32 = 2_000;
+
+struct Measurement {
+    backend: &'static str,
+    mode: &'static str,
+    ops_per_sec: f64,
+    fences_per_update: f64,
+    updates: u64,
+    fence_latency_ns: f64,
+}
+
+/// Mean persistent-fence latency: persist one line per round and time it.
+fn probe_fence_latency(pool: &NvmPool) -> f64 {
+    let addr = pool.alloc(64).expect("probe line");
+    // Warm up the write path before timing.
+    for i in 0..16u64 {
+        pool.persist(addr, &i.to_le_bytes());
+    }
+    let start = Instant::now();
+    for i in 0..FENCE_PROBE_ROUNDS as u64 {
+        pool.persist(addr, &i.to_le_bytes());
+    }
+    start.elapsed().as_nanos() as f64 / f64::from(FENCE_PROBE_ROUNDS)
+}
+
+fn bench_backend(spec: BackendSpec, mode: SubmitMode, ops_per_worker: usize) -> Measurement {
+    let backend = match spec {
+        BackendSpec::Sim => "sim",
+        BackendSpec::File { .. } => "file",
+    };
+    // The simulator only materializes touched lines, so its capacity is free;
+    // a file pool allocates its full capacity (image + backing file), so the
+    // file run is sized to what it actually touches.
+    let capacity = match backend {
+        "file" => 256 << 20,
+        _ => 4 << 30,
+    };
+    let config = ShardConfig::named("bench-backend-kv")
+        .shards(SHARDS)
+        .base(
+            OnllConfig::default()
+                .max_processes(WORKERS)
+                .log_capacity(4 * ops_per_worker + 1024)
+                .group_persist(8),
+        )
+        .pmem(PmemConfig::with_capacity(capacity))
+        .backend(spec);
+    let object = ShardedDurable::<KvSpec>::create(config, Arc::new(HashRouter::new(SHARDS)))
+        .expect("create bench object");
+    let report = run_sharded_kv_workload(
+        &object,
+        WORKERS,
+        ops_per_worker,
+        WorkloadMix {
+            update_ratio: 0.5,
+            key_space: 8192,
+        },
+        0xBACD,
+        mode,
+    );
+    object.check_invariants().expect("invariants");
+    let fence_latency_ns = probe_fence_latency(&object.pools()[0]);
+    Measurement {
+        backend,
+        mode: match mode {
+            SubmitMode::Individual => "individual",
+            SubmitMode::Grouped => "grouped",
+        },
+        ops_per_sec: report.ops_per_sec(),
+        fences_per_update: report.fences_per_update(),
+        updates: report.updates,
+        fence_latency_ns,
+    }
+}
+
+fn write_artifact(measurements: &[Measurement]) -> std::io::Result<std::path::PathBuf> {
+    let mut json = String::from("{\n  \"bench\": \"backend_compare\",\n");
+    json.push_str(&format!(
+        "  \"shards\": {SHARDS},\n  \"workers\": {WORKERS},\n"
+    ));
+    json.push_str("  \"results\": [\n");
+    for (i, m) in measurements.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"backend\": \"{}\", \"mode\": \"{}\", \"ops_per_sec\": {:.1}, \"fences_per_update\": {:.4}, \"updates\": {}, \"fence_latency_ns\": {:.0}}}{}\n",
+            m.backend,
+            m.mode,
+            m.ops_per_sec,
+            m.fences_per_update,
+            m.updates,
+            m.fence_latency_ns,
+            if i + 1 == measurements.len() { "" } else { "," }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()?
+        .join("BENCH_backends.json");
+    std::fs::write(&path, json)?;
+    Ok(path)
+}
+
+fn main() {
+    let dir = scratch_dir("bench-backends").expect("scratch dir for file pools");
+    let mut measurements = Vec::new();
+    let mut table = Table::new(
+        "backend comparison (4 shards, 4 workers, 50% updates)",
+        &["backend", "mode", "ops/s", "fences/update", "fence ns"],
+    );
+    for mode in [SubmitMode::Individual, SubmitMode::Grouped] {
+        // The file backend pays a real fsync per persistent fence, so it runs
+        // a smaller op count to keep the bench quick.
+        for (spec, ops) in [(BackendSpec::Sim, 4_000), (BackendSpec::file(&dir), 400)] {
+            let m = bench_backend(spec, mode, ops);
+            table.row(&[
+                m.backend.to_string(),
+                m.mode.to_string(),
+                format!("{:.0}", m.ops_per_sec),
+                format!("{:.4}", m.fences_per_update),
+                format!("{:.0}", m.fence_latency_ns),
+            ]);
+            measurements.push(m);
+        }
+    }
+    table.print();
+    let _ = std::fs::remove_dir_all(&dir);
+    match write_artifact(&measurements) {
+        Ok(path) => println!("\nwrote {}", path.display()),
+        Err(e) => eprintln!("\nfailed to write BENCH_backends.json: {e}"),
+    }
+}

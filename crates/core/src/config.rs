@@ -1,5 +1,7 @@
 //! Construction configuration.
 
+use nvm_sim::BackendSpec;
+
 /// Configuration of one ONLL-constructed durable object.
 #[derive(Debug, Clone)]
 pub struct OnllConfig {
@@ -48,6 +50,11 @@ pub struct OnllConfig {
     ///
     /// `1` (the default) reproduces the paper's base construction exactly.
     pub max_group_ops: usize,
+    /// Which persistence backend carries the object's pool when the pool is
+    /// built from this config (`Durable::create_in` / `Durable::recover_in`).
+    /// Ignored by the `create`/`recover` entry points that take an existing
+    /// pool — there the caller already chose the backend.
+    pub backend: BackendSpec,
 }
 
 impl Default for OnllConfig {
@@ -62,6 +69,7 @@ impl Default for OnllConfig {
             checkpoint_slot_bytes: 64 * 1024,
             reclaim_batch: 1024,
             max_group_ops: 1,
+            backend: BackendSpec::Sim,
         }
     }
 }
@@ -118,6 +126,13 @@ impl OnllConfig {
     /// Sets the size reserved for one serialized checkpoint.
     pub fn checkpoint_slot_bytes(mut self, bytes: usize) -> Self {
         self.checkpoint_slot_bytes = bytes;
+        self
+    }
+
+    /// Selects the persistence backend used when the pool is built from this
+    /// config (see [`OnllConfig::backend`]).
+    pub fn backend(mut self, spec: BackendSpec) -> Self {
+        self.backend = spec;
         self
     }
 

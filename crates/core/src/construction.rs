@@ -183,6 +183,28 @@ impl<S: SequentialSpec> Durable<S> {
         Self::create_with_hooks(pool, config, Hooks::none())
     }
 
+    /// Provisions a pool on the backend selected by `config.backend`
+    /// (`OnllConfig::backend`) and formats a fresh object in it. For the file
+    /// backend the pool lives at `dir/<config.name>.pmem`; use
+    /// [`Durable::recover_in`] (or `recover_in_with_checkpoints`) to reopen it
+    /// after a process restart.
+    pub fn create_in(pmem: nvm_sim::PmemConfig, config: OnllConfig) -> Result<Self, OnllError> {
+        let pool = NvmPool::provision(&config.backend, pmem, &config.name)?;
+        Self::create(pool, config)
+    }
+
+    /// Reopens the pool previously provisioned by [`Durable::create_in`] under
+    /// the same `config.backend`/`config.name` and recovers the object from it
+    /// — the cross-process recovery entry point (checkpoint-free objects; see
+    /// [`Durable::recover`] for the failure modes).
+    pub fn recover_in(
+        pmem: nvm_sim::PmemConfig,
+        config: OnllConfig,
+    ) -> Result<(Self, RecoveryReport), OnllError> {
+        let pool = NvmPool::reopen(&config.backend, pmem, &config.name)?;
+        Self::recover(pool, config)
+    }
+
     /// Like [`Durable::create`], with execution hooks installed (used by tests, the
     /// crash harness and the Figure-1 / lower-bound reproductions).
     pub fn create_with_hooks(
@@ -615,6 +637,16 @@ impl<S: SnapshotSpec> Durable<S> {
         config: OnllConfig,
     ) -> Result<(Self, RecoveryReport), OnllError> {
         Self::recover_with_checkpoints_and_hooks(pool, config, Hooks::none())
+    }
+
+    /// [`Durable::recover_with_checkpoints`] against the pool reopened from
+    /// `config.backend`/`config.name` (see [`Durable::recover_in`]).
+    pub fn recover_in_with_checkpoints(
+        pmem: nvm_sim::PmemConfig,
+        config: OnllConfig,
+    ) -> Result<(Self, RecoveryReport), OnllError> {
+        let pool = NvmPool::reopen(&config.backend, pmem, &config.name)?;
+        Self::recover_with_checkpoints(pool, config)
     }
 
     /// Like [`Durable::recover_with_checkpoints`], with execution hooks installed.

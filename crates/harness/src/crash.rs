@@ -13,12 +13,18 @@ use crate::linearizability::{
     check_durable_linearizability, check_linearizability, DurabilityViolation,
 };
 use durable_objects::{CounterOp, CounterRead, CounterSpec};
-use nvm_sim::{CrashTrigger, NvmPool, PmemConfig};
+use nvm_sim::{BackendSpec, CrashTrigger, NvmPool, PmemConfig};
 use onll::{Durable, OnllConfig, OpId};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 /// Configuration of one crash experiment over a durable counter.
+///
+/// Backend-generic: the experiment provisions its pool on
+/// [`CrashExperiment::backend`], so the same adversarial crash-injection
+/// machinery validates durable linearizability on the simulator *and* on the
+/// file backend (where a simulated power loss drops everything that was not
+/// `fsync`ed).
 #[derive(Debug, Clone)]
 pub struct CrashExperiment {
     /// Number of concurrent processes.
@@ -35,6 +41,11 @@ pub struct CrashExperiment {
     /// Run the (exponential) linearizability checker on the pre-crash history when
     /// it is small enough.
     pub check_linearizability_limit: usize,
+    /// Persistence backend the experiment's pool runs on. File-backed pools
+    /// are created under the spec's directory (one file per sweep point,
+    /// named from the seed and crash point) and left in place — the caller
+    /// owns the directory and its cleanup.
+    pub backend: BackendSpec,
 }
 
 impl Default for CrashExperiment {
@@ -46,6 +57,7 @@ impl Default for CrashExperiment {
             apply_pending_probability: 0.5,
             seed: 42,
             check_linearizability_limit: 14,
+            backend: BackendSpec::Sim,
         }
     }
 }
@@ -80,11 +92,19 @@ impl CrashOutcome {
 impl CrashExperiment {
     /// Runs the experiment and returns its outcome.
     pub fn run(&self) -> CrashOutcome {
-        let pool = NvmPool::new(
-            PmemConfig::with_capacity(64 << 20)
-                .apply_pending_at_crash(self.apply_pending_probability)
-                .crash_seed(self.seed ^ 0xBADC0FFE),
-        );
+        let pmem = PmemConfig::with_capacity(64 << 20)
+            .apply_pending_at_crash(self.apply_pending_probability)
+            .crash_seed(self.seed ^ 0xBADC0FFE);
+        // Distinct pool files per sweep point: sweeps vary crash_after_events,
+        // and a stale pool from an earlier point must never be recovered.
+        let label = format!("crash-counter-{}-{}", self.seed, self.crash_after_events);
+        let pool =
+            NvmPool::provision(&self.backend, pmem, &label).expect("provision experiment pool");
+        self.run_in(pool)
+    }
+
+    /// Runs the experiment against a caller-provided pool (any backend).
+    fn run_in(&self, pool: NvmPool) -> CrashOutcome {
         let cfg = OnllConfig::named("crash-counter")
             .max_processes(self.threads.max(1))
             .log_capacity(self.threads * self.ops_per_thread + 16);
@@ -182,6 +202,7 @@ pub fn quick_crash_sweep(points: usize) -> Vec<CrashOutcome> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use nvm_sim::scratch_dir;
 
     #[test]
     fn single_thread_crash_is_consistent() {
@@ -215,6 +236,25 @@ mod tests {
         for (i, outcome) in quick_crash_sweep(6).iter().enumerate() {
             assert!(outcome.is_consistent(), "sweep point {i}: {outcome:?}");
         }
+    }
+
+    #[test]
+    fn file_backend_crash_sweep_is_consistent() {
+        // The same adversarial machinery, durability now provided by fsync:
+        // a simulated power loss drops everything that was not fenced.
+        let dir = scratch_dir("crash-file-sweep").unwrap();
+        let exp = CrashExperiment {
+            threads: 2,
+            ops_per_thread: 8,
+            apply_pending_probability: 0.0,
+            check_linearizability_limit: 0,
+            backend: BackendSpec::file(&dir),
+            ..Default::default()
+        };
+        for (i, outcome) in exp.sweep([30, 77, 124]).iter().enumerate() {
+            assert!(outcome.is_consistent(), "file sweep point {i}: {outcome:?}");
+        }
+        let _ = std::fs::remove_dir_all(dir);
     }
 
     #[test]

@@ -47,6 +47,6 @@ pub use linearizability::{
 pub use lower_bound::{run_lower_bound_experiment, LowerBoundReport};
 pub use report::Table;
 pub use sharded::{
-    audit_sharded_fence_bounds, run_sharded_kv_workload, ShardedRunSummary, SubmitMode,
+    audit_sharded_fence_bounds, run_sharded_kv_workload, RunReport, ShardedRunSummary, SubmitMode,
 };
 pub use workload::{Workload, WorkloadMix, WorkloadOp};

@@ -56,11 +56,23 @@ pub enum SubmitMode {
     Grouped,
 }
 
-/// Outcome of one multi-threaded sharded workload run.
+/// Outcome of one multi-threaded workload run.
+///
+/// Carries everything needed to *reproduce* the run — most importantly the
+/// workload seed: a failing randomized run that does not report its seed
+/// cannot be re-run, so drivers must thread the seed through to here.
 #[derive(Debug, Clone)]
-pub struct ShardedRunSummary {
+pub struct RunReport {
     /// Worker threads driven.
     pub threads: usize,
+    /// The workload seed the run was derived from (per-thread streams are
+    /// derived from it deterministically). Re-running the same driver with
+    /// this seed reproduces the identical operation streams.
+    pub seed: u64,
+    /// How updates were submitted.
+    pub mode: SubmitMode,
+    /// Name of the persistence backend the object's pools ran on.
+    pub backend: &'static str,
     /// Total operations executed (updates + reads).
     pub total_ops: u64,
     /// Updates executed.
@@ -73,7 +85,10 @@ pub struct ShardedRunSummary {
     pub persistent_fences: u64,
 }
 
-impl ShardedRunSummary {
+/// Former name of [`RunReport`].
+pub type ShardedRunSummary = RunReport;
+
+impl RunReport {
     /// Aggregate operations per second.
     pub fn ops_per_sec(&self) -> f64 {
         self.total_ops as f64 / self.elapsed.as_secs_f64().max(1e-9)
@@ -102,7 +117,7 @@ pub fn run_sharded_kv_workload(
     mix: WorkloadMix,
     seed: u64,
     mode: SubmitMode,
-) -> ShardedRunSummary {
+) -> RunReport {
     let before = onll_shard::merged_global_stats(object.pools());
     let start = Instant::now();
     let (updates, reads) = std::thread::scope(|scope| {
@@ -148,8 +163,11 @@ pub fn run_sharded_kv_workload(
     });
     let elapsed = start.elapsed();
     let after = onll_shard::merged_global_stats(object.pools());
-    ShardedRunSummary {
+    RunReport {
         threads,
+        seed,
+        mode,
+        backend: object.pools().first().map_or("none", |p| p.backend_name()),
         total_ops: updates + reads,
         updates,
         reads,
@@ -206,6 +224,11 @@ mod tests {
             SubmitMode::Individual,
         );
         assert_eq!(summary.threads, 3);
+        // The report must reproduce the run: seed, mode and backend are
+        // part of the output, not just the input.
+        assert_eq!(summary.seed, 7);
+        assert_eq!(summary.mode, SubmitMode::Individual);
+        assert_eq!(summary.backend, "sim");
         assert_eq!(summary.total_ops, 600);
         assert_eq!(summary.updates + summary.reads, 600);
         // Individual submission: exactly one fence per update.

@@ -1,0 +1,69 @@
+//! Shared countdown logic for armed crashes.
+//!
+//! Both backends let the crash harness arm a crash that fires after N further
+//! persistence events *without the operation's cooperation*
+//! ([`crate::CrashTrigger`]). The countdown bookkeeping is identical, so it
+//! lives here; the backend supplies the actual crash in the `fire` callback.
+
+use crate::region::CrashTrigger;
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicI64, Ordering};
+
+/// The event class an armed countdown ticks on.
+#[derive(Clone, Copy, PartialEq, Eq)]
+pub(crate) enum ArmedKind {
+    Stores,
+    Flushes,
+    Fences,
+    Events,
+}
+
+/// Countdown state for one armed crash; negative countdown means "not armed".
+pub(crate) struct ArmedCrash {
+    countdown: AtomicI64,
+    kind: Mutex<Option<ArmedKind>>,
+}
+
+impl ArmedCrash {
+    pub fn new() -> Self {
+        ArmedCrash {
+            countdown: AtomicI64::new(-1),
+            kind: Mutex::new(None),
+        }
+    }
+
+    /// Arms the countdown for `trigger`.
+    pub fn arm(&self, trigger: CrashTrigger) {
+        let (kind, n) = match trigger {
+            CrashTrigger::AfterStores(n) => (ArmedKind::Stores, n),
+            CrashTrigger::AfterFlushes(n) => (ArmedKind::Flushes, n),
+            CrashTrigger::AfterFences(n) => (ArmedKind::Fences, n),
+            CrashTrigger::AfterEvents(n) => (ArmedKind::Events, n),
+        };
+        *self.kind.lock() = Some(kind);
+        self.countdown.store(n as i64, Ordering::SeqCst);
+    }
+
+    /// Disarms the countdown (no-op if not armed).
+    pub fn disarm(&self) {
+        *self.kind.lock() = None;
+        self.countdown.store(-1, Ordering::SeqCst);
+    }
+
+    /// Records one event of class `kind`; calls `fire` exactly once when the
+    /// countdown reaches zero on a matching event.
+    pub fn tick(&self, kind: ArmedKind, fire: impl FnOnce()) {
+        let want = *self.kind.lock();
+        let Some(want) = want else { return };
+        let matches = want == ArmedKind::Events || want == kind;
+        if !matches {
+            return;
+        }
+        let prev = self.countdown.fetch_sub(1, Ordering::SeqCst);
+        if prev == 1 {
+            // This event was the trigger.
+            *self.kind.lock() = None;
+            fire();
+        }
+    }
+}

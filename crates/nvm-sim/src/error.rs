@@ -29,6 +29,16 @@ pub enum NvmError {
     CorruptHeader,
     /// The operation was interrupted by an injected crash.
     Crashed,
+    /// An IO error from a file-backed pool.
+    Io {
+        /// The backing file involved.
+        path: String,
+        /// The OS error message.
+        message: String,
+    },
+    /// The named backend has no cross-process representation to reopen
+    /// (e.g. the in-process simulator).
+    ReopenUnsupported(&'static str),
 }
 
 impl fmt::Display for NvmError {
@@ -53,6 +63,15 @@ impl fmt::Display for NvmError {
             NvmError::RootNotFound(id) => write!(f, "NVM root {id:#x} not found"),
             NvmError::CorruptHeader => write!(f, "NVM region header is corrupt"),
             NvmError::Crashed => write!(f, "operation interrupted by injected crash"),
+            NvmError::Io { path, message } => {
+                write!(f, "IO error on backing file {path}: {message}")
+            }
+            NvmError::ReopenUnsupported(backend) => {
+                write!(
+                    f,
+                    "the '{backend}' backend cannot be reopened across processes"
+                )
+            }
         }
     }
 }

@@ -1,0 +1,646 @@
+//! A file-backed [`PmemBackend`]: real durability via `pwrite` + `fsync`.
+//!
+//! The cost model maps onto a plain file as follows:
+//!
+//! * **Stores** land in a process-local image (the "cache") — a `SIGKILL`ed
+//!   process loses them, exactly like power loss clears a CPU cache.
+//! * **Flushes** capture the affected cache lines at flush time (the same
+//!   minimal guarantee as the simulator) and mark them pending write-back.
+//! * **Fences** drain the calling thread's pending lines with `pwrite` and
+//!   issue one `fsync` — the real-hardware analogue of draining write-backs.
+//!   A fence with nothing pending issues no syscall and is not persistent.
+//! * **Crash/restart** (simulated) freeze the backend, optionally apply
+//!   pending flushes with the configured probability, and reload the image
+//!   from the file — while a *real* crash (process death) needs no simulation:
+//!   whatever was fenced is in the file, and [`FileBackend::open`] recovers it.
+//!
+//! What is real and what is simulated: a fenced line survives **process
+//! death** unconditionally (it was `fsync`ed). Lines written back *without* a
+//! fence (eager/eviction policies, or pending flushes applied at a simulated
+//! crash) reach the OS page cache and therefore also survive process death,
+//! but only the `fsync` behind a persistent fence would survive power loss —
+//! the same distinction the simulator draws between the volatile cache and
+//! the durable store.
+
+use crate::armed::{ArmedCrash, ArmedKind};
+use crate::backend::PmemBackend;
+use crate::error::NvmError;
+use crate::layout::{line_range, PAddr, CACHE_LINE_SIZE};
+use crate::policy::{PmemConfig, WritebackPolicy};
+use crate::region::{CrashToken, CrashTrigger};
+use crate::stats::FenceStats;
+use crate::thread_slot::{current_thread_slot, MAX_THREAD_SLOTS};
+use parking_lot::{Mutex, RwLock};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashMap;
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// Contents of one cache line, captured at flush time.
+type Line = [u8; CACHE_LINE_SIZE];
+
+fn io_err(path: &Path, e: std::io::Error) -> NvmError {
+    NvmError::Io {
+        path: path.display().to_string(),
+        message: e.to_string(),
+    }
+}
+
+/// Makes `path`'s directory entry durable by fsyncing its parent directory
+/// (a no-op on platforms where directories cannot be opened for syncing).
+fn sync_parent_dir(path: &Path) -> Result<(), NvmError> {
+    #[cfg(unix)]
+    {
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                let dir = File::open(parent).map_err(|e| io_err(parent, e))?;
+                dir.sync_all().map_err(|e| io_err(parent, e))?;
+            }
+        }
+    }
+    #[cfg(not(unix))]
+    let _ = path;
+    Ok(())
+}
+
+/// A [`PmemBackend`] backed by a regular file (see the module docs for the
+/// mapping of the cost model onto file IO).
+pub struct FileBackend {
+    cfg: PmemConfig,
+    path: PathBuf,
+    /// The backing file; all IO seeks under this lock (fences serialize on
+    /// `fsync` anyway, so the lock is not the bottleneck).
+    file: Mutex<File>,
+    /// The process-local image of the whole pool — the "cache". Lost on
+    /// process death; rebuilt from the file by [`FileBackend::open`].
+    image: RwLock<Box<[u8]>>,
+    /// Per-thread pending flushes: line index -> contents captured at flush.
+    pending: Box<[Mutex<HashMap<u64, Line>>]>,
+    stats: FenceStats,
+    frozen: AtomicBool,
+    armed: ArmedCrash,
+    eviction_rng: Mutex<StdRng>,
+    crash_rng: Mutex<StdRng>,
+    crash_count: Mutex<u64>,
+}
+
+impl FileBackend {
+    /// Creates (or truncates) the backing file at `path` and returns a fresh,
+    /// all-zero backend of `cfg.capacity` bytes.
+    pub fn create(path: impl Into<PathBuf>, cfg: PmemConfig) -> Result<Self, NvmError> {
+        let path = path.into();
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent).map_err(|e| io_err(&path, e))?;
+            }
+        }
+        let file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(&path)
+            .map_err(|e| io_err(&path, e))?;
+        file.set_len(cfg.capacity).map_err(|e| io_err(&path, e))?;
+        // fsync of the pool file alone does not make the *directory entry*
+        // durable: without syncing the parent directory, a power loss right
+        // after creation can forget the file existed — and with it every
+        // subsequently fenced line. Process death does not need this; power
+        // loss does, and the module docs promise it.
+        sync_parent_dir(&path)?;
+        let image = vec![0u8; cfg.capacity as usize].into_boxed_slice();
+        Ok(Self::from_parts(path, file, image, cfg))
+    }
+
+    /// Opens an existing backing file, loading its durable contents into the
+    /// process-local image — the recovery entry point after a process restart.
+    pub fn open(path: impl Into<PathBuf>, cfg: PmemConfig) -> Result<Self, NvmError> {
+        let path = path.into();
+        let mut file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .open(&path)
+            .map_err(|e| io_err(&path, e))?;
+        // Tolerate a file shorter than the configured capacity (e.g. created
+        // with a smaller config): the missing tail reads as zero, like the
+        // simulator's untouched lines.
+        let disk_len = file.metadata().map_err(|e| io_err(&path, e))?.len();
+        if disk_len < cfg.capacity {
+            file.set_len(cfg.capacity).map_err(|e| io_err(&path, e))?;
+        }
+        let mut image = vec![0u8; cfg.capacity as usize];
+        file.seek(SeekFrom::Start(0))
+            .map_err(|e| io_err(&path, e))?;
+        file.read_exact(&mut image).map_err(|e| io_err(&path, e))?;
+        Ok(Self::from_parts(path, file, image.into_boxed_slice(), cfg))
+    }
+
+    fn from_parts(path: PathBuf, file: File, image: Box<[u8]>, cfg: PmemConfig) -> Self {
+        let pending = (0..MAX_THREAD_SLOTS)
+            .map(|_| Mutex::new(HashMap::new()))
+            .collect::<Vec<_>>()
+            .into_boxed_slice();
+        let eviction_seed = match cfg.policy {
+            WritebackPolicy::RandomEviction { seed, .. } => seed,
+            _ => cfg.crash_seed ^ 0x9E3779B97F4A7C15,
+        };
+        FileBackend {
+            path,
+            file: Mutex::new(file),
+            image: RwLock::new(image),
+            pending,
+            stats: FenceStats::new(),
+            frozen: AtomicBool::new(false),
+            armed: ArmedCrash::new(),
+            eviction_rng: Mutex::new(StdRng::seed_from_u64(eviction_seed)),
+            crash_rng: Mutex::new(StdRng::seed_from_u64(cfg.crash_seed)),
+            crash_count: Mutex::new(0),
+            cfg,
+        }
+    }
+
+    /// The backing file's path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    fn check_bounds(&self, addr: PAddr, len: usize) {
+        assert!(
+            addr.checked_add(len as u64)
+                .is_some_and(|end| end <= self.cfg.capacity),
+            "NVM access out of bounds: addr={addr:#x} len={len} capacity={:#x}",
+            self.cfg.capacity
+        );
+    }
+
+    /// Writes `lines` (sorted, possibly non-contiguous) to the file, merging
+    /// contiguous runs into single writes. Does **not** sync.
+    fn write_lines(&self, lines: &[(u64, Line)]) {
+        let mut file = self.file.lock();
+        let mut i = 0;
+        while i < lines.len() {
+            let mut j = i + 1;
+            while j < lines.len() && lines[j].0 == lines[j - 1].0 + 1 {
+                j += 1;
+            }
+            let mut buf = Vec::with_capacity((j - i) * CACHE_LINE_SIZE);
+            for (_, contents) in &lines[i..j] {
+                buf.extend_from_slice(contents);
+            }
+            let offset = lines[i].0 * CACHE_LINE_SIZE as u64;
+            file.seek(SeekFrom::Start(offset))
+                .and_then(|_| file.write_all(&buf))
+                .unwrap_or_else(|e| panic!("pwrite to {} failed: {e}", self.path.display()));
+            i = j;
+        }
+    }
+
+    /// Captures line `line` from the current image.
+    fn snapshot_line(&self, line: u64) -> Line {
+        let image = self.image.read();
+        let start = (line * CACHE_LINE_SIZE as u64) as usize;
+        let end = (start + CACHE_LINE_SIZE).min(image.len());
+        let mut out = [0u8; CACHE_LINE_SIZE];
+        out[..end - start].copy_from_slice(&image[start..end]);
+        out
+    }
+
+    fn sync(&self) {
+        let file = self.file.lock();
+        file.sync_data()
+            .unwrap_or_else(|e| panic!("fsync of {} failed: {e}", self.path.display()));
+    }
+}
+
+impl PmemBackend for FileBackend {
+    fn backend_name(&self) -> &'static str {
+        "file"
+    }
+
+    fn capacity(&self) -> u64 {
+        self.cfg.capacity
+    }
+
+    fn config(&self) -> &PmemConfig {
+        &self.cfg
+    }
+
+    fn stats(&self) -> &FenceStats {
+        &self.stats
+    }
+
+    fn write(&self, addr: PAddr, data: &[u8]) {
+        self.check_bounds(addr, data.len());
+        if self.is_frozen() {
+            return;
+        }
+        self.stats.record_store(data.len());
+        {
+            let mut image = self.image.write();
+            image[addr as usize..addr as usize + data.len()].copy_from_slice(data);
+        }
+        if let WritebackPolicy::RandomEviction { probability, .. } = self.cfg.policy {
+            // Model spontaneous cache eviction: the line reaches the file (OS
+            // page cache) early, without an fsync.
+            let mut evicted = Vec::new();
+            {
+                let mut rng = self.eviction_rng.lock();
+                for line in line_range(addr, data.len()) {
+                    if rng.gen_bool(probability.clamp(0.0, 1.0)) {
+                        evicted.push(line);
+                    }
+                }
+            }
+            if !evicted.is_empty() {
+                let lines: Vec<(u64, Line)> = evicted
+                    .into_iter()
+                    .map(|l| (l, self.snapshot_line(l)))
+                    .collect();
+                self.write_lines(&lines);
+                self.stats.record_writeback(lines.len() as u64);
+            }
+        }
+        self.armed.tick(ArmedKind::Stores, || {
+            let _ = self.crash();
+        });
+    }
+
+    fn read(&self, addr: PAddr, buf: &mut [u8]) {
+        self.check_bounds(addr, buf.len());
+        self.stats.record_load();
+        if self.is_frozen() {
+            // Post-crash reads observe the durable (on-disk) image only.
+            self.read_durable_inner(addr, buf);
+        } else {
+            let image = self.image.read();
+            buf.copy_from_slice(&image[addr as usize..addr as usize + buf.len()]);
+        }
+    }
+
+    fn read_durable(&self, addr: PAddr, buf: &mut [u8]) {
+        self.check_bounds(addr, buf.len());
+        self.read_durable_inner(addr, buf);
+    }
+
+    fn flush(&self, addr: PAddr, len: usize) {
+        self.check_bounds(addr, len);
+        if self.is_frozen() || len == 0 {
+            return;
+        }
+        let slot = current_thread_slot();
+        let mut lines = 0u64;
+        {
+            let mut pending = self.pending[slot].lock();
+            for line in line_range(addr, len) {
+                // Capture at flush time: stores issued after this flush must
+                // not ride along (contract item 2).
+                pending.insert(line, self.snapshot_line(line));
+                lines += 1;
+            }
+        }
+        self.stats.record_flush(lines);
+        if matches!(self.cfg.policy, WritebackPolicy::EagerOnFlush) {
+            // The asynchronous write-back completes immediately (no fsync);
+            // the pending set is kept so the next fence counts as persistent.
+            let to_write: Vec<(u64, Line)> = {
+                let pending = self.pending[slot].lock();
+                let mut v: Vec<(u64, Line)> = line_range(addr, len)
+                    .filter_map(|l| pending.get(&l).map(|c| (l, *c)))
+                    .collect();
+                v.sort_unstable_by_key(|(l, _)| *l);
+                v
+            };
+            self.write_lines(&to_write);
+            self.stats.record_writeback(to_write.len() as u64);
+        }
+        self.armed.tick(ArmedKind::Flushes, || {
+            let _ = self.crash();
+        });
+    }
+
+    fn fence(&self) -> bool {
+        if self.is_frozen() {
+            return false;
+        }
+        let slot = current_thread_slot();
+        let mut drained: Vec<(u64, Line)> = {
+            let mut pending = self.pending[slot].lock();
+            pending.drain().collect()
+        };
+        drained.sort_unstable_by_key(|(l, _)| *l);
+        let persistent = !drained.is_empty();
+        let lines = drained.len() as u64;
+        if persistent {
+            self.write_lines(&drained);
+            // The real durability barrier: the fence is not done until the
+            // kernel confirms the data reached stable storage.
+            self.sync();
+        }
+        self.stats.record_fence(persistent, lines);
+        self.armed.tick(ArmedKind::Fences, || {
+            let _ = self.crash();
+        });
+        persistent
+    }
+
+    fn crash(&self) -> CrashToken {
+        // Freeze first so concurrent operations stop having effects while we
+        // settle the durable image.
+        self.frozen.store(true, Ordering::SeqCst);
+        let prob = self.cfg.apply_pending_at_crash_probability.clamp(0.0, 1.0);
+        let mut applied: Vec<(u64, Line)> = Vec::new();
+        {
+            let mut rng = self.crash_rng.lock();
+            for slot_pending in self.pending.iter() {
+                let mut pending = slot_pending.lock();
+                for (line, contents) in pending.drain() {
+                    if prob >= 1.0 || (prob > 0.0 && rng.gen_bool(prob)) {
+                        applied.push((line, contents));
+                    }
+                }
+            }
+        }
+        if !applied.is_empty() {
+            applied.sort_unstable_by_key(|(l, _)| *l);
+            self.write_lines(&applied);
+            self.sync();
+        }
+        self.stats.record_crash();
+        let mut count = self.crash_count.lock();
+        *count += 1;
+        CrashToken::new(*count)
+    }
+
+    fn restart(&self, token: CrashToken) {
+        {
+            let count = self.crash_count.lock();
+            assert_eq!(
+                token.crash_index(),
+                *count,
+                "restart token does not match the most recent crash"
+            );
+        }
+        self.disarm_crash();
+        // The "cache" is lost: rebuild the image from the durable file, like a
+        // freshly restarted process would.
+        {
+            let mut image = self.image.write();
+            let mut file = self.file.lock();
+            file.seek(SeekFrom::Start(0))
+                .and_then(|_| file.read_exact(&mut image[..]))
+                .unwrap_or_else(|e| panic!("reload of {} failed: {e}", self.path.display()));
+        }
+        self.frozen.store(false, Ordering::SeqCst);
+    }
+
+    fn arm_crash(&self, trigger: CrashTrigger) {
+        self.armed.arm(trigger);
+    }
+
+    fn disarm_crash(&self) {
+        self.armed.disarm();
+    }
+
+    fn is_frozen(&self) -> bool {
+        self.frozen.load(Ordering::SeqCst)
+    }
+
+    fn crash_count(&self) -> u64 {
+        *self.crash_count.lock()
+    }
+
+    fn my_pending_flushes(&self) -> usize {
+        self.pending[current_thread_slot()].lock().len()
+    }
+}
+
+impl FileBackend {
+    fn read_durable_inner(&self, addr: PAddr, buf: &mut [u8]) {
+        let mut file = self.file.lock();
+        file.seek(SeekFrom::Start(addr))
+            .and_then(|_| file.read_exact(buf))
+            .unwrap_or_else(|e| panic!("pread of {} failed: {e}", self.path.display()));
+    }
+}
+
+impl std::fmt::Debug for FileBackend {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FileBackend")
+            .field("path", &self.path)
+            .field("capacity", &self.cfg.capacity)
+            .field("frozen", &self.is_frozen())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::ScratchDir;
+
+    fn backend(name: &str, cfg: PmemConfig) -> (FileBackend, ScratchDir) {
+        let dir = ScratchDir::new(&format!("filebackend-{name}")).unwrap();
+        let b = FileBackend::create(dir.path().join("pool.pmem"), cfg).unwrap();
+        (b, dir)
+    }
+
+    fn small() -> PmemConfig {
+        PmemConfig::with_capacity(1 << 20).apply_pending_at_crash(0.0)
+    }
+
+    #[test]
+    fn write_read_roundtrip() {
+        let (b, _t) = backend("roundtrip", small());
+        b.write(100, &[1, 2, 3, 4, 5]);
+        let mut buf = [0u8; 5];
+        b.read(100, &mut buf);
+        assert_eq!(buf, [1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn unfenced_write_is_lost_on_crash() {
+        let (b, _t) = backend("unfenced", small());
+        b.write(0, &[7u8; 8]);
+        let t = b.crash();
+        b.restart(t);
+        let mut buf = [0u8; 8];
+        b.read(0, &mut buf);
+        assert_eq!(buf, [0u8; 8]);
+    }
+
+    #[test]
+    fn fenced_write_survives_crash_and_reopen() {
+        let dir = ScratchDir::new("filebackend-fenced").unwrap();
+        let path = dir.path().join("pool.pmem");
+        let b = FileBackend::create(&path, small()).unwrap();
+        b.persist(64, &[9u8; 16]);
+        let t = b.crash();
+        b.restart(t);
+        let mut buf = [0u8; 16];
+        b.read(64, &mut buf);
+        assert_eq!(buf, [9u8; 16]);
+        // Simulated process restart: drop everything, reopen from disk.
+        drop(b);
+        let b = FileBackend::open(&path, small()).unwrap();
+        let mut buf = [0u8; 16];
+        b.read(64, &mut buf);
+        assert_eq!(buf, [9u8; 16]);
+    }
+
+    #[test]
+    fn flush_captures_value_at_flush_time() {
+        let (b, _t) = backend("capture", small());
+        b.write(0, &[1u8; 8]);
+        b.flush(0, 8);
+        b.write(0, &[2u8; 8]);
+        b.fence();
+        let t = b.crash();
+        b.restart(t);
+        let mut buf = [0u8; 8];
+        b.read(0, &mut buf);
+        assert_eq!(buf, [1u8; 8], "post-flush store must not ride along");
+    }
+
+    #[test]
+    fn fence_without_pending_is_not_persistent_and_skips_fsync() {
+        let (b, _t) = backend("nofsync", small());
+        assert!(!b.fence());
+        b.write(0, &[1]);
+        assert!(!b.fence(), "write without flush leaves nothing pending");
+        b.flush(0, 1);
+        assert!(b.fence());
+        assert_eq!(b.stats().persistent_fences(), 1);
+        assert_eq!(b.stats().fences(), 3);
+    }
+
+    #[test]
+    fn pending_flush_dropped_or_applied_at_crash_per_probability() {
+        let (b, _t) = backend("pending0", small());
+        b.write(0, &[9u8; 8]);
+        b.flush(0, 8);
+        let t = b.crash();
+        b.restart(t);
+        let mut buf = [0u8; 8];
+        b.read(0, &mut buf);
+        assert_eq!(buf, [0u8; 8], "probability 0: pending flush dropped");
+
+        let (b, _t) = backend(
+            "pending1",
+            PmemConfig::with_capacity(1 << 20).apply_pending_at_crash(1.0),
+        );
+        b.write(0, &[9u8; 8]);
+        b.flush(0, 8);
+        let t = b.crash();
+        b.restart(t);
+        b.read(0, &mut buf);
+        assert_eq!(buf, [9u8; 8], "probability 1: pending flush applied");
+    }
+
+    #[test]
+    fn operations_while_frozen_are_ignored() {
+        let (b, _t) = backend("frozen", small());
+        b.persist(0, &[1u8; 4]);
+        let t = b.crash();
+        let fences_before = b.stats().fences();
+        b.write(0, &[9u8; 4]);
+        b.flush(0, 4);
+        b.fence();
+        assert_eq!(b.stats().fences(), fences_before);
+        b.restart(t);
+        let mut buf = [0u8; 4];
+        b.read(0, &mut buf);
+        assert_eq!(buf, [1u8; 4]);
+    }
+
+    #[test]
+    fn armed_crash_fires_after_n_stores() {
+        let (b, _t) = backend("armed", small());
+        b.arm_crash(CrashTrigger::AfterStores(2));
+        b.write(0, &[1]);
+        assert!(!b.is_frozen());
+        b.write(1, &[2]);
+        assert!(b.is_frozen());
+        assert_eq!(b.crash_count(), 1);
+    }
+
+    #[test]
+    fn fences_by_different_threads_are_independent() {
+        let (b, _t) = backend("threads", small());
+        let b = std::sync::Arc::new(b);
+        b.write(0, &[1u8; 8]);
+        b.flush(0, 8);
+        let b2 = b.clone();
+        std::thread::spawn(move || {
+            assert!(!b2.fence());
+        })
+        .join()
+        .unwrap();
+        assert_eq!(b.my_pending_flushes(), 1);
+        assert!(b.fence());
+    }
+
+    #[test]
+    fn eager_policy_writes_back_without_fence() {
+        let (b, _t) = backend(
+            "eager",
+            PmemConfig::with_capacity(1 << 20)
+                .policy(WritebackPolicy::EagerOnFlush)
+                .apply_pending_at_crash(0.0),
+        );
+        b.write(0, &[3u8; 4]);
+        b.flush(0, 4);
+        let t = b.crash();
+        b.restart(t);
+        let mut buf = [0u8; 4];
+        b.read(0, &mut buf);
+        assert_eq!(buf, [3u8; 4]);
+    }
+
+    #[test]
+    fn random_eviction_can_persist_unflushed_stores() {
+        let (b, _t) = backend(
+            "evict",
+            PmemConfig::with_capacity(1 << 20)
+                .policy(WritebackPolicy::RandomEviction {
+                    probability: 1.0,
+                    seed: 42,
+                })
+                .apply_pending_at_crash(0.0),
+        );
+        b.write(0, &[4u8; 4]);
+        let t = b.crash();
+        b.restart(t);
+        let mut buf = [0u8; 4];
+        b.read(0, &mut buf);
+        assert_eq!(buf, [4u8; 4]);
+    }
+
+    #[test]
+    fn read_durable_sees_only_fenced_data() {
+        let (b, _t) = backend("durableview", small());
+        b.persist(0, &[1u8; 4]);
+        b.write(0, &[2u8; 4]);
+        let mut buf = [0u8; 4];
+        b.read_durable(0, &mut buf);
+        assert_eq!(buf, [1u8; 4]);
+        b.read(0, &mut buf);
+        assert_eq!(buf, [2u8; 4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn out_of_bounds_write_panics() {
+        let (b, _t) = backend("oob", PmemConfig::with_capacity(CACHE_LINE_SIZE as u64));
+        b.write(60, &[0u8; 8]);
+    }
+
+    #[test]
+    fn open_missing_file_is_an_error() {
+        let dir = ScratchDir::new("filebackend-missing").unwrap();
+        let err = FileBackend::open(dir.path().join("nope.pmem"), small()).unwrap_err();
+        assert!(matches!(err, NvmError::Io { .. }), "{err:?}");
+    }
+}

@@ -42,9 +42,12 @@
 
 #![warn(missing_docs)]
 
+mod armed;
+mod backend;
 mod cache;
 mod cell;
 mod error;
+mod file;
 mod layout;
 mod policy;
 mod pool;
@@ -52,8 +55,10 @@ mod region;
 mod stats;
 mod thread_slot;
 
+pub use backend::{scratch_dir, BackendSpec, PmemBackend, ScratchDir};
 pub use cell::{PBytes, PU32, PU64};
 pub use error::NvmError;
+pub use file::FileBackend;
 pub use layout::{line_index, line_offset, line_range, PAddr, CACHE_LINE_SIZE};
 pub use policy::{PmemConfig, WritebackPolicy};
 pub use pool::{NvmPool, RootId, MAX_ROOTS};

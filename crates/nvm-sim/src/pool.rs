@@ -8,7 +8,9 @@
 //! persisted (allocation is rare — logs and checkpoint areas are allocated at
 //! setup time).
 
+use crate::backend::{BackendSpec, PmemBackend};
 use crate::error::NvmError;
+use crate::file::FileBackend;
 use crate::layout::{PAddr, CACHE_LINE_SIZE};
 use crate::policy::PmemConfig;
 use crate::region::{CrashToken, CrashTrigger, NvmRegion};
@@ -45,31 +47,41 @@ impl RootId {
     }
 }
 
-/// A persistent-memory pool: region + allocator + named roots.
+/// A persistent-memory pool: backend + allocator + named roots.
 ///
-/// The pool is cheaply cloneable (it is an `Arc` internally); clones refer to the
-/// same simulated NVM.
+/// The pool is cheaply cloneable (it is an `Arc` internally); clones refer to
+/// the same backend. Which [`PmemBackend`] carries the bytes — the simulator
+/// or a real file — is fixed at construction; everything above the pool is
+/// backend-agnostic.
 #[derive(Clone)]
 pub struct NvmPool {
     inner: Arc<PoolInner>,
 }
 
 struct PoolInner {
-    region: Arc<NvmRegion>,
+    backend: Arc<dyn PmemBackend>,
     alloc_lock: Mutex<()>,
 }
 
 impl NvmPool {
-    /// Creates and formats a fresh pool.
+    /// Creates and formats a fresh simulator-backed pool (the historical
+    /// default; equivalent to [`NvmPool::format`] over an [`NvmRegion`]).
     pub fn new(cfg: PmemConfig) -> Self {
+        Self::format(Arc::new(NvmRegion::new(cfg)))
+    }
+
+    /// Wraps `backend` in a pool and formats it: writes the magic header,
+    /// zeroes the root table and resets the allocation cursor. Destroys any
+    /// previous pool contents — use [`NvmPool::open`] to attach to an
+    /// existing pool (e.g. a reopened file) instead.
+    pub fn format(backend: Arc<dyn PmemBackend>) -> Self {
         assert!(
-            cfg.capacity > DATA_START + CACHE_LINE_SIZE as u64,
+            backend.capacity() > DATA_START + CACHE_LINE_SIZE as u64,
             "pool capacity too small"
         );
-        let region = Arc::new(NvmRegion::new(cfg));
         let pool = NvmPool {
             inner: Arc::new(PoolInner {
-                region,
+                backend,
                 alloc_lock: Mutex::new(()),
             }),
         };
@@ -83,6 +95,41 @@ impl NvmPool {
         pool
     }
 
+    /// Attaches to an already-formatted pool in `backend` **without**
+    /// formatting — the recovery entry point. Fails if the header magic is
+    /// missing (the backend never held a pool, or lost its header).
+    pub fn open(backend: Arc<dyn PmemBackend>) -> Result<Self, NvmError> {
+        let pool = NvmPool {
+            inner: Arc::new(PoolInner {
+                backend,
+                alloc_lock: Mutex::new(()),
+            }),
+        };
+        pool.check_header()?;
+        Ok(pool)
+    }
+
+    /// Creates and formats a fresh pool on the backend selected by `spec`.
+    /// For [`BackendSpec::File`], the backing file is `dir/<label>.pmem`
+    /// (truncated if present).
+    pub fn provision(spec: &BackendSpec, cfg: PmemConfig, label: &str) -> Result<Self, NvmError> {
+        match spec.pool_path(label) {
+            None => Ok(Self::new(cfg)),
+            Some(path) => Ok(Self::format(Arc::new(FileBackend::create(path, cfg)?))),
+        }
+    }
+
+    /// Reopens an existing pool previously created by [`NvmPool::provision`]
+    /// under the same `spec`/`label` — this is how a restarted process finds
+    /// its data again. The simulator has no cross-process representation, so
+    /// reopening it is an error.
+    pub fn reopen(spec: &BackendSpec, cfg: PmemConfig, label: &str) -> Result<Self, NvmError> {
+        match spec.pool_path(label) {
+            None => Err(NvmError::ReopenUnsupported("sim")),
+            Some(path) => Self::open(Arc::new(FileBackend::open(path, cfg)?)),
+        }
+    }
+
     /// Checks that the pool header survived (magic intact). Call after a crash and
     /// restart before using the pool again.
     pub fn check_header(&self) -> Result<(), NvmError> {
@@ -93,14 +140,19 @@ impl NvmPool {
         }
     }
 
-    /// The underlying region.
-    pub fn region(&self) -> &Arc<NvmRegion> {
-        &self.inner.region
+    /// The underlying persistence backend.
+    pub fn backend(&self) -> &Arc<dyn PmemBackend> {
+        &self.inner.backend
     }
 
-    /// Persistence statistics (shared with the region).
+    /// Short name of the underlying backend ("sim" / "file").
+    pub fn backend_name(&self) -> &'static str {
+        self.inner.backend.backend_name()
+    }
+
+    /// Persistence statistics (shared with the backend).
     pub fn stats(&self) -> &FenceStats {
-        self.inner.region.stats()
+        self.inner.backend.stats()
     }
 
     /// Allocates `size` bytes (rounded up to whole cache lines) and returns the
@@ -176,37 +228,45 @@ impl NvmPool {
 
     /// Pool capacity in bytes.
     pub fn capacity(&self) -> u64 {
-        self.inner.region.capacity()
+        self.inner.backend.capacity()
     }
 
     /// See [`NvmRegion::write`].
     pub fn write(&self, addr: PAddr, data: &[u8]) {
-        self.inner.region.write(addr, data)
+        self.inner.backend.write(addr, data)
     }
 
     /// See [`NvmRegion::read`].
     pub fn read(&self, addr: PAddr, buf: &mut [u8]) {
-        self.inner.region.read(addr, buf)
+        self.inner.backend.read(addr, buf)
     }
 
-    /// See [`NvmRegion::read_vec`].
+    /// Reads `len` bytes at `addr` into a fresh vector.
     pub fn read_vec(&self, addr: PAddr, len: usize) -> Vec<u8> {
-        self.inner.region.read_vec(addr, len)
+        let mut buf = vec![0u8; len];
+        self.read(addr, &mut buf);
+        buf
+    }
+
+    /// Reads the *durable* contents only — what a crash at this instant would
+    /// preserve. See [`PmemBackend::read_durable`].
+    pub fn read_durable(&self, addr: PAddr, buf: &mut [u8]) {
+        self.inner.backend.read_durable(addr, buf)
     }
 
     /// See [`NvmRegion::flush`].
     pub fn flush(&self, addr: PAddr, len: usize) {
-        self.inner.region.flush(addr, len)
+        self.inner.backend.flush(addr, len)
     }
 
     /// See [`NvmRegion::fence`].
     pub fn fence(&self) -> bool {
-        self.inner.region.fence()
+        self.inner.backend.fence()
     }
 
     /// See [`NvmRegion::persist`].
     pub fn persist(&self, addr: PAddr, data: &[u8]) {
-        self.inner.region.persist(addr, data)
+        self.inner.backend.persist(addr, data)
     }
 
     /// Writes a little-endian `u64` at `addr` (cache only; not durable yet).
@@ -235,12 +295,12 @@ impl NvmPool {
 
     /// Injects a full-system crash. See [`NvmRegion::crash`].
     pub fn crash(&self) -> CrashToken {
-        self.inner.region.crash()
+        self.inner.backend.crash()
     }
 
     /// Restarts after a crash. See [`NvmRegion::restart`].
     pub fn restart(&self, token: CrashToken) {
-        self.inner.region.restart(token)
+        self.inner.backend.restart(token)
     }
 
     /// Injects a crash and immediately restarts (the common pattern in tests).
@@ -251,17 +311,17 @@ impl NvmPool {
 
     /// Arms an automatic crash. See [`NvmRegion::arm_crash`].
     pub fn arm_crash(&self, trigger: CrashTrigger) {
-        self.inner.region.arm_crash(trigger)
+        self.inner.backend.arm_crash(trigger)
     }
 
     /// Disarms an armed crash. See [`NvmRegion::disarm_crash`].
     pub fn disarm_crash(&self) {
-        self.inner.region.disarm_crash()
+        self.inner.backend.disarm_crash()
     }
 
     /// True if the region is currently frozen by a crash.
     pub fn is_frozen(&self) -> bool {
-        self.inner.region.is_frozen()
+        self.inner.backend.is_frozen()
     }
 }
 
@@ -269,7 +329,7 @@ impl std::fmt::Debug for NvmPool {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("NvmPool")
             .field("capacity", &self.capacity())
-            .field("crashes", &self.inner.region.crash_count())
+            .field("crashes", &self.inner.backend.crash_count())
             .finish()
     }
 }

@@ -1,5 +1,7 @@
 //! The simulated persistent-memory region: load/store/flush/fence/crash.
 
+use crate::armed::{ArmedCrash, ArmedKind};
+use crate::backend::PmemBackend;
 use crate::cache::{Line, ShardedMemory};
 use crate::layout::{line_range, PAddr};
 use crate::policy::{PmemConfig, WritebackPolicy};
@@ -9,7 +11,7 @@ use parking_lot::Mutex;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicBool, AtomicI64, Ordering};
+use std::sync::atomic::{AtomicBool, Ordering};
 
 /// What kind of persistence events an armed crash counts down on.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -25,20 +27,26 @@ pub enum CrashTrigger {
     AfterEvents(u64),
 }
 
-/// Token returned by [`NvmRegion::crash`]. Passing it to [`NvmRegion::restart`]
-/// documents (and type-checks) that a recovery phase follows a crash.
+/// Token returned by a backend's `crash`. Passing it to `restart` documents
+/// (and type-checks) that a recovery phase follows a crash.
 #[derive(Debug)]
-#[must_use = "a crash must be followed by NvmRegion::restart before the region is used again"]
+#[must_use = "a crash must be followed by restart before the backend is used again"]
 pub struct CrashToken {
-    pub(crate) crash_index: u64,
+    crash_index: u64,
 }
 
-#[derive(Clone, Copy, PartialEq, Eq)]
-enum ArmedKind {
-    Stores,
-    Flushes,
-    Fences,
-    Events,
+impl CrashToken {
+    /// Creates a token for the `crash_index`-th crash of a backend. Intended
+    /// for [`crate::PmemBackend`] implementors; a token is only accepted by the
+    /// backend whose most recent crash produced the same index.
+    pub fn new(crash_index: u64) -> Self {
+        CrashToken { crash_index }
+    }
+
+    /// The crash ordinal this token was issued for.
+    pub fn crash_index(&self) -> u64 {
+        self.crash_index
+    }
 }
 
 /// One thread's pending flushes: line index -> contents captured at flush time.
@@ -64,9 +72,7 @@ pub struct NvmRegion {
     /// When true, the machine has "lost power": all subsequent persistence
     /// operations are ignored (the issuing instructions never happened).
     frozen: AtomicBool,
-    /// Countdown for an armed crash; negative means "not armed".
-    armed_countdown: AtomicI64,
-    armed_kind: Mutex<Option<ArmedKind>>,
+    armed: ArmedCrash,
     eviction_rng: Mutex<StdRng>,
     crash_rng: Mutex<StdRng>,
     crash_count: Mutex<u64>,
@@ -90,8 +96,7 @@ impl NvmRegion {
             stats: FenceStats::new(),
             pending,
             frozen: AtomicBool::new(false),
-            armed_countdown: AtomicI64::new(-1),
-            armed_kind: Mutex::new(None),
+            armed: ArmedCrash::new(),
             crash_count: Mutex::new(0),
             cfg,
         }
@@ -128,38 +133,21 @@ impl NvmRegion {
     }
 
     fn tick_armed(&self, kind: ArmedKind) {
-        let want = *self.armed_kind.lock();
-        let Some(want) = want else { return };
-        let matches = want == ArmedKind::Events || want == kind;
-        if !matches {
-            return;
-        }
-        let prev = self.armed_countdown.fetch_sub(1, Ordering::SeqCst);
-        if prev == 1 {
-            // This event was the trigger.
-            *self.armed_kind.lock() = None;
+        self.armed.tick(kind, || {
             let _ = self.crash();
-        }
+        });
     }
 
     /// Arms an automatic crash that fires after the given number of further
     /// persistence events. Used by the crash-injection harness to stop the world in
     /// the middle of an operation without the operation's cooperation.
     pub fn arm_crash(&self, trigger: CrashTrigger) {
-        let (kind, n) = match trigger {
-            CrashTrigger::AfterStores(n) => (ArmedKind::Stores, n),
-            CrashTrigger::AfterFlushes(n) => (ArmedKind::Flushes, n),
-            CrashTrigger::AfterFences(n) => (ArmedKind::Fences, n),
-            CrashTrigger::AfterEvents(n) => (ArmedKind::Events, n),
-        };
-        *self.armed_kind.lock() = Some(kind);
-        self.armed_countdown.store(n as i64, Ordering::SeqCst);
+        self.armed.arm(trigger);
     }
 
     /// Disarms a previously armed crash (no-op if none is armed).
     pub fn disarm_crash(&self) {
-        *self.armed_kind.lock() = None;
-        self.armed_countdown.store(-1, Ordering::SeqCst);
+        self.armed.disarm();
     }
 
     /// Writes `data` at `addr`. The write is satisfied in the (volatile) cache; it
@@ -315,9 +303,7 @@ impl NvmRegion {
         self.stats.record_crash();
         let mut count = self.crash_count.lock();
         *count += 1;
-        CrashToken {
-            crash_index: *count,
-        }
+        CrashToken::new(*count)
     }
 
     /// Restarts the machine after a crash: the cache is empty, durable contents are
@@ -325,7 +311,8 @@ impl NvmRegion {
     pub fn restart(&self, token: CrashToken) {
         let count = self.crash_count.lock();
         assert_eq!(
-            token.crash_index, *count,
+            token.crash_index(),
+            *count,
             "restart token does not match the most recent crash"
         );
         drop(count);
@@ -351,6 +338,75 @@ impl NvmRegion {
     /// Number of flushes issued by the calling thread that have not been fenced yet.
     pub fn my_pending_flushes(&self) -> usize {
         self.pending[current_thread_slot()].lock().len()
+    }
+}
+
+// The simulator satisfies the backend contract trivially: it *is* the model
+// the contract is phrased in. Inherent methods keep their richer signatures
+// (e.g. diagnostics); the trait impl delegates.
+impl PmemBackend for NvmRegion {
+    fn backend_name(&self) -> &'static str {
+        "sim"
+    }
+
+    fn capacity(&self) -> u64 {
+        NvmRegion::capacity(self)
+    }
+
+    fn config(&self) -> &PmemConfig {
+        NvmRegion::config(self)
+    }
+
+    fn stats(&self) -> &FenceStats {
+        NvmRegion::stats(self)
+    }
+
+    fn write(&self, addr: PAddr, data: &[u8]) {
+        NvmRegion::write(self, addr, data)
+    }
+
+    fn read(&self, addr: PAddr, buf: &mut [u8]) {
+        NvmRegion::read(self, addr, buf)
+    }
+
+    fn read_durable(&self, addr: PAddr, buf: &mut [u8]) {
+        NvmRegion::read_durable(self, addr, buf)
+    }
+
+    fn flush(&self, addr: PAddr, len: usize) {
+        NvmRegion::flush(self, addr, len)
+    }
+
+    fn fence(&self) -> bool {
+        NvmRegion::fence(self)
+    }
+
+    fn crash(&self) -> CrashToken {
+        NvmRegion::crash(self)
+    }
+
+    fn restart(&self, token: CrashToken) {
+        NvmRegion::restart(self, token)
+    }
+
+    fn arm_crash(&self, trigger: CrashTrigger) {
+        NvmRegion::arm_crash(self, trigger)
+    }
+
+    fn disarm_crash(&self) {
+        NvmRegion::disarm_crash(self)
+    }
+
+    fn is_frozen(&self) -> bool {
+        NvmRegion::is_frozen(self)
+    }
+
+    fn crash_count(&self) -> u64 {
+        NvmRegion::crash_count(self)
+    }
+
+    fn my_pending_flushes(&self) -> usize {
+        NvmRegion::my_pending_flushes(self)
     }
 }
 
@@ -556,7 +612,7 @@ mod tests {
         r.restart(t1);
         let _t2 = r.crash();
         // Build a forged stale token.
-        let stale = CrashToken { crash_index: 1 };
+        let stale = CrashToken::new(1);
         r.restart(stale);
     }
 

@@ -1,6 +1,6 @@
 //! Sharded-object configuration.
 
-use nvm_sim::PmemConfig;
+use nvm_sim::{BackendSpec, NvmError, NvmPool, PmemConfig};
 use onll::OnllConfig;
 
 /// Configuration of a [`crate::ShardedDurable`] object.
@@ -19,6 +19,12 @@ pub struct ShardConfig {
     pub base: OnllConfig,
     /// NVM configuration partitioned across the shards.
     pub pmem: PmemConfig,
+    /// Persistence backend all shard pools run on. With
+    /// [`BackendSpec::File`], shard `i`'s pool is a file derived from the
+    /// label `<name>/shard<i>` (see [`BackendSpec::pool_path`]), so a sharded
+    /// store can be reopened after a real process restart via
+    /// [`ShardConfig::open_pools`].
+    pub backend: BackendSpec,
 }
 
 impl ShardConfig {
@@ -30,6 +36,7 @@ impl ShardConfig {
             shards: 4,
             base: OnllConfig::default(),
             pmem: PmemConfig::default(),
+            backend: BackendSpec::Sim,
         }
     }
 
@@ -51,6 +58,43 @@ impl ShardConfig {
     pub fn pmem(mut self, pmem: PmemConfig) -> Self {
         self.pmem = pmem;
         self
+    }
+
+    /// Sets the persistence backend all shard pools run on.
+    pub fn backend(mut self, spec: BackendSpec) -> Self {
+        self.backend = spec;
+        self
+    }
+
+    /// Provisions one fresh pool per shard on the configured backend: the
+    /// partitioned [`ShardConfig::pmem`] slices on [`ShardConfig::backend`].
+    /// Used by `ShardedDurable::create`; also useful to pre-create pools that
+    /// outlive the object across crash/recovery cycles.
+    pub fn provision_pools(&self) -> Result<Vec<NvmPool>, NvmError> {
+        self.pmem
+            .partition(self.shards)
+            .into_iter()
+            .enumerate()
+            .map(|(i, cfg)| NvmPool::provision(&self.backend, cfg, &self.shard_label(i)))
+            .collect()
+    }
+
+    /// Reopens the per-shard pools previously provisioned under this config —
+    /// the cross-process recovery entry point for sharded objects (pass the
+    /// result to `ShardedDurable::recover*`). Fails for the simulator, which
+    /// has no cross-process representation.
+    pub fn open_pools(&self) -> Result<Vec<NvmPool>, NvmError> {
+        self.pmem
+            .partition(self.shards)
+            .into_iter()
+            .enumerate()
+            .map(|(i, cfg)| NvmPool::reopen(&self.backend, cfg, &self.shard_label(i)))
+            .collect()
+    }
+
+    /// The pool label of shard `index` (its ONLL object name).
+    fn shard_label(&self, index: usize) -> String {
+        format!("{}/shard{index}", self.name)
     }
 
     /// Convenience: enables fence-amortized group persist with groups of up to
@@ -86,7 +130,8 @@ impl ShardConfig {
     /// The ONLL configuration of shard `index`.
     pub(crate) fn shard_onll_config(&self, index: usize) -> OnllConfig {
         let mut cfg = self.base.clone();
-        cfg.name = format!("{}/shard{index}", self.name);
+        cfg.name = self.shard_label(index);
+        cfg.backend = self.backend.clone();
         cfg
     }
 }

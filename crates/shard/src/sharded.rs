@@ -61,12 +61,7 @@ impl<S: KeyedSpec> ShardedDurable<S> {
         hooks_for: impl Fn(usize) -> Hooks,
     ) -> Result<Self, OnllError> {
         Self::check_router(&config, router.as_ref())?;
-        let pools: Vec<NvmPool> = config
-            .pmem
-            .partition(config.shards)
-            .into_iter()
-            .map(NvmPool::new)
-            .collect();
+        let pools = config.provision_pools()?;
         Self::create_in_pools_with_hooks(pools, config, router, hooks_for)
     }
 
@@ -128,6 +123,18 @@ impl<S: KeyedSpec> ShardedDurable<S> {
         router: Arc<dyn ShardRouter<S::Key>>,
     ) -> Result<(Self, ShardRecoveryReport), OnllError> {
         Self::recover_inner(pools, config, router, Durable::<S>::recover)
+    }
+
+    /// [`ShardedDurable::recover`] against pools reopened from the config's
+    /// backend ([`ShardConfig::open_pools`]) — the cross-process recovery
+    /// entry point: a freshly exec'd process recovers a file-backed sharded
+    /// store from its on-disk pools alone.
+    pub fn reopen(
+        config: ShardConfig,
+        router: Arc<dyn ShardRouter<S::Key>>,
+    ) -> Result<(Self, ShardRecoveryReport), OnllError> {
+        let pools = config.open_pools()?;
+        Self::recover(pools, config, router)
     }
 
     fn recover_inner(
@@ -371,6 +378,16 @@ impl<S: KeyedSpec + SnapshotSpec> ShardedDurable<S> {
             router,
             Durable::<S>::recover_with_checkpoints,
         )
+    }
+
+    /// [`ShardedDurable::recover_with_checkpoints`] against pools reopened
+    /// from the config's backend (see [`ShardedDurable::reopen`]).
+    pub fn reopen_with_checkpoints(
+        config: ShardConfig,
+        router: Arc<dyn ShardRouter<S::Key>>,
+    ) -> Result<(Self, ShardRecoveryReport), OnllError> {
+        let pools = config.open_pools()?;
+        Self::recover_with_checkpoints(pools, config, router)
     }
 
     /// Spawns one background checkpoint thread per shard, so shards compact

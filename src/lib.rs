@@ -6,8 +6,10 @@
 //! This crate re-exports the workspace members so examples and integration tests
 //! can use a single dependency. The pieces are:
 //!
-//! * [`nvm`] — simulated persistent memory (cache-line model, flush/fence,
-//!   write-back policies, crash injection, fence statistics).
+//! * [`nvm`] — the persistence substrate: the `PmemBackend` trait behind
+//!   `NvmPool`, with a simulator (cache-line model, flush/fence, write-back
+//!   policies, crash injection, fence statistics) and a file backend
+//!   (`pwrite` + `fsync`, recovery across real process restarts).
 //! * [`plog`] — the single-persistent-fence per-process append-only log
 //!   (Cohen et al., OOPSLA 2017) the construction relies on.
 //! * [`trace`] — the transient lock-free execution trace with available flags and
@@ -29,6 +31,8 @@
 //! See `README.md` for a quickstart and `DESIGN.md`/`EXPERIMENTS.md` for the
 //! experiment inventory.
 
+pub mod restart_protocol;
+
 pub use baselines;
 pub use durable_objects as objects;
 pub use exec_trace as trace;
@@ -40,5 +44,7 @@ pub use persist_log as plog;
 
 /// Convenience prelude pulling in the types most examples need.
 pub mod prelude {
-    pub use crate::nvm::{FenceStats, NvmPool, PmemConfig, WritebackPolicy};
+    pub use crate::nvm::{
+        BackendSpec, FenceStats, FileBackend, NvmPool, PmemBackend, PmemConfig, WritebackPolicy,
+    };
 }

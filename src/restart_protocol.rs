@@ -1,0 +1,105 @@
+//! Shared protocol between the `real_restart` binary and the kill-9 test
+//! harness.
+//!
+//! The binary is killed with `SIGKILL` at arbitrary points and re-exec'd; the
+//! only channel between incarnations is the file-backed pool, and the only
+//! channel to the supervising test is stdout. Both sides must therefore agree
+//! on (a) the deterministic operation sequence derived from a seed, and (b)
+//! the state digest used to compare a recovered store against a local replay.
+//! That agreement lives here, in one place.
+
+use crate::objects::{KvOp, KvRead, KvSpec, KvValue};
+use crate::onll::SequentialSpec;
+
+/// Number of distinct keys the deterministic workload touches.
+pub const KEY_SPACE: u64 = 64;
+
+/// SplitMix64-style mix: tiny, seedable, identical on both sides of the pipe.
+fn mix(seed: u64, k: u64) -> u64 {
+    let mut z = seed
+        .wrapping_add(0x9E3779B97F4A7C15)
+        .wrapping_add(k.wrapping_mul(0xBF58476D1CE4E5B9));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^ (z >> 31)
+}
+
+/// The `k`-th operation of the deterministic workload for `seed`
+/// (0-based). Mostly puts, some deletes, over [`KEY_SPACE`] keys.
+pub fn op_for(seed: u64, k: u64) -> KvOp {
+    let h = mix(seed, k);
+    let key = format!("key-{}", h % KEY_SPACE);
+    if h >> 61 == 0 {
+        // 1/8 of operations delete.
+        KvOp::Delete(key)
+    } else {
+        KvOp::Put(key, format!("v{}-{}", k, h >> 32))
+    }
+}
+
+/// FNV-1a digest of the full key space as observed through `get`. Both sides
+/// compute it the same way: the child over the recovered store, the
+/// supervisor over a local replay of the durable prefix.
+pub fn digest_via(mut get: impl FnMut(String) -> Option<String>) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    let mut absorb = |bytes: &[u8]| {
+        for b in bytes {
+            h ^= *b as u64;
+            h = h.wrapping_mul(0x100000001b3);
+        }
+    };
+    for i in 0..KEY_SPACE {
+        match get(format!("key-{i}")) {
+            Some(v) => {
+                absorb(&[1]);
+                absorb(v.as_bytes());
+            }
+            None => absorb(&[0]),
+        }
+    }
+    h
+}
+
+/// Digest of a sequential replay of ops `0..n` of `seed`'s workload — what a
+/// store whose durable prefix is exactly `n` operations must report.
+pub fn digest_of_prefix(seed: u64, n: u64) -> u64 {
+    let mut state = KvSpec::initialize();
+    for k in 0..n {
+        state.apply(&op_for(seed, k));
+    }
+    digest_via(|key| match state.read(&KvRead::Get(key)) {
+        KvValue::Value(v) => v,
+        KvValue::Len(_) => None,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn op_sequence_is_deterministic() {
+        assert_eq!(op_for(7, 3), op_for(7, 3));
+        assert_ne!(op_for(7, 3), op_for(7, 4));
+        assert_ne!(op_for(7, 3), op_for(8, 3));
+    }
+
+    #[test]
+    fn keys_stay_in_the_key_space() {
+        for k in 0..200 {
+            let key = match op_for(11, k) {
+                KvOp::Put(key, _) => key,
+                KvOp::Delete(key) => key,
+            };
+            let n: u64 = key.strip_prefix("key-").unwrap().parse().unwrap();
+            assert!(n < KEY_SPACE);
+        }
+    }
+
+    #[test]
+    fn digest_distinguishes_prefixes() {
+        assert_eq!(digest_of_prefix(5, 50), digest_of_prefix(5, 50));
+        assert_ne!(digest_of_prefix(5, 50), digest_of_prefix(5, 51));
+        assert_ne!(digest_of_prefix(5, 0), digest_of_prefix(5, 1));
+    }
+}

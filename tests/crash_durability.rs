@@ -29,6 +29,7 @@ fn crashes_with_pending_flush_uncertainty_are_handled() {
             apply_pending_probability: probability,
             seed: 7,
             check_linearizability_limit: 0,
+            ..Default::default()
         }
         .run();
         assert!(
@@ -49,6 +50,7 @@ fn exhaustive_crash_points_on_a_short_run_are_all_consistent() {
         seed: 11,
         check_linearizability_limit: 14,
         crash_after_events: 1, // overridden by the sweep
+        ..Default::default()
     }
     .sweep(1..=20);
     for (i, outcome) in outcomes.iter().enumerate() {
