@@ -603,9 +603,11 @@ impl<S: SequentialSpec> Durable<S> {
         self.shared.checkpoint_watermark.load(Ordering::Acquire)
     }
 
-    /// Bytes of live entries in the largest per-process persistent log — the
-    /// log-bytes checkpoint trigger's input, maintained by log owners without
-    /// scanning NVM.
+    /// Upper bound on the bytes of live entries in the largest per-process
+    /// persistent log, maintained by log owners without scanning NVM. Counts
+    /// live entries at full slot stride; entries are variable-length, so the
+    /// exact occupancy (`PersistentLog::live_bytes`, which drives each owner's
+    /// log-bytes checkpoint trigger) is usually much smaller.
     pub fn max_log_live_bytes(&self) -> u64 {
         let max_entries = self
             .shared

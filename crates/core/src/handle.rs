@@ -6,7 +6,7 @@ use crate::construction::Shared;
 use crate::error::OnllError;
 use crate::hooks::Phase;
 use crate::local_view::LocalView;
-use crate::op_id::{encode_record, OpId, Record};
+use crate::op_id::{encode_record_into, OpId, Record};
 use crate::spec::{SequentialSpec, SnapshotSpec};
 use exec_trace::TraceNode;
 use persist_log::{LogError, PersistentLog};
@@ -163,30 +163,7 @@ impl<S: SequentialSpec> ProcessHandle<S> {
 
         // --- Persist: append the fuzzy window (own op + unpersisted predecessors)
         //     to the private persistent log. One persistent fence. ---
-        let fuzzy = shared.trace.fuzzy_nodes_from(node);
-        debug_assert!(!fuzzy.is_empty() && std::ptr::eq(fuzzy[0], node));
-        debug_assert!(
-            fuzzy.len() <= shared.config.ops_per_entry(),
-            "fuzzy window exceeded the group-extended bound (Proposition 5.2 generalization violated)"
-        );
-        let encoded: Vec<Vec<u8>> = fuzzy
-            .iter()
-            .map(|n| {
-                encode_record(
-                    n.op()
-                        .as_ref()
-                        .expect("fuzzy-window nodes always carry an operation record"),
-                )
-            })
-            .collect();
-        let refs: Vec<&[u8]> = encoded.iter().map(|v| v.as_slice()).collect();
-        hooks.fire(Phase::BeforePersist, pid);
-        self.log.append(&refs, node.idx()).map_err(|e| match e {
-            LogError::Full => OnllError::LogFull,
-            LogError::EntryTooLarge(msg) => OnllError::Nvm(msg),
-        })?;
-        shared.log_live_entries[self.pid].store(self.log.live_len() as u64, Ordering::Release);
-        hooks.fire(Phase::AfterPersist, pid);
+        self.persist_fuzzy_window(node)?;
 
         // --- Linearize: make the operation visible to readers. ---
         hooks.fire(Phase::BeforeLinearize, pid);
@@ -261,30 +238,7 @@ impl<S: SequentialSpec> ProcessHandle<S> {
         // --- Persist: one log entry covering the group's fuzzy window (the whole
         //     group plus unpersisted predecessors). One persistent fence. ---
         let newest = *nodes.last().expect("group is non-empty");
-        let fuzzy = shared.trace.fuzzy_nodes_from(newest);
-        debug_assert!(!fuzzy.is_empty() && std::ptr::eq(fuzzy[0], newest));
-        debug_assert!(
-            fuzzy.len() <= shared.config.ops_per_entry(),
-            "fuzzy window exceeded the group-extended bound (Proposition 5.2 generalization)"
-        );
-        let encoded: Vec<Vec<u8>> = fuzzy
-            .iter()
-            .map(|n| {
-                encode_record(
-                    n.op()
-                        .as_ref()
-                        .expect("fuzzy-window nodes always carry an operation record"),
-                )
-            })
-            .collect();
-        let refs: Vec<&[u8]> = encoded.iter().map(|v| v.as_slice()).collect();
-        hooks.fire(Phase::BeforePersist, pid);
-        self.log.append(&refs, newest.idx()).map_err(|e| match e {
-            LogError::Full => OnllError::LogFull,
-            LogError::EntryTooLarge(msg) => OnllError::Nvm(msg),
-        })?;
-        shared.log_live_entries[self.pid].store(self.log.live_len() as u64, Ordering::Release);
-        hooks.fire(Phase::AfterPersist, pid);
+        self.persist_fuzzy_window(newest)?;
 
         // --- Linearize: sweep the group's available flags oldest to newest, so
         //     linearized prefixes are always contiguous. ---
@@ -305,6 +259,49 @@ impl<S: SequentialSpec> ProcessHandle<S> {
     pub fn update_group(&mut self, ops: impl IntoIterator<Item = S::UpdateOp>) -> Vec<S::Value> {
         self.try_update_group(ops)
             .expect("ONLL group update failed")
+    }
+
+    /// Persists the fuzzy window ending at `newest` — the caller's newly
+    /// ordered operation(s) plus consecutively older not-yet-linearized
+    /// operations (Listing 2, `getFuzzyOps`) — as **one** log entry with
+    /// **one** persistent fence. This is the persist stage shared by
+    /// [`ProcessHandle::try_update`] and [`ProcessHandle::try_update_group`].
+    ///
+    /// Allocation-free on the steady path: the trace is walked directly (no
+    /// collected node list) and each record is encoded straight into the log's
+    /// reusable entry buffer, so the entry's occupied bytes — the only bytes
+    /// written and flushed — are assembled without any intermediate
+    /// `Vec<Vec<u8>>`/`Vec<&[u8]>`.
+    fn persist_fuzzy_window(
+        &mut self,
+        newest: &TraceNode<Option<Record<S::UpdateOp>>>,
+    ) -> Result<(), OnllError> {
+        let pid = self.pid as u32;
+        debug_assert!(!newest.is_available(), "own operation not yet linearized");
+        self.shared.hooks.fire(Phase::BeforePersist, pid);
+        let mut writer = self.log.begin(newest.idx()).map_err(log_error)?;
+        let mut cur = newest;
+        loop {
+            let record = cur
+                .op()
+                .as_ref()
+                .expect("fuzzy-window nodes always carry an operation record");
+            writer
+                .push_op_with(|buf| encode_record_into(record, buf))
+                .map_err(log_error)?;
+            match cur.prev() {
+                Some(prev) if !prev.is_available() => cur = prev,
+                _ => break,
+            }
+        }
+        debug_assert!(
+            writer.num_ops() <= self.shared.config.ops_per_entry(),
+            "fuzzy window exceeded the group-extended bound (Proposition 5.2 generalization violated)"
+        );
+        writer.commit().map_err(log_error)?;
+        self.shared.log_live_entries[self.pid].store(self.log.live_len() as u64, Ordering::Release);
+        self.shared.hooks.fire(Phase::AfterPersist, pid);
+        Ok(())
     }
 
     /// Performs a read-only operation (Listing 4).
@@ -505,9 +502,14 @@ impl<S: SnapshotSpec> ProcessHandle<S> {
 
     /// True if a configured checkpoint trigger currently fires: the ops-count
     /// trigger (at least `checkpoint_interval` linearized updates past the
-    /// newest published watermark, as seen by this handle's view) or the
+    /// newest published watermark, as seen by this handle's view), the
     /// log-bytes trigger (**this handle's own** log at or above
-    /// `checkpoint_log_bytes`).
+    /// `checkpoint_log_bytes`), or the capacity backstop (this handle's log
+    /// three-quarters full in *entries*). The backstop exists because
+    /// `PersistentLog::live_bytes` counts true variable-length occupancy — a
+    /// byte threshold sized against the worst-case slot stride might otherwise
+    /// never fire, letting the ring fill and updates fail with `LogFull`
+    /// while checkpointing is enabled and would have compacted it.
     ///
     /// The log-bytes trigger is deliberately per-owner: a checkpoint truncates
     /// only the checkpointing process's log immediately (logs are
@@ -532,6 +534,11 @@ impl<S: SnapshotSpec> ProcessHandle<S> {
                 return true;
             }
         }
+        // Capacity backstop: never let the ring run full while checkpointing
+        // is enabled, whatever the byte threshold was sized against.
+        if cfg.checkpointing_enabled() && self.log.free_slots() <= cfg.log_capacity_entries / 4 {
+            return true;
+        }
         false
     }
 
@@ -551,6 +558,13 @@ impl<S: SnapshotSpec> ProcessHandle<S> {
         let value = self.try_update(op)?;
         self.maybe_checkpoint()?;
         Ok(value)
+    }
+}
+
+fn log_error(e: LogError) -> OnllError {
+    match e {
+        LogError::Full => OnllError::LogFull,
+        LogError::EntryTooLarge(msg) => OnllError::Nvm(msg),
     }
 }
 

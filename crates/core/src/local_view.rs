@@ -49,6 +49,13 @@ impl<S: SequentialSpec> LocalView<S> {
         if target.idx() <= self.idx {
             return None;
         }
+        if target.idx() == self.idx + 1 {
+            // Single-step advance — the common case for an updating handle
+            // (its own just-ordered operation): apply directly, no suffix
+            // collection, no allocation.
+            self.idx = target.idx();
+            return target.op().as_ref().map(|r| self.state.apply(&r.op));
+        }
         let missing = trace.nodes_between(self.idx, target);
         let mut last_value = None;
         for node in missing {

@@ -55,19 +55,31 @@ pub(crate) fn record_slot_size<U: OpCodec>() -> usize {
     14 + U::MAX_ENCODED_SIZE
 }
 
-/// Encodes a record for storage in a log entry slot.
-pub(crate) fn encode_record<U: OpCodec>(record: &Record<U>) -> Vec<u8> {
-    let mut buf = Vec::with_capacity(record_slot_size::<U>());
+/// Appends a record's encoding to `buf` without intermediate allocation — the
+/// hot-path variant used to encode fuzzy-window records directly into the
+/// persistent log's entry buffer.
+pub(crate) fn encode_record_into<U: OpCodec>(record: &Record<U>, buf: &mut Vec<u8>) {
     buf.extend_from_slice(&record.op_id.pid.to_le_bytes());
     buf.extend_from_slice(&record.op_id.seq.to_le_bytes());
-    let mut op_buf = Vec::with_capacity(U::MAX_ENCODED_SIZE);
-    record.op.encode(&mut op_buf);
+    // Reserve the op length prefix and back-patch it after the op encodes
+    // itself straight into `buf`.
+    let len_at = buf.len();
+    buf.extend_from_slice(&[0u8; 2]);
+    record.op.encode(buf);
+    let op_len = buf.len() - len_at - 2;
     assert!(
-        op_buf.len() <= U::MAX_ENCODED_SIZE,
+        op_len <= U::MAX_ENCODED_SIZE,
         "operation encoding exceeds its declared MAX_ENCODED_SIZE"
     );
-    buf.extend_from_slice(&(op_buf.len() as u16).to_le_bytes());
-    buf.extend_from_slice(&op_buf);
+    buf[len_at..len_at + 2].copy_from_slice(&(op_len as u16).to_le_bytes());
+}
+
+/// Encodes a record into a fresh vector (test-only; the hot path encodes in
+/// place via [`encode_record_into`]).
+#[cfg(test)]
+pub(crate) fn encode_record<U: OpCodec>(record: &Record<U>) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(record_slot_size::<U>());
+    encode_record_into(record, &mut buf);
     buf
 }
 

@@ -555,3 +555,29 @@ fn repeated_crash_recover_cycles_accumulate_state() {
         expected += 3;
     }
 }
+
+#[test]
+fn capacity_backstop_checkpoints_before_the_ring_fills() {
+    // Entries are variable-length, so a log-bytes threshold sized against the
+    // worst-case slot stride may never be reached by true occupancy. With
+    // checkpointing enabled, the capacity backstop must still compact the
+    // ring before appends fail with LogFull.
+    let p = pool();
+    let cfg = OnllConfig::named("backstop")
+        .log_capacity(32)
+        // Unreachably high byte threshold: 32 single-op entries occupy far
+        // less than this, so only the backstop can fire.
+        .checkpoint_when_log_exceeds(1 << 30)
+        .checkpoint_slot_bytes(256);
+    let obj = Durable::<CounterSpec>::create(p.clone(), cfg).unwrap();
+    let mut h = obj.register().unwrap();
+    for i in 0..200 {
+        h.update_with_checkpoint(CounterOp::Add(1))
+            .unwrap_or_else(|e| panic!("update {i} failed before the backstop fired: {e:?}"));
+    }
+    assert_eq!(obj.read_latest(&()), 200);
+    assert!(
+        obj.checkpoint_watermark() > 0,
+        "the capacity backstop never checkpointed"
+    );
+}

@@ -58,12 +58,18 @@ pub struct PmemConfig {
     pub apply_pending_at_crash_probability: f64,
     /// Seed for the crash-time RNG deciding the fate of pending flushes.
     pub crash_seed: u64,
-    /// Artificial latency charged (by spinning) for every *persistent* fence.
+    /// Artificial latency charged for every *persistent* fence — the modeled
+    /// drain time of the region's write-pending queue.
     ///
     /// The simulator itself has no NVM latency, so throughput benchmarks charge a
     /// configurable penalty per persistent fence to reflect the paper's cost model
-    /// (fences stall the CPU for the duration of an NVM write-back). Zero by
-    /// default so unit tests stay fast.
+    /// (fences stall the issuing processor until the NVM write-back completes).
+    /// Drains serialize **per region** (a DIMM has one WPQ): concurrent
+    /// persistent fences on the same pool queue up, concurrent fences on
+    /// different pools — e.g. the per-shard pools of a sharded object — overlap.
+    /// Penalties at or above the OS timer resolution block (sleep) rather than
+    /// spin, so the modeled stall does not burn host CPU other simulated
+    /// processors could use. Zero by default so unit tests stay fast.
     pub fence_penalty: Duration,
     /// Artificial latency charged for every flush instruction. The paper's model
     /// treats flushes as free; this knob exists only for sensitivity analysis and

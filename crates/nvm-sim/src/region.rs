@@ -2,7 +2,7 @@
 
 use crate::armed::{ArmedCrash, ArmedKind};
 use crate::backend::PmemBackend;
-use crate::cache::{Line, ShardedMemory};
+use crate::cache::{LineMap, ShardedMemory};
 use crate::layout::{line_range, PAddr};
 use crate::policy::{PmemConfig, WritebackPolicy};
 use crate::stats::FenceStats;
@@ -10,7 +10,6 @@ use crate::thread_slot::{current_thread_slot, MAX_THREAD_SLOTS};
 use parking_lot::Mutex;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, Ordering};
 
 /// What kind of persistence events an armed crash counts down on.
@@ -50,7 +49,7 @@ impl CrashToken {
 }
 
 /// One thread's pending flushes: line index -> contents captured at flush time.
-type PendingFlushes = Mutex<HashMap<u64, Line>>;
+type PendingFlushes = Mutex<LineMap>;
 
 /// A simulated byte-addressable persistent-memory region.
 ///
@@ -73,6 +72,11 @@ pub struct NvmRegion {
     /// operations are ignored (the issuing instructions never happened).
     frozen: AtomicBool,
     armed: ArmedCrash,
+    /// The region's write-pending queue: persistent-fence drains serialize per
+    /// region (a DIMM has one WPQ), while drains on *different* regions — e.g.
+    /// the per-shard pools of a sharded object — proceed in parallel. Only
+    /// taken when a non-zero `fence_penalty` is configured.
+    persist_queue: Mutex<()>,
     eviction_rng: Mutex<StdRng>,
     crash_rng: Mutex<StdRng>,
     crash_count: Mutex<u64>,
@@ -82,7 +86,7 @@ impl NvmRegion {
     /// Creates a fresh region with the given configuration. All bytes read as zero.
     pub fn new(cfg: PmemConfig) -> Self {
         let pending = (0..MAX_THREAD_SLOTS)
-            .map(|_| Mutex::new(HashMap::new()))
+            .map(|_| Mutex::new(LineMap::default()))
             .collect::<Vec<_>>()
             .into_boxed_slice();
         let eviction_seed = match cfg.policy {
@@ -97,6 +101,7 @@ impl NvmRegion {
             pending,
             frozen: AtomicBool::new(false),
             armed: ArmedCrash::new(),
+            persist_queue: Mutex::new(()),
             crash_count: Mutex::new(0),
             cfg,
         }
@@ -159,11 +164,11 @@ impl NvmRegion {
             return;
         }
         self.stats.record_store(data.len());
-        let touched = self.memory.store(addr, data);
+        self.memory.store(addr, data);
         match self.cfg.policy {
             WritebackPolicy::RandomEviction { probability, .. } => {
                 let mut rng = self.eviction_rng.lock();
-                for line in touched {
+                for line in line_range(addr, data.len()) {
                     if rng.gen_bool(probability.clamp(0.0, 1.0))
                         && self.memory.write_back_cached(line)
                     {
@@ -244,23 +249,34 @@ impl NvmRegion {
     /// write-backs complete. Returns `true` if this was a **persistent** fence
     /// (i.e. at least one flush was pending), which is the expensive case the paper
     /// counts.
+    ///
+    /// When a non-zero `fence_penalty` is configured, the drain latency is
+    /// charged under the region's write-pending queue: persistent fences on the
+    /// *same* region serialize (one WPQ per DIMM), persistent fences on
+    /// *different* regions — e.g. per-shard pools — overlap. The stall blocks
+    /// instead of spinning (for penalties long enough for the OS timer), so a
+    /// host with fewer cores than worker threads still exhibits the modeled
+    /// persistence concurrency; see [`PmemConfig::fence_penalty`].
     pub fn fence(&self) -> bool {
         if self.is_frozen() {
             return false;
         }
         let slot = current_thread_slot();
-        let drained: Vec<(u64, Line)> = {
+        let (persistent, lines) = {
+            // Write-backs are applied while holding the (per-thread,
+            // uncontended) pending lock; `flush` and `crash` take the same
+            // pending-then-shard lock order.
             let mut pending = self.pending[slot].lock();
-            pending.drain().collect()
+            let lines = pending.len() as u64;
+            for (line, contents) in pending.drain() {
+                self.memory.write_back(line, &contents);
+            }
+            (lines > 0, lines)
         };
-        let persistent = !drained.is_empty();
-        let lines = drained.len() as u64;
-        for (line, contents) in drained {
-            self.memory.write_back(line, &contents);
-        }
         self.stats.record_fence(persistent, lines);
         if persistent && !self.cfg.fence_penalty.is_zero() {
-            spin_for(self.cfg.fence_penalty);
+            let _wpq = self.persist_queue.lock();
+            block_for(self.cfg.fence_penalty);
         }
         self.tick_armed(ArmedKind::Fences);
         persistent
@@ -414,6 +430,20 @@ fn spin_for(d: std::time::Duration) {
     let start = std::time::Instant::now();
     while start.elapsed() < d {
         std::hint::spin_loop();
+    }
+}
+
+/// Charges a modeled latency. Short penalties spin (sub-timer-resolution
+/// precision); longer ones sleep so the stalled "core" yields the host CPU —
+/// on machines with fewer cores than simulated processors, spinning would make
+/// every pool's stall compete for the same core and serialize globally,
+/// which is exactly the artifact that flattened the sharded scaling curve.
+fn block_for(d: std::time::Duration) {
+    const SLEEP_THRESHOLD: std::time::Duration = std::time::Duration::from_micros(10);
+    if d >= SLEEP_THRESHOLD {
+        std::thread::sleep(d);
+    } else {
+        spin_for(d);
     }
 }
 

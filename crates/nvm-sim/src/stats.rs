@@ -10,7 +10,13 @@
 use crate::thread_slot::{current_thread_slot, MAX_THREAD_SLOTS};
 use std::sync::atomic::{AtomicU64, Ordering};
 
+/// One thread's counters, alignment-padded so adjacent thread slots never
+/// share a cache line: every `record_*` on the hot path touches only the
+/// calling thread's own line, making the accounting contention-free. Global
+/// totals are *derived* by summing the slots on the (rare) read side instead
+/// of being maintained as shared atomics the write side would ping-pong.
 #[derive(Default)]
+#[repr(align(128))]
 struct Counters {
     stores: AtomicU64,
     stored_bytes: AtomicU64,
@@ -167,8 +173,13 @@ impl StatsSnapshot {
 }
 
 /// Shared persistence-event counters for one simulated NVM region.
+///
+/// Writes land only in the calling thread's padded slot (contention-free);
+/// global totals are computed by summation when read. Totals are therefore
+/// *eventually exact*: a sum concurrent with recording may miss in-flight
+/// increments, which is the same guarantee the old relaxed global counters
+/// gave.
 pub struct FenceStats {
-    global: Counters,
     per_thread: Box<[Counters]>,
 }
 
@@ -185,83 +196,66 @@ impl FenceStats {
             .map(|_| Counters::default())
             .collect::<Vec<_>>()
             .into_boxed_slice();
-        FenceStats {
-            global: Counters::default(),
-            per_thread,
-        }
+        FenceStats { per_thread }
     }
 
     fn me(&self) -> &Counters {
         &self.per_thread[current_thread_slot()]
     }
 
+    fn sum(&self, field: impl Fn(&Counters) -> &AtomicU64) -> u64 {
+        self.per_thread
+            .iter()
+            .map(|c| field(c).load(Ordering::Relaxed))
+            .sum()
+    }
+
     pub(crate) fn record_store(&self, bytes: usize) {
-        self.global.stores.fetch_add(1, Ordering::Relaxed);
-        self.global
-            .stored_bytes
-            .fetch_add(bytes as u64, Ordering::Relaxed);
         let me = self.me();
         me.stores.fetch_add(1, Ordering::Relaxed);
         me.stored_bytes.fetch_add(bytes as u64, Ordering::Relaxed);
     }
 
     pub(crate) fn record_load(&self) {
-        self.global.loads.fetch_add(1, Ordering::Relaxed);
         self.me().loads.fetch_add(1, Ordering::Relaxed);
     }
 
     pub(crate) fn record_flush(&self, lines: u64) {
-        self.global.flushes.fetch_add(1, Ordering::Relaxed);
-        self.global
-            .flushed_lines
-            .fetch_add(lines, Ordering::Relaxed);
         let me = self.me();
         me.flushes.fetch_add(1, Ordering::Relaxed);
         me.flushed_lines.fetch_add(lines, Ordering::Relaxed);
     }
 
     pub(crate) fn record_fence(&self, persistent: bool, lines_drained: u64) {
-        self.global.fences.fetch_add(1, Ordering::Relaxed);
         let me = self.me();
         me.fences.fetch_add(1, Ordering::Relaxed);
         if persistent {
-            self.global
-                .persistent_fences
-                .fetch_add(1, Ordering::Relaxed);
             me.persistent_fences.fetch_add(1, Ordering::Relaxed);
             if MAINTENANCE_DEPTH.with(|d| d.get()) > 0 {
-                self.global
-                    .maintenance_fences
-                    .fetch_add(1, Ordering::Relaxed);
                 me.maintenance_fences.fetch_add(1, Ordering::Relaxed);
             }
         }
         if lines_drained > 0 {
-            self.global
-                .writebacks
-                .fetch_add(lines_drained, Ordering::Relaxed);
             me.writebacks.fetch_add(lines_drained, Ordering::Relaxed);
         }
     }
 
     pub(crate) fn record_writeback(&self, lines: u64) {
-        self.global.writebacks.fetch_add(lines, Ordering::Relaxed);
         self.me().writebacks.fetch_add(lines, Ordering::Relaxed);
     }
 
     pub(crate) fn record_crash(&self) {
-        self.global.crashes.fetch_add(1, Ordering::Relaxed);
         self.me().crashes.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Total number of persistent fences across all threads.
     pub fn persistent_fences(&self) -> u64 {
-        self.global.persistent_fences.load(Ordering::Relaxed)
+        self.sum(|c| &c.persistent_fences)
     }
 
     /// Total number of maintenance-scoped persistent fences across all threads.
     pub fn maintenance_fences(&self) -> u64 {
-        self.global.maintenance_fences.load(Ordering::Relaxed)
+        self.sum(|c| &c.maintenance_fences)
     }
 
     /// Marks the calling thread as performing explicit maintenance (checkpoint
@@ -277,22 +271,22 @@ impl FenceStats {
 
     /// Total number of fences (persistent or not) across all threads.
     pub fn fences(&self) -> u64 {
-        self.global.fences.load(Ordering::Relaxed)
+        self.sum(|c| &c.fences)
     }
 
     /// Total number of flush instructions across all threads.
     pub fn flushes(&self) -> u64 {
-        self.global.flushes.load(Ordering::Relaxed)
+        self.sum(|c| &c.flushes)
     }
 
     /// Total number of store instructions across all threads.
     pub fn stores(&self) -> u64 {
-        self.global.stores.load(Ordering::Relaxed)
+        self.sum(|c| &c.stores)
     }
 
     /// Number of simulated crashes.
     pub fn crashes(&self) -> u64 {
-        self.global.crashes.load(Ordering::Relaxed)
+        self.sum(|c| &c.crashes)
     }
 
     /// Persistent fences issued by the *calling* thread.
@@ -307,8 +301,10 @@ impl FenceStats {
             .load(Ordering::Relaxed)
     }
 
-    /// Takes a full snapshot of all counters.
+    /// Takes a full snapshot of all counters. The global totals are the sum of
+    /// the per-thread counters at snapshot time.
     pub fn snapshot(&self) -> StatsSnapshot {
+        let mut global = ThreadStatsSnapshot::default();
         let per_thread = self
             .per_thread
             .iter()
@@ -318,14 +314,12 @@ impl FenceStats {
                 if snap == ThreadStatsSnapshot::default() {
                     None
                 } else {
+                    global = global.merge(&snap);
                     Some((slot, snap))
                 }
             })
             .collect();
-        StatsSnapshot {
-            global: self.global.snapshot(),
-            per_thread,
-        }
+        StatsSnapshot { global, per_thread }
     }
 
     /// Opens a scoped window over the *calling thread's* counters; the window's

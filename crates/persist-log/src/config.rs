@@ -3,6 +3,15 @@
 use nvm_sim::CACHE_LINE_SIZE;
 
 /// Geometry of a per-process persistent log.
+///
+/// The ring is made of fixed-**stride** slots so entry addresses stay
+/// computable ([`LogConfig::entry_size`] is the stride), but entries stored in
+/// those slots are **variable-length**: an append writes and flushes only the
+/// bytes the entry occupies (see [`crate::entry`]). The stride is sized from
+/// `max_ops_per_entry` and `op_slot_size` so the worst-case fuzzy window —
+/// every op at its maximum encoded size — always fits; typical entries occupy
+/// a small fraction of it, and the slack costs address space, not write
+/// bandwidth.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct LogConfig {
     /// Maximum number of operations a single entry can record: the process's own
@@ -10,7 +19,9 @@ pub struct LogConfig {
     /// `MAX_PROCESSES` in Listing 1 — Proposition 5.2 bounds the fuzzy window by
     /// the number of processes.
     pub max_ops_per_entry: usize,
-    /// Maximum encoded size, in bytes, of one operation.
+    /// Maximum encoded size, in bytes, of one operation. Bounds each op's
+    /// variable-length payload; together with `max_ops_per_entry` it sizes the
+    /// slot stride (capacity), not what an append actually writes.
     pub op_slot_size: usize,
     /// Number of entry slots in the (circular) log.
     pub capacity_entries: usize,
@@ -47,15 +58,16 @@ impl LogConfig {
         self
     }
 
-    /// Size in bytes of the fixed header preceding the slots of one entry.
-    pub(crate) fn entry_header_size(&self) -> usize {
-        // checksum(8) + execution_index(8) + seq(8) + num_ops(4) + pad(4)
-        32
-    }
-
-    /// Size in bytes of one entry (header + op slots), rounded up to cache lines.
+    /// Size in bytes of one ring slot (the entry *stride*), rounded up to cache
+    /// lines: the fixed header plus the worst case of `max_ops_per_entry`
+    /// maximum-size length-prefixed operations. An entry may occupy anywhere
+    /// from a few dozen bytes up to this capacity; appends write and flush only
+    /// the occupied prefix. Use [`crate::PersistentLog::live_bytes`] for actual
+    /// occupancy accounting.
     pub fn entry_size(&self) -> usize {
-        let raw = self.entry_header_size() + self.max_ops_per_entry * (4 + self.op_slot_size);
+        let raw = crate::entry::ENTRY_HEADER
+            + crate::entry::PAYLOAD_PREFIX
+            + self.max_ops_per_entry * (4 + self.op_slot_size);
         raw.div_ceil(CACHE_LINE_SIZE) * CACHE_LINE_SIZE
     }
 
@@ -64,7 +76,8 @@ impl LogConfig {
         CACHE_LINE_SIZE
     }
 
-    /// Total region size needed for a log with this configuration.
+    /// Total region size needed for a log with this configuration (the address
+    /// space reserved for the ring, not the bytes appends will write).
     pub fn region_size(&self) -> usize {
         self.log_header_size() + self.capacity_entries * self.entry_size()
     }
@@ -78,7 +91,19 @@ mod tests {
     fn entry_size_is_cache_line_multiple() {
         let cfg = LogConfig::default();
         assert_eq!(cfg.entry_size() % CACHE_LINE_SIZE, 0);
-        assert!(cfg.entry_size() >= cfg.entry_header_size());
+        assert!(cfg.entry_size() >= crate::entry::ENTRY_HEADER + crate::entry::PAYLOAD_PREFIX);
+    }
+
+    #[test]
+    fn entry_size_covers_the_worst_case_payload() {
+        let cfg = LogConfig::default();
+        assert!(
+            cfg.entry_size()
+                >= crate::entry::occupied_size(
+                    cfg.max_ops_per_entry,
+                    cfg.max_ops_per_entry * cfg.op_slot_size
+                )
+        );
     }
 
     #[test]

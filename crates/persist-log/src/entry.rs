@@ -1,42 +1,114 @@
 //! On-NVM entry layout and (de)serialization.
 //!
-//! Entry layout (see [`LogConfig::entry_size`](crate::LogConfig::entry_size)):
+//! # Layout (variable-length, length-prefixed, checksummed)
+//!
+//! Every ring slot is [`LogConfig::entry_size`](crate::LogConfig::entry_size)
+//! bytes wide (fixed stride, so slot addresses stay computable), but an entry
+//! only *occupies* — and the append path only writes and flushes — the bytes it
+//! actually needs:
 //!
 //! ```text
-//! offset 0   checksum          u64   FNV-1a over the rest of the entry
-//! offset 8   execution_index   u64   index of ops[0] in the execution trace
-//! offset 16  seq               u64   per-log monotone append sequence number
-//! offset 24  num_ops           u32   1 ..= max_ops_per_entry
-//! offset 28  pad               u32
-//! offset 32  slots             num_ops × (len: u32, bytes: [u8; op_slot_size])
+//! offset 0   checksum     u64   FNV-1a over buf[8 .. 16 + payload_len]
+//! offset 8   payload_len  u32   bytes of payload following the 16-byte header
+//! offset 12  num_ops      u32   1 ..= max_ops_per_entry
+//! offset 16  payload:
+//!            execution_index  u64   index of ops[0] in the execution trace
+//!            seq              u64   per-log monotone append sequence number
+//!            num_ops × ( op_len u32, op bytes )   — unpadded, back to back
 //! ```
 //!
-//! The entry is valid iff the checksum matches; a torn write (only some cache lines
-//! of the entry reached NVM before a crash) is detected and the entry ignored.
+//! A single 16-byte operation therefore occupies ~52 bytes instead of the
+//! worst-case slot capacity (`max_ops_per_entry × op slots`, kilobytes at group
+//! geometries) the previous fixed-geometry format zero-filled, checksummed and
+//! flushed on every append.
+//!
+//! The entry is valid iff `payload_len` fits the slot **and** the checksum over
+//! the occupied bytes matches; a torn write (only some cache lines of the entry
+//! reached NVM before a crash) is detected and the entry ignored. Bytes beyond
+//! `16 + payload_len` are dead: never checksummed, never read — a slot may
+//! carry arbitrary residue from a longer entry of a previous ring lap. A stale
+//! entry from a previous lap that survives *intact* in a reused slot still
+//! checksums correctly; the ring's monotone sequence numbers reject it (see
+//! [`crate::PersistentLog::scan_live`]).
+//!
+//! **Compatibility:** this on-NVM layout replaced the fixed-geometry format
+//! (checksum over the whole slot, one padded slot per op) and is not readable
+//! by — nor able to read — logs written by earlier versions. No cross-version
+//! log compatibility is promised; recover and drain logs with the version that
+//! wrote them.
 
 use crate::config::LogConfig;
 
+/// Fixed per-entry header: checksum (8) + payload_len (4) + num_ops (4).
+pub(crate) const ENTRY_HEADER: usize = 16;
+/// Fixed payload prefix: execution_index (8) + seq (8).
+pub(crate) const PAYLOAD_PREFIX: usize = 16;
+
 /// A decoded, validated log entry.
+///
+/// Operations are stored as one contiguous buffer plus offsets — decoding
+/// performs two allocations per entry regardless of how many operations it
+/// records (the old format allocated a `Vec` per op).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct LogEntry {
-    /// Execution index of `ops[0]`; `ops[k]` has execution index `execution_index - k`.
+    /// Execution index of `op(0)`; `op(k)` has execution index `execution_index - k`.
     pub execution_index: u64,
     /// Per-log monotone sequence number assigned at append time.
     pub seq: u64,
-    /// The recorded operations: `ops[0]` is the appender's own operation, the rest
-    /// are helped fuzzy-window operations (most recent first).
-    pub ops: Vec<Vec<u8>>,
+    /// Bytes this entry occupies on NVM (header + payload; excludes the dead
+    /// remainder of its slot). Feeds the log's live-byte accounting.
+    pub stored_bytes: u32,
+    /// Concatenated operation payloads, own operation first, then helped
+    /// fuzzy-window operations (most recent first).
+    payload: Vec<u8>,
+    /// `num_ops + 1` offsets into `payload`: op `k` is `payload[bounds[k]..bounds[k+1]]`.
+    bounds: Vec<u32>,
 }
 
 impl LogEntry {
-    /// Execution index of `ops[k]`.
+    /// Builds an entry from explicit operation slices (tests and the recovery
+    /// suite construct entries directly; the log itself only decodes them).
+    pub fn from_ops(execution_index: u64, seq: u64, ops: &[&[u8]]) -> LogEntry {
+        let mut payload = Vec::with_capacity(ops.iter().map(|o| o.len()).sum());
+        let mut bounds = Vec::with_capacity(ops.len() + 1);
+        bounds.push(0);
+        for op in ops {
+            payload.extend_from_slice(op);
+            bounds.push(payload.len() as u32);
+        }
+        let stored_bytes = occupied_size(ops.len(), payload.len()) as u32;
+        LogEntry {
+            execution_index,
+            seq,
+            stored_bytes,
+            payload,
+            bounds,
+        }
+    }
+
+    /// Number of operations this entry records.
+    pub fn num_ops(&self) -> usize {
+        self.bounds.len() - 1
+    }
+
+    /// The `k`-th recorded operation (0 = the appender's own operation).
+    pub fn op(&self, k: usize) -> &[u8] {
+        &self.payload[self.bounds[k] as usize..self.bounds[k + 1] as usize]
+    }
+
+    /// Iterates over the recorded operations, own operation first.
+    pub fn ops(&self) -> impl Iterator<Item = &[u8]> {
+        (0..self.num_ops()).map(|k| self.op(k))
+    }
+
+    /// Execution index of `op(k)`.
     pub fn index_of(&self, k: usize) -> u64 {
         self.execution_index - k as u64
     }
 
     /// Lowest execution index covered by this entry.
     pub fn lowest_index(&self) -> u64 {
-        self.execution_index + 1 - self.ops.len() as u64
+        self.execution_index + 1 - self.num_ops() as u64
     }
 
     /// Returns the encoded operation with execution index `idx`, if covered.
@@ -45,7 +117,7 @@ impl LogEntry {
             return None;
         }
         let k = (self.execution_index - idx) as usize;
-        Some(&self.ops[k])
+        Some(self.op(k))
     }
 }
 
@@ -60,18 +132,25 @@ pub fn checksum64(data: &[u8]) -> u64 {
     h ^ 0xA5A5_5A5A_DEAD_BEEF
 }
 
-/// Encodes an entry into `buf` (which must be exactly `cfg.entry_size()` bytes).
+/// Bytes a finished entry with `num_ops` operations totalling `op_bytes`
+/// occupies on NVM.
+pub(crate) fn occupied_size(num_ops: usize, op_bytes: usize) -> usize {
+    ENTRY_HEADER + PAYLOAD_PREFIX + num_ops * 4 + op_bytes
+}
+
+/// Encodes an entry into `buf` (reused scratch; cleared and filled with exactly
+/// the occupied bytes — callers write/flush only `buf.len()` bytes to NVM).
 ///
 /// `ops` are the encoded operations, own operation first. Returns `Err` if an op is
-/// larger than the configured slot size or there are too many ops.
+/// larger than the configured per-op bound, there are too many ops, or the total
+/// occupied size exceeds the slot capacity.
 pub(crate) fn encode_entry(
     cfg: &LogConfig,
-    buf: &mut [u8],
+    buf: &mut Vec<u8>,
     ops: &[&[u8]],
     execution_index: u64,
     seq: u64,
 ) -> Result<(), String> {
-    assert_eq!(buf.len(), cfg.entry_size());
     if ops.is_empty() {
         return Err("an entry must record at least one operation".into());
     }
@@ -82,64 +161,125 @@ pub(crate) fn encode_entry(
             cfg.max_ops_per_entry
         ));
     }
-    for (i, op) in ops.iter().enumerate() {
-        if op.len() > cfg.op_slot_size {
-            return Err(format!(
-                "op {i} too large: {} > {} bytes",
-                op.len(),
-                cfg.op_slot_size
-            ));
-        }
-    }
-    buf.fill(0);
-    buf[8..16].copy_from_slice(&execution_index.to_le_bytes());
-    buf[16..24].copy_from_slice(&seq.to_le_bytes());
-    buf[24..28].copy_from_slice(&(ops.len() as u32).to_le_bytes());
-    let mut off = cfg.entry_header_size();
+    begin_encode(buf, execution_index, seq);
     for op in ops {
-        buf[off..off + 4].copy_from_slice(&(op.len() as u32).to_le_bytes());
-        buf[off + 4..off + 4 + op.len()].copy_from_slice(op);
-        off += 4 + cfg.op_slot_size;
+        push_op(cfg, buf, op)?;
     }
-    let csum = checksum64(&buf[8..]);
-    buf[0..8].copy_from_slice(&csum.to_le_bytes());
+    finish_encode(buf, ops.len() as u32);
     Ok(())
 }
 
-/// Decodes and validates an entry from `buf`. Returns `None` if the entry is torn,
-/// empty or otherwise invalid.
+/// Starts an in-place encode: header placeholder + payload prefix.
+pub(crate) fn begin_encode(buf: &mut Vec<u8>, execution_index: u64, seq: u64) {
+    buf.clear();
+    buf.resize(ENTRY_HEADER, 0);
+    buf.extend_from_slice(&execution_index.to_le_bytes());
+    buf.extend_from_slice(&seq.to_le_bytes());
+}
+
+/// Appends one length-prefixed operation to an in-progress encode.
+pub(crate) fn push_op(cfg: &LogConfig, buf: &mut Vec<u8>, op: &[u8]) -> Result<(), String> {
+    if op.len() > cfg.op_slot_size {
+        return Err(format!(
+            "op too large: {} > {} bytes (LogConfig::op_slot_size bounds one encoded operation)",
+            op.len(),
+            cfg.op_slot_size
+        ));
+    }
+    if buf.len() + 4 + op.len() > cfg.entry_size() {
+        return Err(format!(
+            "entry payload overflows its {}-byte slot (occupied {} + op {})",
+            cfg.entry_size(),
+            buf.len(),
+            4 + op.len()
+        ));
+    }
+    buf.extend_from_slice(&(op.len() as u32).to_le_bytes());
+    buf.extend_from_slice(op);
+    Ok(())
+}
+
+/// Finalizes an in-place encode: length, op count and checksum.
+pub(crate) fn finish_encode(buf: &mut [u8], num_ops: u32) {
+    let payload_len = (buf.len() - ENTRY_HEADER) as u32;
+    buf[8..12].copy_from_slice(&payload_len.to_le_bytes());
+    buf[12..16].copy_from_slice(&num_ops.to_le_bytes());
+    let csum = checksum64(&buf[8..]);
+    buf[0..8].copy_from_slice(&csum.to_le_bytes());
+}
+
+/// Reads the occupied size of the (unvalidated) entry starting at `buf`, if its
+/// length field is plausible for `cfg`. Lets the scan read only occupied bytes.
+pub(crate) fn peek_occupied(cfg: &LogConfig, header: &[u8]) -> Option<usize> {
+    if header.len() < ENTRY_HEADER {
+        return None;
+    }
+    let payload_len = u32::from_le_bytes(header[8..12].try_into().unwrap()) as usize;
+    if payload_len < PAYLOAD_PREFIX + 4 || ENTRY_HEADER + payload_len > cfg.entry_size() {
+        return None;
+    }
+    Some(ENTRY_HEADER + payload_len)
+}
+
+/// Decodes and validates an entry from `buf` (which must hold at least the
+/// entry's occupied bytes; trailing slot residue is ignored). Returns `None` if
+/// the entry is torn, empty or otherwise invalid.
 pub(crate) fn decode_entry(cfg: &LogConfig, buf: &[u8]) -> Option<LogEntry> {
-    if buf.len() != cfg.entry_size() {
+    if buf.len() < ENTRY_HEADER + PAYLOAD_PREFIX {
+        return None;
+    }
+    let payload_len = u32::from_le_bytes(buf[8..12].try_into().unwrap()) as usize;
+    let occupied = ENTRY_HEADER + payload_len;
+    if payload_len < PAYLOAD_PREFIX + 4 || occupied > cfg.entry_size() || occupied > buf.len() {
         return None;
     }
     let stored_csum = u64::from_le_bytes(buf[0..8].try_into().unwrap());
-    if stored_csum != checksum64(&buf[8..]) {
+    if stored_csum != checksum64(&buf[8..occupied]) {
         return None;
     }
-    let execution_index = u64::from_le_bytes(buf[8..16].try_into().unwrap());
-    let seq = u64::from_le_bytes(buf[16..24].try_into().unwrap());
-    let num_ops = u32::from_le_bytes(buf[24..28].try_into().unwrap()) as usize;
+    let num_ops = u32::from_le_bytes(buf[12..16].try_into().unwrap()) as usize;
     if num_ops == 0 || num_ops > cfg.max_ops_per_entry {
         return None;
     }
+    // The payload must at least hold its fixed prefix plus one length word per
+    // claimed op — checked *before* any arithmetic trusts these fields (the
+    // checksum is unkeyed, so a consistent-looking but nonsensical header can
+    // reach this point from a corrupted or hand-crafted image).
+    if payload_len < PAYLOAD_PREFIX + 4 * num_ops {
+        return None;
+    }
+    let execution_index = u64::from_le_bytes(buf[16..24].try_into().unwrap());
+    let seq = u64::from_le_bytes(buf[24..32].try_into().unwrap());
     // Entries record ops[k] with execution index execution_index - k >= 1.
     if execution_index == 0 || (execution_index as u128) < num_ops as u128 {
         return None;
     }
-    let mut ops = Vec::with_capacity(num_ops);
-    let mut off = cfg.entry_header_size();
+    let mut payload = Vec::with_capacity(payload_len - PAYLOAD_PREFIX - 4 * num_ops);
+    let mut bounds = Vec::with_capacity(num_ops + 1);
+    bounds.push(0u32);
+    let mut off = ENTRY_HEADER + PAYLOAD_PREFIX;
     for _ in 0..num_ops {
-        let len = u32::from_le_bytes(buf[off..off + 4].try_into().unwrap()) as usize;
-        if len > cfg.op_slot_size {
+        if off + 4 > occupied {
             return None;
         }
-        ops.push(buf[off + 4..off + 4 + len].to_vec());
-        off += 4 + cfg.op_slot_size;
+        let len = u32::from_le_bytes(buf[off..off + 4].try_into().unwrap()) as usize;
+        if len > cfg.op_slot_size || off + 4 + len > occupied {
+            return None;
+        }
+        payload.extend_from_slice(&buf[off + 4..off + 4 + len]);
+        bounds.push(payload.len() as u32);
+        off += 4 + len;
+    }
+    if off != occupied {
+        // The length field claims more payload than the ops consume: corrupt.
+        return None;
     }
     Some(LogEntry {
         execution_index,
         seq,
-        ops,
+        stored_bytes: occupied as u32,
+        payload,
+        bounds,
     })
 }
 
@@ -151,40 +291,79 @@ mod tests {
         LogConfig::default()
     }
 
+    fn encode_to_vec(
+        cfg: &LogConfig,
+        ops: &[&[u8]],
+        execution_index: u64,
+        seq: u64,
+    ) -> Result<Vec<u8>, String> {
+        let mut buf = Vec::new();
+        encode_entry(cfg, &mut buf, ops, execution_index, seq)?;
+        Ok(buf)
+    }
+
     #[test]
     fn encode_decode_roundtrip_single_op() {
         let cfg = cfg();
-        let mut buf = vec![0u8; cfg.entry_size()];
-        encode_entry(&cfg, &mut buf, &[b"op-payload"], 7, 3).unwrap();
+        let buf = encode_to_vec(&cfg, &[b"op-payload"], 7, 3).unwrap();
         let e = decode_entry(&cfg, &buf).unwrap();
         assert_eq!(e.execution_index, 7);
         assert_eq!(e.seq, 3);
-        assert_eq!(e.ops, vec![b"op-payload".to_vec()]);
+        assert_eq!(e.num_ops(), 1);
+        assert_eq!(e.op(0), b"op-payload");
+        assert_eq!(e.stored_bytes as usize, buf.len());
+    }
+
+    #[test]
+    fn encode_writes_only_occupied_bytes() {
+        let cfg = cfg();
+        let buf = encode_to_vec(&cfg, &[b"0123456789abcdef"], 1, 1).unwrap();
+        assert_eq!(buf.len(), occupied_size(1, 16));
+        assert!(
+            buf.len() < cfg.entry_size() / 4,
+            "a single-op entry must occupy a small fraction of its {}-byte slot, got {}",
+            cfg.entry_size(),
+            buf.len()
+        );
     }
 
     #[test]
     fn encode_decode_roundtrip_multiple_ops() {
         let cfg = cfg();
-        let mut buf = vec![0u8; cfg.entry_size()];
         let ops: Vec<&[u8]> = vec![b"own", b"helped-1", b"helped-2"];
-        encode_entry(&cfg, &mut buf, &ops, 10, 1).unwrap();
+        let buf = encode_to_vec(&cfg, &ops, 10, 1).unwrap();
         let e = decode_entry(&cfg, &buf).unwrap();
-        assert_eq!(e.ops.len(), 3);
+        assert_eq!(e.num_ops(), 3);
         assert_eq!(e.index_of(0), 10);
         assert_eq!(e.index_of(2), 8);
         assert_eq!(e.lowest_index(), 8);
         assert_eq!(e.op_with_index(9).unwrap(), b"helped-1");
         assert_eq!(e.op_with_index(11), None);
         assert_eq!(e.op_with_index(7), None);
+        assert_eq!(
+            e.ops().collect::<Vec<_>>(),
+            vec![b"own" as &[u8], b"helped-1", b"helped-2"]
+        );
+    }
+
+    #[test]
+    fn decode_tolerates_slot_residue_after_the_entry() {
+        // A shorter entry rewritten over a longer one leaves stale bytes in the
+        // slot tail; they must not affect validation.
+        let cfg = cfg();
+        let mut buf = encode_to_vec(&cfg, &[b"short"], 2, 1).unwrap();
+        buf.resize(cfg.entry_size(), 0xEE);
+        let e = decode_entry(&cfg, &buf).unwrap();
+        assert_eq!(e.op(0), b"short");
     }
 
     #[test]
     fn empty_op_is_representable() {
         let cfg = cfg();
-        let mut buf = vec![0u8; cfg.entry_size()];
-        encode_entry(&cfg, &mut buf, &[b""], 1, 0).unwrap();
+        let buf = encode_to_vec(&cfg, &[b""], 1, 0).unwrap();
         let e = decode_entry(&cfg, &buf).unwrap();
-        assert_eq!(e.ops, vec![Vec::<u8>::new()]);
+        assert_eq!(e.num_ops(), 1);
+        assert_eq!(e.op(0), b"");
     }
 
     #[test]
@@ -195,11 +374,10 @@ mod tests {
     }
 
     #[test]
-    fn corrupting_any_byte_invalidates_the_entry() {
+    fn corrupting_any_occupied_byte_invalidates_the_entry() {
         let cfg = cfg();
-        let mut buf = vec![0u8; cfg.entry_size()];
-        encode_entry(&cfg, &mut buf, &[b"abcdef", b"ghi"], 5, 9).unwrap();
-        for victim in [0usize, 9, 17, 25, 40, cfg.entry_size() - 1] {
+        let buf = encode_to_vec(&cfg, &[b"abcdef", b"ghi"], 5, 9).unwrap();
+        for victim in 0..buf.len() {
             let mut torn = buf.clone();
             torn[victim] ^= 0xFF;
             assert!(
@@ -213,17 +391,29 @@ mod tests {
     fn torn_line_is_detected() {
         // Simulate a crash where only the first cache line of the entry reached NVM.
         let cfg = cfg();
-        let mut buf = vec![0u8; cfg.entry_size()];
-        encode_entry(&cfg, &mut buf, &[b"a".repeat(40).as_slice(), b"bbbb"], 6, 2).unwrap();
-        let mut torn = vec![0u8; cfg.entry_size()];
+        let buf = encode_to_vec(&cfg, &[b"a".repeat(40).as_slice(), b"bbbb"], 6, 2).unwrap();
+        assert!(buf.len() > 64, "entry must span more than one line");
+        let mut torn = vec![0u8; buf.len()];
         torn[..64].copy_from_slice(&buf[..64]);
         assert!(decode_entry(&cfg, &torn).is_none());
     }
 
     #[test]
+    fn truncated_buffer_is_invalid() {
+        let cfg = cfg();
+        let buf = encode_to_vec(&cfg, &[b"some-operation-bytes"], 3, 1).unwrap();
+        for cut in 0..buf.len() {
+            assert!(
+                decode_entry(&cfg, &buf[..cut]).is_none(),
+                "entry truncated to {cut} bytes still decoded"
+            );
+        }
+    }
+
+    #[test]
     fn oversized_op_rejected() {
         let cfg = cfg();
-        let mut buf = vec![0u8; cfg.entry_size()];
+        let mut buf = Vec::new();
         let big = vec![1u8; cfg.op_slot_size + 1];
         assert!(encode_entry(&cfg, &mut buf, &[&big], 1, 0).is_err());
     }
@@ -231,7 +421,7 @@ mod tests {
     #[test]
     fn too_many_ops_rejected() {
         let cfg = LogConfig::for_processes(2);
-        let mut buf = vec![0u8; cfg.entry_size()];
+        let mut buf = Vec::new();
         let ops: Vec<&[u8]> = vec![b"a", b"b", b"c"];
         assert!(encode_entry(&cfg, &mut buf, &ops, 3, 0).is_err());
     }
@@ -239,7 +429,7 @@ mod tests {
     #[test]
     fn zero_ops_rejected() {
         let cfg = cfg();
-        let mut buf = vec![0u8; cfg.entry_size()];
+        let mut buf = Vec::new();
         assert!(encode_entry(&cfg, &mut buf, &[], 1, 0).is_err());
     }
 
@@ -248,8 +438,7 @@ mod tests {
         // ops[k] would have index <= 0, which cannot happen in a real execution; a
         // decoded entry claiming it is treated as corrupt.
         let cfg = cfg();
-        let mut buf = vec![0u8; cfg.entry_size()];
-        encode_entry(&cfg, &mut buf, &[b"a", b"b"], 1, 0).unwrap();
+        let buf = encode_to_vec(&cfg, &[b"a", b"b"], 1, 0).unwrap();
         assert!(decode_entry(&cfg, &buf).is_none());
     }
 
@@ -259,12 +448,49 @@ mod tests {
     }
 
     #[test]
+    fn rechecksummed_entry_with_inconsistent_num_ops_is_rejected_not_panicking() {
+        // A checksum-valid header whose num_ops cannot fit its payload_len
+        // (2 ops need PAYLOAD_PREFIX + 8 bytes; only 20 are claimed) must be
+        // rejected — the unkeyed checksum proves nothing about consistency.
+        let cfg = cfg();
+        let mut buf = vec![0u8; ENTRY_HEADER + 20];
+        buf[8..12].copy_from_slice(&20u32.to_le_bytes()); // payload_len
+        buf[12..16].copy_from_slice(&2u32.to_le_bytes()); // num_ops
+        buf[16..24].copy_from_slice(&5u64.to_le_bytes()); // execution_index
+        buf[24..32].copy_from_slice(&1u64.to_le_bytes()); // seq
+        let csum = checksum64(&buf[8..]);
+        buf[0..8].copy_from_slice(&csum.to_le_bytes());
+        assert!(decode_entry(&cfg, &buf).is_none());
+    }
+
+    #[test]
     fn max_size_op_fits_exactly() {
         let cfg = cfg();
-        let mut buf = vec![0u8; cfg.entry_size()];
         let op = vec![0xABu8; cfg.op_slot_size];
-        encode_entry(&cfg, &mut buf, &[&op], 2, 0).unwrap();
+        let buf = encode_to_vec(&cfg, &[&op], 2, 0).unwrap();
         let e = decode_entry(&cfg, &buf).unwrap();
-        assert_eq!(e.ops[0], op);
+        assert_eq!(e.op(0), op.as_slice());
+    }
+
+    #[test]
+    fn worst_case_geometry_fits_the_slot() {
+        // max_ops_per_entry ops of op_slot_size bytes each must encode into one
+        // slot — the capacity formula in LogConfig::entry_size guarantees it.
+        let cfg = cfg();
+        let op = vec![0x5Au8; cfg.op_slot_size];
+        let ops: Vec<&[u8]> = (0..cfg.max_ops_per_entry).map(|_| op.as_slice()).collect();
+        let buf = encode_to_vec(&cfg, &ops, cfg.max_ops_per_entry as u64, 1).unwrap();
+        assert!(buf.len() <= cfg.entry_size());
+        let e = decode_entry(&cfg, &buf).unwrap();
+        assert_eq!(e.num_ops(), cfg.max_ops_per_entry);
+    }
+
+    #[test]
+    fn from_ops_matches_decoded_shape() {
+        let cfg = cfg();
+        let buf = encode_to_vec(&cfg, &[b"x", b"yz"], 4, 7).unwrap();
+        let decoded = decode_entry(&cfg, &buf).unwrap();
+        let built = LogEntry::from_ops(4, 7, &[b"x", b"yz"]);
+        assert_eq!(decoded, built);
     }
 }

@@ -25,6 +25,12 @@
 //! only by explicit [`PersistentLog::truncate`] calls supports the checkpointing /
 //! memory-reclamation extension of Section 8.
 //!
+//! Ring slots have a fixed stride (so slot addresses stay computable) but hold
+//! **variable-length** entries: an append encodes into a scratch buffer owned by
+//! the log — or directly via the zero-copy [`EntryWriter`] — and writes/flushes
+//! only the occupied bytes, so the store cost of an update is proportional to
+//! the operations it records, not to the worst-case slot geometry.
+//!
 //! ```
 //! use nvm_sim::{NvmPool, PmemConfig};
 //! use persist_log::{LogConfig, PersistentLog};
@@ -42,7 +48,7 @@
 //! let (recovered, entries) = PersistentLog::open(pool.clone(), cfg, base);
 //! assert_eq!(entries.len(), 1);
 //! assert_eq!(entries[0].execution_index, 1);
-//! assert_eq!(entries[0].ops[0], b"increment");
+//! assert_eq!(entries[0].op(0), b"increment");
 //! # drop(recovered);
 //! ```
 
@@ -55,5 +61,5 @@ mod recovery;
 
 pub use config::LogConfig;
 pub use entry::{checksum64, LogEntry};
-pub use log::{LogError, PersistentLog};
+pub use log::{EntryWriter, LogError, PersistentLog};
 pub use recovery::{reconstruct_history, reconstruct_history_from, RecoveredOp};

@@ -1,7 +1,10 @@
 //! The per-process persistent log.
 
 use crate::config::LogConfig;
-use crate::entry::{decode_entry, encode_entry, LogEntry};
+use crate::entry::{
+    begin_encode, decode_entry, encode_entry, finish_encode, peek_occupied, push_op, LogEntry,
+    ENTRY_HEADER,
+};
 use nvm_sim::{NvmPool, PAddr};
 use std::fmt;
 
@@ -10,7 +13,10 @@ use std::fmt;
 pub enum LogError {
     /// The circular log has no free slot (truncate before appending more).
     Full,
-    /// The operations passed to `append` do not fit the configured entry geometry.
+    /// The operations passed to an append do not fit one entry slot: either a
+    /// single op exceeds `LogConfig::op_slot_size`, the op count exceeds
+    /// `LogConfig::max_ops_per_entry`, or the total variable-length payload
+    /// overflows the slot capacity (`LogConfig::entry_size`).
     EntryTooLarge(String),
 }
 
@@ -41,6 +47,12 @@ const HDR_TRUNCATIONS: u64 = 16;
 /// The log is *owned* by one process (the `&mut self` receiver on
 /// [`PersistentLog::append`] encodes single-writer-ness); other processes never
 /// write to it, matching the paper's per-process logs.
+///
+/// Entries are variable-length within fixed-stride ring slots (see
+/// [`crate::entry`]): appends encode into a scratch buffer owned by the log and
+/// write/flush only the occupied bytes, so the store cost of an append is
+/// proportional to the operations it records, not to the worst-case slot
+/// geometry. The steady-state append path performs **no heap allocation**.
 pub struct PersistentLog {
     pool: NvmPool,
     cfg: LogConfig,
@@ -53,6 +65,11 @@ pub struct PersistentLog {
     start_slot: u64,
     /// Sequence number of the first live slot.
     start_seq: u64,
+    /// Bytes occupied on NVM by live entries (headers + payloads; excludes the
+    /// dead slot remainders). Maintained by append/truncate, recomputed on open.
+    live_bytes: u64,
+    /// Reusable encode buffer for appends (capacity settles at one slot).
+    scratch: Vec<u8>,
 }
 
 impl PersistentLog {
@@ -81,6 +98,8 @@ impl PersistentLog {
             next_seq: 1,
             start_slot: 0,
             start_seq: 1,
+            live_bytes: 0,
+            scratch: Vec::new(),
         }
     }
 
@@ -97,6 +116,8 @@ impl PersistentLog {
             next_seq: start_seq,
             start_slot,
             start_seq,
+            live_bytes: 0,
+            scratch: Vec::new(),
         };
         let entries = log.scan_live();
         // Continue appending after the last valid entry.
@@ -104,6 +125,7 @@ impl PersistentLog {
             log.next_seq = last.seq + 1;
             log.next_slot = (start_slot + entries.len() as u64) % log.cfg.capacity_entries as u64;
         }
+        log.live_bytes = entries.iter().map(|e| e.stored_bytes as u64).sum();
         (log, entries)
     }
 
@@ -139,22 +161,59 @@ impl PersistentLog {
     /// Appends an entry recording `ops` (own operation first, then helped ones) with
     /// the given execution index for `ops[0]`.
     ///
-    /// Cost: stores + flushes (free in the paper's model) + **exactly one persistent
-    /// fence**.
+    /// Cost: stores + flushes of the entry's **occupied bytes only** (free in the
+    /// paper's model) + **exactly one persistent fence**. Steady-state, no heap
+    /// allocation (the encode buffer is owned by the log and reused).
+    ///
+    /// Callers that already hold the operations as separate encodable values can
+    /// skip assembling a `&[&[u8]]` entirely with [`PersistentLog::begin`], which
+    /// encodes each op directly into the log's entry buffer.
     pub fn append(&mut self, ops: &[&[u8]], execution_index: u64) -> Result<(), LogError> {
         if self.live_len() >= self.cfg.capacity_entries {
             return Err(LogError::Full);
         }
-        let mut buf = vec![0u8; self.cfg.entry_size()];
-        encode_entry(&self.cfg, &mut buf, ops, execution_index, self.next_seq)
-            .map_err(LogError::EntryTooLarge)?;
+        let mut scratch = std::mem::take(&mut self.scratch);
+        let encoded = encode_entry(&self.cfg, &mut scratch, ops, execution_index, self.next_seq)
+            .map_err(LogError::EntryTooLarge);
+        let result = match encoded {
+            Ok(()) => {
+                self.publish_scratch(&scratch);
+                Ok(())
+            }
+            Err(e) => Err(e),
+        };
+        self.scratch = scratch;
+        result
+    }
+
+    /// Begins a zero-copy append of the entry for `execution_index`: the caller
+    /// pushes each operation's bytes directly into the log's entry buffer via
+    /// the returned [`EntryWriter`], then [`EntryWriter::commit`]s (one
+    /// persistent fence). Dropping the writer without committing abandons the
+    /// append without touching NVM or the log's counters.
+    pub fn begin(&mut self, execution_index: u64) -> Result<EntryWriter<'_>, LogError> {
+        if self.live_len() >= self.cfg.capacity_entries {
+            return Err(LogError::Full);
+        }
+        let mut scratch = std::mem::take(&mut self.scratch);
+        begin_encode(&mut scratch, execution_index, self.next_seq);
+        Ok(EntryWriter {
+            log: self,
+            scratch,
+            num_ops: 0,
+        })
+    }
+
+    /// Writes the finished scratch entry into the next slot: stores + flushes of
+    /// the occupied bytes, one fence, then advances the volatile counters.
+    fn publish_scratch(&mut self, entry: &[u8]) {
         let addr = self.entry_addr(self.next_slot);
-        self.pool.write(addr, &buf);
-        self.pool.flush(addr, buf.len());
+        self.pool.write(addr, entry);
+        self.pool.flush(addr, entry.len());
         self.pool.fence();
         self.next_seq += 1;
         self.next_slot = (self.next_slot + 1) % self.cfg.capacity_entries as u64;
-        Ok(())
+        self.live_bytes += entry.len() as u64;
     }
 
     /// Drops all live entries: the next recovery will start from the current append
@@ -165,6 +224,7 @@ impl PersistentLog {
     /// of the per-update fence budget).
     pub fn truncate(&mut self) {
         self.publish_start(self.next_slot, self.next_seq);
+        self.live_bytes = 0;
     }
 
     /// Drops the live prefix of entries whose `execution_index` is at most
@@ -182,14 +242,15 @@ impl PersistentLog {
     /// otherwise (the start-mark publish). Maintenance, not per-update budget.
     pub fn truncate_below(&mut self, watermark: u64) -> usize {
         let mut dropped = 0u64;
+        let mut dropped_bytes = 0u64;
         let mut slot = self.start_slot;
         let mut seq = self.start_seq;
+        let mut buf = Vec::new();
         while seq < self.next_seq {
-            let addr = self.entry_addr(slot);
-            let buf = self.pool.read_vec(addr, self.cfg.entry_size());
-            match decode_entry(&self.cfg, &buf) {
+            match self.read_entry(slot, &mut buf) {
                 Some(e) if e.seq == seq && e.execution_index <= watermark => {
                     dropped += 1;
+                    dropped_bytes += e.stored_bytes as u64;
                     seq += 1;
                     slot = (slot + 1) % self.cfg.capacity_entries as u64;
                 }
@@ -198,6 +259,7 @@ impl PersistentLog {
         }
         if dropped > 0 {
             self.publish_start(slot, seq);
+            self.live_bytes = self.live_bytes.saturating_sub(dropped_bytes);
         }
         dropped as usize
     }
@@ -209,15 +271,16 @@ impl PersistentLog {
         if self.is_empty() {
             return None;
         }
-        let addr = self.entry_addr(self.start_slot);
-        let buf = self.pool.read_vec(addr, self.cfg.entry_size());
-        decode_entry(&self.cfg, &buf).map(|e| e.execution_index)
+        let mut buf = Vec::new();
+        self.read_entry(self.start_slot, &mut buf)
+            .map(|e| e.execution_index)
     }
 
     /// Bytes of NVM occupied by live entries (the log-bytes checkpoint-trigger
-    /// input).
+    /// input). Counts each entry's occupied bytes — header plus variable-length
+    /// payload — not the fixed slot capacity it is ring-addressed by.
     pub fn live_bytes(&self) -> u64 {
-        self.live_len() as u64 * self.cfg.entry_size() as u64
+        self.live_bytes
     }
 
     /// Persists a new start mark (one persistent fence).
@@ -239,19 +302,35 @@ impl PersistentLog {
         read_u64(&self.pool, self.base + HDR_TRUNCATIONS)
     }
 
+    /// Reads and validates the entry in `slot`, reusing `buf` as scratch. Reads
+    /// the slot header first and then only the entry's occupied bytes — never
+    /// the dead slot remainder.
+    fn read_entry(&self, slot: u64, buf: &mut Vec<u8>) -> Option<LogEntry> {
+        let addr = self.entry_addr(slot);
+        let header_len = ENTRY_HEADER.min(self.cfg.entry_size());
+        buf.resize(header_len, 0);
+        self.pool.read(addr, buf);
+        let occupied = peek_occupied(&self.cfg, buf)?;
+        buf.resize(occupied, 0);
+        self.pool
+            .read(addr + header_len as u64, &mut buf[header_len..]);
+        decode_entry(&self.cfg, buf)
+    }
+
     /// Scans the live window and returns all valid entries in append order.
     ///
     /// Validation stops at the first slot whose entry is missing, torn, or carries
     /// an unexpected sequence number — appends are sequential, so valid entries
-    /// always form a prefix of the live window.
+    /// always form a prefix of the live window. The sequence check is also what
+    /// rejects a stale entry from a previous ring lap that survives intact in a
+    /// reused slot (its checksum matches, its sequence number cannot).
     pub fn scan_live(&self) -> Vec<LogEntry> {
         let mut entries = Vec::new();
         let mut slot = self.start_slot;
         let mut expect_seq = self.start_seq;
+        let mut buf = Vec::new();
         for _ in 0..self.cfg.capacity_entries {
-            let addr = self.entry_addr(slot);
-            let buf = self.pool.read_vec(addr, self.cfg.entry_size());
-            match decode_entry(&self.cfg, &buf) {
+            match self.read_entry(slot, &mut buf) {
                 Some(e) if e.seq == expect_seq => {
                     entries.push(e);
                     expect_seq += 1;
@@ -264,11 +343,101 @@ impl PersistentLog {
     }
 }
 
+/// An in-progress zero-copy append started by [`PersistentLog::begin`].
+///
+/// Operations are encoded directly into the log's reusable entry buffer;
+/// nothing reaches NVM until [`EntryWriter::commit`]. Dropping the writer
+/// abandons the append (the buffer is returned to the log for reuse).
+pub struct EntryWriter<'a> {
+    log: &'a mut PersistentLog,
+    scratch: Vec<u8>,
+    num_ops: u32,
+}
+
+impl EntryWriter<'_> {
+    /// Appends one operation's already-encoded bytes.
+    pub fn push_op(&mut self, op: &[u8]) -> Result<(), LogError> {
+        self.check_op_count()?;
+        push_op(&self.log.cfg, &mut self.scratch, op).map_err(LogError::EntryTooLarge)?;
+        self.num_ops += 1;
+        Ok(())
+    }
+
+    /// Appends one operation by letting `fill` encode it directly into the
+    /// entry buffer (no intermediate allocation). The bytes `fill` appends
+    /// become the operation's payload.
+    pub fn push_op_with(&mut self, fill: impl FnOnce(&mut Vec<u8>)) -> Result<(), LogError> {
+        self.check_op_count()?;
+        let cfg_entry_size = self.log.cfg.entry_size();
+        let start = self.scratch.len();
+        self.scratch.extend_from_slice(&[0u8; 4]); // length back-patched below
+        fill(&mut self.scratch);
+        let op_len = self.scratch.len() - start - 4;
+        if op_len > self.log.cfg.op_slot_size {
+            self.scratch.truncate(start);
+            return Err(LogError::EntryTooLarge(format!(
+                "op too large: {} > {} bytes (LogConfig::op_slot_size bounds one encoded operation)",
+                op_len, self.log.cfg.op_slot_size
+            )));
+        }
+        if self.scratch.len() > cfg_entry_size {
+            self.scratch.truncate(start);
+            return Err(LogError::EntryTooLarge(format!(
+                "entry payload overflows its {cfg_entry_size}-byte slot"
+            )));
+        }
+        self.scratch[start..start + 4].copy_from_slice(&(op_len as u32).to_le_bytes());
+        self.num_ops += 1;
+        Ok(())
+    }
+
+    fn check_op_count(&self) -> Result<(), LogError> {
+        if (self.num_ops as usize) >= self.log.cfg.max_ops_per_entry {
+            return Err(LogError::EntryTooLarge(format!(
+                "too many ops for one entry: {} > {}",
+                self.num_ops as usize + 1,
+                self.log.cfg.max_ops_per_entry
+            )));
+        }
+        Ok(())
+    }
+
+    /// Number of operations pushed so far.
+    pub fn num_ops(&self) -> usize {
+        self.num_ops as usize
+    }
+
+    /// Finalizes the entry (length, op count, checksum), writes and flushes its
+    /// occupied bytes and issues **the one persistent fence** of the append.
+    pub fn commit(mut self) -> Result<(), LogError> {
+        if self.num_ops == 0 {
+            return Err(LogError::EntryTooLarge(
+                "an entry must record at least one operation".into(),
+            ));
+        }
+        finish_encode(&mut self.scratch, self.num_ops);
+        let scratch = std::mem::take(&mut self.scratch);
+        self.log.publish_scratch(&scratch);
+        self.log.scratch = scratch;
+        Ok(())
+    }
+}
+
+impl Drop for EntryWriter<'_> {
+    fn drop(&mut self) {
+        // Hand the buffer back for reuse (no-op after commit took it).
+        if !self.scratch.is_empty() {
+            self.log.scratch = std::mem::take(&mut self.scratch);
+        }
+    }
+}
+
 impl fmt::Debug for PersistentLog {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("PersistentLog")
             .field("base", &self.base)
             .field("live_len", &self.live_len())
+            .field("live_bytes", &self.live_bytes)
             .field("capacity", &self.cfg.capacity_entries)
             .finish()
     }
@@ -306,6 +475,79 @@ mod tests {
     }
 
     #[test]
+    fn append_writes_only_occupied_bytes() {
+        let (pool, mut log) = setup(LogConfig::default());
+        let w = pool.stats().op_window();
+        log.append(&[b"0123456789abcdef"], 1).unwrap();
+        let d = w.close();
+        let occupied = crate::entry::occupied_size(1, 16) as u64;
+        assert_eq!(
+            d.stored_bytes, occupied,
+            "append must not write slot padding"
+        );
+        assert!(
+            d.stored_bytes < log.config().entry_size() as u64 / 4,
+            "a single-op append wrote {} of a {}-byte slot",
+            d.stored_bytes,
+            log.config().entry_size()
+        );
+        // Flush covers only the occupied lines (1 line here), not the slot.
+        assert_eq!(d.flushed_lines, 1);
+    }
+
+    #[test]
+    fn writer_api_appends_without_intermediate_buffers() {
+        let (pool, mut log) = setup(LogConfig::default());
+        let base = log.base();
+        let mut w = log.begin(2).unwrap();
+        w.push_op_with(|buf| buf.extend_from_slice(b"own-op"))
+            .unwrap();
+        w.push_op(b"helped-op").unwrap();
+        assert_eq!(w.num_ops(), 2);
+        w.commit().unwrap();
+        pool.crash_and_restart();
+        let (_, entries) = PersistentLog::open(pool, LogConfig::default(), base);
+        assert_eq!(entries.len(), 1);
+        assert_eq!(entries[0].op(0), b"own-op");
+        assert_eq!(entries[0].op(1), b"helped-op");
+        assert_eq!(entries[0].execution_index, 2);
+    }
+
+    #[test]
+    fn abandoned_writer_leaves_the_log_untouched() {
+        let (pool, mut log) = setup(LogConfig::default());
+        {
+            let mut w = log.begin(1).unwrap();
+            w.push_op(b"never-committed").unwrap();
+            // Dropped without commit.
+        }
+        assert!(log.is_empty());
+        assert_eq!(log.live_bytes(), 0);
+        // The log is still fully usable and the next append gets seq 1.
+        log.append(&[b"real"], 1).unwrap();
+        let base = log.base();
+        pool.crash_and_restart();
+        let (_, entries) = PersistentLog::open(pool, LogConfig::default(), base);
+        assert_eq!(entries.len(), 1);
+        assert_eq!(entries[0].op(0), b"real");
+    }
+
+    #[test]
+    fn writer_rejects_oversized_op_without_touching_nvm() {
+        let cfg = LogConfig::default().op_slot_size(8);
+        let (_pool, mut log) = setup(cfg);
+        let mut w = log.begin(1).unwrap();
+        assert!(matches!(
+            w.push_op_with(|buf| buf.extend_from_slice(&[0u8; 16])),
+            Err(LogError::EntryTooLarge(_))
+        ));
+        // The failed op was rolled back; a valid one still fits.
+        w.push_op(b"ok").unwrap();
+        w.commit().unwrap();
+        assert_eq!(log.live_len(), 1);
+    }
+
+    #[test]
     fn entries_survive_crash_and_reopen_in_order() {
         let cfg = LogConfig::default();
         let (pool, mut log) = setup(cfg.clone());
@@ -318,7 +560,7 @@ mod tests {
         assert_eq!(entries.len(), 5);
         for (i, e) in entries.iter().enumerate() {
             assert_eq!(e.execution_index, i as u64 + 1);
-            assert_eq!(e.ops[0], format!("op{}", i + 1).into_bytes());
+            assert_eq!(e.op(0), format!("op{}", i + 1).as_bytes());
         }
         assert_eq!(reopened.live_len(), 5);
     }
@@ -337,7 +579,7 @@ mod tests {
         pool.crash_and_restart();
         let (_, entries) = PersistentLog::open(pool, cfg, base);
         assert_eq!(entries.len(), 1);
-        assert_eq!(entries[0].ops[0], b"first");
+        assert_eq!(entries[0].op(0), b"first");
     }
 
     #[test]
@@ -368,7 +610,7 @@ mod tests {
         pool.crash_and_restart();
         let (_, entries) = PersistentLog::open(pool, cfg, base);
         assert_eq!(
-            entries.iter().map(|e| e.ops[0].clone()).collect::<Vec<_>>(),
+            entries.iter().map(|e| e.op(0).to_vec()).collect::<Vec<_>>(),
             vec![b"a".to_vec(), b"b".to_vec(), b"c".to_vec()]
         );
     }
@@ -382,6 +624,7 @@ mod tests {
         }
         assert_eq!(log.free_slots(), 0);
         assert_eq!(log.append(&[b"x"], 5), Err(LogError::Full));
+        assert!(matches!(log.begin(5), Err(LogError::Full)));
     }
 
     #[test]
@@ -403,7 +646,7 @@ mod tests {
         let (_, entries) = PersistentLog::open(pool, cfg, base);
         assert_eq!(entries.len(), 4);
         assert_eq!(entries[0].execution_index, 5);
-        assert_eq!(entries[3].ops[0], b"y8");
+        assert_eq!(entries[3].op(0), b"y8");
     }
 
     #[test]
@@ -464,14 +707,30 @@ mod tests {
     }
 
     #[test]
-    fn live_bytes_tracks_entry_geometry() {
+    fn live_bytes_tracks_occupied_bytes_not_slot_capacity() {
         let cfg = LogConfig::default();
-        let entry = cfg.entry_size() as u64;
-        let (_pool, mut log) = setup(cfg);
+        let (pool, mut log) = setup(cfg.clone());
+        let base = log.base();
         assert_eq!(log.live_bytes(), 0);
         log.append(&[b"a"], 1).unwrap();
-        log.append(&[b"b"], 2).unwrap();
-        assert_eq!(log.live_bytes(), 2 * entry);
+        log.append(&[b"bc"], 2).unwrap();
+        let expected =
+            (crate::entry::occupied_size(1, 1) + crate::entry::occupied_size(1, 2)) as u64;
+        assert_eq!(log.live_bytes(), expected);
+        assert!(
+            log.live_bytes() < 2 * cfg.entry_size() as u64 / 4,
+            "live bytes must reflect occupancy, not slot stride"
+        );
+        // Accounting is rebuilt exactly on reopen …
+        pool.crash_and_restart();
+        let (mut reopened, _) = PersistentLog::open(pool, cfg, base);
+        assert_eq!(reopened.live_bytes(), expected);
+        // … and shrinks by the dropped entries' occupied bytes on truncation.
+        reopened.truncate_below(1);
+        assert_eq!(
+            reopened.live_bytes(),
+            crate::entry::occupied_size(1, 2) as u64
+        );
     }
 
     #[test]
@@ -487,7 +746,29 @@ mod tests {
         pool.crash_and_restart();
         let (_, entries) = PersistentLog::open(pool, cfg, base);
         assert_eq!(entries.len(), 1);
-        assert_eq!(entries[0].ops[0], b"new");
+        assert_eq!(entries[0].op(0), b"new");
+    }
+
+    #[test]
+    fn stale_longer_entry_under_a_shorter_rewrite_is_rejected() {
+        // A slot reused across a ring lap keeps the old (longer) entry's tail
+        // bytes beyond the new entry's occupied range. The new entry must decode
+        // (residue is dead), and after a crash that tears the *new* write the
+        // old entry must not resurrect (its seq is from a previous lap).
+        let cfg = LogConfig::default().capacity_entries(2);
+        let (pool, mut log) = setup(cfg.clone());
+        let base = log.base();
+        log.append(&[b"a-rather-long-first-operation-payload", b"helped-op"], 1)
+            .unwrap();
+        log.append(&[b"x"], 2).unwrap();
+        log.truncate();
+        // Slot 0 is rewritten with a much shorter entry.
+        log.append(&[b"s"], 3).unwrap();
+        pool.crash_and_restart();
+        let (_, entries) = PersistentLog::open(pool, cfg, base);
+        assert_eq!(entries.len(), 1);
+        assert_eq!(entries[0].op(0), b"s");
+        assert_eq!(entries[0].execution_index, 3);
     }
 
     #[test]
@@ -531,8 +812,8 @@ mod tests {
         pool.crash_and_restart();
         let (_, e1) = PersistentLog::open(pool.clone(), cfg.clone(), base1);
         let (_, e2) = PersistentLog::open(pool, cfg, base2);
-        assert_eq!(e1[0].ops[0], b"l1-op");
-        assert_eq!(e2[0].ops[0], b"l2-op");
+        assert_eq!(e1[0].op(0), b"l1-op");
+        assert_eq!(e2[0].op(0), b"l2-op");
     }
 
     #[test]

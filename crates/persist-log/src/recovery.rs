@@ -74,11 +74,8 @@ mod tests {
     use super::*;
 
     fn entry(execution_index: u64, ops: &[&str]) -> LogEntry {
-        LogEntry {
-            execution_index,
-            seq: 0,
-            ops: ops.iter().map(|s| s.as_bytes().to_vec()).collect(),
-        }
+        let ops: Vec<&[u8]> = ops.iter().map(|s| s.as_bytes()).collect();
+        LogEntry::from_ops(execution_index, 0, &ops)
     }
 
     #[test]

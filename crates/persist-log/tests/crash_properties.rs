@@ -50,9 +50,9 @@ proptest! {
         );
         for (k, entry) in entries.iter().enumerate() {
             prop_assert_eq!(entry.execution_index, k as u64 + 2);
-            prop_assert_eq!(entry.ops.len(), 2);
-            prop_assert_eq!(&entry.ops[0], &vec![payload_seeds[k]; 8]);
-            prop_assert_eq!(&entry.ops[1], &vec![payload_seeds[k].wrapping_add(1); 4]);
+            prop_assert_eq!(entry.num_ops(), 2);
+            prop_assert_eq!(entry.op(0), &vec![payload_seeds[k]; 8][..]);
+            prop_assert_eq!(entry.op(1), &vec![payload_seeds[k].wrapping_add(1); 4][..]);
         }
     }
 
@@ -76,7 +76,7 @@ proptest! {
         let (_reopened, entries) = PersistentLog::open(pool, cfg, base);
         prop_assert_eq!(entries.len(), second_batch);
         for (k, entry) in entries.iter().enumerate() {
-            prop_assert_eq!(&entry.ops[0], &vec![0xBB, k as u8]);
+            prop_assert_eq!(entry.op(0), &vec![0xBB, k as u8][..]);
         }
     }
 }

@@ -1,0 +1,165 @@
+//! Property tests of the variable-length entry format.
+//!
+//! Three angles on the same contract — the log must never return an entry it
+//! did not append, whatever the bytes in the ring look like:
+//!
+//! 1. **Roundtrip**: arbitrary op counts and op sizes (including empty ops and
+//!    max-size ops) survive append → crash → reopen byte-for-byte, through both
+//!    the slice-based `append` and the zero-copy `EntryWriter` path.
+//! 2. **Torn-write fuzzing**: flipping arbitrary bytes inside committed
+//!    entries' occupied ranges must invalidate exactly the corrupted suffix —
+//!    recovery returns an intact prefix, never garbage.
+//! 3. **Truncated-tail fuzzing**: an entry whose occupied bytes were only
+//!    partially persisted (the torn-append shape a crash produces) must be
+//!    rejected at every cut point, while corruption confined to the *dead*
+//!    remainder of a slot must not affect the entry at all.
+
+use nvm_sim::{NvmPool, PmemConfig, CACHE_LINE_SIZE};
+use persist_log::{LogConfig, PersistentLog};
+use proptest::prelude::*;
+
+fn pool() -> NvmPool {
+    NvmPool::new(PmemConfig::with_capacity(32 << 20).apply_pending_at_crash(0.0))
+}
+
+/// Address of ring slot `slot` (the log header occupies the first cache line
+/// of the region — white-box knowledge used only to inject corruption).
+fn slot_addr(base: u64, cfg: &LogConfig, slot: u64) -> u64 {
+    base + CACHE_LINE_SIZE as u64 + slot * cfg.entry_size() as u64
+}
+
+/// Persists `bytes` at `addr` directly (corruption injection).
+fn clobber(pool: &NvmPool, addr: u64, bytes: &[u8]) {
+    pool.write(addr, bytes);
+    pool.flush(addr, bytes.len());
+    pool.fence();
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn arbitrary_ops_roundtrip_through_both_append_paths(
+        // Per entry: number of ops (1..=4) and a size seed per op.
+        shapes in proptest::collection::vec((1usize..=4, 0usize..=56, 0u8..255), 1..12),
+        use_writer in any::<bool>(),
+    ) {
+        let cfg = LogConfig::for_processes(4).op_slot_size(56).capacity_entries(32);
+        let pool = pool();
+        let base = pool.alloc(PersistentLog::region_size(&cfg)).unwrap();
+        let mut log = PersistentLog::create(pool.clone(), cfg.clone(), base);
+
+        let mut appended: Vec<Vec<Vec<u8>>> = Vec::new();
+        for (i, (num_ops, size_seed, fill)) in shapes.iter().enumerate() {
+            let idx = i as u64 + *num_ops as u64; // keep execution_index >= num_ops
+            let ops: Vec<Vec<u8>> = (0..*num_ops)
+                .map(|k| vec![fill.wrapping_add(k as u8); (size_seed + k * 7) % 57])
+                .collect();
+            if use_writer {
+                let mut w = log.begin(idx).unwrap();
+                for op in &ops {
+                    w.push_op_with(|buf| buf.extend_from_slice(op)).unwrap();
+                }
+                w.commit().unwrap();
+            } else {
+                let refs: Vec<&[u8]> = ops.iter().map(|o| o.as_slice()).collect();
+                log.append(&refs, idx).unwrap();
+            }
+            appended.push(ops);
+        }
+
+        pool.crash_and_restart();
+        let (_reopened, entries) = PersistentLog::open(pool, cfg, base);
+        prop_assert_eq!(entries.len(), appended.len());
+        for (entry, ops) in entries.iter().zip(&appended) {
+            prop_assert_eq!(entry.num_ops(), ops.len());
+            for (k, op) in ops.iter().enumerate() {
+                prop_assert_eq!(entry.op(k), op.as_slice());
+            }
+        }
+    }
+
+    #[test]
+    fn byte_flips_in_occupied_ranges_never_yield_garbage(
+        entries_to_append in 2usize..10,
+        victim_seed in 0usize..1000,
+        flip_offset_seed in 0usize..1000,
+        flip_len in 1usize..16,
+    ) {
+        let cfg = LogConfig::for_processes(2).op_slot_size(24).capacity_entries(16);
+        let pool = pool();
+        let base = pool.alloc(PersistentLog::region_size(&cfg)).unwrap();
+        let mut log = PersistentLog::create(pool.clone(), cfg.clone(), base);
+        for i in 0..entries_to_append {
+            let own = vec![i as u8; 8 + i % 16];
+            log.append(&[&own], i as u64 + 1).unwrap();
+        }
+        let occupied = log.live_bytes() as usize / entries_to_append;
+
+        // Flip bytes inside the victim entry's occupied range.
+        let victim = victim_seed % entries_to_append;
+        let flip_at = flip_offset_seed % occupied;
+        let addr = slot_addr(base, &cfg, victim as u64) + flip_at as u64;
+        let mut garbage = vec![0u8; flip_len];
+        pool.read(addr, &mut garbage);
+        for b in &mut garbage {
+            *b ^= 0xA5;
+        }
+        clobber(&pool, addr, &garbage);
+
+        pool.crash_and_restart();
+        let (_reopened, recovered) = PersistentLog::open(pool, cfg, base);
+        // The corrupted entry kills itself and (by the prefix rule) everything
+        // after it; entries before it must survive byte-for-byte.
+        prop_assert!(recovered.len() <= entries_to_append);
+        prop_assert!(recovered.len() >= victim.min(entries_to_append));
+        for (i, entry) in recovered.iter().enumerate() {
+            prop_assert_eq!(entry.execution_index, i as u64 + 1);
+            prop_assert_eq!(entry.op(0), &vec![i as u8; 8 + i % 16][..]);
+        }
+    }
+
+    #[test]
+    fn truncated_tail_is_rejected_at_every_cut_point(
+        keep_entries in 1usize..6,
+        cut_seed in 0usize..1000,
+    ) {
+        let cfg = LogConfig::for_processes(2).op_slot_size(40).capacity_entries(16);
+        let pool = pool();
+        let base = pool.alloc(PersistentLog::region_size(&cfg)).unwrap();
+        let mut log = PersistentLog::create(pool.clone(), cfg.clone(), base);
+        for i in 0..keep_entries {
+            log.append(&[&[0xC3u8; 30], &[0x3Cu8; 20]], i as u64 + 2)
+                .unwrap();
+        }
+        let occupied = log.live_bytes() as usize / keep_entries;
+
+        // Zero the tail of the *last* entry from an arbitrary cut point — the
+        // exact shape of an append whose later cache lines never reached NVM.
+        let cut = 1 + cut_seed % (occupied - 1);
+        let last = keep_entries as u64 - 1;
+        let addr = slot_addr(base, &cfg, last) + cut as u64;
+        clobber(&pool, addr, &vec![0u8; occupied - cut]);
+
+        pool.crash_and_restart();
+        let (_reopened, recovered) = PersistentLog::open(pool.clone(), cfg.clone(), base);
+        prop_assert_eq!(
+            recovered.len(),
+            keep_entries - 1,
+            "a torn tail must invalidate exactly the torn entry"
+        );
+
+        // Corruption strictly beyond the occupied range (the dead slot
+        // remainder) must leave every entry valid.
+        if occupied + 8 <= cfg.entry_size() {
+            let dead = slot_addr(base, &cfg, 0) + occupied as u64;
+            clobber(&pool, dead, &[0xFFu8; 8]);
+            pool.crash_and_restart();
+            let (_log2, again) = PersistentLog::open(pool, cfg, base);
+            prop_assert_eq!(again.len(), keep_entries - 1);
+            if let Some(first) = again.first() {
+                prop_assert_eq!(first.op(0), &vec![0xC3u8; 30][..]);
+            }
+        }
+    }
+}

@@ -52,7 +52,7 @@ fn appended_entries_survive_a_pool_reopen_from_disk() {
     assert_eq!(entries.len(), 10);
     for (k, entry) in entries.iter().enumerate() {
         assert_eq!(entry.execution_index, k as u64 + 1);
-        assert_eq!(&entry.ops[0], &vec![k as u8; 8]);
+        assert_eq!(entry.op(0), &vec![k as u8; 8][..]);
     }
 }
 
@@ -92,7 +92,7 @@ proptest! {
         );
         for (k, entry) in entries.iter().enumerate() {
             prop_assert_eq!(entry.execution_index, k as u64 + 1);
-            prop_assert_eq!(&entry.ops[0], &vec![payload_seeds[k]; 8]);
+            prop_assert_eq!(entry.op(0), &vec![payload_seeds[k]; 8][..]);
         }
     }
 }
