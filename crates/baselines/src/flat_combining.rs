@@ -8,13 +8,20 @@
 //! fence anyway — it must wait for the combiner to perform it before it can return —
 //! and the construction is blocking: if the combiner stalls, every announced
 //! operation stalls with it. The benchmarks use this baseline to illustrate that
-//! trade-off against ONLL's lock-free single fence.
+//! trade-off against ONLL's lock-free single fence (and against the lock-free
+//! combining front-end `onll::DurableService`, which amortizes the same way
+//! without a state copy under a lock).
+//!
+//! The batch log is a [`persist_log::PersistentLog`] — the same
+//! one-fence-per-append, variable-length-entry, zero-copy encode path ONLL
+//! uses — rather than a hand-rolled entry format, so benchmark comparisons
+//! against ONLL measure the *construction*, not two different serializers.
 
 use crate::interface::DurableObject;
-use nvm_sim::{NvmPool, PAddr};
+use nvm_sim::NvmPool;
 use onll::{OpCodec, SequentialSpec};
 use parking_lot::Mutex;
-use persist_log::checksum64;
+use persist_log::{LogConfig, LogError, PersistentLog};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -27,8 +34,11 @@ struct AnnounceSlot<S: SequentialSpec> {
 
 struct Combined<S: SequentialSpec> {
     state: S,
-    /// Next NVM log slot.
-    next_entry: u64,
+    /// The batch log: one entry (and one persistent fence) per combined batch.
+    log: PersistentLog,
+    /// Monotone execution index stamped on batch entries (the index of the
+    /// batch's last operation).
+    next_index: u64,
     batches: u64,
     combined_ops: u64,
 }
@@ -36,10 +46,6 @@ struct Combined<S: SequentialSpec> {
 struct Inner<S: SequentialSpec> {
     slots: Vec<AnnounceSlot<S>>,
     combiner: Mutex<Combined<S>>,
-    pool: NvmPool,
-    base: PAddr,
-    entry_size: usize,
-    capacity_entries: usize,
     tickets: AtomicU64,
 }
 
@@ -58,18 +64,26 @@ impl<S: SequentialSpec> Clone for FlatCombiningDurable<S> {
 }
 
 impl<S: SequentialSpec> FlatCombiningDurable<S> {
-    fn entry_size(max_processes: usize) -> usize {
-        // checksum u64 + seq u64 + count u32 + pad + ops
-        (24 + max_processes * (4 + S::UpdateOp::MAX_ENCODED_SIZE)).div_ceil(64) * 64
+    /// Geometry of the batch log: one entry holds at most one announced
+    /// operation per process.
+    fn log_config(max_processes: usize, capacity_entries: usize) -> LogConfig {
+        LogConfig::for_processes(max_processes)
+            .op_slot_size(S::UpdateOp::MAX_ENCODED_SIZE)
+            .capacity_entries(capacity_entries)
     }
 
     /// Creates the object for up to `max_processes` concurrent announcers, with a
-    /// batch log of `capacity_entries` entries.
+    /// batch log of `capacity_entries` entries (a bounded ring: when it fills,
+    /// the **entire** live window is dropped with one maintenance truncation
+    /// fence and logging starts over — this baseline demonstrates the
+    /// one-fence-per-batch cost model, not recovery, which is ONLL's
+    /// department).
     pub fn create(pool: NvmPool, max_processes: usize, capacity_entries: usize) -> Self {
-        let entry_size = Self::entry_size(max_processes);
+        let cfg = Self::log_config(max_processes, capacity_entries);
         let base = pool
-            .alloc(capacity_entries * entry_size)
+            .alloc(PersistentLog::region_size(&cfg))
             .expect("NVM pool too small for FlatCombiningDurable");
+        let log = PersistentLog::create(pool, cfg, base);
         let slots = (0..max_processes)
             .map(|_| AnnounceSlot {
                 pending: Mutex::new(None),
@@ -81,14 +95,11 @@ impl<S: SequentialSpec> FlatCombiningDurable<S> {
                 slots,
                 combiner: Mutex::new(Combined {
                     state: S::initialize(),
-                    next_entry: 0,
+                    log,
+                    next_index: 0,
                     batches: 0,
                     combined_ops: 0,
                 }),
-                pool,
-                base,
-                entry_size,
-                capacity_entries,
                 tickets: AtomicU64::new(1),
             }),
         }
@@ -141,25 +152,23 @@ impl<S: SequentialSpec> FlatCombiningHandle<S> {
         for (_, _, op) in &batch {
             values.push(combined.state.apply(op));
         }
-        // Persist the whole batch with a single fence.
-        let slot_idx = combined.next_entry % inner.capacity_entries as u64;
-        let addr = inner.base + slot_idx * inner.entry_size as u64;
-        let mut buf = vec![0u8; inner.entry_size];
-        buf[8..16].copy_from_slice(&(combined.next_entry + 1).to_le_bytes());
-        buf[16..20].copy_from_slice(&(batch.len() as u32).to_le_bytes());
-        let mut off = 24;
-        for (_, _, op) in &batch {
-            let encoded = op.encode_to_vec();
-            buf[off..off + 4].copy_from_slice(&(encoded.len() as u32).to_le_bytes());
-            buf[off + 4..off + 4 + encoded.len()].copy_from_slice(&encoded);
-            off += 4 + S::UpdateOp::MAX_ENCODED_SIZE;
+        // Persist the whole batch as one variable-length log entry with a
+        // single fence (a full ring is wholly truncated and restarted — see
+        // `create`).
+        if combined.log.free_slots() == 0 {
+            combined.log.truncate();
         }
-        let csum = checksum64(&buf[8..]);
-        buf[0..8].copy_from_slice(&csum.to_le_bytes());
-        inner.pool.write(addr, &buf);
-        inner.pool.flush(addr, buf.len());
-        inner.pool.fence();
-        combined.next_entry += 1;
+        combined.next_index += batch.len() as u64;
+        let mut writer = combined
+            .log
+            .begin(combined.next_index)
+            .expect("a slot was just freed");
+        for (_, _, op) in &batch {
+            writer
+                .push_op_with(|buf| op.encode(buf))
+                .unwrap_or_else(|e: LogError| panic!("batch op does not fit its slot: {e}"));
+        }
+        writer.commit().expect("batch entry fits its slot");
         combined.batches += 1;
         combined.combined_ops += batch.len() as u64;
         // Publish results.

@@ -89,6 +89,7 @@ fn bench_backend(spec: BackendSpec, mode: SubmitMode, ops_per_worker: usize) -> 
         mode: match mode {
             SubmitMode::Individual => "individual",
             SubmitMode::Grouped => "grouped",
+            SubmitMode::Combined => "combined",
         },
         ops_per_sec: report.ops_per_sec(),
         fences_per_update: report.fences_per_update(),

@@ -1,0 +1,199 @@
+//! Concurrent combining-commit bench: ops/s and persistent fences per update
+//! at 1/2/4/8/16 client threads, on the simulator and the file backend, for
+//! the lock-free ONLL combining service (`onll::DurableService`) versus the
+//! lock-based `baselines` flat combiner — identical seeded workloads through
+//! the shared `DurableObject` interface.
+//!
+//! The quantity under test is *fence amortization across live clients*: every
+//! update still waits for a persistent fence (Theorem 6.3 — the response
+//! cannot be delivered earlier), but with N submitters one fence covers up to
+//! N operations, so fences/update falls toward `1/N` and throughput rises
+//! with the client count even though each pool drains fences serially. The
+//! simulator charges a WPQ-drain-class penalty per fence so the measured
+//! curve reflects persist stalls rather than simulator software overhead; the
+//! file backend pays its real `fsync`.
+//!
+//! In addition to the stdout table, writes a `BENCH_concurrent.json` artifact
+//! at the workspace root:
+//!
+//! ```text
+//! cargo bench -p onll-bench --bench concurrent_commit
+//! ```
+
+use baselines::FlatCombiningDurable;
+use durable_objects::CounterSpec;
+use harness::{
+    run_concurrent_workload, ServiceClientAdapter, SubmitMode, Table, Workload, WorkloadMix,
+};
+use nvm_sim::{scratch_dir, BackendSpec, NvmPool, PmemConfig};
+use onll::{Durable, OnllConfig};
+use std::time::Duration;
+
+const THREAD_COUNTS: [usize; 5] = [1, 2, 4, 8, 16];
+const SIM_OPS_PER_THREAD: usize = 2_000;
+const FILE_OPS_PER_THREAD: usize = 250;
+const SEED: u64 = 0xC0B1;
+/// Simulated persistent-fence stall (WPQ-drain class, cf. `BENCH_sharded.json`):
+/// large enough that persist stalls — the cost combining amortizes — dominate
+/// per-op software overhead, as they do on the real file backend.
+const FENCE_PENALTY: Duration = Duration::from_micros(50);
+
+struct Measurement {
+    backend: &'static str,
+    implementation: &'static str,
+    threads: usize,
+    ops_per_sec: f64,
+    fences_per_update: f64,
+    updates: u64,
+    batches: u64,
+}
+
+fn pmem(backend: &BackendSpec, threads: usize) -> PmemConfig {
+    match backend {
+        // The simulator only materializes touched lines: capacity is address
+        // space, and the fence penalty models the WPQ drain.
+        BackendSpec::Sim => PmemConfig::with_capacity(8 << 30).fence_penalty(FENCE_PENALTY),
+        // A file pool allocates its full capacity (image + backing file), so
+        // size it to the geometry the run actually needs; fences are fsyncs.
+        BackendSpec::File { .. } => {
+            PmemConfig::with_capacity(((threads + 1) * 24 + 64) as u64 * (1 << 20))
+        }
+    }
+}
+
+/// The ONLL combining service: `threads` clients + 1 combiner slot, batches of
+/// up to `threads` operations per fence.
+fn bench_service(spec: BackendSpec, threads: usize, ops_per_thread: usize) -> Measurement {
+    let cfg = OnllConfig::named("bench-svc")
+        .max_processes(threads + 1)
+        .group_persist(threads)
+        // No checkpointing: the combiner's log must hold every batch of the
+        // run (worst case one per update).
+        .log_capacity(match spec {
+            BackendSpec::Sim => threads * ops_per_thread + 1024,
+            BackendSpec::File { .. } => 2048,
+        })
+        .backend(spec);
+    let object = Durable::<CounterSpec>::create_in(pmem(&cfg.backend, threads), cfg)
+        .expect("create service bench object");
+    let service = object.service(threads).expect("combining service");
+    let pools = [object.pool().clone()];
+    let report = run_concurrent_workload::<CounterSpec, _>(
+        |_| ServiceClientAdapter::new(service.client().expect("a client slot per thread")),
+        &pools,
+        threads,
+        ops_per_thread,
+        WorkloadMix::update_only(),
+        SEED,
+        SubmitMode::Combined,
+        Workload::next_counter_op,
+    );
+    object.check_invariants().expect("invariants");
+    let (batches, combined) = service.batch_stats();
+    assert_eq!(combined, report.updates, "every update was combined");
+    Measurement {
+        backend: report.backend,
+        implementation: "onll-service",
+        threads,
+        ops_per_sec: report.ops_per_sec(),
+        fences_per_update: report.fences_per_update(),
+        updates: report.updates,
+        batches,
+    }
+}
+
+/// The lock-based flat-combining baseline on the same workload.
+fn bench_flat_combining(spec: BackendSpec, threads: usize, ops_per_thread: usize) -> Measurement {
+    let pool = NvmPool::provision(&spec, pmem(&spec, threads), "bench-fc")
+        .expect("provision flat-combining pool");
+    let object = FlatCombiningDurable::<CounterSpec>::create(pool.clone(), threads, 2048);
+    let pools = [pool];
+    let report = run_concurrent_workload::<CounterSpec, _>(
+        |t| object.handle(t),
+        &pools,
+        threads,
+        ops_per_thread,
+        WorkloadMix::update_only(),
+        SEED,
+        SubmitMode::Combined,
+        Workload::next_counter_op,
+    );
+    let (batches, combined) = object.batch_stats();
+    assert_eq!(combined, report.updates, "every update was combined");
+    Measurement {
+        backend: report.backend,
+        implementation: "flat-combining",
+        threads,
+        ops_per_sec: report.ops_per_sec(),
+        fences_per_update: report.fences_per_update(),
+        updates: report.updates,
+        batches,
+    }
+}
+
+fn write_artifact(measurements: &[Measurement]) -> std::io::Result<std::path::PathBuf> {
+    let mut json = String::from("{\n  \"bench\": \"concurrent_commit\",\n");
+    json.push_str(&format!(
+        "  \"sim_ops_per_thread\": {SIM_OPS_PER_THREAD},\n  \"file_ops_per_thread\": {FILE_OPS_PER_THREAD},\n  \"sim_fence_penalty_ns\": {},\n  \"seed\": {SEED},\n",
+        FENCE_PENALTY.as_nanos()
+    ));
+    json.push_str("  \"results\": [\n");
+    for (i, m) in measurements.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"backend\": \"{}\", \"impl\": \"{}\", \"threads\": {}, \"ops_per_sec\": {:.1}, \"fences_per_update\": {:.4}, \"updates\": {}, \"batches\": {}}}{}\n",
+            m.backend,
+            m.implementation,
+            m.threads,
+            m.ops_per_sec,
+            m.fences_per_update,
+            m.updates,
+            m.batches,
+            if i + 1 == measurements.len() { "" } else { "," }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()?
+        .join("BENCH_concurrent.json");
+    std::fs::write(&path, json)?;
+    Ok(path)
+}
+
+fn main() {
+    let dir = scratch_dir("bench-concurrent").expect("scratch dir for file pools");
+    let mut measurements = Vec::new();
+    let mut table = Table::new(
+        "concurrent combining commit (update-only counter, 50µs sim WPQ drain / real fsync)",
+        &["backend", "impl", "threads", "ops/s", "fences/update"],
+    );
+    // The file backend pays a real fsync per persistent fence, so it runs a
+    // smaller op count to keep the bench quick (pool files are truncated and
+    // reused across thread counts).
+    for (spec, ops) in [
+        (BackendSpec::Sim, SIM_OPS_PER_THREAD),
+        (BackendSpec::file(&dir), FILE_OPS_PER_THREAD),
+    ] {
+        for threads in THREAD_COUNTS {
+            for m in [
+                bench_service(spec.clone(), threads, ops),
+                bench_flat_combining(spec.clone(), threads, ops),
+            ] {
+                table.row(&[
+                    m.backend.to_string(),
+                    m.implementation.to_string(),
+                    m.threads.to_string(),
+                    format!("{:.0}", m.ops_per_sec),
+                    format!("{:.4}", m.fences_per_update),
+                ]);
+                measurements.push(m);
+            }
+        }
+    }
+    table.print();
+    let _ = std::fs::remove_dir_all(&dir);
+    match write_artifact(&measurements) {
+        Ok(path) => println!("\nwrote {}", path.display()),
+        Err(e) => eprintln!("\nfailed to write BENCH_concurrent.json: {e}"),
+    }
+}

@@ -87,6 +87,7 @@ fn bench_one(shards: usize, mode: SubmitMode) -> Measurement {
         mode: match mode {
             SubmitMode::Individual => "individual",
             SubmitMode::Grouped => "grouped",
+            SubmitMode::Combined => "combined",
         },
         ops_per_sec: summary.ops_per_sec(),
         fences_per_update: summary.fences_per_update(),

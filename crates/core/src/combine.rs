@@ -1,0 +1,746 @@
+//! The concurrent front-end: a cross-thread *combining commit* layer that
+//! amortizes the inherent persistent fence over live clients.
+//!
+//! The paper proves (Theorem 6.3) that every detectable update must issue at
+//! least one persistent fence — per *operation invoked by a process*. The bound
+//! says nothing about how many operations one fence may cover, and that is the
+//! only lever left at scale: [`DurableService`] lets N concurrent client
+//! threads share single fences. Each client publishes its operation into a
+//! private publication slot; whichever thread wins the commit lock becomes the
+//! **combiner**, drains every pending slot, and commits the whole batch through
+//! the ordinary ONLL update path — one execution-trace ordering sweep, **one
+//! log entry, one persistent fence** (the zero-copy `EntryWriter` encode path
+//! shared with `ProcessHandle::try_update`) — then hands each waiter its return
+//! value together with a durable [`OpId`].
+//!
+//! The per-*operation* cost therefore falls toward `1/N` fences with N live
+//! clients, while every individual operation still pays the inherent price the
+//! lower bound demands: its response is not delivered until the fence covering
+//! it has completed. Amortization changes who executes the fence, not whether
+//! an operation waits for one — exactly the trade-off the paper describes for
+//! flat combining, reproduced here on top of a lock-free, detectably-executable
+//! object rather than a lock-protected state copy.
+//!
+//! ## Thread-ownership rules
+//!
+//! * A [`DurableService`] is shared (it is `Clone`, clones refer to the same
+//!   service); a [`ServiceClient`] belongs to exactly one thread at a time
+//!   (`&mut self` receivers, not `Sync`-shared).
+//! * Each client owns one publication slot and one process-slot identity
+//!   (claimed from the same `max_processes` space as `ProcessHandle`s, so
+//!   [`OpId`]s stay globally unique and recovery re-seeds their sequence
+//!   numbers). Create services against configs with
+//!   `max_processes >= clients + 1` (the `+ 1` is the combiner's handle).
+//! * The combiner is *elected per batch*: whichever submitting thread acquires
+//!   the commit lock drains the slots. There is no dedicated combiner thread
+//!   to stall behind — but the construction is blocking in the same sense as
+//!   flat combining: while a combiner is mid-commit, later submitters wait for
+//!   the lock or for their slot to be served.
+//!
+//! ## Exactly-once replies across crashes
+//!
+//! A client learns its operation's [`OpId`] *before* publishing it
+//! ([`ServiceClient::peek_next_op_id`], or the value returned by
+//! [`ServiceClient::submit_async`]). After a crash it can therefore always ask
+//! [`DurableService::resolve`] (backed by [`Durable::resolve`]): `Some(value)`
+//! means the operation is linearized and `value` is byte-for-byte the response
+//! the original submit returned (replay determinism); `None` means it never
+//! linearized and may be safely re-submitted. Responses are *remembered* by
+//! construction — the durable log determines them — rather than stored twice.
+
+use crate::construction::Durable;
+use crate::error::OnllError;
+use crate::handle::ProcessHandle;
+use crate::op_id::{OpId, Record};
+use crate::spec::{SequentialSpec, SnapshotSpec};
+use parking_lot::Mutex;
+use std::cell::UnsafeCell;
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// Slot states of the publication protocol. Transitions:
+/// `EMPTY → PENDING` (client, after writing the record),
+/// `PENDING → COMBINING` (combiner, after taking the record into its batch),
+/// `COMBINING → READY` (combiner, after writing the reply),
+/// `READY → EMPTY` (client, after taking the reply).
+const EMPTY: u32 = 0;
+const PENDING: u32 = 1;
+const READY: u32 = 2;
+const COMBINING: u32 = 3;
+
+/// Re-scan rounds of the combining window: after its first scan, a combiner
+/// yields and re-scans up to this many times while fewer operations than
+/// `min(live clients, max_batch)` are pending. Clients released by the
+/// previous batch republish within roughly one scheduler round, so a couple
+/// of yields lets each fence cover ~all live clients instead of the ~half
+/// that would otherwise accumulate during the previous fence (the batch-size
+/// oscillation classic flat combining exhibits without a window).
+const COMBINE_WINDOW_ROUNDS: usize = 4;
+
+/// A combiner's answer to one submitted operation: the durable identity and
+/// the value, or the error that failed the whole batch before ordering it.
+type Reply<S> = Result<(OpId, <S as SequentialSpec>::Value), OnllError>;
+
+/// One client's publication slot. The `state` atomic carries the ownership of
+/// the two cells: `EMPTY`/`READY` — the claiming client; `PENDING`/`COMBINING`
+/// — whoever holds the commit lock. Every cross-thread transition is a
+/// `Release` store observed by an `Acquire` load on the other side, so cell
+/// contents written before a transition are visible after it.
+struct Slot<S: SequentialSpec> {
+    claimed: AtomicBool,
+    state: AtomicU32,
+    op: UnsafeCell<Option<Record<S::UpdateOp>>>,
+    reply: UnsafeCell<Option<Reply<S>>>,
+}
+
+// SAFETY: the cells are only ever accessed by the party `state` designates
+// (see the protocol above); `S::UpdateOp` and `S::Value` are `Send + Sync` by
+// the `SequentialSpec` bounds, so moving them across the threads that take
+// turns owning the cells is sound.
+unsafe impl<S: SequentialSpec> Sync for Slot<S> {}
+
+impl<S: SequentialSpec> Slot<S> {
+    fn new() -> Self {
+        Slot {
+            claimed: AtomicBool::new(false),
+            state: AtomicU32::new(EMPTY),
+            op: UnsafeCell::new(None),
+            reply: UnsafeCell::new(None),
+        }
+    }
+}
+
+struct ServiceShared<S: SequentialSpec> {
+    durable: Durable<S>,
+    /// The commit lock *is* the combiner's process handle: winning the lock is
+    /// winning the combiner election, and every batch flows through this one
+    /// handle's `commit_batch` → `persist_fuzzy_window` path.
+    combiner: Mutex<ProcessHandle<S>>,
+    slots: Box<[Slot<S>]>,
+    /// Largest batch one combining pass may drain: `min(clients,
+    /// max_group_ops)` — the log entries are sized for `max_group_ops`
+    /// operations from one process, and the combiner is one process.
+    max_batch: usize,
+    /// Rotating scan origin so saturated low-index slots cannot starve
+    /// high-index ones.
+    scan_from: AtomicUsize,
+    /// Currently claimed client slots — the combining window's fill target.
+    live_clients: AtomicUsize,
+    batches: AtomicU64,
+    combined_ops: AtomicU64,
+}
+
+impl<S: SequentialSpec> ServiceShared<S> {
+    /// One combining pass: drain up to `max_batch` pending slots, commit them
+    /// as one batch (one log entry, one persistent fence), post each reply.
+    /// Returns the number of operations served. Must be called with the
+    /// combiner lock held (enforced by the `&mut ProcessHandle` argument,
+    /// which only the lock hands out).
+    ///
+    /// `own_slot` is the calling client's slot when the caller has an
+    /// operation in flight: it is drained **first**, before the rotating scan
+    /// and the batch cap apply. This keeps the audited Theorem 5.1 upper
+    /// bound intact per submit — a submitter that becomes the combiner pays
+    /// exactly the one fence that covers its own operation, never several
+    /// passes' worth because the cap kept excluding it (possible whenever
+    /// live clients exceed `max_group_ops`).
+    fn combine_pass(&self, handle: &mut ProcessHandle<S>, own_slot: Option<usize>) -> usize {
+        let n_slots = self.slots.len();
+        let start = self.scan_from.fetch_add(1, Ordering::Relaxed) % n_slots;
+        let mut batch_slots: Vec<usize> = Vec::with_capacity(self.max_batch);
+        let mut records: Vec<Record<S::UpdateOp>> = Vec::with_capacity(self.max_batch);
+        let drain = |i: usize,
+                     batch_slots: &mut Vec<usize>,
+                     records: &mut Vec<Record<S::UpdateOp>>| {
+            let slot = &self.slots[i];
+            if slot.state.load(Ordering::Acquire) == PENDING {
+                // SAFETY: PENDING hands the cells to the commit-lock holder —
+                // us. The client wrote the record before its Release store of
+                // PENDING and will not touch the cell again until READY.
+                // COMBINING marks the slot as already drained so window
+                // re-scans cannot take it twice.
+                let record = unsafe { (*slot.op.get()).take() }.expect("pending slot holds an op");
+                slot.state.store(COMBINING, Ordering::Relaxed);
+                batch_slots.push(i);
+                records.push(record);
+            }
+        };
+        let scan = |batch_slots: &mut Vec<usize>, records: &mut Vec<Record<S::UpdateOp>>| {
+            for k in 0..n_slots {
+                if records.len() == self.max_batch {
+                    break;
+                }
+                drain((start + k) % n_slots, batch_slots, records);
+            }
+        };
+        if let Some(own) = own_slot {
+            drain(own, &mut batch_slots, &mut records);
+        }
+        scan(&mut batch_slots, &mut records);
+        // Combining window: wait a bounded beat (yielding, so publishers get
+        // the CPU even on a single-core host) for the other live clients to
+        // publish, so the fence about to be paid covers as many operations as
+        // the client population allows — see COMBINE_WINDOW_ROUNDS. Two
+        // consecutive rounds without a new arrival end the window early: the
+        // missing clients are busy elsewhere (reading, or submitting to
+        // another shard's service) and waiting for them grows nothing, while
+        // a single empty round may just mean a publisher was mid-preemption.
+        let target = self
+            .live_clients
+            .load(Ordering::Relaxed)
+            .min(self.max_batch);
+        let mut patience = COMBINE_WINDOW_ROUNDS;
+        let mut dry_rounds = 0;
+        while records.len() < target && patience > 0 && dry_rounds < 2 {
+            patience -= 1;
+            let before = records.len();
+            std::thread::yield_now();
+            scan(&mut batch_slots, &mut records);
+            dry_rounds = if records.len() == before {
+                dry_rounds + 1
+            } else {
+                0
+            };
+        }
+        if records.is_empty() {
+            return 0;
+        }
+        let served = records.len();
+        match handle.commit_batch(records) {
+            Ok(replies) => {
+                debug_assert_eq!(replies.len(), batch_slots.len());
+                for (&i, reply) in batch_slots.iter().zip(replies) {
+                    self.post(i, Ok(reply));
+                }
+            }
+            Err(e) => {
+                // The batch failed before linearizing anything; every waiter
+                // learns the same error and may re-submit.
+                for &i in &batch_slots {
+                    self.post(i, Err(e.clone()));
+                }
+            }
+        }
+        self.batches.fetch_add(1, Ordering::Relaxed);
+        self.combined_ops
+            .fetch_add(served as u64, Ordering::Relaxed);
+        served
+    }
+
+    fn post(&self, slot_index: usize, reply: Reply<S>) {
+        let slot = &self.slots[slot_index];
+        // SAFETY: still COMBINING, cells still ours (the commit-lock holder's).
+        unsafe { *slot.reply.get() = Some(reply) };
+        slot.state.store(READY, Ordering::Release);
+    }
+}
+
+/// A concurrent session layer over one [`Durable`] object: N client threads
+/// [`ServiceClient::submit`] update operations, and per batch one of them
+/// (the commit-lock winner) persists all pending operations with a **single
+/// persistent fence** — see the [module documentation](self) for the protocol
+/// and the amortized-cost argument.
+///
+/// Cloning is cheap; clones refer to the same service.
+pub struct DurableService<S: SequentialSpec> {
+    inner: Arc<ServiceShared<S>>,
+}
+
+impl<S: SequentialSpec> Clone for DurableService<S> {
+    fn clone(&self) -> Self {
+        DurableService {
+            inner: self.inner.clone(),
+        }
+    }
+}
+
+impl<S: SequentialSpec> Durable<S> {
+    /// Opens a combining-commit service over this object for up to `clients`
+    /// concurrent client threads. Claims one process slot for the combiner
+    /// handle; each [`DurableService::client`] claims one more for its
+    /// identity, so the object needs `max_processes >= clients + 1` (plus any
+    /// plain handles registered besides the service).
+    pub fn service(&self, clients: usize) -> Result<DurableService<S>, OnllError> {
+        assert!(clients >= 1, "a service needs at least one client slot");
+        let combiner = self.register()?;
+        let max_batch = self.config().max_group_ops.min(clients);
+        Ok(DurableService {
+            inner: Arc::new(ServiceShared {
+                durable: self.clone(),
+                combiner: Mutex::new(combiner),
+                slots: (0..clients).map(|_| Slot::new()).collect(),
+                max_batch,
+                scan_from: AtomicUsize::new(0),
+                live_clients: AtomicUsize::new(0),
+                batches: AtomicU64::new(0),
+                combined_ops: AtomicU64::new(0),
+            }),
+        })
+    }
+}
+
+impl<S: SequentialSpec> DurableService<S> {
+    /// The underlying durable object (shared, not consumed).
+    pub fn durable(&self) -> &Durable<S> {
+        &self.inner.durable
+    }
+
+    /// Claims a free client slot (publication slot + process-slot identity)
+    /// and returns the per-thread client. Fails with
+    /// [`OnllError::NoFreeProcessSlot`] when either space is exhausted.
+    pub fn client(&self) -> Result<ServiceClient<S>, OnllError> {
+        let shared = &self.inner.durable.shared;
+        let slot = (0..self.inner.slots.len())
+            .find(|&i| {
+                self.inner.slots[i]
+                    .claimed
+                    .compare_exchange(false, true, Ordering::AcqRel, Ordering::Acquire)
+                    .is_ok()
+            })
+            .ok_or(OnllError::NoFreeProcessSlot)?;
+        let Some(pid) = shared.claim_free_slot() else {
+            self.inner.slots[slot]
+                .claimed
+                .store(false, Ordering::Release);
+            return Err(OnllError::NoFreeProcessSlot);
+        };
+        // A client never materializes a view, so it must not pin trace
+        // reclamation at the base floor for its whole lifetime: publish
+        // "infinitely far" progress instead. Drop lowers it back to the
+        // conservative floor before releasing the identity slot.
+        shared.progress[pid].store(u64::MAX, Ordering::Release);
+        self.inner.live_clients.fetch_add(1, Ordering::Relaxed);
+        Ok(ServiceClient {
+            service: self.inner.clone(),
+            slot,
+            pid,
+            last_op_id: None,
+        })
+    }
+
+    /// Runs one combining pass on the calling thread (acquiring the commit
+    /// lock) and returns the number of operations served. Useful for driving
+    /// the service without dedicated submitter threads — polling servers,
+    /// deterministic tests — and a no-op returning 0 when nothing is pending.
+    pub fn combine_now(&self) -> usize {
+        let mut handle = self.inner.combiner.lock();
+        self.inner.combine_pass(&mut handle, None)
+    }
+
+    /// Reads through the combiner handle's local view (blocking on the commit
+    /// lock, zero persistent fences). The view advances incrementally, so a
+    /// service read is O(missing suffix), not O(history).
+    pub fn read(&self, op: &S::ReadOp) -> S::Value {
+        self.inner.combiner.lock().read(op)
+    }
+
+    /// Exactly-once reply retrieval by identity — see [`Durable::resolve`].
+    pub fn resolve(&self, op_id: OpId) -> Option<S::Value> {
+        self.inner.durable.resolve(op_id)
+    }
+
+    /// Detectable execution by identity — see [`Durable::was_linearized`].
+    pub fn was_linearized(&self, op_id: OpId) -> bool {
+        self.inner.durable.was_linearized(op_id)
+    }
+
+    /// `(batches committed, operations they contained)`. The ratio is the
+    /// measured amortization factor: fences per operation is
+    /// `batches / operations`.
+    pub fn batch_stats(&self) -> (u64, u64) {
+        (
+            self.inner.batches.load(Ordering::Relaxed),
+            self.inner.combined_ops.load(Ordering::Relaxed),
+        )
+    }
+
+    /// Number of client slots (claimed or not).
+    pub fn capacity(&self) -> usize {
+        self.inner.slots.len()
+    }
+}
+
+impl<S: SnapshotSpec> DurableService<S> {
+    /// Syncs the combiner's view and checkpoints if a configured trigger fires
+    /// (see `ProcessHandle::maybe_checkpoint`). Blocks combining for the
+    /// duration; fences land in the maintenance bucket. Long-running services
+    /// should call this periodically (or from a background thread) so their
+    /// logs — and the recovered-identity backlog — stay bounded.
+    pub fn maybe_checkpoint(&self) -> Result<Option<u64>, OnllError> {
+        let mut handle = self.inner.combiner.lock();
+        handle.sync();
+        handle.maybe_checkpoint()
+    }
+}
+
+impl<S: SequentialSpec> std::fmt::Debug for DurableService<S> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let (batches, ops) = self.batch_stats();
+        f.debug_struct("DurableService")
+            .field("clients", &self.inner.slots.len())
+            .field("max_batch", &self.inner.max_batch)
+            .field("batches", &batches)
+            .field("combined_ops", &ops)
+            .finish()
+    }
+}
+
+/// A per-thread client of a [`DurableService`].
+///
+/// Owns one publication slot and one process-slot identity; at most one
+/// operation is in flight per client (the paper's process model), enforced by
+/// the `&mut self` receivers and the slot state machine.
+pub struct ServiceClient<S: SequentialSpec> {
+    service: Arc<ServiceShared<S>>,
+    slot: usize,
+    pid: usize,
+    last_op_id: Option<OpId>,
+}
+
+impl<S: SequentialSpec> ServiceClient<S> {
+    /// This client's identity slot (the `pid` component of its [`OpId`]s).
+    pub fn client_pid(&self) -> usize {
+        self.pid
+    }
+
+    /// Identity of the most recent operation submitted through this client.
+    pub fn last_op_id(&self) -> Option<OpId> {
+        self.last_op_id
+    }
+
+    /// Identity the *next* submitted operation will carry. Record it before
+    /// submitting and a crash-interrupted submission can still be resolved
+    /// after recovery ([`DurableService::resolve`]).
+    pub fn peek_next_op_id(&self) -> OpId {
+        let shared = &self.service.durable.shared;
+        OpId::new(
+            self.pid as u32,
+            shared.last_op_seq[self.pid].load(Ordering::Acquire) + 1,
+        )
+    }
+
+    /// Submits an update and blocks until it is durable and linearized:
+    /// publishes the operation, then either gets served by a concurrent
+    /// combiner or wins the commit lock and combines (its own operation plus
+    /// every other pending one — one fence for the whole batch).
+    ///
+    /// Returns the operation's value and its durable [`OpId`]. On error (e.g.
+    /// [`OnllError::LogFull`]) the operation was **not** linearized and may be
+    /// re-submitted.
+    pub fn submit(&mut self, op: S::UpdateOp) -> Result<(S::Value, OpId), OnllError> {
+        self.submit_async(op);
+        self.wait_reply()
+    }
+
+    /// Publishes an update without waiting, returning its pre-assigned
+    /// [`OpId`]. The operation becomes durable and visible only once a
+    /// combiner serves it — a concurrent client's, [`DurableService::combine_now`],
+    /// or this client's own [`ServiceClient::wait_reply`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if an operation is already in flight on this client (take its
+    /// reply first: one operation in flight per process).
+    pub fn submit_async(&mut self, op: S::UpdateOp) -> OpId {
+        let slot = &self.service.slots[self.slot];
+        assert_eq!(
+            slot.state.load(Ordering::Acquire),
+            EMPTY,
+            "one operation in flight per client: take the previous reply first"
+        );
+        let shared = &self.service.durable.shared;
+        let seq = shared.last_op_seq[self.pid].fetch_add(1, Ordering::AcqRel) + 1;
+        let op_id = OpId::new(self.pid as u32, seq);
+        self.last_op_id = Some(op_id);
+        // SAFETY: the slot is EMPTY and claimed by us — the cells are ours
+        // until the Release store of PENDING below hands them to the combiner.
+        unsafe { *slot.op.get() = Some(Record::new(op_id, op)) };
+        slot.state.store(PENDING, Ordering::Release);
+        op_id
+    }
+
+    /// Takes the reply of a served operation, if one is ready. Non-blocking.
+    pub fn try_take_reply(&mut self) -> Option<Result<(S::Value, OpId), OnllError>> {
+        let slot = &self.service.slots[self.slot];
+        if slot.state.load(Ordering::Acquire) != READY {
+            return None;
+        }
+        // SAFETY: READY hands the cells back to us; the combiner wrote the
+        // reply before its Release store of READY.
+        let reply = unsafe { (*slot.reply.get()).take() }.expect("ready slot holds a reply");
+        slot.state.store(EMPTY, Ordering::Release);
+        Some(reply.map(|(op_id, value)| (value, op_id)))
+    }
+
+    /// Blocks until the in-flight operation's reply is available, combining
+    /// on this thread whenever the commit lock is free (combiner election).
+    pub fn wait_reply(&mut self) -> Result<(S::Value, OpId), OnllError> {
+        loop {
+            if let Some(reply) = self.try_take_reply() {
+                return reply;
+            }
+            if let Some(mut handle) = self.service.combiner.try_lock() {
+                // Own slot first: the pass this client pays a fence in always
+                // covers its own operation, whatever the batch cap excludes.
+                self.service.combine_pass(&mut handle, Some(self.slot));
+            } else {
+                std::hint::spin_loop();
+                std::thread::yield_now();
+            }
+        }
+    }
+
+    /// Reads through the service — see [`DurableService::read`].
+    pub fn read(&self, op: &S::ReadOp) -> S::Value {
+        self.service.combiner.lock().read(op)
+    }
+}
+
+impl<S: SequentialSpec> Drop for ServiceClient<S> {
+    fn drop(&mut self) {
+        // Leave the window's fill target first: a combiner must not wait for
+        // an operation this client will never publish.
+        self.service.live_clients.fetch_sub(1, Ordering::Relaxed);
+        // Complete any published-but-unserved operation so it cannot leak
+        // into the slot's next owner, then discard an untaken reply.
+        loop {
+            match self.service.slots[self.slot].state.load(Ordering::Acquire) {
+                PENDING => {
+                    if let Some(mut handle) = self.service.combiner.try_lock() {
+                        self.service.combine_pass(&mut handle, Some(self.slot));
+                    } else {
+                        std::thread::yield_now();
+                    }
+                }
+                // An in-progress combiner holds the op; its reply is imminent.
+                COMBINING => std::thread::yield_now(),
+                _ => break,
+            }
+        }
+        let _ = self.try_take_reply();
+        self.service.slots[self.slot]
+            .claimed
+            .store(false, Ordering::Release);
+        // Mirror ProcessHandle::drop: lower the identity slot's progress to
+        // the conservative floor *before* releasing the claim.
+        let shared = &self.service.durable.shared;
+        shared.progress[self.pid].store(shared.base_index, Ordering::Release);
+        shared.claimed[self.pid].store(false, Ordering::Release);
+    }
+}
+
+impl<S: SequentialSpec> std::fmt::Debug for ServiceClient<S> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServiceClient")
+            .field("slot", &self.slot)
+            .field("pid", &self.pid)
+            .field("last_op_id", &self.last_op_id)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::OnllConfig;
+    use nvm_sim::{NvmPool, PmemConfig};
+
+    #[derive(Debug, PartialEq)]
+    struct Counter(i64);
+
+    #[derive(Debug, Clone, PartialEq)]
+    struct Add(i64);
+
+    impl crate::spec::OpCodec for Add {
+        const MAX_ENCODED_SIZE: usize = 8;
+        fn encode(&self, buf: &mut Vec<u8>) {
+            buf.extend_from_slice(&self.0.to_le_bytes());
+        }
+        fn decode(bytes: &[u8]) -> Option<Self> {
+            Some(Add(i64::from_le_bytes(bytes.try_into().ok()?)))
+        }
+    }
+
+    impl SequentialSpec for Counter {
+        type UpdateOp = Add;
+        type ReadOp = ();
+        type Value = i64;
+        fn initialize() -> Self {
+            Counter(0)
+        }
+        fn apply(&mut self, op: &Add) -> i64 {
+            self.0 += op.0;
+            self.0
+        }
+        fn read(&self, _: &()) -> i64 {
+            self.0
+        }
+    }
+
+    fn counter_service(clients: usize, group: usize) -> (NvmPool, DurableService<Counter>) {
+        let pool = NvmPool::new(PmemConfig::with_capacity(64 << 20).apply_pending_at_crash(0.0));
+        let obj = Durable::<Counter>::create(
+            pool.clone(),
+            OnllConfig::named("svc")
+                .max_processes(clients + 1)
+                .log_capacity(1 << 12)
+                .group_persist(group),
+        )
+        .unwrap();
+        let service = obj.service(clients).unwrap();
+        (pool, service)
+    }
+
+    #[test]
+    fn single_client_submit_is_one_fence_and_resolvable() {
+        let (pool, service) = counter_service(1, 4);
+        let mut client = service.client().unwrap();
+        let predicted = client.peek_next_op_id();
+        let w = pool.stats().op_window();
+        let (value, op_id) = client.submit(Add(5)).unwrap();
+        assert_eq!(w.close().persistent_fences, 1);
+        assert_eq!(value, 5);
+        assert_eq!(op_id, predicted);
+        assert_eq!(client.last_op_id(), Some(op_id));
+        assert_eq!(service.resolve(op_id), Some(5));
+        assert!(service.was_linearized(op_id));
+        assert_eq!(service.read(&()), 5);
+    }
+
+    #[test]
+    fn async_submit_is_served_by_combine_now() {
+        let (pool, service) = counter_service(2, 4);
+        let mut a = service.client().unwrap();
+        let mut b = service.client().unwrap();
+        let id_a = a.submit_async(Add(1));
+        let id_b = b.submit_async(Add(2));
+        // Both pending operations land in ONE entry: one fence for the batch.
+        let w = pool.stats().op_window();
+        assert_eq!(service.combine_now(), 2);
+        assert_eq!(w.close().persistent_fences, 1);
+        let (va, ra) = a.try_take_reply().unwrap().unwrap();
+        let (vb, rb) = b.try_take_reply().unwrap().unwrap();
+        assert_eq!(ra, id_a);
+        assert_eq!(rb, id_b);
+        // Values are computed in linearization order: whichever op linearized
+        // second observed the full sum.
+        assert!(
+            (va, vb) == (1, 3) || (va, vb) == (3, 2),
+            "unexpected values ({va}, {vb})"
+        );
+        assert_eq!(service.read(&()), 3);
+        assert_eq!(service.batch_stats(), (1, 2));
+        assert_eq!(service.resolve(id_a), Some(va));
+        assert_eq!(service.resolve(id_b), Some(vb));
+    }
+
+    #[test]
+    fn concurrent_clients_amortize_fences() {
+        let threads = 4;
+        let per_thread = 200;
+        let (pool, service) = counter_service(threads, threads);
+        let fences_before = pool.stats().persistent_fences();
+        std::thread::scope(|scope| {
+            for _ in 0..threads {
+                let service = service.clone();
+                scope.spawn(move || {
+                    let mut client = service.client().unwrap();
+                    for _ in 0..per_thread {
+                        client.submit(Add(1)).unwrap();
+                    }
+                });
+            }
+        });
+        assert_eq!(service.read(&()), (threads * per_thread) as i64);
+        let (batches, ops) = service.batch_stats();
+        assert_eq!(ops, (threads * per_thread) as u64);
+        // Every batch pays exactly one fence, and batches never exceed ops.
+        assert_eq!(
+            pool.stats().persistent_fences() - fences_before,
+            batches,
+            "one persistent fence per combined batch"
+        );
+        assert!(batches <= ops);
+        service.durable().check_invariants().unwrap();
+    }
+
+    #[test]
+    fn per_client_identities_are_sequential_and_distinct() {
+        let (_pool, service) = counter_service(2, 2);
+        let mut a = service.client().unwrap();
+        let mut b = service.client().unwrap();
+        let (_, a1) = a.submit(Add(1)).unwrap();
+        let (_, b1) = b.submit(Add(1)).unwrap();
+        let (_, a2) = a.submit(Add(1)).unwrap();
+        assert_ne!(a1.pid, b1.pid);
+        assert_eq!(a2.pid, a1.pid);
+        assert_eq!(a2.seq, a1.seq + 1);
+    }
+
+    #[test]
+    fn client_slots_are_bounded_and_reusable() {
+        let (_pool, service) = counter_service(1, 1);
+        let c = service.client().unwrap();
+        assert!(matches!(
+            service.client(),
+            Err(OnllError::NoFreeProcessSlot)
+        ));
+        drop(c);
+        let mut c = service.client().unwrap();
+        assert_eq!(c.submit(Add(2)).unwrap().0, 2);
+    }
+
+    #[test]
+    fn dropping_a_client_with_a_pending_op_completes_it() {
+        let (_pool, service) = counter_service(1, 1);
+        let mut c = service.client().unwrap();
+        let op_id = c.submit_async(Add(7));
+        drop(c); // must not leak the pending op into the next owner
+        assert_eq!(service.read(&()), 7);
+        assert_eq!(service.resolve(op_id), Some(7));
+        let mut c = service.client().unwrap();
+        assert_eq!(c.submit(Add(1)).unwrap().0, 8);
+    }
+
+    #[test]
+    fn errors_are_reported_and_clients_can_retry() {
+        // Tiny log with no checkpointing: filling it must surface LogFull
+        // through submit, not wedge the combiner.
+        let pool = NvmPool::new(PmemConfig::with_capacity(64 << 20));
+        let obj = Durable::<Counter>::create(
+            pool,
+            OnllConfig::named("svc-full")
+                .max_processes(2)
+                .log_capacity(2)
+                .group_persist(1),
+        )
+        .unwrap();
+        let service = obj.service(1).unwrap();
+        let mut client = service.client().unwrap();
+        client.submit(Add(1)).unwrap();
+        client.submit(Add(1)).unwrap();
+        assert!(matches!(client.submit(Add(1)), Err(OnllError::LogFull)));
+        // The failed operation was never linearized.
+        assert_eq!(service.read(&()), 2);
+    }
+
+    #[test]
+    fn service_updates_interleave_with_plain_handles() {
+        let pool = NvmPool::new(PmemConfig::with_capacity(64 << 20));
+        let obj = Durable::<Counter>::create(
+            pool,
+            OnllConfig::named("svc-mixed")
+                .max_processes(3)
+                .log_capacity(1 << 10),
+        )
+        .unwrap();
+        let service = obj.service(1).unwrap();
+        let mut client = service.client().unwrap();
+        let mut handle = obj.register().unwrap();
+        client.submit(Add(1)).unwrap();
+        handle.update(Add(10));
+        client.submit(Add(100)).unwrap();
+        assert_eq!(obj.read_latest(&()), 111);
+        obj.check_invariants().unwrap();
+    }
+}

@@ -24,7 +24,7 @@ use exec_trace::{check_fuzzy_invariant, ExecutionTrace};
 use nvm_sim::{FenceStats, NvmPool, PAddr, RootId};
 use parking_lot::{Mutex, RwLock};
 use persist_log::{reconstruct_history_from, LogConfig, PersistentLog};
-use std::collections::HashSet;
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -98,9 +98,13 @@ pub(crate) struct Shared<S: SequentialSpec> {
     /// after trace reclamation. Reclamation never passes the stored `idx`, so a
     /// seeded view's missing suffix is always still linked.
     pub(crate) snapshot: RwLock<Option<SnapshotSeed<S>>>,
-    /// Operations found in the logs by the most recent recovery (for
-    /// detectable-execution queries).
-    pub(crate) recovered: Mutex<HashSet<OpId>>,
+    /// Operations found in the logs by the most recent recovery, keyed by
+    /// identity with their execution index (for detectable-execution queries).
+    /// Pruned below the checkpoint watermark whenever a checkpoint publishes,
+    /// so a long-running service does not retain one entry per recovered
+    /// operation forever (operations below the watermark are no longer
+    /// individually identifiable anyway — the documented checkpoint contract).
+    pub(crate) recovered: Mutex<HashMap<OpId, u64>>,
 }
 
 impl<S: SequentialSpec> Shared<S> {
@@ -115,6 +119,33 @@ impl<S: SequentialSpec> Shared<S> {
             }
         }
         min
+    }
+
+    /// Drops recovered-operation identities at execution indices at or below
+    /// `watermark`. Called when a checkpoint publishes: the covered prefix is
+    /// compacted out of the logs, and the matching identity entries would
+    /// otherwise accumulate for the life of the process.
+    pub(crate) fn prune_recovered_below(&self, watermark: u64) {
+        self.recovered.lock().retain(|_, idx| *idx > watermark);
+    }
+
+    /// Claims the lowest free process slot, returning its identifier. The
+    /// caller owns the slot until it stores `false` back into
+    /// `claimed[pid]` (after lowering `progress[pid]` to the base floor).
+    pub(crate) fn claim_free_slot(&self) -> Option<usize> {
+        (0..self.config.max_processes).find(|&pid| self.try_claim(pid))
+    }
+
+    /// Claims a slot by CAS. Progress of an unclaimed slot is always at the
+    /// conservative `base_index` floor (initialized there; lowered again by
+    /// the previous owner before it released the claim), so a new owner's
+    /// fresh view can never be outrun by trace reclamation between this claim
+    /// and the owner publishing its own progress. Only a slot's owner ever
+    /// writes its progress.
+    pub(crate) fn try_claim(&self, pid: usize) -> bool {
+        self.claimed[pid]
+            .compare_exchange(false, true, Ordering::AcqRel, Ordering::Acquire)
+            .is_ok()
     }
 
     /// Seed for a fresh view or anonymous replay: the newest published snapshot
@@ -279,7 +310,7 @@ impl<S: SequentialSpec> Durable<S> {
             base_index: 0,
             base_state: Box::new(S::initialize),
             snapshot: RwLock::new(None),
-            recovered: Mutex::new(HashSet::new()),
+            recovered: Mutex::new(HashMap::new()),
             hooks,
             log_cfg,
             log_bases,
@@ -411,14 +442,14 @@ impl<S: SequentialSpec> Durable<S> {
         let trace: ExecutionTrace<Option<Record<S::UpdateOp>>> =
             ExecutionTrace::with_base(None, base_index);
         let mut recovered_ops = Vec::with_capacity(recovered_raw.len());
-        let mut recovered_set = HashSet::with_capacity(recovered_raw.len());
+        let mut recovered_set = HashMap::with_capacity(recovered_raw.len());
         for raw in &recovered_raw {
             let record: Record<S::UpdateOp> =
                 decode_record(&raw.encoded_op).ok_or(OnllError::CorruptOperation {
                     execution_index: raw.execution_index,
                 })?;
             recovered_ops.push((raw.execution_index, record.op_id));
-            recovered_set.insert(record.op_id);
+            recovered_set.insert(record.op_id, raw.execution_index);
             let node = trace.insert(Some(record));
             debug_assert_eq!(node.idx(), raw.execution_index);
             trace.set_available(node);
@@ -522,7 +553,7 @@ impl<S: SequentialSpec> Durable<S> {
     /// checkpoint are no longer individually identifiable; this method only answers
     /// for operations at execution indices above the checkpoint.
     pub fn was_linearized(&self, op_id: OpId) -> bool {
-        if self.shared.recovered.lock().contains(&op_id) {
+        if self.shared.recovered.lock().contains_key(&op_id) {
             return true;
         }
         // Only linearized operations count: walk from the latest available node.
@@ -535,32 +566,64 @@ impl<S: SequentialSpec> Durable<S> {
 
     /// Claims the lowest free process slot and returns a handle for it.
     pub fn register(&self) -> Result<crate::ProcessHandle<S>, OnllError> {
-        for pid in 0..self.shared.config.max_processes {
-            if self.try_claim(pid) {
-                return crate::handle::new_handle(self.shared.clone(), pid);
-            }
+        match self.shared.claim_free_slot() {
+            Some(pid) => crate::handle::new_handle(self.shared.clone(), pid),
+            None => Err(OnllError::NoFreeProcessSlot),
         }
-        Err(OnllError::NoFreeProcessSlot)
     }
 
     /// Claims a specific process slot and returns a handle for it.
     pub fn handle_for(&self, pid: usize) -> Result<crate::ProcessHandle<S>, OnllError> {
-        if pid >= self.shared.config.max_processes || !self.try_claim(pid) {
+        if pid >= self.shared.config.max_processes || !self.shared.try_claim(pid) {
             return Err(OnllError::ProcessSlotUnavailable(pid));
         }
         crate::handle::new_handle(self.shared.clone(), pid)
     }
 
-    fn try_claim(&self, pid: usize) -> bool {
-        // Progress of an unclaimed slot is always at the conservative
-        // `base_index` floor (initialized there; lowered again by the previous
-        // owner's Drop before it released the claim), so the new handle's
-        // fresh view can never be outrun by trace reclamation between this
-        // claim and the handle publishing its seed. Only a slot's owner ever
-        // writes its progress.
-        self.shared.claimed[pid]
-            .compare_exchange(false, true, Ordering::AcqRel, Ordering::Acquire)
-            .is_ok()
+    /// Exactly-once reply retrieval: recomputes the *remembered response* of
+    /// the update identified by `op_id` by replaying the linearized history.
+    /// Returns `None` if the operation is not linearized, or is no longer
+    /// individually identifiable (its execution index lies at or below the
+    /// newest published checkpoint, whose covered prefix is compacted away).
+    ///
+    /// Replay determinism (the [`crate::SequentialSpec`] contract) guarantees
+    /// the recomputed value equals the value originally handed to the invoker
+    /// — across crashes too, which is what makes combined-commit replies
+    /// (`DurableService`) exactly-once: a client that crashed after its op
+    /// persisted but before consuming the reply re-fetches the identical
+    /// response here instead of re-submitting.
+    ///
+    /// Cost: zero persistent fences (a trace replay, like
+    /// [`Durable::read_latest`]); work proportional to the suffix above the
+    /// newest snapshot.
+    pub fn resolve(&self, op_id: OpId) -> Option<S::Value> {
+        loop {
+            let (seed_idx, mut state) = self.shared.view_seed();
+            let latest = self.shared.trace.latest_available();
+            let mut found = None;
+            for node in self.shared.trace.nodes_between(seed_idx, latest) {
+                if let Some(record) = node.op() {
+                    let value = state.apply(&record.op);
+                    if record.op_id == op_id {
+                        found = Some(value);
+                        break;
+                    }
+                }
+            }
+            // A concurrent checkpoint may have reclaimed part of the suffix
+            // mid-walk; retry from the then-newer snapshot (cf. materialize).
+            if self.shared.trace.reclaim_floor() <= seed_idx + 1 {
+                return found;
+            }
+        }
+    }
+
+    /// Number of recovered-operation identities currently retained for
+    /// detectable-execution queries. Grows with each recovery, shrinks when a
+    /// checkpoint publishes (identities at or below the watermark are pruned),
+    /// so long-running services stay bounded by the checkpoint interval.
+    pub fn recovered_backlog(&self) -> usize {
+        self.shared.recovered.lock().len()
     }
 
     /// Reads the object without a process handle by replaying the suffix above

@@ -200,14 +200,61 @@ impl<S: SequentialSpec> ProcessHandle<S> {
         &mut self,
         ops: impl IntoIterator<Item = S::UpdateOp>,
     ) -> Result<Vec<S::Value>, OnllError> {
+        let pid = self.pid as u32;
         let ops: Vec<S::UpdateOp> = ops.into_iter().collect();
-        if ops.is_empty() {
-            return Ok(Vec::new());
-        }
+        // Validate the size before drawing identities, so an oversized group
+        // leaves no gap in this slot's sequence numbers.
         let max = self.shared.config.max_group_ops;
         if ops.len() > max {
             return Err(OnllError::GroupTooLarge {
                 len: ops.len(),
+                max,
+            });
+        }
+        let records: Vec<Record<S::UpdateOp>> = ops
+            .into_iter()
+            .map(|op| {
+                let seq = self.shared.last_op_seq[self.pid].fetch_add(1, Ordering::AcqRel) + 1;
+                Record::new(OpId::new(pid, seq), op)
+            })
+            .collect();
+        let replies = self.commit_batch(records)?;
+        // Only a committed group moves last_op_id: after e.g. LogFull it must
+        // keep naming the last operation that was actually ordered, so the
+        // post-crash detectable-execution idiom (last_op_id + was_linearized)
+        // stays truthful. (A failed group does burn the drawn sequence
+        // numbers — identities stay unique, gaps are harmless.)
+        if let Some((op_id, _)) = replies.last() {
+            self.last_op_id = Some(*op_id);
+        }
+        Ok(replies.into_iter().map(|(_, value)| value).collect())
+    }
+
+    /// Orders, persists and linearizes a batch of *pre-identified* operations
+    /// as one unit: one log entry, **one persistent fence**, one linearization
+    /// sweep. Returns `(identity, value)` per operation, values computed on
+    /// the state immediately after each operation in linearization order.
+    ///
+    /// This is the single commit path behind [`ProcessHandle::try_update_group`]
+    /// (identities drawn from this handle's process slot) and the combiner of
+    /// [`crate::DurableService`] (identities pre-assigned by the submitting
+    /// clients, from *their* claimed slots) — there is deliberately no second
+    /// persist code path to keep correct: everything flows through
+    /// `persist_fuzzy_window`.
+    ///
+    /// Fails **before ordering anything** (group too large, log full), so a
+    /// failed batch leaves no trace of itself and the caller can retry.
+    pub(crate) fn commit_batch(
+        &mut self,
+        records: Vec<Record<S::UpdateOp>>,
+    ) -> Result<Vec<(OpId, S::Value)>, OnllError> {
+        if records.is_empty() {
+            return Ok(Vec::new());
+        }
+        let max = self.shared.config.max_group_ops;
+        if records.len() > max {
+            return Err(OnllError::GroupTooLarge {
+                len: records.len(),
                 max,
             });
         }
@@ -216,43 +263,45 @@ impl<S: SequentialSpec> ProcessHandle<S> {
         let hooks = shared.hooks.clone();
         hooks.fire(Phase::BeforeOrder, pid);
 
-        // The whole group lands in one log entry; reclaim checkpoint-covered
+        // The whole batch lands in one log entry; reclaim checkpoint-covered
         // slots, then refuse before ordering anything we could not persist.
         self.compact_log_below_watermark();
         if self.log.free_slots() == 0 {
             return Err(OnllError::LogFull);
         }
 
-        // --- Order: append every operation of the group to the trace. ---
-        let nodes: Vec<_> = ops
+        // --- Order: append every operation of the batch to the trace. ---
+        let nodes: Vec<_> = records
             .into_iter()
-            .map(|op| {
-                let seq = shared.last_op_seq[self.pid].fetch_add(1, Ordering::AcqRel) + 1;
-                let op_id = OpId::new(pid, seq);
-                self.last_op_id = Some(op_id);
-                shared.trace.insert(Some(Record::new(op_id, op)))
+            .map(|record| {
+                let op_id = record.op_id;
+                let node = shared.trace.insert(Some(record));
+                (op_id, node)
             })
             .collect();
         hooks.fire(Phase::AfterOrder, pid);
 
-        // --- Persist: one log entry covering the group's fuzzy window (the whole
-        //     group plus unpersisted predecessors). One persistent fence. ---
-        let newest = *nodes.last().expect("group is non-empty");
+        // --- Persist: one log entry covering the batch's fuzzy window (the whole
+        //     batch plus unpersisted predecessors). One persistent fence. ---
+        let newest = nodes.last().expect("batch is non-empty").1;
         self.persist_fuzzy_window(newest)?;
 
-        // --- Linearize: sweep the group's available flags oldest to newest, so
+        // --- Linearize: sweep the batch's available flags oldest to newest, so
         //     linearized prefixes are always contiguous. ---
         hooks.fire(Phase::BeforeLinearize, pid);
-        for node in &nodes {
+        for (_, node) in &nodes {
             shared.trace.set_available(node);
         }
         hooks.fire(Phase::AfterLinearize, pid);
 
         // Return values: one per operation, computed on the state right after it.
-        let values = nodes.iter().map(|node| self.value_after(node)).collect();
+        let replies = nodes
+            .iter()
+            .map(|(op_id, node)| (*op_id, self.value_after(node)))
+            .collect();
         self.publish_progress();
         hooks.fire(Phase::BeforeResponse, pid);
-        Ok(values)
+        Ok(replies)
     }
 
     /// Panicking variant of [`ProcessHandle::try_update_group`].
@@ -452,6 +501,11 @@ impl<S: SnapshotSpec> ProcessHandle<S> {
         self.shared
             .checkpoint_watermark
             .fetch_max(idx, Ordering::AcqRel);
+        // The compacted prefix is covered by the checkpoint: identities of
+        // recovered operations at or below the watermark are no longer
+        // individually answerable (documented contract), so drop them instead
+        // of retaining one entry per recovered op for the process lifetime.
+        self.shared.prune_recovered_below(idx);
 
         // Truncate-after-publish: all of this process's log entries carry
         // execution indices <= idx (its own updates are already reflected in its

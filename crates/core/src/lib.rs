@@ -70,6 +70,7 @@
 #![warn(missing_docs)]
 
 mod checkpoint;
+mod combine;
 mod config;
 mod construction;
 mod error;
@@ -79,6 +80,7 @@ mod local_view;
 mod op_id;
 mod spec;
 
+pub use combine::{DurableService, ServiceClient};
 pub use config::OnllConfig;
 pub use construction::{Durable, RecoveryReport};
 pub use error::OnllError;

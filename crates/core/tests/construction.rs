@@ -581,3 +581,49 @@ fn capacity_backstop_checkpoints_before_the_ring_fills() {
         "the capacity backstop never checkpointed"
     );
 }
+
+#[test]
+fn recovered_identity_backlog_is_pruned_by_checkpoints() {
+    // A long-running service recovers once, then keeps checkpointing: the
+    // recovered-identity set must shrink below the watermark instead of
+    // retaining one entry per recovered operation for the process lifetime.
+    let p = pool();
+    let cfg = OnllConfig::named("backlog")
+        .log_capacity(256)
+        .checkpoint_every(10)
+        .checkpoint_slot_bytes(256);
+    let c = Durable::<CounterSpec>::create(p.clone(), cfg.clone()).unwrap();
+    let mut ids = Vec::new();
+    {
+        let mut h = c.register().unwrap();
+        // No checkpoint before the crash: everything must be replayed.
+        for _ in 0..25 {
+            ids.push(h.peek_next_op_id());
+            h.update(CounterOp::Add(1));
+        }
+    }
+    p.crash_and_restart();
+    let (c, report) = Durable::<CounterSpec>::recover(p.clone(), cfg).unwrap();
+    assert_eq!(report.replayed_ops(), 25);
+    assert_eq!(c.recovered_backlog(), 25, "one identity per recovered op");
+    for id in &ids {
+        assert!(c.was_linearized(*id));
+    }
+
+    // Keep updating with the small checkpoint interval: the first checkpoint's
+    // watermark covers the whole recovered prefix and must prune it.
+    let mut h = c.register().unwrap();
+    for _ in 0..20 {
+        h.update_with_checkpoint(CounterOp::Add(1)).unwrap();
+    }
+    assert!(c.checkpoint_watermark() >= 25, "a checkpoint published");
+    assert_eq!(
+        c.recovered_backlog(),
+        0,
+        "identities at or below the watermark must be pruned"
+    );
+    // Detectability above the watermark is unaffected, and recovered ops still
+    // linked in the trace stay answerable through it.
+    assert!(c.was_linearized(h.last_op_id().unwrap()));
+    assert_eq!(c.read_latest(&()), 45);
+}

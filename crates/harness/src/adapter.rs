@@ -1,7 +1,7 @@
 //! Adapters presenting ONLL handles through the common [`DurableObject`] interface.
 
 use baselines::DurableObject;
-use onll::{ProcessHandle, SequentialSpec, SnapshotSpec};
+use onll::{ProcessHandle, SequentialSpec, ServiceClient, SnapshotSpec};
 
 /// Wraps an ONLL [`ProcessHandle`] so workloads written against
 /// [`baselines::DurableObject`] can drive the ONLL implementation unchanged.
@@ -78,6 +78,40 @@ impl<S: SnapshotSpec> DurableObject<S> for CheckpointingOnllAdapter<S> {
 
     fn implementation_name(&self) -> &'static str {
         "onll+checkpoint"
+    }
+}
+
+/// Wraps an [`onll::ServiceClient`] of a combining-commit
+/// [`onll::DurableService`] so the same workloads drive the concurrent
+/// front-end: updates block until the submitting thread is served by (or
+/// becomes) a combiner; reads go through the combiner's local view.
+pub struct ServiceClientAdapter<S: SequentialSpec> {
+    client: ServiceClient<S>,
+}
+
+impl<S: SequentialSpec> ServiceClientAdapter<S> {
+    /// Wraps a service client.
+    pub fn new(client: ServiceClient<S>) -> Self {
+        ServiceClientAdapter { client }
+    }
+
+    /// The wrapped client.
+    pub fn client(&self) -> &ServiceClient<S> {
+        &self.client
+    }
+}
+
+impl<S: SequentialSpec> DurableObject<S> for ServiceClientAdapter<S> {
+    fn update(&mut self, op: S::UpdateOp) -> S::Value {
+        self.client.submit(op).expect("service submit failed").0
+    }
+
+    fn read(&mut self, op: &S::ReadOp) -> S::Value {
+        self.client.read(op)
+    }
+
+    fn implementation_name(&self) -> &'static str {
+        "onll-service"
     }
 }
 

@@ -83,6 +83,41 @@ impl FenceAudit {
             self.checkpoint_fences as f64 / self.updates as f64
         }
     }
+
+    /// Merges another audit into this one. Concurrent runs audit each client
+    /// thread separately (persistence counters are per thread) and absorb the
+    /// per-thread audits into one aggregate, on which the amortized bounds are
+    /// then checked.
+    pub fn absorb(&mut self, other: &FenceAudit) {
+        self.updates += other.updates;
+        self.reads += other.reads;
+        self.update_fences += other.update_fences;
+        self.read_fences += other.read_fences;
+        self.checkpoint_fences += other.checkpoint_fences;
+        self.max_fences_per_update = self.max_fences_per_update.max(other.max_fences_per_update);
+        self.max_fences_per_read = self.max_fences_per_read.max(other.max_fences_per_read);
+        self.read_flushes += other.read_flushes;
+        self.read_stores += other.read_stores;
+    }
+
+    /// The amortized per-operation fence bounds of a cross-thread combining
+    /// front-end whose batches hold at most `max_batch` operations
+    /// (`min(live clients, max_group_ops)` for `onll::DurableService`):
+    ///
+    /// * **upper** — every operation individually still satisfies Theorem 5.1
+    ///   (at most one inherent fence in its own window; an operation served by
+    ///   another thread's combiner observes zero), reads stay at zero and
+    ///   never touch NVM; and
+    /// * **lower** — the run cannot beat the inherent cost: one fence covers
+    ///   at most `max_batch` operations, so total inherent update fences are
+    ///   at least `updates / max_batch` (rounded up). Fences per operation per
+    ///   live client therefore cannot fall below `1/max_batch` — amortization
+    ///   divides the fence *count*, it never deletes the fence the lower
+    ///   bound (Theorem 6.3) demands.
+    pub fn satisfies_amortized_bounds(&self, max_batch: u64) -> bool {
+        self.satisfies_onll_bounds()
+            && self.update_fences >= self.updates.div_ceil(max_batch.max(1))
+    }
 }
 
 /// Executes `ops` against `object`, auditing the calling thread's persistence

@@ -19,7 +19,11 @@
 //!   update solo and is preempted just before its response (or first fence), and
 //!   each must be observed to issue at least one persistent fence.
 //! * [`fence_audit`] — helpers asserting the Theorem 5.1 per-operation fence bounds
-//!   over arbitrary workloads.
+//!   over arbitrary workloads, including the amortized bounds of cross-thread
+//!   combining front-ends.
+//! * [`concurrent`] — multi-threaded drivers and merged fence audits for the
+//!   combining-commit service ([`onll::DurableService`]) and the baselines it
+//!   is benchmarked against.
 //! * [`sharded`] — multi-threaded drivers and aggregate fence audits for
 //!   [`onll_shard::ShardedDurable`] objects (the bounds must hold across all
 //!   shard pools at once).
@@ -28,6 +32,7 @@
 #![warn(missing_docs)]
 
 pub mod adapter;
+pub mod concurrent;
 pub mod crash;
 pub mod fence_audit;
 pub mod history;
@@ -37,7 +42,8 @@ pub mod report;
 pub mod sharded;
 pub mod workload;
 
-pub use adapter::{CheckpointingOnllAdapter, OnllAdapter};
+pub use adapter::{CheckpointingOnllAdapter, OnllAdapter, ServiceClientAdapter};
+pub use concurrent::{audit_concurrent_workload, run_concurrent_workload};
 pub use crash::{quick_crash_sweep, CrashExperiment, CrashOutcome};
 pub use fence_audit::{audit_fence_bounds, FenceAudit};
 pub use history::{Event, EventKind, History, OpRecord};

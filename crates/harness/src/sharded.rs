@@ -52,8 +52,15 @@ pub enum SubmitMode {
     /// One synchronous update per operation (one fence each).
     Individual,
     /// Fence-amortized group persist: buffer updates per shard and flush in
-    /// groups of the object's configured `max_group_ops`.
+    /// groups of the object's configured `max_group_ops` — one *thread*
+    /// batching its own operations.
     Grouped,
+    /// Cross-thread combining commit ([`onll::DurableService`] via
+    /// `ShardedDurable::service`): concurrent threads submit individual
+    /// synchronous operations and per-shard combiners merge all pending ones
+    /// into single fences — the amortization comes from concurrency, not from
+    /// caller-side buffering, so every submit is durable when it returns.
+    Combined,
 }
 
 /// Outcome of one multi-threaded workload run.
@@ -118,14 +125,28 @@ pub fn run_sharded_kv_workload(
     seed: u64,
     mode: SubmitMode,
 ) -> RunReport {
+    // Combined mode drives the per-shard combining services instead of plain
+    // per-thread handles; the service (and its per-shard combiner process
+    // slots) lives for the duration of the run.
+    let service =
+        (mode == SubmitMode::Combined).then(|| object.service(threads).expect("combining service"));
     let before = onll_shard::merged_global_stats(object.pools());
     let start = Instant::now();
+    let service = &service;
     let (updates, reads) = std::thread::scope(|scope| {
         let workers: Vec<_> = (0..threads)
             .map(|t| {
                 let object = object.clone();
                 scope.spawn(move || {
-                    let mut handle = object.register().expect("a free slot per worker");
+                    let mut handle = None;
+                    let mut client = None;
+                    match mode {
+                        SubmitMode::Combined => {
+                            let svc = service.as_ref().expect("service exists in Combined mode");
+                            client = Some(svc.client().expect("a free client slot per worker"));
+                        }
+                        _ => handle = Some(object.register().expect("a free slot per worker")),
+                    }
                     let mut workload =
                         Workload::new(mix, seed.wrapping_add(t as u64).wrapping_mul(2654435761));
                     let mut updates = 0u64;
@@ -136,21 +157,35 @@ pub fn run_sharded_kv_workload(
                                 updates += 1;
                                 match mode {
                                     SubmitMode::Individual => {
-                                        handle.update(u);
+                                        handle.as_mut().unwrap().update(u);
                                     }
                                     SubmitMode::Grouped => {
-                                        handle.buffer_update(u).expect("buffered update");
+                                        handle
+                                            .as_mut()
+                                            .unwrap()
+                                            .buffer_update(u)
+                                            .expect("buffered update");
+                                    }
+                                    SubmitMode::Combined => {
+                                        client.as_mut().unwrap().submit(u).expect("submit");
                                     }
                                 }
                             }
                             WorkloadOp::Read(r) => {
                                 reads += 1;
-                                handle.read(&r);
+                                match mode {
+                                    SubmitMode::Combined => {
+                                        client.as_mut().unwrap().read(&r);
+                                    }
+                                    _ => {
+                                        handle.as_mut().unwrap().read(&r);
+                                    }
+                                }
                             }
                         }
                     }
                     if mode == SubmitMode::Grouped {
-                        handle.flush().expect("final flush");
+                        handle.as_mut().unwrap().flush().expect("final flush");
                     }
                     (updates, reads)
                 })
@@ -255,6 +290,32 @@ mod tests {
             summary.updates
         );
         assert!(summary.fences_per_update() < 0.5);
+        object.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn combined_submission_amortizes_fences_across_threads() {
+        // 4 worker threads share per-shard combiners: every submit is durable
+        // when it returns (unlike Grouped, which buffers caller-side), yet the
+        // aggregate fence count falls well below one per update.
+        let threads = 4;
+        let object = sharded_kv(2, threads + 1, threads);
+        let summary = run_sharded_kv_workload(
+            &object,
+            threads,
+            150,
+            WorkloadMix::update_only(),
+            31,
+            SubmitMode::Combined,
+        );
+        assert_eq!(summary.mode, SubmitMode::Combined);
+        assert_eq!(summary.updates, (threads * 150) as u64);
+        assert!(
+            summary.persistent_fences < summary.updates,
+            "combining should amortize fences: {} fences for {} updates",
+            summary.persistent_fences,
+            summary.updates
+        );
         object.check_invariants().unwrap();
     }
 }

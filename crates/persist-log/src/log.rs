@@ -348,6 +348,13 @@ impl PersistentLog {
 /// Operations are encoded directly into the log's reusable entry buffer;
 /// nothing reaches NVM until [`EntryWriter::commit`]. Dropping the writer
 /// abandons the append (the buffer is returned to the log for reuse).
+///
+/// This is the encode path behind every ONLL persist: a single update's fuzzy
+/// window, a caller-side group persist, and a cross-thread *combined* batch
+/// (`onll::DurableService`, where one entry carries many clients' operations)
+/// all assemble their one-fence entries through it — which is also why the
+/// entry format needs no notion of who submitted an operation: each op's
+/// payload carries its own identity.
 pub struct EntryWriter<'a> {
     log: &'a mut PersistentLog,
     scratch: Vec<u8>,

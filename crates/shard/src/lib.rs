@@ -21,6 +21,10 @@
 //! * **Parallel recovery** ([`ShardedDurable::recover`]) — one thread per
 //!   shard rebuilds that shard's trace from its logs; reports merge into a
 //!   [`ShardRecoveryReport`].
+//! * **Concurrent front-end** ([`ShardedDurable::service`],
+//!   [`ShardedService`]) — one combining-commit service per shard: live
+//!   client threads share single fences *within* a shard while distinct
+//!   shards commit in parallel, compounding both scaling levers.
 //!
 //! ## Example
 //!
@@ -63,6 +67,7 @@ mod group;
 mod handle;
 mod recovery;
 mod router;
+mod service;
 mod sharded;
 mod stats;
 
@@ -71,5 +76,6 @@ pub use group::GroupPersist;
 pub use handle::{FlushedGroups, ShardedHandle};
 pub use recovery::ShardRecoveryReport;
 pub use router::{HashRouter, RangeRouter, ShardRouter};
+pub use service::{ShardedService, ShardedServiceClient};
 pub use sharded::{CheckpointDaemon, ShardedDurable};
 pub use stats::{merged_global_stats, AggregateWindow};

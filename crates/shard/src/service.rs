@@ -1,0 +1,188 @@
+//! The sharded concurrent front-end: one combining-commit service per shard,
+//! with cross-shard submit routing.
+//!
+//! Combines the two orthogonal scaling levers this crate and `onll` provide:
+//!
+//! * **Sharding** multiplies fence *bandwidth* — N independent pools drain N
+//!   persist stalls in parallel;
+//! * **Combining** ([`onll::DurableService`]) divides fence *count* — each
+//!   shard's live clients share single fences.
+//!
+//! A [`ShardedService`] owns one [`DurableService`] per shard (one combiner
+//! election per shard, so distinct shards commit concurrently), and a
+//! [`ShardedServiceClient`] owns one client slot on every shard, routing each
+//! submitted update to its key's shard. Identities are per shard: an [`OpId`]
+//! returned by a submit is meaningful to the shard that served it (which
+//! [`ShardedServiceClient::submit_routed`] reports, and
+//! [`ShardedService::resolve_on`] takes explicitly).
+
+use crate::router::ShardRouter;
+use crate::sharded::ShardedDurable;
+use onll::{DurableService, KeyedSpec, OnllError, OpId, ServiceClient};
+use std::sync::Arc;
+
+/// A combining-commit session layer over every shard of a
+/// [`ShardedDurable`] — see the [module documentation](self).
+///
+/// Cloning is cheap; clones refer to the same per-shard services.
+pub struct ShardedService<S: KeyedSpec> {
+    services: Arc<Vec<DurableService<S>>>,
+    router: Arc<dyn ShardRouter<S::Key>>,
+}
+
+impl<S: KeyedSpec> Clone for ShardedService<S> {
+    fn clone(&self) -> Self {
+        ShardedService {
+            services: self.services.clone(),
+            router: self.router.clone(),
+        }
+    }
+}
+
+impl<S: KeyedSpec> ShardedDurable<S> {
+    /// Opens a combining-commit service over every shard, each sized for up to
+    /// `clients` concurrent client threads. Claims one process slot per shard
+    /// for that shard's combiner; each [`ShardedService::client`] claims one
+    /// more on every shard — size `max_processes >= clients + 1` (plus any
+    /// plain handles registered besides the service).
+    pub fn service(&self, clients: usize) -> Result<ShardedService<S>, OnllError> {
+        let services = (0..self.num_shards())
+            .map(|i| self.shard(i).service(clients))
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(ShardedService {
+            services: Arc::new(services),
+            router: self.router().clone(),
+        })
+    }
+}
+
+impl<S: KeyedSpec> ShardedService<S> {
+    /// Number of shards.
+    pub fn num_shards(&self) -> usize {
+        self.services.len()
+    }
+
+    /// The shard index owning `key`.
+    pub fn shard_of(&self, key: &S::Key) -> usize {
+        self.router.route(key)
+    }
+
+    /// The per-shard combining service of shard `index`.
+    pub fn shard_service(&self, index: usize) -> &DurableService<S> {
+        &self.services[index]
+    }
+
+    /// Claims a client slot on **every** shard and returns the routing client.
+    /// Fails if any shard's slots are exhausted.
+    pub fn client(&self) -> Result<ShardedServiceClient<S>, OnllError> {
+        let clients = self
+            .services
+            .iter()
+            .map(|s| s.client())
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(ShardedServiceClient {
+            clients,
+            router: self.router.clone(),
+        })
+    }
+
+    /// Runs one combining pass on every shard from the calling thread and
+    /// returns the total operations served (0 when nothing is pending).
+    pub fn combine_now(&self) -> usize {
+        self.services.iter().map(|s| s.combine_now()).sum()
+    }
+
+    /// Exactly-once reply retrieval on a specific shard — identities are per
+    /// shard, so the caller names the shard that served the operation (as
+    /// returned by [`ShardedServiceClient::submit_routed`], or recomputed from
+    /// the key via [`ShardedService::shard_of`]).
+    pub fn resolve_on(&self, shard: usize, op_id: OpId) -> Option<S::Value> {
+        self.services[shard].resolve(op_id)
+    }
+
+    /// Reads through the owning shard's combiner view (keyed reads), or
+    /// combines every shard's answer via [`KeyedSpec::merge_reads`] (global
+    /// reads). Zero persistent fences either way.
+    pub fn read(&self, op: &S::ReadOp) -> S::Value {
+        match S::read_key(op) {
+            Some(key) => self.services[self.router.route(&key)].read(op),
+            None => {
+                let answers = self.services.iter().map(|s| s.read(op)).collect();
+                S::merge_reads(op, answers)
+            }
+        }
+    }
+
+    /// Summed `(batches, operations)` over all shards — the aggregate
+    /// amortization factor (see [`DurableService::batch_stats`]).
+    pub fn batch_stats(&self) -> (u64, u64) {
+        self.services
+            .iter()
+            .map(|s| s.batch_stats())
+            .fold((0, 0), |(b, o), (sb, so)| (b + sb, o + so))
+    }
+}
+
+impl<S: KeyedSpec> std::fmt::Debug for ShardedService<S> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardedService")
+            .field("shards", &self.num_shards())
+            .finish()
+    }
+}
+
+/// A per-thread client spanning every shard of a [`ShardedService`]: each
+/// submitted update is routed to its key's shard and combined there with
+/// other clients' operations for that shard.
+pub struct ShardedServiceClient<S: KeyedSpec> {
+    clients: Vec<ServiceClient<S>>,
+    router: Arc<dyn ShardRouter<S::Key>>,
+}
+
+impl<S: KeyedSpec> ShardedServiceClient<S> {
+    /// Submits an update to its key's shard, blocking until it is durable and
+    /// linearized there. Returns the value and the per-shard [`OpId`].
+    pub fn submit(&mut self, op: S::UpdateOp) -> Result<(S::Value, OpId), OnllError> {
+        self.submit_routed(op)
+            .map(|(value, _, op_id)| (value, op_id))
+    }
+
+    /// Like [`ShardedServiceClient::submit`], additionally reporting the shard
+    /// that served the operation — the shard to hand back to
+    /// [`ShardedService::resolve_on`] for post-crash reply retrieval.
+    pub fn submit_routed(&mut self, op: S::UpdateOp) -> Result<(S::Value, usize, OpId), OnllError> {
+        let shard = self.router.route(&S::update_key(&op));
+        let (value, op_id) = self.clients[shard].submit(op)?;
+        Ok((value, shard, op_id))
+    }
+
+    /// The per-shard client for `shard` (e.g. for `submit_async`-style use).
+    pub fn shard_client(&mut self, shard: usize) -> &mut ServiceClient<S> {
+        &mut self.clients[shard]
+    }
+
+    /// The shard index owning `key`.
+    pub fn shard_of(&self, key: &S::Key) -> usize {
+        self.router.route(key)
+    }
+
+    /// Reads through the owning shard's combiner view (keyed reads) or merges
+    /// all shards' answers (global reads). Zero persistent fences.
+    pub fn read(&self, op: &S::ReadOp) -> S::Value {
+        match S::read_key(op) {
+            Some(key) => self.clients[self.router.route(&key)].read(op),
+            None => {
+                let answers = self.clients.iter().map(|c| c.read(op)).collect();
+                S::merge_reads(op, answers)
+            }
+        }
+    }
+}
+
+impl<S: KeyedSpec> std::fmt::Debug for ShardedServiceClient<S> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardedServiceClient")
+            .field("shards", &self.clients.len())
+            .finish()
+    }
+}
