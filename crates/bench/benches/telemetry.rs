@@ -1,0 +1,281 @@
+//! Telemetry bench: the zero-overhead-when-off contract, and the latency
+//! distributions the instrumentation exists to produce.
+//!
+//! Three measurements, written to `BENCH_telemetry.json`:
+//!
+//! * **overhead** — the disabled-mode cost of the telemetry call sites. A raw
+//!   throughput threshold would flap on noisy CI runners, so the gated number
+//!   is a *paired* measurement: the same update loop is timed plain and with
+//!   the per-update set of disabled telemetry calls issued **again** from the
+//!   driver (each is one branch on a `None` handle). The difference
+//!   upper-bounds what the in-tree call sites cost when telemetry is off, as
+//!   a percentage of the update hot path; CI fails if it exceeds 2%. The
+//!   pre-telemetry hot-path throughput is embedded as `baseline` for context
+//!   (recorded, deliberately not gated — same policy as `BENCH_hotpath`).
+//! * **backends** — fence-latency histograms (p50/p90/p99/max) per backend:
+//!   `sim.fence_ns` on the simulator, `file.fence_ns`/`file.fsync_ns` on the
+//!   file backend, plus the phase spans and log-entry metrics riding along.
+//! * **combiner** — the batch-size distribution of the combining front-end
+//!   under concurrent clients (`combine.batch_size`), the shape Theorem 6.3's
+//!   amortization argument is about.
+//!
+//! ```text
+//! cargo bench -p onll-bench --bench telemetry
+//! ```
+
+use durable_objects::{CounterOp, CounterRead, CounterSpec};
+use nvm_sim::{scratch_dir, BackendSpec, NvmPool, PmemConfig, Telemetry, TelemetrySnapshot};
+use onll::{Durable, OnllConfig};
+use std::time::{Duration, Instant};
+
+const OPS: usize = 100_000;
+const ROUNDS: usize = 5;
+
+/// Pre-telemetry hot-path throughput (BENCH_hotpath `counter_single`, same
+/// machine class): context for the overhead numbers, not a CI gate.
+const BASELINE_COUNTER_SINGLE_OPS_PER_SEC: f64 = 289032.0;
+
+fn sim_pool(telemetry: &Telemetry) -> NvmPool {
+    // No fence penalty: the overhead measurement isolates software cost.
+    NvmPool::new(PmemConfig::with_capacity(2 << 30).telemetry(telemetry.clone()))
+}
+
+fn counter(pool: &NvmPool, name: &str) -> Durable<CounterSpec> {
+    Durable::<CounterSpec>::create(
+        pool.clone(),
+        OnllConfig::named(name).log_capacity(OPS + 2048),
+    )
+    .expect("create counter")
+}
+
+/// Times `OPS` counter updates through a fresh handle on `pool`, issuing
+/// `extra_calls` additional disabled-telemetry calls per update.
+fn time_update_loop(pool: &NvmPool, name: &str, extra_calls: bool) -> Duration {
+    let obj = counter(pool, name);
+    let mut handle = obj.register().expect("register");
+    for _ in 0..1024 {
+        handle.update(CounterOp::Increment);
+    }
+    // The disabled handles the driver re-issues per update: one branch each,
+    // mirroring the instrumentation a disabled stack executes (fence timer,
+    // entry bytes, ops/entry, counter bumps).
+    let off = Telemetry::disabled();
+    let hist = off.histogram("bench.extra_ns");
+    let counter = off.counter("bench.extra");
+    let start = Instant::now();
+    for _ in 0..OPS {
+        if extra_calls {
+            let timer = hist.start_timer();
+            hist.record(0);
+            hist.record(1);
+            counter.add(1);
+            counter.incr();
+            timer.stop();
+        }
+        handle.update(CounterOp::Increment);
+    }
+    start.elapsed()
+}
+
+struct Overhead {
+    disabled_ops_per_sec: f64,
+    disabled_plus_calls_ops_per_sec: f64,
+    enabled_ops_per_sec: f64,
+    disabled_overhead_percent: f64,
+    enabled_overhead_percent: f64,
+}
+
+/// Interleaved best-of-`ROUNDS` A/B/C: plain disabled loop, disabled loop with
+/// the telemetry call sites doubled, fully enabled loop. Interleaving plus
+/// best-of makes the paired difference robust to machine noise.
+fn measure_overhead() -> Overhead {
+    let mut best_plain = Duration::MAX;
+    let mut best_extra = Duration::MAX;
+    let mut best_enabled = Duration::MAX;
+    for round in 0..ROUNDS {
+        let off = Telemetry::disabled();
+        best_plain = best_plain.min(time_update_loop(
+            &sim_pool(&off),
+            &format!("ovh-plain-{round}"),
+            false,
+        ));
+        best_extra = best_extra.min(time_update_loop(
+            &sim_pool(&off),
+            &format!("ovh-extra-{round}"),
+            true,
+        ));
+        let on = Telemetry::enabled();
+        best_enabled = best_enabled.min(time_update_loop(
+            &sim_pool(&on),
+            &format!("ovh-on-{round}"),
+            false,
+        ));
+    }
+    let plain = best_plain.as_secs_f64();
+    let overhead = |t: f64| ((t - plain) / plain * 100.0).max(0.0);
+    Overhead {
+        disabled_ops_per_sec: OPS as f64 / plain,
+        disabled_plus_calls_ops_per_sec: OPS as f64 / best_extra.as_secs_f64(),
+        enabled_ops_per_sec: OPS as f64 / best_enabled.as_secs_f64(),
+        disabled_overhead_percent: overhead(best_extra.as_secs_f64()),
+        enabled_overhead_percent: overhead(best_enabled.as_secs_f64()),
+    }
+}
+
+/// Fence-latency distributions on the simulator.
+fn sim_latencies() -> TelemetrySnapshot {
+    let telemetry = Telemetry::enabled();
+    let pool = NvmPool::new(PmemConfig::with_capacity(256 << 20).telemetry(telemetry.clone()));
+    let obj = counter(&pool, "lat-sim");
+    let mut handle = obj.register().expect("register");
+    for _ in 0..20_000 {
+        handle.update(CounterOp::Increment);
+    }
+    for _ in 0..2_000 {
+        handle.read(&CounterRead::Get);
+    }
+    telemetry.snapshot()
+}
+
+/// Fence + fsync latency distributions on the file backend (real `fsync`s).
+fn file_latencies() -> TelemetrySnapshot {
+    let telemetry = Telemetry::enabled();
+    let dir = scratch_dir("bench-telemetry-file").expect("scratch dir");
+    let pool = NvmPool::provision(
+        &BackendSpec::file(&dir),
+        PmemConfig::with_capacity(64 << 20).telemetry(telemetry.clone()),
+        "telemetry-file",
+    )
+    .expect("provision file pool");
+    let obj = Durable::<CounterSpec>::create(
+        pool.clone(),
+        OnllConfig::named("lat-file").log_capacity(2048 + 64),
+    )
+    .expect("create");
+    let mut handle = obj.register().expect("register");
+    for _ in 0..1_000 {
+        handle.update(CounterOp::Increment);
+    }
+    let snap = telemetry.snapshot();
+    drop(handle);
+    drop(obj);
+    drop(pool);
+    let _ = std::fs::remove_dir_all(dir);
+    snap
+}
+
+/// Combiner batch-size distribution under concurrent clients.
+fn combiner_batches() -> TelemetrySnapshot {
+    let threads = 4usize;
+    let telemetry = Telemetry::enabled();
+    let pool = NvmPool::new(PmemConfig::with_capacity(256 << 20).telemetry(telemetry.clone()));
+    let obj = Durable::<CounterSpec>::create(
+        pool.clone(),
+        OnllConfig::named("lat-combine")
+            .max_processes(threads + 1)
+            .log_capacity(1 << 15)
+            .group_persist(threads),
+    )
+    .expect("create");
+    let service = obj.service(threads).expect("service");
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            let mut client = service.client().expect("client slot");
+            scope.spawn(move || {
+                for _ in 0..10_000 {
+                    client.submit(CounterOp::Increment).expect("submit");
+                }
+            });
+        }
+    });
+    telemetry.snapshot()
+}
+
+fn hist_digest(snap: &TelemetrySnapshot, name: &str) -> String {
+    match snap.histogram(name) {
+        Some(h) if h.count > 0 => format!(
+            "{name}: n={} p50={} p90={} p99={} max={}",
+            h.count,
+            h.p50(),
+            h.p90(),
+            h.p99(),
+            h.max
+        ),
+        _ => format!("{name}: (empty)"),
+    }
+}
+
+fn write_artifact(
+    overhead: &Overhead,
+    sim: &TelemetrySnapshot,
+    file: &TelemetrySnapshot,
+    combiner: &TelemetrySnapshot,
+) -> std::io::Result<std::path::PathBuf> {
+    let mut json = String::from("{\n  \"bench\": \"telemetry\",\n");
+    json.push_str(&format!(
+        "  \"overhead\": {{\"ops\": {OPS}, \"rounds\": {ROUNDS}, \"disabled_ops_per_sec\": {:.1}, \"disabled_plus_calls_ops_per_sec\": {:.1}, \"enabled_ops_per_sec\": {:.1}, \"disabled_overhead_percent\": {:.3}, \"enabled_overhead_percent\": {:.3}}},\n",
+        overhead.disabled_ops_per_sec,
+        overhead.disabled_plus_calls_ops_per_sec,
+        overhead.enabled_ops_per_sec,
+        overhead.disabled_overhead_percent,
+        overhead.enabled_overhead_percent,
+    ));
+    json.push_str(&format!(
+        "  \"baseline\": {{\"note\": \"counter_single ops/s at the pre-telemetry HEAD (BENCH_hotpath); context only, not gated\", \"counter_single_ops_per_sec\": {BASELINE_COUNTER_SINGLE_OPS_PER_SEC:.1}}},\n",
+    ));
+    json.push_str("  \"backends\": {\n    \"sim\": ");
+    json.push_str(&sim.to_json().replace('\n', "\n    "));
+    json.push_str(",\n    \"file\": ");
+    json.push_str(&file.to_json().replace('\n', "\n    "));
+    json.push_str("\n  },\n  \"combiner\": ");
+    json.push_str(&combiner.to_json().replace('\n', "\n  "));
+    json.push_str("\n}\n");
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()?
+        .join("BENCH_telemetry.json");
+    std::fs::write(&path, json)?;
+    Ok(path)
+}
+
+fn main() {
+    println!("telemetry bench ({OPS} updates per overhead round, best of {ROUNDS})");
+    let overhead = measure_overhead();
+    println!(
+        "disabled: {:>12.0} ops/s   +call-sites: {:>12.0} ops/s   enabled: {:>12.0} ops/s",
+        overhead.disabled_ops_per_sec,
+        overhead.disabled_plus_calls_ops_per_sec,
+        overhead.enabled_ops_per_sec
+    );
+    println!(
+        "disabled-mode overhead: {:.3}%   enabled-mode overhead: {:.3}%",
+        overhead.disabled_overhead_percent, overhead.enabled_overhead_percent
+    );
+    assert!(
+        overhead.disabled_overhead_percent <= 2.0,
+        "disabled-mode telemetry overhead {:.3}% exceeds the 2% contract",
+        overhead.disabled_overhead_percent
+    );
+
+    let sim = sim_latencies();
+    let file = file_latencies();
+    let combiner = combiner_batches();
+    println!("{}", hist_digest(&sim, "sim.fence_ns"));
+    println!("{}", hist_digest(&sim, "phase.persist_ns"));
+    println!("{}", hist_digest(&file, "file.fence_ns"));
+    println!("{}", hist_digest(&file, "file.fsync_ns"));
+    println!("{}", hist_digest(&combiner, "combine.batch_size"));
+    assert!(sim.histogram("sim.fence_ns").is_some_and(|h| h.count > 0));
+    assert!(file.histogram("file.fence_ns").is_some_and(|h| h.count > 0));
+    assert!(combiner
+        .histogram("combine.batch_size")
+        .is_some_and(|h| h.count > 0));
+
+    match write_artifact(&overhead, &sim, &file, &combiner) {
+        Ok(path) => println!("\nwrote {}", path.display()),
+        Err(e) => {
+            eprintln!("\nfailed to write BENCH_telemetry.json: {e}");
+            std::process::exit(1);
+        }
+    }
+}

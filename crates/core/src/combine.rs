@@ -53,6 +53,7 @@ use crate::error::OnllError;
 use crate::handle::ProcessHandle;
 use crate::op_id::{OpId, Record};
 use crate::spec::{SequentialSpec, SnapshotSpec};
+use nvm_sim::{Counter, Histogram};
 use parking_lot::Mutex;
 use std::cell::UnsafeCell;
 use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicUsize, Ordering};
@@ -128,6 +129,15 @@ struct ServiceShared<S: SequentialSpec> {
     live_clients: AtomicUsize,
     batches: AtomicU64,
     combined_ops: AtomicU64,
+    /// Operations per committed batch ("combine.batch_size") — the measured
+    /// amortization factor as a distribution, not just a ratio.
+    batch_hist: Histogram,
+    /// Submit→response latency of blocking submits ("combine.submit_ns").
+    submit_hist: Histogram,
+    /// Exactly-once reply retrievals that found a value ("combine.resolve_hits").
+    resolve_hits: Counter,
+    /// Retrievals that found nothing ("combine.resolve_misses").
+    resolve_misses: Counter,
 }
 
 impl<S: SequentialSpec> ServiceShared<S> {
@@ -224,6 +234,7 @@ impl<S: SequentialSpec> ServiceShared<S> {
         self.batches.fetch_add(1, Ordering::Relaxed);
         self.combined_ops
             .fetch_add(served as u64, Ordering::Relaxed);
+        self.batch_hist.record(served as u64);
         served
     }
 
@@ -264,6 +275,7 @@ impl<S: SequentialSpec> Durable<S> {
         assert!(clients >= 1, "a service needs at least one client slot");
         let combiner = self.register()?;
         let max_batch = self.config().max_group_ops.min(clients);
+        let telemetry = self.shared.pool.telemetry();
         Ok(DurableService {
             inner: Arc::new(ServiceShared {
                 durable: self.clone(),
@@ -274,6 +286,10 @@ impl<S: SequentialSpec> Durable<S> {
                 live_clients: AtomicUsize::new(0),
                 batches: AtomicU64::new(0),
                 combined_ops: AtomicU64::new(0),
+                batch_hist: telemetry.histogram("combine.batch_size"),
+                submit_hist: telemetry.histogram("combine.submit_ns"),
+                resolve_hits: telemetry.counter("combine.resolve_hits"),
+                resolve_misses: telemetry.counter("combine.resolve_misses"),
             }),
         })
     }
@@ -336,7 +352,12 @@ impl<S: SequentialSpec> DurableService<S> {
 
     /// Exactly-once reply retrieval by identity — see [`Durable::resolve`].
     pub fn resolve(&self, op_id: OpId) -> Option<S::Value> {
-        self.inner.durable.resolve(op_id)
+        let value = self.inner.durable.resolve(op_id);
+        match &value {
+            Some(_) => self.inner.resolve_hits.incr(),
+            None => self.inner.resolve_misses.incr(),
+        }
+        value
     }
 
     /// Detectable execution by identity — see [`Durable::was_linearized`].
@@ -428,8 +449,11 @@ impl<S: SequentialSpec> ServiceClient<S> {
     /// [`OnllError::LogFull`]) the operation was **not** linearized and may be
     /// re-submitted.
     pub fn submit(&mut self, op: S::UpdateOp) -> Result<(S::Value, OpId), OnllError> {
+        let timer = self.service.submit_hist.start_timer();
         self.submit_async(op);
-        self.wait_reply()
+        let reply = self.wait_reply();
+        timer.stop();
+        reply
     }
 
     /// Publishes an update without waiting, returning its pre-assigned

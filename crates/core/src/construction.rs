@@ -248,6 +248,9 @@ impl<S: SequentialSpec> Durable<S> {
                 "checkpointing requires local views to be enabled".into(),
             ));
         }
+        // With telemetry enabled on the pool, phase-span hooks ride along with
+        // whatever the caller installed; with it disabled this is the identity.
+        let hooks = crate::phase_spans::install(pool.telemetry(), hooks);
         let root = meta_root(&config.name);
         if pool.get_root(root).is_some() {
             return Err(OnllError::MetadataMismatch(format!(
@@ -423,6 +426,7 @@ impl<S: SequentialSpec> Durable<S> {
         base_epoch: u64,
         base_state: Box<dyn Fn() -> S + Send + Sync>,
     ) -> Result<(Self, RecoveryReport), OnllError> {
+        let hooks = crate::phase_spans::install(pool.telemetry(), hooks);
         config.max_processes = max_processes;
         config.log_capacity_entries = log_cfg.capacity_entries;
         config.checkpoint_slot_bytes = cp_slot_bytes;

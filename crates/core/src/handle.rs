@@ -513,10 +513,18 @@ impl<S: SnapshotSpec> ProcessHandle<S> {
         // checkpoint. Crash-safe in every interleaving — see the truncation
         // safety argument in the `checkpoint` module.
         hooks.fire(Phase::BeforeLogTruncate, pid);
+        let live_before = self.log.live_bytes();
         self.log.truncate_below(idx);
         self.shared.log_live_entries[self.pid].store(self.log.live_len() as u64, Ordering::Release);
         self.truncated_below = self.truncated_below.max(idx);
         hooks.fire(Phase::AfterLogTruncate, pid);
+        let telemetry = self.shared.pool.telemetry();
+        if telemetry.is_enabled() {
+            telemetry
+                .counter("ckpt.truncated_bytes")
+                .add(live_before.saturating_sub(self.log.live_bytes()));
+            telemetry.counter("ckpt.checkpoints").incr();
+        }
 
         // Publish the snapshot as the seed for views registered (and anonymous
         // replays performed) after reclamation — they must not start from the

@@ -123,6 +123,24 @@ impl Hooks {
         self.callback.is_some()
     }
 
+    /// Hooks firing `first`'s callback then `second`'s at every phase. If
+    /// either side is inactive the other is returned as-is, so chaining a
+    /// no-op keeps `fire` a single branch (telemetry composes with
+    /// user-installed crash/pause hooks through this).
+    pub fn chain(first: &Hooks, second: &Hooks) -> Hooks {
+        match (&first.callback, &second.callback) {
+            (None, _) => second.clone(),
+            (_, None) => first.clone(),
+            (Some(a), Some(b)) => {
+                let (a, b) = (a.clone(), b.clone());
+                Hooks::new(move |phase, pid| {
+                    a(phase, pid);
+                    b(phase, pid);
+                })
+            }
+        }
+    }
+
     /// Fires the hook (no-op when none is installed).
     #[inline]
     pub fn fire(&self, phase: Phase, pid: u32) {
@@ -176,6 +194,31 @@ mod tests {
         h.fire(Phase::AfterOrder, 0);
         h2.fire(Phase::AfterOrder, 1);
         assert_eq!(count.load(Ordering::Relaxed), 2);
+    }
+
+    #[test]
+    fn chained_hooks_fire_in_order() {
+        let seen = Arc::new(Mutex::new(Vec::new()));
+        let (s1, s2) = (seen.clone(), seen.clone());
+        let a = Hooks::new(move |_, _| s1.lock().unwrap().push("a"));
+        let b = Hooks::new(move |_, _| s2.lock().unwrap().push("b"));
+        Hooks::chain(&a, &b).fire(Phase::BeforeOrder, 0);
+        assert_eq!(*seen.lock().unwrap(), vec!["a", "b"]);
+    }
+
+    #[test]
+    fn chaining_with_inactive_side_is_identity() {
+        let count = Arc::new(AtomicUsize::new(0));
+        let c = count.clone();
+        let h = Hooks::new(move |_, _| {
+            c.fetch_add(1, Ordering::Relaxed);
+        });
+        let left = Hooks::chain(&Hooks::none(), &h);
+        let right = Hooks::chain(&h, &Hooks::none());
+        left.fire(Phase::BeforeOrder, 0);
+        right.fire(Phase::BeforeOrder, 0);
+        assert_eq!(count.load(Ordering::Relaxed), 2);
+        assert!(!Hooks::chain(&Hooks::none(), &Hooks::none()).is_active());
     }
 
     #[test]

@@ -78,6 +78,7 @@ mod handle;
 mod hooks;
 mod local_view;
 mod op_id;
+pub mod phase_spans;
 mod spec;
 
 pub use combine::{DurableService, ServiceClient};

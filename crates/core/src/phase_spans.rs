@@ -1,0 +1,221 @@
+//! Phase-level span timing: turns the [`Phase`] hook stream into latency
+//! histograms, without touching the algorithm.
+//!
+//! Every update already announces its progress through [`crate::Hooks`]
+//! (`BeforeOrder` → … → `BeforeResponse`); this module listens to that stream
+//! and measures the gap between matching phase pairs with thread-local start
+//! marks (phases of one operation all fire on the invoking thread). The
+//! construction installs these hooks only when the pool's telemetry sink is
+//! enabled — with telemetry off, `Hooks` stays exactly what the caller
+//! supplied (by default `None`), so the hot path keeps its single-branch
+//! `fire`.
+//!
+//! Recorded spans (nanoseconds):
+//!
+//! * `phase.order_ns` — `BeforeOrder` → `AfterOrder`: the execution-trace
+//!   insert.
+//! * `phase.persist_ns` — `BeforePersist` → `AfterPersist`: the fuzzy-window
+//!   log append, including the update's one persistent fence.
+//! * `phase.linearize_ns` — `BeforeLinearize` → `AfterLinearize`: setting the
+//!   available flag.
+//! * `phase.response_ns` — `AfterLinearize` → `BeforeResponse`: computing the
+//!   return value and publishing progress.
+//! * `phase.update_ns` — `BeforeOrder` → `BeforeResponse`: the whole update.
+//! * `phase.read_ns` — `BeforeReadSnapshot` → `BeforeReadResponse`.
+//! * `ckpt.stage_ns` / `ckpt.publish_ns` / `ckpt.truncate_ns` — the three
+//!   checkpoint stages, bracketed by their own phases.
+
+use crate::hooks::{Hooks, Phase};
+use nvm_sim::Telemetry;
+use std::cell::Cell;
+use std::time::Instant;
+
+/// One thread-local start mark per measured span. `take()` on record means an
+/// unmatched end phase (e.g. an update that failed before its start mark was
+/// set) records nothing instead of garbage.
+struct Marks {
+    order: Cell<Option<Instant>>,
+    persist: Cell<Option<Instant>>,
+    linearize: Cell<Option<Instant>>,
+    response: Cell<Option<Instant>>,
+    update: Cell<Option<Instant>>,
+    read: Cell<Option<Instant>>,
+    ckpt_stage: Cell<Option<Instant>>,
+    ckpt_publish: Cell<Option<Instant>>,
+    ckpt_truncate: Cell<Option<Instant>>,
+}
+
+thread_local! {
+    static MARKS: Marks = const {
+        Marks {
+            order: Cell::new(None),
+            persist: Cell::new(None),
+            linearize: Cell::new(None),
+            response: Cell::new(None),
+            update: Cell::new(None),
+            read: Cell::new(None),
+            ckpt_stage: Cell::new(None),
+            ckpt_publish: Cell::new(None),
+            ckpt_truncate: Cell::new(None),
+        }
+    };
+}
+
+fn elapsed_ns(mark: &Cell<Option<Instant>>) -> Option<u64> {
+    mark.take().map(|start| start.elapsed().as_nanos() as u64)
+}
+
+/// Builds hooks recording every phase span into `telemetry`. Returns inactive
+/// hooks when the sink is disabled.
+pub fn span_hooks(telemetry: &Telemetry) -> Hooks {
+    if !telemetry.is_enabled() {
+        return Hooks::none();
+    }
+    let order = telemetry.histogram("phase.order_ns");
+    let persist = telemetry.histogram("phase.persist_ns");
+    let linearize = telemetry.histogram("phase.linearize_ns");
+    let response = telemetry.histogram("phase.response_ns");
+    let update = telemetry.histogram("phase.update_ns");
+    let read = telemetry.histogram("phase.read_ns");
+    let ckpt_stage = telemetry.histogram("ckpt.stage_ns");
+    let ckpt_publish = telemetry.histogram("ckpt.publish_ns");
+    let ckpt_truncate = telemetry.histogram("ckpt.truncate_ns");
+    Hooks::new(move |phase, _pid| {
+        MARKS.with(|m| match phase {
+            Phase::BeforeOrder => {
+                m.update.set(Some(Instant::now()));
+                m.order.set(Some(Instant::now()));
+            }
+            Phase::AfterOrder => {
+                if let Some(ns) = elapsed_ns(&m.order) {
+                    order.record(ns);
+                }
+            }
+            Phase::BeforePersist => m.persist.set(Some(Instant::now())),
+            Phase::AfterPersist => {
+                if let Some(ns) = elapsed_ns(&m.persist) {
+                    persist.record(ns);
+                }
+            }
+            Phase::BeforeLinearize => m.linearize.set(Some(Instant::now())),
+            Phase::AfterLinearize => {
+                if let Some(ns) = elapsed_ns(&m.linearize) {
+                    linearize.record(ns);
+                }
+                m.response.set(Some(Instant::now()));
+            }
+            Phase::BeforeResponse => {
+                if let Some(ns) = elapsed_ns(&m.response) {
+                    response.record(ns);
+                }
+                if let Some(ns) = elapsed_ns(&m.update) {
+                    update.record(ns);
+                }
+            }
+            Phase::BeforeReadSnapshot => m.read.set(Some(Instant::now())),
+            Phase::BeforeReadResponse => {
+                if let Some(ns) = elapsed_ns(&m.read) {
+                    read.record(ns);
+                }
+            }
+            Phase::BeforeCheckpointStage => m.ckpt_stage.set(Some(Instant::now())),
+            Phase::AfterCheckpointStage => {
+                if let Some(ns) = elapsed_ns(&m.ckpt_stage) {
+                    ckpt_stage.record(ns);
+                }
+            }
+            Phase::BeforeCheckpointPublish => m.ckpt_publish.set(Some(Instant::now())),
+            Phase::AfterCheckpointPublish => {
+                if let Some(ns) = elapsed_ns(&m.ckpt_publish) {
+                    ckpt_publish.record(ns);
+                }
+            }
+            Phase::BeforeLogTruncate => m.ckpt_truncate.set(Some(Instant::now())),
+            Phase::AfterLogTruncate => {
+                if let Some(ns) = elapsed_ns(&m.ckpt_truncate) {
+                    ckpt_truncate.record(ns);
+                }
+            }
+        })
+    })
+}
+
+/// Composes user-supplied hooks with phase-span telemetry: user hooks fire
+/// first (so pause/crash injection sees phases exactly as before), span marks
+/// second. Identity when the sink is disabled.
+pub(crate) fn install(telemetry: &Telemetry, user: Hooks) -> Hooks {
+    Hooks::chain(&user, &span_hooks(telemetry))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fire_update(hooks: &Hooks) {
+        for p in Phase::UPDATE_PHASES {
+            hooks.fire(p, 0);
+        }
+    }
+
+    #[test]
+    fn disabled_sink_installs_nothing() {
+        assert!(!span_hooks(&Telemetry::disabled()).is_active());
+        assert!(!install(&Telemetry::disabled(), Hooks::none()).is_active());
+    }
+
+    #[test]
+    fn update_phases_record_all_update_spans() {
+        let t = Telemetry::enabled();
+        let hooks = span_hooks(&t);
+        fire_update(&hooks);
+        fire_update(&hooks);
+        let snap = t.snapshot();
+        for name in [
+            "phase.order_ns",
+            "phase.persist_ns",
+            "phase.linearize_ns",
+            "phase.response_ns",
+            "phase.update_ns",
+        ] {
+            assert_eq!(snap.histogram(name).unwrap().count, 2, "{name}");
+        }
+        assert_eq!(snap.histogram("phase.read_ns").unwrap().count, 0);
+    }
+
+    #[test]
+    fn checkpoint_phases_record_checkpoint_spans() {
+        let t = Telemetry::enabled();
+        let hooks = span_hooks(&t);
+        for p in Phase::CHECKPOINT_PHASES {
+            hooks.fire(p, 0);
+        }
+        let snap = t.snapshot();
+        for name in ["ckpt.stage_ns", "ckpt.publish_ns", "ckpt.truncate_ns"] {
+            assert_eq!(snap.histogram(name).unwrap().count, 1, "{name}");
+        }
+    }
+
+    #[test]
+    fn unmatched_end_phase_records_nothing() {
+        let t = Telemetry::enabled();
+        let hooks = span_hooks(&t);
+        hooks.fire(Phase::AfterPersist, 0); // no BeforePersist mark
+        assert_eq!(t.snapshot().histogram("phase.persist_ns").unwrap().count, 0);
+    }
+
+    #[test]
+    fn install_preserves_user_hooks() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        use std::sync::Arc;
+        let count = Arc::new(AtomicUsize::new(0));
+        let c = count.clone();
+        let user = Hooks::new(move |_, _| {
+            c.fetch_add(1, Ordering::Relaxed);
+        });
+        let t = Telemetry::enabled();
+        let hooks = install(&t, user);
+        fire_update(&hooks);
+        assert_eq!(count.load(Ordering::Relaxed), Phase::UPDATE_PHASES.len());
+        assert_eq!(t.snapshot().histogram("phase.update_ns").unwrap().count, 1);
+    }
+}

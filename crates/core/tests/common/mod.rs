@@ -1,5 +1,8 @@
 //! Shared test specifications for the `onll` integration tests.
 
+// Shared by several test binaries; not every binary uses every spec.
+#![allow(dead_code)]
+
 use onll::{OpCodec, SequentialSpec, SnapshotSpec};
 
 /// A counter supporting `Add(k)` updates and a read returning the current value.

@@ -1,0 +1,169 @@
+//! Hook-ordering regression tests: every successful update fires the
+//! [`Phase`] sequence exactly once and in order — on the simulator *and* the
+//! file backend, and through the combined-commit front-end. The phase-span
+//! telemetry relies on this (each span is opened by one phase and closed by a
+//! later one), so a reordered or duplicated hook would silently corrupt the
+//! latency distributions long before any consistency check noticed.
+
+mod common;
+
+use common::{CounterOp, CounterSpec};
+use nvm_sim::{scratch_dir, BackendSpec, NvmPool, PmemConfig};
+use onll::{Durable, Hooks, OnllConfig, Phase};
+use std::sync::{Arc, Mutex};
+
+/// Shared record of every `(phase, pid)` a hook observed, in firing order.
+type PhaseLog = Arc<Mutex<Vec<(Phase, u32)>>>;
+
+/// A hook recording every `(phase, pid)` it observes, in firing order.
+fn recorder() -> (Hooks, PhaseLog) {
+    let seen = Arc::new(Mutex::new(Vec::new()));
+    let sink = seen.clone();
+    let hooks = Hooks::new(move |phase, pid| sink.lock().unwrap().push((phase, pid)));
+    (hooks, seen)
+}
+
+/// Asserts `phases` is exactly `n` back-to-back repetitions of
+/// [`Phase::UPDATE_PHASES`].
+fn assert_update_sequences(phases: &[Phase], n: usize, context: &str) {
+    assert_eq!(
+        phases.len(),
+        n * Phase::UPDATE_PHASES.len(),
+        "{context}: expected {n} complete update sequences, got {phases:?}"
+    );
+    for (i, phase) in phases.iter().enumerate() {
+        let expected = Phase::UPDATE_PHASES[i % Phase::UPDATE_PHASES.len()];
+        assert_eq!(
+            *phase, expected,
+            "{context}: phase {i} out of order in {phases:?}"
+        );
+    }
+}
+
+fn run_direct_updates(pool: NvmPool, updates: usize, context: &str) {
+    let (hooks, seen) = recorder();
+    let c = Durable::<CounterSpec>::create_with_hooks(pool, OnllConfig::named("hook-order"), hooks)
+        .unwrap();
+    let mut h = c.register().unwrap();
+    for i in 0..updates {
+        h.update(CounterOp::Add(i as i64 + 1));
+    }
+    let phases: Vec<Phase> = seen.lock().unwrap().iter().map(|(p, _)| *p).collect();
+    assert_update_sequences(&phases, updates, context);
+}
+
+#[test]
+fn direct_updates_fire_the_phase_sequence_once_each_on_sim() {
+    let pool = NvmPool::new(PmemConfig::with_capacity(32 << 20));
+    run_direct_updates(pool, 25, "sim backend");
+}
+
+#[test]
+fn direct_updates_fire_the_phase_sequence_once_each_on_file() {
+    let dir = scratch_dir("hook-order-file").unwrap();
+    let pool = NvmPool::provision(
+        &BackendSpec::file(&dir),
+        PmemConfig::with_capacity(32 << 20),
+        "hook-order",
+    )
+    .unwrap();
+    run_direct_updates(pool, 10, "file backend");
+    let _ = std::fs::remove_dir_all(dir);
+}
+
+#[test]
+fn reads_fire_only_the_read_phases() {
+    let pool = NvmPool::new(PmemConfig::with_capacity(32 << 20));
+    let (hooks, seen) = recorder();
+    let c = Durable::<CounterSpec>::create_with_hooks(pool, OnllConfig::named("hook-order"), hooks)
+        .unwrap();
+    let mut h = c.register().unwrap();
+    h.update(CounterOp::Add(1));
+    seen.lock().unwrap().clear();
+    for _ in 0..5 {
+        h.read(&());
+    }
+    let phases: Vec<Phase> = seen.lock().unwrap().iter().map(|(p, _)| *p).collect();
+    assert_eq!(
+        phases,
+        [Phase::BeforeReadSnapshot, Phase::BeforeReadResponse].repeat(5)
+    );
+}
+
+#[test]
+fn single_client_combined_commits_fire_the_sequence_once_per_update() {
+    // One live client: every submit is its own combined batch, so the update
+    // sequence must fire exactly once per update, in order, on that client.
+    let pool = NvmPool::new(PmemConfig::with_capacity(64 << 20));
+    let (hooks, seen) = recorder();
+    let c = Durable::<CounterSpec>::create_with_hooks(
+        pool,
+        OnllConfig::named("hook-order").max_processes(2),
+        hooks,
+    )
+    .unwrap();
+    let service = c.service(1).unwrap();
+    let mut client = service.client().unwrap();
+    for i in 0..20 {
+        client.submit(CounterOp::Add(i + 1)).unwrap();
+    }
+    let phases: Vec<Phase> = seen.lock().unwrap().iter().map(|(p, _)| *p).collect();
+    assert_update_sequences(&phases, 20, "combined commit, single client");
+}
+
+#[test]
+fn concurrent_combined_commits_fire_one_ordered_sequence_per_batch() {
+    // With several live clients, ops coalesce: the sequence fires once per
+    // *combined commit* on the combiner's pid. Each pid's stream must still be
+    // a concatenation of complete in-order sequences, and the total number of
+    // sequences must equal the service's own batch count (no batch commits
+    // without firing the sequence; none fires it twice).
+    let threads = 4usize;
+    let per_thread = 50usize;
+    let pool = NvmPool::new(PmemConfig::with_capacity(64 << 20));
+    let (hooks, seen) = recorder();
+    let c = Durable::<CounterSpec>::create_with_hooks(
+        pool,
+        OnllConfig::named("hook-order")
+            .max_processes(threads + 1)
+            .log_capacity(1 << 12)
+            .group_persist(threads),
+        hooks,
+    )
+    .unwrap();
+    let service = c.service(threads).unwrap();
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            let mut client = service.client().unwrap();
+            scope.spawn(move || {
+                for i in 0..per_thread {
+                    client.submit(CounterOp::Add(i as i64 + 1)).unwrap();
+                }
+            });
+        }
+    });
+    let events = seen.lock().unwrap();
+    let pids: std::collections::BTreeSet<u32> = events.iter().map(|(_, pid)| *pid).collect();
+    let mut total_sequences = 0;
+    for pid in pids {
+        let phases: Vec<Phase> = events
+            .iter()
+            .filter(|(_, p)| *p == pid)
+            .map(|(phase, _)| *phase)
+            .collect();
+        assert_eq!(
+            phases.len() % Phase::UPDATE_PHASES.len(),
+            0,
+            "pid {pid}: truncated sequence in {phases:?}"
+        );
+        let n = phases.len() / Phase::UPDATE_PHASES.len();
+        assert_update_sequences(&phases, n, &format!("combined commit, pid {pid}"));
+        total_sequences += n as u64;
+    }
+    let (batches, ops) = service.batch_stats();
+    assert_eq!(ops, (threads * per_thread) as u64);
+    assert_eq!(
+        total_sequences, batches,
+        "every combined batch fires the update sequence exactly once"
+    );
+}

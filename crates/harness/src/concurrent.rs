@@ -50,7 +50,7 @@ where
     S: SequentialSpec,
     H: DurableObject<S>,
 {
-    let fences_before: u64 = pools.iter().map(|p| p.stats().persistent_fences()).sum();
+    let before = onll_shard::merged_global_stats(pools);
     let start = Instant::now();
     let make_handle = &make_handle;
     let next_op = &next_op;
@@ -84,7 +84,9 @@ where
             .fold((0, 0), |(u, r), (wu, wr)| (u + wu, r + wr))
     });
     let elapsed = start.elapsed();
-    let fences_after: u64 = pools.iter().map(|p| p.stats().persistent_fences()).sum();
+    // The full stats delta rides along (satellite fix: drivers used to keep
+    // only the fence count and drop the rest of the backend totals).
+    let delta = onll_shard::merged_global_stats(pools).delta(&before);
     RunReport {
         threads,
         seed,
@@ -94,7 +96,9 @@ where
         updates,
         reads,
         elapsed,
-        persistent_fences: fences_after - fences_before,
+        persistent_fences: delta.persistent_fences,
+        fence_totals: delta,
+        telemetry: onll_shard::merged_telemetry(pools),
     }
 }
 
@@ -183,6 +187,13 @@ mod tests {
         assert_eq!(report.updates + report.reads, 300);
         // Combining can only reduce fences below one per update, never add.
         assert!(report.persistent_fences <= report.updates);
+        // Full backend totals ride along; telemetry is None when disabled.
+        assert_eq!(
+            report.fence_totals.persistent_fences,
+            report.persistent_fences
+        );
+        assert!(report.fence_totals.stores > 0);
+        assert!(report.telemetry.is_none());
         service.durable().check_invariants().unwrap();
     }
 

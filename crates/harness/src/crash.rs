@@ -13,7 +13,10 @@ use crate::linearizability::{
     check_durable_linearizability, check_linearizability, DurabilityViolation,
 };
 use durable_objects::{CounterOp, CounterRead, CounterSpec};
-use nvm_sim::{BackendSpec, CrashTrigger, NvmPool, PmemConfig};
+use nvm_sim::{
+    BackendSpec, CrashTrigger, NvmPool, PmemConfig, Telemetry, TelemetrySnapshot,
+    ThreadStatsSnapshot,
+};
 use onll::{Durable, OnllConfig, OpId};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -46,6 +49,10 @@ pub struct CrashExperiment {
     /// named from the seed and crash point) and left in place — the caller
     /// owns the directory and its cleanup.
     pub backend: BackendSpec,
+    /// Telemetry sink for the experiment's pool. Disabled by default; pass
+    /// [`Telemetry::enabled`] to collect fence/phase latency distributions
+    /// alongside the consistency verdicts.
+    pub telemetry: Telemetry,
 }
 
 impl Default for CrashExperiment {
@@ -58,6 +65,7 @@ impl Default for CrashExperiment {
             seed: 42,
             check_linearizability_limit: 14,
             backend: BackendSpec::Sim,
+            telemetry: Telemetry::disabled(),
         }
     }
 }
@@ -79,6 +87,12 @@ pub struct CrashOutcome {
     /// Whether the crash actually fired during the workload (it may not, if the
     /// trigger exceeds the workload's total events).
     pub crashed: bool,
+    /// Full backend totals (stores, flushes, fences) for the whole experiment,
+    /// including recovery — reproducing a randomized failure needs the complete
+    /// cost picture, on either backend, not only the consistency verdicts.
+    pub fence_totals: ThreadStatsSnapshot,
+    /// Telemetry rollup when the experiment ran with an enabled sink.
+    pub telemetry: Option<TelemetrySnapshot>,
 }
 
 impl CrashOutcome {
@@ -94,7 +108,8 @@ impl CrashExperiment {
     pub fn run(&self) -> CrashOutcome {
         let pmem = PmemConfig::with_capacity(64 << 20)
             .apply_pending_at_crash(self.apply_pending_probability)
-            .crash_seed(self.seed ^ 0xBADC0FFE);
+            .crash_seed(self.seed ^ 0xBADC0FFE)
+            .telemetry(self.telemetry.clone());
         // Distinct pool files per sweep point: sweeps vary crash_after_events,
         // and a stale pool from an earlier point must never be recovered.
         let label = format!("crash-counter-{}-{}", self.seed, self.crash_after_events);
@@ -165,6 +180,7 @@ impl CrashExperiment {
             None
         };
         let recovered_value = recovered.read_latest(&CounterRead::Get);
+        let telemetry = pool.telemetry();
         CrashOutcome {
             completed_updates,
             recovered_updates: recovered_ids.len(),
@@ -172,6 +188,8 @@ impl CrashExperiment {
             linearizability,
             recovered_value,
             crashed,
+            fence_totals: pool.stats().snapshot().global,
+            telemetry: telemetry.is_enabled().then(|| telemetry.snapshot()),
         }
     }
 
@@ -216,6 +234,26 @@ mod tests {
         assert!(outcome.crashed);
         assert!(outcome.is_consistent(), "{outcome:?}");
         assert!(outcome.recovered_updates >= outcome.completed_updates);
+        // The backend totals ride along with the verdicts.
+        assert!(outcome.fence_totals.persistent_fences > 0);
+        assert!(outcome.fence_totals.stores > 0);
+        assert!(outcome.telemetry.is_none());
+    }
+
+    #[test]
+    fn telemetry_enabled_experiment_reports_fence_latencies() {
+        let outcome = CrashExperiment {
+            threads: 1,
+            ops_per_thread: 10,
+            crash_after_events: 1_000_000,
+            telemetry: Telemetry::enabled(),
+            ..Default::default()
+        }
+        .run();
+        assert!(outcome.is_consistent(), "{outcome:?}");
+        let snap = outcome.telemetry.expect("telemetry enabled");
+        let fences = snap.histogram("sim.fence_ns").expect("sim fence histogram");
+        assert!(fences.count >= outcome.fence_totals.persistent_fences);
     }
 
     #[test]
@@ -253,6 +291,8 @@ mod tests {
         };
         for (i, outcome) in exp.sweep([30, 77, 124]).iter().enumerate() {
             assert!(outcome.is_consistent(), "file sweep point {i}: {outcome:?}");
+            // Totals are carried uniformly on the file backend too.
+            assert!(outcome.fence_totals.stores > 0, "file sweep point {i}");
         }
         let _ = std::fs::remove_dir_all(dir);
     }

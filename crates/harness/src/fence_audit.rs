@@ -42,6 +42,12 @@ pub struct FenceAudit {
     pub read_flushes: u64,
     /// Total NVM store instructions issued during reads (must be zero for ONLL).
     pub read_stores: u64,
+    /// Total flush instructions issued during updates. Carried so the audit
+    /// reports the full backend totals (reproducing a randomized failure needs
+    /// the whole cost picture, not only the fence counts).
+    pub update_flushes: u64,
+    /// Total NVM store instructions issued during updates.
+    pub update_stores: u64,
 }
 
 impl FenceAudit {
@@ -98,6 +104,8 @@ impl FenceAudit {
         self.max_fences_per_read = self.max_fences_per_read.max(other.max_fences_per_read);
         self.read_flushes += other.read_flushes;
         self.read_stores += other.read_stores;
+        self.update_flushes += other.update_flushes;
+        self.update_stores += other.update_stores;
     }
 
     /// The amortized per-operation fence bounds of a cross-thread combining
@@ -143,6 +151,8 @@ where
                 audit.update_fences += inherent;
                 audit.checkpoint_fences += d.maintenance_fences;
                 audit.max_fences_per_update = audit.max_fences_per_update.max(inherent);
+                audit.update_flushes += d.flushes;
+                audit.update_stores += d.stores;
             }
             WorkloadOp::Read(r) => {
                 object.read(&r);
@@ -187,6 +197,9 @@ mod tests {
         assert_eq!(audit.fences_per_update(), 1.0);
         assert_eq!(audit.fences_per_read(), 0.0);
         assert_eq!(audit.updates + audit.reads, 400);
+        // The full backend totals ride along: updates store and flush the log.
+        assert!(audit.update_stores > 0);
+        assert!(audit.update_flushes > 0);
     }
 
     #[test]

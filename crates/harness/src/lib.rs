@@ -51,7 +51,7 @@ pub use linearizability::{
     check_durable_linearizability, check_linearizability, DurabilityViolation,
 };
 pub use lower_bound::{run_lower_bound_experiment, LowerBoundReport};
-pub use report::Table;
+pub use report::{telemetry_counter_table, telemetry_histogram_table, Table};
 pub use sharded::{
     audit_sharded_fence_bounds, run_sharded_kv_workload, RunReport, ShardedRunSummary, SubmitMode,
 };

@@ -2,6 +2,11 @@
 //!
 //! The benchmarks regenerate the paper's comparisons as small aligned tables on
 //! stdout (who wins, by what factor), in addition to Criterion's own statistics.
+//! [`telemetry_histogram_table`] and [`telemetry_counter_table`] render a
+//! [`TelemetrySnapshot`] the same way, so examples and benches print latency
+//! distributions without each reinventing the formatting.
+
+use nvm_sim::TelemetrySnapshot;
 
 /// A simple aligned text table.
 #[derive(Debug, Clone, Default)]
@@ -86,6 +91,43 @@ impl Table {
     }
 }
 
+/// Renders every histogram of a telemetry snapshot as one table row
+/// (count, mean, p50/p90/p99 and max). Quantiles are upper bounds of the
+/// log-scaled buckets, clamped to the observed maximum.
+pub fn telemetry_histogram_table(title: &str, snapshot: &TelemetrySnapshot) -> Table {
+    let mut table = Table::new(
+        title,
+        &["metric", "count", "mean", "p50", "p90", "p99", "max"],
+    );
+    for h in &snapshot.histograms {
+        if h.count == 0 {
+            continue;
+        }
+        table.row(&[
+            h.name.clone(),
+            h.count.to_string(),
+            format!("{:.1}", h.mean()),
+            h.p50().to_string(),
+            h.p90().to_string(),
+            h.p99().to_string(),
+            h.max.to_string(),
+        ]);
+    }
+    table
+}
+
+/// Renders the counters and gauges of a telemetry snapshot as one table.
+pub fn telemetry_counter_table(title: &str, snapshot: &TelemetrySnapshot) -> Table {
+    let mut table = Table::new(title, &["metric", "value"]);
+    for c in &snapshot.counters {
+        table.row(&[c.name.clone(), c.value.to_string()]);
+    }
+    for g in &snapshot.gauges {
+        table.row(&[g.name.clone(), g.value.to_string()]);
+    }
+    table
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -111,5 +153,24 @@ mod tests {
     fn mismatched_row_width_panics() {
         let mut t = Table::new("demo", &["a", "b"]);
         t.row_display(&["only-one"]);
+    }
+
+    #[test]
+    fn telemetry_tables_render_snapshot_metrics() {
+        let telemetry = nvm_sim::Telemetry::enabled();
+        telemetry.counter("ckpt.checkpoints").add(3);
+        let h = telemetry.histogram("sim.fence_ns");
+        for v in [10u64, 100, 1000] {
+            h.record(v);
+        }
+        let snap = telemetry.snapshot();
+        let hist = telemetry_histogram_table("latency", &snap);
+        assert_eq!(hist.len(), 1);
+        let rendered = hist.render();
+        assert!(rendered.contains("sim.fence_ns"));
+        assert!(rendered.contains("p99"));
+        let counters = telemetry_counter_table("counters", &snap);
+        assert_eq!(counters.len(), 1);
+        assert!(counters.render().contains("ckpt.checkpoints"));
     }
 }

@@ -10,6 +10,7 @@
 use crate::fence_audit::FenceAudit;
 use crate::workload::{Workload, WorkloadMix, WorkloadOp};
 use durable_objects::KvSpec;
+use nvm_sim::{TelemetrySnapshot, ThreadStatsSnapshot};
 use onll::KeyedSpec;
 use onll_shard::{AggregateWindow, ShardedDurable, ShardedHandle};
 use std::time::{Duration, Instant};
@@ -90,6 +91,15 @@ pub struct RunReport {
     pub elapsed: Duration,
     /// Persistent fences issued during the run, summed over all shard pools.
     pub persistent_fences: u64,
+    /// The full backend `FenceStats` delta of the run (stores, flushes,
+    /// fences, write-backs — everything, not just the fence count), merged
+    /// over all pools. Randomized-failure reproductions need the complete
+    /// totals, and they must be carried uniformly by every driver on both
+    /// backends instead of being dropped on the floor.
+    pub fence_totals: ThreadStatsSnapshot,
+    /// Telemetry rollup of the run's pools, when the pools carry an enabled
+    /// sink (`None` otherwise).
+    pub telemetry: Option<TelemetrySnapshot>,
 }
 
 /// Former name of [`RunReport`].
@@ -198,6 +208,7 @@ pub fn run_sharded_kv_workload(
     });
     let elapsed = start.elapsed();
     let after = onll_shard::merged_global_stats(object.pools());
+    let delta = after.delta(&before);
     RunReport {
         threads,
         seed,
@@ -207,7 +218,9 @@ pub fn run_sharded_kv_workload(
         updates,
         reads,
         elapsed,
-        persistent_fences: after.delta(&before).persistent_fences,
+        persistent_fences: delta.persistent_fences,
+        fence_totals: delta,
+        telemetry: onll_shard::merged_telemetry(object.pools()),
     }
 }
 
@@ -269,6 +282,47 @@ mod tests {
         // Individual submission: exactly one fence per update.
         assert_eq!(summary.persistent_fences, summary.updates);
         object.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn report_carries_full_fence_totals_and_telemetry() {
+        use nvm_sim::Telemetry;
+        let telemetry = Telemetry::enabled();
+        let config = ShardConfig::named("kv")
+            .shards(2)
+            .base(OnllConfig::default().max_processes(2).log_capacity(4096))
+            .pmem(
+                PmemConfig::with_capacity(64 << 20)
+                    .apply_pending_at_crash(0.0)
+                    .telemetry(telemetry.clone()),
+            );
+        let object = ShardedDurable::<KvSpec>::create(config, Arc::new(HashRouter::new(2)))
+            .expect("create sharded kv");
+        let summary = run_sharded_kv_workload(
+            &object,
+            2,
+            100,
+            WorkloadMix::with_update_percent(50),
+            11,
+            SubmitMode::Individual,
+        );
+        // Satellite fix: the *full* backend totals ride along, not just the
+        // fence count.
+        assert_eq!(
+            summary.fence_totals.persistent_fences,
+            summary.persistent_fences
+        );
+        assert!(summary.fence_totals.stores > 0);
+        assert!(summary.fence_totals.flushes > 0);
+        // And the telemetry rollup is attached when the sink is enabled.
+        let snap = summary.telemetry.as_ref().expect("telemetry enabled");
+        assert_eq!(
+            snap.histogram("phase.update_ns").unwrap().count,
+            summary.updates
+        );
+        // Fence latencies cover at least the run's fences (creation persists
+        // its own metadata before the run, so the sink may hold a few more).
+        assert!(snap.histogram("sim.fence_ns").unwrap().count >= summary.persistent_fences);
     }
 
     #[test]

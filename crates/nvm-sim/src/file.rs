@@ -30,6 +30,7 @@ use crate::policy::{PmemConfig, WritebackPolicy};
 use crate::region::{CrashToken, CrashTrigger};
 use crate::stats::FenceStats;
 use crate::thread_slot::{current_thread_slot, MAX_THREAD_SLOTS};
+use onll_telemetry::Histogram;
 use parking_lot::{Mutex, RwLock};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -85,6 +86,12 @@ pub struct FileBackend {
     eviction_rng: Mutex<StdRng>,
     crash_rng: Mutex<StdRng>,
     crash_count: Mutex<u64>,
+    /// Wall time of every persistent fence, write-back included
+    /// ("file.fence_ns").
+    fence_hist: Histogram,
+    /// Wall time of the `fsync` alone ("file.fsync_ns") — the real durability
+    /// barrier, and the quantity fsync-coalescing work needs distributions of.
+    fsync_hist: Histogram,
 }
 
 impl FileBackend {
@@ -158,6 +165,8 @@ impl FileBackend {
             eviction_rng: Mutex::new(StdRng::seed_from_u64(eviction_seed)),
             crash_rng: Mutex::new(StdRng::seed_from_u64(cfg.crash_seed)),
             crash_count: Mutex::new(0),
+            fence_hist: cfg.telemetry.histogram("file.fence_ns"),
+            fsync_hist: cfg.telemetry.histogram("file.fsync_ns"),
             cfg,
         }
     }
@@ -334,10 +343,14 @@ impl PmemBackend for FileBackend {
         let persistent = !drained.is_empty();
         let lines = drained.len() as u64;
         if persistent {
+            let fence_timer = self.fence_hist.start_timer();
             self.write_lines(&drained);
             // The real durability barrier: the fence is not done until the
             // kernel confirms the data reached stable storage.
+            let fsync_timer = self.fsync_hist.start_timer();
             self.sync();
+            fsync_timer.stop();
+            fence_timer.stop();
         }
         self.stats.record_fence(persistent, lines);
         self.armed.tick(ArmedKind::Fences, || {

@@ -65,3 +65,7 @@ pub use pool::{NvmPool, RootId, MAX_ROOTS};
 pub use region::{CrashToken, CrashTrigger, NvmRegion};
 pub use stats::{FenceStats, MaintenanceScope, OpWindow, StatsSnapshot, ThreadStatsSnapshot};
 pub use thread_slot::{current_thread_slot, MAX_THREAD_SLOTS};
+
+pub use onll_telemetry::{
+    Counter, Gauge, Histogram, HistogramSnapshot, Telemetry, TelemetrySnapshot,
+};

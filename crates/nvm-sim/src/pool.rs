@@ -155,6 +155,14 @@ impl NvmPool {
         self.inner.backend.stats()
     }
 
+    /// The metric sink configured for this pool (disabled by default). Every
+    /// layer built on the pool — persist-log, core, combine, checkpoint —
+    /// resolves its metric handles through here, so enabling telemetry on the
+    /// [`PmemConfig`] instruments the whole stack.
+    pub fn telemetry(&self) -> &onll_telemetry::Telemetry {
+        &self.inner.backend.config().telemetry
+    }
+
     /// Allocates `size` bytes (rounded up to whole cache lines) and returns the
     /// starting address. The allocation cursor is persisted so allocations are not
     /// forgotten across crashes.

@@ -7,6 +7,7 @@ use crate::layout::{line_range, PAddr};
 use crate::policy::{PmemConfig, WritebackPolicy};
 use crate::stats::FenceStats;
 use crate::thread_slot::{current_thread_slot, MAX_THREAD_SLOTS};
+use onll_telemetry::Histogram;
 use parking_lot::Mutex;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -80,6 +81,12 @@ pub struct NvmRegion {
     eviction_rng: Mutex<StdRng>,
     crash_rng: Mutex<StdRng>,
     crash_count: Mutex<u64>,
+    /// Wall time of every persistent fence ("sim.fence_ns"); disabled handles
+    /// when the config carries no sink.
+    fence_hist: Histogram,
+    /// Time spent draining the simulated write-pending queue — the serialized
+    /// `fence_penalty` stall ("sim.wpq_drain_ns").
+    wpq_hist: Histogram,
 }
 
 impl NvmRegion {
@@ -103,6 +110,8 @@ impl NvmRegion {
             armed: ArmedCrash::new(),
             persist_queue: Mutex::new(()),
             crash_count: Mutex::new(0),
+            fence_hist: cfg.telemetry.histogram("sim.fence_ns"),
+            wpq_hist: cfg.telemetry.histogram("sim.wpq_drain_ns"),
             cfg,
         }
     }
@@ -262,6 +271,7 @@ impl NvmRegion {
             return false;
         }
         let slot = current_thread_slot();
+        let fence_timer = self.fence_hist.start_timer();
         let (persistent, lines) = {
             // Write-backs are applied while holding the (per-thread,
             // uncontended) pending lock; `flush` and `crash` take the same
@@ -275,8 +285,13 @@ impl NvmRegion {
         };
         self.stats.record_fence(persistent, lines);
         if persistent && !self.cfg.fence_penalty.is_zero() {
+            let wpq_timer = self.wpq_hist.start_timer();
             let _wpq = self.persist_queue.lock();
             block_for(self.cfg.fence_penalty);
+            wpq_timer.stop();
+        }
+        if persistent {
+            fence_timer.stop();
         }
         self.tick_armed(ArmedKind::Fences);
         persistent

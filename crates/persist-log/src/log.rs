@@ -5,7 +5,7 @@ use crate::entry::{
     begin_encode, decode_entry, encode_entry, finish_encode, peek_occupied, push_op, LogEntry,
     ENTRY_HEADER,
 };
-use nvm_sim::{NvmPool, PAddr};
+use nvm_sim::{Histogram, NvmPool, PAddr};
 use std::fmt;
 
 /// Errors returned by [`PersistentLog`].
@@ -70,6 +70,11 @@ pub struct PersistentLog {
     live_bytes: u64,
     /// Reusable encode buffer for appends (capacity settles at one slot).
     scratch: Vec<u8>,
+    /// Occupied bytes of every published entry ("log.entry_bytes").
+    entry_bytes_hist: Histogram,
+    /// Operations recorded per published entry ("log.ops_per_entry") — the
+    /// fuzzy-window helping factor made visible.
+    ops_per_entry_hist: Histogram,
 }
 
 impl PersistentLog {
@@ -91,6 +96,8 @@ impl PersistentLog {
         pool.flush(base, header.len());
         pool.fence();
         PersistentLog {
+            entry_bytes_hist: pool.telemetry().histogram("log.entry_bytes"),
+            ops_per_entry_hist: pool.telemetry().histogram("log.ops_per_entry"),
             pool,
             cfg,
             base,
@@ -109,6 +116,8 @@ impl PersistentLog {
         let start_slot = read_u64(&pool, base + HDR_START_SLOT);
         let start_seq = read_u64(&pool, base + HDR_START_SEQ).max(1);
         let mut log = PersistentLog {
+            entry_bytes_hist: pool.telemetry().histogram("log.entry_bytes"),
+            ops_per_entry_hist: pool.telemetry().histogram("log.ops_per_entry"),
             pool,
             cfg,
             base,
@@ -177,7 +186,7 @@ impl PersistentLog {
             .map_err(LogError::EntryTooLarge);
         let result = match encoded {
             Ok(()) => {
-                self.publish_scratch(&scratch);
+                self.publish_scratch(&scratch, ops.len() as u32);
                 Ok(())
             }
             Err(e) => Err(e),
@@ -206,7 +215,7 @@ impl PersistentLog {
 
     /// Writes the finished scratch entry into the next slot: stores + flushes of
     /// the occupied bytes, one fence, then advances the volatile counters.
-    fn publish_scratch(&mut self, entry: &[u8]) {
+    fn publish_scratch(&mut self, entry: &[u8], num_ops: u32) {
         let addr = self.entry_addr(self.next_slot);
         self.pool.write(addr, entry);
         self.pool.flush(addr, entry.len());
@@ -214,6 +223,8 @@ impl PersistentLog {
         self.next_seq += 1;
         self.next_slot = (self.next_slot + 1) % self.cfg.capacity_entries as u64;
         self.live_bytes += entry.len() as u64;
+        self.entry_bytes_hist.record(entry.len() as u64);
+        self.ops_per_entry_hist.record(num_ops as u64);
     }
 
     /// Drops all live entries: the next recovery will start from the current append
@@ -424,7 +435,7 @@ impl EntryWriter<'_> {
         }
         finish_encode(&mut self.scratch, self.num_ops);
         let scratch = std::mem::take(&mut self.scratch);
-        self.log.publish_scratch(&scratch);
+        self.log.publish_scratch(&scratch, self.num_ops);
         self.log.scratch = scratch;
         Ok(())
     }

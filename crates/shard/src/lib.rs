@@ -78,4 +78,4 @@ pub use recovery::ShardRecoveryReport;
 pub use router::{HashRouter, RangeRouter, ShardRouter};
 pub use service::{ShardedService, ShardedServiceClient};
 pub use sharded::{CheckpointDaemon, ShardedDurable};
-pub use stats::{merged_global_stats, AggregateWindow};
+pub use stats::{merged_global_stats, merged_telemetry, AggregateWindow};

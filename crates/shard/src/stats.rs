@@ -6,7 +6,7 @@
 //! [`OpWindow`] per pool and closes them into a single merged delta, so fence
 //! audits can assert the Theorem 5.1 bounds across all shards at once.
 
-use nvm_sim::{NvmPool, OpWindow, ThreadStatsSnapshot};
+use nvm_sim::{NvmPool, OpWindow, TelemetrySnapshot, ThreadStatsSnapshot};
 
 /// A scoped window over the calling thread's persistence counters on *every*
 /// pool of a sharded object.
@@ -42,6 +42,29 @@ pub fn merged_global_stats(pools: &[NvmPool]) -> ThreadStatsSnapshot {
     let globals: Vec<ThreadStatsSnapshot> =
         pools.iter().map(|p| p.stats().snapshot().global).collect();
     ThreadStatsSnapshot::merge_all(globals.iter())
+}
+
+/// Merged telemetry rollup across a set of pools, deduplicated by sink: the
+/// per-shard pools of a partitioned [`nvm_sim::PmemConfig`] share one sink
+/// (snapshot it once), while independently provisioned pools with distinct
+/// sinks have their distributions combined. Returns `None` when no pool has
+/// telemetry enabled.
+pub fn merged_telemetry(pools: &[NvmPool]) -> Option<TelemetrySnapshot> {
+    let mut seen_sinks = Vec::new();
+    let mut merged: Option<TelemetrySnapshot> = None;
+    for pool in pools {
+        let telemetry = pool.telemetry();
+        if !telemetry.is_enabled() || seen_sinks.contains(&telemetry.sink_id()) {
+            continue;
+        }
+        seen_sinks.push(telemetry.sink_id());
+        let snap = telemetry.snapshot();
+        match &mut merged {
+            Some(m) => m.merge(&snap),
+            None => merged = Some(snap),
+        }
+    }
+    merged
 }
 
 #[cfg(test)]
@@ -87,6 +110,37 @@ mod tests {
         let d = w.close();
         assert_eq!(d.persistent_fences, 1);
         assert_eq!(d.fences, 2);
+    }
+
+    #[test]
+    fn merged_telemetry_deduplicates_shared_sinks() {
+        use nvm_sim::Telemetry;
+        // Partitioned config: all shards share one sink.
+        let telemetry = Telemetry::enabled();
+        let shared: Vec<NvmPool> = PmemConfig::with_capacity(1 << 20)
+            .telemetry(telemetry.clone())
+            .partition(2)
+            .into_iter()
+            .map(NvmPool::new)
+            .collect();
+        telemetry.counter("x").add(5);
+        let merged = merged_telemetry(&shared).expect("enabled sink");
+        assert_eq!(merged.counter("x").unwrap().value, 5, "not double-counted");
+
+        // Distinct sinks: values combine.
+        let t1 = Telemetry::enabled();
+        let t2 = Telemetry::enabled();
+        t1.counter("x").add(1);
+        t2.counter("x").add(2);
+        let distinct = vec![
+            NvmPool::new(PmemConfig::with_capacity(1 << 20).telemetry(t1)),
+            NvmPool::new(PmemConfig::with_capacity(1 << 20).telemetry(t2)),
+        ];
+        let merged = merged_telemetry(&distinct).expect("enabled sinks");
+        assert_eq!(merged.counter("x").unwrap().value, 3);
+
+        // Disabled everywhere: no snapshot.
+        assert!(merged_telemetry(&pools(2)).is_none());
     }
 
     #[test]

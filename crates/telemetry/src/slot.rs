@@ -1,0 +1,47 @@
+//! Per-thread slot assignment for contention-free metric recording.
+//!
+//! Mirrors nvm-sim's thread-slot scheme (each thread gets a stable index into a
+//! cache-line-padded slot array on first use) with one difference: instead of
+//! panicking when more threads than slots exist, indices wrap modulo
+//! [`MAX_TELEMETRY_SLOTS`]. Telemetry must never abort a workload; two threads
+//! sharing a slot merely share its atomics, which stays correct because every
+//! slot field is updated with atomic RMW operations.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Number of per-thread slots in every metric. Threads beyond this stripe onto
+/// existing slots (correct, slightly more contended) rather than failing.
+pub const MAX_TELEMETRY_SLOTS: usize = 256;
+
+static NEXT_SLOT: AtomicUsize = AtomicUsize::new(0);
+
+thread_local! {
+    static SLOT: usize = NEXT_SLOT.fetch_add(1, Ordering::Relaxed) % MAX_TELEMETRY_SLOTS;
+}
+
+/// The calling thread's slot index, assigned on first use and stable for the
+/// thread's lifetime.
+#[inline]
+pub fn telemetry_thread_slot() -> usize {
+    SLOT.with(|s| *s)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slot_is_stable_within_a_thread() {
+        assert_eq!(telemetry_thread_slot(), telemetry_thread_slot());
+    }
+
+    #[test]
+    fn slots_stay_in_range() {
+        let handles: Vec<_> = (0..16)
+            .map(|_| std::thread::spawn(telemetry_thread_slot))
+            .collect();
+        for h in handles {
+            assert!(h.join().unwrap() < MAX_TELEMETRY_SLOTS);
+        }
+    }
+}

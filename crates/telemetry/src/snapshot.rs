@@ -1,0 +1,240 @@
+//! Point-in-time export of every registered metric, with a hand-rolled JSON
+//! serializer (the crate is zero-dependency by design).
+
+use crate::hist::HistogramSnapshot;
+
+/// A named counter value.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CounterSnapshot {
+    /// Metric name.
+    pub name: String,
+    /// Summed value across all threads.
+    pub value: u64,
+}
+
+/// A named gauge value (last value set).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GaugeSnapshot {
+    /// Metric name.
+    pub name: String,
+    /// Current value.
+    pub value: u64,
+}
+
+/// Everything a [`crate::Telemetry`] sink has measured, frozen at one instant.
+///
+/// Snapshots are plain data: they can be merged (per-shard rollups), diffed by
+/// re-snapshotting, serialized to JSON for bench artifacts, or rendered as
+/// tables by the harness.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TelemetrySnapshot {
+    /// All counters, sorted by name.
+    pub counters: Vec<CounterSnapshot>,
+    /// All gauges, sorted by name.
+    pub gauges: Vec<GaugeSnapshot>,
+    /// All histograms, sorted by name.
+    pub histograms: Vec<HistogramSnapshot>,
+}
+
+impl TelemetrySnapshot {
+    /// True if nothing was recorded (or telemetry was disabled).
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.gauges.is_empty() && self.histograms.is_empty()
+    }
+
+    /// Looks up a counter by name.
+    pub fn counter(&self, name: &str) -> Option<&CounterSnapshot> {
+        self.counters.iter().find(|c| c.name == name)
+    }
+
+    /// Looks up a gauge by name.
+    pub fn gauge(&self, name: &str) -> Option<&GaugeSnapshot> {
+        self.gauges.iter().find(|g| g.name == name)
+    }
+
+    /// Looks up a histogram by name.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        self.histograms.iter().find(|h| h.name == name)
+    }
+
+    /// Merges another snapshot into this one: counters and gauge values add,
+    /// histogram distributions combine. Metrics present in only one side are
+    /// kept. Used for per-shard rollups where each shard's pool carries its
+    /// own sink.
+    pub fn merge(&mut self, other: &TelemetrySnapshot) {
+        for c in &other.counters {
+            match self.counters.iter_mut().find(|mine| mine.name == c.name) {
+                Some(mine) => mine.value += c.value,
+                None => self.counters.push(c.clone()),
+            }
+        }
+        for g in &other.gauges {
+            match self.gauges.iter_mut().find(|mine| mine.name == g.name) {
+                Some(mine) => mine.value += g.value,
+                None => self.gauges.push(g.clone()),
+            }
+        }
+        for h in &other.histograms {
+            match self.histograms.iter_mut().find(|mine| mine.name == h.name) {
+                Some(mine) => mine.merge(h),
+                None => self.histograms.push(h.clone()),
+            }
+        }
+        self.counters.sort_by(|a, b| a.name.cmp(&b.name));
+        self.gauges.sort_by(|a, b| a.name.cmp(&b.name));
+        self.histograms.sort_by(|a, b| a.name.cmp(&b.name));
+    }
+
+    /// Serializes the snapshot as a JSON object:
+    ///
+    /// ```json
+    /// {
+    ///   "counters": {"combine.resolve_hits": 3},
+    ///   "gauges": {"log.live_bytes": 4096},
+    ///   "histograms": {
+    ///     "sim.fence_ns": {"count": 10, "sum": 1234, "max": 400,
+    ///                      "mean": 123.4, "p50": 127, "p90": 255, "p99": 400,
+    ///                      "buckets": [[127, 6], [255, 3], [511, 1]]}
+    ///   }
+    /// }
+    /// ```
+    ///
+    /// Bucket entries are `[inclusive_upper_bound, count]` pairs, empty
+    /// buckets omitted.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n  \"counters\": {");
+        for (i, c) in self.counters.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("\n    {}: {}", json_string(&c.name), c.value));
+        }
+        if !self.counters.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("},\n  \"gauges\": {");
+        for (i, g) in self.gauges.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("\n    {}: {}", json_string(&g.name), g.value));
+        }
+        if !self.gauges.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("},\n  \"histograms\": {");
+        for (i, h) in self.histograms.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let buckets: Vec<String> = h
+                .buckets
+                .iter()
+                .enumerate()
+                .filter(|(_, &c)| c > 0)
+                .map(|(idx, &c)| format!("[{}, {}]", crate::hist::bucket_upper_bound(idx), c))
+                .collect();
+            out.push_str(&format!(
+                "\n    {}: {{\"count\": {}, \"sum\": {}, \"max\": {}, \"mean\": {:.1}, \
+                 \"p50\": {}, \"p90\": {}, \"p99\": {}, \"buckets\": [{}]}}",
+                json_string(&h.name),
+                h.count,
+                h.sum,
+                h.max,
+                h.mean(),
+                h.p50(),
+                h.p90(),
+                h.p99(),
+                buckets.join(", ")
+            ));
+        }
+        if !self.histograms.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("}\n}");
+        out
+    }
+}
+
+/// Escapes a string as a JSON string literal. Metric names are plain
+/// identifiers, but escaping keeps the serializer total.
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hist::HistogramSnapshot;
+
+    #[test]
+    fn merge_adds_and_unions() {
+        let mut a = TelemetrySnapshot {
+            counters: vec![CounterSnapshot {
+                name: "x".into(),
+                value: 2,
+            }],
+            gauges: vec![],
+            histograms: vec![],
+        };
+        let b = TelemetrySnapshot {
+            counters: vec![
+                CounterSnapshot {
+                    name: "x".into(),
+                    value: 3,
+                },
+                CounterSnapshot {
+                    name: "y".into(),
+                    value: 1,
+                },
+            ],
+            gauges: vec![],
+            histograms: vec![HistogramSnapshot::empty("h")],
+        };
+        a.merge(&b);
+        assert_eq!(a.counter("x").unwrap().value, 5);
+        assert_eq!(a.counter("y").unwrap().value, 1);
+        assert!(a.histogram("h").is_some());
+    }
+
+    #[test]
+    fn json_shape_is_parseable_by_eye() {
+        let mut h = HistogramSnapshot::empty("lat");
+        h.buckets[3] = 2;
+        h.count = 2;
+        h.sum = 10;
+        h.max = 6;
+        let snap = TelemetrySnapshot {
+            counters: vec![CounterSnapshot {
+                name: "hits".into(),
+                value: 7,
+            }],
+            gauges: vec![],
+            histograms: vec![h],
+        };
+        let json = snap.to_json();
+        assert!(json.contains("\"hits\": 7"));
+        assert!(json.contains("\"count\": 2"));
+        assert!(json.contains("[7, 2]"));
+        assert!(json.starts_with('{') && json.ends_with('}'));
+    }
+
+    #[test]
+    fn json_escapes_specials() {
+        assert_eq!(json_string("a\"b\\c"), "\"a\\\"b\\\\c\"");
+    }
+}

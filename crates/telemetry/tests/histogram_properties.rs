@@ -1,0 +1,105 @@
+//! Property tests of the lock-free histogram: merging per-thread slots must be
+//! equivalent to a single-threaded reference, and the log-scaled bucket
+//! boundaries must be strictly monotone and cover every `u64`.
+
+use onll_telemetry::{bucket_index, bucket_upper_bound, Telemetry, NUM_BUCKETS};
+use proptest::prelude::*;
+
+/// Records `samples` into one histogram from a single thread and returns its
+/// snapshot — the reference the concurrent recording must match.
+fn reference_snapshot(samples: &[u64]) -> onll_telemetry::HistogramSnapshot {
+    let telemetry = Telemetry::enabled();
+    let h = telemetry.histogram("ref");
+    for &s in samples {
+        h.record(s);
+    }
+    telemetry
+        .snapshot()
+        .histogram("ref")
+        .expect("recorded histogram")
+        .clone()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Splitting the samples over worker threads (each landing in its own
+    /// per-thread slot) and merging at snapshot time yields exactly the
+    /// single-threaded distribution: same count, sum, max, buckets — hence
+    /// identical quantiles.
+    #[test]
+    fn merged_per_thread_recording_matches_single_threaded_reference(
+        samples in proptest::collection::vec(any::<u64>(), 1..200),
+        threads in 1usize..6,
+    ) {
+        let reference = reference_snapshot(&samples);
+
+        let telemetry = Telemetry::enabled();
+        let chunk = samples.len().div_ceil(threads);
+        std::thread::scope(|scope| {
+            for part in samples.chunks(chunk) {
+                let h = telemetry.histogram("conc");
+                scope.spawn(move || {
+                    for &s in part {
+                        h.record(s);
+                    }
+                });
+            }
+        });
+        let snap = telemetry.snapshot();
+        let merged = snap.histogram("conc").expect("recorded histogram");
+
+        prop_assert_eq!(merged.count, reference.count);
+        prop_assert_eq!(merged.sum, reference.sum);
+        prop_assert_eq!(merged.max, reference.max);
+        prop_assert_eq!(&merged.buckets[..], &reference.buckets[..]);
+        prop_assert_eq!(merged.p50(), reference.p50());
+        prop_assert_eq!(merged.p90(), reference.p90());
+        prop_assert_eq!(merged.p99(), reference.p99());
+    }
+
+    /// Quantile sanity against a sorted copy of the samples: the histogram's
+    /// quantile is an upper bound of the bucket holding the true quantile, so
+    /// it is at least the true value and at most the bound of its bucket.
+    #[test]
+    fn quantiles_bracket_the_true_order_statistics(
+        samples in proptest::collection::vec(0u64..1 << 48, 1..200),
+    ) {
+        let snap = reference_snapshot(&samples);
+        let mut sorted = samples.clone();
+        sorted.sort_unstable();
+        for (q, estimate) in [(0.5, snap.p50()), (0.9, snap.p90()), (0.99, snap.p99())] {
+            let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+            let truth = sorted[rank - 1];
+            prop_assert!(estimate >= truth, "q={q}: {estimate} < true {truth}");
+            prop_assert!(
+                estimate <= bucket_upper_bound(bucket_index(truth)),
+                "q={q}: {estimate} above the true value's bucket bound"
+            );
+        }
+    }
+
+    /// Every value lands in exactly the bucket whose half-open range contains
+    /// it: above the previous bucket's bound, at most its own.
+    #[test]
+    fn bucket_index_respects_the_boundaries(value in any::<u64>()) {
+        let i = bucket_index(value);
+        prop_assert!(i < NUM_BUCKETS);
+        prop_assert!(value <= bucket_upper_bound(i));
+        if i > 0 {
+            prop_assert!(value > bucket_upper_bound(i - 1));
+        }
+    }
+}
+
+#[test]
+fn bucket_boundaries_are_strictly_monotone() {
+    for i in 1..NUM_BUCKETS {
+        assert!(
+            bucket_upper_bound(i - 1) < bucket_upper_bound(i),
+            "bucket {i} bound not above bucket {}",
+            i - 1
+        );
+    }
+    assert_eq!(bucket_upper_bound(NUM_BUCKETS - 1), u64::MAX);
+}

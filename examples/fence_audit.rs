@@ -3,7 +3,9 @@
 //! Runs the same mixed workload against ONLL and every baseline, printing the
 //! average and maximum persistent fences per update and per read. ONLL must show
 //! at most one per update and zero per read; the baselines show why that is not
-//! free to achieve naively.
+//! free to achieve naively. A second table breaks an ONLL run down by phase
+//! (order / persist / linearize / response latency distributions), showing
+//! where the single inherent fence's cost actually lands.
 //!
 //! ```text
 //! cargo run --example fence_audit
@@ -13,9 +15,9 @@ use remembering_consistently::baselines::{
     DurableObject, FlatCombiningDurable, NaiveDurable, TransientObject, WalDurable,
 };
 use remembering_consistently::harness::{
-    audit_fence_bounds, OnllAdapter, Table, Workload, WorkloadMix,
+    audit_fence_bounds, telemetry_histogram_table, OnllAdapter, Table, Workload, WorkloadMix,
 };
-use remembering_consistently::nvm::{NvmPool, PmemConfig};
+use remembering_consistently::nvm::{NvmPool, PmemConfig, Telemetry};
 use remembering_consistently::objects::CounterSpec;
 use remembering_consistently::onll::{Durable, OnllConfig};
 
@@ -116,4 +118,23 @@ fn main() {
     println!();
     println!("ONLL meets the Theorem 5.1 bound (<=1 fence per update, 0 per read);");
     println!("the durable baselines need 2 fences per update or give up lock-freedom.");
+
+    // Where the single fence's cost lands: run ONLL once more with telemetry
+    // enabled and print the per-phase latency distributions.
+    let telemetry = Telemetry::enabled();
+    let pool = NvmPool::new(PmemConfig::with_capacity(64 << 20).telemetry(telemetry.clone()));
+    let onll = Durable::<CounterSpec>::create(
+        pool.clone(),
+        OnllConfig::named("audit-phases").log_capacity(OPS + 8),
+    )
+    .unwrap();
+    let mut adapter = OnllAdapter::new(onll.register().unwrap());
+    let mut workload = Workload::new(WorkloadMix::with_update_percent(50), 0xFE11CE);
+    audit_fence_bounds::<CounterSpec, _>(&mut adapter, pool.stats(), workload.counter_ops(OPS));
+    println!();
+    telemetry_histogram_table(
+        "onll per-phase latency, 50% updates (ns)",
+        &telemetry.snapshot(),
+    )
+    .print();
 }

@@ -24,7 +24,8 @@
 //! cargo run --bin real_restart -- verify --dir /tmp/rr --seed 7 --ops 500
 //! ```
 
-use remembering_consistently::nvm::{BackendSpec, PmemConfig};
+use remembering_consistently::harness::telemetry_histogram_table;
+use remembering_consistently::nvm::{BackendSpec, PmemConfig, Telemetry};
 use remembering_consistently::objects::{KvRead, KvSpec, KvValue};
 use remembering_consistently::onll::{Durable, OnllConfig, RecoveryReport};
 use remembering_consistently::restart_protocol as proto;
@@ -36,6 +37,7 @@ struct Args {
     seed: u64,
     ops: u64,
     checkpoint_every: u64,
+    telemetry: bool,
 }
 
 fn parse_args() -> Args {
@@ -47,10 +49,12 @@ fn parse_args() -> Args {
         seed: 42,
         ops: 1000,
         checkpoint_every: 0,
+        telemetry: false,
     };
     while let Some(flag) = args.next() {
         let mut value = || args.next().unwrap_or_else(|| usage("missing flag value"));
         match flag.as_str() {
+            "--telemetry" => parsed.telemetry = true,
             "--dir" => parsed.dir = value(),
             "--seed" => parsed.seed = value().parse().unwrap_or_else(|_| usage("bad --seed")),
             "--ops" => parsed.ops = value().parse().unwrap_or_else(|_| usage("bad --ops")),
@@ -71,7 +75,7 @@ fn parse_args() -> Args {
 fn usage(err: &str) -> ! {
     eprintln!("error: {err}");
     eprintln!(
-        "usage: real_restart <run|resume|verify> --dir DIR [--seed N] [--ops N] [--checkpoint-every N]"
+        "usage: real_restart <run|resume|verify> --dir DIR [--seed N] [--ops N] [--checkpoint-every N] [--telemetry]"
     );
     std::process::exit(2);
 }
@@ -89,11 +93,24 @@ fn config(args: &Args) -> OnllConfig {
     cfg
 }
 
-fn pmem() -> PmemConfig {
+fn pmem(telemetry: &Telemetry) -> PmemConfig {
     // Fixed 64 MiB: enough for the matrix's largest runs (the log *capacity*
     // scales with --ops via config(), the pool just needs to hold it), and
     // the backing file is sparse anyway.
-    PmemConfig::with_capacity(64 << 20)
+    PmemConfig::with_capacity(64 << 20).telemetry(telemetry.clone())
+}
+
+/// Prints the run's latency distributions to **stderr**: the supervisor parses
+/// stdout line by line, so telemetry must never interleave with the protocol.
+fn report_telemetry(telemetry: &Telemetry) {
+    if telemetry.is_enabled() {
+        let snap = telemetry.snapshot();
+        eprint!(
+            "{}",
+            telemetry_histogram_table("real_restart telemetry (ns)", &snap).render()
+        );
+        eprintln!("TELEMETRY_JSON {}", snap.to_json());
+    }
 }
 
 /// Emits one protocol line, flushed immediately: a line the supervisor has
@@ -122,20 +139,30 @@ fn apply_workload(args: &Args, object: &Durable<KvSpec>, start: u64) {
     emit(format_args!("DONE {}", args.ops));
 }
 
-fn recover(args: &Args) -> Result<(Durable<KvSpec>, RecoveryReport), String> {
-    Durable::<KvSpec>::recover_in_with_checkpoints(pmem(), config(args)).map_err(|e| e.to_string())
+fn recover(
+    args: &Args,
+    telemetry: &Telemetry,
+) -> Result<(Durable<KvSpec>, RecoveryReport), String> {
+    Durable::<KvSpec>::recover_in_with_checkpoints(pmem(telemetry), config(args))
+        .map_err(|e| e.to_string())
 }
 
 fn main() {
     let args = parse_args();
+    let telemetry = if args.telemetry {
+        Telemetry::enabled()
+    } else {
+        Telemetry::disabled()
+    };
     match args.mode.as_str() {
         "run" => {
-            let object = Durable::<KvSpec>::create_in(pmem(), config(&args))
+            let object = Durable::<KvSpec>::create_in(pmem(&telemetry), config(&args))
                 .expect("create file-backed store");
             emit(format_args!("READY create"));
             apply_workload(&args, &object, 0);
+            report_telemetry(&telemetry);
         }
-        "resume" => match recover(&args) {
+        "resume" => match recover(&args, &telemetry) {
             Ok((object, report)) => {
                 emit(format_args!(
                     "READY recover {} {}",
@@ -143,13 +170,14 @@ fn main() {
                     report.replayed_ops()
                 ));
                 apply_workload(&args, &object, report.durable_index);
+                report_telemetry(&telemetry);
             }
             Err(e) => {
                 emit(format_args!("NOSTORE {e}"));
                 std::process::exit(3);
             }
         },
-        "verify" => match recover(&args) {
+        "verify" => match recover(&args, &telemetry) {
             Ok((object, report)) => {
                 emit(format_args!("RECOVERED {}", report.durable_index));
                 emit(format_args!("CHECKPOINT {}", report.checkpoint_index));
@@ -161,6 +189,7 @@ fn main() {
                     KvValue::Len(_) => None,
                 });
                 emit(format_args!("DIGEST {digest:#018x}"));
+                report_telemetry(&telemetry);
             }
             Err(e) => {
                 emit(format_args!("NOSTORE {e}"));

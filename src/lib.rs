@@ -45,6 +45,7 @@ pub use persist_log as plog;
 /// Convenience prelude pulling in the types most examples need.
 pub mod prelude {
     pub use crate::nvm::{
-        BackendSpec, FenceStats, FileBackend, NvmPool, PmemBackend, PmemConfig, WritebackPolicy,
+        BackendSpec, FenceStats, FileBackend, NvmPool, PmemBackend, PmemConfig, Telemetry,
+        TelemetrySnapshot, WritebackPolicy,
     };
 }
