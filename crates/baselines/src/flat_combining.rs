@@ -156,7 +156,9 @@ impl<S: SequentialSpec> FlatCombiningHandle<S> {
         // single fence (a full ring is wholly truncated and restarted — see
         // `create`).
         if combined.log.free_slots() == 0 {
-            combined.log.truncate();
+            // A failed truncation fence leaves the ring full; the batch commit
+            // below then reports the same backend failure via its own fence.
+            let _ = combined.log.truncate();
         }
         combined.next_index += batch.len() as u64;
         let mut writer = combined

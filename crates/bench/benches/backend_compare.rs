@@ -2,6 +2,13 @@
 //! and on the file backend, plus a direct fence-latency probe (a fence on the
 //! file backend is a real `pwrite` + `fsync`).
 //!
+//! The file backend runs twice: once with one private file per shard pool
+//! (`coalesced: false`) and once with all shard pools as segments of a single
+//! device file whose group-commit executor coalesces concurrent fences into
+//! shared `fsync`s (`coalesced: true`, see `nvm_sim::PersistDevice`). The
+//! coalesced rows also report `riders_per_fsync`, the mean number of fences
+//! retired per `fsync`, read from the device telemetry.
+//!
 //! Writes `BENCH_backends.json` at the workspace root next to the other bench
 //! artifacts:
 //!
@@ -17,20 +24,28 @@ use harness::{run_sharded_kv_workload, SubmitMode, Table, WorkloadMix};
 use nvm_sim::{scratch_dir, BackendSpec, NvmPool, PmemConfig};
 use onll::OnllConfig;
 use onll_shard::{HashRouter, ShardConfig, ShardedDurable};
+use onll_telemetry::Telemetry;
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 const SHARDS: usize = 4;
-const WORKERS: usize = 4;
+const WORKERS: usize = 8;
 const FENCE_PROBE_ROUNDS: u32 = 2_000;
+/// How long a coalescing leader waits for rider fences before `fsync`ing.
+/// Zero: riders accumulate *during* the previous batch's fsync (pipelined
+/// group commit) instead of stalling every leader behind a timer.
+const COALESCE_WINDOW: Duration = Duration::ZERO;
 
 struct Measurement {
     backend: &'static str,
     mode: &'static str,
+    coalesced: bool,
     ops_per_sec: f64,
     fences_per_update: f64,
     updates: u64,
     fence_latency_ns: f64,
+    /// Mean fences retired per `fsync` (coalesced runs only; 1.0 otherwise).
+    riders_per_fsync: f64,
 }
 
 /// Mean persistent-fence latency: persist one line per round and time it.
@@ -38,11 +53,11 @@ fn probe_fence_latency(pool: &NvmPool) -> f64 {
     let addr = pool.alloc(64).expect("probe line");
     // Warm up the write path before timing.
     for i in 0..16u64 {
-        pool.persist(addr, &i.to_le_bytes());
+        pool.persist(addr, &i.to_le_bytes()).expect("probe persist");
     }
     let start = Instant::now();
     for i in 0..FENCE_PROBE_ROUNDS as u64 {
-        pool.persist(addr, &i.to_le_bytes());
+        pool.persist(addr, &i.to_le_bytes()).expect("probe persist");
     }
     start.elapsed().as_nanos() as f64 / f64::from(FENCE_PROBE_ROUNDS)
 }
@@ -50,15 +65,25 @@ fn probe_fence_latency(pool: &NvmPool) -> f64 {
 fn bench_backend(spec: BackendSpec, mode: SubmitMode, ops_per_worker: usize) -> Measurement {
     let backend = match spec {
         BackendSpec::Sim => "sim",
-        BackendSpec::File { .. } => "file",
+        BackendSpec::File { .. } | BackendSpec::Device { .. } => "file",
     };
+    let coalesced = spec.is_coalesced();
     // The simulator only materializes touched lines, so its capacity is free;
     // a file pool allocates its full capacity (image + backing file), so the
     // file run is sized to what it actually touches.
     let capacity = match backend {
-        "file" => 256 << 20,
+        "file" => 1 << 30,
         _ => 4 << 30,
     };
+    // Telemetry is attached only to coalesced runs, to read the
+    // riders-per-fsync histogram off the device executor afterwards.
+    let telemetry = Telemetry::enabled();
+    let mut pmem = PmemConfig::with_capacity(capacity);
+    if coalesced {
+        pmem = pmem
+            .coalesce_window(COALESCE_WINDOW)
+            .telemetry(telemetry.clone());
+    }
     let config = ShardConfig::named("bench-backend-kv")
         .shards(SHARDS)
         .base(
@@ -67,7 +92,7 @@ fn bench_backend(spec: BackendSpec, mode: SubmitMode, ops_per_worker: usize) -> 
                 .log_capacity(4 * ops_per_worker + 1024)
                 .group_persist(8),
         )
-        .pmem(PmemConfig::with_capacity(capacity))
+        .pmem(pmem)
         .backend(spec);
     let object = ShardedDurable::<KvSpec>::create(config, Arc::new(HashRouter::new(SHARDS)))
         .expect("create bench object");
@@ -83,6 +108,16 @@ fn bench_backend(spec: BackendSpec, mode: SubmitMode, ops_per_worker: usize) -> 
         mode,
     );
     object.check_invariants().expect("invariants");
+    // Snapshot the riders histogram before the probe's solo fences dilute it.
+    let riders_per_fsync = if coalesced {
+        telemetry
+            .snapshot()
+            .histogram("device.riders_per_fsync")
+            .map(|h| h.mean())
+            .unwrap_or(1.0)
+    } else {
+        1.0
+    };
     let fence_latency_ns = probe_fence_latency(&object.pools()[0]);
     Measurement {
         backend,
@@ -91,28 +126,32 @@ fn bench_backend(spec: BackendSpec, mode: SubmitMode, ops_per_worker: usize) -> 
             SubmitMode::Grouped => "grouped",
             SubmitMode::Combined => "combined",
         },
+        coalesced,
         ops_per_sec: report.ops_per_sec(),
         fences_per_update: report.fences_per_update(),
         updates: report.updates,
         fence_latency_ns,
+        riders_per_fsync,
     }
 }
 
 fn write_artifact(measurements: &[Measurement]) -> std::io::Result<std::path::PathBuf> {
     let mut json = String::from("{\n  \"bench\": \"backend_compare\",\n");
     json.push_str(&format!(
-        "  \"shards\": {SHARDS},\n  \"workers\": {WORKERS},\n"
+        "  \"shards\": {SHARDS}, \n  \"workers\": {WORKERS},\n"
     ));
     json.push_str("  \"results\": [\n");
     for (i, m) in measurements.iter().enumerate() {
         json.push_str(&format!(
-            "    {{\"backend\": \"{}\", \"mode\": \"{}\", \"ops_per_sec\": {:.1}, \"fences_per_update\": {:.4}, \"updates\": {}, \"fence_latency_ns\": {:.0}}}{}\n",
+            "    {{\"backend\": \"{}\", \"mode\": \"{}\", \"coalesced\": {}, \"ops_per_sec\": {:.1}, \"fences_per_update\": {:.4}, \"updates\": {}, \"fence_latency_ns\": {:.0}, \"riders_per_fsync\": {:.2}}}{}\n",
             m.backend,
             m.mode,
+            m.coalesced,
             m.ops_per_sec,
             m.fences_per_update,
             m.updates,
             m.fence_latency_ns,
+            m.riders_per_fsync,
             if i + 1 == measurements.len() { "" } else { "," }
         ));
     }
@@ -129,19 +168,43 @@ fn main() {
     let dir = scratch_dir("bench-backends").expect("scratch dir for file pools");
     let mut measurements = Vec::new();
     let mut table = Table::new(
-        "backend comparison (4 shards, 4 workers, 50% updates)",
-        &["backend", "mode", "ops/s", "fences/update", "fence ns"],
+        "backend comparison (4 shards, 8 workers, 50% updates)",
+        &[
+            "backend",
+            "mode",
+            "coalesced",
+            "ops/s",
+            "fences/update",
+            "riders/fsync",
+            "fence ns",
+        ],
     );
     for mode in [SubmitMode::Individual, SubmitMode::Grouped] {
+        let mode_tag = match mode {
+            SubmitMode::Individual => "individual",
+            SubmitMode::Grouped => "grouped",
+            SubmitMode::Combined => "combined",
+        };
         // The file backend pays a real fsync per persistent fence, so it runs
-        // a smaller op count to keep the bench quick.
-        for (spec, ops) in [(BackendSpec::Sim, 4_000), (BackendSpec::file(&dir), 400)] {
+        // a smaller op count to keep the bench quick. The third spec routes
+        // all shard pools onto one device file so their fences coalesce.
+        let specs = [
+            (BackendSpec::Sim, 4_000),
+            (BackendSpec::file(&dir), 800),
+            (
+                BackendSpec::device(dir.join(format!("device-{mode_tag}.pool"))),
+                800,
+            ),
+        ];
+        for (spec, ops) in specs {
             let m = bench_backend(spec, mode, ops);
             table.row(&[
                 m.backend.to_string(),
                 m.mode.to_string(),
+                m.coalesced.to_string(),
                 format!("{:.0}", m.ops_per_sec),
                 format!("{:.4}", m.fences_per_update),
+                format!("{:.2}", m.riders_per_fsync),
                 format!("{:.0}", m.fence_latency_ns),
             ]);
             measurements.push(m);

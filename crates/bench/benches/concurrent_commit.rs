@@ -55,7 +55,7 @@ fn pmem(backend: &BackendSpec, threads: usize) -> PmemConfig {
         BackendSpec::Sim => PmemConfig::with_capacity(8 << 30).fence_penalty(FENCE_PENALTY),
         // A file pool allocates its full capacity (image + backing file), so
         // size it to the geometry the run actually needs; fences are fsyncs.
-        BackendSpec::File { .. } => {
+        BackendSpec::File { .. } | BackendSpec::Device { .. } => {
             PmemConfig::with_capacity(((threads + 1) * 24 + 64) as u64 * (1 << 20))
         }
     }
@@ -71,7 +71,7 @@ fn bench_service(spec: BackendSpec, threads: usize, ops_per_thread: usize) -> Me
         // run (worst case one per update).
         .log_capacity(match spec {
             BackendSpec::Sim => threads * ops_per_thread + 1024,
-            BackendSpec::File { .. } => 2048,
+            BackendSpec::File { .. } | BackendSpec::Device { .. } => 2048,
         })
         .backend(spec);
     let object = Durable::<CounterSpec>::create_in(pmem(&cfg.backend, threads), cfg)

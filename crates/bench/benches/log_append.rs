@@ -25,10 +25,10 @@ fn two_fence_append(pool: &NvmPool, base: u64, slot: u64, payload: &[u8]) {
     let addr = base + slot * 128;
     pool.write(addr + 8, payload);
     pool.flush(addr + 8, payload.len());
-    pool.fence();
+    pool.fence().unwrap();
     pool.write_u64(addr, slot + 1);
     pool.flush(addr, 8);
-    pool.fence();
+    pool.fence().unwrap();
 }
 
 fn fence_count_table() {
@@ -88,7 +88,7 @@ fn bench_append(c: &mut Criterion) {
             b.iter(|| {
                 let refs: Vec<&[u8]> = ops.iter().map(|o| o.as_slice()).collect();
                 if log.free_slots() == 0 {
-                    log.truncate();
+                    log.truncate().unwrap();
                 }
                 log.append(&refs, idx).unwrap();
                 idx += helpers as u64;

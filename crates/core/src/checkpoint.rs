@@ -160,12 +160,15 @@ impl Checkpointer {
 
     /// Publish the staged checkpoint: write the self-validating slot header and
     /// make it durable with **one persistent fence**. Returns the published
-    /// stamp.
+    /// stamp, or an error if the fence failed (poisoned backend) or was frozen
+    /// by a crash — the checkpoint must then not be considered published (the
+    /// slot's validity is governed by its checksummed header, which never got
+    /// its covering fence).
     ///
     /// # Panics
     ///
     /// Panics if no checkpoint is staged.
-    pub(crate) fn publish(&mut self) -> CheckpointStamp {
+    pub(crate) fn publish(&mut self) -> Result<CheckpointStamp, String> {
         let staged = self
             .staged
             .take()
@@ -178,13 +181,17 @@ impl Checkpointer {
         header[24..28].copy_from_slice(&(staged.state_len as u32).to_le_bytes());
         self.pool.write(addr, &header);
         self.pool.flush(addr, header.len());
-        self.pool.fence();
+        match self.pool.fence() {
+            Ok(true) => {}
+            Ok(false) => return Err("checkpoint publish fence hit a crash".into()),
+            Err(e) => return Err(format!("checkpoint publish fence failed: {e}")),
+        }
         self.next_slot = 1 - self.next_slot;
         self.next_epoch = staged.epoch + 1;
-        CheckpointStamp {
+        Ok(CheckpointStamp {
             execution_index: staged.execution_index,
             epoch: staged.epoch,
-        }
+        })
     }
 
     fn slot_addr(&self, which: u64) -> PAddr {
@@ -272,7 +279,7 @@ mod tests {
 
     fn write(cp: &mut Checkpointer, idx: u64, state: &[u8]) -> CheckpointStamp {
         cp.stage(idx, state).unwrap();
-        cp.publish()
+        cp.publish().unwrap()
     }
 
     #[test]
@@ -370,7 +377,7 @@ mod tests {
         cp.stage(30, b"c").unwrap();
         let (stamp, _) = read_area(&p, base, 64).unwrap();
         assert_eq!(stamp.execution_index, 20);
-        let stamp = cp.publish();
+        let stamp = cp.publish().unwrap();
         assert_eq!((stamp.execution_index, stamp.epoch), (30, 3));
     }
 

@@ -291,7 +291,7 @@ impl<S: SequentialSpec> Durable<S> {
             meta[off..off + 8].copy_from_slice(&log_bases[i].to_le_bytes());
             meta[off + 8..off + 16].copy_from_slice(&cp_bases[i].to_le_bytes());
         }
-        pool.persist(meta_addr, &meta);
+        pool.persist(meta_addr, &meta)?;
         pool.set_root(root, meta_addr, meta.len() as u64)?;
 
         let shared = Shared {

@@ -452,7 +452,10 @@ impl<S: SequentialSpec> ProcessHandle<S> {
         self.truncated_below = watermark;
         if self.log.first_live_index().is_some_and(|i| i <= watermark) {
             let _maintenance = self.shared.pool.stats().maintenance_scope();
-            self.log.truncate_below(watermark);
+            // Opportunistic maintenance: a failed truncation fence (crash or
+            // poisoned backend) leaves the log merely un-compacted, and the
+            // same failure will surface on this update's own publish fence.
+            let _ = self.log.truncate_below(watermark);
             self.shared.log_live_entries[self.pid]
                 .store(self.log.live_len() as u64, Ordering::Release);
         }
@@ -494,9 +497,11 @@ impl<S: SnapshotSpec> ProcessHandle<S> {
             .map_err(OnllError::Nvm)?;
         hooks.fire(Phase::AfterCheckpointStage, pid);
 
-        // Publish: one fence makes the checksummed slot durable and valid.
+        // Publish: one fence makes the checksummed slot durable and valid. A
+        // failed fence means the slot header may not be durable — the
+        // checkpoint is not published and the watermark must not advance.
         hooks.fire(Phase::BeforeCheckpointPublish, pid);
-        self.checkpointer.publish();
+        self.checkpointer.publish().map_err(OnllError::Nvm)?;
         hooks.fire(Phase::AfterCheckpointPublish, pid);
         self.shared
             .checkpoint_watermark
@@ -514,7 +519,7 @@ impl<S: SnapshotSpec> ProcessHandle<S> {
         // safety argument in the `checkpoint` module.
         hooks.fire(Phase::BeforeLogTruncate, pid);
         let live_before = self.log.live_bytes();
-        self.log.truncate_below(idx);
+        self.log.truncate_below(idx).map_err(log_error)?;
         self.shared.log_live_entries[self.pid].store(self.log.live_len() as u64, Ordering::Release);
         self.truncated_below = self.truncated_below.max(idx);
         hooks.fire(Phase::AfterLogTruncate, pid);
@@ -627,6 +632,9 @@ fn log_error(e: LogError) -> OnllError {
     match e {
         LogError::Full => OnllError::LogFull,
         LogError::EntryTooLarge(msg) => OnllError::Nvm(msg),
+        // A publish fence that failed (backend poisoned by EIO) or was frozen
+        // by a crash mid-update: the operation must not be acknowledged.
+        LogError::Backend(e) => OnllError::Nvm(e.to_string()),
     }
 }
 

@@ -145,7 +145,14 @@ impl CrashExperiment {
                     let op = CounterOp::Add(rng.gen_range(1..=5));
                     let op_id = handle.peek_next_op_id();
                     let pending = history.invoke_update(handle.pid() as u32, Some(op_id), op);
-                    let value = handle.update(op);
+                    // An update whose publish fence hit the (now frozen) crashed
+                    // machine reports an error instead of a value: the operation
+                    // stays invoked-but-unanswered in the history, exactly like a
+                    // response observed after the freeze.
+                    let value = match handle.try_update(op) {
+                        Ok(value) => value,
+                        Err(_) => break,
+                    };
                     // Only record the response if the system had not crashed by the
                     // time the operation finished: a response "after the crash"
                     // never happened from the object's point of view.

@@ -41,12 +41,18 @@ use std::path::{Path, PathBuf};
 ///    minimal, most adversarial guarantee): stores issued after the flush must
 ///    not ride along with it.
 /// 3. **Fence is the only durability point.** After [`PmemBackend::fence`]
-///    returns, every line the *calling thread* flushed before the fence is
+///    returns `Ok`, every line the *calling thread* flushed before the fence is
 ///    durable: it must be observable via [`PmemBackend::read_durable`] and must
 ///    survive any subsequent crash. Fences must not drain other threads'
 ///    pending flushes, and a fence with at least one pending flush must return
-///    `true` and be counted as a *persistent fence* in [`PmemBackend::stats`]
-///    (the quantity Theorems 5.1/6.3 bound).
+///    `Ok(true)` and be counted as a *persistent fence* in
+///    [`PmemBackend::stats`] (the quantity Theorems 5.1/6.3 bound).
+///    **Group commit** is allowed and does not weaken this rule: a backend may
+///    coalesce concurrent fences into one shared durability point (e.g. many
+///    pools on one [`crate::PersistDevice`] sharing a single `fsync`), but a
+///    coalesced fence completes only when the durability point *covering the
+///    caller's bytes* has been acknowledged — a rider must never be woken
+///    before the fsync that makes its lines durable returns.
 /// 4. **Crash freezes the machine.** After [`PmemBackend::crash`], persistence
 ///    instructions issued by still-running threads must have no effect (they
 ///    happen "after power was lost") and reads must observe the durable image
@@ -92,8 +98,18 @@ pub trait PmemBackend: Send + Sync {
     fn flush(&self, addr: PAddr, len: usize);
 
     /// Drains the calling thread's pending flushes into durable storage.
-    /// Returns `true` iff this was a persistent fence (item 3).
-    fn fence(&self) -> bool;
+    ///
+    /// Returns `Ok(true)` iff this was a persistent fence (item 3): the
+    /// calling thread had pending flushes and they are now durable.
+    /// `Ok(false)` means no durability action took place — nothing was
+    /// pending, or the machine is frozen by a crash (item 4). `Err` means the
+    /// backend failed to make the bytes durable (e.g. `fsync` returned EIO);
+    /// the backend is then poisoned and later fences keep failing with the
+    /// original cause. Callers on the persist path must not treat an `Err` or
+    /// an unexpected `Ok(false)` as success — the `Result` is `#[must_use]`
+    /// precisely so an armed-crash-during-fence outcome cannot be silently
+    /// dropped.
+    fn fence(&self) -> Result<bool, NvmError>;
 
     /// Injects a full-system crash (item 4). Returns a token that must be
     /// passed to [`PmemBackend::restart`] before the backend is used again.
@@ -118,10 +134,12 @@ pub trait PmemBackend: Send + Sync {
     fn my_pending_flushes(&self) -> usize;
 
     /// Convenience: write + flush + fence of one range (one persistent fence).
-    fn persist(&self, addr: PAddr, data: &[u8]) {
+    /// Forwards [`PmemBackend::fence`]'s result: `Ok(true)` when the range is
+    /// durable, `Ok(false)` when the fence was a frozen no-op.
+    fn persist(&self, addr: PAddr, data: &[u8]) -> Result<bool, NvmError> {
         self.write(addr, data);
         self.flush(addr, data.len());
-        self.fence();
+        self.fence()
     }
 }
 
@@ -144,6 +162,15 @@ pub enum BackendSpec {
         /// Directory holding one `.pmem` file per pool.
         dir: PathBuf,
     },
+    /// All pools as segments of **one** shared device file, with fences
+    /// coalescing through the device's group-commit queue
+    /// ([`crate::PersistDevice`]): K pools' concurrent fences ride one
+    /// `fsync` instead of paying K. Coalescing knobs come from the
+    /// provisioning [`PmemConfig`] (`coalesce_window`, `coalesce_max_riders`).
+    Device {
+        /// The shared device file (created on first provision).
+        path: PathBuf,
+    },
 }
 
 impl BackendSpec {
@@ -152,9 +179,16 @@ impl BackendSpec {
         BackendSpec::File { dir: dir.into() }
     }
 
-    /// True for the file-backed variant.
+    /// A shared-device spec: every pool a segment of the file at `path`,
+    /// fences coalesced through one group-commit queue.
+    pub fn device(path: impl Into<PathBuf>) -> Self {
+        BackendSpec::Device { path: path.into() }
+    }
+
+    /// True for the file-backed variants (private files or a shared device) —
+    /// i.e. durability is provided by real `fsync`, not the simulator.
     pub fn is_file(&self) -> bool {
-        matches!(self, BackendSpec::File { .. })
+        matches!(self, BackendSpec::File { .. } | BackendSpec::Device { .. })
     }
 
     /// The backing-file path a pool labelled `label` uses under this spec
@@ -168,6 +202,8 @@ impl BackendSpec {
     pub fn pool_path(&self, label: &str) -> Option<PathBuf> {
         match self {
             BackendSpec::Sim => None,
+            // Device pools share one file; there is no per-label path.
+            BackendSpec::Device { .. } => None,
             BackendSpec::File { dir } => {
                 let flat = label.replace(['/', '\\'], "_");
                 let mut hash: u64 = 0xcbf29ce484222325;
@@ -183,12 +219,19 @@ impl BackendSpec {
         }
     }
 
-    /// Short name used in reports ("sim" / "file").
+    /// Short name used in reports ("sim" / "file"). Both file-backed variants
+    /// report "file": the durability substrate is the same, only the fence
+    /// coalescing differs (see [`BackendSpec::is_coalesced`]).
     pub fn name(&self) -> &'static str {
         match self {
             BackendSpec::Sim => "sim",
-            BackendSpec::File { .. } => "file",
+            BackendSpec::File { .. } | BackendSpec::Device { .. } => "file",
         }
+    }
+
+    /// True when fences on this spec coalesce through a shared device.
+    pub fn is_coalesced(&self) -> bool {
+        matches!(self, BackendSpec::Device { .. })
     }
 }
 

@@ -4,6 +4,7 @@
 //! manipulates individual persistent words or byte ranges (log headers, sequence
 //! numbers, checkpoint descriptors).
 
+use crate::error::NvmError;
 use crate::layout::PAddr;
 use crate::pool::NvmPool;
 
@@ -41,10 +42,11 @@ impl PU64 {
     }
 
     /// Stores, flushes and fences: exactly one persistent fence.
-    pub fn persist(&self, value: u64) {
+    pub fn persist(&self, value: u64) -> Result<(), NvmError> {
         self.store(value);
         self.flush();
-        self.pool.fence();
+        self.pool.fence()?;
+        Ok(())
     }
 }
 
@@ -77,10 +79,11 @@ impl PU32 {
     }
 
     /// Stores, flushes and fences: exactly one persistent fence.
-    pub fn persist(&self, value: u32) {
+    pub fn persist(&self, value: u32) -> Result<(), NvmError> {
         self.store(value);
         self.flush();
-        self.pool.fence();
+        self.pool.fence()?;
+        Ok(())
     }
 }
 
@@ -130,10 +133,11 @@ impl PBytes {
     }
 
     /// Writes, flushes and fences `data`: exactly one persistent fence.
-    pub fn persist(&self, data: &[u8]) {
+    pub fn persist(&self, data: &[u8]) -> Result<(), NvmError> {
         self.store(data);
         self.pool.flush(self.addr, data.len());
-        self.pool.fence();
+        self.pool.fence()?;
+        Ok(())
     }
 }
 
@@ -155,7 +159,7 @@ mod tests {
         assert_eq!(cell.load(), 42);
         p.crash_and_restart();
         assert_eq!(cell.load(), 0);
-        cell.persist(43);
+        cell.persist(43).unwrap();
         p.crash_and_restart();
         assert_eq!(cell.load(), 43);
     }
@@ -166,7 +170,7 @@ mod tests {
         let a = p.alloc(64).unwrap();
         let cell = PU64::new(p.clone(), a);
         let w = p.stats().op_window();
-        cell.persist(7);
+        cell.persist(7).unwrap();
         assert_eq!(w.close().persistent_fences, 1);
     }
 
@@ -175,7 +179,7 @@ mod tests {
         let p = pool();
         let a = p.alloc(64).unwrap();
         let cell = PU32::new(p.clone(), a);
-        cell.persist(0xDEAD);
+        cell.persist(0xDEAD).unwrap();
         p.crash_and_restart();
         assert_eq!(cell.load(), 0xDEAD);
     }
@@ -187,7 +191,7 @@ mod tests {
         let bytes = PBytes::new(p.clone(), a, 128);
         assert_eq!(bytes.len(), 128);
         assert!(!bytes.is_empty());
-        bytes.persist(b"hello persistent world");
+        bytes.persist(b"hello persistent world").unwrap();
         p.crash_and_restart();
         assert_eq!(&bytes.load()[..22], b"hello persistent world");
     }

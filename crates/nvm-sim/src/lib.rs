@@ -34,8 +34,8 @@
 //! let addr = pool.alloc(64).unwrap();
 //! pool.write_u64(addr, 42);
 //! pool.flush(addr, 8);
-//! pool.fence();
-//! pool.crash(); // lose the cache, keep durable contents
+//! pool.fence().unwrap();
+//! let _token = pool.crash(); // lose the cache, keep durable contents
 //! assert_eq!(pool.read_u64(addr), 42);
 //! assert!(pool.stats().persistent_fences() >= 1);
 //! ```
@@ -46,6 +46,7 @@ mod armed;
 mod backend;
 mod cache;
 mod cell;
+mod device;
 mod error;
 mod file;
 mod layout;
@@ -57,6 +58,7 @@ mod thread_slot;
 
 pub use backend::{scratch_dir, BackendSpec, PmemBackend, ScratchDir};
 pub use cell::{PBytes, PU32, PU64};
+pub use device::{PersistDevice, DEVICE_ABORT_ENV};
 pub use error::NvmError;
 pub use file::FileBackend;
 pub use layout::{line_index, line_offset, line_range, PAddr, CACHE_LINE_SIZE};

@@ -82,6 +82,15 @@ pub struct PmemConfig {
     /// a disabled sink records nothing and reads no clocks — the telemetry
     /// bench enforces < 2% hot-path overhead in that state.
     pub telemetry: Telemetry,
+    /// Maximum time a group-commit leader on a shared [`crate::PersistDevice`]
+    /// waits for further riders before committing the batch. Zero (the
+    /// default) means commit immediately — coalescing then still happens
+    /// naturally, because fences arriving during a batch's `fsync` form the
+    /// next batch. Ignored by the simulator and by private-file pools.
+    pub coalesce_window: Duration,
+    /// Commit a device batch as soon as it holds this many riders, even if
+    /// the coalescing window has not elapsed.
+    pub coalesce_max_riders: usize,
 }
 
 impl Default for PmemConfig {
@@ -94,6 +103,8 @@ impl Default for PmemConfig {
             fence_penalty: Duration::ZERO,
             flush_penalty: Duration::ZERO,
             telemetry: Telemetry::disabled(),
+            coalesce_window: Duration::ZERO,
+            coalesce_max_riders: 64,
         }
     }
 }
@@ -152,6 +163,18 @@ impl PmemConfig {
     /// Sets the seed used for crash-time and eviction randomness.
     pub fn crash_seed(mut self, seed: u64) -> Self {
         self.crash_seed = seed;
+        self
+    }
+
+    /// Sets the group-commit coalescing window for shared-device pools.
+    pub fn coalesce_window(mut self, window: Duration) -> Self {
+        self.coalesce_window = window;
+        self
+    }
+
+    /// Sets the rider count that commits a device batch early.
+    pub fn coalesce_max_riders(mut self, riders: usize) -> Self {
+        self.coalesce_max_riders = riders;
         self
     }
 

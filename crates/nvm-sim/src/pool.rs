@@ -9,6 +9,7 @@
 //! setup time).
 
 use crate::backend::{BackendSpec, PmemBackend};
+use crate::device::PersistDevice;
 use crate::error::NvmError;
 use crate::file::FileBackend;
 use crate::layout::{PAddr, CACHE_LINE_SIZE};
@@ -91,7 +92,7 @@ impl NvmPool {
         pool.write(ROOT_TABLE_ADDR, &zeros);
         pool.write_u64(MAGIC_ADDR, MAGIC);
         pool.flush(0, DATA_START as usize);
-        pool.fence();
+        pool.fence().expect("pool format fence failed");
         pool
     }
 
@@ -111,11 +112,22 @@ impl NvmPool {
 
     /// Creates and formats a fresh pool on the backend selected by `spec`.
     /// For [`BackendSpec::File`], the backing file is `dir/<label>.pmem`
-    /// (truncated if present).
+    /// (truncated if present). For [`BackendSpec::Device`], the pool becomes a
+    /// segment of the shared device file and its fences coalesce with every
+    /// other pool on the device.
     pub fn provision(spec: &BackendSpec, cfg: PmemConfig, label: &str) -> Result<Self, NvmError> {
-        match spec.pool_path(label) {
-            None => Ok(Self::new(cfg)),
-            Some(path) => Ok(Self::format(Arc::new(FileBackend::create(path, cfg)?))),
+        match spec {
+            BackendSpec::Sim => Ok(Self::new(cfg)),
+            BackendSpec::File { .. } => {
+                let path = spec.pool_path(label).expect("file spec has a pool path");
+                Ok(Self::format(Arc::new(FileBackend::create(path, cfg)?)))
+            }
+            BackendSpec::Device { path } => {
+                let device = PersistDevice::handle(path, &cfg)?;
+                Ok(Self::format(Arc::new(FileBackend::create_on_device(
+                    &device, label, cfg,
+                )?)))
+            }
         }
     }
 
@@ -124,9 +136,16 @@ impl NvmPool {
     /// its data again. The simulator has no cross-process representation, so
     /// reopening it is an error.
     pub fn reopen(spec: &BackendSpec, cfg: PmemConfig, label: &str) -> Result<Self, NvmError> {
-        match spec.pool_path(label) {
-            None => Err(NvmError::ReopenUnsupported("sim")),
-            Some(path) => Self::open(Arc::new(FileBackend::open(path, cfg)?)),
+        match spec {
+            BackendSpec::Sim => Err(NvmError::ReopenUnsupported("sim")),
+            BackendSpec::File { .. } => {
+                let path = spec.pool_path(label).expect("file spec has a pool path");
+                Self::open(Arc::new(FileBackend::open(path, cfg)?))
+            }
+            BackendSpec::Device { path } => {
+                let device = PersistDevice::handle(path, &cfg)?;
+                Self::open(Arc::new(FileBackend::open_on_device(&device, label, cfg)?))
+            }
         }
     }
 
@@ -184,7 +203,7 @@ impl NvmPool {
         }
         self.write_u64(BUMP_ADDR, end);
         self.flush(BUMP_ADDR, 8);
-        self.fence();
+        self.fence()?;
         Ok(cur)
     }
 
@@ -210,7 +229,7 @@ impl NvmPool {
         self.write_u64(entry_addr + 16, len);
         self.write_u64(entry_addr, id.0);
         self.flush(entry_addr, ROOT_ENTRY_SIZE as usize);
-        self.fence();
+        self.fence()?;
         Ok(())
     }
 
@@ -267,13 +286,14 @@ impl NvmPool {
         self.inner.backend.flush(addr, len)
     }
 
-    /// See [`NvmRegion::fence`].
-    pub fn fence(&self) -> bool {
+    /// Drains the calling thread's pending flushes. See [`PmemBackend::fence`]
+    /// for the meaning of `Ok(true)` / `Ok(false)` / `Err`.
+    pub fn fence(&self) -> Result<bool, NvmError> {
         self.inner.backend.fence()
     }
 
-    /// See [`NvmRegion::persist`].
-    pub fn persist(&self, addr: PAddr, data: &[u8]) {
+    /// Write + flush + fence of one range. See [`PmemBackend::persist`].
+    pub fn persist(&self, addr: PAddr, data: &[u8]) -> Result<bool, NvmError> {
         self.inner.backend.persist(addr, data)
     }
 

@@ -3,6 +3,7 @@
 use crate::armed::{ArmedCrash, ArmedKind};
 use crate::backend::PmemBackend;
 use crate::cache::{LineMap, ShardedMemory};
+use crate::error::NvmError;
 use crate::layout::{line_range, PAddr};
 use crate::policy::{PmemConfig, WritebackPolicy};
 use crate::stats::FenceStats;
@@ -408,8 +409,10 @@ impl PmemBackend for NvmRegion {
         NvmRegion::flush(self, addr, len)
     }
 
-    fn fence(&self) -> bool {
-        NvmRegion::fence(self)
+    fn fence(&self) -> Result<bool, NvmError> {
+        // The simulator has no IO to fail: its fence is infallible, and the
+        // inherent method keeps the plain-bool signature for direct users.
+        Ok(NvmRegion::fence(self))
     }
 
     fn crash(&self) -> CrashToken {

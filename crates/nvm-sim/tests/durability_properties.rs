@@ -45,7 +45,7 @@ proptest! {
         let mut expected = vec![0u8; 64 * CACHE_LINE_SIZE];
         for (slot, data) in &writes {
             let addr = base + slot * CACHE_LINE_SIZE as u64;
-            pool.persist(addr, data);
+            pool.persist(addr, data).unwrap();
             expected[(slot * CACHE_LINE_SIZE as u64) as usize..][..data.len()]
                 .copy_from_slice(data);
         }
@@ -105,7 +105,7 @@ proptest! {
                     pending = true;
                 }
                 _ => {
-                    pool.fence();
+                    pool.fence().unwrap();
                     expected_fences += 1;
                     if pending {
                         expected_persistent += 1;

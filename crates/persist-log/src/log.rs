@@ -5,7 +5,7 @@ use crate::entry::{
     begin_encode, decode_entry, encode_entry, finish_encode, peek_occupied, push_op, LogEntry,
     ENTRY_HEADER,
 };
-use nvm_sim::{Histogram, NvmPool, PAddr};
+use nvm_sim::{Histogram, NvmError, NvmPool, PAddr};
 use std::fmt;
 
 /// Errors returned by [`PersistentLog`].
@@ -18,6 +18,11 @@ pub enum LogError {
     /// `LogConfig::max_ops_per_entry`, or the total variable-length payload
     /// overflows the slot capacity (`LogConfig::entry_size`).
     EntryTooLarge(String),
+    /// The backend failed to make the entry durable: the publishing fence
+    /// returned an IO error (poisoned backend), or the machine froze under a
+    /// simulated crash before the fence completed ([`NvmError::Crashed`]).
+    /// Either way the entry must not be acknowledged.
+    Backend(NvmError),
 }
 
 impl fmt::Display for LogError {
@@ -25,6 +30,7 @@ impl fmt::Display for LogError {
         match self {
             LogError::Full => write!(f, "persistent log is full"),
             LogError::EntryTooLarge(msg) => write!(f, "log entry does not fit: {msg}"),
+            LogError::Backend(e) => write!(f, "log publish failed: {e}"),
         }
     }
 }
@@ -94,7 +100,7 @@ impl PersistentLog {
         let header = vec![0u8; cfg.log_header_size()];
         pool.write(base, &header);
         pool.flush(base, header.len());
-        pool.fence();
+        pool.fence().expect("log format fence failed");
         PersistentLog {
             entry_bytes_hist: pool.telemetry().histogram("log.entry_bytes"),
             ops_per_entry_hist: pool.telemetry().histogram("log.ops_per_entry"),
@@ -185,10 +191,7 @@ impl PersistentLog {
         let encoded = encode_entry(&self.cfg, &mut scratch, ops, execution_index, self.next_seq)
             .map_err(LogError::EntryTooLarge);
         let result = match encoded {
-            Ok(()) => {
-                self.publish_scratch(&scratch, ops.len() as u32);
-                Ok(())
-            }
+            Ok(()) => self.publish_scratch(&scratch, ops.len() as u32),
             Err(e) => Err(e),
         };
         self.scratch = scratch;
@@ -215,16 +218,25 @@ impl PersistentLog {
 
     /// Writes the finished scratch entry into the next slot: stores + flushes of
     /// the occupied bytes, one fence, then advances the volatile counters.
-    fn publish_scratch(&mut self, entry: &[u8], num_ops: u32) {
+    /// The counters advance only if the fence confirmed durability: a frozen
+    /// no-op fence (the thread had flushed, so `Ok(false)` means the machine
+    /// crashed underneath us) and a backend IO failure both surface as
+    /// [`LogError::Backend`], and the entry is not acknowledged.
+    fn publish_scratch(&mut self, entry: &[u8], num_ops: u32) -> Result<(), LogError> {
         let addr = self.entry_addr(self.next_slot);
         self.pool.write(addr, entry);
         self.pool.flush(addr, entry.len());
-        self.pool.fence();
+        match self.pool.fence() {
+            Ok(true) => {}
+            Ok(false) => return Err(LogError::Backend(NvmError::Crashed)),
+            Err(e) => return Err(LogError::Backend(e)),
+        }
         self.next_seq += 1;
         self.next_slot = (self.next_slot + 1) % self.cfg.capacity_entries as u64;
         self.live_bytes += entry.len() as u64;
         self.entry_bytes_hist.record(entry.len() as u64);
         self.ops_per_entry_hist.record(num_ops as u64);
+        Ok(())
     }
 
     /// Drops all live entries: the next recovery will start from the current append
@@ -233,9 +245,10 @@ impl PersistentLog {
     ///
     /// Cost: one persistent fence (it is an explicit maintenance operation, not part
     /// of the per-update fence budget).
-    pub fn truncate(&mut self) {
-        self.publish_start(self.next_slot, self.next_seq);
+    pub fn truncate(&mut self) -> Result<(), LogError> {
+        self.publish_start(self.next_slot, self.next_seq)?;
         self.live_bytes = 0;
+        Ok(())
     }
 
     /// Drops the live prefix of entries whose `execution_index` is at most
@@ -251,7 +264,7 @@ impl PersistentLog {
     ///
     /// Cost: **zero** fences when nothing is droppable, one persistent fence
     /// otherwise (the start-mark publish). Maintenance, not per-update budget.
-    pub fn truncate_below(&mut self, watermark: u64) -> usize {
+    pub fn truncate_below(&mut self, watermark: u64) -> Result<usize, LogError> {
         let mut dropped = 0u64;
         let mut dropped_bytes = 0u64;
         let mut slot = self.start_slot;
@@ -269,10 +282,10 @@ impl PersistentLog {
             }
         }
         if dropped > 0 {
-            self.publish_start(slot, seq);
+            self.publish_start(slot, seq)?;
             self.live_bytes = self.live_bytes.saturating_sub(dropped_bytes);
         }
-        dropped as usize
+        Ok(dropped as usize)
     }
 
     /// Execution index of the oldest live entry, if any. A cheap pre-check for
@@ -295,7 +308,7 @@ impl PersistentLog {
     }
 
     /// Persists a new start mark (one persistent fence).
-    fn publish_start(&mut self, slot: u64, seq: u64) {
+    fn publish_start(&mut self, slot: u64, seq: u64) -> Result<(), LogError> {
         self.start_slot = slot;
         self.start_seq = seq;
         let mut hdr = vec![0u8; self.cfg.log_header_size()];
@@ -305,7 +318,11 @@ impl PersistentLog {
         hdr[HDR_TRUNCATIONS as usize..24].copy_from_slice(&truncations.to_le_bytes());
         self.pool.write(self.base, &hdr);
         self.pool.flush(self.base, hdr.len());
-        self.pool.fence();
+        match self.pool.fence() {
+            Ok(true) => Ok(()),
+            Ok(false) => Err(LogError::Backend(NvmError::Crashed)),
+            Err(e) => Err(LogError::Backend(e)),
+        }
     }
 
     /// Number of truncations performed over the log's lifetime (diagnostics).
@@ -435,9 +452,9 @@ impl EntryWriter<'_> {
         }
         finish_encode(&mut self.scratch, self.num_ops);
         let scratch = std::mem::take(&mut self.scratch);
-        self.log.publish_scratch(&scratch, self.num_ops);
+        let result = self.log.publish_scratch(&scratch, self.num_ops);
         self.log.scratch = scratch;
-        Ok(())
+        result
     }
 }
 
@@ -653,7 +670,7 @@ mod tests {
         for i in 1..=4u64 {
             log.append(&[b"x"], i).unwrap();
         }
-        log.truncate();
+        log.truncate().unwrap();
         assert!(log.is_empty());
         assert_eq!(log.truncations(), 1);
         // Wrap around: four more appends fit.
@@ -676,12 +693,12 @@ mod tests {
             log.append(&[format!("op{i}").as_bytes()], i).unwrap();
         }
         // Checkpoint covered indices <= 4: four entries become droppable.
-        assert_eq!(log.truncate_below(4), 4);
+        assert_eq!(log.truncate_below(4).unwrap(), 4);
         assert_eq!(log.live_len(), 2);
         assert_eq!(log.first_live_index(), Some(5));
         // Idempotent: nothing below the watermark remains, and no fence is paid.
         let w = pool.stats().op_window();
-        assert_eq!(log.truncate_below(4), 0);
+        assert_eq!(log.truncate_below(4).unwrap(), 0);
         assert_eq!(w.close().persistent_fences, 0);
         // The freed ring slots are reusable: capacity 8, 2 live, 6 free.
         assert_eq!(log.free_slots(), 6);
@@ -703,7 +720,7 @@ mod tests {
         for i in 1..=5u64 {
             log.append(&[b"x"], i).unwrap();
         }
-        assert_eq!(log.truncate_below(3), 3);
+        assert_eq!(log.truncate_below(3).unwrap(), 3);
         pool.crash_and_restart();
         let (reopened, entries) = PersistentLog::open(pool, cfg, base);
         assert_eq!(entries.len(), 2);
@@ -718,7 +735,7 @@ mod tests {
         for i in 1..=4u64 {
             log.append(&[b"x"], i).unwrap();
         }
-        assert_eq!(log.truncate_below(u64::MAX), 4);
+        assert_eq!(log.truncate_below(u64::MAX).unwrap(), 4);
         assert!(log.is_empty());
         assert_eq!(log.first_live_index(), None);
         assert_eq!(log.live_bytes(), 0);
@@ -744,7 +761,7 @@ mod tests {
         let (mut reopened, _) = PersistentLog::open(pool, cfg, base);
         assert_eq!(reopened.live_bytes(), expected);
         // … and shrinks by the dropped entries' occupied bytes on truncation.
-        reopened.truncate_below(1);
+        reopened.truncate_below(1).unwrap();
         assert_eq!(
             reopened.live_bytes(),
             crate::entry::occupied_size(1, 2) as u64
@@ -759,7 +776,7 @@ mod tests {
         for i in 1..=3u64 {
             log.append(&[b"old"], i).unwrap();
         }
-        log.truncate();
+        log.truncate().unwrap();
         log.append(&[b"new"], 4).unwrap();
         pool.crash_and_restart();
         let (_, entries) = PersistentLog::open(pool, cfg, base);
@@ -779,7 +796,7 @@ mod tests {
         log.append(&[b"a-rather-long-first-operation-payload", b"helped-op"], 1)
             .unwrap();
         log.append(&[b"x"], 2).unwrap();
-        log.truncate();
+        log.truncate().unwrap();
         // Slot 0 is rewritten with a much shorter entry.
         log.append(&[b"s"], 3).unwrap();
         pool.crash_and_restart();

@@ -68,7 +68,7 @@ proptest! {
         for i in 0..first_batch {
             log.append(&[&[0xAA, i as u8]], i as u64 + 1).unwrap();
         }
-        log.truncate();
+        log.truncate().unwrap();
         for i in 0..second_batch {
             log.append(&[&[0xBB, i as u8]], (first_batch + i) as u64 + 1).unwrap();
         }

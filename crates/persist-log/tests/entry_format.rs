@@ -32,7 +32,7 @@ fn slot_addr(base: u64, cfg: &LogConfig, slot: u64) -> u64 {
 fn clobber(pool: &NvmPool, addr: u64, bytes: &[u8]) {
     pool.write(addr, bytes);
     pool.flush(addr, bytes.len());
-    pool.fence();
+    pool.fence().unwrap();
 }
 
 proptest! {

@@ -23,7 +23,10 @@ pub struct ShardConfig {
     /// [`BackendSpec::File`], shard `i`'s pool is a file derived from the
     /// label `<name>/shard<i>` (see [`BackendSpec::pool_path`]), so a sharded
     /// store can be reopened after a real process restart via
-    /// [`ShardConfig::open_pools`].
+    /// [`ShardConfig::open_pools`]. With [`BackendSpec::device`], every shard
+    /// becomes a segment of one shared device file and all shard fences go
+    /// through that device's group-commit executor (see
+    /// [`ShardConfig::coalesce_window_us`]).
     pub backend: BackendSpec,
 }
 
@@ -95,6 +98,25 @@ impl ShardConfig {
     /// The pool label of shard `index` (its ONLL object name).
     fn shard_label(&self, index: usize) -> String {
         format!("{}/shard{index}", self.name)
+    }
+
+    /// Convenience: sets the persist executor's fence-coalescing window in
+    /// microseconds (see `PmemConfig::coalesce_window`). Only meaningful with
+    /// [`BackendSpec::device`], where every shard pool on the same device file
+    /// shares one group-commit executor: a fence leader waits up to this long
+    /// for rider fences from other shards before issuing the shared `fsync`.
+    pub fn coalesce_window_us(mut self, us: u64) -> Self {
+        self.pmem = self
+            .pmem
+            .coalesce_window(std::time::Duration::from_micros(us));
+        self
+    }
+
+    /// Convenience: caps how many rider fences one coalesced `fsync` may carry
+    /// (see `PmemConfig::coalesce_max_riders`).
+    pub fn coalesce_max_riders(mut self, n: usize) -> Self {
+        self.pmem = self.pmem.coalesce_max_riders(n);
+        self
     }
 
     /// Convenience: enables fence-amortized group persist with groups of up to

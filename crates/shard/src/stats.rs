@@ -90,7 +90,7 @@ mod tests {
         for (i, (p, addr)) in pools.iter().zip(&addrs).enumerate() {
             p.write_u64(*addr, i as u64);
             p.flush(*addr, 8);
-            p.fence();
+            p.fence().unwrap();
         }
         let d = w.close();
         assert_eq!(d.persistent_fences, 3);
@@ -104,9 +104,9 @@ mod tests {
         let w = AggregateWindow::open(&pools);
         pools[0].write_u64(addr, 1);
         pools[0].flush(addr, 8);
-        pools[0].fence();
+        pools[0].fence().unwrap();
         assert_eq!(w.peek().persistent_fences, 1);
-        pools[1].fence(); // no pending flush: not persistent
+        pools[1].fence().unwrap(); // no pending flush: not persistent
         let d = w.close();
         assert_eq!(d.persistent_fences, 1);
         assert_eq!(d.fences, 2);
@@ -153,13 +153,13 @@ mod tests {
         std::thread::spawn(move || {
             p1.write_u64(addr1, 7);
             p1.flush(addr1, 8);
-            p1.fence();
+            p1.fence().unwrap();
         })
         .join()
         .unwrap();
         pools[0].write_u64(addr0, 9);
         pools[0].flush(addr0, 8);
-        pools[0].fence();
+        pools[0].fence().unwrap();
         let merged = merged_global_stats(&pools);
         assert_eq!(merged.delta(&before).persistent_fences, 2);
     }

@@ -38,6 +38,7 @@ struct Args {
     ops: u64,
     checkpoint_every: u64,
     telemetry: bool,
+    coalesce: bool,
 }
 
 fn parse_args() -> Args {
@@ -50,11 +51,13 @@ fn parse_args() -> Args {
         ops: 1000,
         checkpoint_every: 0,
         telemetry: false,
+        coalesce: false,
     };
     while let Some(flag) = args.next() {
         let mut value = || args.next().unwrap_or_else(|| usage("missing flag value"));
         match flag.as_str() {
             "--telemetry" => parsed.telemetry = true,
+            "--coalesce" => parsed.coalesce = true,
             "--dir" => parsed.dir = value(),
             "--seed" => parsed.seed = value().parse().unwrap_or_else(|_| usage("bad --seed")),
             "--ops" => parsed.ops = value().parse().unwrap_or_else(|_| usage("bad --ops")),
@@ -75,16 +78,25 @@ fn parse_args() -> Args {
 fn usage(err: &str) -> ! {
     eprintln!("error: {err}");
     eprintln!(
-        "usage: real_restart <run|resume|verify> --dir DIR [--seed N] [--ops N] [--checkpoint-every N] [--telemetry]"
+        "usage: real_restart <run|resume|verify> --dir DIR [--seed N] [--ops N] [--checkpoint-every N] [--telemetry] [--coalesce]"
     );
     std::process::exit(2);
 }
 
 fn config(args: &Args) -> OnllConfig {
+    // `--coalesce` places the pool on a shared group-commit device file whose
+    // fences go through the persist executor (coalesced fsyncs); the default
+    // is a private file with one fsync per fence. Both modes honor
+    // `ONLL_DEVICE_ABORT` for the kill-9 coalescing-window matrix.
+    let backend = if args.coalesce {
+        BackendSpec::device(std::path::Path::new(&args.dir).join("restart-kv.device"))
+    } else {
+        BackendSpec::file(&args.dir)
+    };
     let mut cfg = OnllConfig::named("restart-kv")
         .max_processes(2)
         .log_capacity(args.ops as usize + 16)
-        .backend(BackendSpec::file(&args.dir));
+        .backend(backend);
     if args.checkpoint_every > 0 {
         cfg = cfg
             .checkpoint_every(args.checkpoint_every)

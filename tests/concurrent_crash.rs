@@ -80,12 +80,16 @@ fn all_or_nothing(file: bool, arm: CrashArm) {
     });
     assert_eq!(service.combine_now(), 2, "{label}: both ops in one batch");
     assert!(pool.is_frozen(), "{label}: the armed crash must have fired");
-    // The combiner posted (transient) replies; capture them for the
-    // exactly-once comparison below. The crash decides whether they count.
-    let reply_a = a.try_take_reply().unwrap().unwrap();
-    let reply_b = b.try_take_reply().unwrap().unwrap();
-    assert_eq!(reply_a.1, id_a);
-    assert_eq!(reply_b.1, id_b);
+    // The combiner posted replies; their shape depends on where the crash hit.
+    // A batch whose fence persisted before the freeze yields values; a batch
+    // whose fence found the machine already frozen is *refused* — the combiner
+    // never acknowledges operations whose bytes are not durable.
+    let reply_a = a
+        .try_take_reply()
+        .unwrap_or_else(|| panic!("{label}: combiner visited slot a"));
+    let reply_b = b
+        .try_take_reply()
+        .unwrap_or_else(|| panic!("{label}: combiner visited slot b"));
 
     drop(a);
     drop(b);
@@ -110,6 +114,10 @@ fn all_or_nothing(file: bool, arm: CrashArm) {
             // The whole multi-client entry survived: both ops are linearized,
             // and each client's remembered response is exactly the reply the
             // combiner handed it before the crash.
+            let reply_a = reply_a.unwrap_or_else(|e| panic!("{label}: slot a refused: {e}"));
+            let reply_b = reply_b.unwrap_or_else(|e| panic!("{label}: slot b refused: {e}"));
+            assert_eq!(reply_a.1, id_a);
+            assert_eq!(reply_b.1, id_b);
             for (value, op_id) in [reply_a, reply_b] {
                 assert!(recovered.was_linearized(op_id), "{label}: lost {op_id}");
                 assert_eq!(recovered.resolve(op_id), Some(value), "{label}: {op_id}");
@@ -118,7 +126,14 @@ fn all_or_nothing(file: bool, arm: CrashArm) {
             assert_eq!(recovered.read_latest(&CounterRead::Get), 111, "{label}");
         }
         CrashArm::MidStores | CrashArm::BeforeFence => {
-            // None of the entry survived: both ops are detectably
+            // The batch's publish fence found the machine frozen, so the
+            // combiner refused both operations instead of handing out replies
+            // for non-durable state.
+            assert!(
+                reply_a.is_err() && reply_b.is_err(),
+                "{label}: an unfenced batch must not be acknowledged"
+            );
+            // And none of the entry survived: both ops are detectably
             // not-linearized and the state shows only the baseline.
             for op_id in [id_a, id_b] {
                 assert!(

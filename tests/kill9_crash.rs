@@ -33,13 +33,29 @@ struct Scenario {
     ops: u64,
     kill_after_acks: u64,
     checkpoint_every: u64,
+    /// Run the child's pool on a shared group-commit device file
+    /// (`real_restart --coalesce`) instead of a private file per pool.
+    coalesce: bool,
+    /// Arm the child's `run` incarnation to abort itself *inside* the
+    /// coalescing window via `ONLL_DEVICE_ABORT` (e.g. `"after-pwrites:25"`):
+    /// the process dies between its batch's pwrites and the fsync, or between
+    /// the fsync and the rider wakeups — the two spots a group-commit bug
+    /// would acknowledge non-durable operations from.
+    device_abort: Option<&'static str>,
 }
 
 impl Scenario {
     fn label(&self) -> String {
         format!(
-            "seed={} ops={} kill_after_acks={} checkpoint_every={} (rerun: real_restart run --seed {} --ops {})",
-            self.seed, self.ops, self.kill_after_acks, self.checkpoint_every, self.seed, self.ops
+            "seed={} ops={} kill_after_acks={} checkpoint_every={} coalesce={} device_abort={:?} (rerun: real_restart run --seed {} --ops {})",
+            self.seed,
+            self.ops,
+            self.kill_after_acks,
+            self.checkpoint_every,
+            self.coalesce,
+            self.device_abort,
+            self.seed,
+            self.ops
         )
     }
 }
@@ -68,6 +84,17 @@ fn command(mode: &str, dir: &std::path::Path, s: &Scenario) -> Command {
         .args(["--ops", &s.ops.to_string()]);
     if s.checkpoint_every > 0 {
         cmd.args(["--checkpoint-every", &s.checkpoint_every.to_string()]);
+    }
+    if s.coalesce {
+        cmd.arg("--coalesce");
+    }
+    // The abort is armed only on the original `run` incarnation: recovery and
+    // resume incarnations must run to completion. Scrub any inherited arming.
+    cmd.env_remove("ONLL_DEVICE_ABORT");
+    if mode == "run" {
+        if let Some(spec) = s.device_abort {
+            cmd.env("ONLL_DEVICE_ABORT", spec);
+        }
     }
     cmd
 }
@@ -220,8 +247,20 @@ fn build_history(observed: &Observed, seed: u64) -> Vec<OpRecord<KvOp, KvRead, K
 
 fn check_scenario(s: Scenario) {
     let dir = ScratchDir::new(&format!("kill9-{}-{}", s.seed, s.checkpoint_every)).unwrap();
-    let dir = dir.path();
+    check_scenario_in(dir.path(), s);
+}
+
+/// The body of [`check_scenario`] against a caller-owned directory (so a
+/// caller can keep the store around and resume it afterwards).
+fn check_scenario_in(dir: &std::path::Path, s: Scenario) {
     let observed = run_and_kill("run", dir, &s);
+    if s.device_abort.is_some() {
+        assert!(
+            !observed.done,
+            "{}: the armed in-window abort never fired",
+            s.label()
+        );
+    }
 
     match verify(dir, &s) {
         Verified::NoStore(reason) => {
@@ -333,6 +372,8 @@ fn kill9_single_recovers_across_process_restart() {
         ops: 200,
         kill_after_acks: 23,
         checkpoint_every: 0,
+        coalesce: false,
+        device_abort: None,
     };
     let dir = ScratchDir::new("kill9-tier1").unwrap();
     let dir = dir.path();
@@ -363,6 +404,74 @@ fn kill9_single_recovers_across_process_restart() {
     resume_to_completion(dir, &s);
 }
 
+/// One row of the coalescing-window crash matrix: the child aborts itself at
+/// the armed point *inside* its fence's pwrite->fsync window, and recovery
+/// must show no operation was acknowledged without its bytes on disk
+/// (`durable >= acked`, digest = replay of the durable prefix, gap-free log
+/// tail). Afterwards the store resumes to completion across one more real
+/// process restart.
+fn check_window_abort(coalesce: bool, abort: &'static str, seed: u64) {
+    let s = Scenario {
+        seed,
+        ops: 150,
+        // No supervisor SIGKILL: the armed abort is the crash.
+        kill_after_acks: u64::MAX,
+        checkpoint_every: 0,
+        coalesce,
+        device_abort: Some(abort),
+    };
+    let dir = ScratchDir::new(&format!("kill9-window-{coalesce}-{seed}")).unwrap();
+    check_scenario_in(dir.path(), s);
+    // An abort early enough to hit store *creation* legally leaves no store
+    // behind (and check_scenario_in verified nothing was acked) — there is
+    // nothing to resume then.
+    if !matches!(verify(dir.path(), &s), Verified::NoStore(_)) {
+        resume_to_completion(dir.path(), &s);
+    }
+}
+
+/// Tier-1: crashes armed inside the coalescing window, on both file modes
+/// (private file per pool, and shared group-commit device). `after-pwrites`
+/// dies with bytes written but not fsync'd — those operations must be *gone*
+/// or at least unacknowledged after recovery; `after-fsync` dies with bytes
+/// durable but the acknowledgment unsent — durable > acked is the only legal
+/// direction.
+#[test]
+fn kill9_abort_inside_coalescing_window() {
+    check_window_abort(false, "after-pwrites:25", 0xA150);
+    check_window_abort(false, "after-fsync:25", 0xA151);
+    check_window_abort(true, "after-pwrites:25", 0xA152);
+    check_window_abort(true, "after-fsync:25", 0xA153);
+}
+
+/// Tier-2 (slow CI job): the full window-abort sweep — both file modes, both
+/// abort points, countdowns hitting store creation, early workload and late
+/// workload batches.
+#[test]
+#[ignore = "slow: spawns and aborts many child processes; run in the file-backend CI job"]
+fn kill9_coalescing_window_matrix() {
+    const POINTS: [&str; 8] = [
+        "after-pwrites:3",
+        "after-pwrites:15",
+        "after-pwrites:40",
+        "after-pwrites:90",
+        "after-fsync:3",
+        "after-fsync:15",
+        "after-fsync:40",
+        "after-fsync:90",
+    ];
+    for coalesce in [false, true] {
+        for (i, point) in POINTS.iter().enumerate() {
+            eprintln!("kill9 window matrix: coalesce={coalesce} {point}");
+            check_window_abort(
+                coalesce,
+                point,
+                0xB000 ^ ((coalesce as u64) << 8) ^ i as u64,
+            );
+        }
+    }
+}
+
 /// Tier-2 (slow CI job): randomized kill points, checkpointed rows, and a
 /// double-kill run. Seeds are derived deterministically so any failure is
 /// reproducible from the printed scenario label alone.
@@ -388,6 +497,10 @@ fn kill9_randomized_matrix() {
             ops: 600,
             kill_after_acks: 1 + next() % 300,
             checkpoint_every,
+            // Alternate rounds run on the shared group-commit device, so the
+            // randomized SIGKILL sweep also covers the persist executor.
+            coalesce: round % 2 == 1,
+            device_abort: None,
         };
         eprintln!("kill9 matrix round {round}: {}", s.label());
         check_scenario(s);
@@ -398,6 +511,8 @@ fn kill9_randomized_matrix() {
         ops: 500,
         kill_after_acks: 1 + next() % 150,
         checkpoint_every: 0,
+        coalesce: true,
+        device_abort: None,
     };
     eprintln!("kill9 double-kill: {}", s.label());
     let dir = ScratchDir::new("kill9-double").unwrap();
