@@ -19,17 +19,30 @@
 
 use crate::interface::DurableObject;
 use nvm_sim::NvmPool;
-use onll::{OpCodec, SequentialSpec};
+use onll::{OnllError, OpCodec, SequentialSpec};
 use parking_lot::Mutex;
 use persist_log::{LogConfig, LogError, PersistentLog};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
+fn log_error(e: LogError) -> OnllError {
+    match e {
+        LogError::Full => OnllError::LogFull,
+        LogError::EntryTooLarge(msg) => OnllError::Nvm(msg),
+        LogError::Backend(err) => OnllError::Nvm(err.to_string()),
+    }
+}
+
+/// A combined operation's published outcome, tagged with its ticket: the
+/// value, or the backend failure that prevented persisting the batch (every
+/// waiter of a failed batch learns the same error).
+type SlotOutcome<S> = Option<(u64, Result<<S as SequentialSpec>::Value, OnllError>)>;
+
 struct AnnounceSlot<S: SequentialSpec> {
     /// Operation waiting to be combined, tagged with a ticket.
     pending: Mutex<Option<(u64, S::UpdateOp)>>,
-    /// Result of the most recently combined operation, tagged with its ticket.
-    result: Mutex<Option<(u64, S::Value)>>,
+    /// Outcome of the most recently combined operation.
+    result: Mutex<SlotOutcome<S>>,
 }
 
 struct Combined<S: SequentialSpec> {
@@ -134,8 +147,13 @@ pub struct FlatCombiningHandle<S: SequentialSpec> {
 }
 
 impl<S: SequentialSpec> FlatCombiningHandle<S> {
-    /// Runs one combining pass: applies every announced operation, persists the
-    /// batch with one fence, and publishes results.
+    /// Runs one combining pass: persists every announced operation as one
+    /// batch with a single fence, applies them, and publishes results. When
+    /// the batch cannot be made durable (poisoned backend, frozen fence),
+    /// **every** waiter of the batch receives the error — leaving their
+    /// announce slots parked would hang them on a combiner that can never
+    /// succeed, and applying unpersisted operations would let the in-memory
+    /// state run ahead of the log.
     fn combine(&self, combined: &mut Combined<S>) {
         let inner = &*self.inner;
         let mut batch: Vec<(usize, u64, S::UpdateOp)> = Vec::new();
@@ -147,58 +165,68 @@ impl<S: SequentialSpec> FlatCombiningHandle<S> {
         if batch.is_empty() {
             return;
         }
-        // Apply in announce-slot order (the linearization order of the batch).
-        let mut values = Vec::with_capacity(batch.len());
-        for (_, _, op) in &batch {
-            values.push(combined.state.apply(op));
+        match Self::commit_batch(combined, &batch) {
+            Ok(values) => {
+                for ((i, ticket, _), value) in batch.into_iter().zip(values) {
+                    *inner.slots[i].result.lock() = Some((ticket, Ok(value)));
+                }
+            }
+            Err(e) => {
+                for (i, ticket, _) in batch {
+                    *inner.slots[i].result.lock() = Some((ticket, Err(e.clone())));
+                }
+            }
         }
-        // Persist the whole batch as one variable-length log entry with a
-        // single fence (a full ring is wholly truncated and restarted — see
-        // `create`).
+    }
+
+    /// Persists `batch` as one log entry (one fence), then applies it in
+    /// announce-slot order (the linearization order of the batch). Nothing is
+    /// applied unless the whole batch became durable.
+    fn commit_batch(
+        combined: &mut Combined<S>,
+        batch: &[(usize, u64, S::UpdateOp)],
+    ) -> Result<Vec<S::Value>, OnllError> {
+        // A full ring is wholly truncated and restarted — see `create`.
         if combined.log.free_slots() == 0 {
-            // A failed truncation fence leaves the ring full; the batch commit
-            // below then reports the same backend failure via its own fence.
-            let _ = combined.log.truncate();
+            combined.log.truncate().map_err(log_error)?;
         }
-        combined.next_index += batch.len() as u64;
-        let mut writer = combined
-            .log
-            .begin(combined.next_index)
-            .expect("a slot was just freed");
-        for (_, _, op) in &batch {
+        let index = combined.next_index + batch.len() as u64;
+        let mut writer = combined.log.begin(index).map_err(log_error)?;
+        for (_, _, op) in batch {
             writer
                 .push_op_with(|buf| op.encode(buf))
-                .unwrap_or_else(|e: LogError| panic!("batch op does not fit its slot: {e}"));
+                .map_err(log_error)?;
         }
-        writer.commit().expect("batch entry fits its slot");
+        writer.commit().map_err(log_error)?;
+        combined.next_index = index;
         combined.batches += 1;
         combined.combined_ops += batch.len() as u64;
-        // Publish results.
-        for ((i, ticket, _), value) in batch.into_iter().zip(values) {
-            *inner.slots[i].result.lock() = Some((ticket, value));
-        }
+        Ok(batch
+            .iter()
+            .map(|(_, _, op)| combined.state.apply(op))
+            .collect())
     }
 }
 
 impl<S: SequentialSpec> DurableObject<S> for FlatCombiningHandle<S> {
-    fn update(&mut self, op: S::UpdateOp) -> S::Value {
+    fn try_update(&mut self, op: S::UpdateOp) -> Result<S::Value, OnllError> {
         let inner = &*self.inner;
         let ticket = inner.tickets.fetch_add(1, Ordering::Relaxed);
         *inner.slots[self.slot].pending.lock() = Some((ticket, op));
         loop {
             // Did a combiner already serve us?
-            if let Some((t, v)) = inner.slots[self.slot].result.lock().take() {
+            if let Some((t, outcome)) = inner.slots[self.slot].result.lock().take() {
                 if t == ticket {
-                    return v;
+                    return outcome;
                 }
             }
             // Try to become the combiner.
             if let Some(mut combined) = inner.combiner.try_lock() {
                 self.combine(&mut combined);
                 drop(combined);
-                if let Some((t, v)) = inner.slots[self.slot].result.lock().take() {
+                if let Some((t, outcome)) = inner.slots[self.slot].result.lock().take() {
                     if t == ticket {
-                        return v;
+                        return outcome;
                     }
                 }
             }

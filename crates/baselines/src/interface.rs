@@ -1,6 +1,6 @@
 //! The common interface the harness and benchmarks drive.
 
-use onll::SequentialSpec;
+use onll::{OnllError, SequentialSpec};
 
 /// A per-process handle on a durable (or deliberately non-durable, for the
 /// transient baseline) implementation of a sequential object.
@@ -8,8 +8,28 @@ use onll::SequentialSpec;
 /// The harness and benchmarks are written against this trait so the exact same
 /// workload can be executed by ONLL and by every baseline.
 pub trait DurableObject<S: SequentialSpec>: Send {
-    /// Performs an update operation and returns its value.
-    fn update(&mut self, op: S::UpdateOp) -> S::Value;
+    /// Performs an update operation and returns its value, or the backend
+    /// failure that prevented making it durable.
+    ///
+    /// Implementations must not swallow a failed persistence fence: an update
+    /// whose fence reported an IO error was **not** made durable, and a run
+    /// that kept counting it as committed would under-report the fences the
+    /// workload actually needs (each retry pays again). A fence that is merely
+    /// *frozen* by a simulated crash (`Ok(false)` from `NvmPool::fence`) is
+    /// not an error — the crash harness freezes mid-update on purpose and
+    /// recovery discards whatever was not yet durable.
+    fn try_update(&mut self, op: S::UpdateOp) -> Result<S::Value, OnllError>;
+
+    /// Infallible convenience wrapper over [`DurableObject::try_update`] for
+    /// workloads that treat a backend failure as fatal.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the update could not be made durable.
+    fn update(&mut self, op: S::UpdateOp) -> S::Value {
+        self.try_update(op)
+            .unwrap_or_else(|e| panic!("durable update failed: {e}"))
+    }
 
     /// Performs a read-only operation and returns its value.
     fn read(&mut self, op: &S::ReadOp) -> S::Value;

@@ -9,7 +9,7 @@
 
 use crate::interface::DurableObject;
 use nvm_sim::{NvmPool, PAddr};
-use onll::{SequentialSpec, SnapshotSpec};
+use onll::{OnllError, SequentialSpec, SnapshotSpec};
 use parking_lot::Mutex;
 use persist_log::checksum64;
 use std::sync::Arc;
@@ -110,7 +110,7 @@ pub struct NaiveHandle<S: SequentialSpec> {
 }
 
 impl<S: SnapshotSpec> DurableObject<S> for NaiveHandle<S> {
-    fn update(&mut self, op: S::UpdateOp) -> S::Value {
+    fn try_update(&mut self, op: S::UpdateOp) -> Result<S::Value, OnllError> {
         let mut inner = self.inner.lock();
         let value = inner.state.apply(&op);
         inner.version += 1;
@@ -130,15 +130,18 @@ impl<S: SnapshotSpec> DurableObject<S> for NaiveHandle<S> {
         payload[SLOT_HEADER..].copy_from_slice(&state_bytes);
         inner.pool.write(addr + 8, &payload[8..]);
         inner.pool.flush(addr + 8, payload.len() - 8);
-        // Baselines deliberately tolerate a frozen (crash-armed) fence: the
-        // crash tests expect `update` to return normally while frozen, and
-        // recovery discards the torn slot via its checksum.
-        let _ = inner.pool.fence();
+        // A frozen (crash-armed) fence is tolerated: the crash tests freeze
+        // mid-update on purpose and recovery discards the torn slot via its
+        // checksum. A backend IO error propagates — the DRAM state already
+        // contains the update (full-state write-back applies first), exactly
+        // the divergence a crash would leave, and recovery falls back to the
+        // previous durable slot either way.
+        inner.pool.fence()?;
         let csum = checksum64(&payload[8..]);
         inner.pool.write(addr, &csum.to_le_bytes());
         inner.pool.flush(addr, 8);
-        let _ = inner.pool.fence();
-        value
+        inner.pool.fence()?;
+        Ok(value)
     }
 
     fn read(&mut self, op: &S::ReadOp) -> S::Value {

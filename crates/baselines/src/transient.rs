@@ -6,7 +6,7 @@
 //! one persistent fence per update.
 
 use crate::interface::DurableObject;
-use onll::SequentialSpec;
+use onll::{OnllError, SequentialSpec};
 use parking_lot::Mutex;
 use std::sync::Arc;
 
@@ -51,8 +51,9 @@ pub struct TransientHandle<S: SequentialSpec> {
 }
 
 impl<S: SequentialSpec> DurableObject<S> for TransientHandle<S> {
-    fn update(&mut self, op: S::UpdateOp) -> S::Value {
-        self.state.lock().apply(&op)
+    fn try_update(&mut self, op: S::UpdateOp) -> Result<S::Value, OnllError> {
+        // Nothing is persisted, so nothing can fail to persist.
+        Ok(self.state.lock().apply(&op))
     }
 
     fn read(&mut self, op: &S::ReadOp) -> S::Value {

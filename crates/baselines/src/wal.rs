@@ -10,7 +10,7 @@
 
 use crate::interface::DurableObject;
 use nvm_sim::{NvmPool, PAddr};
-use onll::{OpCodec, SequentialSpec};
+use onll::{OnllError, OpCodec, SequentialSpec};
 use parking_lot::Mutex;
 use std::sync::Arc;
 
@@ -129,7 +129,7 @@ pub struct WalHandle<S: SequentialSpec> {
 }
 
 impl<S: SequentialSpec> DurableObject<S> for WalHandle<S> {
-    fn update(&mut self, op: S::UpdateOp) -> S::Value {
+    fn try_update(&mut self, op: S::UpdateOp) -> Result<S::Value, OnllError> {
         let mut inner = self.inner.lock();
         let slot = inner.next % inner.capacity_entries as u64;
         let addr = inner.base + slot * inner.entry_size as u64;
@@ -141,17 +141,18 @@ impl<S: SequentialSpec> DurableObject<S> for WalHandle<S> {
         record[ENTRY_HEADER..].copy_from_slice(&encoded);
         inner.pool.write(addr + 8, &record[8..]);
         inner.pool.flush(addr + 8, record.len() - 8);
-        // Baselines deliberately tolerate a frozen (crash-armed) fence: the
-        // crash tests expect `update` to return normally while frozen, and
-        // recovery discards any record without a matching commit mark.
-        let _ = inner.pool.fence();
+        // A frozen (crash-armed) fence is tolerated: the crash tests freeze
+        // mid-update on purpose and recovery discards any record without a
+        // matching commit mark. A backend IO error is a real failure — the
+        // update was not made durable and must not be acknowledged.
+        inner.pool.fence()?;
         // 2. Persist the commit mark (fence #2).
         let commit = inner.next + 1;
         inner.pool.write(addr, &commit.to_le_bytes());
         inner.pool.flush(addr, 8);
-        let _ = inner.pool.fence();
+        inner.pool.fence()?;
         inner.next += 1;
-        inner.state.apply(&op)
+        Ok(inner.state.apply(&op))
     }
 
     fn read(&mut self, op: &S::ReadOp) -> S::Value {

@@ -43,6 +43,11 @@ use persist_log::checksum64;
 
 /// Header bytes preceding the serialized state in one checkpoint slot:
 /// checksum u64 + epoch u64 + execution_index u64 + state_len u32 + pad u32.
+/// The header is followed by `max_processes` little-endian u64 *sequence
+/// floors* (highest per-process operation sequence number the checkpoint
+/// covers, as applied by the checkpointing view), then the state bytes. The
+/// checksum covers floors and state, so a torn floor write invalidates the
+/// slot like a torn state write would.
 const SLOT_HEADER: usize = 32;
 
 /// Identity of a published checkpoint: which epoch it belongs to and the
@@ -56,23 +61,28 @@ pub struct CheckpointStamp {
     pub epoch: u64,
 }
 
-/// Size in bytes of one checkpoint slot for a configured state capacity.
-pub(crate) fn slot_size(state_capacity: usize) -> usize {
-    (SLOT_HEADER + state_capacity).div_ceil(CACHE_LINE_SIZE) * CACHE_LINE_SIZE
+/// Size in bytes of one checkpoint slot for a configured state capacity and
+/// process count (the per-process sequence floors live in the slot).
+pub(crate) fn slot_size(state_capacity: usize, num_pids: usize) -> usize {
+    (SLOT_HEADER + 8 * num_pids + state_capacity).div_ceil(CACHE_LINE_SIZE) * CACHE_LINE_SIZE
 }
 
 /// Size in bytes of one process's (double-buffered) checkpoint area.
-pub(crate) fn area_size(state_capacity: usize) -> usize {
-    2 * slot_size(state_capacity)
+pub(crate) fn area_size(state_capacity: usize, num_pids: usize) -> usize {
+    2 * slot_size(state_capacity, num_pids)
 }
 
-/// Checksum over a slot's validated content: epoch, watermark, length and state.
-fn slot_checksum(epoch: u64, execution_index: u64, state: &[u8]) -> u64 {
-    let mut buf = Vec::with_capacity(24 + state.len());
+/// Checksum over a slot's validated content: epoch, watermark, length,
+/// sequence floors and state.
+fn slot_checksum(epoch: u64, execution_index: u64, seq_floors: &[u64], state: &[u8]) -> u64 {
+    let mut buf = Vec::with_capacity(24 + 8 * seq_floors.len() + state.len());
     buf.extend_from_slice(&epoch.to_le_bytes());
     buf.extend_from_slice(&execution_index.to_le_bytes());
     buf.extend_from_slice(&(state.len() as u32).to_le_bytes());
     buf.extend_from_slice(&[0u8; 4]);
+    for f in seq_floors {
+        buf.extend_from_slice(&f.to_le_bytes());
+    }
     buf.extend_from_slice(state);
     checksum64(&buf)
 }
@@ -85,6 +95,14 @@ struct Staged {
     checksum: u64,
 }
 
+/// A validated checkpoint slot: its stamp, per-process sequence floors and
+/// serialized state.
+pub(crate) struct ValidSlot {
+    pub(crate) stamp: CheckpointStamp,
+    pub(crate) seq_floors: Vec<u64>,
+    pub(crate) state: Vec<u8>,
+}
+
 /// Writes epoch-stamped checkpoints into one process's double-buffered NVM area
 /// and reads them back after a crash.
 ///
@@ -95,6 +113,9 @@ pub(crate) struct Checkpointer {
     pool: NvmPool,
     base: PAddr,
     state_capacity: usize,
+    /// Number of per-process sequence floors stored in each slot (the object's
+    /// `max_processes`).
+    num_pids: usize,
     /// Slot (0 or 1) the next checkpoint will be staged into — always the one
     /// *not* holding the newest valid checkpoint.
     next_slot: u64,
@@ -109,14 +130,19 @@ impl Checkpointer {
     /// staged into the slot not holding the newest valid checkpoint, so the
     /// newest published checkpoint is never overwritten before a newer one is
     /// durable.
-    pub(crate) fn resume(pool: NvmPool, base: PAddr, state_capacity: usize) -> Self {
+    pub(crate) fn resume(
+        pool: NvmPool,
+        base: PAddr,
+        state_capacity: usize,
+        num_pids: usize,
+    ) -> Self {
         let mut newest: Option<(u64, CheckpointStamp)> = None;
         let mut max_epoch = 0u64;
         for which in 0..2u64 {
-            if let Some((stamp, _)) = read_slot(&pool, base, state_capacity, which) {
-                max_epoch = max_epoch.max(stamp.epoch);
-                if newest.is_none_or(|(_, best)| stamp > best) {
-                    newest = Some((which, stamp));
+            if let Some(slot) = read_slot(&pool, base, state_capacity, num_pids, which) {
+                max_epoch = max_epoch.max(slot.stamp.epoch);
+                if newest.is_none_or(|(_, best)| slot.stamp > best) {
+                    newest = Some((which, slot.stamp));
                 }
             }
         }
@@ -128,6 +154,7 @@ impl Checkpointer {
             pool,
             base,
             state_capacity,
+            num_pids,
             next_slot,
             next_epoch: max_epoch + 1,
             staged: None,
@@ -135,9 +162,15 @@ impl Checkpointer {
     }
 
     /// Stage a checkpoint of `state_bytes` covering execution index
-    /// `execution_index`: write the state into the inactive slot and flush it.
-    /// No fence; the slot stays invalid until [`Checkpointer::publish`].
-    pub(crate) fn stage(&mut self, execution_index: u64, state_bytes: &[u8]) -> Result<(), String> {
+    /// `execution_index`, carrying `seq_floors` (one per process slot): write
+    /// floors and state into the inactive slot and flush them. No fence; the
+    /// slot stays invalid until [`Checkpointer::publish`].
+    pub(crate) fn stage(
+        &mut self,
+        execution_index: u64,
+        seq_floors: &[u64],
+        state_bytes: &[u8],
+    ) -> Result<(), String> {
         if state_bytes.len() > self.state_capacity {
             return Err(format!(
                 "serialized state ({} bytes) exceeds the configured checkpoint slot capacity ({} bytes); raise OnllConfig::checkpoint_slot_bytes",
@@ -145,15 +178,20 @@ impl Checkpointer {
                 self.state_capacity
             ));
         }
+        debug_assert_eq!(seq_floors.len(), self.num_pids);
         let addr = self.slot_addr(self.next_slot);
-        self.pool.write(addr + SLOT_HEADER as u64, state_bytes);
-        self.pool
-            .flush(addr + SLOT_HEADER as u64, state_bytes.len());
+        let mut body = Vec::with_capacity(8 * self.num_pids + state_bytes.len());
+        for f in seq_floors {
+            body.extend_from_slice(&f.to_le_bytes());
+        }
+        body.extend_from_slice(state_bytes);
+        self.pool.write(addr + SLOT_HEADER as u64, &body);
+        self.pool.flush(addr + SLOT_HEADER as u64, body.len());
         self.staged = Some(Staged {
             epoch: self.next_epoch,
             execution_index,
             state_len: state_bytes.len(),
-            checksum: slot_checksum(self.next_epoch, execution_index, state_bytes),
+            checksum: slot_checksum(self.next_epoch, execution_index, seq_floors, state_bytes),
         });
         Ok(())
     }
@@ -195,18 +233,19 @@ impl Checkpointer {
     }
 
     fn slot_addr(&self, which: u64) -> PAddr {
-        self.base + (which % 2) * slot_size(self.state_capacity) as u64
+        self.base + (which % 2) * slot_size(self.state_capacity, self.num_pids) as u64
     }
 }
 
-/// Reads and validates one slot of an area. Returns the stamp and state bytes.
+/// Reads and validates one slot of an area.
 fn read_slot(
     pool: &NvmPool,
     base: PAddr,
     state_capacity: usize,
+    num_pids: usize,
     which: u64,
-) -> Option<(CheckpointStamp, Vec<u8>)> {
-    let addr = base + (which % 2) * slot_size(state_capacity) as u64;
+) -> Option<ValidSlot> {
+    let addr = base + (which % 2) * slot_size(state_capacity, num_pids) as u64;
     let header = pool.read_vec(addr, SLOT_HEADER);
     let stored_csum = u64::from_le_bytes(header[0..8].try_into().unwrap());
     let epoch = u64::from_le_bytes(header[8..16].try_into().unwrap());
@@ -215,17 +254,23 @@ fn read_slot(
     if state_len > state_capacity {
         return None;
     }
-    let state = pool.read_vec(addr + SLOT_HEADER as u64, state_len);
-    if slot_checksum(epoch, execution_index, &state) != stored_csum {
+    let floors_bytes = pool.read_vec(addr + SLOT_HEADER as u64, 8 * num_pids);
+    let seq_floors: Vec<u64> = floors_bytes
+        .chunks_exact(8)
+        .map(|c| u64::from_le_bytes(c.try_into().unwrap()))
+        .collect();
+    let state = pool.read_vec(addr + (SLOT_HEADER + 8 * num_pids) as u64, state_len);
+    if slot_checksum(epoch, execution_index, &seq_floors, &state) != stored_csum {
         return None;
     }
-    Some((
-        CheckpointStamp {
+    Some(ValidSlot {
+        stamp: CheckpointStamp {
             execution_index,
             epoch,
         },
+        seq_floors,
         state,
-    ))
+    })
 }
 
 /// Reads the newest valid checkpoint from one process's area.
@@ -233,10 +278,11 @@ pub(crate) fn read_area(
     pool: &NvmPool,
     base: PAddr,
     state_capacity: usize,
-) -> Option<(CheckpointStamp, Vec<u8>)> {
+    num_pids: usize,
+) -> Option<ValidSlot> {
     (0..2u64)
-        .filter_map(|which| read_slot(pool, base, state_capacity, which))
-        .max_by_key(|(stamp, _)| *stamp)
+        .filter_map(|which| read_slot(pool, base, state_capacity, num_pids, which))
+        .max_by_key(|slot| slot.stamp)
 }
 
 /// Reads **all** valid checkpoints across all processes' areas, newest first
@@ -247,12 +293,15 @@ pub(crate) fn read_all_valid(
     pool: &NvmPool,
     bases: &[PAddr],
     state_capacity: usize,
-) -> Vec<(CheckpointStamp, Vec<u8>)> {
-    let mut all: Vec<(CheckpointStamp, Vec<u8>)> = bases
+    num_pids: usize,
+) -> Vec<ValidSlot> {
+    let mut all: Vec<ValidSlot> = bases
         .iter()
-        .flat_map(|b| (0..2u64).filter_map(|which| read_slot(pool, *b, state_capacity, which)))
+        .flat_map(|b| {
+            (0..2u64).filter_map(|which| read_slot(pool, *b, state_capacity, num_pids, which))
+        })
         .collect();
-    all.sort_by_key(|(stamp, _)| std::cmp::Reverse(*stamp));
+    all.sort_by_key(|slot| std::cmp::Reverse(slot.stamp));
     all
 }
 
@@ -261,11 +310,12 @@ pub(crate) fn read_best(
     pool: &NvmPool,
     bases: &[PAddr],
     state_capacity: usize,
-) -> Option<(CheckpointStamp, Vec<u8>)> {
+    num_pids: usize,
+) -> Option<ValidSlot> {
     bases
         .iter()
-        .filter_map(|b| read_area(pool, *b, state_capacity))
-        .max_by_key(|(stamp, _)| *stamp)
+        .filter_map(|b| read_area(pool, *b, state_capacity, num_pids))
+        .max_by_key(|slot| slot.stamp)
 }
 
 #[cfg(test)]
@@ -273,110 +323,116 @@ mod tests {
     use super::*;
     use nvm_sim::{CrashTrigger, PmemConfig};
 
+    /// Process-slot count used by every test area.
+    const PIDS: usize = 2;
+
     fn pool() -> NvmPool {
         NvmPool::new(PmemConfig::with_capacity(8 << 20).apply_pending_at_crash(0.0))
     }
 
     fn write(cp: &mut Checkpointer, idx: u64, state: &[u8]) -> CheckpointStamp {
-        cp.stage(idx, state).unwrap();
+        cp.stage(idx, &[idx, 0], state).unwrap();
         cp.publish().unwrap()
     }
 
     #[test]
     fn slot_and_area_sizes_are_line_aligned() {
-        assert_eq!(slot_size(100) % CACHE_LINE_SIZE, 0);
-        assert_eq!(area_size(100), 2 * slot_size(100));
+        assert_eq!(slot_size(100, PIDS) % CACHE_LINE_SIZE, 0);
+        assert_eq!(area_size(100, PIDS), 2 * slot_size(100, PIDS));
     }
 
     #[test]
     fn roundtrip_single_checkpoint() {
         let p = pool();
-        let base = p.alloc(area_size(256)).unwrap();
-        let mut cp = Checkpointer::resume(p.clone(), base, 256);
+        let base = p.alloc(area_size(256, PIDS)).unwrap();
+        let mut cp = Checkpointer::resume(p.clone(), base, 256, PIDS);
         let stamp = write(&mut cp, 17, b"state-at-17");
         assert_eq!(stamp.execution_index, 17);
         assert_eq!(stamp.epoch, 1);
-        let (found, state) = read_area(&p, base, 256).unwrap();
-        assert_eq!(found, stamp);
-        assert_eq!(state, b"state-at-17");
+        let slot = read_area(&p, base, 256, PIDS).unwrap();
+        assert_eq!(slot.stamp, stamp);
+        assert_eq!(slot.state, b"state-at-17");
+        assert_eq!(slot.seq_floors, vec![17, 0]);
     }
 
     #[test]
     fn newest_of_two_slots_wins_and_epochs_advance() {
         let p = pool();
-        let base = p.alloc(area_size(64)).unwrap();
-        let mut cp = Checkpointer::resume(p.clone(), base, 64);
+        let base = p.alloc(area_size(64, PIDS)).unwrap();
+        let mut cp = Checkpointer::resume(p.clone(), base, 64, PIDS);
         write(&mut cp, 10, b"old");
         write(&mut cp, 20, b"new");
-        let (stamp, state) = read_area(&p, base, 64).unwrap();
-        assert_eq!((stamp.execution_index, stamp.epoch), (20, 2));
-        assert_eq!(state, b"new");
+        let slot = read_area(&p, base, 64, PIDS).unwrap();
+        assert_eq!((slot.stamp.execution_index, slot.stamp.epoch), (20, 2));
+        assert_eq!(slot.state, b"new");
         // A third checkpoint overwrites the older slot and flips the winner.
         write(&mut cp, 30, b"newest");
-        let (stamp, state) = read_area(&p, base, 64).unwrap();
-        assert_eq!((stamp.execution_index, stamp.epoch), (30, 3));
-        assert_eq!(state, b"newest");
+        let slot = read_area(&p, base, 64, PIDS).unwrap();
+        assert_eq!((slot.stamp.execution_index, slot.stamp.epoch), (30, 3));
+        assert_eq!(slot.state, b"newest");
+        assert_eq!(slot.seq_floors, vec![30, 0]);
     }
 
     #[test]
     fn checkpoint_survives_crash_and_costs_one_fence() {
         let p = pool();
-        let base = p.alloc(area_size(64)).unwrap();
-        let mut cp = Checkpointer::resume(p.clone(), base, 64);
+        let base = p.alloc(area_size(64, PIDS)).unwrap();
+        let mut cp = Checkpointer::resume(p.clone(), base, 64, PIDS);
         let w = p.stats().op_window();
         write(&mut cp, 5, b"abc");
         assert_eq!(w.close().persistent_fences, 1);
         p.crash_and_restart();
-        let (stamp, state) = read_area(&p, base, 64).unwrap();
-        assert_eq!(stamp.execution_index, 5);
-        assert_eq!(state, b"abc");
+        let slot = read_area(&p, base, 64, PIDS).unwrap();
+        assert_eq!(slot.stamp.execution_index, 5);
+        assert_eq!(slot.state, b"abc");
     }
 
     #[test]
     fn crash_between_stage_and_publish_preserves_previous_checkpoint() {
         let p = pool();
-        let base = p.alloc(area_size(2048)).unwrap();
-        let mut cp = Checkpointer::resume(p.clone(), base, 2048);
+        let base = p.alloc(area_size(2048, PIDS)).unwrap();
+        let mut cp = Checkpointer::resume(p.clone(), base, 2048, PIDS);
         write(&mut cp, 5, &[1u8; 1500]);
         // Stage the next checkpoint but crash before its publish fence.
-        cp.stage(9, &[2u8; 1500]).unwrap();
+        cp.stage(9, &[9, 0], &[2u8; 1500]).unwrap();
         p.crash_and_restart();
-        let (stamp, state) = read_area(&p, base, 2048).unwrap();
-        assert_eq!(stamp.execution_index, 5);
-        assert_eq!(state, vec![1u8; 1500]);
+        let slot = read_area(&p, base, 2048, PIDS).unwrap();
+        assert_eq!(slot.stamp.execution_index, 5);
+        assert_eq!(slot.state, vec![1u8; 1500]);
+        assert_eq!(slot.seq_floors, vec![5, 0]);
     }
 
     #[test]
     fn torn_publish_falls_back_to_previous_slot() {
         let p = pool();
-        let base = p.alloc(area_size(2048)).unwrap();
-        let mut cp = Checkpointer::resume(p.clone(), base, 2048);
+        let base = p.alloc(area_size(2048, PIDS)).unwrap();
+        let mut cp = Checkpointer::resume(p.clone(), base, 2048, PIDS);
         write(&mut cp, 5, &[1u8; 1500]);
         // Crash in the middle of the second checkpoint's publish (header flushed
         // but never fenced; the pending line is dropped at the crash).
-        cp.stage(9, &[2u8; 1500]).unwrap();
+        cp.stage(9, &[9, 0], &[2u8; 1500]).unwrap();
         p.arm_crash(CrashTrigger::AfterFlushes(1));
         let _ = cp.publish();
         assert!(p.is_frozen());
         p.crash_and_restart();
-        let (stamp, state) = read_area(&p, base, 2048).unwrap();
-        assert_eq!(stamp.execution_index, 5);
-        assert_eq!(state, vec![1u8; 1500]);
+        let slot = read_area(&p, base, 2048, PIDS).unwrap();
+        assert_eq!(slot.stamp.execution_index, 5);
+        assert_eq!(slot.state, vec![1u8; 1500]);
     }
 
     #[test]
     fn resume_continues_epochs_and_spares_the_newest_slot() {
         let p = pool();
-        let base = p.alloc(area_size(64)).unwrap();
-        let mut cp = Checkpointer::resume(p.clone(), base, 64);
+        let base = p.alloc(area_size(64, PIDS)).unwrap();
+        let mut cp = Checkpointer::resume(p.clone(), base, 64, PIDS);
         write(&mut cp, 10, b"a");
         write(&mut cp, 20, b"b");
         p.crash_and_restart();
-        let mut cp = Checkpointer::resume(p.clone(), base, 64);
+        let mut cp = Checkpointer::resume(p.clone(), base, 64, PIDS);
         // Staging after resume must not touch the newest checkpoint (idx 20).
-        cp.stage(30, b"c").unwrap();
-        let (stamp, _) = read_area(&p, base, 64).unwrap();
-        assert_eq!(stamp.execution_index, 20);
+        cp.stage(30, &[30, 0], b"c").unwrap();
+        let slot = read_area(&p, base, 64, PIDS).unwrap();
+        assert_eq!(slot.stamp.execution_index, 20);
         let stamp = cp.publish().unwrap();
         assert_eq!((stamp.execution_index, stamp.epoch), (30, 3));
     }
@@ -384,45 +440,57 @@ mod tests {
     #[test]
     fn oversized_state_rejected() {
         let p = pool();
-        let base = p.alloc(area_size(16)).unwrap();
-        let mut cp = Checkpointer::resume(p.clone(), base, 16);
-        assert!(cp.stage(1, &[0u8; 17]).is_err());
+        let base = p.alloc(area_size(16, PIDS)).unwrap();
+        let mut cp = Checkpointer::resume(p.clone(), base, 16, PIDS);
+        assert!(cp.stage(1, &[1, 0], &[0u8; 17]).is_err());
     }
 
     #[test]
     fn best_across_processes_is_the_global_maximum() {
         let p = pool();
-        let b1 = p.alloc(area_size(64)).unwrap();
-        let b2 = p.alloc(area_size(64)).unwrap();
-        let b3 = p.alloc(area_size(64)).unwrap();
-        write(&mut Checkpointer::resume(p.clone(), b1, 64), 12, b"p1");
-        write(&mut Checkpointer::resume(p.clone(), b2, 64), 40, b"p2");
+        let b1 = p.alloc(area_size(64, PIDS)).unwrap();
+        let b2 = p.alloc(area_size(64, PIDS)).unwrap();
+        let b3 = p.alloc(area_size(64, PIDS)).unwrap();
+        write(
+            &mut Checkpointer::resume(p.clone(), b1, 64, PIDS),
+            12,
+            b"p1",
+        );
+        write(
+            &mut Checkpointer::resume(p.clone(), b2, 64, PIDS),
+            40,
+            b"p2",
+        );
         // p3 never checkpointed.
-        let (stamp, state) = read_best(&p, &[b1, b2, b3], 64).unwrap();
-        assert_eq!(stamp.execution_index, 40);
-        assert_eq!(state, b"p2");
+        let slot = read_best(&p, &[b1, b2, b3], 64, PIDS).unwrap();
+        assert_eq!(slot.stamp.execution_index, 40);
+        assert_eq!(slot.state, b"p2");
     }
 
     #[test]
     fn read_all_valid_is_newest_first() {
         let p = pool();
-        let b1 = p.alloc(area_size(64)).unwrap();
-        let b2 = p.alloc(area_size(64)).unwrap();
-        let mut cp1 = Checkpointer::resume(p.clone(), b1, 64);
+        let b1 = p.alloc(area_size(64, PIDS)).unwrap();
+        let b2 = p.alloc(area_size(64, PIDS)).unwrap();
+        let mut cp1 = Checkpointer::resume(p.clone(), b1, 64, PIDS);
         write(&mut cp1, 12, b"old");
         write(&mut cp1, 25, b"mid");
-        write(&mut Checkpointer::resume(p.clone(), b2, 64), 40, b"new");
-        let all = read_all_valid(&p, &[b1, b2], 64);
-        let indices: Vec<u64> = all.iter().map(|(s, _)| s.execution_index).collect();
+        write(
+            &mut Checkpointer::resume(p.clone(), b2, 64, PIDS),
+            40,
+            b"new",
+        );
+        let all = read_all_valid(&p, &[b1, b2], 64, PIDS);
+        let indices: Vec<u64> = all.iter().map(|s| s.stamp.execution_index).collect();
         assert_eq!(indices, vec![40, 25, 12]);
     }
 
     #[test]
     fn empty_area_yields_none() {
         let p = pool();
-        let base = p.alloc(area_size(64)).unwrap();
-        assert!(read_area(&p, base, 64).is_none());
-        assert!(read_best(&p, &[base], 64).is_none());
-        assert!(read_all_valid(&p, &[base], 64).is_empty());
+        let base = p.alloc(area_size(64, PIDS)).unwrap();
+        assert!(read_area(&p, base, 64, PIDS).is_none());
+        assert!(read_best(&p, &[base], 64, PIDS).is_none());
+        assert!(read_all_valid(&p, &[base], 64, PIDS).is_empty());
     }
 }

@@ -42,16 +42,20 @@
 //! A client learns its operation's [`OpId`] *before* publishing it
 //! ([`ServiceClient::peek_next_op_id`], or the value returned by
 //! [`ServiceClient::submit_async`]). After a crash it can therefore always ask
-//! [`DurableService::resolve`] (backed by [`Durable::resolve`]): `Some(value)`
-//! means the operation is linearized and `value` is byte-for-byte the response
-//! the original submit returned (replay determinism); `None` means it never
-//! linearized and may be safely re-submitted. Responses are *remembered* by
-//! construction — the durable log determines them — rather than stored twice.
+//! [`DurableService::resolve`] (backed by [`Durable::resolve`]):
+//! [`ResolveOutcome::Executed`] means the operation is linearized and the
+//! carried value is byte-for-byte the response the original submit returned
+//! (replay determinism); [`ResolveOutcome::Unknown`] means it never linearized
+//! and may be safely re-submitted; [`ResolveOutcome::Truncated`] means the
+//! identity's history was compacted below a checkpoint floor — the operation
+//! *did* execute but its response is no longer derivable, so re-submitting it
+//! would double-apply. Responses are *remembered* by construction — the
+//! durable log determines them — rather than stored twice.
 
 use crate::construction::Durable;
 use crate::error::OnllError;
 use crate::handle::ProcessHandle;
-use crate::op_id::{OpId, Record};
+use crate::op_id::{OpId, Record, ResolveOutcome};
 use crate::spec::{SequentialSpec, SnapshotSpec};
 use nvm_sim::{Counter, Histogram};
 use parking_lot::Mutex;
@@ -138,6 +142,9 @@ struct ServiceShared<S: SequentialSpec> {
     resolve_hits: Counter,
     /// Retrievals that found nothing ("combine.resolve_misses").
     resolve_misses: Counter,
+    /// Retrievals answered `Truncated` — identity compacted below a checkpoint
+    /// floor ("combine.resolve_truncated").
+    resolve_truncated: Counter,
 }
 
 impl<S: SequentialSpec> ServiceShared<S> {
@@ -290,6 +297,7 @@ impl<S: SequentialSpec> Durable<S> {
                 submit_hist: telemetry.histogram("combine.submit_ns"),
                 resolve_hits: telemetry.counter("combine.resolve_hits"),
                 resolve_misses: telemetry.counter("combine.resolve_misses"),
+                resolve_truncated: telemetry.counter("combine.resolve_truncated"),
             }),
         })
     }
@@ -334,6 +342,50 @@ impl<S: SequentialSpec> DurableService<S> {
         })
     }
 
+    /// Claims the client slot at `index` — publication slot `index` and
+    /// process-slot identity `index + 1` — instead of the first free pair.
+    /// Fails with [`OnllError::ProcessSlotUnavailable`] when either half is
+    /// taken or `index` is out of range.
+    ///
+    /// The deterministic mapping is what a *session layer* needs across
+    /// restarts: when the service is opened before any other handle is
+    /// registered, the combiner holds pid 0 and client `index` always gets
+    /// pid `index + 1`, so an external client that reconnects to "slot 3"
+    /// after a server crash resumes the same [`OpId`] identity space its
+    /// unacknowledged operations were published under — the precondition for
+    /// replaying them through [`DurableService::resolve`] and
+    /// [`ServiceClient::submit_with_id`].
+    pub fn client_for(&self, index: usize) -> Result<ServiceClient<S>, OnllError> {
+        if index >= self.inner.slots.len() {
+            return Err(OnllError::ProcessSlotUnavailable(index));
+        }
+        if self.inner.slots[index]
+            .claimed
+            .compare_exchange(false, true, Ordering::AcqRel, Ordering::Acquire)
+            .is_err()
+        {
+            return Err(OnllError::ProcessSlotUnavailable(index));
+        }
+        let shared = &self.inner.durable.shared;
+        let pid = index + 1;
+        if pid >= shared.config.max_processes || !shared.try_claim(pid) {
+            self.inner.slots[index]
+                .claimed
+                .store(false, Ordering::Release);
+            return Err(OnllError::ProcessSlotUnavailable(index));
+        }
+        // Same progress discipline as `client()`: a client never materializes
+        // a view, so it must not pin trace reclamation.
+        shared.progress[pid].store(u64::MAX, Ordering::Release);
+        self.inner.live_clients.fetch_add(1, Ordering::Relaxed);
+        Ok(ServiceClient {
+            service: self.inner.clone(),
+            slot: index,
+            pid,
+            last_op_id: None,
+        })
+    }
+
     /// Runs one combining pass on the calling thread (acquiring the commit
     /// lock) and returns the number of operations served. Useful for driving
     /// the service without dedicated submitter threads — polling servers,
@@ -351,13 +403,14 @@ impl<S: SequentialSpec> DurableService<S> {
     }
 
     /// Exactly-once reply retrieval by identity — see [`Durable::resolve`].
-    pub fn resolve(&self, op_id: OpId) -> Option<S::Value> {
-        let value = self.inner.durable.resolve(op_id);
-        match &value {
-            Some(_) => self.inner.resolve_hits.incr(),
-            None => self.inner.resolve_misses.incr(),
+    pub fn resolve(&self, op_id: OpId) -> ResolveOutcome<S::Value> {
+        let outcome = self.inner.durable.resolve(op_id);
+        match &outcome {
+            ResolveOutcome::Executed(_) => self.inner.resolve_hits.incr(),
+            ResolveOutcome::Unknown => self.inner.resolve_misses.incr(),
+            ResolveOutcome::Truncated => self.inner.resolve_truncated.incr(),
         }
-        value
+        outcome
     }
 
     /// Detectable execution by identity — see [`Durable::was_linearized`].
@@ -481,6 +534,66 @@ impl<S: SequentialSpec> ServiceClient<S> {
         unsafe { *slot.op.get() = Some(Record::new(op_id, op)) };
         slot.state.store(PENDING, Ordering::Release);
         op_id
+    }
+
+    /// Submits an update under a **caller-supplied** identity and blocks until
+    /// it is durable and linearized — the replay half of the exactly-once
+    /// contract. A session layer that pre-assigned `op_id` to an operation,
+    /// lost the acknowledgment (crash, dropped connection), and then observed
+    /// [`ResolveOutcome::Unknown`] re-submits the *same* identity here; if the
+    /// retry crashes too, the next resolve of `op_id` still answers for
+    /// exactly this operation.
+    ///
+    /// The caller is responsible for resolving **before** re-submitting: this
+    /// method publishes unconditionally, so re-submitting an identity that
+    /// already executed would double-apply the operation.
+    ///
+    /// Fails with [`OnllError::InvalidOpId`] if `op_id` does not belong to
+    /// this client's identity slot or has a zero sequence number.
+    pub fn submit_with_id(
+        &mut self,
+        op_id: OpId,
+        op: S::UpdateOp,
+    ) -> Result<(S::Value, OpId), OnllError> {
+        let timer = self.service.submit_hist.start_timer();
+        self.submit_async_with_id(op_id, op)?;
+        let reply = self.wait_reply();
+        timer.stop();
+        reply
+    }
+
+    /// Publishes an update under a caller-supplied identity without waiting —
+    /// the async half of [`ServiceClient::submit_with_id`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if an operation is already in flight on this client.
+    pub fn submit_async_with_id(&mut self, op_id: OpId, op: S::UpdateOp) -> Result<(), OnllError> {
+        if op_id.pid as usize != self.pid || op_id.seq == 0 {
+            return Err(OnllError::InvalidOpId {
+                pid: op_id.pid,
+                seq: op_id.seq,
+            });
+        }
+        let slot = &self.service.slots[self.slot];
+        assert_eq!(
+            slot.state.load(Ordering::Acquire),
+            EMPTY,
+            "one operation in flight per client: take the previous reply first"
+        );
+        // Keep the identity counter monotone past the replayed sequence so
+        // `peek_next_op_id`/`submit_async` never hand out an identity the
+        // replay already used. `fetch_max` (not a blind store) because a
+        // same-incarnation retry legitimately replays a sequence *below* the
+        // counter — the first attempt burned it.
+        let shared = &self.service.durable.shared;
+        shared.last_op_seq[self.pid].fetch_max(op_id.seq, Ordering::AcqRel);
+        self.last_op_id = Some(op_id);
+        // SAFETY: the slot is EMPTY and claimed by us — the cells are ours
+        // until the Release store of PENDING below hands them to the combiner.
+        unsafe { *slot.op.get() = Some(Record::new(op_id, op)) };
+        slot.state.store(PENDING, Ordering::Release);
+        Ok(())
     }
 
     /// Takes the reply of a served operation, if one is ready. Non-blocking.
@@ -626,7 +739,7 @@ mod tests {
         assert_eq!(value, 5);
         assert_eq!(op_id, predicted);
         assert_eq!(client.last_op_id(), Some(op_id));
-        assert_eq!(service.resolve(op_id), Some(5));
+        assert_eq!(service.resolve(op_id), ResolveOutcome::Executed(5));
         assert!(service.was_linearized(op_id));
         assert_eq!(service.read(&()), 5);
     }
@@ -654,8 +767,8 @@ mod tests {
         );
         assert_eq!(service.read(&()), 3);
         assert_eq!(service.batch_stats(), (1, 2));
-        assert_eq!(service.resolve(id_a), Some(va));
-        assert_eq!(service.resolve(id_b), Some(vb));
+        assert_eq!(service.resolve(id_a), ResolveOutcome::Executed(va));
+        assert_eq!(service.resolve(id_b), ResolveOutcome::Executed(vb));
     }
 
     #[test]
@@ -721,9 +834,45 @@ mod tests {
         let op_id = c.submit_async(Add(7));
         drop(c); // must not leak the pending op into the next owner
         assert_eq!(service.read(&()), 7);
-        assert_eq!(service.resolve(op_id), Some(7));
+        assert_eq!(service.resolve(op_id), ResolveOutcome::Executed(7));
         let mut c = service.client().unwrap();
         assert_eq!(c.submit(Add(1)).unwrap().0, 8);
+    }
+
+    #[test]
+    fn client_for_claims_deterministic_identity_and_replays() {
+        let (_pool, service) = counter_service(3, 4);
+        let mut c2 = service.client_for(2).unwrap();
+        // Service opened first → combiner holds pid 0 → slot 2 is pid 3.
+        assert_eq!(c2.client_pid(), 3);
+        assert!(matches!(
+            service.client_for(2),
+            Err(OnllError::ProcessSlotUnavailable(2))
+        ));
+        assert!(matches!(
+            service.client_for(9),
+            Err(OnllError::ProcessSlotUnavailable(9))
+        ));
+        let id = c2.peek_next_op_id();
+        // Foreign or zero-sequence identities are rejected before publishing.
+        assert!(matches!(
+            c2.submit_with_id(OpId::new(0, 1), Add(1)),
+            Err(OnllError::InvalidOpId { .. })
+        ));
+        assert!(matches!(
+            c2.submit_with_id(OpId::new(id.pid, 0), Add(1)),
+            Err(OnllError::InvalidOpId { .. })
+        ));
+        // The replay protocol: resolve first, re-submit only on Unknown.
+        assert_eq!(service.resolve(id), ResolveOutcome::Unknown);
+        let (v, rid) = c2.submit_with_id(id, Add(5)).unwrap();
+        assert_eq!((v, rid), (5, id));
+        assert_eq!(service.resolve(id), ResolveOutcome::Executed(5));
+        // The identity counter advanced past the replayed sequence.
+        assert_eq!(c2.peek_next_op_id().seq, id.seq + 1);
+        // Dropping the client releases both halves of the pair for re-claim.
+        drop(c2);
+        service.client_for(2).unwrap();
     }
 
     #[test]

@@ -18,7 +18,7 @@ use crate::checkpoint;
 use crate::config::OnllConfig;
 use crate::error::OnllError;
 use crate::hooks::Hooks;
-use crate::op_id::{decode_record, record_slot_size, OpId, Record};
+use crate::op_id::{decode_record, record_slot_size, OpId, Record, ResolveOutcome};
 use crate::spec::{SequentialSpec, SnapshotSpec};
 use exec_trace::{check_fuzzy_invariant, ExecutionTrace};
 use nvm_sim::{FenceStats, NvmPool, PAddr, RootId};
@@ -85,6 +85,14 @@ pub(crate) struct Shared<S: SequentialSpec> {
     /// watermark opportunistically (single-writer logs — owners never truncate
     /// each other's logs).
     pub(crate) checkpoint_watermark: AtomicU64,
+    /// Per-process sequence floors of the newest *published* checkpoint: the
+    /// highest operation sequence number per process slot whose effect is
+    /// compacted into it. An identity absent from the trace with a sequence
+    /// number at or below its slot's floor is [`ResolveOutcome::Truncated`]
+    /// (no longer individually answerable), not merely unexecuted. Seeded from
+    /// the chosen checkpoint at recovery, advanced (`fetch_max`) at each
+    /// publish.
+    pub(crate) resolve_floor: Vec<AtomicU64>,
     /// Live-entry count of each process's persistent log, maintained by the log's
     /// owner on append/truncate. Drives the log-bytes checkpoint trigger without
     /// scanning other processes' logs.
@@ -270,7 +278,10 @@ impl<S: SequentialSpec> Durable<S> {
                 log_cfg.clone(),
                 log_base,
             ));
-            let cp_base = pool.alloc(checkpoint::area_size(config.checkpoint_slot_bytes))?;
+            let cp_base = pool.alloc(checkpoint::area_size(
+                config.checkpoint_slot_bytes,
+                config.max_processes,
+            ))?;
             log_bases.push(log_base);
             cp_bases.push(cp_base);
         }
@@ -307,6 +318,9 @@ impl<S: SequentialSpec> Durable<S> {
                 .map(|_| AtomicU64::new(0))
                 .collect(),
             checkpoint_watermark: AtomicU64::new(0),
+            resolve_floor: (0..config.max_processes)
+                .map(|_| AtomicU64::new(0))
+                .collect(),
             log_live_entries: (0..config.max_processes)
                 .map(|_| AtomicU64::new(0))
                 .collect(),
@@ -392,7 +406,7 @@ impl<S: SequentialSpec> Durable<S> {
     ) -> Result<(Self, RecoveryReport), OnllError> {
         let (max_processes, log_cfg, cp_slot_bytes, log_bases, cp_bases) =
             Self::read_meta(&pool, &config)?;
-        if checkpoint::read_best(&pool, &cp_bases, cp_slot_bytes).is_some() {
+        if checkpoint::read_best(&pool, &cp_bases, cp_slot_bytes, max_processes).is_some() {
             return Err(OnllError::MetadataMismatch(
                 "a checkpoint exists; recover_with_checkpoints must be used".into(),
             ));
@@ -408,6 +422,7 @@ impl<S: SequentialSpec> Durable<S> {
             cp_bases,
             0,
             0,
+            vec![0; max_processes],
             Box::new(S::initialize),
         )
     }
@@ -424,6 +439,7 @@ impl<S: SequentialSpec> Durable<S> {
         cp_bases: Vec<PAddr>,
         base_index: u64,
         base_epoch: u64,
+        base_floors: Vec<u64>,
         base_state: Box<dyn Fn() -> S + Send + Sync>,
     ) -> Result<(Self, RecoveryReport), OnllError> {
         let hooks = crate::phase_spans::install(pool.telemetry(), hooks);
@@ -463,8 +479,12 @@ impl<S: SequentialSpec> Durable<S> {
             .map(|(idx, _)| *idx)
             .unwrap_or(base_index);
         // Seed per-slot operation sequence numbers past everything recovered so new
-        // invocations never reuse a pre-crash identity.
-        let mut last_op_seq: Vec<u64> = vec![0; max_processes];
+        // invocations never reuse a pre-crash identity. The checkpoint's sequence
+        // floors participate too: an identity compacted below the watermark is no
+        // longer in any log, and handing it out again would let a fresh operation
+        // collide with a checkpoint-covered one (breaking exactly-once resolve).
+        debug_assert_eq!(base_floors.len(), max_processes);
+        let mut last_op_seq: Vec<u64> = base_floors.clone();
         for (_, op_id) in &recovered_ops {
             if (op_id.pid as usize) < max_processes {
                 last_op_seq[op_id.pid as usize] = last_op_seq[op_id.pid as usize].max(op_id.seq);
@@ -480,6 +500,7 @@ impl<S: SequentialSpec> Durable<S> {
                 .collect(),
             last_op_seq: last_op_seq.into_iter().map(AtomicU64::new).collect(),
             checkpoint_watermark: AtomicU64::new(base_index),
+            resolve_floor: base_floors.into_iter().map(AtomicU64::new).collect(),
             log_live_entries: per_process_live.into_iter().map(AtomicU64::new).collect(),
             base_index,
             base_state,
@@ -586,9 +607,15 @@ impl<S: SequentialSpec> Durable<S> {
 
     /// Exactly-once reply retrieval: recomputes the *remembered response* of
     /// the update identified by `op_id` by replaying the linearized history.
-    /// Returns `None` if the operation is not linearized, or is no longer
-    /// individually identifiable (its execution index lies at or below the
-    /// newest published checkpoint, whose covered prefix is compacted away).
+    ///
+    /// The typed outcome is what a retrying client needs to act safely:
+    /// [`ResolveOutcome::Executed`] carries the remembered value,
+    /// [`ResolveOutcome::Unknown`] means the operation never linearized (safe
+    /// to re-submit under the same identity), and
+    /// [`ResolveOutcome::Truncated`] means its sequence number lies at or
+    /// below a published checkpoint's per-process floor — the covered prefix
+    /// is compacted away, so whether it executed is permanently unanswerable
+    /// and re-submitting could double-apply it.
     ///
     /// Replay determinism (the [`crate::SequentialSpec`] contract) guarantees
     /// the recomputed value equals the value originally handed to the invoker
@@ -600,7 +627,7 @@ impl<S: SequentialSpec> Durable<S> {
     /// Cost: zero persistent fences (a trace replay, like
     /// [`Durable::read_latest`]); work proportional to the suffix above the
     /// newest snapshot.
-    pub fn resolve(&self, op_id: OpId) -> Option<S::Value> {
+    pub fn resolve(&self, op_id: OpId) -> ResolveOutcome<S::Value> {
         loop {
             let (seed_idx, mut state) = self.shared.view_seed();
             let latest = self.shared.trace.latest_available();
@@ -617,7 +644,23 @@ impl<S: SequentialSpec> Durable<S> {
             // A concurrent checkpoint may have reclaimed part of the suffix
             // mid-walk; retry from the then-newer snapshot (cf. materialize).
             if self.shared.trace.reclaim_floor() <= seed_idx + 1 {
-                return found;
+                return match found {
+                    Some(value) => ResolveOutcome::Executed(value),
+                    // The floor check runs only after the identity was *not*
+                    // found: floors are exact (each checkpoint records the
+                    // sequence highs its view actually applied), so a live
+                    // above-watermark identity is never misreported.
+                    None if op_id.seq > 0
+                        && self
+                            .shared
+                            .resolve_floor
+                            .get(op_id.pid as usize)
+                            .is_some_and(|f| f.load(Ordering::Acquire) >= op_id.seq) =>
+                    {
+                        ResolveOutcome::Truncated
+                    }
+                    None => ResolveOutcome::Unknown,
+                };
             }
         }
     }
@@ -728,21 +771,23 @@ impl<S: SnapshotSpec> Durable<S> {
             Self::read_meta(&pool, &config)?;
         // Newest-first fallback chain: first checksum-valid checkpoint whose
         // state also decodes wins; an empty chain means full replay.
-        let mut chosen: Option<(u64, u64, Vec<u8>)> = None;
-        for (stamp, bytes) in checkpoint::read_all_valid(&pool, &cp_bases, cp_slot_bytes) {
-            if S::decode_state(&bytes).is_some() {
-                chosen = Some((stamp.execution_index, stamp.epoch, bytes));
+        let mut chosen: Option<checkpoint::ValidSlot> = None;
+        for slot in checkpoint::read_all_valid(&pool, &cp_bases, cp_slot_bytes, max_processes) {
+            if S::decode_state(&slot.state).is_some() {
+                chosen = Some(slot);
                 break;
             }
         }
-        let (base_index, base_epoch, base_state): (u64, u64, Box<dyn Fn() -> S + Send + Sync>) =
+        type BaseState<S> = Box<dyn Fn() -> S + Send + Sync>;
+        let (base_index, base_epoch, base_floors, base_state): (u64, u64, Vec<u64>, BaseState<S>) =
             match chosen {
-                Some((idx, epoch, bytes)) => (
-                    idx,
-                    epoch,
-                    Box::new(move || S::decode_state(&bytes).expect("validated above")),
+                Some(slot) => (
+                    slot.stamp.execution_index,
+                    slot.stamp.epoch,
+                    slot.seq_floors,
+                    Box::new(move || S::decode_state(&slot.state).expect("validated above")),
                 ),
-                None => (0, 0, Box::new(S::initialize)),
+                None => (0, 0, vec![0; max_processes], Box::new(S::initialize)),
             };
         Self::finish_recovery(
             pool,
@@ -755,6 +800,7 @@ impl<S: SnapshotSpec> Durable<S> {
             cp_bases,
             base_index,
             base_epoch,
+            base_floors,
             base_state,
         )
     }

@@ -33,6 +33,15 @@ pub enum OnllError {
         /// Configured maximum (`OnllConfig::max_group_ops`).
         max: usize,
     },
+    /// A caller-supplied operation identity is unusable: its process component
+    /// is out of range for this object, its sequence number is 0, or it does
+    /// not belong to the submitting client's identity slot.
+    InvalidOpId {
+        /// Process component of the rejected identity.
+        pid: u32,
+        /// Sequence component of the rejected identity.
+        seq: u64,
+    },
 }
 
 impl fmt::Display for OnllError {
@@ -60,6 +69,10 @@ impl fmt::Display for OnllError {
             OnllError::GroupTooLarge { len, max } => write!(
                 f,
                 "group of {len} operations exceeds max_group_ops = {max}; raise OnllConfig::group_persist"
+            ),
+            OnllError::InvalidOpId { pid, seq } => write!(
+                f,
+                "operation identity p{pid}#{seq} is not usable by this client"
             ),
         }
     }

@@ -67,6 +67,7 @@ pub(crate) fn new_handle<S: SequentialSpec>(
         shared.pool.clone(),
         shared.cp_bases[pid],
         shared.config.checkpoint_slot_bytes,
+        shared.config.max_processes,
     );
     let truncated_below = shared.checkpoint_watermark.load(Ordering::Acquire).min(
         // A freshly opened log may still hold entries below the watermark (the
@@ -486,14 +487,32 @@ impl<S: SnapshotSpec> ProcessHandle<S> {
         let idx = view.idx();
         let mut bytes = Vec::new();
         view.state().encode_state(&mut bytes);
+        // Per-process sequence floors the checkpoint will carry: the sequence
+        // highs this view actually applied, joined with the floors of the
+        // newest published checkpoint (whose covered records a late-seeded
+        // view never replays). Exact by construction — no in-flight identity
+        // is ever folded in, so `resolve` never misreports a live operation
+        // as Truncated.
+        let mut floors: Vec<u64> = self
+            .shared
+            .resolve_floor
+            .iter()
+            .map(|f| f.load(Ordering::Acquire))
+            .collect();
+        for (pid, high) in view.seq_high().iter().enumerate() {
+            if pid < floors.len() {
+                floors[pid] = floors[pid].max(*high);
+            }
+        }
         let pid = self.pid as u32;
         let hooks = self.shared.hooks.clone();
         let _maintenance = self.shared.pool.stats().maintenance_scope();
 
-        // Stage: state bytes into the inactive slot (flushed, not yet valid).
+        // Stage: floors and state bytes into the inactive slot (flushed, not
+        // yet valid).
         hooks.fire(Phase::BeforeCheckpointStage, pid);
         self.checkpointer
-            .stage(idx, &bytes)
+            .stage(idx, &floors, &bytes)
             .map_err(OnllError::Nvm)?;
         hooks.fire(Phase::AfterCheckpointStage, pid);
 
@@ -506,6 +525,9 @@ impl<S: SnapshotSpec> ProcessHandle<S> {
         self.shared
             .checkpoint_watermark
             .fetch_max(idx, Ordering::AcqRel);
+        for (p, floor) in floors.iter().enumerate() {
+            self.shared.resolve_floor[p].fetch_max(*floor, Ordering::AcqRel);
+        }
         // The compacted prefix is covered by the checkpoint: identities of
         // recovered operations at or below the watermark are no longer
         // individually answerable (documented contract), so drop them instead

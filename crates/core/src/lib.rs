@@ -88,7 +88,7 @@ pub use error::OnllError;
 pub use handle::ProcessHandle;
 pub use hooks::{Hooks, Phase};
 pub use local_view::LocalView;
-pub use op_id::{OpId, Record};
+pub use op_id::{OpId, Record, ResolveOutcome};
 /// Former name of [`SnapshotSpec`], kept as an alias for downstream code.
 pub use spec::SnapshotSpec as CheckpointableSpec;
 pub use spec::{replay, KeyedSpec, OpCodec, SequentialSpec, SnapshotSpec};

@@ -15,6 +15,13 @@ use exec_trace::{ExecutionTrace, TraceNode};
 pub struct LocalView<S: SequentialSpec> {
     state: S,
     idx: u64,
+    /// Highest operation sequence number this view has applied, per process
+    /// slot (indexed by `OpId::pid`, grown on demand). Checkpoints persist
+    /// these as their per-process sequence floors: every operation the
+    /// checkpoint covers was applied by the checkpointing view, so an absent
+    /// identity with a sequence number at or below the floor is *compacted*,
+    /// not merely unexecuted (`ResolveOutcome::Truncated`).
+    seq_high: Vec<u64>,
 }
 
 impl<S: SequentialSpec> LocalView<S> {
@@ -24,6 +31,7 @@ impl<S: SequentialSpec> LocalView<S> {
         LocalView {
             state,
             idx: base_idx,
+            seq_high: Vec::new(),
         }
     }
 
@@ -35,6 +43,21 @@ impl<S: SequentialSpec> LocalView<S> {
     /// Read access to the materialized state.
     pub fn state(&self) -> &S {
         &self.state
+    }
+
+    /// Highest applied operation sequence number per process slot (see the
+    /// field documentation). Slots this view never applied an operation for
+    /// are absent or 0.
+    pub fn seq_high(&self) -> &[u64] {
+        &self.seq_high
+    }
+
+    fn note_applied(&mut self, op_id: crate::op_id::OpId) {
+        let pid = op_id.pid as usize;
+        if self.seq_high.len() <= pid {
+            self.seq_high.resize(pid + 1, 0);
+        }
+        self.seq_high[pid] = self.seq_high[pid].max(op_id.seq);
     }
 
     /// Advances the view to `target` by replaying the missing suffix of the trace,
@@ -54,12 +77,16 @@ impl<S: SequentialSpec> LocalView<S> {
             // (its own just-ordered operation): apply directly, no suffix
             // collection, no allocation.
             self.idx = target.idx();
-            return target.op().as_ref().map(|r| self.state.apply(&r.op));
+            return target.op().as_ref().map(|r| {
+                self.note_applied(r.op_id);
+                self.state.apply(&r.op)
+            });
         }
         let missing = trace.nodes_between(self.idx, target);
         let mut last_value = None;
         for node in missing {
             if let Some(record) = node.op() {
+                self.note_applied(record.op_id);
                 last_value = Some(self.state.apply(&record.op));
             }
             self.idx = node.idx();

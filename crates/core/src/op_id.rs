@@ -32,6 +32,59 @@ impl std::fmt::Display for OpId {
     }
 }
 
+/// Outcome of an exactly-once reply retrieval ([`crate::Durable::resolve`]).
+///
+/// The three cases are what a retrying client needs to act safely:
+///
+/// * [`ResolveOutcome::Executed`] — the operation is linearized and the value
+///   is byte-for-byte the response the original invocation returned (replay
+///   determinism). Deliver it; do not re-submit.
+/// * [`ResolveOutcome::Unknown`] — the operation never linearized. It is safe
+///   to re-submit it under the **same** identity.
+/// * [`ResolveOutcome::Truncated`] — the operation's sequence number falls at
+///   or below a published checkpoint's per-process sequence floor: the covered
+///   prefix was compacted away, so whether the operation executed is no longer
+///   individually answerable. Re-submitting could double-apply it; callers
+///   must surface a permanent error instead.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ResolveOutcome<V> {
+    /// Linearized; the remembered response.
+    Executed(V),
+    /// Never linearized; safe to re-submit under the same identity.
+    Unknown,
+    /// Compacted below a checkpoint's sequence floor; permanently unanswerable.
+    Truncated,
+}
+
+impl<V> ResolveOutcome<V> {
+    /// The remembered value, if the operation executed.
+    pub fn executed(self) -> Option<V> {
+        match self {
+            ResolveOutcome::Executed(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// True for [`ResolveOutcome::Executed`].
+    pub fn is_executed(&self) -> bool {
+        matches!(self, ResolveOutcome::Executed(_))
+    }
+
+    /// True for [`ResolveOutcome::Truncated`].
+    pub fn is_truncated(&self) -> bool {
+        matches!(self, ResolveOutcome::Truncated)
+    }
+
+    /// Maps the executed value, preserving the other cases.
+    pub fn map<W>(self, f: impl FnOnce(V) -> W) -> ResolveOutcome<W> {
+        match self {
+            ResolveOutcome::Executed(v) => ResolveOutcome::Executed(f(v)),
+            ResolveOutcome::Unknown => ResolveOutcome::Unknown,
+            ResolveOutcome::Truncated => ResolveOutcome::Truncated,
+        }
+    }
+}
+
 /// An update operation tagged with its identity; this is the payload of execution
 /// trace nodes and (encoded) of persistent log slots.
 #[derive(Debug, Clone, PartialEq)]

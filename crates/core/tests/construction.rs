@@ -6,7 +6,7 @@ mod common;
 
 use common::{Append, CounterOp, CounterSpec, ListSpec};
 use nvm_sim::{NvmPool, PmemConfig, WritebackPolicy};
-use onll::{Durable, Hooks, OnllConfig, OnllError, OpId, Phase};
+use onll::{Durable, Hooks, OnllConfig, OnllError, OpId, Phase, ResolveOutcome};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -580,6 +580,58 @@ fn capacity_backstop_checkpoints_before_the_ring_fills() {
         obj.checkpoint_watermark() > 0,
         "the capacity backstop never checkpointed"
     );
+}
+
+#[test]
+fn resolve_distinguishes_truncated_from_unknown() {
+    // Regression: resolve used to answer `None` both for "never executed"
+    // (safe to re-submit) and "compacted below a checkpoint floor" (re-submit
+    // double-applies). The typed outcome must keep the two cases apart.
+    let p = pool();
+    let cfg = OnllConfig::named("resolve")
+        .log_capacity(256)
+        .checkpoint_every(10)
+        .checkpoint_slot_bytes(256);
+    let c = Durable::<CounterSpec>::create(p.clone(), cfg.clone()).unwrap();
+    let mut h = c.register().unwrap();
+    let early = h.peek_next_op_id();
+    h.update(CounterOp::Add(1));
+    // Before any checkpoint: an executed identity resolves Executed and a
+    // never-invoked one resolves Unknown.
+    assert_eq!(c.resolve(early), ResolveOutcome::Executed(1));
+    assert_eq!(c.resolve(OpId::new(0, 999)), ResolveOutcome::Unknown);
+    for _ in 0..30 {
+        h.update_with_checkpoint(CounterOp::Add(1)).unwrap();
+    }
+    assert!(c.checkpoint_watermark() > 0, "a checkpoint published");
+    // The early identity now lies below the published per-process floor: its
+    // response is no longer derivable, so the answer is Truncated — never the
+    // Unknown that would invite a double-applying re-submit.
+    assert_eq!(c.resolve(early), ResolveOutcome::Truncated);
+    // Identities above the floor are unaffected on both paths.
+    let last = h.last_op_id().unwrap();
+    assert_eq!(c.resolve(last), ResolveOutcome::Executed(31));
+    assert_eq!(c.resolve(OpId::new(0, 999)), ResolveOutcome::Unknown);
+    assert_eq!(c.resolve(OpId::new(7, 1)), ResolveOutcome::Unknown);
+    drop(h);
+
+    // The floors are persisted in the checkpoint slot, so the distinction
+    // must survive a crash.
+    p.crash_and_restart();
+    let (c, _) = Durable::<CounterSpec>::recover_with_checkpoints(p.clone(), cfg).unwrap();
+    assert_eq!(c.resolve(early), ResolveOutcome::Truncated);
+    assert_eq!(c.resolve(last), ResolveOutcome::Executed(31));
+    assert_eq!(c.resolve(OpId::new(0, 999)), ResolveOutcome::Unknown);
+    // Post-recovery identities never collide with checkpoint-covered ones:
+    // the sequence counter is re-seeded from max(floor, recovered log).
+    let mut h = c.register().unwrap();
+    let next = h.peek_next_op_id();
+    assert!(
+        next.seq > last.seq,
+        "fresh identity {next} must be above the recovered high {last}"
+    );
+    assert_eq!(h.update(CounterOp::Add(1)), 32);
+    assert_eq!(c.resolve(next), ResolveOutcome::Executed(32));
 }
 
 #[test]

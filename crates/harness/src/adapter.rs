@@ -1,7 +1,7 @@
 //! Adapters presenting ONLL handles through the common [`DurableObject`] interface.
 
 use baselines::DurableObject;
-use onll::{ProcessHandle, SequentialSpec, ServiceClient, SnapshotSpec};
+use onll::{OnllError, ProcessHandle, SequentialSpec, ServiceClient, SnapshotSpec};
 
 /// Wraps an ONLL [`ProcessHandle`] so workloads written against
 /// [`baselines::DurableObject`] can drive the ONLL implementation unchanged.
@@ -32,8 +32,8 @@ impl<S: SequentialSpec> OnllAdapter<S> {
 }
 
 impl<S: SequentialSpec> DurableObject<S> for OnllAdapter<S> {
-    fn update(&mut self, op: S::UpdateOp) -> S::Value {
-        self.handle.update(op)
+    fn try_update(&mut self, op: S::UpdateOp) -> Result<S::Value, OnllError> {
+        self.handle.try_update(op)
     }
 
     fn read(&mut self, op: &S::ReadOp) -> S::Value {
@@ -66,10 +66,8 @@ impl<S: SnapshotSpec> CheckpointingOnllAdapter<S> {
 }
 
 impl<S: SnapshotSpec> DurableObject<S> for CheckpointingOnllAdapter<S> {
-    fn update(&mut self, op: S::UpdateOp) -> S::Value {
-        self.handle
-            .update_with_checkpoint(op)
-            .expect("update with automatic checkpoint failed")
+    fn try_update(&mut self, op: S::UpdateOp) -> Result<S::Value, OnllError> {
+        self.handle.update_with_checkpoint(op)
     }
 
     fn read(&mut self, op: &S::ReadOp) -> S::Value {
@@ -102,8 +100,8 @@ impl<S: SequentialSpec> ServiceClientAdapter<S> {
 }
 
 impl<S: SequentialSpec> DurableObject<S> for ServiceClientAdapter<S> {
-    fn update(&mut self, op: S::UpdateOp) -> S::Value {
-        self.client.submit(op).expect("service submit failed").0
+    fn try_update(&mut self, op: S::UpdateOp) -> Result<S::Value, OnllError> {
+        self.client.submit(op).map(|(value, _)| value)
     }
 
     fn read(&mut self, op: &S::ReadOp) -> S::Value {

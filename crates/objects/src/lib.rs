@@ -30,7 +30,7 @@ mod stack;
 
 pub use append_log::{AppendLogOp, AppendLogRead, AppendLogSpec};
 pub use counter::{CounterOp, CounterRead, CounterSpec};
-pub use kv::{KvOp, KvRead, KvSpec, KvValue};
+pub use kv::{KvOp, KvRead, KvSpec, KvValue, MAX_KV_STRING};
 pub use queue::{QueueOp, QueueRead, QueueSpec, QueueValue};
 pub use register::{RegisterOp, RegisterRead, RegisterSpec, RegisterValue};
 pub use set::{SetOp, SetRead, SetSpec, SetValue};

@@ -1,0 +1,320 @@
+//! A blocking wire client with client-side identity assignment.
+//!
+//! The client owns its per-shard sequence counters: each update is stamped
+//! with `(pid, seq)` *before* it is sent, so an operation whose reply never
+//! arrived — lost connection, `SIGKILL`ed server — remains nameable. The
+//! exactly-once recovery loop after a reconnect is:
+//!
+//! ```text
+//! for each unacknowledged (shard, op_id):
+//!     match client.resolve(shard, op_id)? {
+//!         RetryOutcome::Executed(v) => take v, do not resubmit
+//!         RetryOutcome::Unknown     => resubmit via *_with_id(op_id, ...)
+//!         RetryOutcome::Truncated   => permanent error
+//!     }
+//! ```
+//!
+//! Shard routing is computed client-side with the same fixed-seed
+//! [`HashRouter`] the server uses, so a retried operation's identity is always
+//! resolved against (and replayed into) the shard it was minted for.
+
+use crate::wire::{self, Reply, Request, WireError, WireResolved};
+use durable_objects::KvValue;
+use onll::OpId;
+use onll_shard::{HashRouter, ShardRouter};
+use std::io::BufWriter;
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+/// Client-visible failure of a request.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Transport or framing failure; the request's fate is unknown — resolve
+    /// its identity after reconnecting.
+    Wire(WireError),
+    /// The server refused the request.
+    Server {
+        /// Whether a retry (on this or a fresh connection) can succeed.
+        retryable: bool,
+        /// Server-reported cause.
+        message: String,
+    },
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Wire(e) => write!(f, "{e}"),
+            ClientError::Server { retryable, message } => {
+                write!(f, "server error (retryable={retryable}): {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<WireError> for ClientError {
+    fn from(e: WireError) -> Self {
+        ClientError::Wire(e)
+    }
+}
+
+/// Typed answer of [`WireClient::resolve`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RetryOutcome {
+    /// The identity executed with this return value; do not resubmit.
+    Executed(KvValue),
+    /// The identity never executed; resubmit it under the same identity.
+    Unknown,
+    /// The answer was compacted away; resubmitting could double-apply.
+    /// Permanent.
+    Truncated,
+}
+
+/// Persistence counters reported by [`WireClient::stats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServerStats {
+    /// Persistent fences issued so far across every shard pool.
+    pub persistent_fences: u64,
+    /// The maintenance subset (checkpoints, truncation).
+    pub maintenance_fences: u64,
+    /// Combining batches committed.
+    pub batches: u64,
+    /// Operations those batches carried.
+    pub combined_ops: u64,
+}
+
+/// A connected session holding client slot `index` on every shard.
+pub struct WireClient {
+    reader: TcpStream,
+    writer: BufWriter<TcpStream>,
+    index: u32,
+    router: HashRouter,
+    /// Next unused sequence number per shard, advanced on every send (not on
+    /// every acknowledgement — identities must be unique even for lost ops).
+    next_seqs: Vec<u64>,
+}
+
+impl WireClient {
+    /// Connects and claims session slot `index`. The server seeds the
+    /// per-shard sequence counters from durable state, so a session
+    /// reconnecting after a crash resumes exactly where its identity space
+    /// left off.
+    pub fn connect(addr: impl ToSocketAddrs, index: u32) -> Result<Self, ClientError> {
+        let stream = TcpStream::connect(addr).map_err(WireError::Io)?;
+        stream.set_nodelay(true).ok();
+        let reader = stream.try_clone().map_err(WireError::Io)?;
+        let mut writer = BufWriter::new(stream);
+        wire::write_request(&mut writer, &Request::Hello { index })?;
+        let mut reader = reader;
+        match wire::read_reply(&mut reader)? {
+            Reply::HelloOk { next_seqs } => Ok(WireClient {
+                reader,
+                writer,
+                index,
+                router: HashRouter::new(next_seqs.len()),
+                next_seqs,
+            }),
+            Reply::Error { retryable, message } => Err(ClientError::Server { retryable, message }),
+            other => Err(WireError::Malformed(format!("unexpected HELLO reply {other:?}")).into()),
+        }
+    }
+
+    /// [`WireClient::connect`] with retries: a freshly released session slot
+    /// may still be held by a dying predecessor connection (the server frees
+    /// it when the old handler observes the disconnect), and a restarting
+    /// server may not be accepting yet.
+    pub fn connect_with_retry(
+        addr: impl ToSocketAddrs + Clone,
+        index: u32,
+        attempts: u32,
+    ) -> Result<Self, ClientError> {
+        let mut last = None;
+        for attempt in 0..attempts {
+            match Self::connect(addr.clone(), index) {
+                Ok(client) => return Ok(client),
+                Err(ClientError::Server {
+                    retryable: false,
+                    message,
+                }) => {
+                    return Err(ClientError::Server {
+                        retryable: false,
+                        message,
+                    })
+                }
+                Err(e) => last = Some(e),
+            }
+            std::thread::sleep(Duration::from_millis(5 << attempt.min(6)));
+        }
+        Err(last.expect("at least one attempt"))
+    }
+
+    /// This session's slot index.
+    pub fn index(&self) -> u32 {
+        self.index
+    }
+
+    /// This session's per-shard process identifier (`index + 1`).
+    pub fn pid(&self) -> u32 {
+        self.index + 1
+    }
+
+    /// Number of shards the server partitions the key space over.
+    pub fn num_shards(&self) -> usize {
+        self.next_seqs.len()
+    }
+
+    /// The shard owning `key` (same fixed-seed routing as the server).
+    pub fn shard_of(&self, key: &str) -> usize {
+        ShardRouter::<str>::route(&self.router, key)
+    }
+
+    /// Mints the next identity for an update on `key`'s shard.
+    pub fn assign_id(&mut self, key: &str) -> (usize, OpId) {
+        let shard = self.shard_of(key);
+        let seq = self.next_seqs[shard];
+        self.next_seqs[shard] = seq + 1;
+        (shard, OpId::new(self.pid(), seq))
+    }
+
+    fn note_id(&mut self, shard: usize, op_id: OpId) {
+        self.next_seqs[shard] = self.next_seqs[shard].max(op_id.seq + 1);
+    }
+
+    /// Sends a `Put` without waiting for the reply; returns the identity the
+    /// caller must later acknowledge ([`WireClient::read_value`]) or recover
+    /// ([`WireClient::resolve`]). This split is what the crash tests drive:
+    /// the server can die between this send and the reply.
+    pub fn send_put(&mut self, key: &str, value: &str) -> Result<(usize, OpId), ClientError> {
+        let (shard, op_id) = self.assign_id(key);
+        wire::write_request(
+            &mut self.writer,
+            &Request::Put {
+                op_id,
+                key: key.to_string(),
+                value: value.to_string(),
+            },
+        )?;
+        Ok((shard, op_id))
+    }
+
+    /// Reads one `Value` reply (the durability acknowledgement of the oldest
+    /// outstanding update on this connection).
+    pub fn read_value(&mut self) -> Result<(u32, KvValue), ClientError> {
+        match wire::read_reply(&mut self.reader)? {
+            Reply::Value { shard, value } => Ok((shard, value)),
+            Reply::Error { retryable, message } => Err(ClientError::Server { retryable, message }),
+            other => Err(WireError::Malformed(format!("unexpected reply {other:?}")).into()),
+        }
+    }
+
+    /// Insert/overwrite `key`, blocking until durable. Returns the previous
+    /// value, the serving shard, and the acknowledged identity.
+    pub fn put(&mut self, key: &str, value: &str) -> Result<(KvValue, usize, OpId), ClientError> {
+        let (shard, op_id) = self.send_put(key, value)?;
+        let (_, value) = self.read_value()?;
+        Ok((value, shard, op_id))
+    }
+
+    /// Replays a `Put` under a caller-supplied identity (exactly-once retry;
+    /// the caller must have observed [`RetryOutcome::Unknown`] for it first).
+    pub fn put_with_id(
+        &mut self,
+        op_id: OpId,
+        key: &str,
+        value: &str,
+    ) -> Result<(KvValue, usize), ClientError> {
+        let shard = self.shard_of(key);
+        self.note_id(shard, op_id);
+        wire::write_request(
+            &mut self.writer,
+            &Request::Put {
+                op_id,
+                key: key.to_string(),
+                value: value.to_string(),
+            },
+        )?;
+        let (shard, value) = self.read_value()?;
+        Ok((value, shard as usize))
+    }
+
+    /// Removes `key`, blocking until durable.
+    pub fn delete(&mut self, key: &str) -> Result<(KvValue, usize, OpId), ClientError> {
+        let (shard, op_id) = self.assign_id(key);
+        wire::write_request(
+            &mut self.writer,
+            &Request::Delete {
+                op_id,
+                key: key.to_string(),
+            },
+        )?;
+        let (_, value) = self.read_value()?;
+        Ok((value, shard, op_id))
+    }
+
+    /// Looks up `key` (fence-free on the server).
+    pub fn get(&mut self, key: &str) -> Result<KvValue, ClientError> {
+        wire::write_request(
+            &mut self.writer,
+            &Request::Get {
+                key: key.to_string(),
+            },
+        )?;
+        let (_, value) = self.read_value()?;
+        Ok(value)
+    }
+
+    /// Exactly-once recovery for an identity whose reply was lost.
+    pub fn resolve(&mut self, shard: usize, op_id: OpId) -> Result<RetryOutcome, ClientError> {
+        wire::write_request(
+            &mut self.writer,
+            &Request::Resolve {
+                shard: shard as u32,
+                op_id,
+            },
+        )?;
+        match wire::read_reply(&mut self.reader)? {
+            Reply::Resolved(WireResolved::Executed(v)) => Ok(RetryOutcome::Executed(v)),
+            Reply::Resolved(WireResolved::Unknown) => Ok(RetryOutcome::Unknown),
+            Reply::Resolved(WireResolved::Truncated) => Ok(RetryOutcome::Truncated),
+            Reply::Error { retryable, message } => Err(ClientError::Server { retryable, message }),
+            other => Err(WireError::Malformed(format!("unexpected reply {other:?}")).into()),
+        }
+    }
+
+    /// Server-side persistence counters (summed over every shard pool).
+    pub fn stats(&mut self) -> Result<ServerStats, ClientError> {
+        wire::write_request(&mut self.writer, &Request::Stats)?;
+        match wire::read_reply(&mut self.reader)? {
+            Reply::StatsOk {
+                persistent_fences,
+                maintenance_fences,
+                batches,
+                combined_ops,
+            } => Ok(ServerStats {
+                persistent_fences,
+                maintenance_fences,
+                batches,
+                combined_ops,
+            }),
+            Reply::Error { retryable, message } => Err(ClientError::Server { retryable, message }),
+            other => Err(WireError::Malformed(format!("unexpected reply {other:?}")).into()),
+        }
+    }
+
+    /// Liveness probe.
+    pub fn ping(&mut self) -> Result<(), ClientError> {
+        wire::write_request(&mut self.writer, &Request::Ping)?;
+        match wire::read_reply(&mut self.reader)? {
+            Reply::Pong => Ok(()),
+            other => Err(WireError::Malformed(format!("unexpected reply {other:?}")).into()),
+        }
+    }
+
+    /// Severs the connection without shutting it down cleanly (the
+    /// disconnect-mid-request test's hammer).
+    pub fn abandon(self) {
+        let _ = self.reader.shutdown(std::net::Shutdown::Both);
+    }
+}

@@ -1,0 +1,36 @@
+//! A TCP front-end over the sharded combining-commit service.
+//!
+//! The paper's construction gives *detectable execution*: every update carries
+//! an [`onll::OpId`] and `resolve` answers, after any crash, whether that
+//! identity executed (and with what return value). This crate carries that
+//! guarantee across a process boundary: a multi-threaded `std::net` server
+//! whose connection handlers `submit()` into the per-shard combiners of an
+//! [`onll_shard::ShardedService`], speaking a compact length-prefixed protocol
+//! in which the **client** pre-assigns each operation's identity.
+//!
+//! The exactly-once contract (see [`wire`] for the frame layout):
+//!
+//! 1. A session claims a deterministic client slot (`HELLO index`), so the
+//!    same index always maps to the same per-shard identity space — across
+//!    reconnects *and* across server restarts.
+//! 2. Updates carry a client-assigned `(pid, seq)`; the reply acknowledges
+//!    durability (the combiner's fence happened before the reply was written).
+//! 3. After a lost connection — including a `SIGKILL`ed server — the client
+//!    reconnects, re-claims its slot, and for every unacknowledged identity
+//!    first asks `RESOLVE`: `Executed(v)` means the op committed (take `v`,
+//!    do not resubmit), `Unknown` means it never executed (resubmit under the
+//!    *same* identity), `Truncated` means the answer was compacted below a
+//!    checkpoint floor (permanent error: resubmitting could double-apply).
+//!
+//! Split:
+//! * [`wire`] — frame codec shared by both ends (no I/O of its own beyond
+//!   `Read`/`Write`).
+//! * [`server`] — the accept loop and per-connection handlers.
+//! * [`client`] — a blocking client used by the load generator and tests.
+
+pub mod client;
+pub mod server;
+pub mod wire;
+
+pub use client::{RetryOutcome, WireClient};
+pub use server::{OnllServer, ServerConfig};

@@ -1,0 +1,303 @@
+//! The accept loop and per-connection handlers.
+
+use crate::wire::{self, Reply, Request, WireError, WireResolved};
+use durable_objects::{KvOp, KvRead, KvSpec};
+use nvm_sim::{BackendSpec, PmemConfig};
+use onll::{OnllConfig, OnllError, ResolveOutcome};
+use onll_shard::{HashRouter, ShardConfig, ShardedDurable, ShardedService};
+use std::io::BufWriter;
+use std::net::{TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::Arc;
+
+/// Configuration of an [`OnllServer`]'s file-backed sharded store.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Directory holding the per-shard pool files (created if missing; a
+    /// restarted server pointed at the same directory recovers the store).
+    pub dir: PathBuf,
+    /// Number of shards (independent ONLL instances, fences in parallel).
+    pub shards: usize,
+    /// Maximum concurrent sessions. Session indices are `0..max_clients`.
+    pub max_clients: usize,
+    /// Per-shard log capacity in entries.
+    pub log_capacity: usize,
+    /// Simulated NVM capacity split across the shard pools.
+    pub pmem_bytes: u64,
+}
+
+impl ServerConfig {
+    /// A config rooted at `dir` with defaults sized for tests and the load
+    /// generator: 2 shards, 8 sessions, 1Ki-entry logs. Every process slot
+    /// owns a log whose entries are sized for a worst-case fuzzy window
+    /// (`max_processes * group` operation slots), so the per-shard region
+    /// scales with `(max_clients + 2)^2 * group * log_capacity`; raise
+    /// `pmem_bytes` along with any of them.
+    pub fn new(dir: impl Into<PathBuf>) -> Self {
+        ServerConfig {
+            dir: dir.into(),
+            shards: 2,
+            max_clients: 8,
+            log_capacity: 1024,
+            pmem_bytes: 256 << 20,
+        }
+    }
+
+    /// The process slot the per-shard checkpoint thread claims (above every
+    /// session slot, so it can never shadow a reconnecting session's
+    /// deterministic identity).
+    fn checkpointer_pid(&self) -> usize {
+        self.max_clients + 1
+    }
+
+    fn shard_config(&self) -> ShardConfig {
+        // Slots: pid 0 = combiner, pids 1..=max_clients = sessions, one more
+        // for the checkpoint thread. Batches are capped at
+        // `min(group, live clients)`, so a group smaller than max_clients is
+        // safe — it only splits oversized windows into two fences.
+        let base = OnllConfig::default()
+            .max_processes(self.max_clients + 2)
+            .log_capacity(self.log_capacity)
+            .group_persist(self.max_clients.clamp(2, 8))
+            .checkpoint_every(256)
+            .checkpoint_slot_bytes(256 * 1024);
+        ShardConfig::named("server-kv")
+            .shards(self.shards)
+            .base(base)
+            .pmem(PmemConfig::with_capacity(self.pmem_bytes))
+            .backend(BackendSpec::file(&self.dir))
+    }
+}
+
+/// A multi-threaded TCP server over a file-backed [`ShardedDurable`] KV store:
+/// one handler thread per connection, all submitting into the per-shard
+/// combiners of one [`ShardedService`] — concurrent sessions share persistent
+/// fences exactly as in-process clients do.
+pub struct OnllServer {
+    store: ShardedDurable<KvSpec>,
+    service: ShardedService<KvSpec>,
+    config: ServerConfig,
+}
+
+impl OnllServer {
+    /// Opens the store at `config.dir`: recovers it if pool files exist
+    /// (returning the recovered durable total), creates it fresh otherwise.
+    ///
+    /// Opening claims pid 0 of every shard for its combiner (the service is
+    /// opened before anything else registers, so session slot `index` always
+    /// maps to pid `index + 1`) and spawns one background checkpoint thread
+    /// per shard on the slot above all sessions. The threads are detached:
+    /// the store's compaction lives exactly as long as the server process,
+    /// and a kill-9 mid-checkpoint is just another crash the recovery path
+    /// already handles (torn checkpoints fall back to the previous slot).
+    pub fn open(config: ServerConfig) -> Result<(Self, u64), OnllError> {
+        let shard_config = config.shard_config();
+        let router = Arc::new(HashRouter::new(config.shards));
+        let exists = shard_config
+            .backend
+            .pool_path("server-kv/shard0")
+            .is_some_and(|p| p.exists());
+        let (store, recovered) = if exists {
+            let (store, report) = ShardedDurable::reopen_with_checkpoints(shard_config, router)?;
+            // Checkpoint-inclusive: the sum of per-shard durable *execution
+            // indices*, not `total_durable()` (which counts only the replayed
+            // tails above checkpoints and so can shrink as checkpoints land).
+            // A supervisor comparing this against its acknowledged-op count
+            // needs a figure that never goes backwards.
+            (store, report.durable_indices().iter().sum())
+        } else {
+            std::fs::create_dir_all(&config.dir)
+                .map_err(|e| OnllError::Nvm(format!("create {}: {e}", config.dir.display())))?;
+            (ShardedDurable::create(shard_config, router)?, 0)
+        };
+        let service = store.service(config.max_clients)?;
+        for shard in 0..store.num_shards() {
+            let mut handle = store.shard(shard).handle_for(config.checkpointer_pid())?;
+            std::thread::spawn(move || loop {
+                handle.sync();
+                if handle.should_checkpoint() {
+                    // A failing checkpoint (state outgrew the slot) stops
+                    // compaction but not service; surface it for operators.
+                    if let Err(e) = handle.checkpoint() {
+                        eprintln!("shard {shard} checkpoint failed: {e}");
+                    }
+                }
+                std::thread::sleep(std::time::Duration::from_millis(25));
+            });
+        }
+        Ok((
+            OnllServer {
+                store,
+                service,
+                config,
+            },
+            recovered,
+        ))
+    }
+
+    /// The underlying sharded store (for stats or invariant checks).
+    pub fn store(&self) -> &ShardedDurable<KvSpec> {
+        &self.store
+    }
+
+    /// The combining service the handlers submit into.
+    pub fn service(&self) -> &ShardedService<KvSpec> {
+        &self.service
+    }
+
+    /// Accepts connections forever, one handler thread per connection. Only
+    /// returns if the listener itself fails.
+    pub fn serve(&self, listener: TcpListener) -> std::io::Error {
+        loop {
+            match listener.accept() {
+                Ok((stream, _)) => {
+                    let service = self.service.clone();
+                    let store = self.store.clone();
+                    std::thread::spawn(move || {
+                        let _ = handle_connection(stream, &service, &store);
+                    });
+                }
+                Err(e) => return e,
+            }
+        }
+    }
+
+    /// The server's configuration.
+    pub fn config(&self) -> &ServerConfig {
+        &self.config
+    }
+}
+
+/// True for errors worth retrying on a fresh connection (after resolving
+/// in-flight identities); false for contract violations that will fail the
+/// same way every time.
+fn is_retryable(e: &OnllError) -> bool {
+    !matches!(
+        e,
+        OnllError::InvalidOpId { .. } | OnllError::GroupTooLarge { .. }
+    )
+}
+
+fn error_reply(e: &OnllError) -> Reply {
+    Reply::Error {
+        retryable: is_retryable(e),
+        message: e.to_string(),
+    }
+}
+
+fn stats_reply(store: &ShardedDurable<KvSpec>, service: &ShardedService<KvSpec>) -> Reply {
+    let stats = store.merged_stats();
+    let (batches, combined_ops) = service.batch_stats();
+    Reply::StatsOk {
+        persistent_fences: stats.persistent_fences,
+        maintenance_fences: stats.maintenance_fences,
+        batches,
+        combined_ops,
+    }
+}
+
+/// Runs one connection to completion. The first request must be `Hello`; the
+/// claimed per-shard client slots are released when the connection drops (so
+/// the same session index can reconnect).
+fn handle_connection(
+    stream: TcpStream,
+    service: &ShardedService<KvSpec>,
+    store: &ShardedDurable<KvSpec>,
+) -> Result<(), WireError> {
+    stream.set_nodelay(true).ok();
+    let mut reader = stream.try_clone()?;
+    let mut writer = BufWriter::new(stream);
+
+    // Session setup: claim the deterministic slot named by HELLO. Stats and
+    // pings are allowed pre-HELLO (monitoring needs no identity).
+    let mut client = loop {
+        match read_request(&mut reader)? {
+            Some(Request::Hello { index }) => match service.client_for(index as usize) {
+                Ok(mut client) => {
+                    let next_seqs: Vec<u64> = (0..service.num_shards())
+                        .map(|s| client.shard_client(s).peek_next_op_id().seq)
+                        .collect();
+                    wire::write_reply(&mut writer, &Reply::HelloOk { next_seqs })?;
+                    break client;
+                }
+                // The slot may still be held by a dying predecessor
+                // connection; the client retries HELLO after a backoff.
+                Err(e) => wire::write_reply(&mut writer, &error_reply(&e))?,
+            },
+            Some(Request::Stats) => wire::write_reply(&mut writer, &stats_reply(store, service))?,
+            Some(Request::Ping) => wire::write_reply(&mut writer, &Reply::Pong)?,
+            Some(_) => wire::write_reply(
+                &mut writer,
+                &Reply::Error {
+                    retryable: false,
+                    message: "first request must be HELLO".into(),
+                },
+            )?,
+            None => return Ok(()),
+        }
+    };
+
+    while let Some(request) = read_request(&mut reader)? {
+        let reply = match request {
+            Request::Put { op_id, key, value } => {
+                match client.submit_routed_with_id(op_id, KvOp::Put(key, value)) {
+                    Ok((value, shard, _)) => Reply::Value {
+                        shard: shard as u32,
+                        value,
+                    },
+                    Err(e) => error_reply(&e),
+                }
+            }
+            Request::Delete { op_id, key } => {
+                match client.submit_routed_with_id(op_id, KvOp::Delete(key)) {
+                    Ok((value, shard, _)) => Reply::Value {
+                        shard: shard as u32,
+                        value,
+                    },
+                    Err(e) => error_reply(&e),
+                }
+            }
+            Request::Get { key } => {
+                let shard = client.shard_of(&key) as u32;
+                Reply::Value {
+                    shard,
+                    value: client.read(&KvRead::Get(key)),
+                }
+            }
+            Request::Resolve { shard, op_id } => {
+                if (shard as usize) >= service.num_shards() {
+                    Reply::Error {
+                        retryable: false,
+                        message: format!("shard {shard} out of range"),
+                    }
+                } else {
+                    Reply::Resolved(match service.resolve_on(shard as usize, op_id) {
+                        ResolveOutcome::Executed(value) => WireResolved::Executed(value),
+                        ResolveOutcome::Unknown => WireResolved::Unknown,
+                        // The reply was compacted below a checkpoint floor:
+                        // permanently unanswerable, and the client must NOT
+                        // resubmit (could double-apply).
+                        ResolveOutcome::Truncated => WireResolved::Truncated,
+                    })
+                }
+            }
+            Request::Stats => stats_reply(store, service),
+            Request::Ping => Reply::Pong,
+            Request::Hello { .. } => Reply::Error {
+                retryable: false,
+                message: "session already established".into(),
+            },
+        };
+        wire::write_reply(&mut writer, &reply)?;
+    }
+    Ok(())
+}
+
+/// Reads one request, mapping a clean peer disconnect to `None`.
+fn read_request(reader: &mut TcpStream) -> Result<Option<Request>, WireError> {
+    match wire::read_request(reader) {
+        Ok(request) => Ok(Some(request)),
+        Err(WireError::Io(e)) if e.kind() == std::io::ErrorKind::UnexpectedEof => Ok(None),
+        Err(e) => Err(e),
+    }
+}

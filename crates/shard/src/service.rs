@@ -18,7 +18,7 @@
 
 use crate::router::ShardRouter;
 use crate::sharded::ShardedDurable;
-use onll::{DurableService, KeyedSpec, OnllError, OpId, ServiceClient};
+use onll::{DurableService, KeyedSpec, OnllError, OpId, ResolveOutcome, ServiceClient};
 use std::sync::Arc;
 
 /// A combining-commit session layer over every shard of a
@@ -92,11 +92,32 @@ impl<S: KeyedSpec> ShardedService<S> {
         self.services.iter().map(|s| s.combine_now()).sum()
     }
 
+    /// Claims client slot `index` on **every** shard — the deterministic
+    /// variant of [`ShardedService::client`] (see
+    /// [`DurableService::client_for`]): across a restart, a reconnecting
+    /// session that re-claims the same index resumes the same per-shard
+    /// [`OpId`] identity spaces, which is what lets it replay
+    /// unacknowledged operations exactly once.
+    pub fn client_for(&self, index: usize) -> Result<ShardedServiceClient<S>, OnllError> {
+        let clients = self
+            .services
+            .iter()
+            .map(|s| s.client_for(index))
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(ShardedServiceClient {
+            clients,
+            router: self.router.clone(),
+        })
+    }
+
     /// Exactly-once reply retrieval on a specific shard — identities are per
     /// shard, so the caller names the shard that served the operation (as
     /// returned by [`ShardedServiceClient::submit_routed`], or recomputed from
-    /// the key via [`ShardedService::shard_of`]).
-    pub fn resolve_on(&self, shard: usize, op_id: OpId) -> Option<S::Value> {
+    /// the key via [`ShardedService::shard_of`]). The typed outcome
+    /// distinguishes "never executed — safe to re-submit" from "compacted
+    /// below a checkpoint floor — re-submitting could double-apply"; see
+    /// [`onll::Durable::resolve`].
+    pub fn resolve_on(&self, shard: usize, op_id: OpId) -> ResolveOutcome<S::Value> {
         self.services[shard].resolve(op_id)
     }
 
@@ -159,6 +180,22 @@ impl<S: KeyedSpec> ShardedServiceClient<S> {
     /// The per-shard client for `shard` (e.g. for `submit_async`-style use).
     pub fn shard_client(&mut self, shard: usize) -> &mut ServiceClient<S> {
         &mut self.clients[shard]
+    }
+
+    /// Replays an update under a **caller-supplied** per-shard identity on its
+    /// key's shard — the routed variant of [`ServiceClient::submit_with_id`].
+    /// The shard is recomputed from the operation's key, so a retry after a
+    /// crash lands on the same shard the identity was minted for (routing is
+    /// deterministic). The caller must have observed
+    /// [`ResolveOutcome::Unknown`] for `op_id` on that shard first.
+    pub fn submit_routed_with_id(
+        &mut self,
+        op_id: OpId,
+        op: S::UpdateOp,
+    ) -> Result<(S::Value, usize, OpId), OnllError> {
+        let shard = self.router.route(&S::update_key(&op));
+        let (value, op_id) = self.clients[shard].submit_with_id(op_id, op)?;
+        Ok((value, shard, op_id))
     }
 
     /// The shard index owning `key`.

@@ -3,7 +3,7 @@
 
 use durable_objects::{KvOp, KvRead, KvSpec, KvValue};
 use nvm_sim::PmemConfig;
-use onll::OnllConfig;
+use onll::{OnllConfig, ResolveOutcome};
 use onll_shard::{HashRouter, ShardConfig, ShardedDurable};
 use std::sync::Arc;
 
@@ -47,7 +47,10 @@ fn submits_route_to_the_owning_shard_only() {
             );
         }
         // The remembered response equals the response the submit returned.
-        assert_eq!(service.resolve_on(shard, op_id), Some(value));
+        assert_eq!(
+            service.resolve_on(shard, op_id),
+            ResolveOutcome::Executed(value)
+        );
         assert_eq!(
             client.read(&KvRead::Get(key)),
             KvValue::Value(Some(format!("v{i}")))
@@ -142,6 +145,68 @@ fn replies_are_resolvable_after_crash_recovery() {
     // Exactly-once: the remembered responses match what the submits returned.
     let service = object.service(2).unwrap();
     for (shard, op_id, value) in receipts {
-        assert_eq!(service.resolve_on(shard, op_id), Some(value));
+        assert_eq!(
+            service.resolve_on(shard, op_id),
+            ResolveOutcome::Executed(value)
+        );
     }
+}
+
+#[test]
+fn deterministic_clients_replay_identities_across_recovery() {
+    // The session-layer contract behind the server: claim the same client
+    // index after a crash and the per-shard identity spaces line up, so a
+    // pre-assigned OpId can be resolved and — when Unknown — replayed.
+    let shards = 2;
+    let config = ShardConfig::named("svc-replay")
+        .shards(shards)
+        .base(
+            OnllConfig::default()
+                .max_processes(4)
+                .log_capacity(1 << 10)
+                .group_persist(4),
+        )
+        .pmem(PmemConfig::with_capacity(256 << 20).apply_pending_at_crash(0.0));
+    let router = Arc::new(HashRouter::new(shards));
+    let object = ShardedDurable::<KvSpec>::create(config.clone(), router.clone()).unwrap();
+    let service = object.service(2).unwrap();
+    let mut client = service.client_for(1).unwrap();
+    // Pre-assign the identity the way a wire client does, then submit it.
+    let key = "replayed".to_string();
+    let shard = client.shard_of(&key);
+    let planned = client.shard_client(shard).peek_next_op_id();
+    let (acked_value, acked_shard, acked_id) = client
+        .submit_routed_with_id(planned, KvOp::Put(key.clone(), "v1".into()))
+        .unwrap();
+    assert_eq!((acked_shard, acked_id), (shard, planned));
+    // A second identity is minted but never submitted — the "crashed before
+    // publish" case.
+    let lost = client.shard_client(shard).peek_next_op_id();
+
+    let pools = object.pools().to_vec();
+    drop(client);
+    drop(service);
+    drop(object);
+    for p in &pools {
+        p.crash_and_restart();
+    }
+    let (object, _) = ShardedDurable::<KvSpec>::recover(pools, config, router).expect("recover");
+    let service = object.service(2).unwrap();
+    let mut client = service.client_for(1).unwrap();
+    // The acked identity resolves to its remembered response; replaying it
+    // would be the client's bug, and the Unknown one replays exactly once.
+    assert_eq!(
+        service.resolve_on(shard, acked_id),
+        ResolveOutcome::Executed(acked_value)
+    );
+    assert_eq!(service.resolve_on(shard, lost), ResolveOutcome::Unknown);
+    let (_, s2, id2) = client
+        .submit_routed_with_id(lost, KvOp::Put(key.clone(), "v2".into()))
+        .unwrap();
+    assert_eq!((s2, id2), (shard, lost));
+    assert_eq!(
+        client.read(&KvRead::Get(key)),
+        KvValue::Value(Some("v2".into()))
+    );
+    object.check_invariants().unwrap();
 }

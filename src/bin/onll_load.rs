@@ -1,0 +1,192 @@
+//! Load generator for `onll_server`: drives the wire protocol from another
+//! process and writes `BENCH_server.json`.
+//!
+//! For each connection count in `--conns`, spawns that many client threads
+//! (session indices `0..N`), each performing `--ops-per-conn` durable `Put`s,
+//! and records throughput, latency percentiles, and the server's persistent
+//! fence counters before/after the round. The headline column is
+//! `fences_per_op`: with N concurrent connections the per-shard combiners
+//! amortize one fence over every rider in a batch, so the ratio must drop
+//! below 1 as N grows (≈ 1/batch-size; the paper's Theorem 5.1 bound is the
+//! N=1 ceiling of one fence per update).
+//!
+//! ```text
+//! onll_load --addr 127.0.0.1:PORT [--conns 1,2,4,8] [--ops-per-conn 300]
+//!           [--out BENCH_server.json]
+//! ```
+
+use remembering_consistently::server::WireClient;
+use std::io::Write;
+use std::time::Instant;
+
+struct Args {
+    addr: String,
+    conns: Vec<usize>,
+    ops_per_conn: usize,
+    out: String,
+}
+
+fn usage(err: &str) -> ! {
+    eprintln!("error: {err}");
+    eprintln!(
+        "usage: onll_load --addr HOST:PORT [--conns 1,2,4,8] [--ops-per-conn N] [--out FILE]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Args {
+    let mut parsed = Args {
+        addr: String::new(),
+        conns: vec![1, 2, 4, 8],
+        ops_per_conn: 300,
+        out: "BENCH_server.json".to_string(),
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let mut value = || args.next().unwrap_or_else(|| usage("missing flag value"));
+        match flag.as_str() {
+            "--addr" => parsed.addr = value(),
+            "--conns" => {
+                parsed.conns = value()
+                    .split(',')
+                    .map(|s| s.trim().parse().unwrap_or_else(|_| usage("bad --conns")))
+                    .collect()
+            }
+            "--ops-per-conn" => {
+                parsed.ops_per_conn = value()
+                    .parse()
+                    .unwrap_or_else(|_| usage("bad --ops-per-conn"))
+            }
+            "--out" => parsed.out = value(),
+            other => usage(&format!("unknown flag {other}")),
+        }
+    }
+    if parsed.addr.is_empty() {
+        usage("--addr is required");
+    }
+    parsed
+}
+
+struct Round {
+    connections: usize,
+    ops: u64,
+    elapsed_s: f64,
+    throughput: f64,
+    p50_us: f64,
+    p99_us: f64,
+    fences: u64,
+    maintenance_fences: u64,
+    fences_per_op: f64,
+    batches: u64,
+    combined_ops: u64,
+}
+
+fn percentile_us(sorted_ns: &[u64], p: f64) -> f64 {
+    if sorted_ns.is_empty() {
+        return 0.0;
+    }
+    let rank = ((sorted_ns.len() as f64 - 1.0) * p).round() as usize;
+    sorted_ns[rank] as f64 / 1_000.0
+}
+
+/// One round: `connections` concurrent sessions, `ops_per_conn` durable puts
+/// each, fence counters sampled around the whole round.
+fn run_round(addr: &str, connections: usize, ops_per_conn: usize) -> Round {
+    let mut probe = WireClient::connect_with_retry(addr, 0, 10).expect("connect stats probe");
+    let before = probe.stats().expect("stats before round");
+    probe.abandon();
+
+    let started = Instant::now();
+    let latencies: Vec<Vec<u64>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..connections)
+            .map(|conn| {
+                scope.spawn(move || {
+                    let mut client = WireClient::connect_with_retry(addr, conn as u32, 10)
+                        .expect("connect load session");
+                    let mut lat = Vec::with_capacity(ops_per_conn);
+                    for k in 0..ops_per_conn {
+                        let key = format!("load-{conn}-{}", k % 64);
+                        let value = format!("v{k}");
+                        let t0 = Instant::now();
+                        client.put(&key, &value).expect("durable put");
+                        lat.push(t0.elapsed().as_nanos() as u64);
+                    }
+                    lat
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    let elapsed_s = started.elapsed().as_secs_f64();
+
+    let mut probe = WireClient::connect_with_retry(addr, 0, 10).expect("connect stats probe");
+    let after = probe.stats().expect("stats after round");
+    probe.abandon();
+
+    let mut all: Vec<u64> = latencies.into_iter().flatten().collect();
+    all.sort_unstable();
+    let ops = all.len() as u64;
+    let fences = after.persistent_fences - before.persistent_fences;
+    let maintenance = after.maintenance_fences - before.maintenance_fences;
+    Round {
+        connections,
+        ops,
+        elapsed_s,
+        throughput: ops as f64 / elapsed_s,
+        p50_us: percentile_us(&all, 0.50),
+        p99_us: percentile_us(&all, 0.99),
+        fences,
+        maintenance_fences: maintenance,
+        // Checkpoint/compaction fences are maintenance, not part of the
+        // per-update persist path Theorem 5.1 bounds; keep them out of the
+        // headline ratio (they are still reported in their own column).
+        fences_per_op: (fences - maintenance) as f64 / ops as f64,
+        batches: after.batches - before.batches,
+        combined_ops: after.combined_ops - before.combined_ops,
+    }
+}
+
+fn main() {
+    let args = parse_args();
+    let mut rounds = Vec::new();
+    for &connections in &args.conns {
+        let round = run_round(&args.addr, connections, args.ops_per_conn);
+        eprintln!(
+            "conns={:2}  {:8.0} ops/s  p50={:7.1}us  p99={:7.1}us  fences/op={:.3}  (batches={} carrying {})",
+            round.connections,
+            round.throughput,
+            round.p50_us,
+            round.p99_us,
+            round.fences_per_op,
+            round.batches,
+            round.combined_ops,
+        );
+        rounds.push(round);
+    }
+
+    let mut json = String::from("{\n  \"bench\": \"onll-server\",\n  \"rounds\": [\n");
+    for (i, r) in rounds.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"connections\": {}, \"ops\": {}, \"elapsed_s\": {:.4}, \
+             \"throughput_ops_per_s\": {:.1}, \"p50_us\": {:.1}, \"p99_us\": {:.1}, \
+             \"fences\": {}, \"maintenance_fences\": {}, \"fences_per_op\": {:.4}, \
+             \"batches\": {}, \"combined_ops\": {}}}{}\n",
+            r.connections,
+            r.ops,
+            r.elapsed_s,
+            r.throughput,
+            r.p50_us,
+            r.p99_us,
+            r.fences,
+            r.maintenance_fences,
+            r.fences_per_op,
+            r.batches,
+            r.combined_ops,
+            if i + 1 < rounds.len() { "," } else { "" },
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    let mut file = std::fs::File::create(&args.out).expect("create --out file");
+    file.write_all(json.as_bytes()).expect("write bench json");
+    eprintln!("wrote {}", args.out);
+}

@@ -1,0 +1,93 @@
+//! The `onll-server` daemon: serves a file-backed sharded KV store over TCP.
+//!
+//! A fresh directory creates the store; a directory holding pool files from a
+//! previous (possibly `SIGKILL`ed) incarnation recovers it. The supervisor
+//! protocol on stdout is one flushed line:
+//!
+//! ```text
+//! READY <port> <recovered_durable_total>
+//! ```
+//!
+//! after which the server accepts connections until killed. Crash testing is
+//! the *point* of this binary: the kill-9 harness reads `READY`, drives
+//! clients, SIGKILLs the process mid-request, restarts it on the same
+//! directory, and verifies every in-flight operation identity resolves
+//! consistently (see `tests/kill9_crash.rs` and `tests/server_loopback.rs`).
+//!
+//! ```text
+//! onll_server serve --dir DIR [--port P] [--shards N] [--clients N]
+//! ```
+
+use remembering_consistently::server::{OnllServer, ServerConfig};
+use std::io::Write;
+use std::net::TcpListener;
+
+struct Args {
+    dir: String,
+    port: u16,
+    shards: usize,
+    clients: usize,
+}
+
+fn usage(err: &str) -> ! {
+    eprintln!("error: {err}");
+    eprintln!("usage: onll_server serve --dir DIR [--port P] [--shards N] [--clients N]");
+    std::process::exit(2);
+}
+
+fn parse_args() -> Args {
+    let mut args = std::env::args().skip(1);
+    match args.next().as_deref() {
+        Some("serve") => {}
+        Some(other) => usage(&format!("unknown mode {other}")),
+        None => usage("missing mode"),
+    }
+    let mut parsed = Args {
+        dir: String::new(),
+        port: 0,
+        shards: 2,
+        clients: 8,
+    };
+    while let Some(flag) = args.next() {
+        let mut value = || args.next().unwrap_or_else(|| usage("missing flag value"));
+        match flag.as_str() {
+            "--dir" => parsed.dir = value(),
+            "--port" => parsed.port = value().parse().unwrap_or_else(|_| usage("bad --port")),
+            "--shards" => parsed.shards = value().parse().unwrap_or_else(|_| usage("bad --shards")),
+            "--clients" => {
+                parsed.clients = value().parse().unwrap_or_else(|_| usage("bad --clients"))
+            }
+            other => usage(&format!("unknown flag {other}")),
+        }
+    }
+    if parsed.dir.is_empty() {
+        usage("--dir is required");
+    }
+    parsed
+}
+
+fn main() {
+    let args = parse_args();
+    let mut config = ServerConfig::new(&args.dir);
+    config.shards = args.shards;
+    config.max_clients = args.clients;
+    let (server, recovered) = match OnllServer::open(config) {
+        Ok(opened) => opened,
+        Err(e) => {
+            eprintln!("failed to open store: {e}");
+            std::process::exit(3);
+        }
+    };
+    let listener = TcpListener::bind(("127.0.0.1", args.port)).expect("bind the loopback listener");
+    let port = listener.local_addr().expect("listener address").port();
+    // The supervisor reads this line to learn the port; flush before serving.
+    {
+        let stdout = std::io::stdout();
+        let mut out = stdout.lock();
+        writeln!(out, "READY {port} {recovered}").expect("stdout closed");
+        out.flush().expect("stdout flush failed");
+    }
+    let err = server.serve(listener);
+    eprintln!("listener failed: {err}");
+    std::process::exit(1);
+}

@@ -27,6 +27,10 @@
 //! * [`shard`] — horizontally partitioned durable objects: keyed routing over
 //!   N independent ONLL instances, fence-amortized group persist, parallel
 //!   recovery.
+//! * [`server`] — TCP front-end over the sharded combining service: a
+//!   length-prefixed wire protocol with client-assigned operation identities,
+//!   so a reconnecting client resolves and replays unacknowledged operations
+//!   exactly once across server crashes.
 //!
 //! See `README.md` for a quickstart and `DESIGN.md`/`EXPERIMENTS.md` for the
 //! experiment inventory.
@@ -39,6 +43,7 @@ pub use exec_trace as trace;
 pub use harness;
 pub use nvm_sim as nvm;
 pub use onll;
+pub use onll_server as server;
 pub use onll_shard as shard;
 pub use persist_log as plog;
 

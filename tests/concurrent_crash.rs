@@ -25,7 +25,7 @@ use remembering_consistently::harness::{
 };
 use remembering_consistently::nvm::{BackendSpec, CrashTrigger, PmemConfig, ScratchDir};
 use remembering_consistently::objects::{CounterOp, CounterRead, CounterSpec};
-use remembering_consistently::onll::{Durable, OnllConfig, OpId};
+use remembering_consistently::onll::{Durable, OnllConfig, OpId, ResolveOutcome};
 
 fn backend_for(label: &str, file: bool) -> (BackendSpec, Option<ScratchDir>) {
     if file {
@@ -105,7 +105,7 @@ fn all_or_nothing(file: bool, arm: CrashArm) {
     );
     assert_eq!(
         recovered.resolve(baseline_id),
-        Some(baseline_value),
+        ResolveOutcome::Executed(baseline_value),
         "{label}"
     );
 
@@ -120,7 +120,11 @@ fn all_or_nothing(file: bool, arm: CrashArm) {
             assert_eq!(reply_b.1, id_b);
             for (value, op_id) in [reply_a, reply_b] {
                 assert!(recovered.was_linearized(op_id), "{label}: lost {op_id}");
-                assert_eq!(recovered.resolve(op_id), Some(value), "{label}: {op_id}");
+                assert_eq!(
+                    recovered.resolve(op_id),
+                    ResolveOutcome::Executed(value),
+                    "{label}: {op_id}"
+                );
             }
             assert_eq!(report.durable_index, 3, "{label}");
             assert_eq!(recovered.read_latest(&CounterRead::Get), 111, "{label}");
@@ -140,7 +144,11 @@ fn all_or_nothing(file: bool, arm: CrashArm) {
                     !recovered.was_linearized(op_id),
                     "{label}: {op_id} resurrected from an unfenced entry"
                 );
-                assert_eq!(recovered.resolve(op_id), None, "{label}: {op_id}");
+                assert_eq!(
+                    recovered.resolve(op_id),
+                    ResolveOutcome::Unknown,
+                    "{label}: {op_id}"
+                );
             }
             assert_eq!(report.durable_index, 1, "{label}");
             assert_eq!(recovered.read_latest(&CounterRead::Get), 1, "{label}");
@@ -266,8 +274,8 @@ fn service_crash_run(file: bool, threads: usize, ops: usize, crash_after_events:
         } = &record.kind
         {
             assert_eq!(
-                remembered.as_ref(),
-                Some(value),
+                remembered,
+                ResolveOutcome::Executed(*value),
                 "{label}: {op_id} reply not remembered"
             );
         }
