@@ -232,7 +232,11 @@ impl<S: SequentialSpec> ServiceShared<S> {
             }
             Err(e) => {
                 // The batch failed before linearizing anything; every waiter
-                // learns the same error and may re-submit.
+                // learns the same error. Pre-order failures (full log, group
+                // too large, poisoned commit path) are safe to re-submit.
+                // Persist failures were already retried inside `commit_batch`;
+                // when they still fail the commit path poisons itself, so a
+                // resubmission fails fast instead of double-applying.
                 for &i in &batch_slots {
                     self.post(i, Err(e.clone()));
                 }

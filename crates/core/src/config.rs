@@ -55,6 +55,16 @@ pub struct OnllConfig {
     /// Ignored by the `create`/`recover` entry points that take an existing
     /// pool — there the caller already chose the backend.
     pub backend: BackendSpec,
+    /// Extra attempts at the fuzzy-window log append when its persistent fence
+    /// fails (e.g. a transient `EIO` injected by `nvm_sim::FaultPlan`, or a
+    /// device hiccup on a real file backend). A failed publish leaves the log's
+    /// slot and sequence number unconsumed, so each retry overwrites exactly
+    /// the same entry — retrying is idempotent. If every attempt fails the
+    /// commit path **poisons itself** and all further updates are rejected;
+    /// see `ProcessHandle::try_update` for why that is required for
+    /// exactly-once (the ordered-but-unpersisted window must never be
+    /// linearized past).
+    pub persist_retries: u32,
 }
 
 impl Default for OnllConfig {
@@ -70,6 +80,7 @@ impl Default for OnllConfig {
             reclaim_batch: 1024,
             max_group_ops: 1,
             backend: BackendSpec::Sim,
+            persist_retries: 3,
         }
     }
 }
@@ -142,6 +153,13 @@ impl OnllConfig {
     pub fn group_persist(mut self, n: usize) -> Self {
         assert!(n >= 1, "a group holds at least one operation");
         self.max_group_ops = n;
+        self
+    }
+
+    /// Sets how many extra attempts a failed fuzzy-window persist gets before
+    /// the commit path poisons itself (see [`OnllConfig::persist_retries`]).
+    pub fn persist_retries(mut self, retries: u32) -> Self {
+        self.persist_retries = retries;
         self
     }
 

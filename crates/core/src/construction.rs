@@ -113,6 +113,15 @@ pub(crate) struct Shared<S: SequentialSpec> {
     /// operation forever (operations below the watermark are no longer
     /// individually identifiable anyway — the documented checkpoint contract).
     pub(crate) recovered: Mutex<HashMap<OpId, u64>>,
+    /// Set when a fuzzy-window persist failed even after
+    /// `OnllConfig::persist_retries` attempts. The failed window's nodes are
+    /// ordered in the volatile trace but will never be linearized; letting any
+    /// *later* commit linearize past them would make them visible to replay
+    /// (double-apply on resubmission). Once set, every subsequent update is
+    /// rejected *before* ordering anything; reads and `resolve` still serve
+    /// the linearized prefix, and a restart recovers cleanly from the logs
+    /// (the poisoned window was never durably appended).
+    pub(crate) commit_poisoned: AtomicBool,
 }
 
 impl<S: SequentialSpec> Shared<S> {
@@ -328,6 +337,7 @@ impl<S: SequentialSpec> Durable<S> {
             base_state: Box::new(S::initialize),
             snapshot: RwLock::new(None),
             recovered: Mutex::new(HashMap::new()),
+            commit_poisoned: AtomicBool::new(false),
             hooks,
             log_cfg,
             log_bases,
@@ -506,6 +516,7 @@ impl<S: SequentialSpec> Durable<S> {
             base_state,
             snapshot: RwLock::new(None),
             recovered: Mutex::new(recovered_set),
+            commit_poisoned: AtomicBool::new(false),
             hooks,
             log_cfg,
             log_bases,

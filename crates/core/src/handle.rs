@@ -147,9 +147,11 @@ impl<S: SequentialSpec> ProcessHandle<S> {
         let hooks = shared.hooks.clone();
         hooks.fire(Phase::BeforeOrder, pid);
 
-        // Reclaim ring slots covered by a newly published checkpoint, then refuse
-        // before touching shared state if the log still cannot take another entry;
-        // otherwise we would order an operation we cannot persist.
+        // Refuse before ordering anything we could not persist: a poisoned
+        // commit path (an earlier window failed its fence even after retries),
+        // then reclaim ring slots covered by a newly published checkpoint and
+        // check the log can take another entry.
+        self.check_commit_poisoned()?;
         self.compact_log_below_watermark();
         if self.log.free_slots() == 0 {
             return Err(OnllError::LogFull);
@@ -164,7 +166,7 @@ impl<S: SequentialSpec> ProcessHandle<S> {
 
         // --- Persist: append the fuzzy window (own op + unpersisted predecessors)
         //     to the private persistent log. One persistent fence. ---
-        self.persist_fuzzy_window(node)?;
+        self.persist_fuzzy_window_with_retry(node)?;
 
         // --- Linearize: make the operation visible to readers. ---
         hooks.fire(Phase::BeforeLinearize, pid);
@@ -243,8 +245,12 @@ impl<S: SequentialSpec> ProcessHandle<S> {
     /// persist code path to keep correct: everything flows through
     /// `persist_fuzzy_window`.
     ///
-    /// Fails **before ordering anything** (group too large, log full), so a
-    /// failed batch leaves no trace of itself and the caller can retry.
+    /// Fails **before ordering anything** (group too large, log full, commit
+    /// path poisoned), so a failed batch leaves no trace of itself and the
+    /// caller can retry — except when the persist itself fails after
+    /// exhausting `OnllConfig::persist_retries`, which poisons the commit
+    /// path so the orphaned window can never be linearized past (see
+    /// [`ProcessHandle::persist_fuzzy_window_with_retry`]).
     pub(crate) fn commit_batch(
         &mut self,
         records: Vec<Record<S::UpdateOp>>,
@@ -264,8 +270,11 @@ impl<S: SequentialSpec> ProcessHandle<S> {
         let hooks = shared.hooks.clone();
         hooks.fire(Phase::BeforeOrder, pid);
 
-        // The whole batch lands in one log entry; reclaim checkpoint-covered
-        // slots, then refuse before ordering anything we could not persist.
+        // The whole batch lands in one log entry; refuse before ordering
+        // anything we could not persist (poisoned commit path, full log —
+        // see `try_update` for the same gate), reclaiming checkpoint-covered
+        // slots first.
+        self.check_commit_poisoned()?;
         self.compact_log_below_watermark();
         if self.log.free_slots() == 0 {
             return Err(OnllError::LogFull);
@@ -285,7 +294,7 @@ impl<S: SequentialSpec> ProcessHandle<S> {
         // --- Persist: one log entry covering the batch's fuzzy window (the whole
         //     batch plus unpersisted predecessors). One persistent fence. ---
         let newest = nodes.last().expect("batch is non-empty").1;
-        self.persist_fuzzy_window(newest)?;
+        self.persist_fuzzy_window_with_retry(newest)?;
 
         // --- Linearize: sweep the batch's available flags oldest to newest, so
         //     linearized prefixes are always contiguous. ---
@@ -322,6 +331,56 @@ impl<S: SequentialSpec> ProcessHandle<S> {
     /// reusable entry buffer, so the entry's occupied bytes — the only bytes
     /// written and flushed — are assembled without any intermediate
     /// `Vec<Vec<u8>>`/`Vec<&[u8]>`.
+    /// [`ProcessHandle::persist_fuzzy_window`] with fault absorption: a failed
+    /// publish leaves the log's slot and sequence counters unconsumed, so the
+    /// append is retried — overwriting exactly the same entry — up to
+    /// `OnllConfig::persist_retries` extra times. Transient backend faults
+    /// (injected `EIO`s that recover, a device hiccup) therefore cost latency,
+    /// not the operation.
+    ///
+    /// If *every* attempt fails, the commit path poisons itself before
+    /// propagating the error. This is a correctness requirement, not a
+    /// convenience: the failed window's nodes are already ordered in the
+    /// volatile trace but will never become available, so if any later commit
+    /// were allowed to linearize past them, replay would apply them — and a
+    /// client that was told "error, never executed" (resolve says `Unknown`)
+    /// would resubmit under the same identity, double-applying the operation.
+    /// With the poison gate no later commit can succeed, the orphaned window
+    /// stays forever unobservable, and a restart recovers cleanly from the
+    /// logs (the window was never durably appended), after which resubmission
+    /// under the same identity is safe again.
+    fn persist_fuzzy_window_with_retry(
+        &mut self,
+        newest: &TraceNode<Option<Record<S::UpdateOp>>>,
+    ) -> Result<(), OnllError> {
+        let mut attempts_left = self.shared.config.persist_retries;
+        loop {
+            match self.persist_fuzzy_window(newest) {
+                Ok(()) => return Ok(()),
+                Err(_) if attempts_left > 0 => attempts_left -= 1,
+                Err(e) => {
+                    self.shared.commit_poisoned.store(true, Ordering::Release);
+                    return Err(e);
+                }
+            }
+        }
+    }
+
+    /// Fast-fail gate for the commit paths: errors if an earlier persist
+    /// failure poisoned the object (see
+    /// [`ProcessHandle::persist_fuzzy_window_with_retry`]).
+    fn check_commit_poisoned(&self) -> Result<(), OnllError> {
+        if self.shared.commit_poisoned.load(Ordering::Acquire) {
+            return Err(OnllError::Nvm(
+                "persist path poisoned: an earlier log-append fence failed after retries; \
+                 updates on this object are rejected until restart (reads and resolve \
+                 still serve the linearized prefix)"
+                    .into(),
+            ));
+        }
+        Ok(())
+    }
+
     fn persist_fuzzy_window(
         &mut self,
         newest: &TraceNode<Option<Record<S::UpdateOp>>>,

@@ -34,6 +34,7 @@
 //! thread.
 
 use crate::error::NvmError;
+use crate::fault::{self, AbortPoint, FaultPlan, FsyncFault, PwriteFault};
 use crate::layout::CACHE_LINE_SIZE;
 use crate::policy::PmemConfig;
 use onll_telemetry::Histogram;
@@ -41,7 +42,6 @@ use std::collections::HashMap;
 use std::fs::{File, OpenOptions};
 use std::io::{Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, Weak};
 use std::time::{Duration, Instant};
 
@@ -68,44 +68,11 @@ pub(crate) fn io_err(path: &Path, e: std::io::Error) -> NvmError {
     }
 }
 
-/// Test-only fault injection: fail the next N pwrites / fsyncs with a
-/// synthetic EIO, so poisoning paths are exercisable without a full disk.
-#[derive(Default)]
-pub(crate) struct FaultPlan {
-    fail_pwrites: AtomicU32,
-    fail_fsyncs: AtomicU32,
-}
-
-impl FaultPlan {
-    pub(crate) fn inject_pwrite_errors(&self, n: u32) {
-        self.fail_pwrites.store(n, Ordering::SeqCst);
-    }
-
-    pub(crate) fn inject_fsync_errors(&self, n: u32) {
-        self.fail_fsyncs.store(n, Ordering::SeqCst);
-    }
-
-    fn take(counter: &AtomicU32) -> bool {
-        counter
-            .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |n| n.checked_sub(1))
-            .is_ok()
-    }
-
-    fn pwrite_fails(&self) -> bool {
-        Self::take(&self.fail_pwrites)
-    }
-
-    fn fsync_fails(&self) -> bool {
-        Self::take(&self.fail_fsyncs)
-    }
-}
-
-fn injected_eio() -> std::io::Error {
-    std::io::Error::other("injected EIO")
-}
-
 /// Writes `lines` (sorted by line index, addresses relative to `base`) into
 /// `file`, merging contiguous runs into single writes. Does **not** sync.
+/// One call is one pwrite event of the fault plan, which may inject an EIO
+/// (nothing written) or a torn write (a prefix of `lines` written, then
+/// failure).
 pub(crate) fn write_lines_at(
     file: &mut File,
     path: &Path,
@@ -113,6 +80,13 @@ pub(crate) fn write_lines_at(
     lines: &[(u64, Line)],
     faults: &FaultPlan,
 ) -> Result<(), NvmError> {
+    let total = lines.len();
+    let keep = match faults.on_pwrite(total) {
+        PwriteFault::None => total,
+        PwriteFault::Error { transient } => return Err(fault::injected_error(path, transient)),
+        PwriteFault::Torn { keep } => keep,
+    };
+    let lines = &lines[..keep.min(total)];
     let mut i = 0;
     while i < lines.len() {
         let mut j = i + 1;
@@ -124,20 +98,22 @@ pub(crate) fn write_lines_at(
             buf.extend_from_slice(contents);
         }
         let offset = base + lines[i].0 * CACHE_LINE_SIZE as u64;
-        if faults.pwrite_fails() {
-            return Err(io_err(path, injected_eio()));
-        }
         file.seek(SeekFrom::Start(offset))
             .and_then(|_| file.write_all(&buf))
             .map_err(|e| io_err(path, e))?;
         i = j;
     }
+    if keep < total {
+        return Err(fault::torn_error(path, keep, total));
+    }
     Ok(())
 }
 
+/// One fsync event of the fault plan: the plan may stall it (latency spike)
+/// or fail it with a synthetic EIO before the real `sync_data` runs.
 pub(crate) fn sync_file(file: &File, path: &Path, faults: &FaultPlan) -> Result<(), NvmError> {
-    if faults.fsync_fails() {
-        return Err(io_err(path, injected_eio()));
+    if let FsyncFault::Error { transient } = faults.on_fsync() {
+        return Err(fault::injected_error(path, transient));
     }
     file.sync_data().map_err(|e| io_err(path, e))
 }
@@ -162,49 +138,6 @@ impl Poison {
     }
 }
 
-/// Where in the coalescing window an armed [`DEVICE_ABORT_ENV`] abort fires.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub(crate) enum AbortPoint {
-    /// After the batch's pwrites, before the shared fsync: no rider's bytes
-    /// are durable yet, so no rider may have been acked.
-    AfterPwrites,
-    /// After the fsync, before any rider wakes: bytes are durable but no
-    /// acknowledgment was produced (durable > acked is the legal direction).
-    AfterFsync,
-}
-
-pub(crate) struct ArmedAbort {
-    point: AbortPoint,
-    /// Remaining batches before the abort fires (1 = fire on the next batch).
-    countdown: AtomicU64,
-}
-
-impl ArmedAbort {
-    pub(crate) fn from_env() -> Option<ArmedAbort> {
-        let spec = std::env::var(DEVICE_ABORT_ENV).ok()?;
-        let (point, n) = spec.split_once(':')?;
-        let point = match point {
-            "after-pwrites" => AbortPoint::AfterPwrites,
-            "after-fsync" => AbortPoint::AfterFsync,
-            _ => return None,
-        };
-        let n: u64 = n.parse().ok()?;
-        Some(ArmedAbort {
-            point,
-            countdown: AtomicU64::new(n.max(1)),
-        })
-    }
-
-    /// Called at `point` once per batch; kills the process when the armed
-    /// batch is reached. `abort` (not `exit`) so no atexit flushing runs —
-    /// the closest in-process analogue of SIGKILL.
-    pub(crate) fn tick(&self, point: AbortPoint) {
-        if point == self.point && self.countdown.fetch_sub(1, Ordering::SeqCst) == 1 {
-            std::process::abort();
-        }
-    }
-}
-
 /// One queued fence: the rider's captured lines, already device-relative.
 struct FenceReq {
     base: u64,
@@ -223,8 +156,15 @@ struct GcState {
     completed: u64,
     /// A leader is currently draining a batch.
     leader_active: bool,
-    /// Set on the first IO failure; every incomplete fence fails with it.
+    /// Set on the first *permanent* IO failure; every incomplete fence fails
+    /// with it, forever (the device is poisoned).
     error: Option<NvmError>,
+    /// Highest batch id that failed *transiently* (injected fault with
+    /// recovery): its riders fail with `transient_error`, later batches
+    /// proceed normally.
+    failed_through: u64,
+    /// The error delivered to riders of transiently-failed batches.
+    transient_error: Option<NvmError>,
 }
 
 struct DeviceInner {
@@ -244,7 +184,6 @@ struct DeviceInner {
     faults: FaultPlan,
     window: Duration,
     max_riders: usize,
-    abort: Option<ArmedAbort>,
     /// Per-rider time from enqueue until its batch's IO starts
     /// ("device.queue_wait_ns") — the convoy component satellite 2 splits out
     /// of the fence timer.
@@ -376,6 +315,17 @@ impl PersistDevice {
         });
         inner.rider_arrived.notify_one();
         loop {
+            if my_batch <= gc.failed_through {
+                // This fence's batch failed transiently: its bytes never got
+                // their covering fsync, but the device itself recovered.
+                // Checked before `completed` — a later batch's success must
+                // not retroactively ack a failed one.
+                let e = gc.transient_error.clone().unwrap_or(NvmError::Io {
+                    path: inner.path.display().to_string(),
+                    message: "transient batch failure".to_string(),
+                });
+                return Err(e);
+            }
             if gc.completed >= my_batch {
                 return Ok(());
             }
@@ -427,14 +377,23 @@ impl PersistDevice {
         &self.inner.poison
     }
 
-    /// Test-only: fail the next `n` pwrites issued through this device.
+    /// Fail the next `n` pwrites issued through this device with a permanent
+    /// (poisoning) synthetic EIO — a thin wrapper over the device's
+    /// [`FaultPlan`].
     pub fn inject_pwrite_errors(&self, n: u32) {
-        self.inner.faults.inject_pwrite_errors(n);
+        self.inner.faults.fail_next_pwrites(n as u64);
     }
 
-    /// Test-only: fail the next `n` fsyncs issued through this device.
+    /// Fail the next `n` fsyncs issued through this device with a permanent
+    /// (poisoning) synthetic EIO.
     pub fn inject_fsync_errors(&self, n: u32) {
-        self.inner.faults.inject_fsync_errors(n);
+        self.inner.faults.fail_next_fsyncs(n as u64);
+    }
+
+    /// The fault plan every IO through this device consults (the first
+    /// opener's [`PmemConfig::fault_plan`]).
+    pub fn fault_plan(&self) -> &FaultPlan {
+        &self.inner.faults
     }
 }
 
@@ -466,6 +425,9 @@ impl DeviceInner {
             segments
         };
         let telemetry = &cfg.telemetry;
+        let faults = cfg.fault_plan.clone();
+        faults.bind_telemetry(telemetry);
+        faults.arm_abort_from_env();
         Ok(DeviceInner {
             file: Mutex::new(file),
             segments: Mutex::new(segments),
@@ -476,10 +438,9 @@ impl DeviceInner {
             rider_arrived: Condvar::new(),
             batch_done: Condvar::new(),
             poison: Poison::default(),
-            faults: FaultPlan::default(),
+            faults,
             window: cfg.coalesce_window,
             max_riders: cfg.coalesce_max_riders.max(1),
-            abort: ArmedAbort::from_env(),
             queue_wait_hist: telemetry.histogram("device.queue_wait_ns"),
             riders_hist: telemetry.histogram("device.riders_per_fsync"),
             fence_hist: telemetry.histogram("file.fence_ns"),
@@ -542,15 +503,11 @@ impl DeviceInner {
                 batch_id = gc.next_batch;
                 gc.next_batch += 1;
             }
-            if let Some(abort) = &self.abort {
-                abort.tick(AbortPoint::AfterPwrites);
-            }
+            self.faults.abort_tick(AbortPoint::AfterPwrites);
             let fsync_timer = self.fsync_hist.start_timer();
             sync_file(&file, &self.path, &self.faults)?;
             fsync_timer.stop();
-            if let Some(abort) = &self.abort {
-                abort.tick(AbortPoint::AfterFsync);
-            }
+            self.faults.abort_tick(AbortPoint::AfterFsync);
             Ok(())
         })();
         fence_timer.stop();
@@ -559,6 +516,12 @@ impl DeviceInner {
         let mut gc = self.gc.lock().unwrap();
         match result {
             Ok(()) => gc.completed = batch_id,
+            Err(e) if fault::error_is_transient(&e) => {
+                // Fail exactly this batch's riders; the device recovers and
+                // later batches commit normally.
+                gc.failed_through = gc.failed_through.max(batch_id);
+                gc.transient_error = Some(e);
+            }
             Err(e) => {
                 self.poison.set(&e);
                 gc.error = Some(e);

@@ -43,10 +43,9 @@
 
 use crate::armed::{ArmedCrash, ArmedKind};
 use crate::backend::PmemBackend;
-use crate::device::{
-    sync_file, write_lines_at, AbortPoint, ArmedAbort, FaultPlan, Line, PersistDevice, Poison,
-};
+use crate::device::{sync_file, write_lines_at, Line, PersistDevice, Poison};
 use crate::error::NvmError;
+use crate::fault::{self, AbortPoint, FaultPlan};
 use crate::layout::{line_range, PAddr, CACHE_LINE_SIZE};
 use crate::policy::{PmemConfig, WritebackPolicy};
 use crate::region::{CrashToken, CrashTrigger};
@@ -88,7 +87,6 @@ enum Store {
         /// The backing file; all IO seeks under this lock.
         file: Mutex<File>,
         poison: Poison,
-        faults: FaultPlan,
     },
     Device {
         device: PersistDevice,
@@ -125,9 +123,10 @@ pub struct FileBackend {
     /// Time spent waiting for the file lock before a fence's IO starts
     /// ("file.lock_wait_ns") — own-file mode's convoy component.
     lock_wait_hist: Histogram,
-    /// Kill-9 matrix arming ([`crate::DEVICE_ABORT_ENV`]) for own-file fences;
-    /// device-mode fences are armed on the shared [`PersistDevice`] instead.
-    abort: Option<ArmedAbort>,
+    /// The config's scheduled IO faults (and the [`crate::DEVICE_ABORT_ENV`]
+    /// abort shim), consulted by every own-file IO; device-mode fences consult
+    /// the shared [`PersistDevice`]'s plan instead.
+    faults: FaultPlan,
 }
 
 impl FileBackend {
@@ -230,6 +229,9 @@ impl FileBackend {
             WritebackPolicy::RandomEviction { seed, .. } => seed,
             _ => cfg.crash_seed ^ 0x9E3779B97F4A7C15,
         };
+        let faults = cfg.fault_plan.clone();
+        faults.bind_telemetry(&cfg.telemetry);
+        faults.arm_abort_from_env();
         FileBackend {
             path,
             store,
@@ -244,7 +246,7 @@ impl FileBackend {
             fence_hist: cfg.telemetry.histogram("file.fence_ns"),
             fsync_hist: cfg.telemetry.histogram("file.fsync_ns"),
             lock_wait_hist: cfg.telemetry.histogram("file.lock_wait_ns"),
-            abort: ArmedAbort::from_env(),
+            faults,
             cfg,
         }
     }
@@ -259,21 +261,28 @@ impl FileBackend {
         matches!(self.store, Store::Device { .. })
     }
 
-    /// Test-only: fail the next `n` pwrites with a synthetic EIO (own-file
-    /// mode; device mode injects on the [`PersistDevice`] instead).
+    /// Fail the next `n` pwrites with a permanent (poisoning) synthetic EIO —
+    /// a thin wrapper over the backend's [`FaultPlan`] (own-file mode injects
+    /// on this backend's plan, device mode on the shared device's).
     pub fn inject_pwrite_errors(&self, n: u32) {
         match &self.store {
-            Store::Own { faults, .. } => faults.inject_pwrite_errors(n),
+            Store::Own { .. } => self.faults.fail_next_pwrites(n as u64),
             Store::Device { device, .. } => device.inject_pwrite_errors(n),
         }
     }
 
-    /// Test-only: fail the next `n` fsyncs with a synthetic EIO.
+    /// Fail the next `n` fsyncs with a permanent (poisoning) synthetic EIO.
     pub fn inject_fsync_errors(&self, n: u32) {
         match &self.store {
-            Store::Own { faults, .. } => faults.inject_fsync_errors(n),
+            Store::Own { .. } => self.faults.fail_next_fsyncs(n as u64),
             Store::Device { device, .. } => device.inject_fsync_errors(n),
         }
+    }
+
+    /// The fault plan this backend's own-file IO consults (device-mode fences
+    /// consult [`PersistDevice::fault_plan`] instead).
+    pub fn fault_plan(&self) -> &FaultPlan {
+        &self.faults
     }
 
     fn poison(&self) -> &Poison {
@@ -294,21 +303,26 @@ impl FileBackend {
 
     /// Asynchronous write-back (eviction/eager policies): reaches the page
     /// cache, no fsync, no durability promise. On IO failure the lines simply
-    /// stay volatile — the error is remembered so the next fence surfaces it.
+    /// stay volatile — a permanent error is remembered so the next fence
+    /// surfaces it; a transient injected fault costs only this write-back.
     fn write_back(&self, lines: &[(u64, Line)]) {
         if lines.is_empty() {
             return;
         }
         let result = match &self.store {
-            Store::Own { file, faults, .. } => {
+            Store::Own { file, .. } => {
                 let mut file = file.lock();
-                write_lines_at(&mut file, &self.path, 0, lines, faults)
+                write_lines_at(&mut file, &self.path, 0, lines, &self.faults)
             }
             Store::Device { device, base } => device.write_now(*base, lines),
         };
         match result {
             Ok(()) => self.stats.record_writeback(lines.len() as u64),
-            Err(e) => self.poison().set(&e),
+            Err(e) => {
+                if !fault::error_is_transient(&e) {
+                    self.poison().set(&e);
+                }
+            }
         }
     }
 
@@ -326,38 +340,34 @@ impl FileBackend {
     /// (own-file mode), or a ride on the device's group commit.
     fn fence_io(&self, drained: Vec<(u64, Line)>) -> Result<(), NvmError> {
         match &self.store {
-            Store::Own {
-                file,
-                poison,
-                faults,
-            } => {
+            Store::Own { file, poison } => {
                 let lock_timer = self.lock_wait_hist.start_timer();
                 let mut file = file.lock();
                 lock_timer.stop();
                 let fence_timer = self.fence_hist.start_timer();
-                let result =
-                    write_lines_at(&mut file, &self.path, 0, &drained, faults).and_then(|_| {
-                        // Same abort points as the device's group commit, so
-                        // the kill-9 matrix can arm crashes inside the
+                let result = write_lines_at(&mut file, &self.path, 0, &drained, &self.faults)
+                    .and_then(|_| {
+                        // Same abort points as the device's group commit,
+                        // so the kill-9 matrix can arm crashes inside the
                         // pwrite→fsync window on private files too.
-                        if let Some(abort) = &self.abort {
-                            abort.tick(AbortPoint::AfterPwrites);
-                        }
-                        // The real durability barrier: the fence is not done
-                        // until the kernel confirms the data reached stable
-                        // storage.
+                        self.faults.abort_tick(AbortPoint::AfterPwrites);
+                        // The real durability barrier: the fence is not
+                        // done until the kernel confirms the data reached
+                        // stable storage.
                         let fsync_timer = self.fsync_hist.start_timer();
-                        let r = sync_file(&file, &self.path, faults);
+                        let r = sync_file(&file, &self.path, &self.faults);
                         fsync_timer.stop();
                         r?;
-                        if let Some(abort) = &self.abort {
-                            abort.tick(AbortPoint::AfterFsync);
-                        }
+                        self.faults.abort_tick(AbortPoint::AfterFsync);
                         Ok(())
                     });
                 fence_timer.stop();
                 if let Err(e) = &result {
-                    poison.set(e);
+                    // A transient injected fault fails this fence but not the
+                    // backend: the device "recovered", later fences succeed.
+                    if !fault::error_is_transient(e) {
+                        poison.set(e);
+                    }
                 }
                 result
             }
@@ -369,15 +379,17 @@ impl FileBackend {
     /// path (must not park on a possibly-poisoned commit queue).
     fn settle_now(&self, lines: &[(u64, Line)]) {
         let result = match &self.store {
-            Store::Own { file, faults, .. } => {
+            Store::Own { file, .. } => {
                 let mut file = file.lock();
-                write_lines_at(&mut file, &self.path, 0, lines, faults)
-                    .and_then(|_| sync_file(&file, &self.path, faults))
+                write_lines_at(&mut file, &self.path, 0, lines, &self.faults)
+                    .and_then(|_| sync_file(&file, &self.path, &self.faults))
             }
             Store::Device { device, base } => device.persist_now(*base, lines),
         };
         if let Err(e) = result {
-            self.poison().set(&e);
+            if !fault::error_is_transient(&e) {
+                self.poison().set(&e);
+            }
         }
     }
 }
@@ -387,7 +399,6 @@ impl Store {
         Store::Own {
             file: Mutex::new(file),
             poison: Poison::default(),
-            faults: FaultPlan::default(),
         }
     }
 }

@@ -48,6 +48,7 @@ mod cache;
 mod cell;
 mod device;
 mod error;
+mod fault;
 mod file;
 mod layout;
 mod policy;
@@ -60,6 +61,7 @@ pub use backend::{scratch_dir, BackendSpec, PmemBackend, ScratchDir};
 pub use cell::{PBytes, PU32, PU64};
 pub use device::{PersistDevice, DEVICE_ABORT_ENV};
 pub use error::NvmError;
+pub use fault::{error_is_transient, message_is_transient, FaultKind, FaultPlan, FaultRule};
 pub use file::FileBackend;
 pub use layout::{line_index, line_offset, line_range, PAddr, CACHE_LINE_SIZE};
 pub use policy::{PmemConfig, WritebackPolicy};

@@ -1,5 +1,6 @@
 //! Write-back policies and simulator configuration.
 
+use crate::fault::FaultPlan;
 use onll_telemetry::Telemetry;
 use std::time::Duration;
 
@@ -91,6 +92,12 @@ pub struct PmemConfig {
     /// Commit a device batch as soon as it holds this many riders, even if
     /// the coalescing window has not elapsed.
     pub coalesce_max_riders: usize,
+    /// Scheduled IO faults every backend built from this config honors (see
+    /// [`crate::FaultPlan`]). Empty by default — an empty plan costs one
+    /// relaxed atomic load per IO event. Clones share the schedule:
+    /// [`PmemConfig::partition`] hands all shards the same plan, so event
+    /// ordinals count process-wide IO.
+    pub fault_plan: FaultPlan,
 }
 
 impl Default for PmemConfig {
@@ -105,6 +112,7 @@ impl Default for PmemConfig {
             telemetry: Telemetry::disabled(),
             coalesce_window: Duration::ZERO,
             coalesce_max_riders: 64,
+            fault_plan: FaultPlan::default(),
         }
     }
 }
@@ -175,6 +183,14 @@ impl PmemConfig {
     /// Sets the rider count that commits a device batch early.
     pub fn coalesce_max_riders(mut self, riders: usize) -> Self {
         self.coalesce_max_riders = riders;
+        self
+    }
+
+    /// Installs a fault schedule (see [`crate::FaultPlan`]). The plan is
+    /// shared by reference: every backend built from this config — and from
+    /// its [`PmemConfig::partition`] clones — consults the same schedule.
+    pub fn fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.fault_plan = plan;
         self
     }
 

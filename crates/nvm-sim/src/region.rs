@@ -3,7 +3,9 @@
 use crate::armed::{ArmedCrash, ArmedKind};
 use crate::backend::PmemBackend;
 use crate::cache::{LineMap, ShardedMemory};
+use crate::device::Poison;
 use crate::error::NvmError;
+use crate::fault::{self, FsyncFault, PwriteFault};
 use crate::layout::{line_range, PAddr};
 use crate::policy::{PmemConfig, WritebackPolicy};
 use crate::stats::FenceStats;
@@ -82,6 +84,9 @@ pub struct NvmRegion {
     eviction_rng: Mutex<StdRng>,
     crash_rng: Mutex<StdRng>,
     crash_count: Mutex<u64>,
+    /// Set by a permanent injected fault: later fallible fences fail fast
+    /// with the original cause, mirroring the file backend's poisoning.
+    poison: Poison,
     /// Wall time of every persistent fence ("sim.fence_ns"); disabled handles
     /// when the config carries no sink.
     fence_hist: Histogram,
@@ -101,9 +106,11 @@ impl NvmRegion {
             WritebackPolicy::RandomEviction { seed, .. } => seed,
             _ => cfg.crash_seed ^ 0x9E3779B97F4A7C15,
         };
+        cfg.fault_plan.bind_telemetry(&cfg.telemetry);
         NvmRegion {
             eviction_rng: Mutex::new(StdRng::seed_from_u64(eviction_seed)),
             crash_rng: Mutex::new(StdRng::seed_from_u64(cfg.crash_seed)),
+            poison: Poison::default(),
             memory: ShardedMemory::new(),
             stats: FenceStats::new(),
             pending,
@@ -268,22 +275,80 @@ impl NvmRegion {
     /// host with fewer cores than worker threads still exhibits the modeled
     /// persistence concurrency; see [`PmemConfig::fence_penalty`].
     pub fn fence(&self) -> bool {
+        self.fence_checked()
+            .expect("sim fence hit an injected fault; use the fallible PmemBackend fence")
+    }
+
+    /// Fallible fence: like [`NvmRegion::fence`], but consults the configured
+    /// [`crate::FaultPlan`] the way the file backend does — the per-thread
+    /// drain counts as one pwrite event and one fsync event. A torn write
+    /// persists only a prefix of the pending lines (sorted by address, so the
+    /// prefix is seed-deterministic); permanent faults poison the region so
+    /// later fences fail fast with the original cause.
+    pub fn fence_checked(&self) -> Result<bool, NvmError> {
         if self.is_frozen() {
-            return false;
+            return Ok(false);
+        }
+        if let Some(e) = self.poison.get() {
+            return Err(e);
         }
         let slot = current_thread_slot();
         let fence_timer = self.fence_hist.start_timer();
+        let mut fault: Result<(), NvmError> = Ok(());
         let (persistent, lines) = {
             // Write-backs are applied while holding the (per-thread,
             // uncontended) pending lock; `flush` and `crash` take the same
             // pending-then-shard lock order.
             let mut pending = self.pending[slot].lock();
             let lines = pending.len() as u64;
-            for (line, contents) in pending.drain() {
-                self.memory.write_back(line, &contents);
+            if !self.cfg.fault_plan.is_armed() {
+                for (line, contents) in pending.drain() {
+                    self.memory.write_back(line, &contents);
+                }
+            } else {
+                // Deterministic order so a torn prefix is replayable from the
+                // plan's seed regardless of map iteration order.
+                let mut drained: Vec<_> = pending.drain().collect();
+                drained.sort_unstable_by_key(|(line, _)| *line);
+                let total = drained.len();
+                let keep = match self.cfg.fault_plan.on_pwrite(total) {
+                    PwriteFault::None => total,
+                    PwriteFault::Error { transient } => {
+                        fault = Err(fault::injected_error(
+                            std::path::Path::new("<sim>"),
+                            transient,
+                        ));
+                        0
+                    }
+                    PwriteFault::Torn { keep } => {
+                        fault = Err(fault::torn_error(
+                            std::path::Path::new("<sim>"),
+                            keep,
+                            total,
+                        ));
+                        keep
+                    }
+                };
+                for (line, contents) in drained.into_iter().take(keep) {
+                    self.memory.write_back(line, &contents);
+                }
+                if fault.is_ok() {
+                    if let FsyncFault::Error { transient } = self.cfg.fault_plan.on_fsync() {
+                        fault = Err(fault::injected_error(
+                            std::path::Path::new("<sim>"),
+                            transient,
+                        ));
+                    }
+                }
             }
             (lines > 0, lines)
         };
+        if let Err(e) = fault {
+            if !fault::error_is_transient(&e) {
+                self.poison.set(&e);
+            }
+            return Err(e);
+        }
         self.stats.record_fence(persistent, lines);
         if persistent && !self.cfg.fence_penalty.is_zero() {
             let wpq_timer = self.wpq_hist.start_timer();
@@ -295,7 +360,7 @@ impl NvmRegion {
             fence_timer.stop();
         }
         self.tick_armed(ArmedKind::Fences);
-        persistent
+        Ok(persistent)
     }
 
     /// Convenience: write, flush and fence in one call (a "persist" of `data`).
@@ -410,9 +475,11 @@ impl PmemBackend for NvmRegion {
     }
 
     fn fence(&self) -> Result<bool, NvmError> {
-        // The simulator has no IO to fail: its fence is infallible, and the
-        // inherent method keeps the plain-bool signature for direct users.
-        Ok(NvmRegion::fence(self))
+        // The simulator has no real IO, but it honors injected faults: the
+        // fallible path consults the configured `FaultPlan`. The inherent
+        // `fence` keeps the plain-bool signature for direct users (and panics
+        // if a fault strikes, pointing them here).
+        NvmRegion::fence_checked(self)
     }
 
     fn crash(&self) -> CrashToken {

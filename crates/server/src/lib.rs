@@ -25,12 +25,18 @@
 //! Split:
 //! * [`wire`] — frame codec shared by both ends (no I/O of its own beyond
 //!   `Read`/`Write`).
-//! * [`server`] — the accept loop and per-connection handlers.
-//! * [`client`] — a blocking client used by the load generator and tests.
+//! * [`server`] — the accept loop, per-connection handlers, and graceful
+//!   degradation (admission control, idle timeouts, SIGTERM drain, per-shard
+//!   degraded mode, panic containment).
+//! * [`client`] — a blocking client used by the load generator and tests,
+//!   plus [`client::ResilientSession`]: the reconnect / resolve / replay loop
+//!   under a deadline-and-backoff [`client::RetryPolicy`].
 
 pub mod client;
 pub mod server;
 pub mod wire;
 
-pub use client::{RetryOutcome, WireClient};
-pub use server::{OnllServer, ServerConfig};
+pub use client::{ClientError, ResilientSession, RetryOutcome, RetryPolicy, WireClient};
+pub use server::{
+    install_sigterm_handler, OnllServer, ServerConfig, ServerHealth, TEST_PANIC_KEY_ENV,
+};

@@ -1,14 +1,55 @@
-//! The accept loop and per-connection handlers.
+//! The accept loop, per-connection handlers, and graceful degradation.
+//!
+//! Robustness contract (exercised by `tests/chaos.rs`):
+//!
+//! * **Admission control** — beyond [`ServerConfig::max_connections`] live
+//!   connections, an accept is answered with one typed [`Reply::Busy`] frame
+//!   and closed. The client backs off and retries; no handler thread is
+//!   spawned for rejected connections.
+//! * **Idle timeouts** — a connection that sends nothing for
+//!   [`ServerConfig::idle_timeout`] is reaped, freeing its session slot for a
+//!   reconnect. Timeouts are counted in `STATS` and in the
+//!   `server.timeouts` telemetry counter.
+//! * **Graceful shutdown** — on SIGTERM (see [`install_sigterm_handler`]) the
+//!   accept loop stops, handlers finish their in-flight request and close,
+//!   in-flight combiner batches drain, and each shard publishes a final
+//!   checkpoint before [`OnllServer::serve`] returns `Ok(())`. Every reply
+//!   written before shutdown remains durable.
+//! * **Degraded mode** — when a shard's backend is poisoned (a permanent
+//!   injected or real IO error), writes routed to it fail fast with
+//!   [`Reply::Unavailable`] while reads keep serving from memory. `STATS`
+//!   reports the degraded shard count so supervisors can observe partial
+//!   health. Transient injected faults do *not* degrade the shard; they
+//!   surface as retryable errors.
+//! * **Panic containment** — a panicking handler thread takes down its own
+//!   connection only: the panic is caught, a typed retryable error frame is
+//!   sent if the socket still writes, and the slot is freed.
 
 use crate::wire::{self, Reply, Request, WireError, WireResolved};
 use durable_objects::{KvOp, KvRead, KvSpec};
-use nvm_sim::{BackendSpec, PmemConfig};
+use nvm_sim::{BackendSpec, Counter, FaultPlan, PmemConfig, Telemetry};
 use onll::{OnllConfig, OnllError, ResolveOutcome};
 use onll_shard::{HashRouter, ShardConfig, ShardedDurable, ShardedService};
 use std::io::BufWriter;
 use std::net::{TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
-use std::sync::Arc;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// Environment variable naming a poison-pill key: a `Put`/`Delete`/`Get` on
+/// exactly this key panics the handling thread. Only for exercising panic
+/// containment in tests — release builds keep the hook because the chaos
+/// harness drives the release binary.
+pub const TEST_PANIC_KEY_ENV: &str = "ONLL_TEST_PANIC_KEY";
+
+/// How long a blocked reply write may stall before the connection is dropped
+/// (a client that stops draining its socket must not pin a handler forever).
+const WRITE_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// Granularity of the idle/shutdown poll in the per-connection read loop.
+const POLL_QUANTUM: Duration = Duration::from_millis(25);
 
 /// Configuration of an [`OnllServer`]'s file-backed sharded store.
 #[derive(Debug, Clone)]
@@ -24,6 +65,20 @@ pub struct ServerConfig {
     pub log_capacity: usize,
     /// Simulated NVM capacity split across the shard pools.
     pub pmem_bytes: u64,
+    /// Admission cap: accepts beyond this many live connections are answered
+    /// with [`Reply::Busy`] and closed. Defaults to `max_clients + 2` (every
+    /// session plus monitoring headroom).
+    pub max_connections: usize,
+    /// A connection idle (no request bytes) for this long is reaped and its
+    /// session slot freed.
+    pub idle_timeout: Duration,
+    /// Scheduled IO faults installed into every shard pool (see
+    /// [`FaultPlan`]). Empty by default.
+    pub fault_plan: FaultPlan,
+    /// Metric sink shared by the shard pools and the server's own
+    /// `server.timeouts` / `server.busy_rejects` counters. Disabled by
+    /// default.
+    pub telemetry: Telemetry,
 }
 
 impl ServerConfig {
@@ -40,6 +95,10 @@ impl ServerConfig {
             max_clients: 8,
             log_capacity: 1024,
             pmem_bytes: 256 << 20,
+            max_connections: 10,
+            idle_timeout: Duration::from_secs(60),
+            fault_plan: FaultPlan::default(),
+            telemetry: Telemetry::disabled(),
         }
     }
 
@@ -64,8 +123,153 @@ impl ServerConfig {
         ShardConfig::named("server-kv")
             .shards(self.shards)
             .base(base)
-            .pmem(PmemConfig::with_capacity(self.pmem_bytes))
+            .pmem(
+                PmemConfig::with_capacity(self.pmem_bytes)
+                    .fault_plan(self.fault_plan.clone())
+                    .telemetry(self.telemetry.clone()),
+            )
             .backend(BackendSpec::file(&self.dir))
+    }
+}
+
+/// Process-global SIGTERM latch, set by the handler installed with
+/// [`install_sigterm_handler`] and polled by every [`OnllServer::serve`] loop.
+static SIGTERM: AtomicBool = AtomicBool::new(false);
+
+extern "C" fn sigterm_handler(_signum: i32) {
+    // Only async-signal-safe work here: a single atomic store.
+    SIGTERM.store(true, Ordering::SeqCst);
+}
+
+/// Installs a SIGTERM handler that requests graceful shutdown of every
+/// [`OnllServer::serve`] loop in the process: stop accepting, finish in-flight
+/// requests, drain combiner batches, publish a final checkpoint, return
+/// `Ok(())`.
+pub fn install_sigterm_handler() {
+    extern "C" {
+        fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+    }
+    const SIGTERM_NUM: i32 = 15;
+    unsafe {
+        signal(SIGTERM_NUM, sigterm_handler);
+    }
+}
+
+/// True once SIGTERM has been observed (diagnostics; `serve` polls this).
+pub fn sigterm_received() -> bool {
+    SIGTERM.load(Ordering::SeqCst)
+}
+
+/// Shared liveness/degradation state: connection accounting, health counters,
+/// and the per-shard degraded latches.
+pub struct ServerHealth {
+    shutdown: AtomicBool,
+    drained: AtomicBool,
+    active: AtomicUsize,
+    timeouts: AtomicU64,
+    busy_rejects: AtomicU64,
+    degraded: Box<[AtomicBool]>,
+    timeout_counter: Counter,
+    busy_counter: Counter,
+}
+
+impl ServerHealth {
+    fn new(shards: usize, telemetry: &Telemetry) -> Self {
+        ServerHealth {
+            shutdown: AtomicBool::new(false),
+            drained: AtomicBool::new(false),
+            active: AtomicUsize::new(0),
+            timeouts: AtomicU64::new(0),
+            busy_rejects: AtomicU64::new(0),
+            degraded: (0..shards).map(|_| AtomicBool::new(false)).collect(),
+            timeout_counter: telemetry.counter("server.timeouts"),
+            busy_counter: telemetry.counter("server.busy_rejects"),
+        }
+    }
+
+    /// Asks every serve loop and handler to wind down (same effect as
+    /// SIGTERM, callable in-process).
+    pub fn request_shutdown(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+    }
+
+    /// True once shutdown has been requested (by SIGTERM or in-process).
+    pub fn shutdown_requested(&self) -> bool {
+        self.shutdown.load(Ordering::SeqCst) || sigterm_received()
+    }
+
+    fn mark_drained(&self) {
+        self.drained.store(true, Ordering::SeqCst);
+    }
+
+    fn is_drained(&self) -> bool {
+        self.drained.load(Ordering::SeqCst)
+    }
+
+    /// Live connection count.
+    pub fn active_connections(&self) -> usize {
+        self.active.load(Ordering::SeqCst)
+    }
+
+    /// Connections reaped for idling past the timeout.
+    pub fn timeouts(&self) -> u64 {
+        self.timeouts.load(Ordering::SeqCst)
+    }
+
+    /// Connections refused with [`Reply::Busy`].
+    pub fn busy_rejects(&self) -> u64 {
+        self.busy_rejects.load(Ordering::SeqCst)
+    }
+
+    /// Marks `shard` degraded: its backend refused a write with a permanent
+    /// error; subsequent writes fail fast with [`Reply::Unavailable`].
+    pub fn mark_degraded(&self, shard: usize) {
+        if let Some(flag) = self.degraded.get(shard) {
+            flag.store(true, Ordering::SeqCst);
+        }
+    }
+
+    /// True if `shard`'s backend is poisoned.
+    pub fn is_degraded(&self, shard: usize) -> bool {
+        self.degraded
+            .get(shard)
+            .is_some_and(|f| f.load(Ordering::SeqCst))
+    }
+
+    /// Number of currently degraded shards.
+    pub fn degraded_shards(&self) -> u32 {
+        self.degraded
+            .iter()
+            .filter(|f| f.load(Ordering::SeqCst))
+            .count() as u32
+    }
+
+    fn try_admit(&self, cap: usize) -> bool {
+        self.active
+            .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |n| {
+                (n < cap).then_some(n + 1)
+            })
+            .is_ok()
+    }
+
+    fn note_timeout(&self) {
+        self.timeouts.fetch_add(1, Ordering::SeqCst);
+        self.timeout_counter.incr();
+    }
+
+    fn note_busy(&self) {
+        self.busy_rejects.fetch_add(1, Ordering::SeqCst);
+        self.busy_counter.incr();
+    }
+}
+
+/// Decrements the live-connection count when the handler exits — including by
+/// panic, so a contained panic cannot leak its admission slot.
+struct ConnectionGuard(Arc<ServerHealth>);
+
+impl Drop for ConnectionGuard {
+    fn drop(&mut self) {
+        self.0.active.fetch_sub(1, Ordering::SeqCst);
     }
 }
 
@@ -77,6 +281,9 @@ pub struct OnllServer {
     store: ShardedDurable<KvSpec>,
     service: ShardedService<KvSpec>,
     config: ServerConfig,
+    health: Arc<ServerHealth>,
+    checkpointers: Mutex<Vec<std::thread::JoinHandle<()>>>,
+    panic_key: Option<String>,
 }
 
 impl OnllServer {
@@ -86,10 +293,11 @@ impl OnllServer {
     /// Opening claims pid 0 of every shard for its combiner (the service is
     /// opened before anything else registers, so session slot `index` always
     /// maps to pid `index + 1`) and spawns one background checkpoint thread
-    /// per shard on the slot above all sessions. The threads are detached:
-    /// the store's compaction lives exactly as long as the server process,
-    /// and a kill-9 mid-checkpoint is just another crash the recovery path
-    /// already handles (torn checkpoints fall back to the previous slot).
+    /// per shard on the slot above all sessions. The threads run for the life
+    /// of the server; a graceful shutdown joins them after a final sync and
+    /// checkpoint, while a kill-9 mid-checkpoint is just another crash the
+    /// recovery path already handles (torn checkpoints fall back to the
+    /// previous slot).
     pub fn open(config: ServerConfig) -> Result<(Self, u64), OnllError> {
         let shard_config = config.shard_config();
         let router = Arc::new(HashRouter::new(config.shards));
@@ -111,9 +319,12 @@ impl OnllServer {
             (ShardedDurable::create(shard_config, router)?, 0)
         };
         let service = store.service(config.max_clients)?;
+        let health = Arc::new(ServerHealth::new(store.num_shards(), &config.telemetry));
+        let mut checkpointers = Vec::with_capacity(store.num_shards());
         for shard in 0..store.num_shards() {
             let mut handle = store.shard(shard).handle_for(config.checkpointer_pid())?;
-            std::thread::spawn(move || loop {
+            let health = health.clone();
+            checkpointers.push(std::thread::spawn(move || loop {
                 handle.sync();
                 if handle.should_checkpoint() {
                     // A failing checkpoint (state outgrew the slot) stops
@@ -122,14 +333,27 @@ impl OnllServer {
                         eprintln!("shard {shard} checkpoint failed: {e}");
                     }
                 }
-                std::thread::sleep(std::time::Duration::from_millis(25));
-            });
+                if health.is_drained() {
+                    // Graceful shutdown: every handler has exited, so this
+                    // sync sees the final state; publish it and stop.
+                    handle.sync();
+                    if let Err(e) = handle.checkpoint() {
+                        eprintln!("shard {shard} final checkpoint failed: {e}");
+                    }
+                    return;
+                }
+                std::thread::sleep(Duration::from_millis(25));
+            }));
         }
+        let panic_key = std::env::var(TEST_PANIC_KEY_ENV).ok();
         Ok((
             OnllServer {
                 store,
                 service,
                 config,
+                health,
+                checkpointers: Mutex::new(checkpointers),
+                panic_key,
             },
             recovered,
         ))
@@ -145,26 +369,108 @@ impl OnllServer {
         &self.service
     }
 
-    /// Accepts connections forever, one handler thread per connection. Only
-    /// returns if the listener itself fails.
-    pub fn serve(&self, listener: TcpListener) -> std::io::Error {
-        loop {
+    /// Connection accounting and degradation state.
+    pub fn health(&self) -> &Arc<ServerHealth> {
+        &self.health
+    }
+
+    /// Accepts connections until shutdown is requested (SIGTERM or
+    /// [`ServerHealth::request_shutdown`]), one handler thread per admitted
+    /// connection. On shutdown: stops accepting, waits for handlers to finish
+    /// their in-flight requests (bounded), lets every shard publish a final
+    /// checkpoint, and returns `Ok(())`. Returns `Err` only if the listener
+    /// itself fails.
+    pub fn serve(&self, listener: TcpListener) -> std::io::Result<()> {
+        listener.set_nonblocking(true)?;
+        while !self.health.shutdown_requested() {
             match listener.accept() {
-                Ok((stream, _)) => {
-                    let service = self.service.clone();
-                    let store = self.store.clone();
-                    std::thread::spawn(move || {
-                        let _ = handle_connection(stream, &service, &store);
-                    });
+                Ok((stream, _)) => self.admit(stream),
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(Duration::from_millis(5));
                 }
-                Err(e) => return e,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(e),
             }
         }
+        drop(listener);
+        // Handlers observe the shutdown flag within one poll quantum and exit
+        // after their current request; in-flight combiner batches complete
+        // because every submitted rider blocks until its fence. The deadline
+        // only guards against a handler wedged in a blocked write.
+        let deadline = Instant::now() + WRITE_TIMEOUT;
+        while self.health.active_connections() > 0 && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        self.health.mark_drained();
+        let checkpointers = {
+            let mut guard = self.checkpointers.lock().unwrap_or_else(|p| p.into_inner());
+            std::mem::take(&mut *guard)
+        };
+        for handle in checkpointers {
+            let _ = handle.join();
+        }
+        Ok(())
+    }
+
+    fn admit(&self, stream: TcpStream) {
+        if !self.health.try_admit(self.config.max_connections) {
+            self.health.note_busy();
+            stream.set_nodelay(true).ok();
+            stream.set_write_timeout(Some(WRITE_TIMEOUT)).ok();
+            let mut writer = BufWriter::new(stream);
+            let _ = wire::write_reply(&mut writer, &Reply::Busy);
+            return;
+        }
+        let service = self.service.clone();
+        let store = self.store.clone();
+        let health = self.health.clone();
+        let idle_timeout = self.config.idle_timeout;
+        let panic_key = self.panic_key.clone();
+        std::thread::spawn(move || {
+            let _guard = ConnectionGuard(health.clone());
+            // Kept outside the handler so a contained panic can still answer
+            // with a typed frame on the (possibly) live socket.
+            let panic_stream = stream.try_clone().ok();
+            let result = catch_unwind(AssertUnwindSafe(|| {
+                handle_connection(
+                    stream,
+                    &service,
+                    &store,
+                    &health,
+                    idle_timeout,
+                    panic_key.as_deref(),
+                )
+            }));
+            if let Err(panic) = result {
+                let message = panic_message(panic.as_ref());
+                eprintln!("connection handler panicked (contained): {message}");
+                if let Some(stream) = panic_stream {
+                    let mut writer = BufWriter::new(stream);
+                    let _ = wire::write_reply(
+                        &mut writer,
+                        &Reply::Error {
+                            retryable: true,
+                            message: format!("internal error: handler panicked: {message}"),
+                        },
+                    );
+                }
+            }
+        });
     }
 
     /// The server's configuration.
     pub fn config(&self) -> &ServerConfig {
         &self.config
+    }
+}
+
+fn panic_message(panic: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = panic.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = panic.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
     }
 }
 
@@ -185,7 +491,30 @@ fn error_reply(e: &OnllError) -> Reply {
     }
 }
 
-fn stats_reply(store: &ShardedDurable<KvSpec>, service: &ShardedService<KvSpec>) -> Reply {
+/// Maps a failed update submission to its wire reply, latching the shard
+/// degraded on permanent backend errors. Transient injected faults stay
+/// retryable errors: the backend is healthy again on the next fence.
+fn submit_error_reply(e: &OnllError, shard: usize, health: &ServerHealth) -> Reply {
+    if let OnllError::Nvm(message) = e {
+        if nvm_sim::message_is_transient(message) {
+            return Reply::Error {
+                retryable: true,
+                message: message.clone(),
+            };
+        }
+        health.mark_degraded(shard);
+        return Reply::Unavailable {
+            message: message.clone(),
+        };
+    }
+    error_reply(e)
+}
+
+fn stats_reply(
+    store: &ShardedDurable<KvSpec>,
+    service: &ShardedService<KvSpec>,
+    health: &ServerHealth,
+) -> Reply {
     let stats = store.merged_stats();
     let (batches, combined_ops) = service.batch_stats();
     Reply::StatsOk {
@@ -193,6 +522,79 @@ fn stats_reply(store: &ShardedDurable<KvSpec>, service: &ShardedService<KvSpec>)
         maintenance_fences: stats.maintenance_fences,
         batches,
         combined_ops,
+        timeouts: health.timeouts(),
+        busy_rejects: health.busy_rejects(),
+        degraded_shards: health.degraded_shards(),
+    }
+}
+
+/// Outcome of waiting for the next request on a connection.
+enum NextRequest {
+    /// A complete request frame arrived.
+    Request(Request),
+    /// The peer closed the connection (clean EOF).
+    Disconnected,
+    /// Graceful shutdown was requested; finish without reading more.
+    Shutdown,
+    /// The connection idled past the timeout and must be reaped.
+    IdleTimeout,
+}
+
+/// Polls for the next request in [`POLL_QUANTUM`] slices so the handler can
+/// observe shutdown and enforce the idle timeout without losing bytes: the
+/// poll uses `peek`, and only once the frame's first byte has arrived does the
+/// blocking `read_request` run (with the socket timeout widened to the idle
+/// budget, so a slow-but-live peer can finish its frame).
+fn next_request(
+    reader: &mut TcpStream,
+    idle_timeout: Duration,
+    health: &ServerHealth,
+) -> Result<NextRequest, WireError> {
+    reader
+        .set_read_timeout(Some(POLL_QUANTUM))
+        .map_err(WireError::Io)?;
+    let mut idle = Duration::ZERO;
+    let mut probe = [0u8; 1];
+    loop {
+        if health.shutdown_requested() {
+            return Ok(NextRequest::Shutdown);
+        }
+        match reader.peek(&mut probe) {
+            Ok(0) => return Ok(NextRequest::Disconnected),
+            Ok(_) => break,
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                idle += POLL_QUANTUM;
+                if idle >= idle_timeout {
+                    return Ok(NextRequest::IdleTimeout);
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(WireError::Io(e)),
+        }
+    }
+    reader
+        .set_read_timeout(Some(idle_timeout.max(Duration::from_secs(1))))
+        .map_err(WireError::Io)?;
+    match wire::read_request(reader) {
+        Ok(request) => Ok(NextRequest::Request(request)),
+        Err(WireError::Io(e)) if e.kind() == std::io::ErrorKind::UnexpectedEof => {
+            Ok(NextRequest::Disconnected)
+        }
+        Err(WireError::Io(e))
+            if matches!(
+                e.kind(),
+                std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+            ) =>
+        {
+            // Stalled mid-frame for the whole idle budget: reap it.
+            Ok(NextRequest::IdleTimeout)
+        }
+        Err(e) => Err(e),
     }
 }
 
@@ -203,61 +605,106 @@ fn handle_connection(
     stream: TcpStream,
     service: &ShardedService<KvSpec>,
     store: &ShardedDurable<KvSpec>,
+    health: &ServerHealth,
+    idle_timeout: Duration,
+    panic_key: Option<&str>,
 ) -> Result<(), WireError> {
     stream.set_nodelay(true).ok();
+    stream.set_write_timeout(Some(WRITE_TIMEOUT)).ok();
     let mut reader = stream.try_clone()?;
     let mut writer = BufWriter::new(stream);
+
+    let poison_pill = |key: &str| {
+        if panic_key == Some(key) {
+            panic!("poison-pill key {key:?} ({TEST_PANIC_KEY_ENV})");
+        }
+    };
 
     // Session setup: claim the deterministic slot named by HELLO. Stats and
     // pings are allowed pre-HELLO (monitoring needs no identity).
     let mut client = loop {
-        match read_request(&mut reader)? {
-            Some(Request::Hello { index }) => match service.client_for(index as usize) {
-                Ok(mut client) => {
-                    let next_seqs: Vec<u64> = (0..service.num_shards())
-                        .map(|s| client.shard_client(s).peek_next_op_id().seq)
-                        .collect();
-                    wire::write_reply(&mut writer, &Reply::HelloOk { next_seqs })?;
-                    break client;
+        match next_request(&mut reader, idle_timeout, health)? {
+            NextRequest::Request(Request::Hello { index }) => {
+                match service.client_for(index as usize) {
+                    Ok(mut client) => {
+                        let next_seqs: Vec<u64> = (0..service.num_shards())
+                            .map(|s| client.shard_client(s).peek_next_op_id().seq)
+                            .collect();
+                        wire::write_reply(&mut writer, &Reply::HelloOk { next_seqs })?;
+                        break client;
+                    }
+                    // The slot may still be held by a dying predecessor
+                    // connection; the client retries HELLO after a backoff.
+                    Err(e) => wire::write_reply(&mut writer, &error_reply(&e))?,
                 }
-                // The slot may still be held by a dying predecessor
-                // connection; the client retries HELLO after a backoff.
-                Err(e) => wire::write_reply(&mut writer, &error_reply(&e))?,
-            },
-            Some(Request::Stats) => wire::write_reply(&mut writer, &stats_reply(store, service))?,
-            Some(Request::Ping) => wire::write_reply(&mut writer, &Reply::Pong)?,
-            Some(_) => wire::write_reply(
+            }
+            NextRequest::Request(Request::Stats) => {
+                wire::write_reply(&mut writer, &stats_reply(store, service, health))?
+            }
+            NextRequest::Request(Request::Ping) => wire::write_reply(&mut writer, &Reply::Pong)?,
+            NextRequest::Request(_) => wire::write_reply(
                 &mut writer,
                 &Reply::Error {
                     retryable: false,
                     message: "first request must be HELLO".into(),
                 },
             )?,
-            None => return Ok(()),
+            NextRequest::Disconnected | NextRequest::Shutdown => return Ok(()),
+            NextRequest::IdleTimeout => {
+                health.note_timeout();
+                return Ok(());
+            }
         }
     };
 
-    while let Some(request) = read_request(&mut reader)? {
+    loop {
+        let request = match next_request(&mut reader, idle_timeout, health)? {
+            NextRequest::Request(request) => request,
+            NextRequest::Disconnected | NextRequest::Shutdown => return Ok(()),
+            NextRequest::IdleTimeout => {
+                health.note_timeout();
+                return Ok(());
+            }
+        };
         let reply = match request {
             Request::Put { op_id, key, value } => {
-                match client.submit_routed_with_id(op_id, KvOp::Put(key, value)) {
-                    Ok((value, shard, _)) => Reply::Value {
-                        shard: shard as u32,
-                        value,
-                    },
-                    Err(e) => error_reply(&e),
+                poison_pill(&key);
+                let shard = client.shard_of(&key);
+                if health.is_degraded(shard) {
+                    Reply::Unavailable {
+                        message: format!("shard {shard} degraded: backend poisoned"),
+                    }
+                } else {
+                    match client.submit_routed_with_id(op_id, KvOp::Put(key, value)) {
+                        Ok((value, shard, _)) => Reply::Value {
+                            shard: shard as u32,
+                            value,
+                        },
+                        Err(e) => submit_error_reply(&e, shard, health),
+                    }
                 }
             }
             Request::Delete { op_id, key } => {
-                match client.submit_routed_with_id(op_id, KvOp::Delete(key)) {
-                    Ok((value, shard, _)) => Reply::Value {
-                        shard: shard as u32,
-                        value,
-                    },
-                    Err(e) => error_reply(&e),
+                poison_pill(&key);
+                let shard = client.shard_of(&key);
+                if health.is_degraded(shard) {
+                    Reply::Unavailable {
+                        message: format!("shard {shard} degraded: backend poisoned"),
+                    }
+                } else {
+                    match client.submit_routed_with_id(op_id, KvOp::Delete(key)) {
+                        Ok((value, shard, _)) => Reply::Value {
+                            shard: shard as u32,
+                            value,
+                        },
+                        Err(e) => submit_error_reply(&e, shard, health),
+                    }
                 }
             }
             Request::Get { key } => {
+                // Reads serve from memory even on a degraded shard: a
+                // poisoned backend loses durability, not state.
+                poison_pill(&key);
                 let shard = client.shard_of(&key) as u32;
                 Reply::Value {
                     shard,
@@ -281,7 +728,7 @@ fn handle_connection(
                     })
                 }
             }
-            Request::Stats => stats_reply(store, service),
+            Request::Stats => stats_reply(store, service, health),
             Request::Ping => Reply::Pong,
             Request::Hello { .. } => Reply::Error {
                 retryable: false,
@@ -289,15 +736,5 @@ fn handle_connection(
             },
         };
         wire::write_reply(&mut writer, &reply)?;
-    }
-    Ok(())
-}
-
-/// Reads one request, mapping a clean peer disconnect to `None`.
-fn read_request(reader: &mut TcpStream) -> Result<Option<Request>, WireError> {
-    match wire::read_request(reader) {
-        Ok(request) => Ok(Some(request)),
-        Err(WireError::Io(e)) if e.kind() == std::io::ErrorKind::UnexpectedEof => Ok(None),
-        Err(e) => Err(e),
     }
 }

@@ -51,6 +51,8 @@ const KIND_RESOLVED: u8 = 0x83;
 const KIND_STATS_OK: u8 = 0x84;
 const KIND_ERROR: u8 = 0x85;
 const KIND_PONG: u8 = 0x86;
+const KIND_BUSY: u8 = 0x87;
+const KIND_UNAVAILABLE: u8 = 0x88;
 
 /// Client-to-server messages.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -128,7 +130,9 @@ pub enum Reply {
     },
     /// Answer to [`Request::Resolve`].
     Resolved(WireResolved),
-    /// Persistence counters, summed across every shard pool.
+    /// Persistence counters, summed across every shard pool, plus the
+    /// server's degradation health (timeout reaps, admission rejects, and the
+    /// number of shards whose backend is poisoned).
     StatsOk {
         /// Persistent fences issued so far (setup + updates + maintenance).
         persistent_fences: u64,
@@ -138,6 +142,13 @@ pub enum Reply {
         batches: u64,
         /// Operations those batches carried.
         combined_ops: u64,
+        /// Connections reaped for exceeding the idle timeout.
+        timeouts: u64,
+        /// Connections refused with [`Reply::Busy`] at admission.
+        busy_rejects: u64,
+        /// Shards currently degraded (backend poisoned; writes fail, reads
+        /// keep serving). Zero on a healthy server.
+        degraded_shards: u32,
     },
     /// The request failed. Retryable errors may be retried on a fresh
     /// connection (after resolving in-flight identities); permanent errors
@@ -150,6 +161,18 @@ pub enum Reply {
     },
     /// Answer to [`Request::Ping`].
     Pong,
+    /// Admission control: the server is at `max_connections` and refuses this
+    /// session. Sent once, immediately after accept, before any request is
+    /// read; the connection is then closed. Retryable after backoff.
+    Busy,
+    /// The target shard's backend is poisoned: writes cannot be made durable.
+    /// Reads keep serving from memory. Retryable only in the sense that a
+    /// restarted (recovered) server may accept the operation; within one
+    /// server incarnation the condition is permanent.
+    Unavailable {
+        /// Human-readable cause (the poisoning error).
+        message: String,
+    },
 }
 
 /// Errors of the codec itself (I/O, malformed frames).
@@ -364,11 +387,22 @@ impl Reply {
                 maintenance_fences,
                 batches,
                 combined_ops,
+                timeouts,
+                busy_rejects,
+                degraded_shards,
             } => {
                 buf.push(KIND_STATS_OK);
-                for v in [persistent_fences, maintenance_fences, batches, combined_ops] {
+                for v in [
+                    persistent_fences,
+                    maintenance_fences,
+                    batches,
+                    combined_ops,
+                    timeouts,
+                    busy_rejects,
+                ] {
                     buf.extend_from_slice(&v.to_le_bytes());
                 }
+                buf.extend_from_slice(&degraded_shards.to_le_bytes());
             }
             Reply::Error { retryable, message } => {
                 buf.push(KIND_ERROR);
@@ -376,6 +410,11 @@ impl Reply {
                 put_str(buf, &truncate_message(message));
             }
             Reply::Pong => buf.push(KIND_PONG),
+            Reply::Busy => buf.push(KIND_BUSY),
+            Reply::Unavailable { message } => {
+                buf.push(KIND_UNAVAILABLE);
+                put_str(buf, &truncate_message(message));
+            }
         }
     }
 
@@ -407,12 +446,19 @@ impl Reply {
                 maintenance_fences: take_u64(bytes)?,
                 batches: take_u64(bytes)?,
                 combined_ops: take_u64(bytes)?,
+                timeouts: take_u64(bytes)?,
+                busy_rejects: take_u64(bytes)?,
+                degraded_shards: take_u32(bytes)?,
             }),
             KIND_ERROR => Ok(Reply::Error {
                 retryable: take_u8(bytes)? != 0,
                 message: take_str(bytes)?,
             }),
             KIND_PONG => Ok(Reply::Pong),
+            KIND_BUSY => Ok(Reply::Busy),
+            KIND_UNAVAILABLE => Ok(Reply::Unavailable {
+                message: take_str(bytes)?,
+            }),
             other => Err(bad(format!("unknown reply kind {other:#04x}"))),
         }
     }
@@ -570,12 +616,19 @@ mod tests {
             maintenance_fences: 2,
             batches: 3,
             combined_ops: 9,
+            timeouts: 1,
+            busy_rejects: 4,
+            degraded_shards: 2,
         });
         roundtrip_reply(Reply::Error {
             retryable: false,
             message: "nope".into(),
         });
         roundtrip_reply(Reply::Pong);
+        roundtrip_reply(Reply::Busy);
+        roundtrip_reply(Reply::Unavailable {
+            message: "shard 1 poisoned: injected EIO".into(),
+        });
     }
 
     #[test]

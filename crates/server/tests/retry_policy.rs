@@ -1,0 +1,141 @@
+//! Properties of the client retry/backoff policy: every delay respects the
+//! cap, the schedule is a pure function of `(policy, attempt)` (chaos runs
+//! replay from a printed seed), jitter stays inside the documented
+//! half-to-full band, and the retryable/permanent split of `ClientError`
+//! matches the wire contract.
+
+use onll_server::wire::WireError;
+use onll_server::{ClientError, RetryPolicy};
+use proptest::prelude::*;
+use std::time::Duration;
+
+fn policy(base_us: u64, max_us: u64, deadline_ms: u64, seed: u64) -> RetryPolicy {
+    RetryPolicy {
+        deadline: Duration::from_millis(deadline_ms),
+        base_delay: Duration::from_micros(base_us),
+        max_delay: Duration::from_micros(max_us),
+        seed,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// No delay ever exceeds `max_delay`, for any attempt number — including
+    /// attempts far past the point where the exponential would overflow.
+    #[test]
+    fn delays_never_exceed_the_cap(
+        base_us in 0u64..2_000_000,
+        max_us in 0u64..2_000_000,
+        seed in any::<u64>(),
+        attempt in any::<u32>(),
+    ) {
+        let p = policy(base_us, max_us, 1000, seed);
+        prop_assert!(p.delay(attempt) <= p.max_delay);
+    }
+
+    /// Jitter stays in the documented band: between half and all of the
+    /// capped exponential for that attempt.
+    #[test]
+    fn jitter_stays_in_the_half_to_full_band(
+        base_us in 1u64..100_000,
+        max_us in 1u64..1_000_000,
+        seed in any::<u64>(),
+        attempt in 0u32..48,
+    ) {
+        let p = policy(base_us, max_us, 1000, seed);
+        let exponential = p
+            .base_delay
+            .saturating_mul(1u32.checked_shl(attempt.min(31)).unwrap_or(u32::MAX));
+        let cap = exponential.min(p.max_delay);
+        let d = p.delay(attempt);
+        prop_assert!(d <= cap, "delay {d:?} above cap {cap:?}");
+        if !cap.is_zero() {
+            prop_assert!(
+                d >= Duration::from_micros(cap.as_micros() as u64 / 2),
+                "delay {d:?} below half the cap {cap:?}"
+            );
+        }
+    }
+
+    /// The schedule is deterministic: equal policies produce byte-for-byte
+    /// equal schedules, and the attempt index matters (the schedule is not
+    /// a constant — some pair of early attempts must differ once the
+    /// exponential has room to move).
+    #[test]
+    fn schedules_replay_deterministically(
+        base_us in 1u64..100_000,
+        max_us in 1u64..1_000_000,
+        seed in any::<u64>(),
+    ) {
+        let a = policy(base_us, max_us, 1000, seed);
+        let b = policy(base_us, max_us, 1000, seed);
+        for attempt in 0..32 {
+            prop_assert_eq!(a.delay(attempt), b.delay(attempt));
+        }
+    }
+
+    /// Builders: `with_deadline` keeps defaults elsewhere; `seed` only
+    /// changes the jitter stream, never the cap.
+    #[test]
+    fn builders_change_only_their_field(
+        deadline_ms in 1u64..100_000,
+        seed in any::<u64>(),
+        attempt in 0u32..64,
+    ) {
+        let p = RetryPolicy::with_deadline(Duration::from_millis(deadline_ms)).seed(seed);
+        let d = RetryPolicy::default();
+        prop_assert_eq!(p.deadline, Duration::from_millis(deadline_ms));
+        prop_assert_eq!(p.base_delay, d.base_delay);
+        prop_assert_eq!(p.max_delay, d.max_delay);
+        prop_assert!(p.delay(attempt) <= d.max_delay);
+    }
+}
+
+/// The wire contract's retryable/permanent split, pinned as a unit test so a
+/// refactor cannot silently flip a class (a permanent error retried forever
+/// is a hang; a retryable error treated as permanent breaks chaos recovery).
+#[test]
+fn client_error_retryability_matches_the_contract() {
+    use std::io;
+    let wire = ClientError::Wire(WireError::Io(io::Error::new(
+        io::ErrorKind::ConnectionReset,
+        "reset",
+    )));
+    assert!(
+        wire.is_retryable(),
+        "connection errors: reconnect and resolve"
+    );
+    assert!(
+        ClientError::Busy.is_retryable(),
+        "admission rejects: back off"
+    );
+    assert!(
+        ClientError::Unavailable {
+            message: "shard 0 degraded".into()
+        }
+        .is_retryable(),
+        "degraded shards may heal on server restart"
+    );
+    assert!(ClientError::Server {
+        retryable: true,
+        message: "transient".into()
+    }
+    .is_retryable());
+    assert!(
+        !ClientError::Server {
+            retryable: false,
+            message: "truncated".into()
+        }
+        .is_retryable(),
+        "the server's permanent verdict is final"
+    );
+    assert!(
+        !ClientError::Deadline {
+            attempts: 3,
+            last: "timeout".into()
+        }
+        .is_retryable(),
+        "an exhausted deadline must not recurse into more retries"
+    );
+}

@@ -15,9 +15,10 @@
 //!           [--out BENCH_server.json]
 //! ```
 
+use remembering_consistently::server::client::{ResilientSession, RetryPolicy};
 use remembering_consistently::server::WireClient;
 use std::io::Write;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 struct Args {
     addr: String,
@@ -67,6 +68,14 @@ fn parse_args() -> Args {
     parsed
 }
 
+/// Per-connection resilience tally for one round.
+struct ConnReport {
+    conn: usize,
+    ops: u64,
+    errors: u64,
+    retries: u64,
+}
+
 struct Round {
     connections: usize,
     ops: u64,
@@ -79,6 +88,11 @@ struct Round {
     fences_per_op: f64,
     batches: u64,
     combined_ops: u64,
+    errors: u64,
+    retries: u64,
+    server_timeouts: u64,
+    server_busy_rejects: u64,
+    per_connection: Vec<ConnReport>,
 }
 
 fn percentile_us(sorted_ns: &[u64], p: f64) -> f64 {
@@ -97,21 +111,36 @@ fn run_round(addr: &str, connections: usize, ops_per_conn: usize) -> Round {
     probe.abandon();
 
     let started = Instant::now();
-    let latencies: Vec<Vec<u64>> = std::thread::scope(|scope| {
+    let results: Vec<(Vec<u64>, ConnReport)> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..connections)
             .map(|conn| {
                 scope.spawn(move || {
-                    let mut client = WireClient::connect_with_retry(addr, conn as u32, 10)
-                        .expect("connect load session");
+                    // Resilient sessions: a retryable hiccup (reset, BUSY,
+                    // transient backend fault) costs latency, not the run.
+                    let policy = RetryPolicy::with_deadline(Duration::from_secs(30))
+                        .seed(0xB0A7 + conn as u64);
+                    let mut session = ResilientSession::new(addr, conn as u32, policy);
                     let mut lat = Vec::with_capacity(ops_per_conn);
+                    let mut errors = 0u64;
                     for k in 0..ops_per_conn {
                         let key = format!("load-{conn}-{}", k % 64);
                         let value = format!("v{k}");
                         let t0 = Instant::now();
-                        client.put(&key, &value).expect("durable put");
-                        lat.push(t0.elapsed().as_nanos() as u64);
+                        match session.put(&key, &value) {
+                            Ok(_) => lat.push(t0.elapsed().as_nanos() as u64),
+                            Err(e) => {
+                                errors += 1;
+                                eprintln!("conn {conn} op {k} failed permanently: {e}");
+                            }
+                        }
                     }
-                    lat
+                    let report = ConnReport {
+                        conn,
+                        ops: lat.len() as u64,
+                        errors,
+                        retries: session.retries(),
+                    };
+                    (lat, report)
                 })
             })
             .collect();
@@ -123,6 +152,7 @@ fn run_round(addr: &str, connections: usize, ops_per_conn: usize) -> Round {
     let after = probe.stats().expect("stats after round");
     probe.abandon();
 
+    let (latencies, per_connection): (Vec<Vec<u64>>, Vec<ConnReport>) = results.into_iter().unzip();
     let mut all: Vec<u64> = latencies.into_iter().flatten().collect();
     all.sort_unstable();
     let ops = all.len() as u64;
@@ -140,9 +170,14 @@ fn run_round(addr: &str, connections: usize, ops_per_conn: usize) -> Round {
         // Checkpoint/compaction fences are maintenance, not part of the
         // per-update persist path Theorem 5.1 bounds; keep them out of the
         // headline ratio (they are still reported in their own column).
-        fences_per_op: (fences - maintenance) as f64 / ops as f64,
+        fences_per_op: (fences - maintenance) as f64 / ops.max(1) as f64,
         batches: after.batches - before.batches,
         combined_ops: after.combined_ops - before.combined_ops,
+        errors: per_connection.iter().map(|c| c.errors).sum(),
+        retries: per_connection.iter().map(|c| c.retries).sum(),
+        server_timeouts: after.timeouts - before.timeouts,
+        server_busy_rejects: after.busy_rejects - before.busy_rejects,
+        per_connection,
     }
 }
 
@@ -152,7 +187,7 @@ fn main() {
     for &connections in &args.conns {
         let round = run_round(&args.addr, connections, args.ops_per_conn);
         eprintln!(
-            "conns={:2}  {:8.0} ops/s  p50={:7.1}us  p99={:7.1}us  fences/op={:.3}  (batches={} carrying {})",
+            "conns={:2}  {:8.0} ops/s  p50={:7.1}us  p99={:7.1}us  fences/op={:.3}  (batches={} carrying {})  errors={} retries={} srv_timeouts={} srv_busy={}",
             round.connections,
             round.throughput,
             round.p50_us,
@@ -160,17 +195,34 @@ fn main() {
             round.fences_per_op,
             round.batches,
             round.combined_ops,
+            round.errors,
+            round.retries,
+            round.server_timeouts,
+            round.server_busy_rejects,
         );
         rounds.push(round);
     }
 
     let mut json = String::from("{\n  \"bench\": \"onll-server\",\n  \"rounds\": [\n");
     for (i, r) in rounds.iter().enumerate() {
+        let per_conn: Vec<String> = r
+            .per_connection
+            .iter()
+            .map(|c| {
+                format!(
+                    "{{\"conn\": {}, \"ops\": {}, \"errors\": {}, \"retries\": {}}}",
+                    c.conn, c.ops, c.errors, c.retries
+                )
+            })
+            .collect();
         json.push_str(&format!(
             "    {{\"connections\": {}, \"ops\": {}, \"elapsed_s\": {:.4}, \
              \"throughput_ops_per_s\": {:.1}, \"p50_us\": {:.1}, \"p99_us\": {:.1}, \
              \"fences\": {}, \"maintenance_fences\": {}, \"fences_per_op\": {:.4}, \
-             \"batches\": {}, \"combined_ops\": {}}}{}\n",
+             \"batches\": {}, \"combined_ops\": {}, \
+             \"errors\": {}, \"retries\": {}, \
+             \"server_timeouts\": {}, \"server_busy_rejects\": {}, \
+             \"per_connection\": [{}]}}{}\n",
             r.connections,
             r.ops,
             r.elapsed_s,
@@ -182,6 +234,11 @@ fn main() {
             r.fences_per_op,
             r.batches,
             r.combined_ops,
+            r.errors,
+            r.retries,
+            r.server_timeouts,
+            r.server_busy_rejects,
+            per_conn.join(", "),
             if i + 1 < rounds.len() { "," } else { "" },
         ));
     }

@@ -8,30 +8,46 @@
 //! READY <port> <recovered_durable_total>
 //! ```
 //!
-//! after which the server accepts connections until killed. Crash testing is
-//! the *point* of this binary: the kill-9 harness reads `READY`, drives
-//! clients, SIGKILLs the process mid-request, restarts it on the same
-//! directory, and verifies every in-flight operation identity resolves
-//! consistently (see `tests/kill9_crash.rs` and `tests/server_loopback.rs`).
+//! after which the server accepts connections until killed — or, on SIGTERM,
+//! drains gracefully (stop accepting, finish in-flight requests, publish a
+//! final checkpoint) and exits 0. Crash and chaos testing are the *point* of
+//! this binary: the harnesses read `READY`, drive clients, kill the process
+//! mid-request (SIGKILL) or politely (SIGTERM), restart it on the same
+//! directory, and verify every in-flight operation identity resolves
+//! consistently (see `tests/kill9_crash.rs`, `tests/server_loopback.rs`, and
+//! `tests/chaos.rs`).
 //!
 //! ```text
 //! onll_server serve --dir DIR [--port P] [--shards N] [--clients N]
+//!                   [--max-conns N] [--idle-timeout-ms MS] [--fault-spec SPEC]
 //! ```
+//!
+//! `--fault-spec` installs a deterministic fault schedule into every shard
+//! pool (see `nvm_sim::FaultPlan::parse_spec`), e.g.
+//! `seed=7,transient-fsync-eio@3*2,torn@9`.
 
-use remembering_consistently::server::{OnllServer, ServerConfig};
+use remembering_consistently::nvm::FaultPlan;
+use remembering_consistently::server::{install_sigterm_handler, OnllServer, ServerConfig};
 use std::io::Write;
 use std::net::TcpListener;
+use std::time::Duration;
 
 struct Args {
     dir: String,
     port: u16,
     shards: usize,
     clients: usize,
+    max_conns: Option<usize>,
+    idle_timeout_ms: Option<u64>,
+    fault_spec: Option<String>,
 }
 
 fn usage(err: &str) -> ! {
     eprintln!("error: {err}");
-    eprintln!("usage: onll_server serve --dir DIR [--port P] [--shards N] [--clients N]");
+    eprintln!(
+        "usage: onll_server serve --dir DIR [--port P] [--shards N] [--clients N] \
+         [--max-conns N] [--idle-timeout-ms MS] [--fault-spec SPEC]"
+    );
     std::process::exit(2);
 }
 
@@ -47,6 +63,9 @@ fn parse_args() -> Args {
         port: 0,
         shards: 2,
         clients: 8,
+        max_conns: None,
+        idle_timeout_ms: None,
+        fault_spec: None,
     };
     while let Some(flag) = args.next() {
         let mut value = || args.next().unwrap_or_else(|| usage("missing flag value"));
@@ -57,6 +76,18 @@ fn parse_args() -> Args {
             "--clients" => {
                 parsed.clients = value().parse().unwrap_or_else(|_| usage("bad --clients"))
             }
+            "--max-conns" => {
+                parsed.max_conns =
+                    Some(value().parse().unwrap_or_else(|_| usage("bad --max-conns")))
+            }
+            "--idle-timeout-ms" => {
+                parsed.idle_timeout_ms = Some(
+                    value()
+                        .parse()
+                        .unwrap_or_else(|_| usage("bad --idle-timeout-ms")),
+                )
+            }
+            "--fault-spec" => parsed.fault_spec = Some(value()),
             other => usage(&format!("unknown flag {other}")),
         }
     }
@@ -71,6 +102,14 @@ fn main() {
     let mut config = ServerConfig::new(&args.dir);
     config.shards = args.shards;
     config.max_clients = args.clients;
+    config.max_connections = args.max_conns.unwrap_or(args.clients + 2);
+    if let Some(ms) = args.idle_timeout_ms {
+        config.idle_timeout = Duration::from_millis(ms);
+    }
+    if let Some(spec) = &args.fault_spec {
+        config.fault_plan = FaultPlan::parse_spec(spec)
+            .unwrap_or_else(|e| usage(&format!("bad --fault-spec: {e}")));
+    }
     let (server, recovered) = match OnllServer::open(config) {
         Ok(opened) => opened,
         Err(e) => {
@@ -78,6 +117,7 @@ fn main() {
             std::process::exit(3);
         }
     };
+    install_sigterm_handler();
     let listener = TcpListener::bind(("127.0.0.1", args.port)).expect("bind the loopback listener");
     let port = listener.local_addr().expect("listener address").port();
     // The supervisor reads this line to learn the port; flush before serving.
@@ -87,7 +127,16 @@ fn main() {
         writeln!(out, "READY {port} {recovered}").expect("stdout closed");
         out.flush().expect("stdout flush failed");
     }
-    let err = server.serve(listener);
-    eprintln!("listener failed: {err}");
-    std::process::exit(1);
+    match server.serve(listener) {
+        Ok(()) => {
+            // Graceful SIGTERM drain completed: every acknowledged write is
+            // durable and a final checkpoint is published.
+            eprintln!("graceful shutdown complete");
+            std::process::exit(0);
+        }
+        Err(e) => {
+            eprintln!("listener failed: {e}");
+            std::process::exit(1);
+        }
+    }
 }
