@@ -1,0 +1,272 @@
+//! Read-path scaling bench: lock-free snapshot reads versus commit-lock reads
+//! at 1/2/4/8/16 reader threads, on the simulator and the file backend.
+//!
+//! The quantity under test is the paper's read-cost asymmetry restored to the
+//! combining service: updates pay their inherent fence (Theorem 6.3), reads
+//! pay **zero fences and zero locks**. Readers are closed-loop sessions with a
+//! fixed think time — the server workload shape — so aggregate read
+//! throughput scales with the session count until either CPUs or, for the
+//! locked path, the commit lock saturates. With the simulator charging a
+//! WPQ-drain-class fence penalty, a single writer keeps the commit lock held
+//! for most of every batch; locked readers serialize behind it (and behind
+//! each other) while snapshot readers are unaffected, which is exactly the
+//! contrast the `BENCH_reads.json` artifact records:
+//!
+//! * `snapshot_reads_per_sec` / `locked_reads_per_sec` — same mixed workload
+//!   (one writer + N readers), reads through the published snapshot vs
+//!   through the commit lock (the embedded locked-read baseline).
+//! * `mixed_write_ops_per_sec` vs `write_only_ops_per_sec` — snapshot readers
+//!   must not steal the commit lock from writers.
+//! * `fences_per_read` — audited over a read-only phase with an op window:
+//!   exactly 0 fences and 0 flushes, or the bench aborts.
+//!
+//! ```text
+//! cargo bench -p onll-bench --bench read_scaling
+//! ```
+
+use durable_objects::{CounterOp, CounterRead, CounterSpec};
+use harness::Table;
+use nvm_sim::{scratch_dir, BackendSpec, PmemConfig};
+use onll::{Durable, DurableService, OnllConfig};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+const READER_COUNTS: [usize; 5] = [1, 2, 4, 8, 16];
+const SIM_WRITER_OPS: usize = 1_500;
+const FILE_WRITER_OPS: usize = 250;
+/// Reads each reader performs in the fence-audited read-only phase.
+const READONLY_READS: usize = 2_000;
+/// Closed-loop think time between a reader's requests — the client-session
+/// model. Aggregate read demand is `readers / think`, far below what one core
+/// serves, so the snapshot path scales with the session count on any host
+/// while the locked path saturates at the commit lock.
+const THINK: Duration = Duration::from_micros(10);
+/// Simulated persistent-fence stall (WPQ-drain class, cf.
+/// `BENCH_concurrent.json`): keeps the writer fence-bound and the commit lock
+/// busy, so the locked-read collapse is deterministic rather than a CPU race.
+const FENCE_PENALTY: Duration = Duration::from_micros(50);
+
+struct Measurement {
+    backend: &'static str,
+    readers: usize,
+    snapshot_reads_per_sec: f64,
+    locked_reads_per_sec: f64,
+    readonly_reads_per_sec: f64,
+    fences_per_read: f64,
+    mixed_write_ops_per_sec: f64,
+    locked_mixed_write_ops_per_sec: f64,
+    write_only_ops_per_sec: f64,
+}
+
+fn pmem(backend: &BackendSpec) -> PmemConfig {
+    match backend {
+        BackendSpec::Sim => PmemConfig::with_capacity(8 << 30).fence_penalty(FENCE_PENALTY),
+        BackendSpec::File { .. } | BackendSpec::Device { .. } => {
+            PmemConfig::with_capacity(192 << 20)
+        }
+    }
+}
+
+fn fresh_service(spec: &BackendSpec, writer_ops: usize) -> DurableService<CounterSpec> {
+    let cfg = OnllConfig::named("bench-reads")
+        .max_processes(2)
+        // No checkpointing: the log must hold the whole phase (one batch per
+        // writer op in the worst case — a single writer cannot combine).
+        .log_capacity(writer_ops + 1024)
+        .backend(spec.clone());
+    let object = Durable::<CounterSpec>::create_in(pmem(spec), cfg).expect("create bench object");
+    let service = object.service(1).expect("combining service");
+    service.enable_snapshots();
+    service
+}
+
+#[derive(Clone, Copy)]
+enum ReadPath {
+    Snapshot,
+    Locked,
+}
+
+/// One writer (fixed op count) against `readers` closed-loop reader sessions.
+/// Returns `(write_ops_per_sec, reads_per_sec)`.
+fn mixed_phase(
+    service: &DurableService<CounterSpec>,
+    readers: usize,
+    writer_ops: usize,
+    path: ReadPath,
+) -> (f64, f64) {
+    let stop = AtomicBool::new(false);
+    let total_reads = AtomicU64::new(0);
+    let mut write_elapsed = Duration::ZERO;
+    let read_elapsed = std::thread::scope(|scope| {
+        for _ in 0..readers {
+            let (service, stop, total_reads) = (service.clone(), &stop, &total_reads);
+            scope.spawn(move || {
+                let mut reader = match path {
+                    ReadPath::Snapshot => Some(service.snapshot_reader().expect("a hazard slot")),
+                    ReadPath::Locked => None,
+                };
+                let mut last = 0;
+                while !stop.load(Ordering::Relaxed) {
+                    let value = match &mut reader {
+                        Some(reader) => reader.read(&CounterRead::Get),
+                        None => service.read_latest(&CounterRead::Get),
+                    };
+                    assert!(value >= last, "reads regressed: {value} < {last}");
+                    last = value;
+                    total_reads.fetch_add(1, Ordering::Relaxed);
+                    std::thread::sleep(THINK);
+                }
+            });
+        }
+        let started = Instant::now();
+        let mut writer = service.client().expect("the writer slot");
+        for _ in 0..writer_ops {
+            writer.submit(CounterOp::Increment).expect("submit");
+        }
+        write_elapsed = started.elapsed();
+        stop.store(true, Ordering::Relaxed);
+        write_elapsed
+    });
+    let writes_per_sec = writer_ops as f64 / write_elapsed.as_secs_f64();
+    let reads_per_sec = total_reads.load(Ordering::Relaxed) as f64 / read_elapsed.as_secs_f64();
+    (writes_per_sec, reads_per_sec)
+}
+
+/// `readers` snapshot readers, no writer, audited via the pool's *global*
+/// counters (an `op_window` is per-thread and would miss the reader threads):
+/// asserts the paper's zero-fence read cost and returns the aggregate reads/s.
+fn readonly_phase(service: &DurableService<CounterSpec>, readers: usize) -> (f64, f64) {
+    let pool = service.durable().pool().clone();
+    let fences_before = pool.stats().persistent_fences();
+    let flushes_before = pool.stats().flushes();
+    let started = Instant::now();
+    std::thread::scope(|scope| {
+        for _ in 0..readers {
+            let mut reader = service.snapshot_reader().expect("a hazard slot");
+            scope.spawn(move || {
+                for _ in 0..READONLY_READS {
+                    std::hint::black_box(reader.read(&CounterRead::Get));
+                }
+            });
+        }
+    });
+    let elapsed = started.elapsed();
+    let fences = pool.stats().persistent_fences() - fences_before;
+    let flushes = pool.stats().flushes() - flushes_before;
+    assert_eq!(fences, 0, "snapshot reads issued a fence");
+    assert_eq!(flushes, 0, "snapshot reads flushed a line");
+    let reads = (readers * READONLY_READS) as f64;
+    (reads / elapsed.as_secs_f64(), 0.0)
+}
+
+fn bench_backend(
+    spec: &BackendSpec,
+    writer_ops: usize,
+    measurements: &mut Vec<Measurement>,
+    table: &mut Table,
+) {
+    // Write-only baseline, once per backend: what readers must not degrade.
+    let service = fresh_service(spec, writer_ops);
+    let (write_only_ops_per_sec, _) = mixed_phase(&service, 0, writer_ops, ReadPath::Snapshot);
+    let backend = match spec {
+        BackendSpec::Sim => "sim",
+        _ => "file",
+    };
+    for readers in READER_COUNTS {
+        let service = fresh_service(spec, 2 * writer_ops);
+        let (mixed_write_ops_per_sec, snapshot_reads_per_sec) =
+            mixed_phase(&service, readers, writer_ops, ReadPath::Snapshot);
+        let (locked_mixed_write_ops_per_sec, locked_reads_per_sec) =
+            mixed_phase(&service, readers, writer_ops, ReadPath::Locked);
+        let (readonly_reads_per_sec, fences_per_read) = readonly_phase(&service, readers);
+        service.durable().check_invariants().expect("invariants");
+        let m = Measurement {
+            backend,
+            readers,
+            snapshot_reads_per_sec,
+            locked_reads_per_sec,
+            readonly_reads_per_sec,
+            fences_per_read,
+            mixed_write_ops_per_sec,
+            locked_mixed_write_ops_per_sec,
+            write_only_ops_per_sec,
+        };
+        table.row(&[
+            m.backend.to_string(),
+            m.readers.to_string(),
+            format!("{:.0}", m.snapshot_reads_per_sec),
+            format!("{:.0}", m.locked_reads_per_sec),
+            format!("{:.0}", m.mixed_write_ops_per_sec),
+            format!("{:.0}", m.write_only_ops_per_sec),
+            format!("{:.4}", m.fences_per_read),
+        ]);
+        measurements.push(m);
+    }
+}
+
+fn write_artifact(measurements: &[Measurement]) -> std::io::Result<std::path::PathBuf> {
+    let mut json = String::from("{\n  \"bench\": \"read_scaling\",\n");
+    json.push_str(&format!(
+        "  \"sim_writer_ops\": {SIM_WRITER_OPS},\n  \"file_writer_ops\": {FILE_WRITER_OPS},\n  \"readonly_reads_per_reader\": {READONLY_READS},\n  \"reader_think_ns\": {},\n  \"sim_fence_penalty_ns\": {},\n",
+        THINK.as_nanos(),
+        FENCE_PENALTY.as_nanos()
+    ));
+    json.push_str("  \"results\": [\n");
+    for (i, m) in measurements.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"backend\": \"{}\", \"readers\": {}, \"snapshot_reads_per_sec\": {:.1}, \"locked_reads_per_sec\": {:.1}, \"readonly_reads_per_sec\": {:.1}, \"fences_per_read\": {:.4}, \"mixed_write_ops_per_sec\": {:.1}, \"locked_mixed_write_ops_per_sec\": {:.1}, \"write_only_ops_per_sec\": {:.1}}}{}\n",
+            m.backend,
+            m.readers,
+            m.snapshot_reads_per_sec,
+            m.locked_reads_per_sec,
+            m.readonly_reads_per_sec,
+            m.fences_per_read,
+            m.mixed_write_ops_per_sec,
+            m.locked_mixed_write_ops_per_sec,
+            m.write_only_ops_per_sec,
+            if i + 1 == measurements.len() { "" } else { "," }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()?
+        .join("BENCH_reads.json");
+    std::fs::write(&path, json)?;
+    Ok(path)
+}
+
+fn main() {
+    let dir = scratch_dir("bench-reads").expect("scratch dir for file pools");
+    let mut measurements = Vec::new();
+    let mut table = Table::new(
+        "read scaling (1 writer + N closed-loop readers, 10µs think, 50µs sim WPQ drain / real fsync)",
+        &[
+            "backend",
+            "readers",
+            "snap reads/s",
+            "locked reads/s",
+            "mixed writes/s",
+            "write-only/s",
+            "fences/read",
+        ],
+    );
+    bench_backend(
+        &BackendSpec::Sim,
+        SIM_WRITER_OPS,
+        &mut measurements,
+        &mut table,
+    );
+    bench_backend(
+        &BackendSpec::file(&dir),
+        FILE_WRITER_OPS,
+        &mut measurements,
+        &mut table,
+    );
+    table.print();
+    let _ = std::fs::remove_dir_all(&dir);
+    match write_artifact(&measurements) {
+        Ok(path) => println!("\nwrote {}", path.display()),
+        Err(e) => eprintln!("\nfailed to write BENCH_reads.json: {e}"),
+    }
+}

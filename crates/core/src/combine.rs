@@ -56,12 +56,13 @@ use crate::construction::Durable;
 use crate::error::OnllError;
 use crate::handle::ProcessHandle;
 use crate::op_id::{OpId, Record, ResolveOutcome};
+use crate::snapshot::{ReadSnapshot, SnapshotCell};
 use crate::spec::{SequentialSpec, SnapshotSpec};
 use nvm_sim::{Counter, Histogram};
 use parking_lot::Mutex;
 use std::cell::UnsafeCell;
 use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 /// Slot states of the publication protocol. Transitions:
 /// `EMPTY → PENDING` (client, after writing the record),
@@ -81,6 +82,13 @@ const COMBINING: u32 = 3;
 /// that would otherwise accumulate during the previous fence (the batch-size
 /// oscillation classic flat combining exhibits without a window).
 const COMBINE_WINDOW_ROUNDS: usize = 4;
+
+/// Claimable hazard slots beyond the per-client reserved ones: the budget of
+/// concurrent [`SnapshotReader`] handles plus transient service-level
+/// snapshot reads. Exhaustion degrades gracefully (service-level reads fall
+/// back to the locked path; `snapshot_reader` reports
+/// [`OnllError::NoFreeProcessSlot`]).
+const SNAPSHOT_POOL_SLOTS: usize = 32;
 
 /// A combiner's answer to one submitted operation: the durable identity and
 /// the value, or the error that failed the whole batch before ordering it.
@@ -115,6 +123,10 @@ impl<S: SequentialSpec> Slot<S> {
     }
 }
 
+/// Monomorphized snapshot builder installed by `ensure_snapshots`; see the
+/// `snapshot_fn` field.
+type SnapshotFn<S> = fn(&mut ProcessHandle<S>) -> ReadSnapshot<S>;
+
 struct ServiceShared<S: SequentialSpec> {
     durable: Durable<S>,
     /// The commit lock *is* the combiner's process handle: winning the lock is
@@ -145,6 +157,21 @@ struct ServiceShared<S: SequentialSpec> {
     /// Retrievals answered `Truncated` — identity compacted below a checkpoint
     /// floor ("combine.resolve_truncated").
     resolve_truncated: Counter,
+    /// The published-snapshot cell of the lock-free read path. Dormant (never
+    /// published, never cloned into) until `ensure_snapshots` runs.
+    snapshots: SnapshotCell<S>,
+    /// Snapshot builder, installed by `ensure_snapshots`. A monomorphized fn
+    /// pointer so the `S: Clone` bound lives only on the snapshot-enabling
+    /// entry points instead of spreading through the whole service API; unset
+    /// means the read path is dormant and batches skip the per-commit clone.
+    snapshot_fn: OnceLock<SnapshotFn<S>>,
+    /// Reads served lock-free from a published snapshot.
+    snapshot_reads: AtomicU64,
+    /// Reads served under the commit lock (`read_latest` and fallbacks).
+    latest_reads: AtomicU64,
+    /// Time to clone + publish one snapshot ("combine.snapshot_publish_ns") —
+    /// the write-path overhead the read path buys its lock freedom with.
+    publish_hist: Histogram,
 }
 
 impl<S: SequentialSpec> ServiceShared<S> {
@@ -226,6 +253,13 @@ impl<S: SequentialSpec> ServiceShared<S> {
         match handle.commit_batch(records) {
             Ok(replies) => {
                 debug_assert_eq!(replies.len(), batch_slots.len());
+                // Publish-after-linearize, publish-before-ack: the batch is
+                // linearized, and no waiter has seen its reply yet. A client
+                // whose `Acquire` of READY observes a reply below therefore
+                // also observes this publication (or a later one), so its next
+                // snapshot read includes its own acknowledged write — the
+                // recency half of the snapshot contract.
+                self.publish_snapshot(handle);
                 for (&i, reply) in batch_slots.iter().zip(replies) {
                     self.post(i, Ok(reply));
                 }
@@ -255,6 +289,52 @@ impl<S: SequentialSpec> ServiceShared<S> {
         unsafe { *slot.reply.get() = Some(reply) };
         slot.state.store(READY, Ordering::Release);
     }
+
+    /// Publishes a fresh snapshot from the combiner handle's view, if the
+    /// snapshot read path has been enabled. Must be called with the commit
+    /// lock held (the `&mut ProcessHandle` only the lock hands out).
+    fn publish_snapshot(&self, handle: &mut ProcessHandle<S>) {
+        if let Some(make) = self.snapshot_fn.get() {
+            let timer = self.publish_hist.start_timer();
+            self.snapshots.publish(make(handle));
+            timer.stop();
+        }
+    }
+
+    /// Idempotently enables the lock-free snapshot read path: installs the
+    /// snapshot builder and publishes a seed snapshot of the current
+    /// linearized state (so the path is immediately live, including right
+    /// after recovery). Takes the commit lock once; later batches refresh the
+    /// snapshot as part of their commit.
+    fn ensure_snapshots(&self)
+    where
+        S: Clone,
+    {
+        if self.snapshot_fn.get().is_some() && self.snapshots.is_published() {
+            return;
+        }
+        let mut handle = self.combiner.lock();
+        // Re-check under the lock: a racing enabler may have won.
+        if self.snapshot_fn.get().is_none() || !self.snapshots.is_published() {
+            let timer = self.publish_hist.start_timer();
+            self.snapshots.publish(make_snapshot(&mut handle));
+            timer.stop();
+            let _ = self.snapshot_fn.set(make_snapshot::<S>);
+        }
+    }
+
+    /// The locked (linearizable) read path, shared by every `read_latest`.
+    fn read_locked(&self, op: &S::ReadOp) -> S::Value {
+        self.latest_reads.fetch_add(1, Ordering::Relaxed);
+        self.combiner.lock().read(op)
+    }
+}
+
+/// The monomorphized snapshot builder `ensure_snapshots` installs: clones the
+/// combiner view's state at the newest linearized operation.
+fn make_snapshot<S: SequentialSpec + Clone>(handle: &mut ProcessHandle<S>) -> ReadSnapshot<S> {
+    let (state, idx) = handle.snapshot_state();
+    ReadSnapshot::new(state, idx)
 }
 
 /// A concurrent session layer over one [`Durable`] object: N client threads
@@ -302,6 +382,11 @@ impl<S: SequentialSpec> Durable<S> {
                 resolve_hits: telemetry.counter("combine.resolve_hits"),
                 resolve_misses: telemetry.counter("combine.resolve_misses"),
                 resolve_truncated: telemetry.counter("combine.resolve_truncated"),
+                snapshots: SnapshotCell::new(clients, SNAPSHOT_POOL_SLOTS),
+                snapshot_fn: OnceLock::new(),
+                snapshot_reads: AtomicU64::new(0),
+                latest_reads: AtomicU64::new(0),
+                publish_hist: telemetry.histogram("combine.snapshot_publish_ns"),
             }),
         })
     }
@@ -402,8 +487,98 @@ impl<S: SequentialSpec> DurableService<S> {
     /// Reads through the combiner handle's local view (blocking on the commit
     /// lock, zero persistent fences). The view advances incrementally, so a
     /// service read is O(missing suffix), not O(history).
+    ///
+    /// Alias for [`DurableService::read_latest`]; prefer
+    /// [`DurableService::read_snapshot`] for read paths that must not contend
+    /// with the commit lock.
     pub fn read(&self, op: &S::ReadOp) -> S::Value {
-        self.inner.combiner.lock().read(op)
+        self.read_latest(op)
+    }
+
+    /// The **linearizable** read path: acquires the commit lock and reads the
+    /// newest linearized state. Zero persistent fences (Theorem 5.1's read
+    /// cost), but serializes behind in-flight write batches and behind other
+    /// locked readers.
+    pub fn read_latest(&self, op: &S::ReadOp) -> S::Value {
+        self.inner.read_locked(op)
+    }
+
+    /// The **lock-free** read path: one `Acquire` load of the published
+    /// snapshot and a pure `state.read(op)` — no lock, no persistent fence,
+    /// no NVM access, no trace traversal. Enables the snapshot path on first
+    /// use (one locked pass; see [`DurableService::enable_snapshots`]).
+    ///
+    /// Semantics: **sequentially consistent** reads over a linearized prefix.
+    /// The snapshot refreshes on every committed service batch (and on
+    /// [`DurableService::maybe_checkpoint`]), and it is published *before*
+    /// any of the batch's replies, so a caller that has observed an update's
+    /// acknowledgement observes that update here. Updates applied through
+    /// plain [`Durable::register`] handles that bypass the service do not
+    /// refresh the snapshot until the next service batch; use
+    /// [`DurableService::read_latest`] when those must be visible immediately.
+    ///
+    /// Falls back to the locked path in the rare case every one of the
+    /// `SNAPSHOT_POOL_SLOTS` transient hazard slots is busy (long-lived
+    /// readers should hold a [`SnapshotReader`] instead, which pins its slot
+    /// once).
+    pub fn read_snapshot(&self, op: &S::ReadOp) -> S::Value
+    where
+        S: Clone,
+    {
+        self.inner.ensure_snapshots();
+        let Some(slot) = self.inner.snapshots.claim_pool_slot() else {
+            return self.inner.read_locked(op);
+        };
+        let value = match self.inner.snapshots.load_protected(slot) {
+            Some(guard) => {
+                self.inner.snapshot_reads.fetch_add(1, Ordering::Relaxed);
+                guard.read(op)
+            }
+            // Unreachable after ensure_snapshots, but degrade rather than panic.
+            None => self.inner.read_locked(op),
+        };
+        self.inner.snapshots.release_pool_slot(slot);
+        value
+    }
+
+    /// Enables the lock-free snapshot read path without performing a read:
+    /// publishes a seed snapshot of the current linearized state (one locked
+    /// pass) and arms per-batch republication. Idempotent. Servers call this
+    /// at open so recovered state is immediately readable lock-free.
+    pub fn enable_snapshots(&self)
+    where
+        S: Clone,
+    {
+        self.inner.ensure_snapshots();
+    }
+
+    /// Claims a dedicated hazard slot and returns a long-lived lock-free
+    /// reader. Enables the snapshot path on first use. Fails with
+    /// [`OnllError::NoFreeProcessSlot`] when all `SNAPSHOT_POOL_SLOTS`
+    /// claimable slots are held by other readers.
+    pub fn snapshot_reader(&self) -> Result<SnapshotReader<S>, OnllError>
+    where
+        S: Clone,
+    {
+        self.inner.ensure_snapshots();
+        let slot = self
+            .inner
+            .snapshots
+            .claim_pool_slot()
+            .ok_or(OnllError::NoFreeProcessSlot)?;
+        Ok(SnapshotReader {
+            service: self.inner.clone(),
+            slot,
+        })
+    }
+
+    /// Counts of reads served by each path: lock-free snapshot reads vs
+    /// commit-lock (`read_latest` and fallback) reads.
+    pub fn read_stats(&self) -> ReadStats {
+        ReadStats {
+            snapshot_reads: self.inner.snapshot_reads.load(Ordering::Relaxed),
+            latest_reads: self.inner.latest_reads.load(Ordering::Relaxed),
+        }
     }
 
     /// Exactly-once reply retrieval by identity — see [`Durable::resolve`].
@@ -447,6 +622,11 @@ impl<S: SnapshotSpec> DurableService<S> {
     pub fn maybe_checkpoint(&self) -> Result<Option<u64>, OnllError> {
         let mut handle = self.inner.combiner.lock();
         handle.sync();
+        // The synced view may be ahead of the last batch commit (e.g. plain
+        // handles updated the object directly): refresh the snapshot too, so
+        // periodic checkpointing doubles as a staleness bound for the
+        // lock-free read path.
+        self.inner.publish_snapshot(&mut handle);
         handle.maybe_checkpoint()
     }
 }
@@ -631,9 +811,34 @@ impl<S: SequentialSpec> ServiceClient<S> {
         }
     }
 
-    /// Reads through the service — see [`DurableService::read`].
+    /// Reads through the service — alias for [`ServiceClient::read_latest`].
     pub fn read(&self, op: &S::ReadOp) -> S::Value {
-        self.service.combiner.lock().read(op)
+        self.read_latest(op)
+    }
+
+    /// The linearizable read path — see [`DurableService::read_latest`].
+    pub fn read_latest(&self, op: &S::ReadOp) -> S::Value {
+        self.service.read_locked(op)
+    }
+
+    /// The lock-free snapshot read path — see
+    /// [`DurableService::read_snapshot`] for the semantics. A client reads
+    /// through its own reserved hazard slot, so this never contends with
+    /// other readers either (`&mut self` keeps the slot single-threaded; a
+    /// client is one thread's handle by construction).
+    pub fn read_snapshot(&mut self, op: &S::ReadOp) -> S::Value
+    where
+        S: Clone,
+    {
+        self.service.ensure_snapshots();
+        match self.service.snapshots.load_protected(self.slot) {
+            Some(guard) => {
+                self.service.snapshot_reads.fetch_add(1, Ordering::Relaxed);
+                guard.read(op)
+            }
+            // Unreachable after ensure_snapshots, but degrade rather than panic.
+            None => self.service.read_locked(op),
+        }
     }
 }
 
@@ -680,13 +885,87 @@ impl<S: SequentialSpec> std::fmt::Debug for ServiceClient<S> {
     }
 }
 
+/// Per-path read counts of a [`DurableService`] — see
+/// [`DurableService::read_stats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ReadStats {
+    /// Reads served lock-free from a published snapshot.
+    pub snapshot_reads: u64,
+    /// Reads served under the commit lock (`read_latest` plus fallbacks).
+    pub latest_reads: u64,
+}
+
+impl ReadStats {
+    /// Element-wise sum — aggregating per-shard stats.
+    pub fn merge(self, other: ReadStats) -> ReadStats {
+        ReadStats {
+            snapshot_reads: self.snapshot_reads + other.snapshot_reads,
+            latest_reads: self.latest_reads + other.latest_reads,
+        }
+    }
+}
+
+/// A long-lived lock-free reader over a [`DurableService`]'s published
+/// snapshots, created by [`DurableService::snapshot_reader`].
+///
+/// Owns one hazard slot for its lifetime, so each read is exactly one
+/// `Acquire` load, one hazard store, one validating load and a pure
+/// `state.read(op)` — no slot scan, no lock, no persistent fence, no NVM
+/// access. `&mut self` receivers keep the hazard slot single-threaded; clone
+/// nothing, create one reader per thread.
+pub struct SnapshotReader<S: SequentialSpec> {
+    service: Arc<ServiceShared<S>>,
+    slot: usize,
+}
+
+impl<S: SequentialSpec> SnapshotReader<S> {
+    /// Reads from the current published snapshot — sequentially consistent
+    /// over a linearized prefix; see [`DurableService::read_snapshot`] for
+    /// the exact staleness/recency contract.
+    pub fn read(&mut self, op: &S::ReadOp) -> S::Value {
+        match self.service.snapshots.load_protected(self.slot) {
+            Some(guard) => {
+                self.service.snapshot_reads.fetch_add(1, Ordering::Relaxed);
+                guard.read(op)
+            }
+            // The cell was published before this reader existed; degrade
+            // rather than panic if that invariant is ever violated.
+            None => self.service.read_locked(op),
+        }
+    }
+
+    /// Execution index of the newest operation the current snapshot covers —
+    /// a monotone observation of the service's linearized-prefix progress.
+    pub fn snapshot_index(&mut self) -> u64 {
+        self.service
+            .snapshots
+            .load_protected(self.slot)
+            .map(|guard| guard.index())
+            .unwrap_or(0)
+    }
+}
+
+impl<S: SequentialSpec> Drop for SnapshotReader<S> {
+    fn drop(&mut self) {
+        self.service.snapshots.release_pool_slot(self.slot);
+    }
+}
+
+impl<S: SequentialSpec> std::fmt::Debug for SnapshotReader<S> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SnapshotReader")
+            .field("slot", &self.slot)
+            .finish()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::config::OnllConfig;
     use nvm_sim::{NvmPool, PmemConfig};
 
-    #[derive(Debug, PartialEq)]
+    #[derive(Debug, Clone, PartialEq)]
     struct Counter(i64);
 
     #[derive(Debug, Clone, PartialEq)]
@@ -899,6 +1178,107 @@ mod tests {
         assert!(matches!(client.submit(Add(1)), Err(OnllError::LogFull)));
         // The failed operation was never linearized.
         assert_eq!(service.read(&()), 2);
+    }
+
+    #[test]
+    fn snapshot_read_is_fence_free_and_sees_own_acked_write() {
+        let (pool, service) = counter_service(2, 4);
+        let mut client = service.client().unwrap();
+        // Recency: after the submit acked, the same session's snapshot read
+        // must observe the write (publish-after-linearize, before the ack).
+        client.submit(Add(5)).unwrap();
+        let w = pool.stats().op_window();
+        assert_eq!(client.read_snapshot(&()), 5);
+        assert_eq!(service.read_snapshot(&()), 5);
+        let cost = w.close();
+        assert_eq!(cost.persistent_fences, 0, "snapshot reads issue no fence");
+        assert_eq!(cost.flushes, 0, "snapshot reads flush nothing");
+        client.submit(Add(2)).unwrap();
+        assert_eq!(client.read_snapshot(&()), 7);
+        let stats = service.read_stats();
+        assert_eq!(stats.snapshot_reads, 3);
+        assert_eq!(stats.latest_reads, 0);
+        assert_eq!(service.read_latest(&()), 7);
+        assert_eq!(service.read_stats().latest_reads, 1);
+    }
+
+    #[test]
+    fn enable_snapshots_seeds_from_current_state_before_any_batch() {
+        let (_pool, service) = counter_service(1, 1);
+        let mut client = service.client().unwrap();
+        client.submit(Add(3)).unwrap();
+        // Enabled *after* writes: the seed snapshot is the synced view, so
+        // pre-enable state (think recovered state at server open) is visible
+        // without waiting for the next batch.
+        service.enable_snapshots();
+        assert_eq!(service.read_snapshot(&()), 3);
+    }
+
+    #[test]
+    fn snapshot_readers_run_while_the_commit_lock_is_held() {
+        let (_pool, service) = counter_service(1, 1);
+        let mut client = service.client().unwrap();
+        client.submit(Add(9)).unwrap();
+        let mut reader = service.snapshot_reader().unwrap();
+        let idx_before = reader.snapshot_index();
+        // Hold the commit lock (as an in-flight combiner would) and show the
+        // snapshot reader is unaffected — this deadlocks if reads lock.
+        let guard = service.inner.combiner.lock();
+        assert_eq!(reader.read(&()), 9);
+        drop(guard);
+        client.submit(Add(1)).unwrap();
+        assert_eq!(reader.read(&()), 10);
+        assert!(reader.snapshot_index() > idx_before, "index is monotone");
+    }
+
+    #[test]
+    fn snapshot_reader_slots_are_bounded_and_released_on_drop() {
+        let (_pool, service) = counter_service(1, 1);
+        let mut readers: Vec<_> = (0..SNAPSHOT_POOL_SLOTS)
+            .map(|_| service.snapshot_reader().unwrap())
+            .collect();
+        assert!(matches!(
+            service.snapshot_reader(),
+            Err(OnllError::NoFreeProcessSlot)
+        ));
+        // Pool exhaustion degrades service-level snapshot reads to the locked
+        // path instead of failing them.
+        assert_eq!(service.read_snapshot(&()), 0);
+        assert_eq!(service.read_stats().latest_reads, 1);
+        readers.pop();
+        service.snapshot_reader().unwrap();
+        for reader in &mut readers {
+            assert_eq!(reader.read(&()), 0);
+        }
+    }
+
+    #[test]
+    fn concurrent_snapshot_reads_are_monotone_under_writes() {
+        let readers = 4;
+        let (_pool, service) = counter_service(2, 4);
+        service.enable_snapshots();
+        std::thread::scope(|scope| {
+            for _ in 0..readers {
+                let mut reader = service.snapshot_reader().unwrap();
+                scope.spawn(move || {
+                    let mut last = 0;
+                    for _ in 0..2_000 {
+                        let v = reader.read(&());
+                        assert!(v >= last, "snapshot read regressed: {v} < {last}");
+                        last = v;
+                    }
+                });
+            }
+            let writer = service.clone();
+            scope.spawn(move || {
+                let mut client = writer.client().unwrap();
+                for _ in 0..500 {
+                    client.submit(Add(1)).unwrap();
+                }
+            });
+        });
+        assert_eq!(service.read_snapshot(&()), 500);
+        service.durable().check_invariants().unwrap();
     }
 
     #[test]

@@ -496,6 +496,29 @@ impl<S: SequentialSpec> ProcessHandle<S> {
         self.view_index()
     }
 
+    /// Materializes an owned copy of the state at the latest linearized
+    /// operation plus that operation's execution index — the raw material for
+    /// a published [`crate::ReadSnapshot`].
+    ///
+    /// With local views (the default) this is a clone of the already-advanced
+    /// view state: `O(|state|)`, no trace traversal beyond the newest suffix.
+    /// Full-replay handles (`use_local_views = false`) fall back to replaying
+    /// the whole retained trace prefix — correct, but `O(history)`; snapshot
+    /// publication is best paired with local views.
+    pub(crate) fn snapshot_state(&mut self) -> (S, u64)
+    where
+        S: Clone,
+    {
+        let node = self.shared.trace.latest_available();
+        match &mut self.strategy {
+            ReadStrategy::LocalView(view) => {
+                view.advance_to(&self.shared.trace, node);
+                (view.state().clone(), view.idx())
+            }
+            ReadStrategy::FullReplay => (self.replay_to(node), node.idx()),
+        }
+    }
+
     /// Truncates this handle's own log prefix below the newest *published*
     /// checkpoint watermark (single-writer: each owner compacts only its own
     /// log). Called opportunistically before appends so every process's log

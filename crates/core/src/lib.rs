@@ -79,9 +79,10 @@ mod hooks;
 mod local_view;
 mod op_id;
 pub mod phase_spans;
+mod snapshot;
 mod spec;
 
-pub use combine::{DurableService, ServiceClient};
+pub use combine::{DurableService, ReadStats, ServiceClient, SnapshotReader};
 pub use config::OnllConfig;
 pub use construction::{Durable, RecoveryReport};
 pub use error::OnllError;
@@ -89,6 +90,7 @@ pub use handle::ProcessHandle;
 pub use hooks::{Hooks, Phase};
 pub use local_view::LocalView;
 pub use op_id::{OpId, Record, ResolveOutcome};
+pub use snapshot::{ReadSnapshot, SnapshotGuard};
 /// Former name of [`SnapshotSpec`], kept as an alias for downstream code.
 pub use spec::SnapshotSpec as CheckpointableSpec;
 pub use spec::{replay, KeyedSpec, OpCodec, SequentialSpec, SnapshotSpec};

@@ -215,6 +215,10 @@ pub struct ServerStats {
     pub busy_rejects: u64,
     /// Shards currently degraded (writes unavailable, reads serving).
     pub degraded_shards: u32,
+    /// Reads served lock-free from published snapshots (`GET`).
+    pub snapshot_reads: u64,
+    /// Reads served under a commit lock (`GET_LATEST` plus fallbacks).
+    pub latest_reads: u64,
 }
 
 /// A connected session holding client slot `index` on every shard.
@@ -407,11 +411,27 @@ impl WireClient {
         Ok((value, shard, op_id))
     }
 
-    /// Looks up `key` (fence-free on the server).
+    /// Looks up `key` (fence-free on the server). Served from the shard's
+    /// published snapshot: lock-free, sequentially consistent, and it
+    /// observes every write this session has seen acknowledged.
     pub fn get(&mut self, key: &str) -> Result<KvValue, ClientError> {
         wire::write_request(
             &mut self.writer,
             &Request::Get {
+                key: key.to_string(),
+            },
+        )?;
+        let (_, value) = self.read_value()?;
+        Ok(value)
+    }
+
+    /// Looks up `key` through the shard's commit lock — linearizable against
+    /// in-flight writes from *other* sessions, at the cost of contending with
+    /// them.
+    pub fn get_latest(&mut self, key: &str) -> Result<KvValue, ClientError> {
+        wire::write_request(
+            &mut self.writer,
+            &Request::GetLatest {
                 key: key.to_string(),
             },
         )?;
@@ -450,6 +470,8 @@ impl WireClient {
                 timeouts,
                 busy_rejects,
                 degraded_shards,
+                snapshot_reads,
+                latest_reads,
             } => Ok(ServerStats {
                 persistent_fences,
                 maintenance_fences,
@@ -458,6 +480,8 @@ impl WireClient {
                 timeouts,
                 busy_rejects,
                 degraded_shards,
+                snapshot_reads,
+                latest_reads,
             }),
             Reply::Error { retryable, message } => Err(ClientError::Server { retryable, message }),
             other => Err(WireError::Malformed(format!("unexpected reply {other:?}")).into()),
@@ -651,9 +675,16 @@ impl ResilientSession {
     }
 
     /// Looks up `key` (idempotent: plain retry, no identity bookkeeping).
+    /// Snapshot path — see [`WireClient::get`].
     pub fn get(&mut self, key: &str) -> Result<KvValue, ClientError> {
         let key_owned = key.to_string();
         self.run(move |client, _| client.get(&key_owned))
+    }
+
+    /// Looks up `key` through the commit lock — see [`WireClient::get_latest`].
+    pub fn get_latest(&mut self, key: &str) -> Result<KvValue, ClientError> {
+        let key_owned = key.to_string();
+        self.run(move |client, _| client.get_latest(&key_owned))
     }
 
     /// Exactly-once recovery for an externally tracked identity.

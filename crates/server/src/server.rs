@@ -27,7 +27,7 @@
 
 use crate::wire::{self, Reply, Request, WireError, WireResolved};
 use durable_objects::{KvOp, KvRead, KvSpec};
-use nvm_sim::{BackendSpec, Counter, FaultPlan, PmemConfig, Telemetry};
+use nvm_sim::{BackendSpec, Counter, FaultPlan, Histogram, PmemConfig, Telemetry};
 use onll::{OnllConfig, OnllError, ResolveOutcome};
 use onll_shard::{HashRouter, ShardConfig, ShardedDurable, ShardedService};
 use std::io::BufWriter;
@@ -171,6 +171,8 @@ pub struct ServerHealth {
     degraded: Box<[AtomicBool]>,
     timeout_counter: Counter,
     busy_counter: Counter,
+    /// GET/GET_LATEST service time ("server.read_ns"), both read paths.
+    read_hist: Histogram,
 }
 
 impl ServerHealth {
@@ -184,6 +186,7 @@ impl ServerHealth {
             degraded: (0..shards).map(|_| AtomicBool::new(false)).collect(),
             timeout_counter: telemetry.counter("server.timeouts"),
             busy_counter: telemetry.counter("server.busy_rejects"),
+            read_hist: telemetry.histogram("server.read_ns"),
         }
     }
 
@@ -319,6 +322,10 @@ impl OnllServer {
             (ShardedDurable::create(shard_config, router)?, 0)
         };
         let service = store.service(config.max_clients)?;
+        // Arm the lock-free GET path now, seeding each shard's snapshot from
+        // its recovered state: a client's first read after a restart sees
+        // everything recovery replayed without waiting for a write batch.
+        service.enable_snapshots();
         let health = Arc::new(ServerHealth::new(store.num_shards(), &config.telemetry));
         let mut checkpointers = Vec::with_capacity(store.num_shards());
         for shard in 0..store.num_shards() {
@@ -517,6 +524,7 @@ fn stats_reply(
 ) -> Reply {
     let stats = store.merged_stats();
     let (batches, combined_ops) = service.batch_stats();
+    let reads = service.read_stats();
     Reply::StatsOk {
         persistent_fences: stats.persistent_fences,
         maintenance_fences: stats.maintenance_fences,
@@ -525,6 +533,8 @@ fn stats_reply(
         timeouts: health.timeouts(),
         busy_rejects: health.busy_rejects(),
         degraded_shards: health.degraded_shards(),
+        snapshot_reads: reads.snapshot_reads,
+        latest_reads: reads.latest_reads,
     }
 }
 
@@ -703,13 +713,25 @@ fn handle_connection(
             }
             Request::Get { key } => {
                 // Reads serve from memory even on a degraded shard: a
-                // poisoned backend loses durability, not state.
+                // poisoned backend loses durability, not state. The snapshot
+                // path is the default: lock-free, and it still observes every
+                // write this session saw acknowledged (publish-before-ack).
                 poison_pill(&key);
                 let shard = client.shard_of(&key) as u32;
-                Reply::Value {
-                    shard,
-                    value: client.read(&KvRead::Get(key)),
-                }
+                let timer = health.read_hist.start_timer();
+                let value = client.read_snapshot(&KvRead::Get(key));
+                timer.stop();
+                Reply::Value { shard, value }
+            }
+            Request::GetLatest { key } => {
+                // The strong path: linearizable against in-flight writes, at
+                // the cost of taking the shard's commit lock.
+                poison_pill(&key);
+                let shard = client.shard_of(&key) as u32;
+                let timer = health.read_hist.start_timer();
+                let value = client.read_latest(&KvRead::Get(key));
+                timer.stop();
+                Reply::Value { shard, value }
             }
             Request::Resolve { shard, op_id } => {
                 if (shard as usize) >= service.num_shards() {

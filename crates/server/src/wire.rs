@@ -44,6 +44,7 @@ const KIND_GET: u8 = 0x04;
 const KIND_RESOLVE: u8 = 0x05;
 const KIND_STATS: u8 = 0x06;
 const KIND_PING: u8 = 0x07;
+const KIND_GET_LATEST: u8 = 0x08;
 
 const KIND_HELLO_OK: u8 = 0x81;
 const KIND_VALUE: u8 = 0x82;
@@ -79,8 +80,18 @@ pub enum Request {
         /// Key (routes the operation to its shard).
         key: String,
     },
-    /// Read a key (no identity: reads are fence-free and idempotent).
+    /// Read a key (no identity: reads are fence-free and idempotent). Served
+    /// from the shard's published snapshot — lock-free, sequentially
+    /// consistent over a linearized prefix that includes every write this
+    /// session has seen acknowledged.
     Get {
+        /// Key to look up.
+        key: String,
+    },
+    /// Read a key through the shard's commit lock — linearizable against
+    /// in-flight writes, at the cost of contending with them. Use when a
+    /// write acknowledged out-of-band (another session) must be visible.
+    GetLatest {
         /// Key to look up.
         key: String,
     },
@@ -149,6 +160,11 @@ pub enum Reply {
         /// Shards currently degraded (backend poisoned; writes fail, reads
         /// keep serving). Zero on a healthy server.
         degraded_shards: u32,
+        /// Reads served lock-free from published snapshots ([`Request::Get`]).
+        snapshot_reads: u64,
+        /// Reads served under a commit lock ([`Request::GetLatest`] plus
+        /// snapshot-path fallbacks).
+        latest_reads: u64,
     },
     /// The request failed. Retryable errors may be retried on a fresh
     /// connection (after resolving in-flight identities); permanent errors
@@ -318,6 +334,10 @@ impl Request {
                 buf.push(KIND_GET);
                 put_str(buf, key);
             }
+            Request::GetLatest { key } => {
+                buf.push(KIND_GET_LATEST);
+                put_str(buf, key);
+            }
             Request::Resolve { shard, op_id } => {
                 buf.push(KIND_RESOLVE);
                 buf.extend_from_slice(&shard.to_le_bytes());
@@ -343,6 +363,9 @@ impl Request {
                 key: take_str(bytes)?,
             }),
             KIND_GET => Ok(Request::Get {
+                key: take_str(bytes)?,
+            }),
+            KIND_GET_LATEST => Ok(Request::GetLatest {
                 key: take_str(bytes)?,
             }),
             KIND_RESOLVE => Ok(Request::Resolve {
@@ -390,6 +413,8 @@ impl Reply {
                 timeouts,
                 busy_rejects,
                 degraded_shards,
+                snapshot_reads,
+                latest_reads,
             } => {
                 buf.push(KIND_STATS_OK);
                 for v in [
@@ -403,6 +428,8 @@ impl Reply {
                     buf.extend_from_slice(&v.to_le_bytes());
                 }
                 buf.extend_from_slice(&degraded_shards.to_le_bytes());
+                buf.extend_from_slice(&snapshot_reads.to_le_bytes());
+                buf.extend_from_slice(&latest_reads.to_le_bytes());
             }
             Reply::Error { retryable, message } => {
                 buf.push(KIND_ERROR);
@@ -449,6 +476,8 @@ impl Reply {
                 timeouts: take_u64(bytes)?,
                 busy_rejects: take_u64(bytes)?,
                 degraded_shards: take_u32(bytes)?,
+                snapshot_reads: take_u64(bytes)?,
+                latest_reads: take_u64(bytes)?,
             }),
             KIND_ERROR => Ok(Reply::Error {
                 retryable: take_u8(bytes)? != 0,
@@ -585,6 +614,7 @@ mod tests {
             key: String::new(),
         });
         roundtrip_request(Request::Get { key: "k".into() });
+        roundtrip_request(Request::GetLatest { key: "k".into() });
         roundtrip_request(Request::Resolve {
             shard: 2,
             op_id: OpId::new(4, 17),
@@ -619,6 +649,8 @@ mod tests {
             timeouts: 1,
             busy_rejects: 4,
             degraded_shards: 2,
+            snapshot_reads: 1_000_000,
+            latest_reads: 17,
         });
         roundtrip_reply(Reply::Error {
             retryable: false,

@@ -18,7 +18,7 @@
 
 use crate::router::ShardRouter;
 use crate::sharded::ShardedDurable;
-use onll::{DurableService, KeyedSpec, OnllError, OpId, ResolveOutcome, ServiceClient};
+use onll::{DurableService, KeyedSpec, OnllError, OpId, ReadStats, ResolveOutcome, ServiceClient};
 use std::sync::Arc;
 
 /// A combining-commit session layer over every shard of a
@@ -123,15 +123,77 @@ impl<S: KeyedSpec> ShardedService<S> {
 
     /// Reads through the owning shard's combiner view (keyed reads), or
     /// combines every shard's answer via [`KeyedSpec::merge_reads`] (global
-    /// reads). Zero persistent fences either way.
+    /// reads). Zero persistent fences either way. Alias for
+    /// [`ShardedService::read_latest`] — see there for the (weak!) broadcast
+    /// semantics, and prefer [`ShardedService::read_snapshot`] for read paths
+    /// that must not contend with the per-shard commit locks.
     pub fn read(&self, op: &S::ReadOp) -> S::Value {
+        self.read_latest(op)
+    }
+
+    /// The lock-taking read path. **Keyed** reads are linearizable within
+    /// their shard (the shard is one ONLL object; its commit lock serializes
+    /// the read against in-flight batches). **Broadcast** reads
+    /// (`read_key(op) == None`) are *not* a consistent cut: each shard's lock
+    /// is taken and released **sequentially**, so shard `i`'s answer can
+    /// predate updates that shard `j > i`'s answer already includes — there
+    /// is no single linearization point across independent objects, and
+    /// holding all locks at once would only add deadlock risk and writer
+    /// stalls without creating one (updates spanning shards don't exist;
+    /// cross-shard order is undefined). What *is* guaranteed: each per-shard
+    /// answer is a linearized prefix of that shard including every operation
+    /// acknowledged before the broadcast began.
+    pub fn read_latest(&self, op: &S::ReadOp) -> S::Value {
         match S::read_key(op) {
-            Some(key) => self.services[self.router.route(&key)].read(op),
+            Some(key) => self.services[self.router.route(&key)].read_latest(op),
             None => {
-                let answers = self.services.iter().map(|s| s.read(op)).collect();
+                let answers = self.services.iter().map(|s| s.read_latest(op)).collect();
                 S::merge_reads(op, answers)
             }
         }
+    }
+
+    /// The lock-free read path — keyed reads go to the owning shard's
+    /// published snapshot ([`DurableService::read_snapshot`]); broadcast
+    /// reads merge every shard's **snapshot** instead of chasing the commit
+    /// locks. The cross-shard cut is exactly as (in)consistent as
+    /// [`ShardedService::read_latest`]'s — per-shard linearized prefixes with
+    /// no cross-shard order — but each prefix still includes every operation
+    /// whose ack was observed before the read began (publish-before-ack per
+    /// shard), and the broadcast no longer blocks any shard's writers, nor is
+    /// it blocked by them.
+    pub fn read_snapshot(&self, op: &S::ReadOp) -> S::Value
+    where
+        S: Clone,
+    {
+        match S::read_key(op) {
+            Some(key) => self.services[self.router.route(&key)].read_snapshot(op),
+            None => {
+                let answers = self.services.iter().map(|s| s.read_snapshot(op)).collect();
+                S::merge_reads(op, answers)
+            }
+        }
+    }
+
+    /// Enables the lock-free snapshot read path on every shard — see
+    /// [`DurableService::enable_snapshots`]. Idempotent; servers call this at
+    /// open so recovered state is immediately readable lock-free.
+    pub fn enable_snapshots(&self)
+    where
+        S: Clone,
+    {
+        for service in self.services.iter() {
+            service.enable_snapshots();
+        }
+    }
+
+    /// Summed per-path read counts over all shards — see
+    /// [`DurableService::read_stats`].
+    pub fn read_stats(&self) -> ReadStats {
+        self.services
+            .iter()
+            .map(|s| s.read_stats())
+            .fold(ReadStats::default(), ReadStats::merge)
     }
 
     /// Summed `(batches, operations)` over all shards — the aggregate
@@ -204,12 +266,42 @@ impl<S: KeyedSpec> ShardedServiceClient<S> {
     }
 
     /// Reads through the owning shard's combiner view (keyed reads) or merges
-    /// all shards' answers (global reads). Zero persistent fences.
+    /// all shards' answers (global reads). Zero persistent fences. Alias for
+    /// [`ShardedServiceClient::read_latest`]; see
+    /// [`ShardedService::read_latest`] for the broadcast caveats.
     pub fn read(&self, op: &S::ReadOp) -> S::Value {
+        self.read_latest(op)
+    }
+
+    /// The lock-taking read path — per-shard linearizable, broadcast reads
+    /// are sequential per-shard cuts; see [`ShardedService::read_latest`].
+    pub fn read_latest(&self, op: &S::ReadOp) -> S::Value {
         match S::read_key(op) {
-            Some(key) => self.clients[self.router.route(&key)].read(op),
+            Some(key) => self.clients[self.router.route(&key)].read_latest(op),
             None => {
-                let answers = self.clients.iter().map(|c| c.read(op)).collect();
+                let answers = self.clients.iter().map(|c| c.read_latest(op)).collect();
+                S::merge_reads(op, answers)
+            }
+        }
+    }
+
+    /// The lock-free read path through this client's reserved per-shard
+    /// hazard slots — semantics per [`ShardedService::read_snapshot`], plus
+    /// the per-session recency guarantee: an update this client saw
+    /// acknowledged is visible in its subsequent snapshot reads (on the
+    /// shard that served it).
+    pub fn read_snapshot(&mut self, op: &S::ReadOp) -> S::Value
+    where
+        S: Clone,
+    {
+        match S::read_key(op) {
+            Some(key) => self.clients[self.router.route(&key)].read_snapshot(op),
+            None => {
+                let answers = self
+                    .clients
+                    .iter_mut()
+                    .map(|c| c.read_snapshot(op))
+                    .collect();
                 S::merge_reads(op, answers)
             }
         }

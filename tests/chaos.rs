@@ -578,9 +578,23 @@ fn permanent_fault_degrades_writes_but_serves_reads_until_restart() {
     assert!(!acked.is_empty(), "some writes must precede the fault");
 
     // Degraded mode: reads still serve, writes stay refused, STATS says so.
+    // GETs ride the lock-free snapshot path, so a shard whose *write* path is
+    // dead keeps answering from its last published (linearized, acked) prefix
+    // — every acked key, not just the latest, and repeatedly.
+    for a in &acked {
+        assert_eq!(
+            value_of(&client.get(&a.key).expect("degraded snapshot read")),
+            Some(a.value.as_str()),
+            "degraded shard must keep serving acked key {}",
+            a.key
+        );
+    }
+    // The locked path (GET_LATEST) also still works: the commit lock itself
+    // is healthy — only persistence is refusing — and it must agree with the
+    // snapshot on a quiesced shard.
     let last = acked.last().unwrap();
     assert_eq!(
-        value_of(&client.get(&last.key).expect("degraded read")),
+        value_of(&client.get_latest(&last.key).expect("degraded latest read")),
         Some(last.value.as_str())
     );
     match client.put("rejected", "x") {
@@ -589,6 +603,14 @@ fn permanent_fault_degrades_writes_but_serves_reads_until_restart() {
     }
     let stats = client.stats().expect("stats");
     assert!(stats.degraded_shards >= 1, "stats: {stats:?}");
+    assert!(
+        stats.snapshot_reads >= acked.len() as u64,
+        "every degraded GET must be counted as a snapshot read: {stats:?}"
+    );
+    assert!(
+        stats.latest_reads >= 1,
+        "the GET_LATEST must be counted as a locked read: {stats:?}"
+    );
     client.abandon();
 
     // A restart (fresh incarnation, no fault spec) recovers every acked write

@@ -4,11 +4,12 @@
 
 use remembering_consistently::baselines::{NaiveDurable, WalDurable};
 use remembering_consistently::harness::{
-    audit_fence_bounds, CheckpointingOnllAdapter, OnllAdapter, Workload, WorkloadMix,
+    audit_fence_bounds, CheckpointingOnllAdapter, FenceAudit, OnllAdapter, Workload, WorkloadMix,
 };
 use remembering_consistently::nvm::{NvmPool, PmemConfig};
-use remembering_consistently::objects::{CounterSpec, KvSpec, SetSpec};
+use remembering_consistently::objects::{CounterOp, CounterRead, CounterSpec, KvSpec, SetSpec};
 use remembering_consistently::onll::{Durable, OnllConfig};
+use std::sync::atomic::{AtomicBool, Ordering};
 
 fn pool() -> NvmPool {
     NvmPool::new(PmemConfig::with_capacity(128 << 20))
@@ -88,6 +89,91 @@ fn onll_bound_holds_under_concurrency() {
     assert!(
         total_fences <= total_updates,
         "{total_fences} fences for {total_updates} updates"
+    );
+}
+
+#[test]
+fn snapshot_readers_incur_zero_fences_while_writers_progress() {
+    // The read half of Theorem 5.1, on the lock-free snapshot path: N
+    // concurrent `SnapshotReader`s each audit their own thread's persistence
+    // counters (`op_window` is per-thread, so a window opened inside a reader
+    // thread attributes costs precisely) while a writer drives updates on
+    // another thread. Every reader must observe exactly zero fences, zero
+    // flushes and zero NVM stores — not amortized-to-zero, zero — and must
+    // still see the writer's progress through the published snapshots.
+    //
+    // The fence penalty makes the writer block (not spin) on every persist,
+    // so the reader threads are guaranteed scheduling time even on one core.
+    let p = NvmPool::new(
+        PmemConfig::with_capacity(128 << 20).fence_penalty(std::time::Duration::from_micros(20)),
+    );
+    let obj = Durable::<CounterSpec>::create(
+        p.clone(),
+        OnllConfig::named("snap-readers")
+            .max_processes(2)
+            .log_capacity(4096),
+    )
+    .unwrap();
+    let service = obj.service(1).unwrap();
+    service.enable_snapshots();
+
+    let readers = 4;
+    let writer_ops = 400i64;
+    let stop = AtomicBool::new(false);
+    let (audits, finals) = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..readers)
+            .map(|_| {
+                let (service, stop, p) = (service.clone(), &stop, p.clone());
+                scope.spawn(move || {
+                    let mut reader = service.snapshot_reader().unwrap();
+                    let window = p.stats().op_window();
+                    let mut audit = FenceAudit::default();
+                    let mut last = 0;
+                    while !stop.load(Ordering::Relaxed) {
+                        let value = reader.read(&CounterRead::Get);
+                        assert!(value >= last, "snapshot reads regressed");
+                        last = value;
+                        audit.reads += 1;
+                    }
+                    let d = window.close();
+                    audit.read_fences = d.inherent_fences();
+                    audit.read_flushes = d.flushes;
+                    audit.read_stores = d.stores;
+                    audit.max_fences_per_read = d.inherent_fences();
+                    (audit, last)
+                })
+            })
+            .collect();
+
+        let mut writer = service.client().unwrap();
+        for _ in 0..writer_ops {
+            writer.submit(CounterOp::Increment).unwrap();
+        }
+        stop.store(true, Ordering::Relaxed);
+        let mut audits = FenceAudit::default();
+        let mut finals = Vec::new();
+        for h in handles {
+            let (audit, last) = h.join().unwrap();
+            assert!(
+                audit.satisfies_onll_bounds(),
+                "a snapshot reader touched NVM: {audit:?}"
+            );
+            assert_eq!(audit.read_fences, 0, "{audit:?}");
+            assert_eq!(audit.read_flushes, 0, "{audit:?}");
+            assert_eq!(audit.read_stores, 0, "{audit:?}");
+            assert!(audit.reads > 0, "reader never got to run");
+            audits.absorb(&audit);
+            finals.push(last);
+        }
+        (audits, finals)
+    });
+    assert_eq!(audits.fences_per_read(), 0.0, "{audits:?}");
+    // The writers actually progressed under the readers' feet, and the final
+    // published snapshot carries the full prefix.
+    assert_eq!(service.read_snapshot(&CounterRead::Get), writer_ops);
+    assert!(
+        finals.iter().all(|&v| v <= writer_ops),
+        "a reader observed more than was written: {finals:?}"
     );
 }
 
